@@ -1,0 +1,67 @@
+// Shared implementation of Figures 3 and 4: per-batch TTI of the three
+// store variants (RDB-only, RDB-views, RDB-GDB) on the six workload
+// groups. Figure 3 uses the ordered workloads, Figure 4 the random ones;
+// the binary is built twice with DSKG_FIG_ORDERED = 1 / 0.
+//
+// Expected shape (paper §6.2): RDB-GDB below RDB-only and RDB-views in
+// every batch; RDB-views occasionally *above* RDB-only (view lookup +
+// view-table joins cost more than they save); RDB-GDB more stable across
+// batches as DOTIL accumulates experience.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace dskg::bench {
+namespace {
+
+void Run(bool ordered) {
+  std::printf("Figure %d: per-batch TTI by store variant, %s workloads "
+              "(simulated seconds)\n\n",
+              ordered ? 3 : 4, ordered ? "ordered" : "random");
+
+  const WorkloadKind kinds[] = {WorkloadKind::kYago, WorkloadKind::kWatDivL,
+                                WorkloadKind::kWatDivS, WorkloadKind::kWatDivF,
+                                WorkloadKind::kWatDivC,
+                                WorkloadKind::kBio2Rdf};
+  for (WorkloadKind kind : kinds) {
+    std::printf("(%s, %s)\n", ordered ? "ordered" : "random",
+                WorkloadKindName(kind));
+    std::printf("%-10s | %9s %9s %9s %9s %9s | %9s\n", "variant", "batch1",
+                "batch2", "batch3", "batch4", "batch5", "total");
+    Rule('-', 76);
+    double only_total = 0, gdb_total = 0, views_total = 0;
+    for (Variant v :
+         {Variant::kRdbOnly, Variant::kRdbViews, Variant::kRdbGdb}) {
+      const core::RunMetrics m = RunVariant(kind, ordered, v);
+      std::printf("%-10s |", VariantName(v));
+      for (const core::BatchMetrics& b : m.batches) {
+        std::printf(" %9.4f", Sec(b.tti_micros));
+      }
+      std::printf(" | %9.4f\n", Sec(m.TotalTtiMicros()));
+      if (v == Variant::kRdbOnly) only_total = m.TotalTtiMicros();
+      if (v == Variant::kRdbViews) views_total = m.TotalTtiMicros();
+      if (v == Variant::kRdbGdb) gdb_total = m.TotalTtiMicros();
+    }
+    Rule('-', 76);
+    std::printf("RDB-GDB improvement vs RDB-only: %.2f%%   vs RDB-views: "
+                "%.2f%%   (paper averages: 43.72%% / 63.01%%)\n\n",
+                only_total > 0 ? 100.0 * (only_total - gdb_total) / only_total
+                               : 0.0,
+                views_total > 0
+                    ? 100.0 * (views_total - gdb_total) / views_total
+                    : 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace dskg::bench
+
+int main() {
+#ifdef DSKG_FIG_ORDERED
+  dskg::bench::Run(DSKG_FIG_ORDERED != 0);
+#else
+  dskg::bench::Run(true);
+#endif
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Figure 5: total TTI of each workload group for the three
+// store variants, on both the ordered and random workload versions.
+//
+// Expected shape (paper §6.2): RDB-GDB lowest everywhere; the gap between
+// RDB-GDB on ordered and random versions of the same workload is small
+// (DOTIL's adaptivity is insensitive to query order).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace dskg::bench {
+namespace {
+
+void Run() {
+  std::printf("Figure 5: total TTI per workload by store variant "
+              "(simulated seconds)\n\n");
+  std::printf("%-22s | %12s %12s %12s\n", "workload", "RDB-only",
+              "RDB-views", "RDB-GDB");
+  Rule();
+
+  const WorkloadKind kinds[] = {WorkloadKind::kYago, WorkloadKind::kWatDivL,
+                                WorkloadKind::kWatDivS, WorkloadKind::kWatDivF,
+                                WorkloadKind::kWatDivC,
+                                WorkloadKind::kBio2Rdf};
+  double gdb_ordered_yago = 0, gdb_random_yago = 0;
+  for (bool ordered : {true, false}) {
+    for (WorkloadKind kind : kinds) {
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s %s",
+                    ordered ? "ordered" : "random", WorkloadKindName(kind));
+      double totals[3] = {0, 0, 0};
+      int i = 0;
+      for (Variant v :
+           {Variant::kRdbOnly, Variant::kRdbViews, Variant::kRdbGdb}) {
+        totals[i++] = Sec(RunVariant(kind, ordered, v).TotalTtiMicros());
+      }
+      std::printf("%-22s | %12.4f %12.4f %12.4f\n", label, totals[0],
+                  totals[1], totals[2]);
+      if (kind == WorkloadKind::kYago) {
+        (ordered ? gdb_ordered_yago : gdb_random_yago) = totals[2];
+      }
+    }
+  }
+  Rule();
+  std::printf("Order insensitivity of RDB-GDB (YAGO): ordered %.4fs vs "
+              "random %.4fs (paper: \"little difference\")\n",
+              gdb_ordered_yago, gdb_random_yago);
+}
+
+}  // namespace
+}  // namespace dskg::bench
+
+int main() {
+  dskg::bench::Run();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Google-benchmark microbenchmarks for the engine primitives (wall-clock,
+// unlike the table/figure reproductions which report simulated time).
+// Useful for spotting real performance regressions in the substrates.
+
+#include <benchmark/benchmark.h>
+
+#include "core/dual_store.h"
+#include "relstore/btree.h"
+#include "sparql/parser.h"
+#include "workload/generators.h"
+
+namespace dskg {
+namespace {
+
+using BenchKey = std::array<uint64_t, 3>;
+
+void BM_BTreeInsert(benchmark::State& state) {
+  const auto n = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    relstore::BPlusTree<BenchKey> tree;
+    for (uint64_t i = 0; i < n; ++i) {
+      tree.Insert({i * 2654435761u % n, i, i ^ 0x5bd1e995u});
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_BTreeInsert)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BTreeLowerBound(benchmark::State& state) {
+  const auto n = static_cast<uint64_t>(state.range(0));
+  relstore::BPlusTree<BenchKey> tree;
+  for (uint64_t i = 0; i < n; ++i) tree.Insert({i, i, i});
+  uint64_t q = 0;
+  for (auto _ : state) {
+    auto it = tree.LowerBound({q % n, 0, 0});
+    benchmark::DoNotOptimize(it.AtEnd());
+    ++q;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeLowerBound)->Arg(100000);
+
+void BM_ParseFlagship(benchmark::State& state) {
+  constexpr const char* kText =
+      "SELECT ?p WHERE { ?p y:wasBornIn ?city . "
+      "?p y:hasAcademicAdvisor ?a . ?a y:wasBornIn ?city . }";
+  for (auto _ : state) {
+    auto q = sparql::Parser::Parse(kText);
+    benchmark::DoNotOptimize(q.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParseFlagship);
+
+/// Shared fixture state: one dataset + dual store per process.
+struct FlagshipFixture {
+  FlagshipFixture() {
+    workload::YagoConfig cfg;
+    cfg.target_triples = 60000;
+    ds = workload::GenerateYago(cfg);
+    core::DualStoreConfig sc;
+    store = std::make_unique<core::DualStore>(&ds, sc);
+    CostMeter meter;
+    (void)store->MigratePartition(ds.dict().Lookup("y:wasBornIn"), &meter);
+    (void)store->MigratePartition(ds.dict().Lookup("y:hasAcademicAdvisor"),
+                                  &meter);
+  }
+  rdf::Dataset ds;
+  std::unique_ptr<core::DualStore> store;
+};
+
+FlagshipFixture& Fixture() {
+  static FlagshipFixture fixture;
+  return fixture;
+}
+
+void BM_RelationalFlagship(benchmark::State& state) {
+  auto& f = Fixture();
+  sparql::Query q = sparql::Parser::Parse(
+                        "SELECT ?p WHERE { ?p y:wasBornIn ?city . "
+                        "?p y:hasAcademicAdvisor ?a . "
+                        "?a y:wasBornIn ?city . }")
+                        .ValueOrDie();
+  relstore::Executor ex(&f.store->table(), &f.ds.dict());
+  for (auto _ : state) {
+    CostMeter meter;
+    auto r = ex.Execute(q, &meter);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RelationalFlagship);
+
+void BM_GraphFlagship(benchmark::State& state) {
+  auto& f = Fixture();
+  for (auto _ : state) {
+    auto r = f.store->Process(
+        "SELECT ?p WHERE { ?p y:wasBornIn ?city . "
+        "?p y:hasAcademicAdvisor ?a . ?a y:wasBornIn ?city . }");
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GraphFlagship);
+
+}  // namespace
+}  // namespace dskg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Reproduces Table 1: query latency of the relational store (MySQL in the
+// paper) vs the native graph store (Neo4j) on the flagship complex query
+//
+//   SELECT ?p WHERE { ?p y:wasBornIn ?city .
+//                     ?p y:hasAcademicAdvisor ?a .
+//                     ?a y:wasBornIn ?city . }
+//
+// varying the knowledge-graph size. The paper sweeps 0.5M..5M triples; the
+// bench sweeps the same ten relative sizes at 1/10 scale (override with
+// DSKG_BENCH_SCALE). Expected shape: relational latency grows roughly
+// linearly with |G| while graph-store latency stays an order of magnitude
+// smaller throughout.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+
+namespace dskg::bench {
+namespace {
+
+constexpr const char* kQuery =
+    "SELECT ?p WHERE { ?p y:wasBornIn ?city . "
+    "?p y:hasAcademicAdvisor ?a . ?a y:wasBornIn ?city . }";
+
+// Paper's Table 1 (seconds), for side-by-side comparison.
+constexpr double kPaperMySql[10] = {11.2304, 17.2368, 27.6332, 37.6454,
+                                    47.9656, 62.5006, 69.7482, 68.8358,
+                                    68.6312, 99.4103};
+constexpr double kPaperNeo4j[10] = {0.6067, 1.3270, 1.5837, 3.3893, 2.2573,
+                                    3.4786, 2.7923, 3.4560, 3.7312, 3.9833};
+
+void Run() {
+  std::printf("Table 1: relational vs graph store, flagship complex query\n");
+  std::printf("(paper: MySQL / Neo4j at 0.5M-5M triples; measured: DSKG "
+              "simulated seconds at 1/10 scale x DSKG_BENCH_SCALE=%.2f)\n\n",
+              ScaleFactor());
+  std::printf("%10s | %12s %12s | %12s %12s | %8s\n", "triples",
+              "rel (s)", "graph (s)", "paper MySQL", "paper Neo4j",
+              "speedup");
+  Rule();
+
+  for (int step = 1; step <= 10; ++step) {
+    workload::YagoConfig cfg;
+    cfg.target_triples = Scaled(50000) * static_cast<uint64_t>(step);
+    rdf::Dataset ds = workload::GenerateYago(cfg);
+
+    // Relational-only store.
+    core::DualStoreConfig rc;
+    rc.use_graph = false;
+    core::DualStore rel(&ds, rc);
+    auto r1 = rel.Process(kQuery);
+    if (!r1.ok()) {
+      std::fprintf(stderr, "relational run failed: %s\n",
+                   r1.status().ToString().c_str());
+      return;
+    }
+
+    // Graph store with the needed partitions resident (Table 1 measures
+    // the two engines head to head, no budget).
+    core::DualStoreConfig gc;
+    gc.use_graph = true;
+    core::DualStore dual(&ds, gc);
+    CostMeter load;
+    for (const char* pred : {"y:wasBornIn", "y:hasAcademicAdvisor"}) {
+      auto st = dual.MigratePartition(ds.dict().Lookup(pred), &load);
+      if (!st.ok()) {
+        std::fprintf(stderr, "migration failed: %s\n", st.ToString().c_str());
+        return;
+      }
+    }
+    auto r2 = dual.Process(kQuery);
+    if (!r2.ok()) {
+      std::fprintf(stderr, "graph run failed: %s\n",
+                   r2.status().ToString().c_str());
+      return;
+    }
+
+    const double rel_s = Sec(r1->rel_micros);
+    const double graph_s = Sec(r2->graph_micros);
+    std::printf("%10llu | %12.4f %12.4f | %12.4f %12.4f | %7.1fx\n",
+                static_cast<unsigned long long>(ds.num_triples()), rel_s,
+                graph_s, kPaperMySql[step - 1], kPaperNeo4j[step - 1],
+                graph_s > 0 ? rel_s / graph_s : 0.0);
+    if (r1->result.rows.size() != r2->result.rows.size()) {
+      std::fprintf(stderr,
+                   "WARNING: result mismatch (%zu vs %zu rows) at step %d\n",
+                   r1->result.rows.size(), r2->result.rows.size(), step);
+    }
+  }
+  Rule();
+  std::printf("Shape check: relational grows ~linearly in |G|; the graph "
+              "store stays far below it at every size (paper: 9-25x).\n");
+}
+
+}  // namespace
+}  // namespace dskg::bench
+
+int main() {
+  dskg::bench::Run();
+  return 0;
+}

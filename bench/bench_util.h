@@ -1,0 +1,217 @@
+#ifndef DSKG_BENCH_BENCH_UTIL_H_
+#define DSKG_BENCH_BENCH_UTIL_H_
+
+/// \file bench_util.h
+/// Shared helpers for the paper-reproduction benchmark harness.
+///
+/// Every bench binary regenerates one table or figure of the paper and
+/// prints the paper's numbers next to the measured ones. All reported
+/// latencies are *simulated* seconds from the deterministic cost model
+/// (common/cost.h), so output is identical across machines and runs.
+///
+/// Scale: the paper ran 14-60M triples on a server; the benches default
+/// to a laptop-scale fraction. Set DSKG_BENCH_SCALE (a float, default
+/// 1.0) to grow or shrink every dataset proportionally.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/baseline_tuners.h"
+#include "core/dotil.h"
+#include "core/dual_store.h"
+#include "core/runner.h"
+#include "workload/generators.h"
+#include "workload/templates.h"
+#include "workload/workload.h"
+
+namespace dskg::bench {
+
+/// Global scale multiplier from DSKG_BENCH_SCALE (default 1.0).
+inline double ScaleFactor() {
+  const char* env = std::getenv("DSKG_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+inline uint64_t Scaled(uint64_t base) {
+  const double v = static_cast<double>(base) * ScaleFactor();
+  return v < 1 ? 1 : static_cast<uint64_t>(v);
+}
+
+/// Default bench dataset sizes (triples), chosen so the full harness runs
+/// in minutes. The paper's originals: YAGO 16.4M, WatDiv 14.6M,
+/// Bio2RDF 60.2M.
+inline constexpr uint64_t kYagoTriples = 120000;
+inline constexpr uint64_t kWatDivTriples = 110000;
+inline constexpr uint64_t kBio2RdfTriples = 140000;
+
+/// The six workload groups of §6.1.
+enum class WorkloadKind {
+  kYago,
+  kWatDivL,
+  kWatDivS,
+  kWatDivF,
+  kWatDivC,
+  kBio2Rdf,
+};
+
+inline const char* WorkloadKindName(WorkloadKind k) {
+  switch (k) {
+    case WorkloadKind::kYago: return "YAGO";
+    case WorkloadKind::kWatDivL: return "WatDiv-L";
+    case WorkloadKind::kWatDivS: return "WatDiv-S";
+    case WorkloadKind::kWatDivF: return "WatDiv-F";
+    case WorkloadKind::kWatDivC: return "WatDiv-C";
+    case WorkloadKind::kBio2Rdf: return "Bio2RDF";
+  }
+  return "?";
+}
+
+/// Generates the dataset backing a workload kind at bench scale.
+inline rdf::Dataset MakeDataset(WorkloadKind k) {
+  switch (k) {
+    case WorkloadKind::kYago: {
+      workload::YagoConfig c;
+      c.target_triples = Scaled(kYagoTriples);
+      return workload::GenerateYago(c);
+    }
+    case WorkloadKind::kWatDivL:
+    case WorkloadKind::kWatDivS:
+    case WorkloadKind::kWatDivF:
+    case WorkloadKind::kWatDivC: {
+      workload::WatDivConfig c;
+      c.target_triples = Scaled(kWatDivTriples);
+      return workload::GenerateWatDiv(c);
+    }
+    case WorkloadKind::kBio2Rdf: {
+      workload::Bio2RdfConfig c;
+      c.target_triples = Scaled(kBio2RdfTriples);
+      return workload::GenerateBio2Rdf(c);
+    }
+  }
+  return rdf::Dataset{};
+}
+
+/// Template catalog for a workload kind.
+inline std::vector<workload::QueryTemplate> TemplatesFor(WorkloadKind k) {
+  switch (k) {
+    case WorkloadKind::kYago: return workload::YagoTemplates();
+    case WorkloadKind::kWatDivL: return workload::WatDivLinearTemplates();
+    case WorkloadKind::kWatDivS: return workload::WatDivStarTemplates();
+    case WorkloadKind::kWatDivF: return workload::WatDivSnowflakeTemplates();
+    case WorkloadKind::kWatDivC: return workload::WatDivComplexTemplates();
+    case WorkloadKind::kBio2Rdf: return workload::Bio2RdfTemplates();
+  }
+  return {};
+}
+
+/// Builds the (ordered or random) workload for a kind over `ds`.
+inline workload::Workload MakeWorkload(WorkloadKind k, const rdf::Dataset& ds,
+                                       bool ordered, uint64_t seed = 42) {
+  workload::WorkloadBuilder builder(&ds);
+  workload::WorkloadOptions opt;
+  opt.ordered = ordered;
+  opt.seed = seed;
+  auto w = builder.Build(WorkloadKindName(k), TemplatesFor(k), opt);
+  if (!w.ok()) {
+    std::fprintf(stderr, "workload build failed: %s\n",
+                 w.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(w).ValueOrDie();
+}
+
+/// B_G used by the store-variant experiments: the paper's tuned
+/// r_BG = 25% of the knowledge graph.
+inline uint64_t DefaultGraphBudget(const rdf::Dataset& ds) {
+  return ds.num_triples() / 4;
+}
+
+/// Simulated microseconds -> seconds for printing.
+inline double Sec(double micros) { return micros * 1e-6; }
+
+/// Repetitions of each test (paper: 6, averaging the last 5). Override
+/// with DSKG_BENCH_REPS to trade precision for wall time.
+inline int Reps() {
+  const char* env = std::getenv("DSKG_BENCH_REPS");
+  if (env == nullptr) return 6;
+  const int v = std::atoi(env);
+  return v > 1 ? v : 2;
+}
+
+/// The three store variants of §6.2.
+enum class Variant { kRdbOnly, kRdbViews, kRdbGdb };
+
+inline const char* VariantName(Variant v) {
+  switch (v) {
+    case Variant::kRdbOnly: return "RDB-only";
+    case Variant::kRdbViews: return "RDB-views";
+    case Variant::kRdbGdb: return "RDB-GDB";
+  }
+  return "?";
+}
+
+/// Runs one (workload kind, order, store variant) cell of Figures 3-5:
+/// fresh dataset + store, 5 batches, warm repetitions per the paper's
+/// protocol. Equal storage budgets for views and graph store.
+inline core::RunMetrics RunVariant(WorkloadKind kind, bool ordered,
+                                   Variant variant) {
+  rdf::Dataset ds = MakeDataset(kind);
+  workload::Workload w = MakeWorkload(kind, ds, ordered);
+
+  core::DualStoreConfig cfg;
+  cfg.graph_capacity_triples = DefaultGraphBudget(ds);
+  switch (variant) {
+    case Variant::kRdbOnly:
+      cfg.use_graph = false;
+      break;
+    case Variant::kRdbViews:
+      cfg.use_graph = false;
+      cfg.use_views = true;
+      cfg.views_budget_rows = DefaultGraphBudget(ds);
+      break;
+    case Variant::kRdbGdb:
+      cfg.use_graph = true;
+      break;
+  }
+  core::DualStore store(&ds, cfg);
+
+  std::unique_ptr<core::Tuner> tuner;
+  switch (variant) {
+    case Variant::kRdbOnly:
+      tuner = nullptr;
+      break;
+    case Variant::kRdbViews:
+      tuner = std::make_unique<core::ViewsTuner>();
+      break;
+    case Variant::kRdbGdb:
+      tuner = std::make_unique<core::DotilTuner>();
+      break;
+  }
+  core::WorkloadRunner runner(&store, tuner.get());
+  // RDB-only has no accelerator to warm and is bitwise repeatable: one
+  // repetition suffices and equals the paper's averaged value.
+  const int reps = (variant == Variant::kRdbOnly) ? 1 : Reps();
+  const int warmup = (variant == Variant::kRdbOnly) ? 0 : 1;
+  auto m = runner.RunAveraged(w, /*num_batches=*/5, reps, warmup);
+  if (!m.ok()) {
+    std::fprintf(stderr, "run failed (%s, %s): %s\n", WorkloadKindName(kind),
+                 VariantName(variant), m.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(m).ValueOrDie();
+}
+
+/// Prints a rule line.
+inline void Rule(char c = '-', int n = 78) {
+  for (int i = 0; i < n; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+}  // namespace dskg::bench
+
+#endif  // DSKG_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,95 @@
+// Adaptive e-commerce analytics: demonstrates the dual store reacting to
+// a *shifting* workload, the scenario the paper's adaptivity claim is
+// about. A WatDiv-like shop graph first serves path-style navigation
+// queries (linear), then dashboard queries (star/snowflake), then heavy
+// analytics (complex). After each phase DOTIL re-tunes; the resident
+// partition set follows the workload.
+//
+//   $ ./build/examples/adaptive_commerce
+
+#include <cstdio>
+
+#include "core/dotil.h"
+#include "core/dual_store.h"
+#include "core/runner.h"
+#include "workload/generators.h"
+#include "workload/templates.h"
+
+using namespace dskg;
+
+namespace {
+
+void PrintResidentSet(const core::DualStore& store) {
+  std::printf("  resident partitions:");
+  for (rdf::TermId pred : store.graph().LoadedPredicates()) {
+    std::printf(" %s", store.dict().TermOf(pred).c_str());
+  }
+  std::printf("  (%llu/%llu triples)\n",
+              static_cast<unsigned long long>(store.graph().used_triples()),
+              static_cast<unsigned long long>(
+                  store.graph().capacity_triples()));
+}
+
+}  // namespace
+
+int main() {
+  workload::WatDivConfig gen;
+  gen.target_triples = 90000;
+  rdf::Dataset shop = workload::GenerateWatDiv(gen);
+  std::printf("shop graph: %llu triples, %zu predicates\n\n",
+              static_cast<unsigned long long>(shop.num_triples()),
+              shop.num_predicates());
+
+  core::DualStoreConfig cfg;
+  cfg.graph_capacity_triples = shop.num_triples() / 4;
+  core::DualStore store(&shop, cfg);
+  core::DotilTuner dotil;
+  core::WorkloadRunner runner(&store, &dotil);
+
+  struct Phase {
+    const char* label;
+    std::vector<workload::QueryTemplate> templates;
+  };
+  const Phase phases[] = {
+      {"navigation (linear paths)", workload::WatDivLinearTemplates()},
+      {"dashboards (stars + snowflakes)",
+       [] {
+         auto t = workload::WatDivStarTemplates();
+         auto f = workload::WatDivSnowflakeTemplates();
+         t.insert(t.end(), f.begin(), f.end());
+         return t;
+       }()},
+      {"analytics (complex joins)", workload::WatDivComplexTemplates()},
+  };
+
+  workload::WorkloadBuilder builder(&shop);
+  for (const Phase& phase : phases) {
+    workload::WorkloadOptions opt;
+    opt.ordered = false;  // interleaved arrivals
+    auto w = builder.Build(phase.label, phase.templates, opt);
+    if (!w.ok()) {
+      std::fprintf(stderr, "%s\n", w.status().ToString().c_str());
+      return 1;
+    }
+    // Run the phase twice: arrival (cold for this phase) and steady state.
+    auto first = runner.Run(*w, 5);
+    auto steady = runner.Run(*w, 5);
+    if (!first.ok() || !steady.ok()) {
+      std::fprintf(stderr, "phase failed\n");
+      return 1;
+    }
+    std::printf("phase: %s\n", phase.label);
+    std::printf("  arrival TTI %.4fs -> steady TTI %.4fs  (tuning %.4fs "
+                "offline)\n",
+                first->TotalTtiMicros() * 1e-6,
+                steady->TotalTtiMicros() * 1e-6,
+                (first->TotalTuningMicros() + steady->TotalTuningMicros()) *
+                    1e-6);
+    PrintResidentSet(store);
+    std::printf("\n");
+  }
+
+  std::printf("The resident set tracked each phase's predicates — the "
+              "adaptivity the static one-off design cannot provide.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Live knowledge updates: the dual store's insert path. New facts go to
+// the relational store immediately (cheap inserts — the reason the
+// relational store remains primary); resident graph-store partitions are
+// kept consistent through the slow native-insert path, and queries see
+// new knowledge on both routes right away.
+//
+//   $ ./build/examples/knowledge_updates
+
+#include <cstdio>
+
+#include "core/dual_store.h"
+#include "workload/generators.h"
+
+using namespace dskg;
+
+int main() {
+  workload::Bio2RdfConfig gen;
+  gen.target_triples = 60000;
+  rdf::Dataset bio = workload::GenerateBio2Rdf(gen);
+  std::printf("biomedical graph: %llu triples, %zu predicates\n\n",
+              static_cast<unsigned long long>(bio.num_triples()),
+              bio.num_predicates());
+
+  core::DualStoreConfig cfg;
+  cfg.graph_capacity_triples = bio.num_triples() / 4;
+  core::DualStore store(&bio, cfg);
+
+  // Stage the interaction partitions in the graph store.
+  CostMeter tuning;
+  for (const char* pred : {"b2r:interactsWith", "b2r:hasFunction"}) {
+    auto s = store.MigratePartition(bio.dict().Lookup(pred), &tuning);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // A pathway-style query: two-hop interaction neighborhoods of proteins
+  // with a given function. Its complex subquery runs in the graph store;
+  // the second hop finishes in the relational store (Case 2).
+  const char* query =
+      "SELECT ?pa ?pc WHERE { "
+      "  ?pa b2r:interactsWith ?pb . "
+      "  ?pb b2r:interactsWith ?pc . "
+      "  ?pa b2r:hasFunction b2r:function_3 . }";
+
+  auto before = store.Process(query);
+  if (!before.ok()) {
+    std::fprintf(stderr, "%s\n", before.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("before update: route=%s, %zu answer pairs\n",
+              core::RouteName(before->route), before->result.rows.size());
+
+  // Breaking news: a newly characterized protein with that function
+  // interacts with two known hubs. Both touched partitions are resident,
+  // so the graph copies are maintained too.
+  CostMeter update_cost;
+  Status updates[] = {
+      store.Insert("b2r:protein_new", "b2r:hasFunction", "b2r:function_3",
+                   &update_cost),
+      store.Insert("b2r:protein_new", "b2r:interactsWith", "b2r:protein_0",
+                   &update_cost),
+      store.Insert("b2r:protein_new", "b2r:interactsWith", "b2r:protein_1",
+                   &update_cost),
+  };
+  for (const Status& s : updates) {
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("inserted 3 facts: %.2f sim-us (relational insert + "
+              "resident graph-partition maintenance)\n",
+              update_cost.sim_micros());
+
+  auto after = store.Process(query);
+  if (!after.ok()) {
+    std::fprintf(stderr, "%s\n", after.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("after update : route=%s, %zu answer pairs (+%zu)\n",
+              core::RouteName(after->route), after->result.rows.size(),
+              after->result.rows.size() - before->result.rows.size());
+
+  // The new protein shows up in the answers immediately.
+  const rdf::TermId new_protein = bio.dict().Lookup("b2r:protein_new");
+  size_t mentioning = 0;
+  for (const auto& row : after->result.rows) {
+    if (row[0] == new_protein || row[1] == new_protein) ++mentioning;
+  }
+  std::printf("answer pairs involving the new protein: %zu\n", mentioning);
+  return mentioning > 0 ? 0 : 1;
+}

@@ -1,0 +1,142 @@
+#include "common/cost.h"
+
+#include <cstdio>
+
+namespace dskg {
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kSeqScanTuple: return "seq_scan_tuple";
+    case Op::kIndexProbe: return "index_probe";
+    case Op::kIndexScanTuple: return "index_scan_tuple";
+    case Op::kHashBuildTuple: return "hash_build_tuple";
+    case Op::kHashProbeTuple: return "hash_probe_tuple";
+    case Op::kJoinOutputTuple: return "join_output_tuple";
+    case Op::kMaterializeTuple: return "materialize_tuple";
+    case Op::kSortTuple: return "sort_tuple";
+    case Op::kViewLookup: return "view_lookup";
+    case Op::kViewScanTuple: return "view_scan_tuple";
+    case Op::kTempTableTuple: return "temp_table_tuple";
+    case Op::kInsertTuple: return "insert_tuple";
+    case Op::kNodeLookup: return "node_lookup";
+    case Op::kAdjExpandEdge: return "adj_expand_edge";
+    case Op::kBindCheck: return "bind_check";
+    case Op::kImportTriple: return "import_triple";
+    case Op::kEvictTriple: return "evict_triple";
+    case Op::kMigrateResultRow: return "migrate_result_row";
+    case Op::kMigratePartitionTriple: return "migrate_partition_triple";
+    case Op::kNumOps: break;
+  }
+  return "unknown";
+}
+
+ResourceClass OpResourceClass(Op op) {
+  switch (op) {
+    // Disk/page-oriented work in the relational engine and all bulk data
+    // movement is IO-class.
+    case Op::kSeqScanTuple:
+    case Op::kIndexProbe:
+    case Op::kIndexScanTuple:
+    case Op::kMaterializeTuple:
+    case Op::kViewLookup:
+    case Op::kViewScanTuple:
+    case Op::kTempTableTuple:
+    case Op::kInsertTuple:
+    case Op::kImportTriple:
+    case Op::kEvictTriple:
+    case Op::kMigrateResultRow:
+    case Op::kMigratePartitionTriple:
+      return ResourceClass::kIo;
+    // In-memory joins and index-free adjacency traversal are CPU-class.
+    case Op::kHashBuildTuple:
+    case Op::kHashProbeTuple:
+    case Op::kJoinOutputTuple:
+    case Op::kSortTuple:
+    case Op::kNodeLookup:
+    case Op::kAdjExpandEdge:
+    case Op::kBindCheck:
+      return ResourceClass::kCpu;
+    case Op::kNumOps:
+      break;
+  }
+  return ResourceClass::kCpu;
+}
+
+double ResourceThrottle::Factor(ResourceClass rc) const {
+  // Calibrated against the paper's Table 6: with 40%/20% spare IO the
+  // graph store slows by under 0.5%; with 40%/20% spare CPU it slows by
+  // roughly 5%/18%. The hyperbolic form 1 + beta*(1-f)/f reproduces that
+  // shape: f=0.4 -> 1+1.5*beta, f=0.2 -> 1+4*beta.
+  constexpr double kBetaIo = 0.0020;
+  constexpr double kBetaCpu = 0.0450;
+  const double f = (rc == ResourceClass::kIo) ? spare_io_fraction
+                                              : spare_cpu_fraction;
+  if (f >= 1.0) return 1.0;
+  const double clamped = f < 0.01 ? 0.01 : f;
+  const double beta = (rc == ResourceClass::kIo) ? kBetaIo : kBetaCpu;
+  return 1.0 + beta * (1.0 - clamped) / clamped;
+}
+
+CostModel::CostModel() {
+  // Calibration rationale. The paper's Table 1 runs a 3-pattern complex
+  // query (advisor born in the same city) on MySQL and Neo4j from 0.5M to
+  // 5M triples: MySQL goes from ~11s to ~99s (roughly linear in |G|),
+  // Neo4j stays in 0.6-4s (proportional to the traversal range only).
+  // The weights below encode a disk-based row store (tuple reads and
+  // intermediate materialization dominate; MySQL's join pipeline
+  // materializes) versus a memory-mapped native graph store (pointer-
+  // chasing expansions are cheap; bulk import is notoriously expensive,
+  // which is exactly why the paper treats the graph store as a
+  // capacity-bounded accelerator rather than the primary store).
+  // Relational (disk-based row store): ~0.5-1us per tuple touched — page
+  // access amortization, row-format parsing, and tmp-table materialization
+  // between join steps. Graph (memory-mapped native store): ~0.1us per
+  // vertex record fetch and tens of nanoseconds per adjacency pointer
+  // chase. These relative magnitudes put the flagship query's
+  // relational/graph ratio in the paper's 9-25x band across the Table 1
+  // sweep.
+  weights_.fill(0.0);
+  set_weight(Op::kSeqScanTuple, 0.500);
+  set_weight(Op::kIndexProbe, 2.000);
+  set_weight(Op::kIndexScanTuple, 0.550);
+  set_weight(Op::kHashBuildTuple, 0.150);
+  set_weight(Op::kHashProbeTuple, 0.100);
+  set_weight(Op::kJoinOutputTuple, 0.100);
+  set_weight(Op::kMaterializeTuple, 0.800);
+  set_weight(Op::kSortTuple, 0.200);
+  set_weight(Op::kViewLookup, 250.0);
+  set_weight(Op::kViewScanTuple, 0.250);
+  set_weight(Op::kTempTableTuple, 0.400);
+  set_weight(Op::kInsertTuple, 1.200);
+  set_weight(Op::kNodeLookup, 0.100);
+  set_weight(Op::kAdjExpandEdge, 0.015);
+  set_weight(Op::kBindCheck, 0.008);
+  set_weight(Op::kImportTriple, 8.000);
+  set_weight(Op::kEvictTriple, 0.800);
+  set_weight(Op::kMigrateResultRow, 0.300);
+  set_weight(Op::kMigratePartitionTriple, 2.000);
+}
+
+const CostModel& CostModel::Default() {
+  static const CostModel kDefault;
+  return kDefault;
+}
+
+std::string CostMeter::DebugString() const {
+  std::string out;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "sim=%.1fus (io=%.1fus cpu=%.1fus)\n", sim_micros_,
+                io_micros_, cpu_micros_);
+  out += buf;
+  for (int i = 0; i < kNumOps; ++i) {
+    if (counts_[i] == 0) continue;
+    std::snprintf(buf, sizeof(buf), "  %-26s %12llu\n",
+                  OpName(static_cast<Op>(i)),
+                  static_cast<unsigned long long>(counts_[i]));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace dskg

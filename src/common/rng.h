@@ -1,0 +1,152 @@
+#ifndef DSKG_COMMON_RNG_H_
+#define DSKG_COMMON_RNG_H_
+
+/// \file rng.h
+/// Deterministic pseudo-random number generation.
+///
+/// All randomized components of DSKG (dataset generators, query template
+/// mutations, the DOTIL initial-transfer coin flip) draw from an explicitly
+/// seeded `Rng` so that every experiment in the benchmark harness is
+/// bit-for-bit reproducible. The generator is xoroshiro128++ seeded through
+/// SplitMix64, which is both fast and statistically strong for simulation
+/// workloads.
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace dskg {
+
+/// A small, fast, seedable PRNG (xoroshiro128++).
+class Rng {
+ public:
+  /// Constructs a generator from a 64-bit seed. Equal seeds yield equal
+  /// streams on every platform.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Reseed(seed); }
+
+  /// Re-seeds the generator, restarting its stream.
+  void Reseed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 128-bit state, as
+    // recommended by the xoroshiro authors.
+    uint64_t x = seed;
+    s0_ = SplitMix64(&x);
+    s1_ = SplitMix64(&x);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;  // the all-zero state is invalid
+  }
+
+  /// Next 64 uniformly distributed bits.
+  uint64_t NextU64() {
+    const uint64_t r = Rotl(s0_ + s1_, 17) + s0_;
+    const uint64_t t = s1_ ^ s0_;
+    s0_ = Rotl(s0_, 49) ^ t ^ (t << 21);
+    s1_ = Rotl(t, 28);
+    return r;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses Lemire's
+  /// nearly-divisionless rejection method to avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound) {
+    assert(bound > 0);
+    uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      const uint64_t threshold = -bound % bound;
+      while (l < threshold) {
+        x = NextU64();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Fisher–Yates shuffle of `v` using this generator.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i + 1));
+      using std::swap;
+      swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Picks a uniformly random element index of a container of size `n`.
+  size_t NextIndex(size_t n) { return static_cast<size_t>(NextBounded(n)); }
+
+ private:
+  static uint64_t SplitMix64(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s0_ = 0;
+  uint64_t s1_ = 0;
+};
+
+/// Samples from a Zipf(s, n) distribution over ranks {0, ..., n-1}.
+///
+/// Knowledge-graph predicates and entities are highly skewed; the dataset
+/// generators use Zipfian rank selection to reproduce that skew. Sampling
+/// is done by inverse transform over a precomputed CDF (O(log n) per draw).
+class ZipfSampler {
+ public:
+  /// \param n      number of ranks (> 0)
+  /// \param skew   Zipf exponent s >= 0 (0 = uniform)
+  ZipfSampler(size_t n, double skew) : cdf_(n) {
+    assert(n > 0);
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+      cdf_[i] = sum;
+    }
+    for (size_t i = 0; i < n; ++i) cdf_[i] /= sum;
+  }
+
+  /// Draws a rank in [0, n). Rank 0 is the most probable.
+  size_t Sample(Rng* rng) const {
+    double u = rng->NextDouble();
+    // Binary search for the first CDF entry >= u.
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = lo + (hi - lo) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace dskg
+
+#endif  // DSKG_COMMON_RNG_H_

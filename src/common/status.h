@@ -1,0 +1,205 @@
+#ifndef DSKG_COMMON_STATUS_H_
+#define DSKG_COMMON_STATUS_H_
+
+/// \file status.h
+/// Error handling primitives for DSKG.
+///
+/// The library does not throw exceptions across its public API. Fallible
+/// operations return a `Status`, or a `Result<T>` when they also produce a
+/// value — the same convention used by Arrow and RocksDB. `Status` is cheap
+/// to copy in the OK case (a single pointer-sized load) because the OK state
+/// carries no payload.
+
+#include <cassert>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dskg {
+
+/// Machine-readable category of a `Status`.
+enum class StatusCode : int {
+  kOk = 0,
+  /// A caller-supplied argument is malformed (bad query text, bad config).
+  kInvalidArgument = 1,
+  /// A referenced object (predicate, partition, view) does not exist.
+  kNotFound = 2,
+  /// An object being created already exists.
+  kAlreadyExists = 3,
+  /// A storage budget or structural limit would be exceeded.
+  kCapacityExceeded = 4,
+  /// Execution was cooperatively cancelled (e.g. counterfactual cutoff).
+  kCancelled = 5,
+  /// The operation is not valid in the current state of the store.
+  kFailedPrecondition = 6,
+  /// Input text could not be parsed.
+  kParseError = 7,
+  /// I/O failure when reading/writing datasets.
+  kIoError = 8,
+  /// Catch-all for internal invariant violations.
+  kInternal = 9,
+};
+
+/// Returns a human-readable name for `code` (e.g. "NotFound").
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus, when not OK, a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. `code` must not
+  /// be `StatusCode::kOk`; use the default constructor for success.
+  Status(StatusCode code, std::string message)
+      : rep_(std::make_shared<Rep>(Rep{code, std::move(message)})) {
+    assert(code != StatusCode::kOk);
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  /// Message associated with a non-OK status; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsCapacityExceeded() const {
+    return code() == StatusCode::kCapacityExceeded;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // nullptr <=> OK. Shared so Status copies are cheap even with messages.
+  std::shared_ptr<const Rep> rep_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type `T` or a non-OK `Status` explaining its absence.
+///
+/// Usage:
+/// \code
+///   Result<Query> q = Parser::Parse(text);
+///   if (!q.ok()) return q.status();
+///   Use(q.value());
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : rep_(std::in_place_index<0>, std::move(value)) {}
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : rep_(std::in_place_index<1>, std::move(status)) {
+    assert(!std::get<1>(rep_).ok() &&
+           "Result must not be constructed from an OK Status");
+  }
+
+  bool ok() const { return rep_.index() == 0; }
+
+  /// The failure status; `Status::OK()` when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<1>(rep_);
+  }
+
+  /// The held value. Requires `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return std::get<0>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<0>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(rep_));
+  }
+
+  /// Moves the value out. Requires `ok()`.
+  T ValueOrDie() && {
+    assert(ok());
+    return std::get<0>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+/// Propagates a non-OK `Status` expression to the caller.
+#define DSKG_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::dskg::Status _dskg_status = (expr);        \
+    if (!_dskg_status.ok()) return _dskg_status; \
+  } while (false)
+
+/// Evaluates a `Result<T>` expression, assigning the value to `lhs` or
+/// propagating the failure status to the caller.
+#define DSKG_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  auto DSKG_CONCAT_(_dskg_result, __LINE__) = (rexpr); \
+  if (!DSKG_CONCAT_(_dskg_result, __LINE__).ok())      \
+    return DSKG_CONCAT_(_dskg_result, __LINE__).status(); \
+  lhs = std::move(DSKG_CONCAT_(_dskg_result, __LINE__)).ValueOrDie()
+
+#define DSKG_CONCAT_IMPL_(a, b) a##b
+#define DSKG_CONCAT_(a, b) DSKG_CONCAT_IMPL_(a, b)
+
+}  // namespace dskg
+
+#endif  // DSKG_COMMON_STATUS_H_

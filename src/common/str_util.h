@@ -1,0 +1,41 @@
+#ifndef DSKG_COMMON_STR_UTIL_H_
+#define DSKG_COMMON_STR_UTIL_H_
+
+/// \file str_util.h
+/// Small string helpers shared across modules (parsing, report printing).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dskg {
+
+/// Splits `s` on any character in `delims`, dropping empty pieces.
+std::vector<std::string> SplitString(std::string_view s,
+                                     std::string_view delims);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Lower-cases ASCII characters of `s`.
+std::string AsciiToLower(std::string_view s);
+
+/// Formats a byte count as a human-readable string ("1.95 GiB").
+std::string HumanBytes(uint64_t bytes);
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string FormatDouble(double v, int digits);
+
+}  // namespace dskg
+
+#endif  // DSKG_COMMON_STR_UTIL_H_

@@ -1,0 +1,197 @@
+#include "core/baseline_tuners.h"
+
+#include <algorithm>
+
+#include "relstore/views.h"
+
+namespace dskg::core {
+
+using rdf::TermId;
+using sparql::Query;
+
+void AccumulatePartitionCounts(const DualStore& store,
+                               const std::vector<Query>& queries,
+                               std::map<TermId, uint64_t>* counts) {
+  for (const Query& q : queries) {
+    for (const std::string& p : q.ConstantPredicates()) {
+      const TermId id = store.dict().Lookup(p);
+      if (id != rdf::kInvalidTermId) ++(*counts)[id];
+    }
+  }
+}
+
+Status ApplyFrequencyDesign(DualStore* store,
+                            const std::map<TermId, uint64_t>& counts,
+                            CostMeter* meter) {
+  // Rank: most referenced first; smaller partitions break ties (better
+  // packing); predicate id as the final deterministic tie-break.
+  std::vector<std::pair<TermId, uint64_t>> ranked(counts.begin(),
+                                                  counts.end());
+  std::sort(ranked.begin(), ranked.end(),
+            [&](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              const uint64_t sa = store->PartitionSize(a.first);
+              const uint64_t sb = store->PartitionSize(b.first);
+              if (sa != sb) return sa < sb;
+              return a.first < b.first;
+            });
+
+  // Greedy prefix that fits the budget.
+  const uint64_t capacity = store->graph().capacity_triples();
+  std::vector<TermId> target;
+  uint64_t planned = 0;
+  for (const auto& [pred, _] : ranked) {
+    const uint64_t size = store->PartitionSize(pred);
+    if (size == 0) continue;
+    if (capacity > 0 && planned + size > capacity) continue;
+    planned += size;
+    target.push_back(pred);
+  }
+
+  // Reshape: evict partitions not in the target, then load missing ones.
+  std::vector<TermId> loaded = store->graph().LoadedPredicates();
+  for (TermId t : loaded) {
+    if (std::find(target.begin(), target.end(), t) == target.end()) {
+      DSKG_RETURN_NOT_OK(store->EvictPartition(t, meter));
+    }
+  }
+  for (TermId t : target) {
+    if (!store->IsResident(t)) {
+      DSKG_RETURN_NOT_OK(store->MigratePartition(t, meter));
+    }
+  }
+  return Status::OK();
+}
+
+Status ApplySetDesign(DualStore* store, const std::vector<Query>& foreseen,
+                      CostMeter* meter) {
+  // Group foreseen subqueries by their partition set.
+  struct SetInfo {
+    std::vector<TermId> partitions;
+    uint64_t size = 0;
+    uint64_t count = 0;
+  };
+  std::map<std::string, SetInfo> sets;  // keyed for determinism
+  for (const Query& q : foreseen) {
+    std::vector<TermId> parts;
+    bool ok = true;
+    for (const std::string& p : q.ConstantPredicates()) {
+      const TermId id = store->dict().Lookup(p);
+      if (id == rdf::kInvalidTermId) {
+        ok = false;
+        break;
+      }
+      parts.push_back(id);
+    }
+    if (!ok || parts.size() < 2) continue;
+    std::sort(parts.begin(), parts.end());
+    parts.erase(std::unique(parts.begin(), parts.end()), parts.end());
+    std::string key;
+    for (TermId t : parts) key += std::to_string(t) + ",";
+    SetInfo& info = sets[key];
+    if (info.count == 0) {
+      info.partitions = parts;
+      for (TermId t : parts) info.size += store->PartitionSize(t);
+    }
+    ++info.count;
+  }
+
+  // Most frequent sets first; smaller sets break ties.
+  std::vector<const SetInfo*> ranked;
+  ranked.reserve(sets.size());
+  for (const auto& [_, info] : sets) ranked.push_back(&info);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const SetInfo* a, const SetInfo* b) {
+              if (a->count != b->count) return a->count > b->count;
+              if (a->size != b->size) return a->size < b->size;
+              return a->partitions < b->partitions;
+            });
+
+  // Greedily take whole sets while they fit (sets may share partitions).
+  const uint64_t capacity = store->graph().capacity_triples();
+  std::vector<TermId> target;
+  uint64_t planned = 0;
+  for (const SetInfo* info : ranked) {
+    uint64_t extra = 0;
+    for (TermId t : info->partitions) {
+      if (std::find(target.begin(), target.end(), t) == target.end()) {
+        extra += store->PartitionSize(t);
+      }
+    }
+    if (capacity > 0 && planned + extra > capacity) continue;
+    for (TermId t : info->partitions) {
+      if (std::find(target.begin(), target.end(), t) == target.end()) {
+        target.push_back(t);
+      }
+    }
+    planned += extra;
+  }
+
+  for (TermId t : store->graph().LoadedPredicates()) {
+    if (std::find(target.begin(), target.end(), t) == target.end()) {
+      DSKG_RETURN_NOT_OK(store->EvictPartition(t, meter));
+    }
+  }
+  for (TermId t : target) {
+    if (!store->IsResident(t)) {
+      DSKG_RETURN_NOT_OK(store->MigratePartition(t, meter));
+    }
+  }
+  return Status::OK();
+}
+
+Status OneOffTuner::BeforeWorkload(DualStore* store,
+                                   const std::vector<Query>& all,
+                                   CostMeter* meter) {
+  return ApplySetDesign(store, all, meter);
+}
+
+Status LruTuner::AfterBatch(DualStore* store,
+                            const std::vector<Query>& finished,
+                            CostMeter* meter) {
+  AccumulatePartitionCounts(*store, finished, &counts_);
+  return ApplyFrequencyDesign(store, counts_, meter);
+}
+
+Status IdealTuner::BeforeBatch(DualStore* store,
+                               const std::vector<Query>& next,
+                               CostMeter* meter) {
+  return ApplySetDesign(store, next, meter);
+}
+
+Status ViewsTuner::AfterBatch(DualStore* store,
+                              const std::vector<Query>& finished,
+                              CostMeter* meter) {
+  relstore::MaterializedViewManager* views = store->views();
+  if (views == nullptr) {
+    return Status::FailedPrecondition(
+        "ViewsTuner requires a store configured with use_views");
+  }
+  for (const Query& qc : finished) {
+    SignatureInfo& info = signatures_[relstore::BgpSignature(qc.patterns)];
+    if (info.count == 0) info.representative = qc;
+    ++info.count;
+  }
+  // Rebuild the catalog for the most frequent signatures. Rebuilding from
+  // scratch each phase is deliberately naive — it is the frequency-based
+  // policy the paper contrasts with DOTIL, and its cost lands in the
+  // offline tuning meter either way.
+  views->Clear();
+  std::vector<const SignatureInfo*> ranked;
+  ranked.reserve(signatures_.size());
+  for (const auto& [_, info] : signatures_) ranked.push_back(&info);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const SignatureInfo* a, const SignatureInfo* b) {
+              if (a->count != b->count) return a->count > b->count;
+              return a->representative.ToString() <
+                     b->representative.ToString();
+            });
+  for (const SignatureInfo* info : ranked) {
+    Status s = views->CreateView(info->representative, meter);
+    if (s.IsCapacityExceeded()) continue;  // skip; try smaller candidates
+    DSKG_RETURN_NOT_OK(s);
+  }
+  return Status::OK();
+}
+
+}  // namespace dskg::core

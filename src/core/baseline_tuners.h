@@ -1,0 +1,114 @@
+#ifndef DSKG_CORE_BASELINE_TUNERS_H_
+#define DSKG_CORE_BASELINE_TUNERS_H_
+
+/// \file baseline_tuners.h
+/// The tuning baselines the paper compares DOTIL against (§6.4), plus the
+/// view-selection policy of the RDB-views store variant (§6.2).
+///
+///  * `NoopTuner`    — never changes the physical design (RDB-only).
+///  * `OneOffTuner`  — foresees the *whole* workload and tunes once,
+///                     before the first batch (static design).
+///  * `LruTuner`     — after each batch, keeps the historically most
+///                     frequent partitions in the graph store (the
+///                     paper's "LRU policy").
+///  * `IdealTuner`   — foresees the *next* batch and tunes for exactly
+///                     it beforehand (DOTIL's unattainable upper bound).
+///  * `ViewsTuner`   — after each batch, materializes views for the most
+///                     frequent complex-subquery signatures within the
+///                     view budget (frequency-based selection — the
+///                     paper's contrast to DOTIL's learned benefit).
+///
+/// The frequency-driven tuners share one packing routine: partitions are
+/// ranked by how many complex subqueries reference them (descending, ties
+/// by smaller size) and greedily loaded until B_G is exhausted.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/dual_store.h"
+#include "core/tuner.h"
+
+namespace dskg::core {
+
+/// Leaves the physical design untouched (RDB-only behaviour).
+class NoopTuner : public Tuner {
+ public:
+  std::string name() const override { return "noop"; }
+};
+
+/// Tunes once, up front, from the whole future workload.
+class OneOffTuner : public Tuner {
+ public:
+  std::string name() const override { return "one-off"; }
+  Status BeforeWorkload(DualStore* store,
+                        const std::vector<sparql::Query>& all,
+                        CostMeter* meter) override;
+};
+
+/// Keeps the historically most frequent partitions resident.
+class LruTuner : public Tuner {
+ public:
+  std::string name() const override { return "lru"; }
+  Status AfterBatch(DualStore* store,
+                    const std::vector<sparql::Query>& finished,
+                    CostMeter* meter) override;
+
+ private:
+  /// Cumulative reference counts across all batches seen so far.
+  std::map<rdf::TermId, uint64_t> counts_;
+};
+
+/// Tunes for exactly the next batch (oracle).
+class IdealTuner : public Tuner {
+ public:
+  std::string name() const override { return "ideal"; }
+  Status BeforeBatch(DualStore* store,
+                     const std::vector<sparql::Query>& next,
+                     CostMeter* meter) override;
+};
+
+/// Frequency-based materialized-view selection (RDB-views variant).
+class ViewsTuner : public Tuner {
+ public:
+  std::string name() const override { return "views"; }
+  Status AfterBatch(DualStore* store,
+                    const std::vector<sparql::Query>& finished,
+                    CostMeter* meter) override;
+
+ private:
+  /// signature -> (a representative subquery, cumulative frequency).
+  struct SignatureInfo {
+    sparql::Query representative;
+    uint64_t count = 0;
+  };
+  std::map<std::string, SignatureInfo> signatures_;
+};
+
+/// Shared packing policy of `LruTuner`: counts partition references in
+/// `queries` (accumulated into `counts`), ranks by frequency, and
+/// reshapes the graph store to the best-fitting prefix. Exposed for
+/// tests.
+Status ApplyFrequencyDesign(DualStore* store,
+                            const std::map<rdf::TermId, uint64_t>& counts,
+                            CostMeter* meter);
+
+/// Shared packing policy of `OneOffTuner` and `IdealTuner`: ranks the
+/// *complete partition sets* of the foreseen complex subqueries by
+/// frequency and loads whole sets while they fit. A complex subquery only
+/// runs in the graph store when every one of its partitions is resident,
+/// so set granularity is what a clairvoyant version of DOTIL would pick;
+/// partition granularity (LRU) can burn the whole budget without covering
+/// a single subquery — exactly the weakness the paper ascribes to it.
+Status ApplySetDesign(DualStore* store,
+                      const std::vector<sparql::Query>& foreseen,
+                      CostMeter* meter);
+
+/// Adds each query's constant-predicate partition references to `counts`.
+void AccumulatePartitionCounts(const DualStore& store,
+                               const std::vector<sparql::Query>& queries,
+                               std::map<rdf::TermId, uint64_t>* counts);
+
+}  // namespace dskg::core
+
+#endif  // DSKG_CORE_BASELINE_TUNERS_H_

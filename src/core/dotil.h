@@ -1,0 +1,101 @@
+#ifndef DSKG_CORE_DOTIL_H_
+#define DSKG_CORE_DOTIL_H_
+
+/// \file dotil.h
+/// DOTIL — the Dual-stOre Tuner based on reInforcement Learning
+/// (paper §4, Algorithms 1 and 2).
+///
+/// After each batch, DOTIL walks the batch's complex subqueries. For each
+/// subquery q_c with partition set T_c:
+///
+///  * T_c already resident            -> reinforce keeping (state 1,
+///                                       action 0);
+///  * otherwise, for the missing set T_set, compare ΣQ(0,0) against
+///    ΣQ(0,1); on a cold start (both zero) flip a coin with probability
+///    `transfer_prob`. If transferring wins: evict resident partitions in
+///    descending Q(1,1)−Q(1,0) order until T_set fits (never evicting
+///    partitions q_c itself needs), migrate T_set, then train the
+///    transferred partitions with (state 0, action 1) and the already-
+///    resident ones with (state 1, action 0).
+///
+/// Training (Algorithm 2) measures c1 by actually running q_c in the
+/// graph store and c2 by the *counterfactual scenario*: running q_c in
+/// the relational store under a cost budget of λ·c1 (cut off at the
+/// budget, exactly like the paper's monitored parallel thread — the
+/// simulated clock makes it deterministic). The reward (c2−c1), in
+/// milliseconds, is amortized over T's partitions by each predicate's
+/// share of q_c's patterns, and Equation 4 updates each partition's
+/// 2x2 Q-matrix.
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/dual_store.h"
+#include "core/qmatrix.h"
+#include "core/tuner.h"
+
+namespace dskg::core {
+
+/// DOTIL hyper-parameters. Defaults are the paper's tuned values
+/// (Table 5 discussion): alpha=0.5, gamma=0.7, lambda=4.5, prob=0.9.
+struct DotilConfig {
+  double alpha = 0.5;          ///< learning rate α
+  double gamma = 0.7;          ///< discount factor γ
+  double lambda = 4.5;         ///< counterfactual cutoff ratio λ
+  double transfer_prob = 0.9;  ///< cold-start transfer probability `prob`
+  uint64_t seed = 7;           ///< seed of the cold-start coin
+  /// Value-aware eviction guard (DESIGN.md refinement 3): only execute an
+  /// eviction plan whose destroyed keep-value is below the transfer's
+  /// (learned or probed) value. Disabled = Algorithm 1 verbatim, which
+  /// thrashes when the budget is far below the working set. Exposed for
+  /// the ablation benchmark.
+  bool eviction_guard = true;
+};
+
+/// The reinforcement-learning dual-store tuner.
+class DotilTuner : public Tuner {
+ public:
+  explicit DotilTuner(const DotilConfig& config = {})
+      : config_(config), rng_(config.seed) {}
+
+  std::string name() const override { return "dotil"; }
+
+  /// Algorithm 1 over the finished batch.
+  Status AfterBatch(DualStore* store,
+                    const std::vector<sparql::Query>& finished,
+                    CostMeter* meter) override;
+
+  /// The Q-matrix of `predicate` (zeros if never trained).
+  QMatrix MatrixOf(rdf::TermId predicate) const;
+
+  /// Element-wise sum of all partitions' Q-matrices, flattened
+  /// [Q00, Q01, Q10, Q11] — the paper's Table 5 training metric.
+  std::array<double, 4> QMatrixSums() const;
+
+  /// Number of partitions with a trained Q-matrix.
+  size_t num_trained() const { return qmatrices_.size(); }
+
+  const DotilConfig& config() const { return config_; }
+
+  /// Expected value of transferring an untried partition set: the mean of
+  /// all positive learned Q(0,1) values (optimistic initialization), or
+  /// +infinity before any transfer has been rewarded.
+  double OptimisticTransferValue() const;
+
+ private:
+  /// Algorithm 2: trains every partition in `partitions` with one
+  /// (state, action) pair using the c1/c2 cost probes for `qc`.
+  Status LearningProc(DualStore* store, const sparql::Query& qc,
+                      const std::vector<rdf::TermId>& partitions, int state,
+                      int action, CostMeter* meter);
+
+  DotilConfig config_;
+  Rng rng_;
+  std::unordered_map<rdf::TermId, QMatrix> qmatrices_;
+};
+
+}  // namespace dskg::core
+
+#endif  // DSKG_CORE_DOTIL_H_

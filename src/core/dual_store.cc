@@ -1,0 +1,123 @@
+#include "core/dual_store.h"
+
+#include "sparql/parser.h"
+
+namespace dskg::core {
+
+using rdf::TermId;
+using rdf::Triple;
+using sparql::Query;
+
+DualStore::DualStore(rdf::Dataset* dataset, const DualStoreConfig& config)
+    : dataset_(dataset),
+      config_(config),
+      graph_(config.graph_capacity_triples),
+      executor_(&table_, &dataset->dict()),
+      matcher_(&graph_, &dataset->dict()) {
+  CostMeter load_meter;
+  table_.BulkLoad(dataset->triples(), &load_meter);
+  load_micros_ = load_meter.sim_micros();
+
+  if (config.use_views) {
+    views_ = std::make_unique<relstore::MaterializedViewManager>(
+        &executor_, &dataset->dict(), config.views_budget_rows);
+  }
+  QueryProcessor::Config pc;
+  pc.use_graph = config.use_graph;
+  pc.use_views = config.use_views;
+  pc.graph_throttle = config.graph_throttle;
+  processor_ = std::make_unique<QueryProcessor>(
+      &executor_, &graph_, &matcher_, views_.get(), &dataset->dict(), pc);
+}
+
+Result<QueryExecution> DualStore::Process(const Query& query) const {
+  return processor_->Process(query);
+}
+
+Result<QueryExecution> DualStore::Process(std::string_view text) const {
+  DSKG_ASSIGN_OR_RETURN(Query query, sparql::Parser::Parse(text));
+  return processor_->Process(query);
+}
+
+Status DualStore::Insert(std::string_view subject, std::string_view predicate,
+                         std::string_view object, CostMeter* meter) {
+  const Triple t = dataset_->Add(subject, predicate, object);
+  CostMeter local;
+  CostMeter* m = meter != nullptr ? meter : &local;
+  table_.Insert(t, m);
+  if (graph_.HasPredicate(t.predicate)) {
+    // Keep the resident partition consistent (slow native-insert path).
+    Status s = graph_.InsertTriple(t, m);
+    if (s.IsCapacityExceeded()) {
+      // The graph copy no longer fits: drop the partition rather than
+      // serve stale answers. The relational store remains authoritative.
+      DSKG_RETURN_NOT_OK(graph_.EvictPartition(t.predicate, m));
+    } else {
+      DSKG_RETURN_NOT_OK(s);
+    }
+  }
+  return Status::OK();
+}
+
+Status DualStore::MigratePartition(TermId predicate, CostMeter* meter) {
+  if (graph_.HasPredicate(predicate)) {
+    return Status::AlreadyExists("partition " + std::to_string(predicate) +
+                                 " already resident");
+  }
+  const uint64_t size = PartitionSize(predicate);
+  if (size == 0) {
+    return Status::NotFound("predicate " + std::to_string(predicate) +
+                            " has no partition in the relational store");
+  }
+  if (graph_.capacity_triples() > 0 && size > graph_.FreeTriples()) {
+    return Status::CapacityExceeded(
+        "partition of " + std::to_string(size) +
+        " triples does not fit in the graph store (free: " +
+        std::to_string(graph_.FreeTriples()) + ")");
+  }
+  // Extract via the POS index, shipping each triple.
+  std::vector<Triple> triples;
+  triples.reserve(size);
+  relstore::BoundPattern extent;
+  extent.predicate = predicate;
+  DSKG_RETURN_NOT_OK(table_.ScanPattern(extent, meter, [&](const Triple& t) {
+    meter->Add(Op::kMigratePartitionTriple);
+    triples.push_back(t);
+    return true;
+  }));
+  return graph_.ImportPartition(predicate, triples, meter);
+}
+
+Status DualStore::EvictPartition(TermId predicate, CostMeter* meter) {
+  return graph_.EvictPartition(predicate, meter);
+}
+
+Result<double> DualStore::GraphQueryCost(const Query& qc,
+                                         CostMeter* meter) const {
+  CostMeter local(&CostModel::Default(), config_.graph_throttle);
+  DSKG_ASSIGN_OR_RETURN(sparql::BindingTable ignored,
+                        matcher_.Match(qc, &local));
+  (void)ignored;
+  meter->Merge(local);
+  return local.sim_micros();
+}
+
+Result<double> DualStore::RelationalQueryCostWithCutoff(
+    const Query& qc, double budget_micros, CostMeter* meter) const {
+  CostMeter local;
+  local.set_budget_micros(budget_micros);
+  Result<sparql::BindingTable> r = executor_.Execute(qc, &local);
+  meter->Merge(local);
+  if (!r.ok()) {
+    if (r.status().IsCancelled()) return budget_micros;  // λ·c1 cutoff hit
+    return r.status();
+  }
+  return local.sim_micros();
+}
+
+void DualStore::SetGraphThrottle(ResourceThrottle t) {
+  config_.graph_throttle = t;
+  processor_->set_graph_throttle(t);
+}
+
+}  // namespace dskg::core

@@ -1,0 +1,155 @@
+#ifndef DSKG_CORE_DUAL_STORE_H_
+#define DSKG_CORE_DUAL_STORE_H_
+
+/// \file dual_store.h
+/// The dual-store facade: the library's main entry point.
+///
+/// A `DualStore` owns a relational store holding the *entire* knowledge
+/// graph and a capacity-bounded graph store holding the partitions chosen
+/// by the tuner, wires them through the complex subquery identifier and
+/// the query processor (Figure 1 of the paper), and exposes the admin
+/// operations tuners use (partition migration/eviction and the two cost
+/// probes of Algorithm 2).
+///
+/// Three store variants are expressible through the config:
+///  * RDB-only  — `use_graph = use_views = false`
+///  * RDB-views — `use_views = true`, `views_budget_rows > 0`
+///  * RDB-GDB   — `use_graph = true`, `graph_capacity_triples > 0`
+///
+/// Typical use:
+/// \code
+///   rdf::Dataset ds = workload::GenerateYago({.target_triples = 100000});
+///   core::DualStore store(&ds, {.graph_capacity_triples =
+///                                   ds.num_triples() / 4});
+///   auto exec = store.Process(
+///       "SELECT ?p WHERE { ?p y:wasBornIn ?c . "
+///       "?p y:hasAcademicAdvisor ?a . ?a y:wasBornIn ?c . }");
+/// \endcode
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/cost.h"
+#include "common/status.h"
+#include "core/query_processor.h"
+#include "graphstore/matcher.h"
+#include "graphstore/property_graph.h"
+#include "rdf/dataset.h"
+#include "relstore/executor.h"
+#include "relstore/triple_table.h"
+#include "relstore/views.h"
+#include "sparql/ast.h"
+
+namespace dskg::core {
+
+/// Configuration of a dual store.
+struct DualStoreConfig {
+  /// Graph-store budget B_G in triples (0 = unlimited).
+  uint64_t graph_capacity_triples = 0;
+  /// Route complex subqueries through the graph store (RDB-GDB).
+  bool use_graph = true;
+  /// Route complex subqueries through materialized views (RDB-views).
+  bool use_views = false;
+  /// Row budget of the view catalog (0 = unlimited); the benchmarks set
+  /// it equal to `graph_capacity_triples` for a fair comparison.
+  uint64_t views_budget_rows = 0;
+  /// Contention applied to graph-store execution (Table 6 / Figure 7).
+  ResourceThrottle graph_throttle;
+};
+
+/// The dual-store structure (relational + graph) for one knowledge graph.
+class DualStore {
+ public:
+  /// Bulk-loads `dataset` into the relational store. The dataset is
+  /// borrowed (it owns the term dictionary) and must outlive the store;
+  /// it stays mutable because knowledge updates intern new terms.
+  DualStore(rdf::Dataset* dataset, const DualStoreConfig& config);
+
+  DualStore(const DualStore&) = delete;
+  DualStore& operator=(const DualStore&) = delete;
+
+  // ---- online path --------------------------------------------------------
+
+  /// Routes and executes a parsed query (Algorithm 3).
+  Result<QueryExecution> Process(const sparql::Query& query) const;
+
+  /// Parses `text` and processes it.
+  Result<QueryExecution> Process(std::string_view text) const;
+
+  /// Inserts a new fact. The relational store always absorbs it; if the
+  /// predicate's partition is resident in the graph store, the graph copy
+  /// is updated too (the slow native-store insert path). Cost is charged
+  /// to `meter` when provided.
+  Status Insert(std::string_view subject, std::string_view predicate,
+                std::string_view object, CostMeter* meter = nullptr);
+
+  // ---- tuner admin API -----------------------------------------------------
+
+  /// Migrates `predicate`'s partition from the relational store to the
+  /// graph store: extracts it via the POS index (charging
+  /// `kMigratePartitionTriple` per triple) and bulk-imports it (charging
+  /// `kImportTriple` per triple). The relational copy is kept, per §4.1.
+  Status MigratePartition(rdf::TermId predicate, CostMeter* meter);
+
+  /// Evicts `predicate`'s partition from the graph store.
+  Status EvictPartition(rdf::TermId predicate, CostMeter* meter);
+
+  /// True if `predicate`'s partition is resident in the graph store.
+  bool IsResident(rdf::TermId predicate) const {
+    return graph_.HasPredicate(predicate);
+  }
+
+  /// Triple count of `predicate`'s partition (in the relational store).
+  uint64_t PartitionSize(rdf::TermId predicate) const {
+    return table_.StatsOf(predicate).num_triples;
+  }
+
+  /// Cost probe c1 of Algorithm 2: runs `qc` in the graph store and
+  /// returns its simulated cost in microseconds. Work is charged to
+  /// `meter` (offline/tuning). Fails if the graph store does not cover
+  /// `qc`.
+  Result<double> GraphQueryCost(const sparql::Query& qc,
+                                CostMeter* meter) const;
+
+  /// Cost probe c2 of Algorithm 2 (the counterfactual parallel thread):
+  /// runs `qc` in the relational store under a cost budget of
+  /// `budget_micros`; returns the actual cost, or `budget_micros` if the
+  /// run was cut off (the paper's λ·c1 cutoff). Work is charged to
+  /// `meter`.
+  Result<double> RelationalQueryCostWithCutoff(const sparql::Query& qc,
+                                               double budget_micros,
+                                               CostMeter* meter) const;
+
+  // ---- component access ----------------------------------------------------
+
+  const rdf::Dictionary& dict() const { return dataset_->dict(); }
+  const rdf::Dataset& dataset() const { return *dataset_; }
+  const relstore::TripleTable& table() const { return table_; }
+  const graphstore::PropertyGraph& graph() const { return graph_; }
+  const relstore::Executor& executor() const { return executor_; }
+  relstore::MaterializedViewManager* views() { return views_.get(); }
+  const DualStoreConfig& config() const { return config_; }
+
+  /// Simulated cost of the initial bulk load into the relational store.
+  double load_micros() const { return load_micros_; }
+
+  /// Updates the graph-store contention model (Table 6 sweeps).
+  void SetGraphThrottle(ResourceThrottle t);
+
+ private:
+  rdf::Dataset* dataset_;
+  DualStoreConfig config_;
+  relstore::TripleTable table_;
+  graphstore::PropertyGraph graph_;
+  relstore::Executor executor_;
+  graphstore::TraversalMatcher matcher_;
+  std::unique_ptr<relstore::MaterializedViewManager> views_;
+  std::unique_ptr<QueryProcessor> processor_;
+  double load_micros_ = 0;
+};
+
+}  // namespace dskg::core
+
+#endif  // DSKG_CORE_DUAL_STORE_H_

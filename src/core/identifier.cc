@@ -1,0 +1,69 @@
+#include "core/identifier.h"
+
+#include <unordered_set>
+
+namespace dskg::core {
+
+using sparql::Query;
+using sparql::TriplePattern;
+
+IdentifiedQuery ComplexSubqueryIdentifier::Identify(const Query& query) {
+  IdentifiedQuery out;
+  out.query = query;
+
+  const auto counts = query.VariableCounts();
+  auto endpoint_qualifies = [&](const sparql::PatternTerm& t) {
+    if (!t.is_variable) return true;  // constants qualify trivially
+    const auto it = counts.find(t.text);
+    return it != counts.end() && it->second > 1;
+  };
+
+  std::vector<TriplePattern> complex_patterns;
+  std::vector<TriplePattern> remainder_patterns;
+  for (const TriplePattern& p : query.patterns) {
+    const bool has_var_endpoint =
+        p.subject.is_variable || p.object.is_variable;
+    const bool qualifies = !p.predicate.is_variable && has_var_endpoint &&
+                           endpoint_qualifies(p.subject) &&
+                           endpoint_qualifies(p.object);
+    if (qualifies) {
+      complex_patterns.push_back(p);
+    } else {
+      remainder_patterns.push_back(p);
+    }
+  }
+
+  if (complex_patterns.size() < 2) {
+    // No complex subquery: the whole query is the remainder.
+    out.remainder = query;
+    return out;
+  }
+
+  Query qc;
+  qc.patterns = complex_patterns;
+
+  // Join variables: variables of q_c that the remainder (or the final
+  // projection) needs.
+  std::unordered_set<std::string> outside;
+  for (const TriplePattern& p : remainder_patterns) {
+    for (const std::string& v : p.Variables()) outside.insert(v);
+  }
+  for (const std::string& v : query.select_vars) outside.insert(v);
+
+  if (remainder_patterns.empty()) {
+    qc.select_vars = query.select_vars;  // q_c is the whole query
+  } else {
+    for (const std::string& v : qc.AllVariables()) {
+      if (outside.count(v) > 0) qc.select_vars.push_back(v);
+    }
+    // If q_c shares nothing with the outside (rare), keep all its
+    // variables (empty select list = SELECT *).
+  }
+
+  out.complex = std::move(qc);
+  out.remainder.select_vars = query.select_vars;
+  out.remainder.patterns = std::move(remainder_patterns);
+  return out;
+}
+
+}  // namespace dskg::core

@@ -1,0 +1,62 @@
+#ifndef DSKG_CORE_QMATRIX_H_
+#define DSKG_CORE_QMATRIX_H_
+
+/// \file qmatrix.h
+/// The per-partition 2x2 Q-matrix of DOTIL's decomposed state space
+/// (paper §4.2.1).
+///
+/// Instead of learning over the joint 2^n state space of all partitions,
+/// DOTIL keeps one tiny Q-matrix per triple partition T_i:
+///
+///   state  0 = T_i lives only in the relational store
+///          1 = T_i is resident in the graph store
+///   action 0 = keep, 1 = transfer (from state 0) / evict (from state 1)
+///
+/// Per the paper, R(0,0) and R(1,1) are kept at zero, so only Q(0,1)
+/// (benefit of transferring) and Q(1,0) (accumulated benefit of keeping
+/// resident) are ever updated — matching the [0, x, y, 0] rows of
+/// Table 5.
+
+#include <algorithm>
+#include <array>
+
+namespace dskg::core {
+
+/// One partition's 2x2 Q-matrix.
+struct QMatrix {
+  /// q[state][action]; see file comment for the encoding.
+  double q[2][2] = {{0.0, 0.0}, {0.0, 0.0}};
+
+  double& at(int s, int a) { return q[s][a]; }
+  double at(int s, int a) const { return q[s][a]; }
+
+  /// Best attainable Q-value from `state` (the max_a Q(s', a) term of
+  /// Equation 4).
+  double MaxFuture(int state) const {
+    return std::max(q[state][0], q[state][1]);
+  }
+
+  /// Successor state of taking `action` in `state`: action 1 flips the
+  /// residency bit, action 0 keeps it.
+  static int NextState(int state, int action) {
+    return action == 1 ? 1 - state : state;
+  }
+
+  /// Applies Equation 4:
+  ///   Q(s,a) <- (1-alpha) Q(s,a) + alpha (r + gamma max_a' Q(s',a')).
+  void Update(int state, int action, double reward, double alpha,
+              double gamma) {
+    const int next = NextState(state, action);
+    const double learned = reward + gamma * MaxFuture(next);
+    q[state][action] = (1.0 - alpha) * q[state][action] + alpha * learned;
+  }
+
+  /// Flattened [Q00, Q01, Q10, Q11] (the layout Table 5 reports).
+  std::array<double, 4> Flat() const {
+    return {q[0][0], q[0][1], q[1][0], q[1][1]};
+  }
+};
+
+}  // namespace dskg::core
+
+#endif  // DSKG_CORE_QMATRIX_H_

@@ -1,0 +1,112 @@
+#include "core/query_processor.h"
+
+namespace dskg::core {
+
+using sparql::BindingTable;
+using sparql::Query;
+
+const char* RouteName(Route route) {
+  switch (route) {
+    case Route::kRelationalOnly: return "relational";
+    case Route::kGraphOnly: return "graph";
+    case Route::kDualStore: return "dual";
+    case Route::kViewAssisted: return "view";
+  }
+  return "unknown";
+}
+
+bool QueryProcessor::GraphCovers(const Query& q) const {
+  for (const sparql::TriplePattern& p : q.patterns) {
+    if (p.predicate.is_variable) return false;
+    const rdf::TermId id = dict_->Lookup(p.predicate.text);
+    if (id == rdf::kInvalidTermId) return false;
+    if (!graph_->HasPredicate(id)) return false;
+  }
+  return true;
+}
+
+Result<QueryExecution> QueryProcessor::Process(const Query& query) const {
+  QueryExecution exec;
+  exec.split = ComplexSubqueryIdentifier::Identify(query);
+
+  CostMeter rel_meter;
+  CostMeter graph_meter(&CostModel::Default(), config_.graph_throttle);
+  CostMeter migrate_meter;
+
+  auto finish = [&](BindingTable result, Route route) -> QueryExecution {
+    exec.result = std::move(result);
+    exec.route = route;
+    exec.rel_micros = rel_meter.sim_micros();
+    exec.graph_micros = graph_meter.sim_micros();
+    exec.migrate_micros = migrate_meter.sim_micros();
+    exec.graph_io_micros = graph_meter.io_micros();
+    exec.graph_cpu_micros = graph_meter.cpu_micros();
+    return exec;
+  };
+
+  // The remainder's projection: the query's own (explicit) output.
+  auto remainder_with_projection = [&]() {
+    Query rem = exec.split.remainder;
+    rem.select_vars = query.select_vars.empty() ? query.AllVariables()
+                                                : query.select_vars;
+    return rem;
+  };
+
+  // ---- RDB-GDB routing (Algorithm 3) ------------------------------------
+  if (config_.use_graph && exec.split.HasComplexSubquery()) {
+    const Query& qc = *exec.split.complex;
+    if (GraphCovers(query)) {
+      // Case 1: the whole query runs in the graph store.
+      DSKG_ASSIGN_OR_RETURN(BindingTable result,
+                            matcher_->Match(query, &graph_meter));
+      return finish(std::move(result), Route::kGraphOnly);
+    }
+    if (GraphCovers(qc)) {
+      // Case 2: q_c in the graph store, remainder in the relational store.
+      DSKG_ASSIGN_OR_RETURN(BindingTable inter,
+                            matcher_->Match(qc, &graph_meter));
+      // Migrate the intermediate results into the temporary table space.
+      migrate_meter.Add(Op::kMigrateResultRow, inter.rows.size());
+      migrate_meter.Add(Op::kTempTableTuple, inter.rows.size());
+      if (exec.split.remainder.patterns.empty()) {
+        // Defensive: with an empty remainder, Case 1 should have fired.
+        return finish(std::move(inter), Route::kDualStore);
+      }
+      DSKG_ASSIGN_OR_RETURN(
+          BindingTable result,
+          executor_->ExecuteWithSeed(remainder_with_projection(), inter,
+                                     &rel_meter));
+      return finish(std::move(result), Route::kDualStore);
+    }
+    // Case 3 falls through.
+  }
+
+  // ---- RDB-views routing -------------------------------------------------
+  if (config_.use_views && views_ != nullptr &&
+      exec.split.HasComplexSubquery()) {
+    const Query& qc = *exec.split.complex;
+    std::optional<relstore::MaterializedViewManager::Answer> ans =
+        views_->TryAnswer(qc.patterns, &rel_meter);
+    if (ans.has_value()) {
+      if (exec.split.remainder.patterns.empty()) {
+        const std::vector<std::string> out_vars =
+            query.select_vars.empty() ? query.AllVariables()
+                                      : query.select_vars;
+        return finish(ans->bindings.Project(out_vars),
+                      Route::kViewAssisted);
+      }
+      DSKG_ASSIGN_OR_RETURN(
+          BindingTable result,
+          executor_->ExecuteWithSeed(remainder_with_projection(),
+                                     ans->bindings, &rel_meter));
+      return finish(std::move(result), Route::kViewAssisted);
+    }
+  }
+
+  // ---- Case 3: relational store ------------------------------------------
+  DSKG_ASSIGN_OR_RETURN(BindingTable result,
+                        executor_->Execute(query, &rel_meter));
+  return finish(std::move(result), Route::kRelationalOnly);
+}
+
+}  // namespace dskg::core

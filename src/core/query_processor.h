@@ -1,0 +1,111 @@
+#ifndef DSKG_CORE_QUERY_PROCESSOR_H_
+#define DSKG_CORE_QUERY_PROCESSOR_H_
+
+/// \file query_processor.h
+/// The dual-store query processor (paper §5, Algorithm 3).
+///
+/// Routing of a query q with complex subquery q_c against the resident
+/// complex subgraphs G_c:
+///
+///   Case 1  predicates(q)   ⊆ predicates(G_c)  -> run q in the graph store
+///   Case 2  predicates(q_c) ⊆ predicates(G_c)  -> run q_c in the graph
+///           store, migrate its intermediate results into the relational
+///           store's temporary table space, finish q's remainder there
+///   Case 3  otherwise                          -> run q in the relational
+///           store
+///
+/// The RDB-views variant replaces the graph store with the materialized
+/// view catalog: if a view matches q_c, its (filtered) rows seed the
+/// remainder. RDB-only always takes Case 3.
+
+#include <optional>
+
+#include "common/cost.h"
+#include "common/status.h"
+#include "core/identifier.h"
+#include "graphstore/matcher.h"
+#include "graphstore/property_graph.h"
+#include "rdf/dictionary.h"
+#include "relstore/executor.h"
+#include "relstore/views.h"
+#include "sparql/ast.h"
+#include "sparql/bindings.h"
+
+namespace dskg::core {
+
+/// How a query was executed.
+enum class Route {
+  kRelationalOnly,  ///< Case 3 (or no complex subquery)
+  kGraphOnly,       ///< Case 1
+  kDualStore,       ///< Case 2
+  kViewAssisted,    ///< RDB-views: view seeded the remainder
+};
+
+/// Short name of `route` ("relational", "graph", "dual", "view").
+const char* RouteName(Route route);
+
+/// Outcome of processing one query, with the cost breakdown the
+/// experiments report.
+struct QueryExecution {
+  sparql::BindingTable result;
+  Route route = Route::kRelationalOnly;
+  /// The identifier's split (kept for the tuner's training data).
+  IdentifiedQuery split;
+
+  // Simulated time, microseconds.
+  double graph_micros = 0;    ///< spent in the graph store
+  double rel_micros = 0;      ///< spent in the relational store
+  double migrate_micros = 0;  ///< spent shipping intermediate results
+  /// IO/CPU split of the graph-store share (for the Figure 7 trace).
+  double graph_io_micros = 0;
+  double graph_cpu_micros = 0;
+
+  double total_micros() const {
+    return graph_micros + rel_micros + migrate_micros;
+  }
+};
+
+/// Routes and executes queries against the current dual-store state.
+class QueryProcessor {
+ public:
+  struct Config {
+    /// Use the graph store as accelerator (RDB-GDB).
+    bool use_graph = true;
+    /// Use materialized views as accelerator (RDB-views).
+    bool use_views = false;
+    /// Contention applied to graph-store execution (Table 6 / Figure 7).
+    ResourceThrottle graph_throttle;
+  };
+
+  /// All pointers are borrowed and must outlive the processor. `views`
+  /// may be null when `config.use_views` is false.
+  QueryProcessor(const relstore::Executor* executor,
+                 const graphstore::PropertyGraph* graph,
+                 const graphstore::TraversalMatcher* matcher,
+                 const relstore::MaterializedViewManager* views,
+                 const rdf::Dictionary* dict, Config config)
+      : executor_(executor), graph_(graph), matcher_(matcher), views_(views),
+        dict_(dict), config_(config) {}
+
+  /// Processes `query` end to end per Algorithm 3.
+  Result<QueryExecution> Process(const sparql::Query& query) const;
+
+  const Config& config() const { return config_; }
+  void set_graph_throttle(ResourceThrottle t) { config_.graph_throttle = t; }
+
+ private:
+  /// True if every pattern of `q` has a constant predicate whose partition
+  /// is resident in the graph store.
+  bool GraphCovers(const sparql::Query& q) const;
+
+  const relstore::Executor* executor_;
+  const graphstore::PropertyGraph* graph_;
+  const graphstore::TraversalMatcher* matcher_;
+  const relstore::MaterializedViewManager* views_;
+  const rdf::Dictionary* dict_;
+  Config config_;
+};
+
+}  // namespace dskg::core
+
+#endif  // DSKG_CORE_QUERY_PROCESSOR_H_

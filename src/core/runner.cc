@@ -1,0 +1,119 @@
+#include "core/runner.h"
+
+#include "core/identifier.h"
+
+namespace dskg::core {
+
+using sparql::Query;
+using workload::Workload;
+using workload::WorkloadQuery;
+
+namespace {
+
+/// Complex subqueries of a span of workload queries (identification only;
+/// nothing is executed).
+std::vector<Query> ComplexSubqueriesOf(const std::vector<WorkloadQuery>& qs) {
+  std::vector<Query> out;
+  for (const WorkloadQuery& wq : qs) {
+    IdentifiedQuery split = ComplexSubqueryIdentifier::Identify(wq.query);
+    if (split.HasComplexSubquery()) out.push_back(*split.complex);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<RunMetrics> WorkloadRunner::Run(const Workload& workload,
+                                       int num_batches) {
+  RunMetrics metrics;
+  const auto batches = workload.SplitBatches(num_batches);
+
+  // One-off tuning happens before batch 0; its cost is attributed there.
+  double pre_workload_tuning = 0;
+  if (tuner_ != nullptr) {
+    CostMeter meter;
+    DSKG_RETURN_NOT_OK(tuner_->BeforeWorkload(
+        store_, ComplexSubqueriesOf(workload.queries), &meter));
+    pre_workload_tuning = meter.sim_micros();
+  }
+
+  for (const std::vector<WorkloadQuery>& batch : batches) {
+    BatchMetrics bm;
+    if (metrics.batches.empty()) {
+      bm.tuning_micros += pre_workload_tuning;
+      pre_workload_tuning = 0;
+    }
+
+    if (tuner_ != nullptr) {
+      CostMeter meter;
+      DSKG_RETURN_NOT_OK(
+          tuner_->BeforeBatch(store_, ComplexSubqueriesOf(batch), &meter));
+      bm.tuning_micros += meter.sim_micros();
+    }
+
+    std::vector<Query> finished_complex;
+    for (const WorkloadQuery& wq : batch) {
+      DSKG_ASSIGN_OR_RETURN(QueryExecution exec, store_->Process(wq.query));
+      QueryTrace trace;
+      trace.route = exec.route;
+      trace.total_micros = exec.total_micros();
+      trace.graph_micros = exec.graph_micros;
+      trace.rel_micros = exec.rel_micros;
+      trace.migrate_micros = exec.migrate_micros;
+      trace.graph_io_micros = exec.graph_io_micros;
+      trace.graph_cpu_micros = exec.graph_cpu_micros;
+      trace.result_rows = exec.result.rows.size();
+      bm.tti_micros += trace.total_micros;
+      bm.graph_micros += trace.graph_micros;
+      bm.rel_micros += trace.rel_micros;
+      bm.migrate_micros += trace.migrate_micros;
+      bm.queries.push_back(trace);
+      if (exec.split.HasComplexSubquery()) {
+        finished_complex.push_back(*exec.split.complex);
+      }
+    }
+
+    if (tuner_ != nullptr) {
+      CostMeter meter;
+      DSKG_RETURN_NOT_OK(
+          tuner_->AfterBatch(store_, finished_complex, &meter));
+      bm.tuning_micros += meter.sim_micros();
+    }
+    metrics.batches.push_back(std::move(bm));
+  }
+  return metrics;
+}
+
+Result<RunMetrics> WorkloadRunner::RunAveraged(const Workload& workload,
+                                               int num_batches, int reps,
+                                               int warmup) {
+  if (reps <= warmup) {
+    return Status::InvalidArgument("reps must exceed warmup");
+  }
+  std::vector<RunMetrics> runs;
+  runs.reserve(static_cast<size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    DSKG_ASSIGN_OR_RETURN(RunMetrics m, Run(workload, num_batches));
+    runs.push_back(std::move(m));
+  }
+  RunMetrics avg;
+  const size_t first = static_cast<size_t>(warmup);
+  const double n = static_cast<double>(reps - warmup);
+  avg.batches.resize(runs[first].batches.size());
+  for (size_t r = first; r < runs.size(); ++r) {
+    for (size_t b = 0; b < avg.batches.size() && b < runs[r].batches.size();
+         ++b) {
+      avg.batches[b].tti_micros += runs[r].batches[b].tti_micros / n;
+      avg.batches[b].graph_micros += runs[r].batches[b].graph_micros / n;
+      avg.batches[b].rel_micros += runs[r].batches[b].rel_micros / n;
+      avg.batches[b].migrate_micros +=
+          runs[r].batches[b].migrate_micros / n;
+      avg.batches[b].tuning_micros += runs[r].batches[b].tuning_micros / n;
+      // Keep the last repetition's per-query traces (steady state).
+      avg.batches[b].queries = runs.back().batches[b].queries;
+    }
+  }
+  return avg;
+}
+
+}  // namespace dskg::core

@@ -1,0 +1,95 @@
+#ifndef DSKG_CORE_RUNNER_H_
+#define DSKG_CORE_RUNNER_H_
+
+/// \file runner.h
+/// Batch-oriented workload driver implementing the paper's experimental
+/// protocol (§6.1):
+///
+///   * the workload is consumed in batches (the paper uses 5);
+///   * between batches the store is taken offline and the tuner runs
+///     (its cost is recorded separately from online TTI);
+///   * the primary metric is TTI — total elapsed (simulated) time from
+///     batch submission to completion;
+///   * `RunAveraged` repeats the run and averages the trailing
+///     repetitions (the paper runs 6 times and averages the last 5 to
+///     warm the accelerator).
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/dual_store.h"
+#include "core/tuner.h"
+#include "workload/workload.h"
+
+namespace dskg::core {
+
+/// Per-query record (feeds Figures 6 and 7).
+struct QueryTrace {
+  Route route = Route::kRelationalOnly;
+  double total_micros = 0;
+  double graph_micros = 0;
+  double rel_micros = 0;
+  double migrate_micros = 0;
+  double graph_io_micros = 0;
+  double graph_cpu_micros = 0;
+  size_t result_rows = 0;
+};
+
+/// Aggregates for one batch.
+struct BatchMetrics {
+  /// Online time-to-insight of the batch (simulated microseconds).
+  double tti_micros = 0;
+  double graph_micros = 0;
+  double rel_micros = 0;
+  double migrate_micros = 0;
+  /// Offline tuning cost after (or before) this batch.
+  double tuning_micros = 0;
+  std::vector<QueryTrace> queries;
+
+  /// Fraction of online cost spent in the graph store (Figure 6).
+  double GraphCostProportion() const {
+    return tti_micros > 0 ? graph_micros / tti_micros : 0.0;
+  }
+};
+
+/// Aggregates for a whole workload run.
+struct RunMetrics {
+  std::vector<BatchMetrics> batches;
+
+  double TotalTtiMicros() const {
+    double t = 0;
+    for (const BatchMetrics& b : batches) t += b.tti_micros;
+    return t;
+  }
+  double TotalTuningMicros() const {
+    double t = 0;
+    for (const BatchMetrics& b : batches) t += b.tuning_micros;
+    return t;
+  }
+};
+
+/// Drives a workload through a store + tuner pair.
+class WorkloadRunner {
+ public:
+  /// `store` is borrowed; `tuner` may be null (no tuning — RDB-only and
+  /// the static Table 1 comparisons).
+  WorkloadRunner(DualStore* store, Tuner* tuner)
+      : store_(store), tuner_(tuner) {}
+
+  /// Runs `workload` in `num_batches` batches with tuning in between.
+  Result<RunMetrics> Run(const workload::Workload& workload,
+                         int num_batches = 5);
+
+  /// Runs `reps` times on the same (warming) store and returns metrics
+  /// averaged over the last `reps - warmup` repetitions.
+  Result<RunMetrics> RunAveraged(const workload::Workload& workload,
+                                 int num_batches, int reps, int warmup);
+
+ private:
+  DualStore* store_;
+  Tuner* tuner_;
+};
+
+}  // namespace dskg::core
+
+#endif  // DSKG_CORE_RUNNER_H_

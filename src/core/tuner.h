@@ -1,0 +1,74 @@
+#ifndef DSKG_CORE_TUNER_H_
+#define DSKG_CORE_TUNER_H_
+
+/// \file tuner.h
+/// Physical-design tuner interface.
+///
+/// A tuner decides which triple partitions live in the graph store (or
+/// which views exist, for the RDB-views baseline). Tuning is offline: the
+/// workload runner invokes the hooks between batches, exactly like the
+/// paper's periodic reconfiguration window (§4.2), and all tuning work is
+/// charged to a separate tuning meter so online TTI stays clean.
+///
+/// Hooks (all optional):
+///  * `BeforeWorkload` — sees every complex subquery of the whole
+///     workload up front (used by the one-off baseline);
+///  * `BeforeBatch`    — sees the *next* batch's complex subqueries
+///     (used by the ideal baseline);
+///  * `AfterBatch`     — sees the batch that just ran (DOTIL, LRU,
+///     views).
+
+#include <string>
+#include <vector>
+
+#include "common/cost.h"
+#include "common/status.h"
+#include "sparql/ast.h"
+
+namespace dskg::core {
+
+class DualStore;
+
+/// Interface implemented by DOTIL and the baseline tuners.
+class Tuner {
+ public:
+  virtual ~Tuner() = default;
+
+  /// Display name used in experiment reports ("dotil", "lru", ...).
+  virtual std::string name() const = 0;
+
+  /// Called once, before any batch, with all complex subqueries of the
+  /// whole workload.
+  virtual Status BeforeWorkload(DualStore* store,
+                                const std::vector<sparql::Query>& all,
+                                CostMeter* meter) {
+    (void)store;
+    (void)all;
+    (void)meter;
+    return Status::OK();
+  }
+
+  /// Called before each batch with that batch's complex subqueries.
+  virtual Status BeforeBatch(DualStore* store,
+                             const std::vector<sparql::Query>& next,
+                             CostMeter* meter) {
+    (void)store;
+    (void)next;
+    (void)meter;
+    return Status::OK();
+  }
+
+  /// Called after each batch with the complex subqueries that just ran.
+  virtual Status AfterBatch(DualStore* store,
+                            const std::vector<sparql::Query>& finished,
+                            CostMeter* meter) {
+    (void)store;
+    (void)finished;
+    (void)meter;
+    return Status::OK();
+  }
+};
+
+}  // namespace dskg::core
+
+#endif  // DSKG_CORE_TUNER_H_

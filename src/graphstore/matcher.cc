@@ -1,0 +1,275 @@
+#include "graphstore/matcher.h"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace dskg::graphstore {
+
+using rdf::TermId;
+using sparql::BindingTable;
+
+namespace {
+
+/// One pattern endpoint: a constant id or a variable name.
+struct End {
+  bool is_variable = false;
+  std::string var;
+  TermId constant = rdf::kInvalidTermId;
+  bool missing = false;  // constant absent from the dictionary
+};
+
+End EncodeEnd(const sparql::PatternTerm& t, const rdf::Dictionary& dict) {
+  End e;
+  if (t.is_variable) {
+    e.is_variable = true;
+    e.var = t.text;
+    return e;
+  }
+  e.constant = dict.Lookup(t.text);
+  e.missing = (e.constant == rdf::kInvalidTermId);
+  return e;
+}
+
+struct EncPat {
+  End subject;
+  TermId predicate = rdf::kInvalidTermId;  // always constant (checked)
+  End object;
+};
+
+/// Backtracking evaluator. Holds the traversal state shared across the
+/// recursion so the per-call frame stays small.
+class Dfs {
+ public:
+  Dfs(const PropertyGraph& graph, const std::vector<EncPat>& patterns,
+      const std::vector<std::string>& out_vars, CostMeter* meter)
+      : graph_(graph), patterns_(patterns), out_vars_(out_vars),
+        meter_(meter) {}
+
+  Result<BindingTable> Run() {
+    BindingTable out;
+    out.columns = out_vars_;
+    rows_ = &out.rows;
+    DSKG_RETURN_NOT_OK(Step(0));
+    return out;
+  }
+
+ private:
+  /// Value of `e` under current bindings, or nullopt when unbound.
+  std::optional<TermId> Resolve(const End& e) const {
+    if (!e.is_variable) return e.constant;
+    auto it = bindings_.find(e.var);
+    if (it == bindings_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Binds `e` (if a variable) to `value`; returns false on conflict with
+  /// an existing binding. Appends to the trail for backtracking.
+  bool Bind(const End& e, TermId value) {
+    if (!e.is_variable) return e.constant == value;
+    auto [it, inserted] = bindings_.emplace(e.var, value);
+    if (inserted) {
+      trail_.push_back(e.var);
+      return true;
+    }
+    return it->second == value;
+  }
+
+  void Unwind(size_t mark) {
+    while (trail_.size() > mark) {
+      bindings_.erase(trail_.back());
+      trail_.pop_back();
+    }
+  }
+
+  Status Emit() {
+    std::vector<TermId> row;
+    row.reserve(out_vars_.size());
+    for (const std::string& v : out_vars_) {
+      auto it = bindings_.find(v);
+      if (it == bindings_.end()) {
+        return Status::Internal("unbound output variable ?" + v);
+      }
+      row.push_back(it->second);
+    }
+    rows_->push_back(std::move(row));
+    return Status::OK();
+  }
+
+  Status Step(size_t depth) {
+    if (meter_->ExceededBudget()) {
+      return Status::Cancelled("graph traversal exceeded cost budget");
+    }
+    if (depth == patterns_.size()) return Emit();
+    const EncPat& p = patterns_[depth];
+    const std::optional<TermId> s = Resolve(p.subject);
+    const std::optional<TermId> o = Resolve(p.object);
+
+    if (s.has_value()) {
+      meter_->Add(Op::kNodeLookup);
+      const std::vector<TermId>* nbrs = graph_.OutNeighbors(*s, p.predicate);
+      if (nbrs == nullptr) return Status::OK();
+      for (TermId nbr : *nbrs) {
+        meter_->Add(Op::kAdjExpandEdge);
+        if (o.has_value()) {
+          meter_->Add(Op::kBindCheck);
+          if (nbr != *o) continue;
+          DSKG_RETURN_NOT_OK(Step(depth + 1));
+        } else {
+          const size_t mark = trail_.size();
+          if (Bind(p.object, nbr)) {
+            DSKG_RETURN_NOT_OK(Step(depth + 1));
+          }
+          Unwind(mark);
+        }
+        if (meter_->ExceededBudget()) {
+          return Status::Cancelled("graph traversal exceeded cost budget");
+        }
+      }
+      return Status::OK();
+    }
+
+    if (o.has_value()) {
+      meter_->Add(Op::kNodeLookup);
+      const std::vector<TermId>* nbrs = graph_.InNeighbors(*o, p.predicate);
+      if (nbrs == nullptr) return Status::OK();
+      for (TermId nbr : *nbrs) {
+        meter_->Add(Op::kAdjExpandEdge);
+        const size_t mark = trail_.size();
+        if (Bind(p.subject, nbr)) {
+          DSKG_RETURN_NOT_OK(Step(depth + 1));
+        }
+        Unwind(mark);
+        if (meter_->ExceededBudget()) {
+          return Status::Cancelled("graph traversal exceeded cost budget");
+        }
+      }
+      return Status::OK();
+    }
+
+    // Both endpoints unbound: seed from the partition's edge list.
+    for (const auto& [es, eo] : graph_.Edges(p.predicate)) {
+      meter_->Add(Op::kAdjExpandEdge);
+      const size_t mark = trail_.size();
+      if (Bind(p.subject, es) && Bind(p.object, eo)) {
+        DSKG_RETURN_NOT_OK(Step(depth + 1));
+      }
+      Unwind(mark);
+      if (meter_->ExceededBudget()) {
+        return Status::Cancelled("graph traversal exceeded cost budget");
+      }
+    }
+    return Status::OK();
+  }
+
+  const PropertyGraph& graph_;
+  const std::vector<EncPat>& patterns_;
+  const std::vector<std::string>& out_vars_;
+  CostMeter* meter_;
+  std::unordered_map<std::string, TermId> bindings_;
+  std::vector<std::string> trail_;
+  std::vector<std::vector<TermId>>* rows_ = nullptr;
+};
+
+}  // namespace
+
+Result<BindingTable> TraversalMatcher::Match(const sparql::Query& query,
+                                             CostMeter* meter) const {
+  if (query.patterns.empty()) {
+    return Status::InvalidArgument("query has no patterns");
+  }
+
+  // ---- encode + preconditions -------------------------------------------
+  std::vector<EncPat> encoded;
+  encoded.reserve(query.patterns.size());
+  bool impossible = false;
+  for (const sparql::TriplePattern& tp : query.patterns) {
+    if (tp.predicate.is_variable) {
+      return Status::FailedPrecondition(
+          "variable predicate ?" + tp.predicate.text +
+          " cannot be answered by the partial graph store");
+    }
+    EncPat p;
+    p.subject = EncodeEnd(tp.subject, *dict_);
+    p.object = EncodeEnd(tp.object, *dict_);
+    const TermId pred = dict_->Lookup(tp.predicate.text);
+    if (pred == rdf::kInvalidTermId) {
+      impossible = true;  // unknown predicate term matches nothing
+      p.predicate = rdf::kInvalidTermId;
+    } else {
+      if (!graph_->HasPredicate(pred)) {
+        return Status::FailedPrecondition(
+            "partition of predicate " + tp.predicate.text +
+            " is not resident in the graph store");
+      }
+      p.predicate = pred;
+    }
+    if (p.subject.missing || p.object.missing) impossible = true;
+    encoded.push_back(std::move(p));
+  }
+
+  const std::vector<std::string> out_vars =
+      query.select_vars.empty() ? query.AllVariables() : query.select_vars;
+
+  if (impossible) {
+    BindingTable empty;
+    empty.columns = out_vars;
+    return empty;
+  }
+
+  // ---- traversal order: smallest seed first, then stay connected --------
+  std::vector<size_t> order;
+  std::vector<bool> used(encoded.size(), false);
+  std::vector<std::string> bound_vars;
+  auto is_bound = [&](const End& e) {
+    return !e.is_variable ||
+           std::find(bound_vars.begin(), bound_vars.end(), e.var) !=
+               bound_vars.end();
+  };
+  auto score = [&](const EncPat& p) -> uint64_t {
+    // A pattern reachable from a bound vertex costs ~degree; a free
+    // pattern costs its whole partition. Constant endpoints narrow it.
+    uint64_t base = graph_->PartitionTriples(p.predicate);
+    if (is_bound(p.subject) || is_bound(p.object)) {
+      base = base / 64 + 1;  // expansion from a bound vertex
+    }
+    if (!p.subject.is_variable) base = base / 4 + 1;
+    if (!p.object.is_variable) base = base / 4 + 1;
+    return base;
+  };
+  for (size_t step = 0; step < encoded.size(); ++step) {
+    size_t best = encoded.size();
+    uint64_t best_score = std::numeric_limits<uint64_t>::max();
+    bool best_connected = false;
+    for (size_t i = 0; i < encoded.size(); ++i) {
+      if (used[i]) continue;
+      const bool connected =
+          is_bound(encoded[i].subject) || is_bound(encoded[i].object);
+      const uint64_t sc = score(encoded[i]);
+      if (best == encoded.size() || (connected && !best_connected) ||
+          (connected == best_connected && sc < best_score)) {
+        best = i;
+        best_score = sc;
+        best_connected = connected;
+      }
+    }
+    used[best] = true;
+    order.push_back(best);
+    if (encoded[best].subject.is_variable) {
+      bound_vars.push_back(encoded[best].subject.var);
+    }
+    if (encoded[best].object.is_variable) {
+      bound_vars.push_back(encoded[best].object.var);
+    }
+  }
+  std::vector<EncPat> ordered;
+  ordered.reserve(order.size());
+  for (size_t i : order) ordered.push_back(encoded[i]);
+
+  Dfs dfs(*graph_, ordered, out_vars, meter);
+  return dfs.Run();
+}
+
+}  // namespace dskg::graphstore

@@ -1,0 +1,54 @@
+#ifndef DSKG_GRAPHSTORE_MATCHER_H_
+#define DSKG_GRAPHSTORE_MATCHER_H_
+
+/// \file matcher.h
+/// BGP matching by graph traversal (the graph store's query engine).
+///
+/// The matcher evaluates a basic graph pattern by backtracking depth-first
+/// search over the property graph's adjacency lists: patterns are ordered
+/// greedily (smallest partition first, then patterns adjacent to already-
+/// bound variables), and each step expands a bound vertex's neighbor list
+/// — no join materialization, no intermediate tables. Per the index-free
+/// adjacency argument (paper §1), the work is proportional to the number
+/// of edges actually visited, not to the size of the graph.
+///
+/// The matcher can only answer queries whose constant predicates are all
+/// resident in the graph store; the dual-store query processor is
+/// responsible for routing (Algorithm 3).
+
+#include "common/cost.h"
+#include "common/status.h"
+#include "graphstore/property_graph.h"
+#include "rdf/dictionary.h"
+#include "sparql/ast.h"
+#include "sparql/bindings.h"
+
+namespace dskg::graphstore {
+
+/// Evaluates BGP queries against a `PropertyGraph` by traversal.
+class TraversalMatcher {
+ public:
+  /// Neither pointer is owned; both must outlive the matcher.
+  TraversalMatcher(const PropertyGraph* graph, const rdf::Dictionary* dict)
+      : graph_(graph), dict_(dict) {}
+
+  /// Evaluates `query` and returns its projected bindings.
+  ///
+  /// Preconditions checked here (FailedPrecondition on violation):
+  ///  * every constant predicate of the query is resident;
+  ///  * no pattern has a variable in predicate position (the graph store
+  ///    holds only a subset of partitions, so a variable predicate could
+  ///    silently return partial answers — the processor must route such
+  ///    queries to the relational store).
+  /// Returns Cancelled if the meter's budget is exhausted.
+  Result<sparql::BindingTable> Match(const sparql::Query& query,
+                                     CostMeter* meter) const;
+
+ private:
+  const PropertyGraph* graph_;
+  const rdf::Dictionary* dict_;
+};
+
+}  // namespace dskg::graphstore
+
+#endif  // DSKG_GRAPHSTORE_MATCHER_H_

@@ -1,0 +1,118 @@
+#include "graphstore/property_graph.h"
+
+#include <limits>
+
+namespace dskg::graphstore {
+
+using rdf::TermId;
+using rdf::Triple;
+
+Status PropertyGraph::ImportPartition(TermId predicate,
+                                      const std::vector<Triple>& triples,
+                                      CostMeter* meter) {
+  if (HasPredicate(predicate)) {
+    return Status::AlreadyExists("partition " + std::to_string(predicate) +
+                                 " already resident");
+  }
+  if (capacity_triples_ > 0 &&
+      used_triples_ + triples.size() > capacity_triples_) {
+    return Status::CapacityExceeded(
+        "importing " + std::to_string(triples.size()) + " triples exceeds " +
+        std::to_string(capacity_triples_) + "-triple budget (" +
+        std::to_string(used_triples_) + " used)");
+  }
+  for (const Triple& t : triples) {
+    if (t.predicate != predicate) {
+      return Status::InvalidArgument(
+          "triple with predicate " + std::to_string(t.predicate) +
+          " in partition " + std::to_string(predicate));
+    }
+  }
+  Partition part;
+  for (const Triple& t : triples) {
+    AddEdge(&part, t.subject, t.object);
+    if (meter != nullptr) meter->Add(Op::kImportTriple);
+  }
+  used_triples_ += triples.size();
+  partitions_.emplace(predicate, std::move(part));
+  return Status::OK();
+}
+
+Status PropertyGraph::EvictPartition(TermId predicate, CostMeter* meter) {
+  auto it = partitions_.find(predicate);
+  if (it == partitions_.end()) {
+    return Status::NotFound("partition " + std::to_string(predicate) +
+                            " not resident");
+  }
+  const uint64_t n = it->second.edges.size();
+  if (meter != nullptr) meter->Add(Op::kEvictTriple, n);
+  used_triples_ -= n;
+  partitions_.erase(it);
+  return Status::OK();
+}
+
+Status PropertyGraph::InsertTriple(const Triple& t, CostMeter* meter) {
+  auto it = partitions_.find(t.predicate);
+  if (it == partitions_.end()) {
+    return Status::NotFound("partition " + std::to_string(t.predicate) +
+                            " not resident; single inserts only extend "
+                            "loaded partitions");
+  }
+  if (capacity_triples_ > 0 && used_triples_ + 1 > capacity_triples_) {
+    return Status::CapacityExceeded("graph store is full");
+  }
+  AddEdge(&it->second, t.subject, t.object);
+  ++used_triples_;
+  if (meter != nullptr) meter->Add(Op::kImportTriple);
+  return Status::OK();
+}
+
+std::vector<TermId> PropertyGraph::LoadedPredicates() const {
+  std::vector<TermId> out;
+  out.reserve(partitions_.size());
+  for (const auto& [p, _] : partitions_) out.push_back(p);
+  return out;
+}
+
+uint64_t PropertyGraph::PartitionTriples(TermId predicate) const {
+  auto it = partitions_.find(predicate);
+  return it == partitions_.end() ? 0 : it->second.edges.size();
+}
+
+uint64_t PropertyGraph::FreeTriples() const {
+  if (capacity_triples_ == 0) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return capacity_triples_ - used_triples_;
+}
+
+const std::vector<TermId>* PropertyGraph::OutNeighbors(
+    TermId v, TermId predicate) const {
+  auto it = partitions_.find(predicate);
+  if (it == partitions_.end()) return nullptr;
+  auto vit = it->second.out.find(v);
+  return vit == it->second.out.end() ? nullptr : &vit->second;
+}
+
+const std::vector<TermId>* PropertyGraph::InNeighbors(
+    TermId v, TermId predicate) const {
+  auto it = partitions_.find(predicate);
+  if (it == partitions_.end()) return nullptr;
+  auto vit = it->second.in.find(v);
+  return vit == it->second.in.end() ? nullptr : &vit->second;
+}
+
+const std::vector<std::pair<TermId, TermId>>& PropertyGraph::Edges(
+    TermId predicate) const {
+  static const std::vector<std::pair<TermId, TermId>> kEmpty;
+  auto it = partitions_.find(predicate);
+  return it == partitions_.end() ? kEmpty : it->second.edges;
+}
+
+void PropertyGraph::AddEdge(Partition* part, TermId s, TermId o) {
+  part->edges.emplace_back(s, o);
+  part->out[s].push_back(o);
+  part->in[o].push_back(s);
+}
+
+}  // namespace dskg::graphstore

@@ -1,0 +1,109 @@
+#ifndef DSKG_GRAPHSTORE_PROPERTY_GRAPH_H_
+#define DSKG_GRAPHSTORE_PROPERTY_GRAPH_H_
+
+/// \file property_graph.h
+/// The native graph store: an index-free-adjacency property graph holding
+/// a *subset* of the knowledge graph's predicate partitions.
+///
+/// Vertices are dictionary term ids; edges are labelled with predicate
+/// ids. Each loaded partition keeps grouped out- and in-adjacency
+/// (vertex -> neighbor list), so a traversal step from a bound vertex is a
+/// pointer chase whose cost depends only on that vertex's degree — the
+/// index-free adjacency property the paper leans on (query cost tracks the
+/// traversal range, not the graph size).
+///
+/// Mirroring the systems the paper measured (Neo4j's cumbersome import,
+/// gStore's triple limit), the store has
+///   * a hard capacity in triples (`capacity_triples`), and
+///   * an expensive bulk-import path (`kImportTriple` is the costliest
+///     per-tuple weight in the cost model).
+/// Partitions are imported and evicted whole, which is exactly the
+/// granularity DOTIL tunes.
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/cost.h"
+#include "common/status.h"
+#include "rdf/triple.h"
+
+namespace dskg::graphstore {
+
+/// A capacity-bounded, partition-granular property graph.
+class PropertyGraph {
+ public:
+  /// \param capacity_triples  maximum triples resident at once
+  ///                          (0 = unlimited, for tests / Table 1).
+  explicit PropertyGraph(uint64_t capacity_triples = 0)
+      : capacity_triples_(capacity_triples) {}
+
+  PropertyGraph(const PropertyGraph&) = delete;
+  PropertyGraph& operator=(const PropertyGraph&) = delete;
+
+  /// Bulk-imports the partition of `predicate`. All triples must carry
+  /// that predicate. Fails with AlreadyExists if the partition is loaded
+  /// and with CapacityExceeded if it does not fit. Charges one
+  /// `kImportTriple` per triple.
+  Status ImportPartition(rdf::TermId predicate,
+                         const std::vector<rdf::Triple>& triples,
+                         CostMeter* meter);
+
+  /// Removes the partition of `predicate`. Charges one `kEvictTriple` per
+  /// removed triple. NotFound if not loaded.
+  Status EvictPartition(rdf::TermId predicate, CostMeter* meter);
+
+  /// Inserts one triple into an already-loaded partition (the slow
+  /// single-edge update path). CapacityExceeded / NotFound as above.
+  Status InsertTriple(const rdf::Triple& t, CostMeter* meter);
+
+  /// True if `predicate`'s partition is resident.
+  bool HasPredicate(rdf::TermId predicate) const {
+    return partitions_.find(predicate) != partitions_.end();
+  }
+
+  /// Resident predicates in ascending id order (deterministic).
+  std::vector<rdf::TermId> LoadedPredicates() const;
+
+  /// Number of triples in `predicate`'s resident partition (0 if absent).
+  uint64_t PartitionTriples(rdf::TermId predicate) const;
+
+  uint64_t used_triples() const { return used_triples_; }
+  uint64_t capacity_triples() const { return capacity_triples_; }
+  /// Remaining capacity in triples (max value when unlimited).
+  uint64_t FreeTriples() const;
+
+  // --- adjacency access (used by the traversal matcher) -------------------
+
+  /// Out-neighbors of `v` via `predicate`, or nullptr if none/not loaded.
+  const std::vector<rdf::TermId>* OutNeighbors(rdf::TermId v,
+                                               rdf::TermId predicate) const;
+
+  /// In-neighbors of `v` via `predicate`, or nullptr if none/not loaded.
+  const std::vector<rdf::TermId>* InNeighbors(rdf::TermId v,
+                                              rdf::TermId predicate) const;
+
+  /// All (subject, object) edges of `predicate`'s partition, insertion
+  /// order. Empty if not loaded.
+  const std::vector<std::pair<rdf::TermId, rdf::TermId>>& Edges(
+      rdf::TermId predicate) const;
+
+ private:
+  struct Partition {
+    std::vector<std::pair<rdf::TermId, rdf::TermId>> edges;
+    std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> out;
+    std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> in;
+  };
+
+  void AddEdge(Partition* part, rdf::TermId s, rdf::TermId o);
+
+  // Ordered map keeps LoadedPredicates() deterministic.
+  std::map<rdf::TermId, Partition> partitions_;
+  uint64_t capacity_triples_;
+  uint64_t used_triples_ = 0;
+};
+
+}  // namespace dskg::graphstore
+
+#endif  // DSKG_GRAPHSTORE_PROPERTY_GRAPH_H_

@@ -1,0 +1,89 @@
+#ifndef DSKG_RDF_DATASET_H_
+#define DSKG_RDF_DATASET_H_
+
+/// \file dataset.h
+/// An in-memory knowledge graph: a dictionary plus a bag of triples, with
+/// per-predicate partition statistics.
+///
+/// "Triple partition" follows the paper's definition (§3.2): the set of all
+/// triples sharing one predicate. Partitions are the unit DOTIL transfers
+/// between the relational and graph stores, so the dataset maintains their
+/// sizes incrementally as triples are added.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/dictionary.h"
+#include "rdf/triple.h"
+
+namespace dskg::rdf {
+
+/// Statistics of one predicate partition.
+struct PartitionStats {
+  TermId predicate = kInvalidTermId;
+  uint64_t num_triples = 0;
+  /// Estimated storage footprint in bytes (3 ids + term-text amortization).
+  uint64_t bytes = 0;
+};
+
+/// A knowledge graph held in memory.
+class Dataset {
+ public:
+  Dataset() : dict_(std::make_unique<Dictionary>()) {}
+
+  Dataset(const Dataset&) = delete;
+  Dataset& operator=(const Dataset&) = delete;
+  Dataset(Dataset&&) = default;
+  Dataset& operator=(Dataset&&) = default;
+
+  /// Adds a triple given term strings, interning them as needed.
+  Triple Add(std::string_view s, std::string_view p, std::string_view o);
+
+  /// Adds an already-encoded triple. Ids must come from `dict()`.
+  void Add(const Triple& t);
+
+  /// All triples, in insertion order.
+  const std::vector<Triple>& triples() const { return triples_; }
+
+  /// The term dictionary.
+  const Dictionary& dict() const { return *dict_; }
+  Dictionary& mutable_dict() { return *dict_; }
+
+  uint64_t num_triples() const { return triples_.size(); }
+
+  /// Number of distinct predicates seen (the paper's #-P column).
+  size_t num_predicates() const { return partition_stats_.size(); }
+
+  /// Number of distinct subjects-or-objects (the paper's #-S∪O column).
+  /// Computed on demand: O(|G|).
+  size_t CountDistinctSubjectsObjects() const;
+
+  /// Stats of the partition of `predicate`, or NotFound.
+  Result<PartitionStats> PartitionOf(TermId predicate) const;
+
+  /// Stats for every partition, ordered by predicate id.
+  std::vector<PartitionStats> AllPartitions() const;
+
+  /// All triples whose predicate is `predicate` (O(|G|) scan; partition
+  /// extraction during migration goes through the relational store's
+  /// POS index instead, this is a convenience for tests/tools).
+  std::vector<Triple> TriplesWithPredicate(TermId predicate) const;
+
+  /// Estimated total dataset footprint in bytes.
+  uint64_t EstimatedBytes() const;
+
+ private:
+  std::unique_ptr<Dictionary> dict_;
+  std::vector<Triple> triples_;
+  // Ordered map => AllPartitions() is deterministic without a sort.
+  std::map<TermId, PartitionStats> partition_stats_;
+};
+
+}  // namespace dskg::rdf
+
+#endif  // DSKG_RDF_DATASET_H_

@@ -1,0 +1,78 @@
+#ifndef DSKG_RDF_DICTIONARY_H_
+#define DSKG_RDF_DICTIONARY_H_
+
+/// \file dictionary.h
+/// Bidirectional mapping between term strings and dense `TermId`s.
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/triple.h"
+
+namespace dskg::rdf {
+
+/// Interns term strings, assigning dense ids 0, 1, 2, ... in first-seen
+/// order. Lookup is O(1) expected in both directions.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  // Movable but not copyable: a dictionary is typically shared by pointer.
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+
+  /// Returns the id for `term`, interning it if new.
+  TermId Intern(std::string_view term) {
+    auto it = ids_.find(std::string(term));
+    if (it != ids_.end()) return it->second;
+    const TermId id = terms_.size();
+    terms_.emplace_back(term);
+    ids_.emplace(terms_.back(), id);
+    bytes_ += term.size();
+    return id;
+  }
+
+  /// Returns the id for `term` if present, `kInvalidTermId` otherwise.
+  TermId Lookup(std::string_view term) const {
+    auto it = ids_.find(std::string(term));
+    return it == ids_.end() ? kInvalidTermId : it->second;
+  }
+
+  /// True if `term` has been interned.
+  bool Contains(std::string_view term) const {
+    return Lookup(term) != kInvalidTermId;
+  }
+
+  /// Returns the string for `id`. Requires `id < size()`.
+  const std::string& TermOf(TermId id) const { return terms_.at(id); }
+
+  /// Returns the string for `id` or an error if out of range.
+  Result<std::string> TermOfChecked(TermId id) const {
+    if (id >= terms_.size()) {
+      return Status::NotFound("term id " + std::to_string(id) +
+                              " not in dictionary of size " +
+                              std::to_string(terms_.size()));
+    }
+    return terms_[id];
+  }
+
+  /// Number of interned terms.
+  size_t size() const { return terms_.size(); }
+
+  /// Total bytes of interned term text (used for size reporting).
+  uint64_t text_bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::string> terms_;
+  std::unordered_map<std::string, TermId> ids_;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace dskg::rdf
+
+#endif  // DSKG_RDF_DICTIONARY_H_

@@ -1,0 +1,53 @@
+#include "rdf/ntriples.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace dskg::rdf {
+
+Result<Dataset> NTriplesReader::Read(std::istream& in) {
+  Dataset ds;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    std::vector<std::string> parts = SplitString(trimmed, " \t");
+    // Accept both "s p o ." and "s p o".
+    if (!parts.empty() && parts.back() == ".") parts.pop_back();
+    if (parts.size() != 3) {
+      return Status::ParseError("line " + std::to_string(lineno) +
+                                ": expected 3 terms, got " +
+                                std::to_string(parts.size()));
+    }
+    ds.Add(parts[0], parts[1], parts[2]);
+  }
+  return ds;
+}
+
+Result<Dataset> NTriplesReader::ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path + " for reading");
+  return Read(in);
+}
+
+Status NTriplesWriter::Write(const Dataset& ds, std::ostream& out) {
+  const Dictionary& dict = ds.dict();
+  for (const Triple& t : ds.triples()) {
+    out << dict.TermOf(t.subject) << ' ' << dict.TermOf(t.predicate) << ' '
+        << dict.TermOf(t.object) << " .\n";
+  }
+  if (!out) return Status::IoError("write failed");
+  return Status::OK();
+}
+
+Status NTriplesWriter::WriteFile(const Dataset& ds, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  return Write(ds, out);
+}
+
+}  // namespace dskg::rdf

@@ -1,0 +1,42 @@
+#ifndef DSKG_RDF_NTRIPLES_H_
+#define DSKG_RDF_NTRIPLES_H_
+
+/// \file ntriples.h
+/// Line-oriented text I/O for datasets.
+///
+/// The format is a pragmatic N-Triples subset: one triple per line,
+/// whitespace-separated `<subject> <predicate> <object> .` where terms are
+/// written verbatim (no escaping — generator-produced terms contain no
+/// whitespace). Lines starting with `#` are comments.
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "rdf/dataset.h"
+
+namespace dskg::rdf {
+
+/// Parses datasets from text.
+class NTriplesReader {
+ public:
+  /// Reads all triples from `in` into a new dataset.
+  static Result<Dataset> Read(std::istream& in);
+
+  /// Reads a dataset from the file at `path`.
+  static Result<Dataset> ReadFile(const std::string& path);
+};
+
+/// Serializes datasets to text.
+class NTriplesWriter {
+ public:
+  /// Writes `ds` to `out`, one triple per line, terminated by " .".
+  static Status Write(const Dataset& ds, std::ostream& out);
+
+  /// Writes `ds` to the file at `path` (overwriting).
+  static Status WriteFile(const Dataset& ds, const std::string& path);
+};
+
+}  // namespace dskg::rdf
+
+#endif  // DSKG_RDF_NTRIPLES_H_

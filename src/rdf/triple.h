@@ -1,0 +1,53 @@
+#ifndef DSKG_RDF_TRIPLE_H_
+#define DSKG_RDF_TRIPLE_H_
+
+/// \file triple.h
+/// Dictionary-encoded RDF triples.
+///
+/// All engines in DSKG operate on dense integer term ids produced by
+/// `rdf::Dictionary`; strings only exist at the edges (parsing and report
+/// printing). A triple is three 64-bit ids: subject, predicate, object.
+
+#include <cstdint>
+#include <functional>
+#include <tuple>
+
+namespace dskg::rdf {
+
+/// Dense identifier of a term (IRI or literal) in a `Dictionary`.
+using TermId = uint64_t;
+
+/// Sentinel id meaning "no term" / "unknown".
+inline constexpr TermId kInvalidTermId = ~0ULL;
+
+/// One dictionary-encoded edge of the knowledge graph.
+struct Triple {
+  TermId subject = kInvalidTermId;
+  TermId predicate = kInvalidTermId;
+  TermId object = kInvalidTermId;
+
+  friend bool operator==(const Triple&, const Triple&) = default;
+
+  /// Lexicographic (S,P,O) order, the canonical sort order of a dataset.
+  friend bool operator<(const Triple& a, const Triple& b) {
+    return std::tie(a.subject, a.predicate, a.object) <
+           std::tie(b.subject, b.predicate, b.object);
+  }
+};
+
+/// Hash functor for `Triple`, usable with unordered containers.
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    // 64-bit mix of the three components (xorshift-multiply rounds).
+    uint64_t h = t.subject * 0x9e3779b97f4a7c15ULL;
+    h ^= (t.predicate + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= (t.object + 0x94d049bb133111ebULL + (h << 6) + (h >> 2));
+    h ^= h >> 31;
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace dskg::rdf
+
+#endif  // DSKG_RDF_TRIPLE_H_

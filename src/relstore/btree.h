@@ -1,0 +1,236 @@
+#ifndef DSKG_RELSTORE_BTREE_H_
+#define DSKG_RELSTORE_BTREE_H_
+
+/// \file btree.h
+/// In-memory B+-tree used for the relational store's secondary indexes.
+///
+/// The tree stores fixed-width composite keys (permuted triples) in sorted
+/// order in its leaves, which are linked for range scans — the classic
+/// RDBMS secondary-index layout. Operations:
+///
+///   * `Insert(key)`    — O(log n), duplicates ignored (set semantics)
+///   * `Erase(key)`     — O(log n), logical delete with lazy compaction
+///   * `LowerBound(key)`— O(log n) descent, then an iterator that walks
+///                        leaves left to right
+///
+/// The node fan-out is deliberately page-like (`kMaxKeys` = 64) so that a
+/// root-to-leaf descent has realistic depth for the cost model's
+/// `kIndexProbe` weight to represent.
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dskg::relstore {
+
+/// A B+-tree over keys of type `Key` ordered by `operator<`.
+/// `Key` must be copyable and totally ordered.
+template <typename Key>
+class BPlusTree {
+ public:
+  static constexpr int kMaxKeys = 64;
+  static constexpr int kMinKeys = kMaxKeys / 2;
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    std::vector<Key> keys;
+    std::vector<std::unique_ptr<Node>> children;  // inner nodes only
+    Node* next_leaf = nullptr;                    // leaves only
+  };
+
+ public:
+  BPlusTree() : root_(NewLeaf()) {}
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+  BPlusTree(BPlusTree&&) = default;
+  BPlusTree& operator=(BPlusTree&&) = default;
+
+  /// Inserts `key`. Returns true if inserted, false if already present.
+  bool Insert(const Key& key) {
+    InsertResult r = InsertRec(root_.get(), key);
+    if (!r.inserted) return false;
+    if (r.split_right != nullptr) {
+      // Root split: grow the tree by one level.
+      auto new_root = std::make_unique<Node>();
+      new_root->is_leaf = false;
+      new_root->keys.push_back(r.split_key);
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(r.split_right));
+      root_ = std::move(new_root);
+      ++height_;
+    }
+    ++size_;
+    return true;
+  }
+
+  /// Removes `key`. Returns true if it was present.
+  /// Uses logical deletion within leaves (no rebalancing); leaves never
+  /// become unreachable, and range scans skip nothing, which is sufficient
+  /// for the workloads DSKG runs (deletes are rare).
+  bool Erase(const Key& key) {
+    Node* node = root_.get();
+    while (!node->is_leaf) {
+      node = node->children[ChildIndex(node, key)].get();
+    }
+    auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+    if (it == node->keys.end() || key < *it || *it < key) return false;
+    node->keys.erase(it);
+    --size_;
+    return true;
+  }
+
+  /// True if `key` is present.
+  bool Contains(const Key& key) const {
+    const Node* node = root_.get();
+    while (!node->is_leaf) {
+      node = node->children[ChildIndex(node, key)].get();
+    }
+    auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+    return it != node->keys.end() && !(key < *it) && !(*it < key);
+  }
+
+  /// Forward iterator over keys in sorted order, starting at a leaf slot.
+  class Iterator {
+   public:
+    Iterator() = default;
+    Iterator(const Node* leaf, size_t slot) : leaf_(leaf), slot_(slot) {
+      SkipEmpty();
+    }
+
+    bool AtEnd() const { return leaf_ == nullptr; }
+
+    const Key& operator*() const {
+      assert(!AtEnd());
+      return leaf_->keys[slot_];
+    }
+
+    Iterator& operator++() {
+      assert(!AtEnd());
+      ++slot_;
+      SkipEmpty();
+      return *this;
+    }
+
+   private:
+    void SkipEmpty() {
+      while (leaf_ != nullptr && slot_ >= leaf_->keys.size()) {
+        leaf_ = leaf_->next_leaf;
+        slot_ = 0;
+      }
+    }
+    const Node* leaf_ = nullptr;
+    size_t slot_ = 0;
+  };
+
+  /// Iterator positioned at the first key >= `key`.
+  Iterator LowerBound(const Key& key) const {
+    const Node* node = root_.get();
+    while (!node->is_leaf) {
+      node = node->children[ChildIndex(node, key)].get();
+    }
+    auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+    return Iterator(node, static_cast<size_t>(it - node->keys.begin()));
+  }
+
+  /// Iterator over the whole tree in sorted order.
+  Iterator Begin() const {
+    const Node* node = root_.get();
+    while (!node->is_leaf) node = node->children.front().get();
+    return Iterator(node, 0);
+  }
+
+  /// Number of keys stored.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Height of the tree (1 = a single leaf). The cost model charges one
+  /// `kIndexProbe` per descent regardless; height is exposed for tests.
+  int height() const { return height_; }
+
+ private:
+  struct InsertResult {
+    bool inserted = false;
+    Key split_key{};
+    std::unique_ptr<Node> split_right;
+  };
+
+  static std::unique_ptr<Node> NewLeaf() {
+    auto n = std::make_unique<Node>();
+    n->is_leaf = true;
+    return n;
+  }
+
+  /// Index of the child subtree that may contain `key`.
+  /// Inner node invariant: child i holds keys < keys[i]; the last child
+  /// holds keys >= keys.back().
+  static size_t ChildIndex(const Node* node, const Key& key) {
+    auto it = std::upper_bound(node->keys.begin(), node->keys.end(), key);
+    return static_cast<size_t>(it - node->keys.begin());
+  }
+
+  InsertResult InsertRec(Node* node, const Key& key) {
+    if (node->is_leaf) {
+      auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+      if (it != node->keys.end() && !(key < *it) && !(*it < key)) {
+        return {};  // duplicate
+      }
+      node->keys.insert(it, key);
+      InsertResult r;
+      r.inserted = true;
+      if (node->keys.size() > kMaxKeys) SplitLeaf(node, &r);
+      return r;
+    }
+    const size_t ci = ChildIndex(node, key);
+    InsertResult child_r = InsertRec(node->children[ci].get(), key);
+    if (!child_r.inserted) return {};
+    InsertResult r;
+    r.inserted = true;
+    if (child_r.split_right != nullptr) {
+      node->keys.insert(node->keys.begin() + ci, child_r.split_key);
+      node->children.insert(node->children.begin() + ci + 1,
+                            std::move(child_r.split_right));
+      if (node->keys.size() > kMaxKeys) SplitInner(node, &r);
+    }
+    return r;
+  }
+
+  void SplitLeaf(Node* node, InsertResult* r) {
+    auto right = NewLeaf();
+    const size_t mid = node->keys.size() / 2;
+    right->keys.assign(node->keys.begin() + mid, node->keys.end());
+    node->keys.resize(mid);
+    right->next_leaf = node->next_leaf;
+    node->next_leaf = right.get();
+    r->split_key = right->keys.front();
+    r->split_right = std::move(right);
+  }
+
+  void SplitInner(Node* node, InsertResult* r) {
+    auto right = std::make_unique<Node>();
+    right->is_leaf = false;
+    const size_t mid = node->keys.size() / 2;
+    // keys[mid] moves up; keys right of it and children right of mid+1 move
+    // to the new node.
+    r->split_key = node->keys[mid];
+    right->keys.assign(node->keys.begin() + mid + 1, node->keys.end());
+    for (size_t i = mid + 1; i < node->children.size(); ++i) {
+      right->children.push_back(std::move(node->children[i]));
+    }
+    node->keys.resize(mid);
+    node->children.resize(mid + 1);
+    r->split_right = std::move(right);
+  }
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+  int height_ = 1;
+};
+
+}  // namespace dskg::relstore
+
+#endif  // DSKG_RELSTORE_BTREE_H_

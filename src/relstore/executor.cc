@@ -1,0 +1,372 @@
+#include "relstore/executor.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dskg::relstore {
+
+using rdf::TermId;
+using rdf::Triple;
+using sparql::BindingTable;
+
+namespace {
+
+/// One triple-pattern position after dictionary encoding.
+struct Slot {
+  bool is_variable = false;
+  std::string var;          // when is_variable
+  TermId constant = rdf::kInvalidTermId;  // when !is_variable
+  bool missing_constant = false;  // constant not in the dictionary
+};
+
+Slot EncodeSlot(const sparql::PatternTerm& t, const rdf::Dictionary& dict) {
+  Slot s;
+  if (t.is_variable) {
+    s.is_variable = true;
+    s.var = t.text;
+    return s;
+  }
+  s.constant = dict.Lookup(t.text);
+  s.missing_constant = (s.constant == rdf::kInvalidTermId);
+  return s;
+}
+
+}  // namespace
+
+/// A fully encoded pattern plus plan-time metadata.
+struct Executor::EncodedPattern {
+  Slot slots[3];  // subject, predicate, object
+  bool used = false;
+
+  bool HasMissingConstant() const {
+    return slots[0].missing_constant || slots[1].missing_constant ||
+           slots[2].missing_constant;
+  }
+
+  /// Pattern with only its constants bound (the scan extent).
+  BoundPattern ConstantExtent() const {
+    BoundPattern b;
+    if (!slots[0].is_variable) b.subject = slots[0].constant;
+    if (!slots[1].is_variable) b.predicate = slots[1].constant;
+    if (!slots[2].is_variable) b.object = slots[2].constant;
+    return b;
+  }
+
+  /// Distinct variables of the pattern, in position order.
+  std::vector<std::string> Vars() const {
+    std::vector<std::string> out;
+    for (const Slot& s : slots) {
+      if (s.is_variable &&
+          std::find(out.begin(), out.end(), s.var) == out.end()) {
+        out.push_back(s.var);
+      }
+    }
+    return out;
+  }
+
+  /// Checks within-pattern consistency for repeated variables and returns
+  /// the binding of each distinct variable for triple `t`.
+  bool ExtractBindings(const Triple& t,
+                       std::unordered_map<std::string, TermId>* out) const {
+    const TermId vals[3] = {t.subject, t.predicate, t.object};
+    out->clear();
+    for (int i = 0; i < 3; ++i) {
+      if (!slots[i].is_variable) continue;
+      auto [it, inserted] = out->emplace(slots[i].var, vals[i]);
+      if (!inserted && it->second != vals[i]) return false;
+    }
+    return true;
+  }
+};
+
+namespace {
+
+double JoinVarSelectivity(const TripleTable& table, TermId predicate,
+                          bool subject_bound, bool object_bound) {
+  PredicateTableStats st = table.StatsOf(predicate);
+  double est = static_cast<double>(st.num_triples);
+  if (subject_bound) {
+    est /= std::max<uint64_t>(1, st.num_distinct_subjects);
+  }
+  if (object_bound) {
+    est /= std::max<uint64_t>(1, st.num_distinct_objects);
+  }
+  return std::max(1.0, est);
+}
+
+/// Estimated matches for a pattern when, in addition to its constants, the
+/// variable positions in `bound_vars` are bound (to values unknown at plan
+/// time). Mirrors TripleTable::EstimateMatches but works on masks.
+uint64_t EstimateWithBoundVars(
+    const TripleTable& table, const Executor::EncodedPattern& p,
+    const std::unordered_set<std::string>& bound_vars) {
+  const Slot& s = p.slots[0];
+  const Slot& pr = p.slots[1];
+  const Slot& o = p.slots[2];
+  const bool s_bound = !s.is_variable || bound_vars.count(s.var) > 0;
+  const bool o_bound = !o.is_variable || bound_vars.count(o.var) > 0;
+  if (!pr.is_variable) {
+    return static_cast<uint64_t>(
+        JoinVarSelectivity(table, pr.constant, s_bound, o_bound));
+  }
+  // Variable predicate: uniform assumption over the whole table.
+  double est = static_cast<double>(table.size());
+  if (s_bound) est /= std::max<uint64_t>(1, table.SubjectCount());
+  if (o_bound) est /= std::max<uint64_t>(1, table.ObjectCount());
+  return static_cast<uint64_t>(std::max(1.0, est));
+}
+
+}  // namespace
+
+Result<BindingTable> Executor::Execute(const sparql::Query& query,
+                                       CostMeter* meter) const {
+  return Run(query, nullptr, meter);
+}
+
+Result<BindingTable> Executor::ExecuteWithSeed(const sparql::Query& query,
+                                               const BindingTable& seed,
+                                               CostMeter* meter) const {
+  return Run(query, &seed, meter);
+}
+
+Result<BindingTable> Executor::Run(const sparql::Query& query,
+                                   const BindingTable* seed,
+                                   CostMeter* meter) const {
+  if (query.patterns.empty()) {
+    return Status::InvalidArgument("query has no patterns");
+  }
+
+  // ---- encode -----------------------------------------------------------
+  std::vector<EncodedPattern> patterns(query.patterns.size());
+  bool impossible = false;
+  for (size_t i = 0; i < query.patterns.size(); ++i) {
+    patterns[i].slots[0] = EncodeSlot(query.patterns[i].subject, *dict_);
+    patterns[i].slots[1] = EncodeSlot(query.patterns[i].predicate, *dict_);
+    patterns[i].slots[2] = EncodeSlot(query.patterns[i].object, *dict_);
+    if (patterns[i].HasMissingConstant()) impossible = true;
+  }
+
+  const std::vector<std::string> out_vars =
+      query.select_vars.empty() ? query.AllVariables() : query.select_vars;
+
+  if (impossible) {
+    // A constant that is not in the dictionary matches nothing.
+    BindingTable empty;
+    empty.columns = out_vars;
+    return empty;
+  }
+
+  const CostModel& model = *meter->model();
+
+  // ---- initial relation -------------------------------------------------
+  BindingTable cur;
+  std::unordered_set<std::string> bound;
+  size_t num_joined = 0;
+
+  if (seed != nullptr) {
+    cur = *seed;
+    for (const std::string& c : cur.columns) bound.insert(c);
+    // Reading the seed out of the temporary table space.
+    meter->Add(Op::kSeqScanTuple, cur.rows.size());
+  } else {
+    // Start from the pattern with the smallest estimated extent.
+    size_t best = 0;
+    uint64_t best_est = std::numeric_limits<uint64_t>::max();
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      const uint64_t est = table_->EstimateMatches(
+          patterns[i].ConstantExtent());
+      if (est < best_est) {
+        best_est = est;
+        best = i;
+      }
+    }
+    EncodedPattern& p = patterns[best];
+    p.used = true;
+    ++num_joined;
+    cur.columns = p.Vars();
+    for (const std::string& v : cur.columns) bound.insert(v);
+    std::unordered_map<std::string, TermId> binds;
+    Status scan = table_->ScanPattern(
+        p.ConstantExtent(), meter, [&](const Triple& t) {
+          if (!p.ExtractBindings(t, &binds)) return true;
+          std::vector<TermId> row;
+          row.reserve(cur.columns.size());
+          for (const std::string& v : cur.columns) row.push_back(binds[v]);
+          meter->Add(Op::kMaterializeTuple);
+          cur.rows.push_back(std::move(row));
+          return !meter->ExceededBudget();
+        });
+    DSKG_RETURN_NOT_OK(scan);
+    if (meter->ExceededBudget()) {
+      return Status::Cancelled("relational execution exceeded cost budget");
+    }
+  }
+
+  // ---- join remaining patterns, greedily --------------------------------
+  while (num_joined < patterns.size()) {
+    // Prefer connected patterns (sharing a bound variable); among those,
+    // the one with the smallest estimate given its join vars are bound.
+    size_t best = patterns.size();
+    uint64_t best_est = std::numeric_limits<uint64_t>::max();
+    bool best_connected = false;
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      if (patterns[i].used) continue;
+      bool connected = false;
+      for (const std::string& v : patterns[i].Vars()) {
+        if (bound.count(v) > 0) {
+          connected = true;
+          break;
+        }
+      }
+      const uint64_t est = EstimateWithBoundVars(*table_, patterns[i],
+                                                 connected ? bound
+                                                           : decltype(bound){});
+      if (best == patterns.size() || (connected && !best_connected) ||
+          (connected == best_connected && est < best_est)) {
+        best = i;
+        best_est = est;
+        best_connected = connected;
+      }
+    }
+    EncodedPattern& p = patterns[best];
+    p.used = true;
+    ++num_joined;
+
+    // Join variables and new variables of this step.
+    std::vector<std::string> join_vars;
+    std::vector<std::string> new_vars;
+    for (const std::string& v : p.Vars()) {
+      if (bound.count(v) > 0) {
+        join_vars.push_back(v);
+      } else {
+        new_vars.push_back(v);
+      }
+    }
+
+    // ---- operator choice (deterministic cost-based) ----
+    const double rows_out = static_cast<double>(cur.rows.size());
+    const uint64_t per_row_est = EstimateWithBoundVars(*table_, p, bound);
+    const uint64_t extent_est =
+        table_->EstimateMatches(p.ConstantExtent());
+    const double cost_inlj =
+        rows_out * (model.weight(Op::kIndexProbe) +
+                    static_cast<double>(per_row_est) *
+                        model.weight(Op::kIndexScanTuple));
+    const double cost_hash =
+        static_cast<double>(extent_est) *
+            (model.weight(Op::kIndexScanTuple) +
+             model.weight(Op::kHashBuildTuple)) +
+        rows_out * model.weight(Op::kHashProbeTuple);
+    const bool use_hash = !join_vars.empty() && cost_hash < cost_inlj;
+
+    BindingTable next;
+    next.columns = cur.columns;
+    for (const std::string& v : new_vars) next.columns.push_back(v);
+
+    auto emit = [&](const std::vector<TermId>& base,
+                    const std::unordered_map<std::string, TermId>& binds) {
+      std::vector<TermId> row = base;
+      for (const std::string& v : new_vars) row.push_back(binds.at(v));
+      meter->Add(Op::kJoinOutputTuple);
+      meter->Add(Op::kMaterializeTuple);
+      next.rows.push_back(std::move(row));
+    };
+
+    if (use_hash) {
+      // ---- hash join: scan extent once, probe with outer rows ----
+      std::vector<int> join_cols;
+      join_cols.reserve(join_vars.size());
+      for (const std::string& v : join_vars) {
+        join_cols.push_back(cur.ColumnIndex(v));
+      }
+      struct HashedMatch {
+        std::vector<TermId> key;
+        std::unordered_map<std::string, TermId> binds;
+      };
+      std::unordered_map<std::string, std::vector<HashedMatch>> ht;
+      auto key_str = [](const std::vector<TermId>& key) {
+        std::string k;
+        k.reserve(key.size() * sizeof(TermId));
+        for (TermId v : key) {
+          k.append(reinterpret_cast<const char*>(&v), sizeof(TermId));
+        }
+        return k;
+      };
+      std::unordered_map<std::string, TermId> binds;
+      Status scan = table_->ScanPattern(
+          p.ConstantExtent(), meter, [&](const Triple& t) {
+            if (!p.ExtractBindings(t, &binds)) return true;
+            HashedMatch m;
+            for (const std::string& v : join_vars) {
+              m.key.push_back(binds.at(v));
+            }
+            m.binds = binds;
+            meter->Add(Op::kHashBuildTuple);
+            ht[key_str(m.key)].push_back(std::move(m));
+            return !meter->ExceededBudget();
+          });
+      DSKG_RETURN_NOT_OK(scan);
+      for (const auto& row : cur.rows) {
+        std::vector<TermId> key;
+        key.reserve(join_cols.size());
+        for (int c : join_cols) key.push_back(row[static_cast<size_t>(c)]);
+        meter->Add(Op::kHashProbeTuple);
+        auto it = ht.find(key_str(key));
+        if (it == ht.end()) continue;
+        for (const HashedMatch& m : it->second) emit(row, m.binds);
+        if (meter->ExceededBudget()) {
+          return Status::Cancelled(
+              "relational execution exceeded cost budget");
+        }
+      }
+    } else {
+      // ---- index nested-loop join (also covers cartesian steps) ----
+      for (const auto& row : cur.rows) {
+        BoundPattern bp = p.ConstantExtent();
+        // Substitute join-variable values from the outer row.
+        auto bind_slot = [&](const Slot& slot,
+                             std::optional<TermId>* target) {
+          if (!slot.is_variable) return;
+          const int c = cur.ColumnIndex(slot.var);
+          if (c >= 0) *target = row[static_cast<size_t>(c)];
+        };
+        bind_slot(p.slots[0], &bp.subject);
+        bind_slot(p.slots[1], &bp.predicate);
+        bind_slot(p.slots[2], &bp.object);
+        std::unordered_map<std::string, TermId> binds;
+        Status scan = table_->ScanPattern(bp, meter, [&](const Triple& t) {
+          if (!p.ExtractBindings(t, &binds)) return true;
+          emit(row, binds);
+          return !meter->ExceededBudget();
+        });
+        DSKG_RETURN_NOT_OK(scan);
+        if (meter->ExceededBudget()) {
+          return Status::Cancelled(
+              "relational execution exceeded cost budget");
+        }
+      }
+    }
+
+    cur = std::move(next);
+    for (const std::string& v : new_vars) bound.insert(v);
+    if (cur.rows.empty()) break;  // no results; remaining joins are no-ops
+  }
+
+  // ---- projection --------------------------------------------------------
+  BindingTable out = cur.Project(out_vars);
+  // Projected-away columns may leave missing columns if joins were cut
+  // short by an empty intermediate; normalize the header.
+  if (out.columns.size() != out_vars.size()) {
+    BindingTable normalized;
+    normalized.columns = out_vars;
+    if (!cur.rows.empty()) {
+      return Status::Internal("projection lost columns unexpectedly");
+    }
+    return normalized;
+  }
+  return out;
+}
+
+}  // namespace dskg::relstore

@@ -1,0 +1,71 @@
+#ifndef DSKG_RELSTORE_EXECUTOR_H_
+#define DSKG_RELSTORE_EXECUTOR_H_
+
+/// \file executor.h
+/// BGP execution over the triple table.
+///
+/// The executor compiles a basic graph pattern into a left-deep join plan
+/// ordered greedily by estimated cardinality, then evaluates it with one
+/// of two physical operators per step, chosen by estimated cost:
+///
+///   * index nested-loop join — one B+-tree probe per outer row; wins at
+///     small selectivity;
+///   * hash join — scans the pattern's extent once (a partition scan via
+///     the POS index) and probes it with outer rows; wins at large
+///     selectivity.
+///
+/// Every join step materializes its intermediate result (the row-store
+/// pipeline the paper attributes to MySQL), charging `kMaterializeTuple`
+/// per intermediate row — this is the term that makes large-selectivity
+/// complex queries expensive in the relational store, reproducing Table 1.
+
+#include <string>
+#include <vector>
+
+#include "common/cost.h"
+#include "common/status.h"
+#include "rdf/dictionary.h"
+#include "relstore/triple_table.h"
+#include "sparql/ast.h"
+#include "sparql/bindings.h"
+
+namespace dskg::relstore {
+
+/// Executes BGP queries against a `TripleTable`.
+class Executor {
+ public:
+  /// Neither pointer is owned; both must outlive the executor.
+  Executor(const TripleTable* table, const rdf::Dictionary* dict)
+      : table_(table), dict_(dict) {}
+
+  /// Evaluates `query` and returns its projected bindings.
+  /// Constants not present in the dictionary yield an empty result.
+  /// Returns Cancelled if the meter's cost budget is exhausted.
+  Result<sparql::BindingTable> Execute(const sparql::Query& query,
+                                       CostMeter* meter) const;
+
+  /// Evaluates `query` starting from an existing binding table `seed`
+  /// (e.g. intermediate results migrated from the graph store, already
+  /// resident in the temporary table space). The seed's columns join
+  /// with the query's variables by name. Projection still follows
+  /// `query.select_vars`.
+  Result<sparql::BindingTable> ExecuteWithSeed(
+      const sparql::Query& query, const sparql::BindingTable& seed,
+      CostMeter* meter) const;
+
+  /// A dictionary-encoded pattern with plan-time metadata. Public for the
+  /// planner helpers in executor.cc and for white-box tests.
+  struct EncodedPattern;
+
+ private:
+  Result<sparql::BindingTable> Run(const sparql::Query& query,
+                                   const sparql::BindingTable* seed,
+                                   CostMeter* meter) const;
+
+  const TripleTable* table_;
+  const rdf::Dictionary* dict_;
+};
+
+}  // namespace dskg::relstore
+
+#endif  // DSKG_RELSTORE_EXECUTOR_H_

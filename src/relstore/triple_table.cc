@@ -1,0 +1,155 @@
+#include "relstore/triple_table.h"
+
+#include <algorithm>
+
+namespace dskg::relstore {
+
+using rdf::TermId;
+using rdf::Triple;
+
+TripleTable::Key TripleTable::MakeKey(Order order, const Triple& t) {
+  switch (order) {
+    case Order::kSPO: return {t.subject, t.predicate, t.object};
+    case Order::kPOS: return {t.predicate, t.object, t.subject};
+    case Order::kOSP: return {t.object, t.subject, t.predicate};
+  }
+  return {};
+}
+
+Triple TripleTable::KeyToTriple(Order order, const Key& k) {
+  switch (order) {
+    case Order::kSPO: return {k[0], k[1], k[2]};
+    case Order::kPOS: return {k[2], k[0], k[1]};
+    case Order::kOSP: return {k[1], k[2], k[0]};
+  }
+  return {};
+}
+
+bool TripleTable::Insert(const Triple& t, CostMeter* meter) {
+  if (!spo_.Insert(MakeKey(Order::kSPO, t))) return false;  // duplicate
+  pos_.Insert(MakeKey(Order::kPOS, t));
+  osp_.Insert(MakeKey(Order::kOSP, t));
+  ++num_rows_;
+  MutableStats& st = stats_[t.predicate];
+  st.num_triples += 1;
+  st.subjects.insert(t.subject);
+  st.objects.insert(t.object);
+  all_subjects_.insert(t.subject);
+  all_objects_.insert(t.object);
+  if (meter != nullptr) meter->Add(Op::kInsertTuple);
+  return true;
+}
+
+void TripleTable::BulkLoad(const std::vector<Triple>& triples,
+                           CostMeter* meter) {
+  for (const Triple& t : triples) Insert(t, meter);
+}
+
+bool TripleTable::Contains(const Triple& t, CostMeter* meter) const {
+  if (meter != nullptr) meter->Add(Op::kIndexProbe);
+  return spo_.Contains(MakeKey(Order::kSPO, t));
+}
+
+std::optional<std::pair<TripleTable::Order, int>> TripleTable::ChooseIndex(
+    const BoundPattern& p) {
+  const bool s = p.subject.has_value();
+  const bool pr = p.predicate.has_value();
+  const bool o = p.object.has_value();
+  if (s && pr && o) return {{Order::kSPO, 3}};
+  if (s && pr) return {{Order::kSPO, 2}};
+  if (pr && o) return {{Order::kPOS, 2}};
+  if (o && s) return {{Order::kOSP, 2}};
+  if (s) return {{Order::kSPO, 1}};
+  if (pr) return {{Order::kPOS, 1}};
+  if (o) return {{Order::kOSP, 1}};
+  return std::nullopt;
+}
+
+Status TripleTable::RangeScan(
+    Order order, const Key& lo, int prefix_len, const BoundPattern& pattern,
+    CostMeter* meter, const std::function<bool(const Triple&)>& fn) const {
+  meter->Add(Op::kIndexProbe);
+  for (auto it = IndexFor(order)->LowerBound(lo); !it.AtEnd(); ++it) {
+    const Key& k = *it;
+    // Stop once the bound prefix no longer matches (end of the range).
+    bool in_range = true;
+    for (int i = 0; i < prefix_len; ++i) {
+      if (k[i] != lo[i]) {
+        in_range = false;
+        break;
+      }
+    }
+    if (!in_range) break;
+    meter->Add(Op::kIndexScanTuple);
+    if (meter->ExceededBudget()) {
+      return Status::Cancelled("index scan exceeded cost budget");
+    }
+    const Triple t = KeyToTriple(order, k);
+    if (!Matches(pattern, t)) continue;  // residual predicate
+    if (!fn(t)) break;
+  }
+  return Status::OK();
+}
+
+Status TripleTable::ScanPattern(
+    const BoundPattern& pattern, CostMeter* meter,
+    const std::function<bool(const Triple&)>& fn) const {
+  const auto choice = ChooseIndex(pattern);
+  if (!choice.has_value()) {
+    // Nothing bound: full table scan over the SPO index (clustered order).
+    for (auto it = spo_.Begin(); !it.AtEnd(); ++it) {
+      meter->Add(Op::kSeqScanTuple);
+      if (meter->ExceededBudget()) {
+        return Status::Cancelled("table scan exceeded cost budget");
+      }
+      if (!fn(KeyToTriple(Order::kSPO, *it))) break;
+    }
+    return Status::OK();
+  }
+  const auto [order, prefix_len] = *choice;
+  Key lo{0, 0, 0};
+  const Triple bound{pattern.subject.value_or(0),
+                     pattern.predicate.value_or(0),
+                     pattern.object.value_or(0)};
+  const Key full = MakeKey(order, bound);
+  for (int i = 0; i < prefix_len; ++i) lo[i] = full[i];
+  return RangeScan(order, lo, prefix_len, pattern, meter, fn);
+}
+
+uint64_t TripleTable::EstimateMatches(const BoundPattern& p) const {
+  if (p.predicate.has_value()) {
+    const auto it = stats_.find(*p.predicate);
+    if (it == stats_.end()) return 0;
+    const MutableStats& st = it->second;
+    double est = static_cast<double>(st.num_triples);
+    if (p.subject.has_value()) {
+      est /= std::max<uint64_t>(1, st.subjects.size());
+    }
+    if (p.object.has_value()) {
+      est /= std::max<uint64_t>(1, st.objects.size());
+    }
+    return static_cast<uint64_t>(std::max(1.0, est));
+  }
+  // Variable predicate: assume uniformity across the whole table.
+  double est = static_cast<double>(num_rows_);
+  if (p.subject.has_value()) est /= std::max<uint64_t>(1, SubjectCount());
+  if (p.object.has_value()) est /= std::max<uint64_t>(1, ObjectCount());
+  return static_cast<uint64_t>(std::max(1.0, est));
+}
+
+PredicateTableStats TripleTable::StatsOf(TermId predicate) const {
+  const auto it = stats_.find(predicate);
+  if (it == stats_.end()) return {};
+  return {it->second.num_triples,
+          static_cast<uint64_t>(it->second.subjects.size()),
+          static_cast<uint64_t>(it->second.objects.size())};
+}
+
+std::vector<TermId> TripleTable::Predicates() const {
+  std::vector<TermId> out;
+  out.reserve(stats_.size());
+  for (const auto& [p, _] : stats_) out.push_back(p);
+  return out;
+}
+
+}  // namespace dskg::relstore

@@ -1,0 +1,200 @@
+#include "relstore/views.h"
+
+#include <unordered_map>
+
+#include "rdf/dictionary.h"
+
+namespace dskg::relstore {
+
+using sparql::BindingTable;
+using sparql::PatternTerm;
+using sparql::Query;
+using sparql::TriplePattern;
+
+namespace {
+
+/// Canonical name assigner: the i-th distinct term seen becomes "n<i>".
+/// Variables and subject/object constants share one renaming space (a
+/// constant and the variable that generalizes it align to the same name).
+class Renamer {
+ public:
+  const std::string& NameOf(const PatternTerm& t) {
+    // Namespace-prefix the key so a variable ?x and a constant "x" do not
+    // collide in the map, while both still canonicalize positionally.
+    std::string key = (t.is_variable ? "?" : "c:") + t.text;
+    auto it = names_.find(key);
+    if (it == names_.end()) {
+      it = names_.emplace(std::move(key), "n" + std::to_string(names_.size()))
+               .first;
+    }
+    return it->second;
+  }
+
+ private:
+  std::unordered_map<std::string, std::string> names_;
+};
+
+/// Generalizes a BGP: every subject/object constant becomes a fresh
+/// variable (one per distinct constant text), predicates stay.
+Query Generalize(const std::vector<TriplePattern>& patterns) {
+  Query out;
+  std::unordered_map<std::string, std::string> const_vars;
+  auto generalize_term = [&](const PatternTerm& t) -> PatternTerm {
+    if (t.is_variable) return t;
+    auto it = const_vars.find(t.text);
+    if (it == const_vars.end()) {
+      it = const_vars
+               .emplace(t.text, "_g" + std::to_string(const_vars.size()))
+               .first;
+    }
+    return PatternTerm::Var(it->second);
+  };
+  for (const TriplePattern& p : patterns) {
+    TriplePattern g;
+    g.subject = generalize_term(p.subject);
+    g.predicate = p.predicate;  // predicates are never generalized
+    g.object = generalize_term(p.object);
+    out.patterns.push_back(std::move(g));
+  }
+  // Project all variables (select_vars empty == SELECT *).
+  return out;
+}
+
+}  // namespace
+
+std::string BgpSignature(const std::vector<TriplePattern>& patterns) {
+  Renamer renamer;
+  std::string sig;
+  for (const TriplePattern& p : patterns) {
+    sig += renamer.NameOf(p.subject);
+    sig += ' ';
+    if (p.predicate.is_variable) {
+      sig += renamer.NameOf(p.predicate);
+    } else {
+      sig += "P:";
+      sig += p.predicate.text;
+    }
+    sig += ' ';
+    sig += renamer.NameOf(p.object);
+    sig += " . ";
+  }
+  return sig;
+}
+
+Status MaterializedViewManager::CreateView(const Query& subquery,
+                                           CostMeter* meter) {
+  const std::string sig = BgpSignature(subquery.patterns);
+  if (views_.find(sig) != views_.end()) {
+    return Status::AlreadyExists("view exists for signature: " + sig);
+  }
+  MaterializedView view;
+  view.signature = sig;
+  view.definition = Generalize(subquery.patterns);
+
+  Result<BindingTable> data = executor_->Execute(view.definition, meter);
+  if (!data.ok()) return data.status();
+  view.data = std::move(data).ValueOrDie();
+
+  if (budget_rows_ > 0 && used_rows_ + view.data.rows.size() > budget_rows_) {
+    return Status::CapacityExceeded(
+        "view of " + std::to_string(view.data.rows.size()) +
+        " rows exceeds remaining budget of " +
+        std::to_string(budget_rows_ - used_rows_) + " rows");
+  }
+  meter->Add(Op::kTempTableTuple, view.data.rows.size());
+  used_rows_ += view.data.rows.size();
+  views_.emplace(sig, std::move(view));
+  return Status::OK();
+}
+
+Status MaterializedViewManager::DropView(const std::string& signature) {
+  auto it = views_.find(signature);
+  if (it == views_.end()) {
+    return Status::NotFound("no view with signature: " + signature);
+  }
+  used_rows_ -= it->second.data.rows.size();
+  views_.erase(it);
+  return Status::OK();
+}
+
+void MaterializedViewManager::Clear() {
+  views_.clear();
+  used_rows_ = 0;
+}
+
+bool MaterializedViewManager::HasViewFor(
+    const std::vector<TriplePattern>& patterns) const {
+  return views_.find(BgpSignature(patterns)) != views_.end();
+}
+
+std::optional<MaterializedViewManager::Answer>
+MaterializedViewManager::TryAnswer(const std::vector<TriplePattern>& patterns,
+                                   CostMeter* meter) const {
+  auto it = views_.find(BgpSignature(patterns));
+  if (it == views_.end()) return std::nullopt;
+  const MaterializedView& view = it->second;
+  meter->Add(Op::kViewLookup);
+
+  // Positionally align the query's terms with the view definition's
+  // variables (signature equality guarantees structural alignment).
+  // View column -> query variable name, or view column -> constant filter.
+  std::unordered_map<std::string, std::string> col_to_var;
+  std::unordered_map<std::string, rdf::TermId> col_filter;
+  bool impossible = false;
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    auto align = [&](const PatternTerm& q_term, const PatternTerm& v_term) {
+      if (!v_term.is_variable) return;  // shared constant; nothing to bind
+      if (q_term.is_variable) {
+        col_to_var[v_term.text] = q_term.text;
+      } else {
+        const rdf::TermId id = dict_->Lookup(q_term.text);
+        if (id == rdf::kInvalidTermId) {
+          impossible = true;  // constant unknown => no rows can match
+        } else {
+          col_filter[v_term.text] = id;
+        }
+      }
+    };
+    align(patterns[i].subject, view.definition.patterns[i].subject);
+    align(patterns[i].object, view.definition.patterns[i].object);
+  }
+
+  // Output columns: the query's variables, in view-column order.
+  Answer ans;
+  std::vector<int> keep_cols;
+  std::vector<int> filter_cols;
+  std::vector<rdf::TermId> filter_vals;
+  for (size_t c = 0; c < view.data.columns.size(); ++c) {
+    const std::string& col = view.data.columns[c];
+    auto var_it = col_to_var.find(col);
+    if (var_it != col_to_var.end()) {
+      ans.bindings.columns.push_back(var_it->second);
+      keep_cols.push_back(static_cast<int>(c));
+    }
+    auto f_it = col_filter.find(col);
+    if (f_it != col_filter.end()) {
+      filter_cols.push_back(static_cast<int>(c));
+      filter_vals.push_back(f_it->second);
+    }
+  }
+  if (impossible) return ans;  // header only, no rows
+
+  for (const auto& row : view.data.rows) {
+    meter->Add(Op::kViewScanTuple);
+    bool pass = true;
+    for (size_t f = 0; f < filter_cols.size(); ++f) {
+      if (row[static_cast<size_t>(filter_cols[f])] != filter_vals[f]) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    std::vector<rdf::TermId> out_row;
+    out_row.reserve(keep_cols.size());
+    for (int c : keep_cols) out_row.push_back(row[static_cast<size_t>(c)]);
+    ans.bindings.rows.push_back(std::move(out_row));
+  }
+  return ans;
+}
+
+}  // namespace dskg::relstore

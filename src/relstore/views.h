@@ -1,0 +1,108 @@
+#ifndef DSKG_RELSTORE_VIEWS_H_
+#define DSKG_RELSTORE_VIEWS_H_
+
+/// \file views.h
+/// Materialized views over BGP subqueries — the substrate of the paper's
+/// RDB-views baseline (§6.2), which materializes the most frequent complex
+/// subqueries of the historical workload instead of shipping partitions to
+/// a graph store.
+///
+/// A view generalizes its defining subquery: constants in subject/object
+/// position are replaced by fresh variables before materialization, so one
+/// view answers every *mutation* of a query template (the paper's
+/// workloads are templates plus constant mutations). At use time the
+/// original constants become filters over the view's columns.
+///
+/// Views are keyed by a canonical BGP signature: variables and generalized
+/// constants are renamed in first-occurrence order, predicates are kept.
+/// Two BGPs with the same join structure over the same predicates share a
+/// signature.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/cost.h"
+#include "common/status.h"
+#include "relstore/executor.h"
+#include "sparql/ast.h"
+#include "sparql/bindings.h"
+
+namespace dskg::relstore {
+
+/// Canonical signature of a BGP: structure + predicates, ignoring variable
+/// names and subject/object constant values. Used to match queries to
+/// views (and, in the workload generators' tests, to group mutations).
+std::string BgpSignature(const std::vector<sparql::TriplePattern>& patterns);
+
+/// One materialized view.
+struct MaterializedView {
+  /// Canonical signature of the generalized defining BGP.
+  std::string signature;
+  /// The generalized defining query (all variables projected).
+  sparql::Query definition;
+  /// Materialized rows; columns are the canonical variable names.
+  sparql::BindingTable data;
+};
+
+/// Creates, stores and matches materialized views under a row budget.
+class MaterializedViewManager {
+ public:
+  /// \param executor    relational executor used to materialize views
+  /// \param dict        shared term dictionary (for constant filters)
+  /// \param budget_rows total rows all views may occupy (0 = unlimited);
+  ///                    the benchmark harness sets this equal to the graph
+  ///                    store's triple budget for a fair comparison.
+  MaterializedViewManager(const Executor* executor,
+                          const rdf::Dictionary* dict, uint64_t budget_rows)
+      : executor_(executor), dict_(dict), budget_rows_(budget_rows) {}
+
+  /// Materializes a view for the generalization of `subquery`.
+  /// Charges the defining query's execution plus one `kTempTableTuple` per
+  /// materialized row to `meter` (view building is offline work).
+  /// Returns AlreadyExists if an equivalent view exists and
+  /// CapacityExceeded (after discarding the result) if it does not fit.
+  Status CreateView(const sparql::Query& subquery, CostMeter* meter);
+
+  /// Drops the view with `signature`; NotFound if absent.
+  Status DropView(const std::string& signature);
+
+  /// Drops all views.
+  void Clear();
+
+  /// Result of matching a query against the view catalog.
+  struct Answer {
+    /// Bindings of the query's own variables obtained from the view.
+    sparql::BindingTable bindings;
+  };
+
+  /// Attempts to answer the BGP `patterns` (e.g. a complex subquery) from
+  /// a view. On success returns bindings for the query's variables, with
+  /// the query's constants applied as filters. Charges one `kViewLookup`
+  /// plus one `kViewScanTuple` per row scanned. Returns nullopt when no
+  /// view matches.
+  std::optional<Answer> TryAnswer(
+      const std::vector<sparql::TriplePattern>& patterns,
+      CostMeter* meter) const;
+
+  /// True if a view with the signature of `patterns` exists.
+  bool HasViewFor(const std::vector<sparql::TriplePattern>& patterns) const;
+
+  uint64_t used_rows() const { return used_rows_; }
+  uint64_t budget_rows() const { return budget_rows_; }
+  size_t num_views() const { return views_.size(); }
+
+ private:
+  const Executor* executor_;
+  const rdf::Dictionary* dict_;
+  uint64_t budget_rows_;
+  uint64_t used_rows_ = 0;
+  // Ordered map => deterministic iteration.
+  std::map<std::string, MaterializedView> views_;
+};
+
+}  // namespace dskg::relstore
+
+#endif  // DSKG_RELSTORE_VIEWS_H_

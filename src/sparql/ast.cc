@@ -1,0 +1,75 @@
+#include "sparql/ast.h"
+
+#include <unordered_set>
+
+namespace dskg::sparql {
+
+std::vector<std::string> TriplePattern::Variables() const {
+  std::vector<std::string> out;
+  if (subject.is_variable) out.push_back(subject.text);
+  if (predicate.is_variable) out.push_back(predicate.text);
+  if (object.is_variable) out.push_back(object.text);
+  return out;
+}
+
+std::vector<std::string> Query::AllVariables() const {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  for (const TriplePattern& p : patterns) {
+    for (std::string& v : p.Variables()) {
+      if (seen.insert(v).second) out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+std::unordered_map<std::string, int> Query::VariableCounts() const {
+  std::unordered_map<std::string, int> counts;
+  for (const TriplePattern& p : patterns) {
+    for (const std::string& v : p.Variables()) ++counts[v];
+  }
+  return counts;
+}
+
+std::vector<std::string> Query::ConstantPredicates() const {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  for (const TriplePattern& p : patterns) {
+    if (!p.predicate.is_variable && seen.insert(p.predicate.text).second) {
+      out.push_back(p.predicate.text);
+    }
+  }
+  return out;
+}
+
+namespace {
+void AppendTerm(const PatternTerm& t, std::string* out) {
+  if (t.is_variable) out->push_back('?');
+  out->append(t.text);
+}
+}  // namespace
+
+std::string Query::ToString() const {
+  std::string out = "SELECT";
+  if (select_vars.empty()) {
+    out += " *";
+  } else {
+    for (const std::string& v : select_vars) {
+      out += " ?";
+      out += v;
+    }
+  }
+  out += " WHERE { ";
+  for (const TriplePattern& p : patterns) {
+    AppendTerm(p.subject, &out);
+    out.push_back(' ');
+    AppendTerm(p.predicate, &out);
+    out.push_back(' ');
+    AppendTerm(p.object, &out);
+    out += " . ";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace dskg::sparql

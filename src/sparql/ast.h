@@ -1,0 +1,77 @@
+#ifndef DSKG_SPARQL_AST_H_
+#define DSKG_SPARQL_AST_H_
+
+/// \file ast.h
+/// Abstract syntax for the SPARQL fragment used by the paper.
+///
+/// Every query in the paper's evaluation is a SELECT over one basic graph
+/// pattern (BGP): `SELECT ?v... WHERE { s p o . s p o . ... }`. Terms are
+/// either variables (`?name`) or constants (IRIs / prefixed names /
+/// literals), kept as strings until an engine binds them to dictionary
+/// ids.
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dskg::sparql {
+
+/// One position of a triple pattern: a variable or a constant term.
+struct PatternTerm {
+  bool is_variable = false;
+  /// Variable name without the leading '?', or the constant's text.
+  std::string text;
+
+  static PatternTerm Var(std::string name) {
+    return PatternTerm{true, std::move(name)};
+  }
+  static PatternTerm Const(std::string term) {
+    return PatternTerm{false, std::move(term)};
+  }
+
+  friend bool operator==(const PatternTerm&, const PatternTerm&) = default;
+};
+
+/// One `subject predicate object` pattern of a BGP.
+struct TriplePattern {
+  PatternTerm subject;
+  PatternTerm predicate;
+  PatternTerm object;
+
+  friend bool operator==(const TriplePattern&, const TriplePattern&) =
+      default;
+
+  /// Variables appearing in this pattern (subject/predicate/object order,
+  /// duplicates preserved).
+  std::vector<std::string> Variables() const;
+};
+
+/// A parsed SELECT query over one basic graph pattern.
+struct Query {
+  /// Projected variable names, without '?'. Empty means `SELECT *`.
+  std::vector<std::string> select_vars;
+  std::vector<TriplePattern> patterns;
+
+  friend bool operator==(const Query&, const Query&) = default;
+
+  bool empty() const { return patterns.empty(); }
+
+  /// All distinct variables of the BGP, in first-appearance order.
+  std::vector<std::string> AllVariables() const;
+
+  /// Occurrence count of each variable across all pattern positions.
+  std::unordered_map<std::string, int> VariableCounts() const;
+
+  /// Distinct constant predicates of the BGP, in first-appearance order.
+  /// Patterns with variable predicates contribute nothing.
+  std::vector<std::string> ConstantPredicates() const;
+
+  /// Serializes back to query text (canonical whitespace).
+  std::string ToString() const;
+};
+
+}  // namespace dskg::sparql
+
+#endif  // DSKG_SPARQL_AST_H_

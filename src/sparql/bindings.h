@@ -1,0 +1,81 @@
+#ifndef DSKG_SPARQL_BINDINGS_H_
+#define DSKG_SPARQL_BINDINGS_H_
+
+/// \file bindings.h
+/// Query results: tables of variable bindings.
+///
+/// Both engines (relational executor and graph traversal matcher) produce
+/// `BindingTable`s — a header of variable names plus rows of dictionary
+/// ids. The query processor also uses them as the migrated intermediate
+/// results that flow from the graph store into the relational store's
+/// temporary table space (paper §5).
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "rdf/triple.h"
+
+namespace dskg::sparql {
+
+/// A relation over query variables: column names + rows of term ids.
+struct BindingTable {
+  /// Variable names (no '?'), one per column.
+  std::vector<std::string> columns;
+  /// Rows; every row has exactly `columns.size()` entries.
+  std::vector<std::vector<rdf::TermId>> rows;
+
+  /// Index of `var` in `columns`, or -1.
+  int ColumnIndex(const std::string& var) const {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i] == var) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  bool HasColumn(const std::string& var) const {
+    return ColumnIndex(var) >= 0;
+  }
+
+  size_t NumRows() const { return rows.size(); }
+  size_t NumColumns() const { return columns.size(); }
+  bool empty() const { return rows.empty(); }
+
+  /// Returns a copy restricted to `vars` (in the given order). Variables
+  /// not present are skipped. Duplicate rows are preserved.
+  BindingTable Project(const std::vector<std::string>& vars) const {
+    BindingTable out;
+    std::vector<int> idx;
+    for (const std::string& v : vars) {
+      const int i = ColumnIndex(v);
+      if (i >= 0) {
+        out.columns.push_back(v);
+        idx.push_back(i);
+      }
+    }
+    out.rows.reserve(rows.size());
+    for (const auto& row : rows) {
+      std::vector<rdf::TermId> r;
+      r.reserve(idx.size());
+      for (int i : idx) r.push_back(row[static_cast<size_t>(i)]);
+      out.rows.push_back(std::move(r));
+    }
+    return out;
+  }
+
+  /// Sorts rows lexicographically — canonical form for test comparisons.
+  void Canonicalize() { std::sort(rows.begin(), rows.end()); }
+
+  /// Canonicalized equality: same columns (same order) and same multiset
+  /// of rows.
+  static bool SameRows(BindingTable a, BindingTable b) {
+    if (a.columns != b.columns) return false;
+    a.Canonicalize();
+    b.Canonicalize();
+    return a.rows == b.rows;
+  }
+};
+
+}  // namespace dskg::sparql
+
+#endif  // DSKG_SPARQL_BINDINGS_H_

@@ -1,0 +1,224 @@
+#include "sparql/parser.h"
+
+#include <cctype>
+
+#include "common/str_util.h"
+
+namespace dskg::sparql {
+
+namespace {
+
+enum class TokKind { kVar, kTerm, kLBrace, kRBrace, kDot, kStar, kEnd };
+
+struct Token {
+  TokKind kind;
+  std::string text;  // variable name (no '?') or term text
+  size_t pos = 0;    // byte offset in the input, for error messages
+};
+
+/// Splits query text into tokens. `{`, `}` are always their own tokens; a
+/// bare `.` is a pattern separator, but dots inside IRIs/names/literals
+/// are preserved.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<Token> Next() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Token{TokKind::kEnd, "", pos_};
+    const size_t start = pos_;
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      return Token{TokKind::kLBrace, "{", start};
+    }
+    if (c == '}') {
+      ++pos_;
+      return Token{TokKind::kRBrace, "}", start};
+    }
+    if (c == '*') {
+      ++pos_;
+      return Token{TokKind::kStar, "*", start};
+    }
+    if (c == '.' && IsBareDot()) {
+      ++pos_;
+      return Token{TokKind::kDot, ".", start};
+    }
+    if (c == '?' || c == '$') {
+      ++pos_;
+      std::string name;
+      while (pos_ < text_.size() && IsNameChar(text_[pos_])) {
+        name.push_back(text_[pos_++]);
+      }
+      if (name.empty()) {
+        return Status::ParseError("empty variable name at offset " +
+                                  std::to_string(start));
+      }
+      return Token{TokKind::kVar, std::move(name), start};
+    }
+    if (c == '<') {
+      // IRIREF: consume through '>'.
+      std::string term;
+      term.push_back(text_[pos_++]);
+      while (pos_ < text_.size() && text_[pos_] != '>') {
+        term.push_back(text_[pos_++]);
+      }
+      if (pos_ >= text_.size()) {
+        return Status::ParseError("unterminated IRI at offset " +
+                                  std::to_string(start));
+      }
+      term.push_back(text_[pos_++]);  // '>'
+      return Token{TokKind::kTerm, std::move(term), start};
+    }
+    if (c == '"') {
+      // LITERAL: consume through the closing quote (no escapes needed for
+      // the paper's workloads, but backslash-escape is honored).
+      std::string term;
+      term.push_back(text_[pos_++]);
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+          term.push_back(text_[pos_++]);
+        }
+        term.push_back(text_[pos_++]);
+      }
+      if (pos_ >= text_.size()) {
+        return Status::ParseError("unterminated literal at offset " +
+                                  std::to_string(start));
+      }
+      term.push_back(text_[pos_++]);  // '"'
+      return Token{TokKind::kTerm, std::move(term), start};
+    }
+    // PNAME / keyword: run of name characters (which may include ':' and
+    // interior dots).
+    std::string term;
+    while (pos_ < text_.size() && IsTermChar(text_[pos_])) {
+      term.push_back(text_[pos_++]);
+    }
+    if (term.empty()) {
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' at offset " + std::to_string(start));
+    }
+    // A trailing dot belongs to the pattern separator, not the name
+    // ("...?city.}" style input).
+    while (!term.empty() && term.back() == '.') {
+      term.pop_back();
+      --pos_;
+    }
+    if (term.empty()) {
+      ++pos_;
+      return Token{TokKind::kDot, ".", start};
+    }
+    return Token{TokKind::kTerm, std::move(term), start};
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  /// A dot is "bare" (a separator) when not embedded inside a name run.
+  bool IsBareDot() const {
+    const bool prev_name =
+        pos_ > 0 && IsTermChar(text_[pos_ - 1]) && text_[pos_ - 1] != '.';
+    const bool next_name =
+        pos_ + 1 < text_.size() && IsTermChar(text_[pos_ + 1]);
+    return !(prev_name && next_name);
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  }
+  static bool IsTermChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':' || c == '.' || c == '-' || c == '/' || c == '#';
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+bool KeywordIs(const Token& tok, std::string_view kw) {
+  return tok.kind == TokKind::kTerm && AsciiToLower(tok.text) == kw;
+}
+
+}  // namespace
+
+Result<Query> Parser::Parse(std::string_view text) {
+  Lexer lexer(text);
+  Query query;
+
+  DSKG_ASSIGN_OR_RETURN(Token tok, lexer.Next());
+  if (!KeywordIs(tok, "select")) {
+    return Status::ParseError("expected SELECT at offset " +
+                              std::to_string(tok.pos));
+  }
+
+  // Projection: '*' or one or more variables.
+  DSKG_ASSIGN_OR_RETURN(tok, lexer.Next());
+  if (tok.kind == TokKind::kStar) {
+    DSKG_ASSIGN_OR_RETURN(tok, lexer.Next());
+  } else {
+    while (tok.kind == TokKind::kVar) {
+      query.select_vars.push_back(tok.text);
+      DSKG_ASSIGN_OR_RETURN(tok, lexer.Next());
+    }
+    if (query.select_vars.empty()) {
+      return Status::ParseError("expected '*' or variables after SELECT");
+    }
+  }
+
+  if (!KeywordIs(tok, "where")) {
+    return Status::ParseError("expected WHERE at offset " +
+                              std::to_string(tok.pos));
+  }
+  DSKG_ASSIGN_OR_RETURN(tok, lexer.Next());
+  if (tok.kind != TokKind::kLBrace) {
+    return Status::ParseError("expected '{' at offset " +
+                              std::to_string(tok.pos));
+  }
+
+  // Patterns until '}'.
+  DSKG_ASSIGN_OR_RETURN(tok, lexer.Next());
+  while (tok.kind != TokKind::kRBrace) {
+    TriplePattern pattern;
+    PatternTerm* slots[3] = {&pattern.subject, &pattern.predicate,
+                             &pattern.object};
+    for (PatternTerm* slot : slots) {
+      if (tok.kind == TokKind::kVar) {
+        *slot = PatternTerm::Var(tok.text);
+      } else if (tok.kind == TokKind::kTerm) {
+        *slot = PatternTerm::Const(tok.text);
+      } else {
+        return Status::ParseError("expected term or variable at offset " +
+                                  std::to_string(tok.pos));
+      }
+      DSKG_ASSIGN_OR_RETURN(tok, lexer.Next());
+    }
+    query.patterns.push_back(std::move(pattern));
+    if (tok.kind == TokKind::kDot) {
+      DSKG_ASSIGN_OR_RETURN(tok, lexer.Next());
+    }
+    if (tok.kind == TokKind::kEnd) {
+      return Status::ParseError("unterminated WHERE block");
+    }
+  }
+
+  if (query.patterns.empty()) {
+    return Status::ParseError("empty WHERE block");
+  }
+
+  // Projected variables must appear in the BGP.
+  auto counts = query.VariableCounts();
+  for (const std::string& v : query.select_vars) {
+    if (counts.find(v) == counts.end()) {
+      return Status::ParseError("projected variable ?" + v +
+                                " does not appear in WHERE block");
+    }
+  }
+  return query;
+}
+
+}  // namespace dskg::sparql

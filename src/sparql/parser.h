@@ -1,0 +1,36 @@
+#ifndef DSKG_SPARQL_PARSER_H_
+#define DSKG_SPARQL_PARSER_H_
+
+/// \file parser.h
+/// Recursive-descent parser for the SPARQL fragment of ast.h.
+///
+/// Grammar (case-insensitive keywords):
+///
+///   query    := SELECT projection WHERE '{' pattern* '}'
+///   projection := '*' | VAR+
+///   pattern  := term term term '.'?          (final '.' optional)
+///   term     := VAR | IRIREF | PNAME | LITERAL
+///   VAR      := '?' name
+///   IRIREF   := '<' ... '>'
+///   PNAME    := prefixed or plain name, e.g. y:wasBornIn
+///   LITERAL  := '"' ... '"'
+///
+/// This covers every query that appears in the paper (all are BGPs).
+
+#include <string_view>
+
+#include "common/status.h"
+#include "sparql/ast.h"
+
+namespace dskg::sparql {
+
+/// Parses SPARQL text into a `Query`.
+class Parser {
+ public:
+  /// Parses `text`; returns the query or a ParseError with position info.
+  static Result<Query> Parse(std::string_view text);
+};
+
+}  // namespace dskg::sparql
+
+#endif  // DSKG_SPARQL_PARSER_H_

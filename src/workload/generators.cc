@@ -1,0 +1,514 @@
+#include "workload/generators.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dskg::workload {
+
+using rdf::Dataset;
+
+namespace {
+
+std::string Name(const char* prefix, uint64_t i) {
+  return std::string(prefix) + std::to_string(i);
+}
+
+/// Decorrelates Zipf ranks across predicates: each predicate views the
+/// entity popularity ranking rotated by its own salt, so the entity that
+/// is most popular under one predicate is not automatically the most
+/// popular under every other. Without this, cross-predicate joins on the
+/// shared top entities produce intermediate results quadratic or cubic in
+/// the hot-entity degree — a pathology real datasets exhibit far more
+/// weakly than perfectly rank-aligned synthetic ones.
+uint64_t SaltedRank(size_t rank, uint64_t salt, size_t n) {
+  return (static_cast<uint64_t>(rank) + salt) % static_cast<uint64_t>(n);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// YAGO-like generator
+// ---------------------------------------------------------------------------
+//
+// Entity classes: persons, cities, countries, universities, companies,
+// movies, prizes, genres. 39 predicates. Person facts dominate, cities are
+// Zipf-popular, and advisor/spouse edges are correlated with birth city so
+// the paper's flagship query ("person born in the same city as their
+// advisor") has non-trivial, size-dependent answers.
+Dataset GenerateYago(const YagoConfig& config) {
+  Dataset ds;
+  Rng rng(config.seed);
+
+  // Entity counts derived from the triple target: each person contributes
+  // ~8 facts on average, plus secondary-entity facts (~12% overhead).
+  const uint64_t persons =
+      std::max<uint64_t>(50, config.target_triples / 9);
+  const uint64_t cities = std::max<uint64_t>(40, persons / 80);
+  const uint64_t countries = std::max<uint64_t>(20, cities / 12);
+  const uint64_t universities = std::max<uint64_t>(15, persons / 200);
+  const uint64_t companies = std::max<uint64_t>(15, persons / 120);
+  const uint64_t movies = std::max<uint64_t>(30, persons / 6);
+  const uint64_t prizes = std::max<uint64_t>(12, persons / 600);
+  const uint64_t genres = 18;
+  const uint64_t given_names = std::max<uint64_t>(40, persons / 40);
+  const uint64_t family_names = std::max<uint64_t>(60, persons / 25);
+
+  ZipfSampler city_zipf(cities, config.skew);
+  ZipfSampler movie_zipf(movies, config.skew);
+  ZipfSampler prize_zipf(prizes, config.skew);
+  ZipfSampler country_zipf(countries, config.skew);
+
+  // Birth city of each person, and persons grouped by birth city, so
+  // advisor/spouse edges can be correlated with co-birth.
+  std::vector<uint64_t> born_city(persons);
+  std::vector<std::vector<uint64_t>> persons_in_city(cities);
+
+  for (uint64_t i = 0; i < persons; ++i) {
+    const std::string p = Name("y:person_", i);
+    ds.Add(p, "y:hasGivenName",
+           Name("y:givenName_", rng.NextBounded(given_names)));
+    ds.Add(p, "y:hasFamilyName",
+           Name("y:familyName_", rng.NextBounded(family_names)));
+    const uint64_t city = city_zipf.Sample(&rng);
+    born_city[i] = city;
+    ds.Add(p, "y:wasBornIn", Name("y:city_", city));
+    ds.Add(p, "y:hasGender", rng.NextBool(0.5) ? "y:male" : "y:female");
+    ds.Add(p, "y:isCitizenOf",
+           Name("y:country_", country_zipf.Sample(&rng)));
+    if (rng.NextBool(0.55)) {
+      ds.Add(p, "y:livesIn", Name("y:city_", city_zipf.Sample(&rng)));
+    }
+    if (rng.NextBool(0.45)) {
+      ds.Add(p, "y:graduatedFrom",
+             Name("y:university_", rng.NextBounded(universities)));
+    }
+    if (rng.NextBool(0.40)) {
+      ds.Add(p, "y:worksAt", Name("y:company_", rng.NextBounded(companies)));
+    }
+    // Advisor: an earlier person; with probability advisor_same_city_prob,
+    // one born in the same city (if any exists).
+    if (i > 0 && rng.NextBool(0.42)) {
+      uint64_t advisor;
+      const auto& same_city = persons_in_city[city];
+      if (!same_city.empty() && rng.NextBool(config.advisor_same_city_prob)) {
+        advisor = same_city[rng.NextIndex(same_city.size())];
+      } else {
+        advisor = rng.NextBounded(i);
+      }
+      ds.Add(p, "y:hasAcademicAdvisor", Name("y:person_", advisor));
+    }
+    // Spouse: similar co-birth correlation.
+    if (i > 0 && rng.NextBool(0.35)) {
+      uint64_t spouse;
+      const auto& same_city = persons_in_city[city];
+      if (!same_city.empty() && rng.NextBool(0.30)) {
+        spouse = same_city[rng.NextIndex(same_city.size())];
+      } else {
+        spouse = rng.NextBounded(i);
+      }
+      ds.Add(p, "y:isMarriedTo", Name("y:person_", spouse));
+    }
+    if (i > 0 && rng.NextBool(0.30)) {
+      ds.Add(p, "y:hasChild", Name("y:person_", rng.NextBounded(i)));
+    }
+    if (i > 0 && rng.NextBool(0.25)) {
+      ds.Add(p, "y:knows", Name("y:person_", rng.NextBounded(i)));
+    }
+    if (i > 0 && rng.NextBool(0.08)) {
+      ds.Add(p, "y:influences", Name("y:person_", rng.NextBounded(i)));
+    }
+    if (rng.NextBool(0.20)) {
+      ds.Add(p, "y:actedIn", Name("y:movie_", movie_zipf.Sample(&rng)));
+    }
+    if (rng.NextBool(0.05)) {
+      ds.Add(p, "y:directed", Name("y:movie_", movie_zipf.Sample(&rng)));
+    }
+    if (rng.NextBool(0.06)) {
+      ds.Add(p, "y:wrote", Name("y:movie_", movie_zipf.Sample(&rng)));
+    }
+    if (rng.NextBool(0.09)) {
+      ds.Add(p, "y:wonPrize", Name("y:prize_", prize_zipf.Sample(&rng)));
+    }
+    if (rng.NextBool(0.12)) {
+      ds.Add(p, "y:hasWebsite", Name("y:website_", i));
+    }
+    if (rng.NextBool(0.30)) {
+      ds.Add(p, "y:hasAge",
+             Name("y:age_", 18 + rng.NextBounded(80)));
+    }
+    if (rng.NextBool(0.10)) {
+      ds.Add(p, "y:diedIn", Name("y:city_", city_zipf.Sample(&rng)));
+    }
+    persons_in_city[city].push_back(i);
+  }
+
+  // Secondary entity facts.
+  for (uint64_t c = 0; c < cities; ++c) {
+    const std::string city = Name("y:city_", c);
+    ds.Add(city, "y:isLocatedIn",
+           Name("y:country_", country_zipf.Sample(&rng)));
+    ds.Add(city, "y:hasPopulation", Name("y:pop_", rng.NextBounded(1000)));
+    if (rng.NextBool(0.5)) {
+      ds.Add(city, "y:hasMayor",
+             Name("y:person_", rng.NextBounded(persons)));
+    }
+  }
+  for (uint64_t u = 0; u < universities; ++u) {
+    const std::string univ = Name("y:university_", u);
+    ds.Add(univ, "y:establishedIn", Name("y:year_", 1200 + rng.NextBounded(800)));
+    ds.Add(univ, "y:locatedInCity", Name("y:city_", city_zipf.Sample(&rng)));
+  }
+  for (uint64_t k = 0; k < companies; ++k) {
+    const std::string company = Name("y:company_", k);
+    ds.Add(company, "y:headquarteredIn",
+           Name("y:city_", city_zipf.Sample(&rng)));
+    ds.Add(company, "y:foundedIn", Name("y:year_", 1800 + rng.NextBounded(220)));
+    if (rng.NextBool(0.3)) {
+      ds.Add(company, "y:ownedBy",
+             Name("y:person_", rng.NextBounded(persons)));
+    }
+  }
+  for (uint64_t m = 0; m < movies; ++m) {
+    const std::string movie = Name("y:movie_", m);
+    ds.Add(movie, "y:hasGenre", Name("y:genre_", rng.NextBounded(genres)));
+    ds.Add(movie, "y:releasedIn", Name("y:year_", 1930 + rng.NextBounded(95)));
+    if (rng.NextBool(0.4)) {
+      ds.Add(movie, "y:producedBy",
+             Name("y:company_", rng.NextBounded(companies)));
+    }
+    if (rng.NextBool(0.2)) {
+      ds.Add(movie, "y:hasBudget", Name("y:budget_", rng.NextBounded(500)));
+    }
+    if (rng.NextBool(0.3)) {
+      ds.Add(movie, "y:hasDuration", Name("y:minutes_", 60 + rng.NextBounded(140)));
+    }
+  }
+  for (uint64_t p = 0; p < prizes; ++p) {
+    const std::string prize = Name("y:prize_", p);
+    ds.Add(prize, "y:awardedBy",
+           Name("y:company_", rng.NextBounded(companies)));
+    ds.Add(prize, "y:namedAfter", Name("y:person_", rng.NextBounded(persons)));
+  }
+  for (uint64_t c = 0; c < countries; ++c) {
+    const std::string country = Name("y:country_", c);
+    ds.Add(country, "y:hasMotto", Name("y:motto_", c));
+    ds.Add(country, "y:hasOfficialLanguage",
+           Name("y:language_", rng.NextBounded(40)));
+    ds.Add(country, "y:hasCurrency", Name("y:currency_", rng.NextBounded(30)));
+    ds.Add(country, "y:hasArea", Name("y:area_", rng.NextBounded(2000)));
+  }
+
+  return ds;
+}
+
+// ---------------------------------------------------------------------------
+// WatDiv-like generator
+// ---------------------------------------------------------------------------
+//
+// E-commerce schema: users, products, retailers, reviews, genres, cities.
+// 86 predicates: a social/commercial core plus WatDiv-style numbered
+// property groups (productProperty_*, userProperty_*), matching WatDiv's
+// pgroup design and reaching the paper's #-P = 86.
+Dataset GenerateWatDiv(const WatDivConfig& config) {
+  Dataset ds;
+  Rng rng(config.seed);
+
+  const uint64_t users = std::max<uint64_t>(60, config.target_triples / 11);
+  const uint64_t products = std::max<uint64_t>(40, users / 2);
+  const uint64_t retailers = std::max<uint64_t>(10, users / 60);
+  const uint64_t reviews = std::max<uint64_t>(40, products);
+  const uint64_t genres = 24;
+  const uint64_t cities = std::max<uint64_t>(30, users / 90);
+  const uint64_t countries = 25;
+  constexpr int kProductProps = 30;
+  constexpr int kUserProps = 30;
+
+  ZipfSampler product_zipf(products, config.skew);
+  ZipfSampler user_zipf(users, config.skew);
+  ZipfSampler genre_zipf(genres, 0.7);
+  ZipfSampler city_zipf(cities, config.skew);
+
+  for (uint64_t i = 0; i < users; ++i) {
+    const std::string u = Name("wsdbm:user_", i);
+    ds.Add(u, "rdf:type", "wsdbm:User");
+    ds.Add(u, "wsdbm:userId", Name("wsdbm:id_", i));
+    ds.Add(u, "wsdbm:location", Name("wsdbm:city_", city_zipf.Sample(&rng)));
+    if (rng.NextBool(0.6)) {
+      ds.Add(u, "wsdbm:gender", rng.NextBool(0.5) ? "wsdbm:male" : "wsdbm:female");
+    }
+    if (rng.NextBool(0.5)) {
+      ds.Add(u, "wsdbm:birthDate", Name("wsdbm:year_", 1940 + rng.NextBounded(70)));
+    }
+    // Social edges (heavy, Zipf-skewed in-degree). Average out-degree 1:
+    // keeps the complex templates' partition sets within the 25% budget,
+    // as in the paper's setups where whole sets are transferable.
+    const uint64_t follows = rng.NextBounded(3);
+    for (uint64_t f = 0; f < follows; ++f) {
+      ds.Add(u, "wsdbm:follows", Name("wsdbm:user_", user_zipf.Sample(&rng)));
+    }
+    if (rng.NextBool(0.5)) {
+      ds.Add(u, "wsdbm:friendOf",
+             Name("wsdbm:user_", SaltedRank(user_zipf.Sample(&rng), 617, users)));
+    }
+    const uint64_t purchases = rng.NextBounded(3);
+    for (uint64_t k = 0; k < purchases; ++k) {
+      ds.Add(u, "wsdbm:purchases",
+             Name("wsdbm:product_",
+                  SaltedRank(product_zipf.Sample(&rng), 101, products)));
+    }
+    if (rng.NextBool(0.45)) {
+      ds.Add(u, "wsdbm:likes",
+             Name("wsdbm:product_",
+                  SaltedRank(product_zipf.Sample(&rng), 211, products)));
+    }
+    if (rng.NextBool(0.10)) {
+      ds.Add(u, "wsdbm:dislikes",
+             Name("wsdbm:product_",
+                  SaltedRank(product_zipf.Sample(&rng), 307, products)));
+    }
+    if (rng.NextBool(0.25)) {
+      ds.Add(u, "wsdbm:subscribes",
+             Name("wsdbm:website_", rng.NextBounded(retailers + 5)));
+    }
+    if (rng.NextBool(0.30)) {
+      ds.Add(u, Name("wsdbm:userProperty_", rng.NextBounded(kUserProps)),
+             Name("wsdbm:value_", rng.NextBounded(500)));
+    }
+  }
+
+  for (uint64_t i = 0; i < products; ++i) {
+    const std::string p = Name("wsdbm:product_", i);
+    ds.Add(p, "rdf:type", "wsdbm:Product");
+    ds.Add(p, "sorg:caption", Name("wsdbm:caption_", i));
+    ds.Add(p, "wsdbm:hasGenre", Name("wsdbm:genre_", genre_zipf.Sample(&rng)));
+    ds.Add(p, "sorg:price", Name("wsdbm:price_", rng.NextBounded(1000)));
+    if (rng.NextBool(0.5)) {
+      ds.Add(p, "sorg:description", Name("wsdbm:text_", i));
+    }
+    if (rng.NextBool(0.4)) {
+      ds.Add(p, "wsdbm:producedBy",
+             Name("wsdbm:retailer_", rng.NextBounded(retailers)));
+    }
+    if (rng.NextBool(0.35)) {
+      ds.Add(p, Name("wsdbm:productProperty_", rng.NextBounded(kProductProps)),
+             Name("wsdbm:value_", rng.NextBounded(500)));
+    }
+  }
+
+  for (uint64_t i = 0; i < reviews; ++i) {
+    const std::string r = Name("wsdbm:review_", i);
+    ds.Add(r, "rdf:type", "wsdbm:Review");
+    ds.Add(r, "rev:reviewFor",
+           Name("wsdbm:product_",
+                SaltedRank(product_zipf.Sample(&rng), 401, products)));
+    ds.Add(r, "rev:reviewer",
+           Name("wsdbm:user_", SaltedRank(user_zipf.Sample(&rng), 701, users)));
+    ds.Add(r, "rev:rating", Name("wsdbm:rating_", 1 + rng.NextBounded(5)));
+    if (rng.NextBool(0.6)) {
+      ds.Add(r, "rev:title", Name("wsdbm:title_", i));
+    }
+    if (rng.NextBool(0.4)) {
+      ds.Add(r, "rev:text", Name("wsdbm:text_", i));
+    }
+  }
+
+  for (uint64_t i = 0; i < retailers; ++i) {
+    const std::string rt = Name("wsdbm:retailer_", i);
+    ds.Add(rt, "rdf:type", "wsdbm:Retailer");
+    ds.Add(rt, "sorg:legalName", Name("wsdbm:name_", i));
+    ds.Add(rt, "sorg:homepage", Name("wsdbm:website_", i));
+    const uint64_t sells = 1 + rng.NextBounded(6);
+    for (uint64_t k = 0; k < sells; ++k) {
+      ds.Add(rt, "wsdbm:sells",
+             Name("wsdbm:product_",
+                  SaltedRank(product_zipf.Sample(&rng), 503, products)));
+    }
+  }
+
+  for (uint64_t c = 0; c < cities; ++c) {
+    ds.Add(Name("wsdbm:city_", c), "gn:parentCountry",
+           Name("wsdbm:country_", rng.NextBounded(countries)));
+  }
+  for (uint64_t c = 0; c < countries; ++c) {
+    ds.Add(Name("wsdbm:country_", c), "sorg:population",
+           Name("wsdbm:pop_", rng.NextBounded(5000)));
+  }
+
+  // Make sure every numbered property-group predicate exists (WatDiv's
+  // #-P is fixed at 86 regardless of scale).
+  for (int k = 0; k < kProductProps; ++k) {
+    ds.Add("wsdbm:product_0", Name("wsdbm:productProperty_", k),
+           Name("wsdbm:value_", k));
+  }
+  for (int k = 0; k < kUserProps; ++k) {
+    ds.Add("wsdbm:user_0", Name("wsdbm:userProperty_", k),
+           Name("wsdbm:value_", k));
+  }
+
+  return ds;
+}
+
+// ---------------------------------------------------------------------------
+// Bio2RDF-like generator
+// ---------------------------------------------------------------------------
+//
+// Biomedical schema: genes, proteins, drugs, diseases, articles, journals.
+// 161 predicates: an interaction/annotation core (protein interactions are
+// the dominant partition, as in iRefIndex) plus numbered low-frequency
+// annotation predicates reaching the paper's #-P = 161.
+Dataset GenerateBio2Rdf(const Bio2RdfConfig& config) {
+  Dataset ds;
+  Rng rng(config.seed);
+
+  const uint64_t genes = std::max<uint64_t>(50, config.target_triples / 30);
+  const uint64_t proteins = genes;
+  const uint64_t drugs = std::max<uint64_t>(25, genes / 4);
+  const uint64_t diseases = std::max<uint64_t>(20, genes / 8);
+  const uint64_t articles =
+      std::max<uint64_t>(60, config.target_triples / 7);
+  const uint64_t journals = std::max<uint64_t>(15, articles / 150);
+  const uint64_t authors = std::max<uint64_t>(40, articles / 4);
+  constexpr int kAnnotationProps = 130;
+
+  ZipfSampler protein_zipf(proteins, config.skew);
+  ZipfSampler gene_zipf(genes, config.skew);
+  ZipfSampler disease_zipf(diseases, 0.8);
+  ZipfSampler article_zipf(articles, config.skew);
+
+  for (uint64_t i = 0; i < genes; ++i) {
+    const std::string g = Name("b2r:gene_", i);
+    ds.Add(g, "b2r:encodes", Name("b2r:protein_", i));
+    if (rng.NextBool(0.15)) {
+      ds.Add(g, "b2r:hasTaxon", Name("b2r:taxon_", rng.NextBounded(25)));
+    }
+    ds.Add(g, "b2r:hasSymbol", Name("b2r:symbol_", i));
+    ds.Add(g, "b2r:locatedOnChromosome",
+           Name("b2r:chromosome_", rng.NextBounded(24)));
+    if (rng.NextBool(0.4)) {
+      ds.Add(g, "b2r:associatedWithDisease",
+             Name("b2r:disease_", disease_zipf.Sample(&rng)));
+    }
+    if (rng.NextBool(0.25)) {
+      ds.Add(g, "b2r:hasOrtholog", Name("b2r:gene_", gene_zipf.Sample(&rng)));
+    }
+    if (rng.NextBool(0.30)) {
+      ds.Add(g, "b2r:expressedIn", Name("b2r:tissue_", rng.NextBounded(60)));
+    }
+  }
+
+  for (uint64_t i = 0; i < proteins; ++i) {
+    const std::string p = Name("b2r:protein_", i);
+    // Protein-protein interactions: a dominant but budget-compatible
+    // partition (several complex-subquery partition sets must be able to
+    // coexist under the 25% graph-store budget).
+    const uint64_t interactions = 1 + rng.NextBounded(2);
+    for (uint64_t k = 0; k < interactions; ++k) {
+      ds.Add(p, "b2r:interactsWith",
+             Name("b2r:protein_", protein_zipf.Sample(&rng)));
+    }
+    ds.Add(p, "b2r:hasFunction", Name("b2r:function_", rng.NextBounded(200)));
+    if (rng.NextBool(0.5)) {
+      ds.Add(p, "b2r:memberOfFamily",
+             Name("b2r:family_", rng.NextBounded(80)));
+    }
+    if (rng.NextBool(0.3)) {
+      ds.Add(p, "b2r:hasDomain", Name("b2r:domain_", rng.NextBounded(120)));
+    }
+    if (rng.NextBool(0.2)) {
+      ds.Add(p, "b2r:localizedIn",
+             Name("b2r:compartment_", rng.NextBounded(30)));
+    }
+    if (rng.NextBool(0.2)) {
+      ds.Add(p, "b2r:hasSequenceLength",
+             Name("b2r:length_", 50 + rng.NextBounded(3000)));
+    }
+  }
+
+  for (uint64_t i = 0; i < drugs; ++i) {
+    const std::string d = Name("b2r:drug_", i);
+    const uint64_t targets = 1 + rng.NextBounded(3);
+    for (uint64_t k = 0; k < targets; ++k) {
+      ds.Add(d, "b2r:targets",
+             Name("b2r:protein_",
+                  SaltedRank(protein_zipf.Sample(&rng), 131, proteins)));
+    }
+    if (rng.NextBool(0.6)) {
+      ds.Add(d, "b2r:treatsDisease",
+             Name("b2r:disease_", disease_zipf.Sample(&rng)));
+    }
+    if (rng.NextBool(0.4)) {
+      ds.Add(d, "b2r:hasSideEffect",
+             Name("b2r:sideEffect_", rng.NextBounded(150)));
+    }
+    if (rng.NextBool(0.25)) {
+      ds.Add(d, "b2r:interactsWithDrug",
+             Name("b2r:drug_", rng.NextBounded(drugs)));
+    }
+    ds.Add(d, "b2r:hasFormula", Name("b2r:formula_", i));
+    if (rng.NextBool(0.3)) {
+      ds.Add(d, "b2r:approvedBy", Name("b2r:agency_", rng.NextBounded(6)));
+    }
+    if (rng.NextBool(0.3)) {
+      ds.Add(d, "b2r:hasDosage", Name("b2r:dosage_", rng.NextBounded(40)));
+    }
+  }
+
+  for (uint64_t i = 0; i < diseases; ++i) {
+    const std::string d = Name("b2r:disease_", i);
+    ds.Add(d, "b2r:hasSymptom", Name("b2r:symptom_", rng.NextBounded(100)));
+    if (rng.NextBool(0.5)) {
+      ds.Add(d, "b2r:affectsOrgan", Name("b2r:organ_", rng.NextBounded(40)));
+    }
+    if (rng.NextBool(0.3)) {
+      ds.Add(d, "b2r:hasPrevalence",
+             Name("b2r:prevalence_", rng.NextBounded(20)));
+    }
+  }
+
+  for (uint64_t i = 0; i < articles; ++i) {
+    const std::string a = Name("b2r:article_", i);
+    ds.Add(a, "b2r:publishedIn", Name("b2r:journal_", rng.NextBounded(journals)));
+    ds.Add(a, "b2r:hasAuthor", Name("b2r:author_", rng.NextBounded(authors)));
+    if (rng.NextBool(0.30)) {
+      ds.Add(a, "b2r:mentionsGene",
+             Name("b2r:gene_", SaltedRank(gene_zipf.Sample(&rng), 233, genes)));
+    }
+    if (rng.NextBool(0.30)) {
+      ds.Add(a, "b2r:mentionsDrug", Name("b2r:drug_", rng.NextBounded(drugs)));
+    }
+    if (i > 0 && rng.NextBool(0.5)) {
+      ds.Add(a, "b2r:cites", Name("b2r:article_", article_zipf.Sample(&rng) % i));
+    }
+    if (rng.NextBool(0.4)) {
+      ds.Add(a, "b2r:publishedInYear",
+             Name("b2r:year_", 1970 + rng.NextBounded(55)));
+    }
+    if (rng.NextBool(0.15)) {
+      ds.Add(a, Name("b2r:annotation_", rng.NextBounded(kAnnotationProps)),
+             Name("b2r:term_", rng.NextBounded(400)));
+    }
+  }
+
+  for (uint64_t j = 0; j < journals; ++j) {
+    ds.Add(Name("b2r:journal_", j), "b2r:hasISSN", Name("b2r:issn_", j));
+  }
+  for (uint64_t a = 0; a < authors; ++a) {
+    if (rng.NextBool(0.5)) {
+      ds.Add(Name("b2r:author_", a), "b2r:affiliatedWith",
+             Name("b2r:institute_", rng.NextBounded(50)));
+    }
+  }
+
+  // Pin the predicate count at 161 regardless of scale: core (~31) +
+  // 130 annotation predicates.
+  for (int k = 0; k < kAnnotationProps; ++k) {
+    ds.Add("b2r:article_0", Name("b2r:annotation_", k), Name("b2r:term_", k));
+  }
+
+  return ds;
+}
+
+}  // namespace dskg::workload

@@ -1,0 +1,66 @@
+#ifndef DSKG_WORKLOAD_GENERATORS_H_
+#define DSKG_WORKLOAD_GENERATORS_H_
+
+/// \file generators.h
+/// Synthetic knowledge-graph generators.
+///
+/// The paper evaluates on YAGO, WatDiv and Bio2RDF (Table 3). Those dumps
+/// are not redistributable / available offline, so DSKG generates
+/// synthetic graphs that reproduce the statistics the experiments actually
+/// depend on: the predicate count (39 / 86 / 161), heavy predicate skew,
+/// the entity-class structure the query templates traverse, and enough
+/// correlation (e.g. advisors born in their student's city) that the
+/// paper's flagship complex query has non-trivial answers. Scale is a
+/// parameter; the default benches run at laptop scale.
+///
+/// All generators are deterministic functions of their config (seed
+/// included).
+
+#include <cstdint>
+
+#include "rdf/dataset.h"
+
+namespace dskg::workload {
+
+/// Configuration for the YAGO-like academic/social fact graph.
+struct YagoConfig {
+  uint64_t seed = 1;
+  /// Approximate number of triples to generate.
+  uint64_t target_triples = 200000;
+  /// Zipf skew of city / prize / university popularity.
+  double skew = 0.8;
+  /// Probability that a person's academic advisor was born in the same
+  /// city (drives the selectivity of the paper's flagship query).
+  double advisor_same_city_prob = 0.25;
+};
+
+/// Configuration for the WatDiv-like e-commerce graph.
+struct WatDivConfig {
+  uint64_t seed = 2;
+  uint64_t target_triples = 200000;
+  double skew = 0.9;
+};
+
+/// Configuration for the Bio2RDF-like biomedical graph.
+struct Bio2RdfConfig {
+  uint64_t seed = 3;
+  uint64_t target_triples = 250000;
+  double skew = 0.85;
+};
+
+/// Generates a YAGO-like graph: persons, cities, universities, movies,
+/// prizes, ... with 39 predicates (y:wasBornIn, y:hasAcademicAdvisor,
+/// y:isMarriedTo, y:hasGivenName, ...).
+rdf::Dataset GenerateYago(const YagoConfig& config);
+
+/// Generates a WatDiv-like graph: users, products, retailers, reviews,
+/// genres, ... with 86 predicates (wsdbm:follows, wsdbm:purchases, ...).
+rdf::Dataset GenerateWatDiv(const WatDivConfig& config);
+
+/// Generates a Bio2RDF-like graph: genes, proteins, drugs, diseases,
+/// articles, ... with 161 predicates (b2r:encodes, b2r:targets, ...).
+rdf::Dataset GenerateBio2Rdf(const Bio2RdfConfig& config);
+
+}  // namespace dskg::workload
+
+#endif  // DSKG_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,272 @@
+#include "workload/templates.h"
+
+namespace dskg::workload {
+
+std::vector<QueryTemplate> YagoTemplates() {
+  std::vector<QueryTemplate> out;
+  // Y1 — the paper's Example 1: given/family names of people born in the
+  // same city as their academic advisor, married to someone also born
+  // there; the won prize is the mutation anchor.
+  out.push_back(QueryTemplate{
+      "yago-advisor-city",
+      "SELECT ?GivenName ?FamilyName WHERE { "
+      "?p y:hasGivenName ?GivenName . "
+      "?p y:hasFamilyName ?FamilyName . "
+      "?p y:wasBornIn ?city . "
+      "?p y:hasAcademicAdvisor ?a . "
+      "?a y:wasBornIn ?city . "
+      "?p y:isMarriedTo ?p2 . "
+      "?p2 y:wasBornIn ?city . "
+      "?p y:wonPrize ?prize . }",
+      {{"prize", "y:wonPrize", true}}});
+  // Y2 — co-actors (in movies of a given genre) born in the same city.
+  out.push_back(QueryTemplate{
+      "yago-coactors",
+      "SELECT ?p1 ?p2 WHERE { "
+      "?p1 y:actedIn ?m . "
+      "?p2 y:actedIn ?m . "
+      "?m y:hasGenre ?g . "
+      "?p1 y:wasBornIn ?c . "
+      "?p2 y:wasBornIn ?c . }",
+      {{"g", "y:hasGenre", true}}});
+  // Y3 — couples born in the same city, one working at a given company.
+  out.push_back(QueryTemplate{
+      "yago-married-samecity",
+      "SELECT ?p ?p2 WHERE { "
+      "?p y:isMarriedTo ?p2 . "
+      "?p y:wasBornIn ?c . "
+      "?p2 y:wasBornIn ?c . "
+      "?p y:worksAt ?comp . }",
+      {{"comp", "y:worksAt", true}}});
+  // Y4 — winners of a given prize and where their university is located.
+  out.push_back(QueryTemplate{
+      "yago-prize-university",
+      "SELECT ?p ?c WHERE { "
+      "?p y:wonPrize ?prize . "
+      "?p y:graduatedFrom ?u . "
+      "?u y:locatedInCity ?c . }",
+      {{"prize", "y:wonPrize", true}}});
+  return out;
+}
+
+std::vector<QueryTemplate> WatDivLinearTemplates() {
+  // A mix of 3-hop paths (whose tail two hops form a complex subquery)
+  // and plain 2-hop paths with no complex subquery — linear workloads are
+  // the least accelerable group, as in the paper's Figure 3b.
+  std::vector<QueryTemplate> out;
+  out.push_back(QueryTemplate{
+      "watdiv-l1",
+      "SELECT ?u ?v WHERE { "
+      "?u wsdbm:follows ?v . "
+      "?v wsdbm:likes ?p . "
+      "?p wsdbm:hasGenre ?g . }",
+      {{"g", "wsdbm:hasGenre", true}}});
+  out.push_back(QueryTemplate{
+      "watdiv-l2",
+      "SELECT ?r ?p WHERE { "
+      "?r rev:reviewFor ?p . "
+      "?p wsdbm:producedBy ?rt . "
+      "?rt sorg:homepage ?hp . }",
+      {{"hp", "sorg:homepage", true}}});
+  out.push_back(QueryTemplate{
+      "watdiv-l3",
+      "SELECT ?u WHERE { "
+      "?u wsdbm:location ?c . "
+      "?c gn:parentCountry ?co . }",
+      {{"co", "gn:parentCountry", true}}});
+  out.push_back(QueryTemplate{
+      "watdiv-l4",
+      "SELECT ?u ?v WHERE { "
+      "?u wsdbm:follows ?v . "
+      "?v wsdbm:purchases ?p . "
+      "?p wsdbm:hasGenre ?g . }",
+      {{"g", "wsdbm:hasGenre", true}}});
+  out.push_back(QueryTemplate{
+      "watdiv-l5",
+      "SELECT ?u ?v WHERE { "
+      "?u wsdbm:friendOf ?v . "
+      "?v wsdbm:location ?c . }",
+      {{"c", "wsdbm:location", true}}});
+  out.push_back(QueryTemplate{
+      "watdiv-l6",
+      "SELECT ?r ?u WHERE { "
+      "?r rev:reviewer ?u . "
+      "?u wsdbm:location ?c . "
+      "?c gn:parentCountry ?co . }",
+      {{"co", "gn:parentCountry", true}}});
+  out.push_back(QueryTemplate{
+      "watdiv-l7",
+      "SELECT ?p WHERE { "
+      "?u wsdbm:subscribes ?w . "
+      "?u wsdbm:likes ?p . }",
+      {{"w", "wsdbm:subscribes", true}}});
+  return out;
+}
+
+std::vector<QueryTemplate> WatDivStarTemplates() {
+  std::vector<QueryTemplate> out;
+  out.push_back(QueryTemplate{
+      "watdiv-s1",
+      "SELECT ?p ?cap ?price WHERE { "
+      "?p sorg:caption ?cap . "
+      "?p sorg:price ?price . "
+      "?p wsdbm:hasGenre ?g . "
+      "?p wsdbm:producedBy ?rt . }",
+      {{"g", "wsdbm:hasGenre", true}, {"rt", "wsdbm:producedBy", true}}});
+  out.push_back(QueryTemplate{
+      "watdiv-s2",
+      "SELECT ?u ?c WHERE { "
+      "?u wsdbm:location ?c . "
+      "?u wsdbm:gender ?gen . "
+      "?u wsdbm:birthDate ?b . "
+      "?u wsdbm:likes ?prod . }",
+      {{"gen", "wsdbm:gender", true}, {"prod", "wsdbm:likes", true}}});
+  out.push_back(QueryTemplate{
+      "watdiv-s3",
+      "SELECT ?r ?rating WHERE { "
+      "?r rev:reviewFor ?p . "
+      "?r rev:rating ?rating . "
+      "?r rev:reviewer ?u . "
+      "?u wsdbm:location ?c . }",
+      {{"p", "rev:reviewFor", true}}});
+  out.push_back(QueryTemplate{
+      "watdiv-s4",
+      "SELECT ?rt ?name WHERE { "
+      "?rt sorg:legalName ?name . "
+      "?rt wsdbm:sells ?p . "
+      "?p wsdbm:hasGenre ?g . }",
+      {{"g", "wsdbm:hasGenre", true}}});
+  out.push_back(QueryTemplate{
+      "watdiv-s5",
+      "SELECT ?p ?d WHERE { "
+      "?p sorg:description ?d . "
+      "?p sorg:price ?price . "
+      "?p wsdbm:hasGenre ?g . "
+      "?p wsdbm:producedBy ?rt . }",
+      {{"g", "wsdbm:hasGenre", true}, {"rt", "wsdbm:producedBy", true}}});
+  return out;
+}
+
+std::vector<QueryTemplate> WatDivSnowflakeTemplates() {
+  std::vector<QueryTemplate> out;
+  out.push_back(QueryTemplate{
+      "watdiv-f1",
+      "SELECT ?u ?p ?r WHERE { "
+      "?u wsdbm:purchases ?p . "
+      "?p wsdbm:hasGenre ?g . "
+      "?r rev:reviewFor ?p . "
+      "?r rev:rating ?rating . "
+      "?u wsdbm:location ?c . }",
+      {{"g", "wsdbm:hasGenre", true}, {"c", "wsdbm:location", true}}});
+  out.push_back(QueryTemplate{
+      "watdiv-f2",
+      "SELECT ?rt ?p ?r WHERE { "
+      "?rt wsdbm:sells ?p . "
+      "?rt sorg:legalName ?name . "
+      "?r rev:reviewFor ?p . "
+      "?r rev:reviewer ?u . "
+      "?u wsdbm:location ?c . }",
+      {{"c", "wsdbm:location", true}}});
+  out.push_back(QueryTemplate{
+      "watdiv-f3",
+      "SELECT ?u ?v ?p WHERE { "
+      "?u wsdbm:follows ?v . "
+      "?v wsdbm:purchases ?p . "
+      "?p wsdbm:hasGenre ?g . "
+      "?p wsdbm:producedBy ?rt . }",
+      {{"g", "wsdbm:hasGenre", true}}});
+  out.push_back(QueryTemplate{
+      "watdiv-f4",
+      "SELECT ?p ?r1 ?r2 WHERE { "
+      "?r1 rev:reviewFor ?p . "
+      "?r2 rev:reviewFor ?p . "
+      "?r1 rev:rating ?rating1 . "
+      "?r2 rev:rating ?rating2 . "
+      "?p wsdbm:hasGenre ?g . }",
+      {{"g", "wsdbm:hasGenre", true}}});
+  out.push_back(QueryTemplate{
+      "watdiv-f5",
+      "SELECT ?u1 ?u2 ?p WHERE { "
+      "?u1 wsdbm:likes ?p . "
+      "?u2 wsdbm:likes ?p . "
+      "?u1 wsdbm:location ?c . "
+      "?u2 wsdbm:location ?c . }",
+      {}});
+  return out;
+}
+
+std::vector<QueryTemplate> WatDivComplexTemplates() {
+  std::vector<QueryTemplate> out;
+  out.push_back(QueryTemplate{
+      "watdiv-c1",
+      "SELECT ?u ?v ?p ?r WHERE { "
+      "?u wsdbm:follows ?v . "
+      "?u wsdbm:likes ?p . "
+      "?v wsdbm:likes ?p . "
+      "?r rev:reviewFor ?p . "
+      "?r rev:rating ?rating . "
+      "?p wsdbm:hasGenre ?g . }",
+      {{"g", "wsdbm:hasGenre", true}}});
+  out.push_back(QueryTemplate{
+      "watdiv-c2",
+      "SELECT ?u1 ?u2 WHERE { "
+      "?u1 wsdbm:friendOf ?u2 . "
+      "?u1 wsdbm:location ?c . "
+      "?u2 wsdbm:location ?c . "
+      "?u1 wsdbm:purchases ?p . "
+      "?u2 wsdbm:purchases ?p . }",
+      {}});
+  out.push_back(QueryTemplate{
+      "watdiv-c3",
+      "SELECT ?rt ?u ?p WHERE { "
+      "?rt wsdbm:sells ?p . "
+      "?u wsdbm:purchases ?p . "
+      "?u wsdbm:follows ?v . "
+      "?v wsdbm:likes ?p . "
+      "?rt sorg:legalName ?name . }",
+      {}});
+  return out;
+}
+
+std::vector<QueryTemplate> Bio2RdfTemplates() {
+  std::vector<QueryTemplate> out;
+  out.push_back(QueryTemplate{
+      "bio2rdf-b1",
+      "SELECT ?drug ?gene WHERE { "
+      "?drug b2r:targets ?prot . "
+      "?prot b2r:interactsWith ?prot2 . "
+      "?gene b2r:encodes ?prot2 . "
+      "?gene b2r:associatedWithDisease ?dis . }",
+      {{"dis", "b2r:associatedWithDisease", true}}});
+  out.push_back(QueryTemplate{
+      "bio2rdf-b2",
+      "SELECT ?a ?g WHERE { "
+      "?a b2r:mentionsGene ?g . "
+      "?g b2r:encodes ?p . "
+      "?p b2r:memberOfFamily ?fam . }",
+      {{"fam", "b2r:memberOfFamily", true}}});
+  out.push_back(QueryTemplate{
+      "bio2rdf-b3",
+      "SELECT ?d ?pr WHERE { "
+      "?d b2r:treatsDisease ?dis . "
+      "?dis b2r:hasSymptom ?sym . "
+      "?d b2r:targets ?pr . }",
+      {{"sym", "b2r:hasSymptom", true}}});
+  out.push_back(QueryTemplate{
+      "bio2rdf-b4",
+      "SELECT ?a ?b WHERE { "
+      "?a b2r:cites ?b . "
+      "?b b2r:mentionsGene ?g . "
+      "?g b2r:locatedOnChromosome ?chr . }",
+      {{"chr", "b2r:locatedOnChromosome", true}}});
+  out.push_back(QueryTemplate{
+      "bio2rdf-b5",
+      "SELECT ?p1 ?p3 WHERE { "
+      "?p1 b2r:interactsWith ?p2 . "
+      "?p2 b2r:interactsWith ?p3 . "
+      "?p1 b2r:hasFunction ?f . }",
+      {{"f", "b2r:hasFunction", true}}});
+  return out;
+}
+
+}  // namespace dskg::workload

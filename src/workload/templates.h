@@ -1,0 +1,44 @@
+#ifndef DSKG_WORKLOAD_TEMPLATES_H_
+#define DSKG_WORKLOAD_TEMPLATES_H_
+
+/// \file templates.h
+/// Query-template catalogs matching the paper's workloads (§6.1):
+///
+///   * YAGO       — 4 templates x 5 versions = 20 queries
+///   * WatDiv-L   — 7 templates x 5          = 35 queries (linear)
+///   * WatDiv-S   — 5 templates x 5          = 25 queries (star)
+///   * WatDiv-F   — 5 templates x 5          = 25 queries (snowflake)
+///   * WatDiv-C   — 3 templates x 5          = 15 queries (complex)
+///   * Bio2RDF    — 5 templates x 5          = 25 queries
+///
+/// Templates reference only predicates emitted by the corresponding
+/// generator (generators.h). Slots mark the positions mutations rebind.
+
+#include <vector>
+
+#include "workload/workload.h"
+
+namespace dskg::workload {
+
+/// YAGO templates; the first is the paper's flagship advisor-born-in-the-
+/// same-city query (Example 1 / Table 1).
+std::vector<QueryTemplate> YagoTemplates();
+
+/// WatDiv linear (path-shaped) templates.
+std::vector<QueryTemplate> WatDivLinearTemplates();
+
+/// WatDiv star (single-subject fan-out) templates.
+std::vector<QueryTemplate> WatDivStarTemplates();
+
+/// WatDiv snowflake (joined stars) templates.
+std::vector<QueryTemplate> WatDivSnowflakeTemplates();
+
+/// WatDiv complex (large multi-join) templates.
+std::vector<QueryTemplate> WatDivComplexTemplates();
+
+/// Bio2RDF templates (interaction / literature traversals).
+std::vector<QueryTemplate> Bio2RdfTemplates();
+
+}  // namespace dskg::workload
+
+#endif  // DSKG_WORKLOAD_TEMPLATES_H_

@@ -1,0 +1,128 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "sparql/parser.h"
+
+namespace dskg::workload {
+
+using rdf::TermId;
+
+std::vector<std::vector<WorkloadQuery>> Workload::SplitBatches(int n) const {
+  std::vector<std::vector<WorkloadQuery>> out;
+  if (n <= 0) return out;
+  const size_t total = queries.size();
+  const size_t base = total / static_cast<size_t>(n);
+  size_t remainder = total % static_cast<size_t>(n);
+  size_t pos = 0;
+  for (int b = 0; b < n; ++b) {
+    size_t take = base + (remainder > 0 ? 1 : 0);
+    if (remainder > 0) --remainder;
+    std::vector<WorkloadQuery> batch;
+    batch.reserve(take);
+    for (size_t i = 0; i < take && pos < total; ++i, ++pos) {
+      batch.push_back(queries[pos]);
+    }
+    out.push_back(std::move(batch));
+  }
+  return out;
+}
+
+WorkloadBuilder::WorkloadBuilder(const rdf::Dataset* dataset)
+    : dataset_(dataset) {}
+
+Result<std::string> WorkloadBuilder::SampleTerm(const std::string& predicate,
+                                                bool sample_object,
+                                                Rng* rng) const {
+  const rdf::Dictionary& dict = dataset_->dict();
+  const TermId pred = dict.Lookup(predicate);
+  if (pred == rdf::kInvalidTermId) {
+    return Status::InvalidArgument("template predicate " + predicate +
+                                   " not present in dataset");
+  }
+  // Reservoir-free frequency-weighted sampling: pick a uniformly random
+  // triple of the predicate by a single pass with rejection on a
+  // precomputed per-predicate extent would need an index; the dataset's
+  // triple list is scanned once per Build() via the cache below.
+  auto it = pools_.find(pred);
+  if (it == pools_.end()) {
+    Pool pool;
+    for (const rdf::Triple& t : dataset_->triples()) {
+      if (t.predicate != pred) continue;
+      pool.subjects.push_back(t.subject);
+      pool.objects.push_back(t.object);
+    }
+    it = pools_.emplace(pred, std::move(pool)).first;
+  }
+  const Pool& pool = it->second;
+  const std::vector<TermId>& side =
+      sample_object ? pool.objects : pool.subjects;
+  if (side.empty()) {
+    return Status::InvalidArgument("predicate " + predicate +
+                                   " has no triples to sample from");
+  }
+  return dict.TermOf(side[rng->NextIndex(side.size())]);
+}
+
+Result<Workload> WorkloadBuilder::Build(
+    const std::string& name, const std::vector<QueryTemplate>& templates,
+    const WorkloadOptions& options) const {
+  Workload out;
+  out.name = name;
+  Rng rng(options.seed);
+
+  for (size_t ti = 0; ti < templates.size(); ++ti) {
+    const QueryTemplate& tmpl = templates[ti];
+    DSKG_ASSIGN_OR_RETURN(sparql::Query skeleton,
+                          sparql::Parser::Parse(tmpl.text));
+    // Validate slots against the skeleton.
+    const auto counts = skeleton.VariableCounts();
+    for (const QueryTemplate::Slot& slot : tmpl.slots) {
+      if (counts.find(slot.variable) == counts.end()) {
+        return Status::InvalidArgument("template " + tmpl.name +
+                                       ": slot variable ?" + slot.variable +
+                                       " not in skeleton");
+      }
+      for (const std::string& sv : skeleton.select_vars) {
+        if (sv == slot.variable) {
+          return Status::InvalidArgument("template " + tmpl.name +
+                                         ": slot variable ?" + slot.variable +
+                                         " is projected");
+        }
+      }
+    }
+
+    const int versions = 1 + options.mutations_per_template;
+    for (int m = 0; m < versions; ++m) {
+      sparql::Query q = skeleton;
+      for (const QueryTemplate::Slot& slot : tmpl.slots) {
+        DSKG_ASSIGN_OR_RETURN(
+            std::string value,
+            SampleTerm(slot.predicate, slot.sample_object, &rng));
+        const sparql::PatternTerm replacement =
+            sparql::PatternTerm::Const(value);
+        for (sparql::TriplePattern& p : q.patterns) {
+          if (p.subject.is_variable && p.subject.text == slot.variable) {
+            p.subject = replacement;
+          }
+          if (p.object.is_variable && p.object.text == slot.variable) {
+            p.object = replacement;
+          }
+        }
+      }
+      WorkloadQuery wq;
+      wq.query = std::move(q);
+      wq.template_index = static_cast<int>(ti);
+      wq.mutation = m;
+      out.queries.push_back(std::move(wq));
+    }
+  }
+
+  if (!options.ordered) {
+    rng.Shuffle(&out.queries);
+  }
+  return out;
+}
+
+}  // namespace dskg::workload

@@ -1,0 +1,104 @@
+#ifndef DSKG_WORKLOAD_WORKLOAD_H_
+#define DSKG_WORKLOAD_WORKLOAD_H_
+
+/// \file workload.h
+/// Query workload construction: templates + mutations, ordered/random
+/// versions, and batch splitting.
+///
+/// Following the paper's methodology (§6.1): each workload consists of
+/// query templates plus four *mutations* of each template — same BGP
+/// structure, different constants sampled from the dataset. The *ordered*
+/// version clusters each template with its mutations; the *random* version
+/// shuffles all queries. Experiments consume the workload in batches of
+/// one fifth.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "rdf/dataset.h"
+#include "sparql/ast.h"
+
+namespace dskg::workload {
+
+/// A query template: a BGP skeleton plus slots that mutations fill with
+/// constants sampled from the dataset.
+struct QueryTemplate {
+  /// Identifier used in reports ("yago-advisor-city").
+  std::string name;
+  /// SPARQL text of the skeleton; every slot position is a variable.
+  std::string text;
+
+  /// One mutable position of the skeleton.
+  struct Slot {
+    /// Variable to replace (no '?'). Must not be projected.
+    std::string variable;
+    /// Predicate whose extent supplies sample values.
+    std::string predicate;
+    /// Sample from the predicate's objects (true) or subjects (false).
+    bool sample_object = true;
+  };
+  std::vector<Slot> slots;
+};
+
+/// One query of a built workload.
+struct WorkloadQuery {
+  sparql::Query query;
+  /// Index of the originating template (for per-template analysis).
+  int template_index = 0;
+  /// 0 = the template's original instantiation, 1..k = mutations.
+  int mutation = 0;
+};
+
+/// A fully instantiated workload.
+struct Workload {
+  std::string name;
+  std::vector<WorkloadQuery> queries;
+
+  /// Splits into `n` consecutive batches of near-equal size (the paper
+  /// uses n = 5). Earlier batches get the remainder.
+  std::vector<std::vector<WorkloadQuery>> SplitBatches(int n) const;
+};
+
+/// Options for workload construction.
+struct WorkloadOptions {
+  /// Mutations per template in addition to the original (paper: 4).
+  int mutations_per_template = 4;
+  /// Cluster template with its mutations (true) or shuffle all (false).
+  bool ordered = true;
+  uint64_t seed = 42;
+};
+
+/// Instantiates templates against a dataset.
+class WorkloadBuilder {
+ public:
+  /// `dataset` is not owned and must outlive the builder.
+  explicit WorkloadBuilder(const rdf::Dataset* dataset);
+
+  /// Builds a workload named `name` from `templates`.
+  /// Fails with InvalidArgument if a template is unparsable, projects a
+  /// slot variable, or references a predicate absent from the dataset.
+  Result<Workload> Build(const std::string& name,
+                         const std::vector<QueryTemplate>& templates,
+                         const WorkloadOptions& options) const;
+
+ private:
+  /// Sampled value pool for one (predicate, position).
+  Result<std::string> SampleTerm(const std::string& predicate,
+                                 bool sample_object, Rng* rng) const;
+
+  struct Pool {
+    std::vector<rdf::TermId> subjects;
+    std::vector<rdf::TermId> objects;
+  };
+
+  const rdf::Dataset* dataset_;
+  /// Lazily built per-predicate sample pools (cache only; logically const).
+  mutable std::unordered_map<rdf::TermId, Pool> pools_;
+};
+
+}  // namespace dskg::workload
+
+#endif  // DSKG_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,166 @@
+#include "common/cost.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace dskg {
+namespace {
+
+TEST(CostModel, DefaultWeightsArePositive) {
+  const CostModel& m = CostModel::Default();
+  for (int i = 0; i < kNumOps; ++i) {
+    EXPECT_GT(m.weight(static_cast<Op>(i)), 0.0)
+        << OpName(static_cast<Op>(i));
+  }
+}
+
+TEST(CostModel, RelationalTupleWorkCostsMoreThanGraphEdgeWork) {
+  // The Table 1 calibration invariant: disk-based row-store tuple access
+  // is an order of magnitude above index-free adjacency pointer chasing.
+  const CostModel& m = CostModel::Default();
+  EXPECT_GT(m.weight(Op::kSeqScanTuple), 10 * m.weight(Op::kAdjExpandEdge));
+  EXPECT_GT(m.weight(Op::kMaterializeTuple),
+            10 * m.weight(Op::kAdjExpandEdge));
+  // Import is the most expensive per-triple op: the graph store is costly
+  // to (re)load, which is why it is an accelerator and not primary store.
+  EXPECT_GT(m.weight(Op::kImportTriple), m.weight(Op::kInsertTuple));
+}
+
+TEST(CostModel, SetWeightOverrides) {
+  CostModel m;
+  m.set_weight(Op::kSeqScanTuple, 3.5);
+  EXPECT_DOUBLE_EQ(m.weight(Op::kSeqScanTuple), 3.5);
+}
+
+TEST(OpNames, AllOpsHaveDistinctNames) {
+  std::set<std::string> names;
+  for (int i = 0; i < kNumOps; ++i) {
+    names.insert(OpName(static_cast<Op>(i)));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumOps));
+}
+
+TEST(ResourceClasses, ScanIsIoTraversalIsCpu) {
+  EXPECT_EQ(OpResourceClass(Op::kSeqScanTuple), ResourceClass::kIo);
+  EXPECT_EQ(OpResourceClass(Op::kIndexProbe), ResourceClass::kIo);
+  EXPECT_EQ(OpResourceClass(Op::kImportTriple), ResourceClass::kIo);
+  EXPECT_EQ(OpResourceClass(Op::kAdjExpandEdge), ResourceClass::kCpu);
+  EXPECT_EQ(OpResourceClass(Op::kNodeLookup), ResourceClass::kCpu);
+  EXPECT_EQ(OpResourceClass(Op::kHashProbeTuple), ResourceClass::kCpu);
+}
+
+TEST(CostMeter, AccumulatesCountsAndTime) {
+  CostMeter meter;
+  meter.Add(Op::kSeqScanTuple, 10);
+  meter.Add(Op::kAdjExpandEdge, 100);
+  EXPECT_EQ(meter.count(Op::kSeqScanTuple), 10u);
+  EXPECT_EQ(meter.count(Op::kAdjExpandEdge), 100u);
+  const double expected =
+      10 * CostModel::Default().weight(Op::kSeqScanTuple) +
+      100 * CostModel::Default().weight(Op::kAdjExpandEdge);
+  EXPECT_DOUBLE_EQ(meter.sim_micros(), expected);
+}
+
+TEST(CostMeter, SplitsIoAndCpu) {
+  CostMeter meter;
+  meter.Add(Op::kSeqScanTuple, 4);     // IO
+  meter.Add(Op::kHashProbeTuple, 8);   // CPU
+  EXPECT_GT(meter.io_micros(), 0.0);
+  EXPECT_GT(meter.cpu_micros(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.sim_micros(),
+                   meter.io_micros() + meter.cpu_micros());
+}
+
+TEST(CostMeter, BudgetTripsOnlyWhenExceeded) {
+  CostMeter meter;
+  meter.set_budget_micros(1.0);
+  EXPECT_FALSE(meter.ExceededBudget());
+  meter.Add(Op::kSeqScanTuple, 1);  // 0.5us
+  EXPECT_FALSE(meter.ExceededBudget());
+  meter.Add(Op::kSeqScanTuple, 10);
+  EXPECT_TRUE(meter.ExceededBudget());
+}
+
+TEST(CostMeter, ZeroBudgetMeansUnlimited) {
+  CostMeter meter;
+  meter.Add(Op::kImportTriple, 1000000);
+  EXPECT_FALSE(meter.ExceededBudget());
+}
+
+TEST(CostMeter, MergeFoldsCountsAndTime) {
+  CostMeter a, b;
+  a.Add(Op::kNodeLookup, 3);
+  b.Add(Op::kNodeLookup, 4);
+  b.Add(Op::kSeqScanTuple, 5);
+  a.Merge(b);
+  EXPECT_EQ(a.count(Op::kNodeLookup), 7u);
+  EXPECT_EQ(a.count(Op::kSeqScanTuple), 5u);
+  EXPECT_GT(a.io_micros(), 0.0);
+}
+
+TEST(CostMeter, ResetClearsEverythingButBudget) {
+  CostMeter meter;
+  meter.set_budget_micros(5.0);
+  meter.Add(Op::kSeqScanTuple, 100);
+  meter.Reset();
+  EXPECT_EQ(meter.count(Op::kSeqScanTuple), 0u);
+  EXPECT_DOUBLE_EQ(meter.sim_micros(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.budget_micros(), 5.0);
+}
+
+TEST(CostMeter, DebugStringListsNonZeroOps) {
+  CostMeter meter;
+  meter.Add(Op::kViewLookup, 2);
+  const std::string s = meter.DebugString();
+  EXPECT_NE(s.find("view_lookup"), std::string::npos);
+  EXPECT_EQ(s.find("seq_scan_tuple"), std::string::npos);
+}
+
+TEST(ResourceThrottle, NeutralByDefault) {
+  ResourceThrottle t;
+  EXPECT_TRUE(t.IsNeutral());
+  EXPECT_DOUBLE_EQ(t.Factor(ResourceClass::kIo), 1.0);
+  EXPECT_DOUBLE_EQ(t.Factor(ResourceClass::kCpu), 1.0);
+}
+
+class ThrottleShapeTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThrottleShapeTest, LessSpareMeansMoreSlowdown) {
+  const double f = GetParam();
+  ResourceThrottle tight{f, f};
+  ResourceThrottle loose{f * 2, f * 2};
+  EXPECT_GT(tight.Factor(ResourceClass::kCpu),
+            loose.Factor(ResourceClass::kCpu));
+  EXPECT_GE(tight.Factor(ResourceClass::kIo),
+            loose.Factor(ResourceClass::kIo));
+}
+
+INSTANTIATE_TEST_SUITE_P(SpareFractions, ThrottleShapeTest,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.4));
+
+TEST(ResourceThrottle, Table6Calibration) {
+  // Paper Table 6: CPU-bound slowdowns ~5% at 40% spare and ~18% at 20%
+  // spare; IO slowdowns well under 1%.
+  ResourceThrottle cpu40{1.0, 0.40};
+  ResourceThrottle cpu20{1.0, 0.20};
+  EXPECT_NEAR(cpu40.Factor(ResourceClass::kCpu), 1.05, 0.03);
+  EXPECT_NEAR(cpu20.Factor(ResourceClass::kCpu), 1.18, 0.03);
+  ResourceThrottle io40{0.40, 1.0};
+  ResourceThrottle io20{0.20, 1.0};
+  EXPECT_LT(io40.Factor(ResourceClass::kIo), 1.01);
+  EXPECT_LT(io20.Factor(ResourceClass::kIo), 1.01);
+}
+
+TEST(ResourceThrottle, ThrottledMeterChargesMore) {
+  CostMeter plain;
+  CostMeter throttled(&CostModel::Default(),
+                      ResourceThrottle{1.0, 0.2});
+  plain.Add(Op::kAdjExpandEdge, 1000);
+  throttled.Add(Op::kAdjExpandEdge, 1000);
+  EXPECT_GT(throttled.sim_micros(), plain.sim_micros());
+}
+
+}  // namespace
+}  // namespace dskg

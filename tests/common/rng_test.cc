@@ -1,0 +1,138 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace dskg {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  const uint64_t first = a.NextU64();
+  a.NextU64();
+  a.Reseed(7);
+  EXPECT_EQ(a.NextU64(), first);
+}
+
+class RngBoundsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngBoundsTest, NextBoundedStaysInRange) {
+  Rng rng(GetParam());
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST_P(RngBoundsTest, NextInRangeInclusive) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const int64_t v = rng.NextInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST_P(RngBoundsTest, NextDoubleInUnitInterval) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngBoundsTest,
+                         ::testing::Values(0, 1, 42, 0xdeadbeef,
+                                           ~0ULL));
+
+TEST(Rng, BoundedCoversAllResidues) {
+  Rng rng(99);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BernoulliRespectsProbabilityRoughly) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBool(0.3) ? 1 : 0;
+  const double rate = static_cast<double>(hits) / n;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(11);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ShuffleHandlesEmptyAndSingle) {
+  Rng rng(12);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {9};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{9});
+}
+
+TEST(Zipf, RankZeroIsMostProbable) {
+  Rng rng(21);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(&rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+}
+
+TEST(Zipf, ZeroSkewIsRoughlyUniform) {
+  Rng rng(22);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(&rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.02);
+  }
+}
+
+TEST(Zipf, SamplesWithinRange) {
+  Rng rng(23);
+  ZipfSampler zipf(5, 2.0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.Sample(&rng), 5u);
+  }
+}
+
+TEST(Zipf, SingleRankAlwaysZero) {
+  Rng rng(24);
+  ZipfSampler zipf(1, 1.5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(zipf.Sample(&rng), 0u);
+}
+
+}  // namespace
+}  // namespace dskg

@@ -1,0 +1,58 @@
+#include "common/str_util.h"
+
+#include <gtest/gtest.h>
+
+namespace dskg {
+namespace {
+
+TEST(SplitString, BasicSplit) {
+  EXPECT_EQ(SplitString("a b c", " "),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitString, MultipleDelimitersAndEmptyPieces) {
+  EXPECT_EQ(SplitString("a\t b  c ", " \t"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitString("", " ").empty());
+  EXPECT_TRUE(SplitString("   ", " ").empty());
+}
+
+TEST(TrimWhitespace, TrimsBothEnds) {
+  EXPECT_EQ(TrimWhitespace("  hi  "), "hi");
+  EXPECT_EQ(TrimWhitespace("hi"), "hi");
+  EXPECT_EQ(TrimWhitespace("\t\n x \r "), "x");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+}
+
+TEST(JoinStrings, JoinsWithSeparator) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({"a"}, ", "), "a");
+  EXPECT_EQ(JoinStrings({}, ", "), "");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(StartsWith("y:wasBornIn", "y:"));
+  EXPECT_FALSE(StartsWith("y", "y:"));
+  EXPECT_TRUE(EndsWith("bench.cc", ".cc"));
+  EXPECT_FALSE(EndsWith("cc", ".cc"));
+}
+
+TEST(AsciiToLower, LowersOnlyAscii) {
+  EXPECT_EQ(AsciiToLower("SeLeCt"), "select");
+  EXPECT_EQ(AsciiToLower("abc123"), "abc123");
+}
+
+TEST(HumanBytes, PicksUnit) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.00 KiB");
+  EXPECT_EQ(HumanBytes(3 * 1024 * 1024), "3.00 MiB");
+}
+
+TEST(FormatDouble, RespectsDigits) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+}
+
+}  // namespace
+}  // namespace dskg

@@ -1,0 +1,205 @@
+// Baseline tuner tests: frequency packing (LRU), set packing (one-off /
+// ideal), and the view-selection policy.
+
+#include <gtest/gtest.h>
+
+#include "core/baseline_tuners.h"
+#include "core/identifier.h"
+#include "sparql/parser.h"
+#include "test_util.h"
+
+namespace dskg::core {
+namespace {
+
+using sparql::Parser;
+using sparql::Query;
+
+Query Q(const std::string& text) {
+  auto q = Parser::Parse(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return *q;
+}
+
+class BaselineTunersTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = testing::SmallPeopleGraph();
+    DualStoreConfig cfg;
+    cfg.graph_capacity_triples = 9;
+    store_ = std::make_unique<DualStore>(&ds_, cfg);
+  }
+
+  rdf::TermId Id(const std::string& s) { return ds_.dict().Lookup(s); }
+
+  rdf::Dataset ds_;
+  std::unique_ptr<DualStore> store_;
+};
+
+TEST_F(BaselineTunersTest, NoopTunerDoesNothing) {
+  NoopTuner tuner;
+  CostMeter meter;
+  ASSERT_TRUE(tuner
+                  .AfterBatch(store_.get(),
+                              {Q("SELECT ?a WHERE { ?a bornIn ?c . "
+                                 "?a advisor ?x . }")},
+                              &meter)
+                  .ok());
+  EXPECT_EQ(store_->graph().used_triples(), 0u);
+  EXPECT_EQ(tuner.name(), "noop");
+}
+
+TEST_F(BaselineTunersTest, AccumulateCountsPerPredicate) {
+  std::map<rdf::TermId, uint64_t> counts;
+  AccumulatePartitionCounts(
+      *store_,
+      {Q("SELECT ?a WHERE { ?a bornIn ?c . ?a likes ?f . }"),
+       Q("SELECT ?a WHERE { ?a bornIn ?c . }")},
+      &counts);
+  EXPECT_EQ(counts[Id("bornIn")], 2u);
+  EXPECT_EQ(counts[Id("likes")], 1u);
+}
+
+TEST_F(BaselineTunersTest, FrequencyDesignLoadsTopPartitionsWithinBudget) {
+  std::map<rdf::TermId, uint64_t> counts = {
+      {Id("bornIn"), 10},   // size 4
+      {Id("likes"), 5},     // size 4
+      {Id("advisor"), 1},   // size 3 (no room after the first two)
+  };
+  CostMeter meter;
+  ASSERT_TRUE(ApplyFrequencyDesign(store_.get(), counts, &meter).ok());
+  EXPECT_TRUE(store_->IsResident(Id("bornIn")));
+  EXPECT_TRUE(store_->IsResident(Id("likes")));
+  EXPECT_FALSE(store_->IsResident(Id("advisor")));
+}
+
+TEST_F(BaselineTunersTest, FrequencyDesignEvictsStalePartitions) {
+  CostMeter meter;
+  ASSERT_TRUE(store_->MigratePartition(Id("genre"), &meter).ok());
+  std::map<rdf::TermId, uint64_t> counts = {{Id("bornIn"), 3}};
+  ASSERT_TRUE(ApplyFrequencyDesign(store_.get(), counts, &meter).ok());
+  EXPECT_FALSE(store_->IsResident(Id("genre")));
+  EXPECT_TRUE(store_->IsResident(Id("bornIn")));
+}
+
+TEST_F(BaselineTunersTest, SetDesignLoadsWholeSetsOnly) {
+  // Flagship set (bornIn+advisor = 7) is more frequent than likes+genre
+  // (6); only one fits in capacity 9 -> the frequent one, completely.
+  std::vector<Query> foreseen = {
+      Q("SELECT ?p WHERE { ?p bornIn ?c . ?p advisor ?a . }"),
+      Q("SELECT ?p WHERE { ?p bornIn ?c . ?p advisor ?a . }"),
+      Q("SELECT ?p WHERE { ?p likes ?f . ?f genre ?g . }"),
+  };
+  CostMeter meter;
+  ASSERT_TRUE(ApplySetDesign(store_.get(), foreseen, &meter).ok());
+  EXPECT_TRUE(store_->IsResident(Id("bornIn")));
+  EXPECT_TRUE(store_->IsResident(Id("advisor")));
+  EXPECT_FALSE(store_->IsResident(Id("likes")));
+  EXPECT_FALSE(store_->IsResident(Id("genre")));
+}
+
+TEST_F(BaselineTunersTest, SetDesignSharesPartitionsBetweenSets) {
+  // {bornIn, advisor} then {advisor, marriedTo}: the shared advisor
+  // partition is counted once, so both sets fit (4+3+1 = 8 <= 9).
+  std::vector<Query> foreseen = {
+      Q("SELECT ?p WHERE { ?p bornIn ?c . ?p advisor ?a . }"),
+      Q("SELECT ?p WHERE { ?p advisor ?a . ?p marriedTo ?s . }"),
+  };
+  CostMeter meter;
+  ASSERT_TRUE(ApplySetDesign(store_.get(), foreseen, &meter).ok());
+  EXPECT_TRUE(store_->IsResident(Id("bornIn")));
+  EXPECT_TRUE(store_->IsResident(Id("advisor")));
+  EXPECT_TRUE(store_->IsResident(Id("marriedTo")));
+}
+
+TEST_F(BaselineTunersTest, OneOffTunesOnceUpFront) {
+  OneOffTuner tuner;
+  CostMeter meter;
+  ASSERT_TRUE(
+      tuner
+          .BeforeWorkload(
+              store_.get(),
+              {Q("SELECT ?p WHERE { ?p bornIn ?c . ?p advisor ?a . }")},
+              &meter)
+          .ok());
+  EXPECT_TRUE(store_->IsResident(Id("bornIn")));
+  // AfterBatch is a no-op for one-off mode.
+  const uint64_t used = store_->graph().used_triples();
+  ASSERT_TRUE(tuner
+                  .AfterBatch(store_.get(),
+                              {Q("SELECT ?p WHERE { ?p likes ?f . "
+                                 "?f genre ?g . }")},
+                              &meter)
+                  .ok());
+  EXPECT_EQ(store_->graph().used_triples(), used);
+}
+
+TEST_F(BaselineTunersTest, LruFollowsCumulativeFrequency) {
+  LruTuner tuner;
+  CostMeter meter;
+  const Query likes = Q("SELECT ?p WHERE { ?p likes ?f . ?f genre ?g . }");
+  const Query flagship =
+      Q("SELECT ?p WHERE { ?p bornIn ?c . ?p advisor ?a . }");
+  // Batch 1: only likes seen.
+  ASSERT_TRUE(tuner.AfterBatch(store_.get(), {likes}, &meter).ok());
+  EXPECT_TRUE(store_->IsResident(Id("likes")));
+  // Batches 2-3: flagship dominates cumulative counts; capacity forces
+  // the likes set out.
+  ASSERT_TRUE(
+      tuner.AfterBatch(store_.get(), {flagship, flagship}, &meter).ok());
+  ASSERT_TRUE(
+      tuner.AfterBatch(store_.get(), {flagship, flagship}, &meter).ok());
+  EXPECT_TRUE(store_->IsResident(Id("bornIn")));
+  EXPECT_TRUE(store_->IsResident(Id("advisor")));
+}
+
+TEST_F(BaselineTunersTest, IdealTunesForNextBatch) {
+  IdealTuner tuner;
+  CostMeter meter;
+  ASSERT_TRUE(
+      tuner
+          .BeforeBatch(
+              store_.get(),
+              {Q("SELECT ?p WHERE { ?p bornIn ?c . ?p advisor ?a . }")},
+              &meter)
+          .ok());
+  EXPECT_TRUE(store_->IsResident(Id("bornIn")));
+  ASSERT_TRUE(
+      tuner
+          .BeforeBatch(store_.get(),
+                       {Q("SELECT ?p WHERE { ?p likes ?f . ?f genre ?g . }")},
+                       &meter)
+          .ok());
+  EXPECT_TRUE(store_->IsResident(Id("likes")));
+  EXPECT_FALSE(store_->IsResident(Id("bornIn")));  // reshaped per batch
+}
+
+TEST(ViewsTunerTest, BuildsViewsForFrequentSignatures) {
+  rdf::Dataset ds = testing::SmallPeopleGraph();
+  DualStoreConfig cfg;
+  cfg.use_graph = false;
+  cfg.use_views = true;
+  cfg.views_budget_rows = 50;
+  DualStore store(&ds, cfg);
+  ViewsTuner tuner;
+  CostMeter meter;
+  const Query qc = Q(
+      "SELECT ?p WHERE { ?p bornIn ?c . ?p advisor ?a . ?a bornIn ?c . }");
+  ASSERT_TRUE(tuner.AfterBatch(&store, {qc, qc}, &meter).ok());
+  EXPECT_EQ(store.views()->num_views(), 1u);
+  // The view now answers the subquery.
+  CostMeter qmeter;
+  auto ans = store.views()->TryAnswer(qc.patterns, &qmeter);
+  EXPECT_TRUE(ans.has_value());
+}
+
+TEST(ViewsTunerTest, RequiresViewsVariant) {
+  rdf::Dataset ds = testing::SmallPeopleGraph();
+  DualStoreConfig cfg;  // use_views = false
+  DualStore store(&ds, cfg);
+  ViewsTuner tuner;
+  CostMeter meter;
+  EXPECT_TRUE(tuner.AfterBatch(&store, {}, &meter).IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace dskg::core

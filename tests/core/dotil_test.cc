@@ -1,0 +1,219 @@
+// DOTIL tests: Algorithm 1's transfer/keep/evict decisions, Algorithm 2's
+// reward amortization, the counterfactual cutoff, and the value-aware
+// eviction guard.
+
+#include <gtest/gtest.h>
+
+#include "core/dotil.h"
+#include "core/identifier.h"
+#include "sparql/parser.h"
+#include "test_util.h"
+
+namespace dskg::core {
+namespace {
+
+using sparql::Parser;
+using sparql::Query;
+
+Query Complex(const std::string& text) {
+  auto q = Parser::Parse(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  IdentifiedQuery split = ComplexSubqueryIdentifier::Identify(*q);
+  EXPECT_TRUE(split.HasComplexSubquery()) << text;
+  return *split.complex;
+}
+
+constexpr const char* kFlagship =
+    "SELECT ?p WHERE { ?p bornIn ?c . ?p advisor ?a . ?a bornIn ?c . }";
+
+class DotilTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = testing::SmallPeopleGraph();
+    DualStoreConfig cfg;
+    cfg.graph_capacity_triples = 9;  // bornIn (4) + advisor (3) fit
+    store_ = std::make_unique<DualStore>(&ds_, cfg);
+  }
+
+  rdf::TermId Id(const std::string& s) { return ds_.dict().Lookup(s); }
+
+  rdf::Dataset ds_;
+  std::unique_ptr<DualStore> store_;
+};
+
+TEST_F(DotilTest, ColdStartTransfersWithHighProbability) {
+  DotilConfig cfg;
+  cfg.transfer_prob = 1.0;  // deterministic for the test
+  DotilTuner tuner(cfg);
+  CostMeter meter;
+  ASSERT_TRUE(tuner.AfterBatch(store_.get(), {Complex(kFlagship)}, &meter)
+                  .ok());
+  EXPECT_TRUE(store_->IsResident(Id("bornIn")));
+  EXPECT_TRUE(store_->IsResident(Id("advisor")));
+  EXPECT_GT(meter.count(Op::kImportTriple), 0u);
+  // Transferred partitions were trained with (state 0, action 1).
+  EXPECT_GT(tuner.MatrixOf(Id("bornIn")).at(0, 1), 0.0);
+  EXPECT_GT(tuner.MatrixOf(Id("advisor")).at(0, 1), 0.0);
+}
+
+TEST_F(DotilTest, ZeroProbabilityNeverTransfers) {
+  DotilConfig cfg;
+  cfg.transfer_prob = 0.0;
+  DotilTuner tuner(cfg);
+  CostMeter meter;
+  ASSERT_TRUE(tuner.AfterBatch(store_.get(), {Complex(kFlagship)}, &meter)
+                  .ok());
+  EXPECT_FALSE(store_->IsResident(Id("bornIn")));
+  EXPECT_EQ(tuner.num_trained(), 0u);
+}
+
+TEST_F(DotilTest, ResidentSetReinforcesKeeping) {
+  DotilConfig cfg;
+  cfg.transfer_prob = 1.0;
+  DotilTuner tuner(cfg);
+  CostMeter meter;
+  const Query qc = Complex(kFlagship);
+  ASSERT_TRUE(tuner.AfterBatch(store_.get(), {qc}, &meter).ok());
+  const double q10_before = tuner.MatrixOf(Id("bornIn")).at(1, 0);
+  ASSERT_TRUE(tuner.AfterBatch(store_.get(), {qc}, &meter).ok());
+  EXPECT_GT(tuner.MatrixOf(Id("bornIn")).at(1, 0), q10_before);
+}
+
+TEST_F(DotilTest, RewardAmortizedByPredicateShare) {
+  DotilConfig cfg;
+  cfg.transfer_prob = 1.0;
+  DotilTuner tuner(cfg);
+  CostMeter meter;
+  // bornIn appears in 2 of 3 patterns, advisor in 1 of 3.
+  ASSERT_TRUE(tuner.AfterBatch(store_.get(), {Complex(kFlagship)}, &meter)
+                  .ok());
+  EXPECT_GT(tuner.MatrixOf(Id("bornIn")).at(0, 1),
+            tuner.MatrixOf(Id("advisor")).at(0, 1));
+}
+
+TEST_F(DotilTest, Q00AndQ11StayZero) {
+  DotilConfig cfg;
+  cfg.transfer_prob = 1.0;
+  DotilTuner tuner(cfg);
+  CostMeter meter;
+  const Query qc = Complex(kFlagship);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(tuner.AfterBatch(store_.get(), {qc}, &meter).ok());
+  }
+  const auto sums = tuner.QMatrixSums();
+  EXPECT_DOUBLE_EQ(sums[0], 0.0);  // Q00 pinned (paper Table 5 shape)
+  EXPECT_DOUBLE_EQ(sums[3], 0.0);  // Q11 pinned
+  EXPECT_GT(sums[1], 0.0);
+  EXPECT_GT(sums[2], 0.0);
+}
+
+TEST_F(DotilTest, OversizedSetNeverTransfers) {
+  DotilConfig cfg;
+  cfg.transfer_prob = 1.0;
+  DotilTuner tuner(cfg);
+  CostMeter meter;
+  // bornIn + advisor + likes = 11 > capacity 9: can never fit together.
+  const Query qc = Complex(
+      "SELECT ?p WHERE { ?p bornIn ?c . ?p advisor ?a . ?a bornIn ?c . "
+      "?p likes ?f . ?a likes ?f . }");
+  ASSERT_TRUE(tuner.AfterBatch(store_.get(), {qc}, &meter).ok());
+  EXPECT_EQ(store_->graph().used_triples(), 0u);
+}
+
+TEST_F(DotilTest, EvictionMakesRoomForMoreValuableSet) {
+  DotilConfig cfg;
+  cfg.transfer_prob = 1.0;
+  DotilTuner tuner(cfg);
+  CostMeter meter;
+  // First: load the likes+genre set (6 triples).
+  const Query co_likes = Complex(
+      "SELECT ?a WHERE { ?a likes ?f . ?a likes ?f2 . "
+      "?f genre drama . ?f2 genre comedy . }");
+  ASSERT_TRUE(tuner.AfterBatch(store_.get(), {co_likes}, &meter).ok());
+  ASSERT_TRUE(store_->IsResident(Id("likes")));
+  // Then: the flagship set (7 triples) needs room; eviction must kick in
+  // (capacity 9, used 6).
+  ASSERT_TRUE(tuner.AfterBatch(store_.get(), {Complex(kFlagship)}, &meter)
+                  .ok());
+  EXPECT_TRUE(store_->IsResident(Id("bornIn")));
+  EXPECT_TRUE(store_->IsResident(Id("advisor")));
+  EXPECT_FALSE(store_->IsResident(Id("likes")));
+}
+
+TEST_F(DotilTest, EvictionGuardProtectsValuablePartitions) {
+  // Train the flagship set heavily, then offer a nearly-free point query
+  // whose set needs eviction: with the guard the eviction is refused
+  // (its probed value is below the flagship's keep-value), without it
+  // (Algorithm 1 verbatim) the valuable partitions are flushed.
+  const Query cheap_qc = Complex(
+      "SELECT ?f WHERE { alice likes ?f . ?f genre drama . }");
+  for (bool guard : {true, false}) {
+    rdf::Dataset ds = testing::SmallPeopleGraph();
+    DualStoreConfig scfg;
+    scfg.graph_capacity_triples = 9;
+    DualStore store(&ds, scfg);
+    DotilConfig cfg;
+    cfg.transfer_prob = 1.0;
+    cfg.eviction_guard = guard;
+    // Large lambda: keep-rewards reflect the full relational cost rather
+    // than the λ·c1 cutoff, giving the guard a clear margin at toy scale.
+    cfg.lambda = 50.0;
+    DotilTuner tuner(cfg);
+    CostMeter meter;
+    const Query flagship = Complex(kFlagship);
+    // Many reinforcements of the flagship set's keep-value.
+    ASSERT_TRUE(tuner.AfterBatch(&store, {flagship}, &meter).ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(tuner.AfterBatch(&store, {flagship}, &meter).ok());
+    }
+    ASSERT_TRUE(tuner.AfterBatch(&store, {cheap_qc}, &meter).ok());
+    const bool flagship_resident =
+        store.IsResident(ds.dict().Lookup("bornIn")) &&
+        store.IsResident(ds.dict().Lookup("advisor"));
+    if (guard) {
+      EXPECT_TRUE(flagship_resident) << "guard should refuse the eviction";
+    } else {
+      EXPECT_FALSE(flagship_resident)
+          << "verbatim Algorithm 1 should thrash";
+    }
+  }
+}
+
+TEST_F(DotilTest, MatrixOfUnknownPartitionIsZero) {
+  DotilTuner tuner;
+  const QMatrix m = tuner.MatrixOf(42);
+  EXPECT_EQ(m.Flat(), (std::array<double, 4>{0, 0, 0, 0}));
+}
+
+TEST_F(DotilTest, SinglePredicateSubqueriesIgnored) {
+  DotilConfig cfg;
+  cfg.transfer_prob = 1.0;
+  DotilTuner tuner(cfg);
+  CostMeter meter;
+  Query qc;
+  auto parsed = Parser::Parse("SELECT ?a WHERE { ?a likes ?f . ?b likes ?f }");
+  ASSERT_TRUE(parsed.ok());
+  // Both patterns share one predicate -> partition set of size 1.
+  ASSERT_TRUE(tuner.AfterBatch(store_.get(), {*parsed}, &meter).ok());
+  EXPECT_EQ(store_->graph().used_triples(), 0u);
+}
+
+TEST_F(DotilTest, DeterministicAcrossRuns) {
+  auto run_once = [&]() {
+    rdf::Dataset ds = testing::SmallPeopleGraph();
+    DualStoreConfig scfg;
+    scfg.graph_capacity_triples = 9;
+    DualStore store(&ds, scfg);
+    DotilConfig cfg;
+    cfg.seed = 99;
+    DotilTuner tuner(cfg);
+    CostMeter meter;
+    EXPECT_TRUE(
+        tuner.AfterBatch(&store, {Complex(kFlagship)}, &meter).ok());
+    return tuner.QMatrixSums();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace dskg::core

@@ -1,0 +1,134 @@
+// Complex subquery identifier tests, anchored on the paper's Example 1.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/identifier.h"
+#include "sparql/parser.h"
+
+namespace dskg::core {
+namespace {
+
+using sparql::Parser;
+
+IdentifiedQuery Identify(const std::string& text) {
+  auto q = Parser::Parse(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return ComplexSubqueryIdentifier::Identify(*q);
+}
+
+TEST(Identifier, PaperExampleOne) {
+  // Example 1 (§3.1): q3..q7 form the complex subquery; q1, q2 remain.
+  IdentifiedQuery r = Identify(
+      "SELECT ?GivenName ?FamilyName WHERE { "
+      "?p y:hasGivenName ?GivenName . "
+      "?p y:hasFamilyName ?FamilyName . "
+      "?p y:wasBornIn ?city . "
+      "?p y:hasAcademicAdvisor ?a . "
+      "?a y:wasBornIn ?city . "
+      "?p y:isMarriedTo ?p2 . "
+      "?p2 y:wasBornIn ?city . }");
+  ASSERT_TRUE(r.HasComplexSubquery());
+  EXPECT_EQ(r.complex->patterns.size(), 5u);
+  EXPECT_EQ(r.remainder.patterns.size(), 2u);
+  // The join variable between q_c and the remainder is ?p (the paper's
+  // stated output of q_c).
+  EXPECT_EQ(r.complex->select_vars, std::vector<std::string>{"p"});
+  // Remainder keeps the original projection.
+  EXPECT_EQ(r.remainder.select_vars,
+            (std::vector<std::string>{"GivenName", "FamilyName"}));
+  // The complex subquery contains exactly the wasBornIn / advisor /
+  // marriedTo patterns.
+  for (const auto& p : r.complex->patterns) {
+    EXPECT_NE(p.predicate.text, "y:hasGivenName");
+    EXPECT_NE(p.predicate.text, "y:hasFamilyName");
+  }
+}
+
+TEST(Identifier, NoComplexSubqueryForSinglePattern) {
+  IdentifiedQuery r = Identify("SELECT ?a WHERE { ?a p ?b . }");
+  EXPECT_FALSE(r.HasComplexSubquery());
+  EXPECT_EQ(r.remainder.patterns.size(), 1u);
+}
+
+TEST(Identifier, NoComplexSubqueryWhenVariablesOccurOnce) {
+  // A pure star with single-occurrence leaves: no pattern qualifies
+  // (the center ?p repeats but every leaf variable appears once).
+  IdentifiedQuery r = Identify(
+      "SELECT ?a ?b WHERE { ?p p1 ?a . ?p p2 ?b . ?p p3 ?c . }");
+  EXPECT_FALSE(r.HasComplexSubquery());
+}
+
+TEST(Identifier, ConstantEndpointsQualify) {
+  // Star with two constant-object patterns: both qualify (center repeats,
+  // constants qualify trivially) -> q_c of size 2.
+  IdentifiedQuery r = Identify(
+      "SELECT ?a WHERE { ?p p1 ?a . ?p p2 c1 . ?p p3 c2 . }");
+  ASSERT_TRUE(r.HasComplexSubquery());
+  EXPECT_EQ(r.complex->patterns.size(), 2u);
+  EXPECT_EQ(r.remainder.patterns.size(), 1u);
+  EXPECT_EQ(r.complex->select_vars, std::vector<std::string>{"p"});
+}
+
+TEST(Identifier, WholeQueryComplexKeepsProjection) {
+  IdentifiedQuery r = Identify(
+      "SELECT ?p WHERE { ?p bornIn ?c . ?p advisor ?a . ?a bornIn ?c . }");
+  ASSERT_TRUE(r.HasComplexSubquery());
+  EXPECT_TRUE(r.remainder.patterns.empty());
+  EXPECT_EQ(r.complex->patterns.size(), 3u);
+  EXPECT_EQ(r.complex->select_vars, std::vector<std::string>{"p"});
+}
+
+TEST(Identifier, VariablePredicatePatternsStayInRemainder) {
+  IdentifiedQuery r = Identify(
+      "SELECT ?x WHERE { ?x ?rel ?y . ?x p1 ?y . ?y p2 ?x . }");
+  ASSERT_TRUE(r.HasComplexSubquery());
+  EXPECT_EQ(r.complex->patterns.size(), 2u);
+  ASSERT_EQ(r.remainder.patterns.size(), 1u);
+  EXPECT_TRUE(r.remainder.patterns[0].predicate.is_variable);
+}
+
+TEST(Identifier, AllConstantPatternExcluded) {
+  // A fully constant pattern is a point lookup, never complex.
+  IdentifiedQuery r = Identify(
+      "SELECT ?x WHERE { a p b . ?x q ?y . ?y r ?x . }");
+  ASSERT_TRUE(r.HasComplexSubquery());
+  EXPECT_EQ(r.complex->patterns.size(), 2u);
+  EXPECT_EQ(r.remainder.patterns.size(), 1u);
+}
+
+TEST(Identifier, ProjectedVariableOnlyInComplexIsExported) {
+  // ?a appears only in q_c but is projected: it must be in q_c's output.
+  IdentifiedQuery r = Identify(
+      "SELECT ?a WHERE { ?p bornIn ?c . ?p advisor ?a . ?a bornIn ?c . "
+      "?p name ?n . }");
+  ASSERT_TRUE(r.HasComplexSubquery());
+  ASSERT_EQ(r.remainder.patterns.size(), 1u);
+  const auto& sel = r.complex->select_vars;
+  EXPECT_NE(std::find(sel.begin(), sel.end(), "a"), sel.end());
+  EXPECT_NE(std::find(sel.begin(), sel.end(), "p"), sel.end());
+}
+
+TEST(Identifier, LinearChainTailQualifies) {
+  // 3-hop path: the two tail hops share repeated variables; the head's
+  // subject occurs once.
+  IdentifiedQuery r = Identify(
+      "SELECT ?u WHERE { ?u follows ?v . ?v likes ?p . ?p genre g1 . }");
+  ASSERT_TRUE(r.HasComplexSubquery());
+  EXPECT_EQ(r.complex->patterns.size(), 2u);
+  EXPECT_EQ(r.remainder.patterns.size(), 1u);
+}
+
+TEST(Identifier, IdentifierIsPure) {
+  auto q = Parser::Parse(
+      "SELECT ?p WHERE { ?p a ?b . ?p c ?b . }");
+  ASSERT_TRUE(q.ok());
+  IdentifiedQuery r1 = ComplexSubqueryIdentifier::Identify(*q);
+  IdentifiedQuery r2 = ComplexSubqueryIdentifier::Identify(*q);
+  EXPECT_EQ(r1.query, r2.query);
+  EXPECT_EQ(r1.HasComplexSubquery(), r2.HasComplexSubquery());
+}
+
+}  // namespace
+}  // namespace dskg::core

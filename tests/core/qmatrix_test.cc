@@ -1,0 +1,85 @@
+// Q-matrix tests: Equation 4 arithmetic and the state/action encoding.
+
+#include <gtest/gtest.h>
+
+#include "core/qmatrix.h"
+
+namespace dskg::core {
+namespace {
+
+TEST(QMatrix, StartsZero) {
+  QMatrix m;
+  for (int s : {0, 1}) {
+    for (int a : {0, 1}) EXPECT_DOUBLE_EQ(m.at(s, a), 0.0);
+  }
+  EXPECT_EQ(m.Flat(), (std::array<double, 4>{0, 0, 0, 0}));
+}
+
+TEST(QMatrix, NextStateEncoding) {
+  EXPECT_EQ(QMatrix::NextState(0, 0), 0);  // keep in relational
+  EXPECT_EQ(QMatrix::NextState(0, 1), 1);  // transfer
+  EXPECT_EQ(QMatrix::NextState(1, 0), 1);  // keep resident
+  EXPECT_EQ(QMatrix::NextState(1, 1), 0);  // evict
+}
+
+TEST(QMatrix, FirstUpdateIsAlphaTimesReward) {
+  QMatrix m;
+  // With all-zero future values, Q(0,1) <- alpha * r.
+  m.Update(0, 1, /*reward=*/10.0, /*alpha=*/0.5, /*gamma=*/0.7);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 5.0);
+}
+
+TEST(QMatrix, UpdateUsesDiscountedFuture) {
+  QMatrix m;
+  m.at(1, 0) = 8.0;  // future value of staying resident
+  // Q(0,1): next state is 1, max future = 8.
+  m.Update(0, 1, 10.0, 0.5, 0.7);
+  // (1-0.5)*0 + 0.5*(10 + 0.7*8) = 7.8
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 7.8);
+}
+
+TEST(QMatrix, ExponentialMovingAverageConverges) {
+  QMatrix m;
+  // Repeated identical rewards with gamma=0 converge to the reward.
+  for (int i = 0; i < 100; ++i) m.Update(1, 0, 4.0, 0.5, 0.0);
+  EXPECT_NEAR(m.at(1, 0), 4.0, 1e-9);
+}
+
+TEST(QMatrix, KeepUpdatesAccumulateWithDiscount) {
+  QMatrix m;
+  // gamma>0 and state 1 self-loop: fixed point Q = r / (1 - gamma) when
+  // Q(1,0) dominates Q(1,1).
+  for (int i = 0; i < 500; ++i) m.Update(1, 0, 3.0, 0.5, 0.5);
+  EXPECT_NEAR(m.at(1, 0), 3.0 / (1.0 - 0.5), 1e-6);
+}
+
+TEST(QMatrix, NegativeRewardsDriveQNegative) {
+  QMatrix m;
+  m.Update(0, 1, -2.0, 0.5, 0.7);
+  EXPECT_LT(m.at(0, 1), 0.0);
+}
+
+TEST(QMatrix, MaxFuturePicksBestAction) {
+  QMatrix m;
+  m.at(1, 0) = 2.0;
+  m.at(1, 1) = 5.0;
+  EXPECT_DOUBLE_EQ(m.MaxFuture(1), 5.0);
+  EXPECT_DOUBLE_EQ(m.MaxFuture(0), 0.0);
+}
+
+TEST(QMatrix, ZeroAlphaFreezesValues) {
+  QMatrix m;
+  m.at(0, 1) = 3.0;
+  m.Update(0, 1, 100.0, 0.0, 0.9);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 3.0);
+}
+
+TEST(QMatrix, AlphaOneReplacesValues) {
+  QMatrix m;
+  m.at(0, 1) = 3.0;
+  m.Update(0, 1, 7.0, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 7.0);
+}
+
+}  // namespace
+}  // namespace dskg::core

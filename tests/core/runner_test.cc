@@ -1,0 +1,145 @@
+// Workload runner tests: batching, metric accumulation, tuning hooks,
+// and averaged repetitions.
+
+#include <gtest/gtest.h>
+
+#include "core/baseline_tuners.h"
+#include "core/dotil.h"
+#include "core/runner.h"
+#include "test_util.h"
+#include "workload/generators.h"
+#include "workload/templates.h"
+
+namespace dskg::core {
+namespace {
+
+workload::Workload SmallYagoWorkload(const rdf::Dataset& ds, bool ordered) {
+  workload::WorkloadBuilder builder(&ds);
+  workload::WorkloadOptions opt;
+  opt.ordered = ordered;
+  auto w = builder.Build("yago", workload::YagoTemplates(), opt);
+  EXPECT_TRUE(w.ok()) << w.status();
+  return std::move(w).ValueOrDie();
+}
+
+class RunnerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::YagoConfig cfg;
+    cfg.target_triples = 15000;
+    ds_ = workload::GenerateYago(cfg);
+    DualStoreConfig scfg;
+    scfg.graph_capacity_triples = ds_.num_triples() / 4;
+    store_ = std::make_unique<DualStore>(&ds_, scfg);
+  }
+
+  rdf::Dataset ds_;
+  std::unique_ptr<DualStore> store_;
+};
+
+TEST_F(RunnerTest, RunsAllQueriesInFiveBatches) {
+  workload::Workload w = SmallYagoWorkload(ds_, /*ordered=*/true);
+  ASSERT_EQ(w.queries.size(), 20u);
+  WorkloadRunner runner(store_.get(), /*tuner=*/nullptr);
+  auto m = runner.Run(w, 5);
+  ASSERT_TRUE(m.ok()) << m.status();
+  ASSERT_EQ(m->batches.size(), 5u);
+  size_t total = 0;
+  for (const auto& b : m->batches) {
+    total += b.queries.size();
+    EXPECT_EQ(b.queries.size(), 4u);
+    EXPECT_GT(b.tti_micros, 0.0);
+    EXPECT_DOUBLE_EQ(b.tuning_micros, 0.0);  // no tuner
+  }
+  EXPECT_EQ(total, 20u);
+  EXPECT_GT(m->TotalTtiMicros(), 0.0);
+  EXPECT_DOUBLE_EQ(m->TotalTuningMicros(), 0.0);
+}
+
+TEST_F(RunnerTest, BatchMetricsDecompose) {
+  workload::Workload w = SmallYagoWorkload(ds_, true);
+  WorkloadRunner runner(store_.get(), nullptr);
+  auto m = runner.Run(w, 5);
+  ASSERT_TRUE(m.ok());
+  for (const auto& b : m->batches) {
+    double sum = 0;
+    for (const auto& q : b.queries) sum += q.total_micros;
+    EXPECT_NEAR(b.tti_micros, sum, 1e-6);
+    EXPECT_NEAR(b.tti_micros,
+                b.graph_micros + b.rel_micros + b.migrate_micros, 1e-6);
+  }
+}
+
+TEST_F(RunnerTest, DotilTuningCostIsOffline) {
+  workload::Workload w = SmallYagoWorkload(ds_, true);
+  DotilTuner tuner;
+  WorkloadRunner runner(store_.get(), &tuner);
+  auto m = runner.Run(w, 5);
+  ASSERT_TRUE(m.ok()) << m.status();
+  double tuning = m->TotalTuningMicros();
+  EXPECT_GT(tuning, 0.0);  // migrations + training happened
+  EXPECT_GT(store_->graph().used_triples(), 0u);
+}
+
+TEST_F(RunnerTest, GraphShareGrowsAfterTuning) {
+  workload::Workload w = SmallYagoWorkload(ds_, true);
+  DotilTuner tuner;
+  WorkloadRunner runner(store_.get(), &tuner);
+  auto first = runner.Run(w, 5);
+  ASSERT_TRUE(first.ok());
+  // Second pass over the same workload: the store is warm, so most
+  // complex queries route through the graph store.
+  auto second = runner.Run(w, 5);
+  ASSERT_TRUE(second.ok());
+  EXPECT_LT(second->TotalTtiMicros(), first->TotalTtiMicros());
+}
+
+TEST_F(RunnerTest, OneOffTuningChargedToFirstBatch) {
+  workload::Workload w = SmallYagoWorkload(ds_, true);
+  OneOffTuner tuner;
+  WorkloadRunner runner(store_.get(), &tuner);
+  auto m = runner.Run(w, 5);
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_GT(m->batches[0].tuning_micros, 0.0);
+  for (size_t b = 1; b < m->batches.size(); ++b) {
+    EXPECT_DOUBLE_EQ(m->batches[b].tuning_micros, 0.0);
+  }
+}
+
+TEST_F(RunnerTest, RunAveragedValidatesArguments) {
+  workload::Workload w = SmallYagoWorkload(ds_, true);
+  WorkloadRunner runner(store_.get(), nullptr);
+  EXPECT_TRUE(runner.RunAveraged(w, 5, /*reps=*/1, /*warmup=*/1)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(RunnerTest, RunAveragedAveragesTrailingReps) {
+  workload::Workload w = SmallYagoWorkload(ds_, true);
+  // Without a tuner the store is stateless across reps, so the average
+  // equals a single run.
+  WorkloadRunner runner(store_.get(), nullptr);
+  auto single = runner.Run(w, 5);
+  ASSERT_TRUE(single.ok());
+  auto averaged = runner.RunAveraged(w, 5, /*reps=*/3, /*warmup=*/1);
+  ASSERT_TRUE(averaged.ok());
+  ASSERT_EQ(averaged->batches.size(), 5u);
+  for (size_t b = 0; b < 5; ++b) {
+    EXPECT_NEAR(averaged->batches[b].tti_micros,
+                single->batches[b].tti_micros, 1.0);
+  }
+}
+
+TEST_F(RunnerTest, UnevenBatchSplit) {
+  workload::Workload w = SmallYagoWorkload(ds_, true);
+  WorkloadRunner runner(store_.get(), nullptr);
+  auto m = runner.Run(w, 3);  // 20 queries -> 7 + 7 + 6
+  ASSERT_TRUE(m.ok());
+  ASSERT_EQ(m->batches.size(), 3u);
+  EXPECT_EQ(m->batches[0].queries.size(), 7u);
+  EXPECT_EQ(m->batches[1].queries.size(), 7u);
+  EXPECT_EQ(m->batches[2].queries.size(), 6u);
+}
+
+}  // namespace
+}  // namespace dskg::core

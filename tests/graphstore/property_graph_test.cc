@@ -1,0 +1,160 @@
+// Property graph tests: partition import/evict, capacity budget,
+// adjacency access, and the single-insert update path.
+
+#include <gtest/gtest.h>
+
+#include "graphstore/property_graph.h"
+#include "test_util.h"
+
+namespace dskg::graphstore {
+namespace {
+
+using rdf::TermId;
+using rdf::Triple;
+
+std::vector<Triple> PartitionOf(const rdf::Dataset& ds,
+                                const std::string& pred) {
+  return ds.TriplesWithPredicate(ds.dict().Lookup(pred));
+}
+
+class PropertyGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ds_ = testing::SmallPeopleGraph(); }
+
+  TermId Id(const std::string& s) { return ds_.dict().Lookup(s); }
+
+  rdf::Dataset ds_;
+  CostMeter meter_;
+};
+
+TEST_F(PropertyGraphTest, ImportMakesPredicateResident) {
+  PropertyGraph g;
+  ASSERT_TRUE(
+      g.ImportPartition(Id("bornIn"), PartitionOf(ds_, "bornIn"), &meter_)
+          .ok());
+  EXPECT_TRUE(g.HasPredicate(Id("bornIn")));
+  EXPECT_FALSE(g.HasPredicate(Id("likes")));
+  EXPECT_EQ(g.used_triples(), 4u);
+  EXPECT_EQ(g.PartitionTriples(Id("bornIn")), 4u);
+  EXPECT_EQ(meter_.count(Op::kImportTriple), 4u);
+}
+
+TEST_F(PropertyGraphTest, DoubleImportRejected) {
+  PropertyGraph g;
+  ASSERT_TRUE(
+      g.ImportPartition(Id("bornIn"), PartitionOf(ds_, "bornIn"), &meter_)
+          .ok());
+  EXPECT_TRUE(
+      g.ImportPartition(Id("bornIn"), PartitionOf(ds_, "bornIn"), &meter_)
+          .IsAlreadyExists());
+}
+
+TEST_F(PropertyGraphTest, WrongPredicateInPartitionRejected) {
+  PropertyGraph g;
+  EXPECT_TRUE(
+      g.ImportPartition(Id("likes"), PartitionOf(ds_, "bornIn"), &meter_)
+          .IsInvalidArgument());
+}
+
+TEST_F(PropertyGraphTest, CapacityEnforced) {
+  PropertyGraph g(/*capacity_triples=*/5);
+  ASSERT_TRUE(
+      g.ImportPartition(Id("bornIn"), PartitionOf(ds_, "bornIn"), &meter_)
+          .ok());  // 4 triples
+  EXPECT_EQ(g.FreeTriples(), 1u);
+  // likes has 4 triples; does not fit.
+  EXPECT_TRUE(
+      g.ImportPartition(Id("likes"), PartitionOf(ds_, "likes"), &meter_)
+          .IsCapacityExceeded());
+  // genre has 2 triples; still does not fit (1 free).
+  EXPECT_TRUE(
+      g.ImportPartition(Id("genre"), PartitionOf(ds_, "genre"), &meter_)
+          .IsCapacityExceeded());
+}
+
+TEST_F(PropertyGraphTest, EvictFreesCapacity) {
+  PropertyGraph g(/*capacity_triples=*/6);
+  ASSERT_TRUE(
+      g.ImportPartition(Id("bornIn"), PartitionOf(ds_, "bornIn"), &meter_)
+          .ok());
+  ASSERT_TRUE(g.EvictPartition(Id("bornIn"), &meter_).ok());
+  EXPECT_FALSE(g.HasPredicate(Id("bornIn")));
+  EXPECT_EQ(g.used_triples(), 0u);
+  EXPECT_EQ(meter_.count(Op::kEvictTriple), 4u);
+  EXPECT_TRUE(g.EvictPartition(Id("bornIn"), &meter_).IsNotFound());
+  // Now likes fits.
+  EXPECT_TRUE(
+      g.ImportPartition(Id("likes"), PartitionOf(ds_, "likes"), &meter_)
+          .ok());
+}
+
+TEST_F(PropertyGraphTest, AdjacencyBothDirections) {
+  PropertyGraph g;
+  ASSERT_TRUE(
+      g.ImportPartition(Id("advisor"), PartitionOf(ds_, "advisor"), &meter_)
+          .ok());
+  const auto* out = g.OutNeighbors(Id("bob"), Id("advisor"));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, std::vector<TermId>{Id("alice")});
+  const auto* in = g.InNeighbors(Id("alice"), Id("advisor"));
+  ASSERT_NE(in, nullptr);
+  EXPECT_EQ(in->size(), 2u);  // bob, carol
+  EXPECT_EQ(g.OutNeighbors(Id("alice"), Id("advisor")), nullptr);
+  EXPECT_EQ(g.OutNeighbors(Id("bob"), Id("likes")), nullptr);  // not loaded
+}
+
+TEST_F(PropertyGraphTest, EdgesListMatchesPartition) {
+  PropertyGraph g;
+  ASSERT_TRUE(
+      g.ImportPartition(Id("likes"), PartitionOf(ds_, "likes"), &meter_)
+          .ok());
+  EXPECT_EQ(g.Edges(Id("likes")).size(), 4u);
+  EXPECT_TRUE(g.Edges(Id("bornIn")).empty());  // not loaded
+}
+
+TEST_F(PropertyGraphTest, LoadedPredicatesSortedAscending) {
+  PropertyGraph g;
+  ASSERT_TRUE(
+      g.ImportPartition(Id("likes"), PartitionOf(ds_, "likes"), &meter_).ok());
+  ASSERT_TRUE(
+      g.ImportPartition(Id("bornIn"), PartitionOf(ds_, "bornIn"), &meter_)
+          .ok());
+  auto loaded = g.LoadedPredicates();
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_LT(loaded[0], loaded[1]);
+}
+
+TEST_F(PropertyGraphTest, InsertTripleExtendsLoadedPartition) {
+  PropertyGraph g;
+  ASSERT_TRUE(
+      g.ImportPartition(Id("likes"), PartitionOf(ds_, "likes"), &meter_).ok());
+  rdf::Triple t{Id("alice"), Id("likes"), Id("film2")};
+  ASSERT_TRUE(g.InsertTriple(t, &meter_).ok());
+  EXPECT_EQ(g.PartitionTriples(Id("likes")), 5u);
+  const auto* out = g.OutNeighbors(Id("alice"), Id("likes"));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->size(), 2u);
+}
+
+TEST_F(PropertyGraphTest, InsertIntoAbsentPartitionRejected) {
+  PropertyGraph g;
+  rdf::Triple t{Id("alice"), Id("likes"), Id("film2")};
+  EXPECT_TRUE(g.InsertTriple(t, &meter_).IsNotFound());
+}
+
+TEST_F(PropertyGraphTest, InsertRespectsCapacity) {
+  PropertyGraph g(/*capacity_triples=*/4);
+  ASSERT_TRUE(
+      g.ImportPartition(Id("likes"), PartitionOf(ds_, "likes"), &meter_).ok());
+  rdf::Triple t{Id("alice"), Id("likes"), Id("film2")};
+  EXPECT_TRUE(g.InsertTriple(t, &meter_).IsCapacityExceeded());
+}
+
+TEST_F(PropertyGraphTest, UnlimitedCapacityReportsMaxFree) {
+  PropertyGraph g;
+  EXPECT_EQ(g.capacity_triples(), 0u);
+  EXPECT_GT(g.FreeTriples(), 1ULL << 60);
+}
+
+}  // namespace
+}  // namespace dskg::graphstore

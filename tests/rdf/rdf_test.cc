@@ -1,0 +1,183 @@
+// Unit tests for the RDF data model: dictionary, triples, dataset
+// partition statistics, and N-Triples round-tripping.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rdf/dataset.h"
+#include "rdf/dictionary.h"
+#include "rdf/ntriples.h"
+#include "rdf/triple.h"
+
+namespace dskg::rdf {
+namespace {
+
+TEST(Dictionary, InternAssignsDenseIdsInOrder) {
+  Dictionary d;
+  EXPECT_EQ(d.Intern("a"), 0u);
+  EXPECT_EQ(d.Intern("b"), 1u);
+  EXPECT_EQ(d.Intern("a"), 0u);  // idempotent
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(Dictionary, LookupMissingReturnsInvalid) {
+  Dictionary d;
+  d.Intern("x");
+  EXPECT_EQ(d.Lookup("y"), kInvalidTermId);
+  EXPECT_TRUE(d.Contains("x"));
+  EXPECT_FALSE(d.Contains("y"));
+}
+
+TEST(Dictionary, TermOfRoundTrips) {
+  Dictionary d;
+  const TermId id = d.Intern("y:wasBornIn");
+  EXPECT_EQ(d.TermOf(id), "y:wasBornIn");
+  auto checked = d.TermOfChecked(id);
+  ASSERT_TRUE(checked.ok());
+  EXPECT_EQ(checked.value(), "y:wasBornIn");
+}
+
+TEST(Dictionary, TermOfCheckedRejectsOutOfRange) {
+  Dictionary d;
+  EXPECT_TRUE(d.TermOfChecked(0).status().IsNotFound());
+  EXPECT_TRUE(d.TermOfChecked(kInvalidTermId).status().IsNotFound());
+}
+
+TEST(Dictionary, TracksTextBytes) {
+  Dictionary d;
+  d.Intern("abc");
+  d.Intern("de");
+  d.Intern("abc");  // duplicate adds nothing
+  EXPECT_EQ(d.text_bytes(), 5u);
+}
+
+TEST(Triple, OrderingIsLexicographicSPO) {
+  Triple a{1, 2, 3}, b{1, 2, 4}, c{1, 3, 0}, d{2, 0, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(c, d);
+  EXPECT_EQ(a, (Triple{1, 2, 3}));
+}
+
+TEST(Triple, HashDistinguishesPermutations) {
+  TripleHash h;
+  EXPECT_NE(h(Triple{1, 2, 3}), h(Triple{3, 2, 1}));
+  EXPECT_EQ(h(Triple{1, 2, 3}), h(Triple{1, 2, 3}));
+}
+
+TEST(Dataset, AddInternsAndCounts) {
+  Dataset ds;
+  ds.Add("s1", "p1", "o1");
+  ds.Add("s2", "p1", "o2");
+  ds.Add("s1", "p2", "o1");
+  EXPECT_EQ(ds.num_triples(), 3u);
+  EXPECT_EQ(ds.num_predicates(), 2u);
+  EXPECT_EQ(ds.dict().size(), 6u);  // s1 s2 p1 p2 o1 o2
+}
+
+TEST(Dataset, PartitionStatsAreIncremental) {
+  Dataset ds;
+  ds.Add("a", "p", "b");
+  ds.Add("c", "p", "d");
+  ds.Add("a", "q", "b");
+  auto p = ds.PartitionOf(ds.dict().Lookup("p"));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->num_triples, 2u);
+  EXPECT_GT(p->bytes, 0u);
+  auto q = ds.PartitionOf(ds.dict().Lookup("q"));
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_triples, 1u);
+}
+
+TEST(Dataset, PartitionOfUnknownPredicateIsNotFound) {
+  Dataset ds;
+  EXPECT_TRUE(ds.PartitionOf(99).status().IsNotFound());
+}
+
+TEST(Dataset, AllPartitionsSortedByPredicateId) {
+  Dataset ds;
+  ds.Add("a", "z", "b");
+  ds.Add("a", "y", "b");
+  ds.Add("a", "x", "b");
+  auto parts = ds.AllPartitions();
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_LT(parts[0].predicate, parts[1].predicate);
+  EXPECT_LT(parts[1].predicate, parts[2].predicate);
+}
+
+TEST(Dataset, CountDistinctSubjectsObjects) {
+  Dataset ds;
+  ds.Add("a", "p", "b");
+  ds.Add("b", "p", "c");
+  ds.Add("a", "q", "c");
+  // Subjects/objects: a, b, c (predicates don't count).
+  EXPECT_EQ(ds.CountDistinctSubjectsObjects(), 3u);
+}
+
+TEST(Dataset, TriplesWithPredicateFilters) {
+  Dataset ds;
+  ds.Add("a", "p", "b");
+  ds.Add("c", "q", "d");
+  ds.Add("e", "p", "f");
+  auto p_triples = ds.TriplesWithPredicate(ds.dict().Lookup("p"));
+  EXPECT_EQ(p_triples.size(), 2u);
+}
+
+TEST(Dataset, EstimatedBytesGrowsWithData) {
+  Dataset ds;
+  const uint64_t empty = ds.EstimatedBytes();
+  ds.Add("aaaa", "bbbb", "cccc");
+  EXPECT_GT(ds.EstimatedBytes(), empty);
+}
+
+TEST(NTriples, RoundTrip) {
+  Dataset ds;
+  ds.Add("y:alice", "y:wasBornIn", "y:berlin");
+  ds.Add("y:bob", "y:hasAcademicAdvisor", "y:alice");
+  std::ostringstream out;
+  ASSERT_TRUE(NTriplesWriter::Write(ds, out).ok());
+
+  std::istringstream in(out.str());
+  auto parsed = NTriplesReader::Read(in);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->num_triples(), 2u);
+  EXPECT_TRUE(parsed->dict().Contains("y:wasBornIn"));
+}
+
+TEST(NTriples, SkipsCommentsAndBlankLines) {
+  std::istringstream in("# comment\n\n s p o .\n s2 p o2\n");
+  auto parsed = NTriplesReader::Read(in);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->num_triples(), 2u);
+}
+
+TEST(NTriples, RejectsMalformedLines) {
+  std::istringstream in("s p\n");
+  auto parsed = NTriplesReader::Read(in);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsParseError());
+  EXPECT_NE(parsed.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(NTriples, FileIoErrors) {
+  EXPECT_TRUE(NTriplesReader::ReadFile("/nonexistent/path.nt")
+                  .status()
+                  .IsIoError());
+  Dataset ds;
+  EXPECT_TRUE(
+      NTriplesWriter::WriteFile(ds, "/nonexistent/dir/out.nt").IsIoError());
+}
+
+TEST(NTriples, FileRoundTrip) {
+  Dataset ds;
+  ds.Add("a", "p", "b");
+  const std::string path = ::testing::TempDir() + "/dskg_roundtrip.nt";
+  ASSERT_TRUE(NTriplesWriter::WriteFile(ds, path).ok());
+  auto parsed = NTriplesReader::ReadFile(path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_triples(), 1u);
+}
+
+}  // namespace
+}  // namespace dskg::rdf

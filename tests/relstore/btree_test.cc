@@ -1,0 +1,149 @@
+// B+-tree tests: structural invariants plus randomized differential
+// testing against std::set.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "common/rng.h"
+#include "relstore/btree.h"
+
+namespace dskg::relstore {
+namespace {
+
+using Key = std::array<uint64_t, 3>;
+
+TEST(BPlusTree, EmptyTree) {
+  BPlusTree<Key> tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.Begin().AtEnd());
+  EXPECT_FALSE(tree.Contains({1, 2, 3}));
+}
+
+TEST(BPlusTree, InsertAndContains) {
+  BPlusTree<Key> tree;
+  EXPECT_TRUE(tree.Insert({1, 2, 3}));
+  EXPECT_FALSE(tree.Insert({1, 2, 3}));  // duplicate
+  EXPECT_TRUE(tree.Contains({1, 2, 3}));
+  EXPECT_FALSE(tree.Contains({1, 2, 4}));
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BPlusTree, IterationIsSorted) {
+  BPlusTree<Key> tree;
+  for (uint64_t i = 100; i > 0; --i) tree.Insert({i, 0, 0});
+  uint64_t prev = 0;
+  size_t count = 0;
+  for (auto it = tree.Begin(); !it.AtEnd(); ++it) {
+    EXPECT_GT((*it)[0], prev);
+    prev = (*it)[0];
+    ++count;
+  }
+  EXPECT_EQ(count, 100u);
+}
+
+TEST(BPlusTree, SplitsGrowHeight) {
+  BPlusTree<Key> tree;
+  EXPECT_EQ(tree.height(), 1);
+  for (uint64_t i = 0; i < 1000; ++i) tree.Insert({i, i, i});
+  EXPECT_GT(tree.height(), 1);
+  EXPECT_EQ(tree.size(), 1000u);
+}
+
+TEST(BPlusTree, LowerBoundFindsFirstNotLess) {
+  BPlusTree<Key> tree;
+  for (uint64_t i = 0; i < 100; i += 10) tree.Insert({i, 0, 0});
+  auto it = tree.LowerBound({35, 0, 0});
+  ASSERT_FALSE(it.AtEnd());
+  EXPECT_EQ((*it)[0], 40u);
+  it = tree.LowerBound({40, 0, 0});
+  EXPECT_EQ((*it)[0], 40u);
+  it = tree.LowerBound({95, 0, 0});
+  EXPECT_TRUE(it.AtEnd());
+}
+
+TEST(BPlusTree, LowerBoundPrefixScan) {
+  // The index usage pattern: all keys with a bound first component.
+  BPlusTree<Key> tree;
+  for (uint64_t s = 0; s < 20; ++s) {
+    for (uint64_t o = 0; o < 5; ++o) tree.Insert({s, 7, o});
+  }
+  size_t count = 0;
+  for (auto it = tree.LowerBound({13, 0, 0}); !it.AtEnd(); ++it) {
+    if ((*it)[0] != 13) break;
+    ++count;
+  }
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(BPlusTree, EraseRemovesKeys) {
+  BPlusTree<Key> tree;
+  for (uint64_t i = 0; i < 200; ++i) tree.Insert({i, 0, 0});
+  EXPECT_TRUE(tree.Erase({50, 0, 0}));
+  EXPECT_FALSE(tree.Erase({50, 0, 0}));
+  EXPECT_FALSE(tree.Contains({50, 0, 0}));
+  EXPECT_EQ(tree.size(), 199u);
+  // Iteration skips the erased key.
+  for (auto it = tree.Begin(); !it.AtEnd(); ++it) {
+    EXPECT_NE((*it)[0], 50u);
+  }
+}
+
+class BTreeDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BTreeDifferentialTest, MatchesStdSetUnderRandomOps) {
+  Rng rng(GetParam());
+  BPlusTree<Key> tree;
+  std::set<Key> reference;
+  for (int op = 0; op < 5000; ++op) {
+    Key k{rng.NextBounded(50), rng.NextBounded(10), rng.NextBounded(50)};
+    if (rng.NextBool(0.8)) {
+      EXPECT_EQ(tree.Insert(k), reference.insert(k).second);
+    } else {
+      EXPECT_EQ(tree.Erase(k), reference.erase(k) > 0);
+    }
+  }
+  EXPECT_EQ(tree.size(), reference.size());
+  // Full scan equals sorted reference.
+  auto rit = reference.begin();
+  for (auto it = tree.Begin(); !it.AtEnd(); ++it, ++rit) {
+    ASSERT_NE(rit, reference.end());
+    EXPECT_EQ(*it, *rit);
+  }
+  EXPECT_EQ(rit, reference.end());
+  // Random lower-bound probes agree.
+  for (int probe = 0; probe < 200; ++probe) {
+    Key k{rng.NextBounded(55), rng.NextBounded(11), rng.NextBounded(55)};
+    auto it = tree.LowerBound(k);
+    auto ref = reference.lower_bound(k);
+    if (ref == reference.end()) {
+      EXPECT_TRUE(it.AtEnd());
+    } else {
+      ASSERT_FALSE(it.AtEnd());
+      EXPECT_EQ(*it, *ref);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeDifferentialTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 99, 1234));
+
+TEST(BPlusTree, SequentialAndReverseInsertions) {
+  for (bool reverse : {false, true}) {
+    BPlusTree<Key> tree;
+    const uint64_t n = 2000;
+    for (uint64_t i = 0; i < n; ++i) {
+      const uint64_t v = reverse ? n - 1 - i : i;
+      tree.Insert({v, v % 7, v % 3});
+    }
+    EXPECT_EQ(tree.size(), n);
+    uint64_t count = 0;
+    for (auto it = tree.Begin(); !it.AtEnd(); ++it) ++count;
+    EXPECT_EQ(count, n);
+  }
+}
+
+}  // namespace
+}  // namespace dskg::relstore

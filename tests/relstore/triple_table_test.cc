@@ -1,0 +1,225 @@
+// TripleTable tests: all eight bound/unbound pattern combinations
+// (parameterized), statistics, estimates, budget aborts.
+
+#include <gtest/gtest.h>
+
+#include "relstore/triple_table.h"
+#include "rdf/dataset.h"
+#include "test_util.h"
+
+namespace dskg::relstore {
+namespace {
+
+using rdf::TermId;
+using rdf::Triple;
+
+class TripleTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = testing::SmallPeopleGraph();
+    CostMeter meter;
+    table_.BulkLoad(ds_.triples(), &meter);
+  }
+
+  TermId Id(const std::string& term) { return ds_.dict().Lookup(term); }
+
+  std::vector<Triple> Collect(const BoundPattern& p) {
+    std::vector<Triple> out;
+    CostMeter meter;
+    EXPECT_TRUE(table_
+                    .ScanPattern(p, &meter,
+                                 [&](const Triple& t) {
+                                   out.push_back(t);
+                                   return true;
+                                 })
+                    .ok());
+    return out;
+  }
+
+  rdf::Dataset ds_;
+  TripleTable table_;
+};
+
+TEST_F(TripleTableTest, InsertDeduplicates) {
+  CostMeter meter;
+  EXPECT_FALSE(table_.Insert(ds_.triples()[0], &meter));
+  EXPECT_EQ(table_.size(), ds_.num_triples());  // dataset has no dups
+}
+
+TEST_F(TripleTableTest, ContainsExactTriple) {
+  CostMeter meter;
+  EXPECT_TRUE(table_.Contains(
+      Triple{Id("alice"), Id("bornIn"), Id("berlin")}, &meter));
+  EXPECT_FALSE(table_.Contains(
+      Triple{Id("alice"), Id("bornIn"), Id("paris")}, &meter));
+  EXPECT_GT(meter.count(Op::kIndexProbe), 0u);
+}
+
+TEST_F(TripleTableTest, ScanFullyBound) {
+  BoundPattern p;
+  p.subject = Id("alice");
+  p.predicate = Id("bornIn");
+  p.object = Id("berlin");
+  EXPECT_EQ(Collect(p).size(), 1u);
+}
+
+TEST_F(TripleTableTest, ScanByPredicate) {
+  BoundPattern p;
+  p.predicate = Id("bornIn");
+  EXPECT_EQ(Collect(p).size(), 4u);
+}
+
+TEST_F(TripleTableTest, ScanBySubject) {
+  BoundPattern p;
+  p.subject = Id("alice");
+  EXPECT_EQ(Collect(p).size(), 3u);  // bornIn, likes, marriedTo
+}
+
+TEST_F(TripleTableTest, ScanByObject) {
+  BoundPattern p;
+  p.object = Id("alice");
+  EXPECT_EQ(Collect(p).size(), 2u);  // two advisees
+}
+
+TEST_F(TripleTableTest, ScanSubjectPredicate) {
+  BoundPattern p;
+  p.subject = Id("bob");
+  p.predicate = Id("likes");
+  auto r = Collect(p);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].object, Id("film1"));
+}
+
+TEST_F(TripleTableTest, ScanPredicateObject) {
+  BoundPattern p;
+  p.predicate = Id("likes");
+  p.object = Id("film2");
+  EXPECT_EQ(Collect(p).size(), 2u);  // carol, dave
+}
+
+TEST_F(TripleTableTest, ScanObjectSubject) {
+  BoundPattern p;
+  p.subject = Id("dave");
+  p.object = Id("carol");
+  auto r = Collect(p);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].predicate, Id("advisor"));
+}
+
+TEST_F(TripleTableTest, FullScanVisitsEverything) {
+  EXPECT_EQ(Collect(BoundPattern{}).size(), ds_.num_triples());
+}
+
+TEST_F(TripleTableTest, EarlyStopViaCallback) {
+  CostMeter meter;
+  size_t visited = 0;
+  ASSERT_TRUE(table_
+                  .ScanPattern(BoundPattern{}, &meter,
+                               [&](const Triple&) {
+                                 ++visited;
+                                 return visited < 3;
+                               })
+                  .ok());
+  EXPECT_EQ(visited, 3u);
+}
+
+TEST_F(TripleTableTest, BudgetAbortsScan) {
+  CostMeter meter;
+  meter.set_budget_micros(0.6);  // roughly one tuple worth
+  Status s = table_.ScanPattern(BoundPattern{}, &meter,
+                                [](const Triple&) { return true; });
+  EXPECT_TRUE(s.IsCancelled()) << s;
+}
+
+TEST_F(TripleTableTest, StatsPerPredicate) {
+  auto st = table_.StatsOf(Id("bornIn"));
+  EXPECT_EQ(st.num_triples, 4u);
+  EXPECT_EQ(st.num_distinct_subjects, 4u);
+  EXPECT_EQ(st.num_distinct_objects, 2u);  // berlin, paris
+  auto missing = table_.StatsOf(999999);
+  EXPECT_EQ(missing.num_triples, 0u);
+}
+
+TEST_F(TripleTableTest, EstimateMatchesBoundsReality) {
+  BoundPattern by_pred;
+  by_pred.predicate = Id("bornIn");
+  EXPECT_EQ(table_.EstimateMatches(by_pred), 4u);
+
+  BoundPattern point;
+  point.predicate = Id("bornIn");
+  point.subject = Id("alice");
+  EXPECT_EQ(table_.EstimateMatches(point), 1u);
+
+  BoundPattern unknown;
+  unknown.predicate = 424242;
+  EXPECT_EQ(table_.EstimateMatches(unknown), 0u);
+}
+
+TEST_F(TripleTableTest, PredicatesListsAll) {
+  EXPECT_EQ(table_.Predicates().size(), 5u);
+  EXPECT_EQ(table_.num_predicates(), 5u);
+}
+
+TEST_F(TripleTableTest, GlobalDistinctCounts) {
+  EXPECT_GT(table_.SubjectCount(), 0u);
+  EXPECT_GT(table_.ObjectCount(), 0u);
+}
+
+TEST_F(TripleTableTest, ScanChargesCosts) {
+  CostMeter meter;
+  BoundPattern p;
+  p.predicate = Id("bornIn");
+  ASSERT_TRUE(
+      table_.ScanPattern(p, &meter, [](const Triple&) { return true; })
+          .ok());
+  EXPECT_EQ(meter.count(Op::kIndexProbe), 1u);
+  EXPECT_GE(meter.count(Op::kIndexScanTuple), 4u);
+}
+
+// Differential test: every bound-mask combination agrees with a naive
+// filter over the raw triples.
+class PatternMaskTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PatternMaskTest, AgreesWithNaiveFilter) {
+  rdf::Dataset ds = testing::SmallPeopleGraph();
+  TripleTable table;
+  CostMeter meter;
+  table.BulkLoad(ds.triples(), &meter);
+
+  const int mask = GetParam();
+  // Use an existing triple's components as the bound values.
+  for (const Triple& probe : ds.triples()) {
+    BoundPattern p;
+    if (mask & 1) p.subject = probe.subject;
+    if (mask & 2) p.predicate = probe.predicate;
+    if (mask & 4) p.object = probe.object;
+
+    std::vector<Triple> expected;
+    for (const Triple& t : ds.triples()) {
+      if ((!p.subject || *p.subject == t.subject) &&
+          (!p.predicate || *p.predicate == t.predicate) &&
+          (!p.object || *p.object == t.object)) {
+        expected.push_back(t);
+      }
+    }
+    std::sort(expected.begin(), expected.end());
+
+    std::vector<Triple> actual;
+    CostMeter m2;
+    ASSERT_TRUE(table
+                    .ScanPattern(p, &m2,
+                                 [&](const Triple& t) {
+                                   actual.push_back(t);
+                                   return true;
+                                 })
+                    .ok());
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected) << "mask=" << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMasks, PatternMaskTest,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace dskg::relstore

@@ -1,0 +1,169 @@
+// Materialized view manager tests: signatures, generalization, filtered
+// answers, and the row budget.
+
+#include <gtest/gtest.h>
+
+#include "relstore/views.h"
+#include "sparql/parser.h"
+#include "test_util.h"
+
+namespace dskg::relstore {
+namespace {
+
+using sparql::Parser;
+using sparql::Query;
+
+std::vector<sparql::TriplePattern> Patterns(const std::string& text) {
+  auto q = Parser::Parse(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return q->patterns;
+}
+
+TEST(BgpSignature, InvariantUnderVariableRenaming) {
+  EXPECT_EQ(BgpSignature(Patterns("SELECT * WHERE { ?a p ?b . ?b q ?c }")),
+            BgpSignature(Patterns("SELECT * WHERE { ?x p ?y . ?y q ?z }")));
+}
+
+TEST(BgpSignature, DistinguishesJoinStructure) {
+  EXPECT_NE(BgpSignature(Patterns("SELECT * WHERE { ?a p ?b . ?b q ?c }")),
+            BgpSignature(Patterns("SELECT * WHERE { ?a p ?b . ?a q ?c }")));
+}
+
+TEST(BgpSignature, DistinguishesPredicates) {
+  EXPECT_NE(BgpSignature(Patterns("SELECT * WHERE { ?a p ?b }")),
+            BgpSignature(Patterns("SELECT * WHERE { ?a q ?b }")));
+}
+
+TEST(BgpSignature, ConstantsAlignWithGeneralizingVariables) {
+  // A query with a constant matches the signature of the generalized view
+  // (the constant occupies the same canonical slot as a variable).
+  EXPECT_EQ(BgpSignature(Patterns("SELECT * WHERE { ?a p berlin }")),
+            BgpSignature(Patterns("SELECT * WHERE { ?a p ?g }")));
+}
+
+TEST(BgpSignature, RepeatedConstantMatchesRepeatedVariable) {
+  EXPECT_EQ(
+      BgpSignature(Patterns("SELECT * WHERE { ?a p berlin . ?b q berlin }")),
+      BgpSignature(Patterns("SELECT * WHERE { ?a p ?c . ?b q ?c }")));
+  EXPECT_NE(
+      BgpSignature(Patterns("SELECT * WHERE { ?a p berlin . ?b q paris }")),
+      BgpSignature(Patterns("SELECT * WHERE { ?a p ?c . ?b q ?c }")));
+}
+
+class ViewsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = testing::SmallPeopleGraph();
+    CostMeter meter;
+    table_.BulkLoad(ds_.triples(), &meter);
+    executor_ = std::make_unique<Executor>(&table_, &ds_.dict());
+    views_ = std::make_unique<MaterializedViewManager>(
+        executor_.get(), &ds_.dict(), /*budget_rows=*/0);
+  }
+
+  rdf::Dataset ds_;
+  TripleTable table_;
+  std::unique_ptr<Executor> executor_;
+  std::unique_ptr<MaterializedViewManager> views_;
+};
+
+TEST_F(ViewsTest, CreateAndAnswerExactSubquery) {
+  auto def = Parser::Parse(
+      "SELECT * WHERE { ?p bornIn ?c . ?p advisor ?a . ?a bornIn ?c . }");
+  ASSERT_TRUE(def.ok());
+  CostMeter meter;
+  ASSERT_TRUE(views_->CreateView(*def, &meter).ok());
+  EXPECT_EQ(views_->num_views(), 1u);
+
+  CostMeter qmeter;
+  auto ans = views_->TryAnswer(def->patterns, &qmeter);
+  ASSERT_TRUE(ans.has_value());
+  EXPECT_EQ(ans->bindings.rows.size(), 2u);  // bob, dave
+  EXPECT_GT(qmeter.count(Op::kViewLookup), 0u);
+}
+
+TEST_F(ViewsTest, GeneralizedViewAnswersMutations) {
+  // Build from one mutation (drama), answer another (comedy).
+  auto drama = Parser::Parse(
+      "SELECT * WHERE { ?p likes ?f . ?f genre drama . }");
+  ASSERT_TRUE(drama.ok());
+  CostMeter meter;
+  ASSERT_TRUE(views_->CreateView(*drama, &meter).ok());
+
+  auto comedy =
+      Patterns("SELECT * WHERE { ?p likes ?f . ?f genre comedy . }");
+  CostMeter qmeter;
+  auto ans = views_->TryAnswer(comedy, &qmeter);
+  ASSERT_TRUE(ans.has_value());
+  ASSERT_EQ(ans->bindings.rows.size(), 2u);  // carol, dave like film2
+  const int f_col = ans->bindings.ColumnIndex("f");
+  ASSERT_GE(f_col, 0);
+  for (const auto& row : ans->bindings.rows) {
+    EXPECT_EQ(row[static_cast<size_t>(f_col)], ds_.dict().Lookup("film2"));
+  }
+}
+
+TEST_F(ViewsTest, UnknownConstantFilterGivesEmptyAnswer) {
+  auto def = Parser::Parse("SELECT * WHERE { ?p likes ?f . ?f genre drama }");
+  ASSERT_TRUE(def.ok());
+  CostMeter meter;
+  ASSERT_TRUE(views_->CreateView(*def, &meter).ok());
+  auto q = Patterns("SELECT * WHERE { ?p likes ?f . ?f genre horror }");
+  CostMeter qmeter;
+  auto ans = views_->TryAnswer(q, &qmeter);
+  ASSERT_TRUE(ans.has_value());
+  EXPECT_TRUE(ans->bindings.rows.empty());
+}
+
+TEST_F(ViewsTest, NoMatchingViewReturnsNullopt) {
+  CostMeter meter;
+  EXPECT_FALSE(
+      views_->TryAnswer(Patterns("SELECT * WHERE { ?a bornIn ?b }"), &meter)
+          .has_value());
+}
+
+TEST_F(ViewsTest, DuplicateCreateRejected) {
+  auto def = Parser::Parse("SELECT * WHERE { ?p bornIn ?c . ?p likes ?f }");
+  ASSERT_TRUE(def.ok());
+  CostMeter meter;
+  ASSERT_TRUE(views_->CreateView(*def, &meter).ok());
+  EXPECT_TRUE(views_->CreateView(*def, &meter).IsAlreadyExists());
+}
+
+TEST_F(ViewsTest, DropViewAndClear) {
+  auto def = Parser::Parse("SELECT * WHERE { ?p bornIn ?c . ?p likes ?f }");
+  ASSERT_TRUE(def.ok());
+  CostMeter meter;
+  ASSERT_TRUE(views_->CreateView(*def, &meter).ok());
+  const std::string sig = BgpSignature(def->patterns);
+  EXPECT_TRUE(views_->HasViewFor(def->patterns));
+  ASSERT_TRUE(views_->DropView(sig).ok());
+  EXPECT_TRUE(views_->DropView(sig).IsNotFound());
+  ASSERT_TRUE(views_->CreateView(*def, &meter).ok());
+  views_->Clear();
+  EXPECT_EQ(views_->num_views(), 0u);
+  EXPECT_EQ(views_->used_rows(), 0u);
+}
+
+TEST(ViewsBudget, RejectsViewsOverBudget) {
+  rdf::Dataset ds = testing::SmallPeopleGraph();
+  relstore::TripleTable table;
+  CostMeter meter;
+  table.BulkLoad(ds.triples(), &meter);
+  Executor executor(&table, &ds.dict());
+  MaterializedViewManager views(&executor, &ds.dict(), /*budget_rows=*/3);
+
+  auto big = sparql::Parser::Parse("SELECT * WHERE { ?p bornIn ?c }");
+  ASSERT_TRUE(big.ok());
+  // 4 bornIn rows > budget of 3.
+  EXPECT_TRUE(views.CreateView(*big, &meter).IsCapacityExceeded());
+  EXPECT_EQ(views.num_views(), 0u);
+
+  auto small = sparql::Parser::Parse("SELECT * WHERE { ?f genre ?g }");
+  ASSERT_TRUE(small.ok());
+  EXPECT_TRUE(views.CreateView(*small, &meter).ok());
+  EXPECT_EQ(views.used_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace dskg::relstore

@@ -1,0 +1,249 @@
+// Workload construction tests: generators' macro statistics, template
+// instantiation/mutations, ordered vs random versions, batch splitting.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/identifier.h"
+#include "sparql/parser.h"
+#include "workload/generators.h"
+#include "workload/templates.h"
+#include "workload/workload.h"
+
+namespace dskg::workload {
+namespace {
+
+TEST(Generators, YagoMatchesPaperPredicateCount) {
+  YagoConfig cfg;
+  cfg.target_triples = 30000;
+  rdf::Dataset ds = GenerateYago(cfg);
+  EXPECT_EQ(ds.num_predicates(), 39u);  // Table 3: #-P = 39
+  EXPECT_NEAR(static_cast<double>(ds.num_triples()), 30000.0, 30000.0 * 0.25);
+}
+
+TEST(Generators, WatDivMatchesPaperPredicateCount) {
+  WatDivConfig cfg;
+  cfg.target_triples = 30000;
+  rdf::Dataset ds = GenerateWatDiv(cfg);
+  EXPECT_EQ(ds.num_predicates(), 86u);  // Table 3: #-P = 86
+}
+
+TEST(Generators, Bio2RdfMatchesPaperPredicateCount) {
+  Bio2RdfConfig cfg;
+  cfg.target_triples = 40000;
+  rdf::Dataset ds = GenerateBio2Rdf(cfg);
+  EXPECT_EQ(ds.num_predicates(), 161u);  // Table 3: #-P = 161
+}
+
+TEST(Generators, DeterministicForEqualConfig) {
+  YagoConfig cfg;
+  cfg.target_triples = 5000;
+  rdf::Dataset a = GenerateYago(cfg);
+  rdf::Dataset b = GenerateYago(cfg);
+  ASSERT_EQ(a.num_triples(), b.num_triples());
+  EXPECT_EQ(a.triples(), b.triples());
+}
+
+TEST(Generators, SeedChangesContent) {
+  YagoConfig a_cfg, b_cfg;
+  a_cfg.target_triples = b_cfg.target_triples = 5000;
+  a_cfg.seed = 1;
+  b_cfg.seed = 2;
+  rdf::Dataset a = GenerateYago(a_cfg);
+  rdf::Dataset b = GenerateYago(b_cfg);
+  EXPECT_NE(a.triples(), b.triples());
+}
+
+TEST(Generators, FlagshipQueryHasAnswers) {
+  // The advisor-born-same-city correlation must produce matches.
+  YagoConfig cfg;
+  cfg.target_triples = 20000;
+  rdf::Dataset ds = GenerateYago(cfg);
+  const rdf::TermId born = ds.dict().Lookup("y:wasBornIn");
+  const rdf::TermId advisor = ds.dict().Lookup("y:hasAcademicAdvisor");
+  ASSERT_NE(born, rdf::kInvalidTermId);
+  ASSERT_NE(advisor, rdf::kInvalidTermId);
+  EXPECT_GT(ds.PartitionOf(born)->num_triples, 1000u);
+  EXPECT_GT(ds.PartitionOf(advisor)->num_triples, 300u);
+}
+
+TEST(Generators, ScalesWithTarget) {
+  YagoConfig small, large;
+  small.target_triples = 5000;
+  large.target_triples = 50000;
+  EXPECT_GT(GenerateYago(large).num_triples(),
+            5 * GenerateYago(small).num_triples());
+}
+
+class TemplateCatalogTest
+    : public ::testing::TestWithParam<
+          std::pair<const char*, std::vector<QueryTemplate> (*)()>> {};
+
+TEST_P(TemplateCatalogTest, TemplatesParseAndSlotsAreValid) {
+  const auto& [name, factory] = GetParam();
+  (void)name;
+  for (const QueryTemplate& t : factory()) {
+    auto q = sparql::Parser::Parse(t.text);
+    ASSERT_TRUE(q.ok()) << t.name << ": " << q.status();
+    const auto counts = q->VariableCounts();
+    for (const auto& slot : t.slots) {
+      EXPECT_TRUE(counts.count(slot.variable) > 0)
+          << t.name << " slot ?" << slot.variable;
+      for (const auto& sv : q->select_vars) {
+        EXPECT_NE(sv, slot.variable) << t.name << " projects a slot var";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalogs, TemplateCatalogTest,
+    ::testing::Values(
+        std::make_pair("yago", &YagoTemplates),
+        std::make_pair("watdiv_l", &WatDivLinearTemplates),
+        std::make_pair("watdiv_s", &WatDivStarTemplates),
+        std::make_pair("watdiv_f", &WatDivSnowflakeTemplates),
+        std::make_pair("watdiv_c", &WatDivComplexTemplates),
+        std::make_pair("bio2rdf", &Bio2RdfTemplates)),
+    [](const auto& info) { return std::string(info.param.first); });
+
+TEST(TemplateCatalog, PaperWorkloadSizes) {
+  EXPECT_EQ(YagoTemplates().size(), 4u);           // x5 = 20 queries
+  EXPECT_EQ(WatDivLinearTemplates().size(), 7u);   // x5 = 35
+  EXPECT_EQ(WatDivStarTemplates().size(), 5u);     // x5 = 25
+  EXPECT_EQ(WatDivSnowflakeTemplates().size(), 5u);// x5 = 25
+  EXPECT_EQ(WatDivComplexTemplates().size(), 3u);  // x5 = 15
+  EXPECT_EQ(Bio2RdfTemplates().size(), 5u);        // x5 = 25
+}
+
+class WorkloadBuilderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    YagoConfig cfg;
+    cfg.target_triples = 10000;
+    ds_ = GenerateYago(cfg);
+  }
+  rdf::Dataset ds_;
+};
+
+TEST_F(WorkloadBuilderTest, BuildsTemplatesTimesFiveQueries) {
+  WorkloadBuilder builder(&ds_);
+  auto w = builder.Build("yago", YagoTemplates(), WorkloadOptions{});
+  ASSERT_TRUE(w.ok()) << w.status();
+  EXPECT_EQ(w->queries.size(), 20u);
+  EXPECT_EQ(w->name, "yago");
+}
+
+TEST_F(WorkloadBuilderTest, OrderedClustersTemplates) {
+  WorkloadBuilder builder(&ds_);
+  WorkloadOptions opt;
+  opt.ordered = true;
+  auto w = builder.Build("yago", YagoTemplates(), opt);
+  ASSERT_TRUE(w.ok());
+  for (size_t i = 0; i < w->queries.size(); ++i) {
+    EXPECT_EQ(w->queries[i].template_index, static_cast<int>(i / 5));
+  }
+}
+
+TEST_F(WorkloadBuilderTest, RandomShufflesButKeepsMultiset) {
+  WorkloadBuilder builder(&ds_);
+  WorkloadOptions ordered, random;
+  ordered.ordered = true;
+  random.ordered = false;
+  auto wo = builder.Build("o", YagoTemplates(), ordered);
+  auto wr = builder.Build("r", YagoTemplates(), random);
+  ASSERT_TRUE(wo.ok() && wr.ok());
+  std::multiset<int> to, tr;
+  for (const auto& q : wo->queries) to.insert(q.template_index);
+  for (const auto& q : wr->queries) tr.insert(q.template_index);
+  EXPECT_EQ(to, tr);
+  // The random version is (astronomically likely) a different order.
+  bool same_order = true;
+  for (size_t i = 0; i < wo->queries.size(); ++i) {
+    if (wo->queries[i].template_index != wr->queries[i].template_index) {
+      same_order = false;
+      break;
+    }
+  }
+  EXPECT_FALSE(same_order);
+}
+
+TEST_F(WorkloadBuilderTest, MutationsChangeConstantsNotStructure) {
+  WorkloadBuilder builder(&ds_);
+  WorkloadOptions opt;
+  opt.ordered = true;
+  auto w = builder.Build("yago", YagoTemplates(), opt);
+  ASSERT_TRUE(w.ok());
+  // All versions of template 0 share pattern count and predicates.
+  const auto& base = w->queries[0].query;
+  std::set<std::string> constants_seen;
+  for (int v = 0; v < 5; ++v) {
+    const auto& q = w->queries[static_cast<size_t>(v)].query;
+    EXPECT_EQ(q.patterns.size(), base.patterns.size());
+    EXPECT_EQ(q.ConstantPredicates(), base.ConstantPredicates());
+    // The slot constant is the prize in the last pattern.
+    constants_seen.insert(q.patterns.back().object.text);
+  }
+  EXPECT_GT(constants_seen.size(), 1u);  // mutations vary the constant
+}
+
+TEST_F(WorkloadBuilderTest, EveryYagoQueryHasComplexSubquery) {
+  WorkloadBuilder builder(&ds_);
+  auto w = builder.Build("yago", YagoTemplates(), WorkloadOptions{});
+  ASSERT_TRUE(w.ok());
+  for (const auto& wq : w->queries) {
+    auto split = core::ComplexSubqueryIdentifier::Identify(wq.query);
+    EXPECT_TRUE(split.HasComplexSubquery()) << wq.query.ToString();
+  }
+}
+
+TEST_F(WorkloadBuilderTest, RejectsUnknownPredicate) {
+  WorkloadBuilder builder(&ds_);
+  QueryTemplate bad{"bad",
+                    "SELECT ?a WHERE { ?a nosuch:pred ?b . ?b q ?a . }",
+                    {{"b", "nosuch:pred", true}}};
+  EXPECT_TRUE(builder.Build("x", {bad}, WorkloadOptions{})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(WorkloadBuilderTest, RejectsProjectedSlotVariable) {
+  WorkloadBuilder builder(&ds_);
+  QueryTemplate bad{"bad",
+                    "SELECT ?b WHERE { ?a y:wasBornIn ?b . }",
+                    {{"b", "y:wasBornIn", true}}};
+  EXPECT_TRUE(builder.Build("x", {bad}, WorkloadOptions{})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(WorkloadSplit, BatchesCoverAllQueriesInOrder) {
+  Workload w;
+  w.name = "t";
+  for (int i = 0; i < 23; ++i) {
+    WorkloadQuery q;
+    q.template_index = i;
+    w.queries.push_back(q);
+  }
+  auto batches = w.SplitBatches(5);
+  ASSERT_EQ(batches.size(), 5u);
+  EXPECT_EQ(batches[0].size(), 5u);  // 23 = 5+5+5+4+4
+  EXPECT_EQ(batches[3].size(), 4u);
+  int expect = 0;
+  for (const auto& b : batches) {
+    for (const auto& q : b) EXPECT_EQ(q.template_index, expect++);
+  }
+  EXPECT_EQ(expect, 23);
+}
+
+TEST(WorkloadSplit, DegenerateCases) {
+  Workload w;
+  EXPECT_TRUE(w.SplitBatches(0).empty());
+  auto batches = w.SplitBatches(3);
+  ASSERT_EQ(batches.size(), 3u);
+  for (const auto& b : batches) EXPECT_TRUE(b.empty());
+}
+
+}  // namespace
+}  // namespace dskg::workload
