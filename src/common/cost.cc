@@ -126,14 +126,15 @@ std::string CostMeter::DebugString() const {
   std::string out;
   char buf[128];
   std::snprintf(buf, sizeof(buf),
-                "sim=%.1fus (io=%.1fus cpu=%.1fus)\n", sim_micros_,
-                io_micros_, cpu_micros_);
+                "sim=%.1fus (io=%.1fus cpu=%.1fus)\n", sim_micros(),
+                io_micros(), cpu_micros());
   out += buf;
   for (int i = 0; i < kNumOps; ++i) {
-    if (counts_[i] == 0) continue;
+    const uint64_t n = counts_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
     std::snprintf(buf, sizeof(buf), "  %-26s %12llu\n",
                   OpName(static_cast<Op>(i)),
-                  static_cast<unsigned long long>(counts_[i]));
+                  static_cast<unsigned long long>(n));
     out += buf;
   }
   return out;

@@ -25,6 +25,7 @@
 /// competes with the graph store.
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -113,6 +114,19 @@ class CostModel {
 /// budget, `ExceededBudget()` turns true and cooperative engine loops abort
 /// with `Status::Cancelled`. DOTIL's counterfactual scenario uses this to
 /// stop the relational run of a complex subquery at λ·c₁ (Algorithm 2).
+///
+/// Thread safety: `Add` and `Merge` use relaxed atomics, so a meter may be
+/// charged concurrently from several workers: no operation count is ever
+/// lost, and every charged addend reaches the floating-point sums — but
+/// those sums' rounding depends on arrival order, so concurrently-charged
+/// micros are NOT bit-reproducible across runs. The parallel paths
+/// (sharded executor, batch
+/// runner) nevertheless give every shard/query its *own* meter and merge
+/// them in deterministic order, which keeps simulated costs bit-identical
+/// to the serial path; the atomics protect aggregate meters that callers
+/// share across workers. Configuration (`set_budget_micros`,
+/// `set_throttle`, `Reset`) is not synchronized and must happen before
+/// concurrent use.
 class CostMeter {
  public:
   /// Meter using the default cost model and no throttle.
@@ -121,49 +135,74 @@ class CostMeter {
   CostMeter(const CostModel* model, ResourceThrottle throttle)
       : model_(model), throttle_(throttle) {}
 
-  /// Records `n` occurrences of `op`.
+  /// Copies observe the source's counters atomically (but not as one
+  /// snapshot: copying a meter that is being charged concurrently may mix
+  /// op counts from different instants).
+  CostMeter(const CostMeter& other) { CopyFrom(other); }
+  CostMeter& operator=(const CostMeter& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+
+  /// Records `n` occurrences of `op`. Safe to call concurrently.
   void Add(Op op, uint64_t n = 1) {
-    counts_[static_cast<int>(op)] += n;
+    counts_[static_cast<int>(op)].fetch_add(n, std::memory_order_relaxed);
     const double base = model_->weight(op) * static_cast<double>(n);
     const ResourceClass rc = OpResourceClass(op);
     const double scaled = base * throttle_.Factor(rc);
-    sim_micros_ += scaled;
+    sim_micros_.fetch_add(scaled, std::memory_order_relaxed);
     if (rc == ResourceClass::kIo) {
-      io_micros_ += scaled;
+      io_micros_.fetch_add(scaled, std::memory_order_relaxed);
     } else {
-      cpu_micros_ += scaled;
+      cpu_micros_.fetch_add(scaled, std::memory_order_relaxed);
     }
   }
 
   /// Total simulated time in microseconds.
-  double sim_micros() const { return sim_micros_; }
+  double sim_micros() const {
+    return sim_micros_.load(std::memory_order_relaxed);
+  }
   /// Simulated time spent in IO-class operations.
-  double io_micros() const { return io_micros_; }
+  double io_micros() const {
+    return io_micros_.load(std::memory_order_relaxed);
+  }
   /// Simulated time spent in CPU-class operations.
-  double cpu_micros() const { return cpu_micros_; }
+  double cpu_micros() const {
+    return cpu_micros_.load(std::memory_order_relaxed);
+  }
   /// Count of operation `op` recorded so far.
-  uint64_t count(Op op) const { return counts_[static_cast<int>(op)]; }
+  uint64_t count(Op op) const {
+    return counts_[static_cast<int>(op)].load(std::memory_order_relaxed);
+  }
 
   /// Sets a simulated-time budget in microseconds (<=0 disables).
   void set_budget_micros(double budget) { budget_micros_ = budget; }
   double budget_micros() const { return budget_micros_; }
   /// True when a budget is set and has been exceeded.
   bool ExceededBudget() const {
-    return budget_micros_ > 0.0 && sim_micros_ > budget_micros_;
+    return budget_micros_ > 0.0 && sim_micros() > budget_micros_;
   }
 
-  /// Folds another meter's counts and time into this one.
+  /// Folds another meter's counts and time into this one. Safe to call
+  /// concurrently on the destination; `other` must be quiescent.
   void Merge(const CostMeter& other) {
-    for (int i = 0; i < kNumOps; ++i) counts_[i] += other.counts_[i];
-    sim_micros_ += other.sim_micros_;
-    io_micros_ += other.io_micros_;
-    cpu_micros_ += other.cpu_micros_;
+    for (int i = 0; i < kNumOps; ++i) {
+      counts_[i].fetch_add(other.counts_[i].load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    }
+    sim_micros_.fetch_add(other.sim_micros(), std::memory_order_relaxed);
+    io_micros_.fetch_add(other.io_micros(), std::memory_order_relaxed);
+    cpu_micros_.fetch_add(other.cpu_micros(), std::memory_order_relaxed);
   }
 
-  /// Resets counts and simulated time (budget is kept).
+  /// Resets counts and simulated time (budget is kept). Not synchronized.
   void Reset() {
-    counts_.fill(0);
-    sim_micros_ = io_micros_ = cpu_micros_ = 0.0;
+    for (int i = 0; i < kNumOps; ++i) {
+      counts_[i].store(0, std::memory_order_relaxed);
+    }
+    sim_micros_.store(0.0, std::memory_order_relaxed);
+    io_micros_.store(0.0, std::memory_order_relaxed);
+    cpu_micros_.store(0.0, std::memory_order_relaxed);
   }
 
   const CostModel* model() const { return model_; }
@@ -174,12 +213,25 @@ class CostMeter {
   std::string DebugString() const;
 
  private:
-  const CostModel* model_;
+  void CopyFrom(const CostMeter& other) {
+    model_ = other.model_;
+    throttle_ = other.throttle_;
+    for (int i = 0; i < kNumOps; ++i) {
+      counts_[i].store(other.counts_[i].load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    }
+    sim_micros_.store(other.sim_micros(), std::memory_order_relaxed);
+    io_micros_.store(other.io_micros(), std::memory_order_relaxed);
+    cpu_micros_.store(other.cpu_micros(), std::memory_order_relaxed);
+    budget_micros_ = other.budget_micros_;
+  }
+
+  const CostModel* model_ = &CostModel::Default();
   ResourceThrottle throttle_;
-  std::array<uint64_t, kNumOps> counts_{};
-  double sim_micros_ = 0.0;
-  double io_micros_ = 0.0;
-  double cpu_micros_ = 0.0;
+  std::array<std::atomic<uint64_t>, kNumOps> counts_{};
+  std::atomic<double> sim_micros_{0.0};
+  std::atomic<double> io_micros_{0.0};
+  std::atomic<double> cpu_micros_{0.0};
   double budget_micros_ = 0.0;
 };
 

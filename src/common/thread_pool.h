@@ -1,0 +1,153 @@
+#ifndef DSKG_COMMON_THREAD_POOL_H_
+#define DSKG_COMMON_THREAD_POOL_H_
+
+/// \file thread_pool.h
+/// A fixed-size, work-stealing-free thread pool for DSKG's parallel query
+/// paths (sharded scans in the relational executor, batch-parallel query
+/// execution in the workload runner).
+///
+/// Design notes:
+///
+///   * Workers pull from one FIFO queue under a mutex. DSKG's parallel
+///     units (one index-leaf shard, one query of a batch) are coarse —
+///     thousands to millions of simulated operations each — so queue
+///     contention is negligible and the simplicity pays for itself.
+///     There is deliberately no work stealing: execution order and result
+///     merging stay deterministic because callers collect results by
+///     submission index, never by completion order.
+///   * `Submit` returns a `std::future`, so exceptions thrown by a task
+///     surface at `get()` in the caller, not in the worker.
+///   * Shutdown is cooperative: the destructor drains already-queued
+///     tasks, then joins all workers.
+///
+/// The pool is shared-nothing with respect to *task state*: tasks must not
+/// share mutable data unless that data is itself thread-safe (see the
+/// atomic `CostMeter`). The runner and executor uphold this by giving
+/// every shard/query its own meter and output table and merging them in
+/// deterministic order afterwards.
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace dskg {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(size_t num_threads) {
+    if (num_threads == 0) num_threads = 1;
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains queued tasks, then joins all workers.
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  /// Number of worker threads.
+  size_t size() const { return workers_.size(); }
+
+  /// Hardware concurrency with a floor of 1 (hardware_concurrency() may
+  /// legally return 0).
+  static size_t DefaultThreads() {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<size_t>(n);
+  }
+
+  /// Enqueues `fn` and returns a future for its result. An exception
+  /// thrown by `fn` is captured and rethrown by `future::get()`.
+  template <typename F>
+  std::future<std::invoke_result_t<F>> Submit(F fn) {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Runs `fn(i)` for every i in [0, n) on the pool and blocks until all
+  /// complete. The calling thread also executes tasks while it waits, so
+  /// `ParallelFor` may be used from a pool of any size without deadlock.
+  /// If any invocation throws, the exception of the smallest such index
+  /// is rethrown (deterministic regardless of scheduling).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      futures.push_back(Submit([&fn, i] { fn(i); }));
+    }
+    // Help out: execute queued tasks inline until ours are all done.
+    for (size_t i = 0; i < n; ++i) {
+      while (futures[i].wait_for(std::chrono::seconds(0)) !=
+             std::future_status::ready) {
+        if (!RunOneTask()) {
+          futures[i].wait();
+          break;
+        }
+      }
+    }
+    for (size_t i = 0; i < n; ++i) futures[i].get();
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        task = std::move(queue_.front());
+        queue_.pop();
+      }
+      task();
+    }
+  }
+
+  /// Pops and runs one queued task on the calling thread. Returns false
+  /// if the queue was empty.
+  bool RunOneTask() {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (queue_.empty()) return false;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    return true;
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dskg
+
+#endif  // DSKG_COMMON_THREAD_POOL_H_

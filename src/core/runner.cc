@@ -1,5 +1,7 @@
 #include "core/runner.h"
 
+#include <optional>
+
 #include "core/identifier.h"
 
 namespace dskg::core {
@@ -12,23 +14,86 @@ namespace {
 
 /// Complex subqueries of a span of workload queries (identification only;
 /// nothing is executed).
-std::vector<Query> ComplexSubqueriesOf(const std::vector<WorkloadQuery>& qs) {
+std::vector<Query> ComplexSubqueriesOf(const WorkloadQuery* begin,
+                                       const WorkloadQuery* end) {
   std::vector<Query> out;
-  for (const WorkloadQuery& wq : qs) {
-    IdentifiedQuery split = ComplexSubqueryIdentifier::Identify(wq.query);
+  for (const WorkloadQuery* wq = begin; wq != end; ++wq) {
+    IdentifiedQuery split = ComplexSubqueryIdentifier::Identify(wq->query);
     if (split.HasComplexSubquery()) out.push_back(*split.complex);
   }
   return out;
+}
+
+std::vector<Query> ComplexSubqueriesOf(const std::vector<WorkloadQuery>& qs) {
+  return ComplexSubqueriesOf(qs.data(), qs.data() + qs.size());
+}
+
+/// Outcome of one query, reduced to what the metrics need — the result
+/// rows themselves are dropped as soon as the query finishes, so the
+/// batch-parallel path holds traces, not binding tables.
+struct ProcessedQuery {
+  Status status;  // non-OK: the query failed
+  QueryTrace trace;
+  std::optional<Query> finished_complex;
+};
+
+/// Executes one query and reduces it. Shared by the serial and parallel
+/// loops so their aggregation can never drift apart.
+ProcessedQuery ProcessOne(const DualStore& store, const Query& query) {
+  ProcessedQuery out;
+  Result<QueryExecution> exec = store.Process(query);
+  if (!exec.ok()) {
+    out.status = exec.status();
+    return out;
+  }
+  const QueryExecution& e = exec.value();
+  out.trace.route = e.route;
+  out.trace.total_micros = e.total_micros();
+  out.trace.graph_micros = e.graph_micros;
+  out.trace.rel_micros = e.rel_micros;
+  out.trace.migrate_micros = e.migrate_micros;
+  out.trace.graph_io_micros = e.graph_io_micros;
+  out.trace.graph_cpu_micros = e.graph_cpu_micros;
+  out.trace.result_rows = e.result.rows.size();
+  if (e.split.HasComplexSubquery()) out.finished_complex = *e.split.complex;
+  return out;
+}
+
+/// Folds one processed query into the batch aggregates, in order.
+void Accumulate(ProcessedQuery&& pq, BatchMetrics* bm,
+                std::vector<Query>* finished_complex) {
+  bm->tti_micros += pq.trace.total_micros;
+  bm->graph_micros += pq.trace.graph_micros;
+  bm->rel_micros += pq.trace.rel_micros;
+  bm->migrate_micros += pq.trace.migrate_micros;
+  bm->queries.push_back(pq.trace);
+  if (pq.finished_complex.has_value()) {
+    finished_complex->push_back(*std::move(pq.finished_complex));
+  }
 }
 
 }  // namespace
 
 Result<RunMetrics> WorkloadRunner::Run(const Workload& workload,
                                        int num_batches) {
+  return RunImpl(workload, num_batches, /*pool=*/nullptr);
+}
+
+Result<RunMetrics> WorkloadRunner::RunParallel(const Workload& workload,
+                                               int num_batches,
+                                               ThreadPool* pool) {
+  return RunImpl(workload, num_batches, pool);
+}
+
+Result<RunMetrics> WorkloadRunner::RunImpl(const Workload& workload,
+                                           int num_batches,
+                                           ThreadPool* pool) {
   RunMetrics metrics;
-  const auto batches = workload.SplitBatches(num_batches);
+  const auto batches = workload.BatchRanges(num_batches);
+  const WorkloadQuery* queries = workload.queries.data();
 
   // One-off tuning happens before batch 0; its cost is attributed there.
+  // Tuning is offline and serial in both paths.
   double pre_workload_tuning = 0;
   if (tuner_ != nullptr) {
     CostMeter meter;
@@ -37,7 +102,8 @@ Result<RunMetrics> WorkloadRunner::Run(const Workload& workload,
     pre_workload_tuning = meter.sim_micros();
   }
 
-  for (const std::vector<WorkloadQuery>& batch : batches) {
+  for (const auto& [batch_begin, batch_end] : batches) {
+    const size_t batch_size = batch_end - batch_begin;
     BatchMetrics bm;
     if (metrics.batches.empty()) {
       bm.tuning_micros += pre_workload_tuning;
@@ -46,31 +112,34 @@ Result<RunMetrics> WorkloadRunner::Run(const Workload& workload,
 
     if (tuner_ != nullptr) {
       CostMeter meter;
-      DSKG_RETURN_NOT_OK(
-          tuner_->BeforeBatch(store_, ComplexSubqueriesOf(batch), &meter));
+      DSKG_RETURN_NOT_OK(tuner_->BeforeBatch(
+          store_,
+          ComplexSubqueriesOf(queries + batch_begin, queries + batch_end),
+          &meter));
       bm.tuning_micros += meter.sim_micros();
     }
 
-    std::vector<Query> finished_complex;
-    for (const WorkloadQuery& wq : batch) {
-      DSKG_ASSIGN_OR_RETURN(QueryExecution exec, store_->Process(wq.query));
-      QueryTrace trace;
-      trace.route = exec.route;
-      trace.total_micros = exec.total_micros();
-      trace.graph_micros = exec.graph_micros;
-      trace.rel_micros = exec.rel_micros;
-      trace.migrate_micros = exec.migrate_micros;
-      trace.graph_io_micros = exec.graph_io_micros;
-      trace.graph_cpu_micros = exec.graph_cpu_micros;
-      trace.result_rows = exec.result.rows.size();
-      bm.tti_micros += trace.total_micros;
-      bm.graph_micros += trace.graph_micros;
-      bm.rel_micros += trace.rel_micros;
-      bm.migrate_micros += trace.migrate_micros;
-      bm.queries.push_back(trace);
-      if (exec.split.HasComplexSubquery()) {
-        finished_complex.push_back(*exec.split.complex);
+    // The store is read-only during a batch, so its queries are
+    // independent. With a pool, fan them out (each worker reduces its
+    // query to a trace immediately, dropping the binding table); either
+    // way, aggregate by submission index so every number is identical
+    // across the two paths.
+    std::vector<ProcessedQuery> processed(batch_size);
+    if (pool != nullptr) {
+      pool->ParallelFor(batch_size, [&](size_t i) {
+        processed[i] = ProcessOne(*store_, queries[batch_begin + i].query);
+      });
+    } else {
+      for (size_t i = 0; i < batch_size; ++i) {
+        processed[i] = ProcessOne(*store_, queries[batch_begin + i].query);
+        if (!processed[i].status.ok()) break;  // serial: stop at failure
       }
+    }
+
+    std::vector<Query> finished_complex;
+    for (size_t i = 0; i < batch_size; ++i) {
+      DSKG_RETURN_NOT_OK(processed[i].status);
+      Accumulate(std::move(processed[i]), &bm, &finished_complex);
     }
 
     if (tuner_ != nullptr) {

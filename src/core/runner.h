@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/dual_store.h"
 #include "core/tuner.h"
 #include "workload/workload.h"
@@ -80,12 +81,32 @@ class WorkloadRunner {
   Result<RunMetrics> Run(const workload::Workload& workload,
                          int num_batches = 5);
 
+  /// Batch-parallel variant of `Run`: the independent queries of each
+  /// batch execute concurrently on `pool` (each query serial on one
+  /// worker, with its own meters), while tuning stays strictly *between*
+  /// batches — offline, serial, deterministic, exactly as in `Run`.
+  /// Per-query traces are collected by submission index, so the returned
+  /// metrics — per-query traces, simulated costs, batch aggregates — are
+  /// bit-identical to `Run`'s regardless of thread scheduling or pool
+  /// size, and each query's result rows are the same as a serial
+  /// `Process` would return (the equivalence tests enforce both; the
+  /// metrics keep result *counts*, not the binding tables themselves).
+  /// A null `pool` degrades to the serial path.
+  Result<RunMetrics> RunParallel(const workload::Workload& workload,
+                                 int num_batches, ThreadPool* pool);
+
   /// Runs `reps` times on the same (warming) store and returns metrics
   /// averaged over the last `reps - warmup` repetitions.
   Result<RunMetrics> RunAveraged(const workload::Workload& workload,
                                  int num_batches, int reps, int warmup);
 
  private:
+  /// Shared batch scaffolding (tuning hooks, trace aggregation) for the
+  /// serial and parallel paths; `pool == nullptr` executes inline. One
+  /// body guarantees the two paths' metrics can never drift apart.
+  Result<RunMetrics> RunImpl(const workload::Workload& workload,
+                             int num_batches, ThreadPool* pool);
+
   DualStore* store_;
   Tuner* tuner_;
 };

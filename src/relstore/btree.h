@@ -137,6 +137,48 @@ class BPlusTree {
     return Iterator(node, static_cast<size_t>(it - node->keys.begin()));
   }
 
+  /// Splits the key range [first key >= `lo`, first key failing `within`)
+  /// into at most `max_shards` contiguous subranges aligned to leaf
+  /// boundaries and returns the first key of each subrange, ascending.
+  /// `within(key)` must be monotone: once false it stays false for all
+  /// larger keys (a range-end predicate such as a prefix match). Returns
+  /// an empty vector when no key of the tree is in range. Shard i covers
+  /// [result[i], result[i+1]) — the last shard is bounded by `within`
+  /// alone. Cost: one leaf-chain walk over the range (no key is visited
+  /// twice; O(#leaves in range)).
+  template <typename Pred>
+  std::vector<Key> ShardStarts(const Key& lo, int max_shards,
+                               Pred within) const {
+    // Collect the first in-range key of every leaf overlapping the range.
+    std::vector<Key> leaf_starts;
+    const Node* node = root_.get();
+    while (!node->is_leaf) {
+      node = node->children[ChildIndex(node, lo)].get();
+    }
+    bool first_leaf = true;
+    for (; node != nullptr; node = node->next_leaf, first_leaf = false) {
+      auto it = first_leaf ? std::lower_bound(node->keys.begin(),
+                                              node->keys.end(), lo)
+                           : node->keys.begin();
+      if (it == node->keys.end()) continue;  // empty(ied) leaf: skip
+      if (!within(*it)) break;               // past the range end
+      leaf_starts.push_back(*it);
+    }
+    if (leaf_starts.empty() || max_shards <= 1) {
+      if (!leaf_starts.empty()) return {leaf_starts.front()};
+      return {};
+    }
+    // Pick evenly spaced leaf starts as shard boundaries.
+    const size_t n = leaf_starts.size();
+    const size_t shards = std::min<size_t>(static_cast<size_t>(max_shards), n);
+    std::vector<Key> out;
+    out.reserve(shards);
+    for (size_t s = 0; s < shards; ++s) {
+      out.push_back(leaf_starts[s * n / shards]);
+    }
+    return out;
+  }
+
   /// Iterator over the whole tree in sorted order.
   Iterator Begin() const {
     const Node* node = root_.get();

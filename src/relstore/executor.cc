@@ -118,6 +118,66 @@ uint64_t EstimateWithBoundVars(
   return static_cast<uint64_t>(std::max(1.0, est));
 }
 
+/// The dictionary-encoded form of a query, shared by the serial and
+/// sharded paths so they can never plan from different encodings.
+struct EncodedQuery {
+  std::vector<Executor::EncodedPattern> patterns;
+  std::vector<std::string> out_vars;
+  bool impossible = false;  // a constant is absent from the dictionary
+};
+
+EncodedQuery EncodeQuery(const sparql::Query& query,
+                         const rdf::Dictionary& dict) {
+  EncodedQuery out;
+  out.patterns.resize(query.patterns.size());
+  for (size_t i = 0; i < query.patterns.size(); ++i) {
+    out.patterns[i].slots[0] = EncodeSlot(query.patterns[i].subject, dict);
+    out.patterns[i].slots[1] = EncodeSlot(query.patterns[i].predicate, dict);
+    out.patterns[i].slots[2] = EncodeSlot(query.patterns[i].object, dict);
+    if (out.patterns[i].HasMissingConstant()) out.impossible = true;
+  }
+  out.out_vars =
+      query.select_vars.empty() ? query.AllVariables() : query.select_vars;
+  return out;
+}
+
+/// Index of the pattern with the smallest estimated constant extent —
+/// the serial and sharded paths' common choice of initial pattern.
+size_t SmallestExtentPattern(
+    const TripleTable& table,
+    const std::vector<Executor::EncodedPattern>& patterns) {
+  size_t best = 0;
+  uint64_t best_est = std::numeric_limits<uint64_t>::max();
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    const uint64_t est = table.EstimateMatches(patterns[i].ConstantExtent());
+    if (est < best_est) {
+      best_est = est;
+      best = i;
+    }
+  }
+  return best;
+}
+
+/// Scan callback materializing each matching triple of `p` as a row of
+/// `cur` (one `kMaterializeTuple` each). Shared by the serial initial
+/// scan and every shard worker, so their per-row charging is structural,
+/// not kept in sync by hand. Stops the scan once `meter`'s budget is
+/// exhausted (never the case for shard-local meters, which carry none).
+std::function<bool(const Triple&)> MaterializeInto(
+    const Executor::EncodedPattern& p, BindingTable* cur, CostMeter* meter) {
+  return [&p, cur, meter,
+          binds = std::unordered_map<std::string, TermId>{}](
+             const Triple& t) mutable {
+    if (!p.ExtractBindings(t, &binds)) return true;
+    std::vector<TermId> row;
+    row.reserve(cur->columns.size());
+    for (const std::string& v : cur->columns) row.push_back(binds[v]);
+    meter->Add(Op::kMaterializeTuple);
+    cur->rows.push_back(std::move(row));
+    return !meter->ExceededBudget();
+  };
+}
+
 }  // namespace
 
 Result<BindingTable> Executor::Execute(const sparql::Query& query,
@@ -131,6 +191,81 @@ Result<BindingTable> Executor::ExecuteWithSeed(const sparql::Query& query,
   return Run(query, &seed, meter);
 }
 
+Result<BindingTable> Executor::ExecuteSharded(const sparql::Query& query,
+                                              CostMeter* meter,
+                                              ThreadPool* pool,
+                                              int max_shards) const {
+  if (query.patterns.empty()) {
+    return Status::InvalidArgument("query has no patterns");
+  }
+  if (pool == nullptr) return Run(query, nullptr, meter);
+  if (max_shards <= 0) max_shards = static_cast<int>(pool->size());
+  // Budgeted runs use cooperative cancellation, a serial protocol.
+  if (max_shards <= 1 || meter->budget_micros() > 0.0) {
+    return Run(query, nullptr, meter);
+  }
+
+  // ---- encode and plan (exactly as the serial path does) ----------------
+  EncodedQuery eq = EncodeQuery(query, *dict_);
+  std::vector<EncodedPattern>& patterns = eq.patterns;
+  const std::vector<std::string>& out_vars = eq.out_vars;
+  if (eq.impossible) {
+    BindingTable empty;
+    empty.columns = out_vars;
+    return empty;
+  }
+  const size_t first = SmallestExtentPattern(*table_, patterns);
+  const std::vector<TripleTable::PatternShard> shards =
+      table_->ShardPattern(patterns[first].ConstantExtent(), max_shards);
+  if (shards.size() <= 1) {
+    // Nothing matches or the range fits one leaf run: serial is both
+    // correct and cheapest (no extra descents).
+    return Run(query, nullptr, meter);
+  }
+  patterns[first].used = true;
+
+  // ---- run every shard's scan + remaining joins concurrently ------------
+  struct ShardOutcome {
+    Status status;
+    BindingTable table;
+    CostMeter meter;
+  };
+  std::vector<ShardOutcome> outcomes(shards.size());
+  pool->ParallelFor(shards.size(), [&](size_t i) {
+    ShardOutcome& out = outcomes[i];
+    out.meter = CostMeter(meter->model(), meter->throttle());
+    std::vector<EncodedPattern> local = patterns;  // own used-flags
+    const EncodedPattern& p = local[first];
+    BindingTable cur;
+    cur.columns = p.Vars();
+    std::unordered_set<std::string> bound(cur.columns.begin(),
+                                          cur.columns.end());
+    out.status = table_->ScanShard(shards[i], p.ConstantExtent(), &out.meter,
+                                   MaterializeInto(p, &cur, &out.meter));
+    if (!out.status.ok()) return;
+    out.status = JoinRemaining(&local, &cur, &bound, 1, &out.meter);
+    if (!out.status.ok()) return;
+    out.table = cur.Project(out_vars);
+  });
+
+  // ---- merge in ascending shard order (deterministic) -------------------
+  BindingTable merged;
+  merged.columns = out_vars;
+  for (ShardOutcome& out : outcomes) {
+    DSKG_RETURN_NOT_OK(out.status);
+    meter->Merge(out.meter);
+    if (out.table.columns.size() != out_vars.size()) {
+      if (!out.table.rows.empty()) {
+        return Status::Internal("projection lost columns unexpectedly");
+      }
+      continue;  // empty shard cut short by an empty intermediate
+    }
+    merged.rows.reserve(merged.rows.size() + out.table.rows.size());
+    for (auto& row : out.table.rows) merged.rows.push_back(std::move(row));
+  }
+  return merged;
+}
+
 Result<BindingTable> Executor::Run(const sparql::Query& query,
                                    const BindingTable* seed,
                                    CostMeter* meter) const {
@@ -139,26 +274,16 @@ Result<BindingTable> Executor::Run(const sparql::Query& query,
   }
 
   // ---- encode -----------------------------------------------------------
-  std::vector<EncodedPattern> patterns(query.patterns.size());
-  bool impossible = false;
-  for (size_t i = 0; i < query.patterns.size(); ++i) {
-    patterns[i].slots[0] = EncodeSlot(query.patterns[i].subject, *dict_);
-    patterns[i].slots[1] = EncodeSlot(query.patterns[i].predicate, *dict_);
-    patterns[i].slots[2] = EncodeSlot(query.patterns[i].object, *dict_);
-    if (patterns[i].HasMissingConstant()) impossible = true;
-  }
+  EncodedQuery eq = EncodeQuery(query, *dict_);
+  std::vector<EncodedPattern>& patterns = eq.patterns;
+  const std::vector<std::string>& out_vars = eq.out_vars;
 
-  const std::vector<std::string> out_vars =
-      query.select_vars.empty() ? query.AllVariables() : query.select_vars;
-
-  if (impossible) {
+  if (eq.impossible) {
     // A constant that is not in the dictionary matches nothing.
     BindingTable empty;
     empty.columns = out_vars;
     return empty;
   }
-
-  const CostModel& model = *meter->model();
 
   // ---- initial relation -------------------------------------------------
   BindingTable cur;
@@ -172,37 +297,45 @@ Result<BindingTable> Executor::Run(const sparql::Query& query,
     meter->Add(Op::kSeqScanTuple, cur.rows.size());
   } else {
     // Start from the pattern with the smallest estimated extent.
-    size_t best = 0;
-    uint64_t best_est = std::numeric_limits<uint64_t>::max();
-    for (size_t i = 0; i < patterns.size(); ++i) {
-      const uint64_t est = table_->EstimateMatches(
-          patterns[i].ConstantExtent());
-      if (est < best_est) {
-        best_est = est;
-        best = i;
-      }
-    }
-    EncodedPattern& p = patterns[best];
+    EncodedPattern& p = patterns[SmallestExtentPattern(*table_, patterns)];
     p.used = true;
     ++num_joined;
     cur.columns = p.Vars();
     for (const std::string& v : cur.columns) bound.insert(v);
-    std::unordered_map<std::string, TermId> binds;
-    Status scan = table_->ScanPattern(
-        p.ConstantExtent(), meter, [&](const Triple& t) {
-          if (!p.ExtractBindings(t, &binds)) return true;
-          std::vector<TermId> row;
-          row.reserve(cur.columns.size());
-          for (const std::string& v : cur.columns) row.push_back(binds[v]);
-          meter->Add(Op::kMaterializeTuple);
-          cur.rows.push_back(std::move(row));
-          return !meter->ExceededBudget();
-        });
+    Status scan = table_->ScanPattern(p.ConstantExtent(), meter,
+                                      MaterializeInto(p, &cur, meter));
     DSKG_RETURN_NOT_OK(scan);
     if (meter->ExceededBudget()) {
       return Status::Cancelled("relational execution exceeded cost budget");
     }
   }
+
+  DSKG_RETURN_NOT_OK(JoinRemaining(&patterns, &cur, &bound, num_joined,
+                                   meter));
+
+  // ---- projection --------------------------------------------------------
+  BindingTable out = cur.Project(out_vars);
+  // Projected-away columns may leave missing columns if joins were cut
+  // short by an empty intermediate; normalize the header.
+  if (out.columns.size() != out_vars.size()) {
+    BindingTable normalized;
+    normalized.columns = out_vars;
+    if (!cur.rows.empty()) {
+      return Status::Internal("projection lost columns unexpectedly");
+    }
+    return normalized;
+  }
+  return out;
+}
+
+Status Executor::JoinRemaining(std::vector<EncodedPattern>* patterns_ptr,
+                               BindingTable* cur_ptr,
+                               std::unordered_set<std::string>* bound_ptr,
+                               size_t num_joined, CostMeter* meter) const {
+  std::vector<EncodedPattern>& patterns = *patterns_ptr;
+  BindingTable& cur = *cur_ptr;
+  std::unordered_set<std::string>& bound = *bound_ptr;
+  const CostModel& model = *meter->model();
 
   // ---- join remaining patterns, greedily --------------------------------
   while (num_joined < patterns.size()) {
@@ -220,9 +353,9 @@ Result<BindingTable> Executor::Run(const sparql::Query& query,
           break;
         }
       }
+      static const std::unordered_set<std::string> kNoBound;
       const uint64_t est = EstimateWithBoundVars(*table_, patterns[i],
-                                                 connected ? bound
-                                                           : decltype(bound){});
+                                                 connected ? bound : kNoBound);
       if (best == patterns.size() || (connected && !best_connected) ||
           (connected == best_connected && est < best_est)) {
         best = i;
@@ -353,20 +486,7 @@ Result<BindingTable> Executor::Run(const sparql::Query& query,
     for (const std::string& v : new_vars) bound.insert(v);
     if (cur.rows.empty()) break;  // no results; remaining joins are no-ops
   }
-
-  // ---- projection --------------------------------------------------------
-  BindingTable out = cur.Project(out_vars);
-  // Projected-away columns may leave missing columns if joins were cut
-  // short by an empty intermediate; normalize the header.
-  if (out.columns.size() != out_vars.size()) {
-    BindingTable normalized;
-    normalized.columns = out_vars;
-    if (!cur.rows.empty()) {
-      return Status::Internal("projection lost columns unexpectedly");
-    }
-    return normalized;
-  }
-  return out;
+  return Status::OK();
 }
 
 }  // namespace dskg::relstore

@@ -20,10 +20,12 @@
 /// complex queries expensive in the relational store, reproducing Table 1.
 
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/cost.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "rdf/dictionary.h"
 #include "relstore/triple_table.h"
 #include "sparql/ast.h"
@@ -53,6 +55,26 @@ class Executor {
       const sparql::Query& query, const sparql::BindingTable& seed,
       CostMeter* meter) const;
 
+  /// Sharded variant of `Execute`: splits the initial pattern's index
+  /// range into leaf-aligned shards (`TripleTable::ShardPattern`), runs
+  /// the scan *and all remaining joins* of each shard concurrently on
+  /// `pool`, and merges the per-shard binding tables and cost meters in
+  /// ascending shard order — so the result is deterministic regardless of
+  /// scheduling and its rows are the same multiset the serial path
+  /// produces. `max_shards` <= 0 means one shard per pool worker.
+  ///
+  /// Cost accounting is deterministic but not identical to the serial
+  /// plan: each shard charges its own `kIndexProbe` descent, and a shard
+  /// may pick a different join operator than the serial plan would for
+  /// its (smaller) outer relation — the usual price of a sharded plan.
+  /// Falls back to the serial path when `meter` carries a cost budget
+  /// (cooperative cancellation is a serial protocol) or when the range
+  /// does not split.
+  Result<sparql::BindingTable> ExecuteSharded(const sparql::Query& query,
+                                              CostMeter* meter,
+                                              ThreadPool* pool,
+                                              int max_shards = 0) const;
+
   /// A dictionary-encoded pattern with plan-time metadata. Public for the
   /// planner helpers in executor.cc and for white-box tests.
   struct EncodedPattern;
@@ -61,6 +83,13 @@ class Executor {
   Result<sparql::BindingTable> Run(const sparql::Query& query,
                                    const sparql::BindingTable* seed,
                                    CostMeter* meter) const;
+
+  /// Greedily joins every unused pattern into `*cur`, charging `meter`.
+  /// Shared by the serial path and each shard of the sharded path.
+  Status JoinRemaining(std::vector<EncodedPattern>* patterns,
+                       sparql::BindingTable* cur,
+                       std::unordered_set<std::string>* bound,
+                       size_t num_joined, CostMeter* meter) const;
 
   const TripleTable* table_;
   const rdf::Dictionary* dict_;

@@ -66,11 +66,13 @@ std::optional<std::pair<TripleTable::Order, int>> TripleTable::ChooseIndex(
 }
 
 Status TripleTable::RangeScan(
-    Order order, const Key& lo, int prefix_len, const BoundPattern& pattern,
+    Order order, const Key& lo, int prefix_len, const Key* end,
+    bool charge_probe, Op tuple_op, const BoundPattern& pattern,
     CostMeter* meter, const std::function<bool(const Triple&)>& fn) const {
-  meter->Add(Op::kIndexProbe);
+  if (charge_probe) meter->Add(Op::kIndexProbe);
   for (auto it = IndexFor(order)->LowerBound(lo); !it.AtEnd(); ++it) {
     const Key& k = *it;
+    if (end != nullptr && !(k < *end)) break;  // shard boundary
     // Stop once the bound prefix no longer matches (end of the range).
     bool in_range = true;
     for (int i = 0; i < prefix_len; ++i) {
@@ -80,7 +82,7 @@ Status TripleTable::RangeScan(
       }
     }
     if (!in_range) break;
-    meter->Add(Op::kIndexScanTuple);
+    meter->Add(tuple_op);
     if (meter->ExceededBudget()) {
       return Status::Cancelled("index scan exceeded cost budget");
     }
@@ -96,15 +98,11 @@ Status TripleTable::ScanPattern(
     const std::function<bool(const Triple&)>& fn) const {
   const auto choice = ChooseIndex(pattern);
   if (!choice.has_value()) {
-    // Nothing bound: full table scan over the SPO index (clustered order).
-    for (auto it = spo_.Begin(); !it.AtEnd(); ++it) {
-      meter->Add(Op::kSeqScanTuple);
-      if (meter->ExceededBudget()) {
-        return Status::Cancelled("table scan exceeded cost budget");
-      }
-      if (!fn(KeyToTriple(Order::kSPO, *it))) break;
-    }
-    return Status::OK();
+    // Nothing bound: full table scan over the SPO index (clustered
+    // order); no descent is charged, each tuple is a sequential read.
+    return RangeScan(Order::kSPO, Key{0, 0, 0}, /*prefix_len=*/0,
+                     /*end=*/nullptr, /*charge_probe=*/false,
+                     Op::kSeqScanTuple, pattern, meter, fn);
   }
   const auto [order, prefix_len] = *choice;
   Key lo{0, 0, 0};
@@ -113,7 +111,65 @@ Status TripleTable::ScanPattern(
                      pattern.object.value_or(0)};
   const Key full = MakeKey(order, bound);
   for (int i = 0; i < prefix_len; ++i) lo[i] = full[i];
-  return RangeScan(order, lo, prefix_len, pattern, meter, fn);
+  return RangeScan(order, lo, prefix_len, /*end=*/nullptr,
+                   /*charge_probe=*/true, Op::kIndexScanTuple, pattern,
+                   meter, fn);
+}
+
+std::vector<TripleTable::PatternShard> TripleTable::ShardPattern(
+    const BoundPattern& pattern, int max_shards) const {
+  if (max_shards < 1) max_shards = 1;
+  const auto choice = ChooseIndex(pattern);
+  Order order = Order::kSPO;
+  int prefix_len = 0;
+  Key lo{0, 0, 0};
+  bool full_scan = true;
+  if (choice.has_value()) {
+    order = choice->first;
+    prefix_len = choice->second;
+    const Triple bound{pattern.subject.value_or(0),
+                       pattern.predicate.value_or(0),
+                       pattern.object.value_or(0)};
+    const Key full = MakeKey(order, bound);
+    for (int i = 0; i < prefix_len; ++i) lo[i] = full[i];
+    full_scan = false;
+  }
+  const auto within = [&](const Key& k) {
+    for (int i = 0; i < prefix_len; ++i) {
+      if (k[i] != lo[i]) return false;
+    }
+    return true;
+  };
+  const std::vector<Key> starts =
+      IndexFor(order)->ShardStarts(lo, max_shards, within);
+  std::vector<PatternShard> shards;
+  shards.reserve(starts.size());
+  for (size_t i = 0; i < starts.size(); ++i) {
+    PatternShard s;
+    s.begin = starts[i];
+    if (i + 1 < starts.size()) {
+      s.has_end = true;
+      s.end = starts[i + 1];
+    }
+    s.order = static_cast<int>(order);
+    s.prefix_len = prefix_len;
+    s.full_scan = full_scan;
+    shards.push_back(s);
+  }
+  return shards;
+}
+
+Status TripleTable::ScanShard(
+    const PatternShard& shard, const BoundPattern& pattern, CostMeter* meter,
+    const std::function<bool(const Triple&)>& fn) const {
+  // `shard.begin` carries the same bound prefix as the original scan's
+  // lower bound, so the prefix check against it is the range-end check.
+  // The serial full-table scan charges no descent; mirror that here.
+  return RangeScan(static_cast<Order>(shard.order), shard.begin,
+                   shard.prefix_len, shard.has_end ? &shard.end : nullptr,
+                   /*charge_probe=*/!shard.full_scan,
+                   shard.full_scan ? Op::kSeqScanTuple : Op::kIndexScanTuple,
+                   pattern, meter, fn);
 }
 
 uint64_t TripleTable::EstimateMatches(const BoundPattern& p) const {

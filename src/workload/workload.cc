@@ -1,6 +1,7 @@
 #include "workload/workload.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <unordered_map>
 
 #include "sparql/parser.h"
@@ -9,8 +10,8 @@ namespace dskg::workload {
 
 using rdf::TermId;
 
-std::vector<std::vector<WorkloadQuery>> Workload::SplitBatches(int n) const {
-  std::vector<std::vector<WorkloadQuery>> out;
+std::vector<std::pair<size_t, size_t>> Workload::BatchRanges(int n) const {
+  std::vector<std::pair<size_t, size_t>> out;
   if (n <= 0) return out;
   const size_t total = queries.size();
   const size_t base = total / static_cast<size_t>(n);
@@ -19,12 +20,18 @@ std::vector<std::vector<WorkloadQuery>> Workload::SplitBatches(int n) const {
   for (int b = 0; b < n; ++b) {
     size_t take = base + (remainder > 0 ? 1 : 0);
     if (remainder > 0) --remainder;
-    std::vector<WorkloadQuery> batch;
-    batch.reserve(take);
-    for (size_t i = 0; i < take && pos < total; ++i, ++pos) {
-      batch.push_back(queries[pos]);
-    }
-    out.push_back(std::move(batch));
+    take = std::min(take, total - pos);
+    out.emplace_back(pos, pos + take);
+    pos += take;
+  }
+  return out;
+}
+
+std::vector<std::vector<WorkloadQuery>> Workload::SplitBatches(int n) const {
+  std::vector<std::vector<WorkloadQuery>> out;
+  for (const auto& [begin, end] : BatchRanges(n)) {
+    out.emplace_back(queries.begin() + static_cast<ptrdiff_t>(begin),
+                     queries.begin() + static_cast<ptrdiff_t>(end));
   }
   return out;
 }

@@ -14,6 +14,7 @@
 
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -60,6 +61,12 @@ struct Workload {
   /// Splits into `n` consecutive batches of near-equal size (the paper
   /// uses n = 5). Earlier batches get the remainder.
   std::vector<std::vector<WorkloadQuery>> SplitBatches(int n) const;
+
+  /// The half-open index ranges [begin, end) into `queries` of the same
+  /// `n` batches, without copying any query — the runners' hot path uses
+  /// this (a batch copy is pure overhead once workloads reach production
+  /// size). Guaranteed to agree with `SplitBatches`.
+  std::vector<std::pair<size_t, size_t>> BatchRanges(int n) const;
 };
 
 /// Options for workload construction.

@@ -245,5 +245,29 @@ TEST(WorkloadSplit, DegenerateCases) {
   for (const auto& b : batches) EXPECT_TRUE(b.empty());
 }
 
+TEST(WorkloadSplit, BatchRangesAgreeWithSplitBatches) {
+  for (int total : {0, 1, 4, 5, 23, 100}) {
+    Workload w;
+    for (int i = 0; i < total; ++i) {
+      WorkloadQuery q;
+      q.template_index = i;
+      w.queries.push_back(q);
+    }
+    for (int n : {1, 3, 5, 7}) {
+      const auto batches = w.SplitBatches(n);
+      const auto ranges = w.BatchRanges(n);
+      ASSERT_EQ(batches.size(), ranges.size()) << total << "/" << n;
+      for (size_t b = 0; b < batches.size(); ++b) {
+        const auto [begin, end] = ranges[b];
+        ASSERT_EQ(batches[b].size(), end - begin) << total << "/" << n;
+        for (size_t i = 0; i < batches[b].size(); ++i) {
+          EXPECT_EQ(batches[b][i].template_index,
+                    w.queries[begin + i].template_index);
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dskg::workload
