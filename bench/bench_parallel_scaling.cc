@@ -39,7 +39,7 @@ int MaxThreads() {
   return v > 0 ? v : 8;
 }
 
-void RunBatchScaling() {
+void RunBatchScaling(JsonReporter* json) {
   std::printf("Batch-parallel execution (WorkloadRunner::RunParallel)\n");
   std::printf("hardware threads: %zu\n\n", ThreadPool::DefaultThreads());
 
@@ -94,13 +94,20 @@ void RunBatchScaling() {
     std::printf("%8d %12.1f %14.0f %9.2fx %16.3f\n", threads, ms,
                 static_cast<double>(num_queries) * 1000.0 / ms,
                 base_ms / ms, Sec(tti));
+    if (json != nullptr) {
+      json->Row("batch_scaling",
+                {{"threads", threads},
+                 {"simulated_tti_s", Sec(tti)},
+                 {"wall_ms", ms},
+                 {"wall_speedup", base_ms / ms}});
+    }
   }
   Rule();
   std::printf("simulated TTI identical across thread counts: %s\n\n",
               tti_consistent ? "yes" : "NO (BUG)");
 }
 
-void RunShardedScan() {
+void RunShardedScan(JsonReporter* json) {
   std::printf("Sharded scan execution (Executor::ExecuteSharded)\n\n");
 
   rdf::Dataset ds = MakeDataset(WorkloadKind::kYago);
@@ -145,6 +152,14 @@ void RunShardedScan() {
     if (shards == 1) base_ms = ms;
     std::printf("%8d %12.2f %9.2fx %12zu %16.4f\n", shards, ms,
                 base_ms / ms, rows, Sec(sim));
+    if (json != nullptr) {
+      json->Row("sharded_scan",
+                {{"shards", shards},
+                 {"simulated_s", Sec(sim)},
+                 {"rows", rows},
+                 {"wall_ms", ms},
+                 {"wall_speedup", base_ms / ms}});
+    }
   }
   Rule();
 }
@@ -152,8 +167,10 @@ void RunShardedScan() {
 }  // namespace
 }  // namespace dskg::bench
 
-int main() {
-  dskg::bench::RunBatchScaling();
-  dskg::bench::RunShardedScan();
+int main(int argc, char** argv) {
+  dskg::bench::JsonReporter json(argc, argv, "bench_parallel_scaling");
+  dskg::bench::JsonReporter* j = json.enabled() ? &json : nullptr;
+  dskg::bench::RunBatchScaling(j);
+  dskg::bench::RunShardedScan(j);
   return 0;
 }

@@ -15,8 +15,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/baseline_tuners.h"
@@ -211,6 +213,116 @@ inline void Rule(char c = '-', int n = 78) {
   for (int i = 0; i < n; ++i) std::putchar(c);
   std::putchar('\n');
 }
+
+/// Machine-readable bench output. Run any wired bench as
+///
+///   ./bench/bench_xyz --json out.json
+///
+/// and, in addition to the human-readable tables on stdout, it writes
+///
+///   {"bench": "<name>", "scale": <DSKG_BENCH_SCALE>,
+///    "tables": {"<table>": [{"col": value, ...}, ...], ...}}
+///
+/// so successive PRs can track a BENCH_*.json perf trajectory with plain
+/// tooling (jq, a spreadsheet, CI artifact diffing). All values are the
+/// same deterministic simulated costs the tables print — wall-clock
+/// numbers should be added as explicitly-named columns ("wall_ms") so
+/// trajectory diffs can ignore them.
+class JsonReporter {
+ public:
+  /// Scans argv for `--json <path>` (or `--json=<path>`); stays disabled
+  /// when absent. `name` identifies the bench in the output.
+  JsonReporter(int argc, char** argv, std::string name)
+      : name_(std::move(name)) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json" && i + 1 < argc) {
+        path_ = argv[i + 1];
+      } else if (arg.rfind("--json=", 0) == 0) {
+        path_ = arg.substr(7);
+      }
+    }
+  }
+
+  ~JsonReporter() { Flush(); }
+
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// One result cell; see `Row`.
+  struct Cell {
+    Cell(std::string k, double v) : key(std::move(k)) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+      json = buf;
+    }
+    Cell(std::string k, uint64_t v)
+        : key(std::move(k)), json(std::to_string(v)) {}
+    Cell(std::string k, int v) : key(std::move(k)), json(std::to_string(v)) {}
+    Cell(std::string k, const std::string& v)
+        : key(std::move(k)), json(Quote(v)) {}
+    Cell(std::string k, const char* v) : key(std::move(k)), json(Quote(v)) {}
+
+    std::string key;
+    std::string json;
+  };
+
+  /// Appends one row of cells to `table`. No-op when disabled.
+  void Row(const std::string& table, std::vector<Cell> cells) {
+    if (!enabled()) return;
+    std::string row = "{";
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) row += ", ";
+      row += Quote(cells[i].key) + ": " + cells[i].json;
+    }
+    row += "}";
+    tables_[table].push_back(std::move(row));
+  }
+
+  /// Writes the file (also called by the destructor). Safe to call twice.
+  void Flush() {
+    if (!enabled() || flushed_) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "{\"bench\": %s, \"scale\": %g, \"tables\": {",
+                 Quote(name_).c_str(), ScaleFactor());
+    bool first_table = true;
+    for (const auto& [table, rows] : tables_) {
+      std::fprintf(f, "%s\n  %s: [", first_table ? "" : ",",
+                   Quote(table).c_str());
+      for (size_t i = 0; i < rows.size(); ++i) {
+        std::fprintf(f, "%s\n    %s", i > 0 ? "," : "", rows[i].c_str());
+      }
+      std::fprintf(f, "\n  ]");
+      first_table = false;
+    }
+    std::fprintf(f, "\n}}\n");
+    std::fclose(f);
+    flushed_ = true;
+  }
+
+ private:
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  std::string name_;
+  std::string path_;
+  bool flushed_ = false;
+  // Ordered so output is deterministic across runs.
+  std::map<std::string, std::vector<std::string>> tables_;
+};
 
 }  // namespace dskg::bench
 

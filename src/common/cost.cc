@@ -18,6 +18,7 @@ const char* OpName(Op op) {
     case Op::kViewScanTuple: return "view_scan_tuple";
     case Op::kTempTableTuple: return "temp_table_tuple";
     case Op::kInsertTuple: return "insert_tuple";
+    case Op::kRemoveTuple: return "remove_tuple";
     case Op::kNodeLookup: return "node_lookup";
     case Op::kAdjExpandEdge: return "adj_expand_edge";
     case Op::kBindCheck: return "bind_check";
@@ -42,6 +43,7 @@ ResourceClass OpResourceClass(Op op) {
     case Op::kViewScanTuple:
     case Op::kTempTableTuple:
     case Op::kInsertTuple:
+    case Op::kRemoveTuple:
     case Op::kImportTriple:
     case Op::kEvictTriple:
     case Op::kMigrateResultRow:
@@ -108,6 +110,7 @@ CostModel::CostModel() {
   set_weight(Op::kViewScanTuple, 0.250);
   set_weight(Op::kTempTableTuple, 0.400);
   set_weight(Op::kInsertTuple, 1.200);
+  set_weight(Op::kRemoveTuple, 1.200);  // same index maintenance as insert
   set_weight(Op::kNodeLookup, 0.100);
   set_weight(Op::kAdjExpandEdge, 0.015);
   set_weight(Op::kBindCheck, 0.008);

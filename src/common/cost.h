@@ -46,6 +46,7 @@ enum class Op : int {
   kViewScanTuple,      ///< one tuple read from a materialized view
   kTempTableTuple,     ///< one tuple written to the temporary table space
   kInsertTuple,        ///< one base-table insert (with index maintenance)
+  kRemoveTuple,        ///< one base-table delete (with index maintenance)
   // --- graph engine ---
   kNodeLookup,         ///< one vertex record fetch by id
   kAdjExpandEdge,      ///< one edge visited via index-free adjacency

@@ -1,5 +1,7 @@
 #include "core/dual_store.h"
 
+#include <unordered_set>
+
 #include "sparql/parser.h"
 
 namespace dskg::core {
@@ -41,22 +43,83 @@ Result<QueryExecution> DualStore::Process(std::string_view text) const {
 
 Status DualStore::Insert(std::string_view subject, std::string_view predicate,
                          std::string_view object, CostMeter* meter) {
-  const Triple t = dataset_->Add(subject, predicate, object);
+  // A single-fact insert is a one-op batch: same consistency guarantees
+  // (resident-partition maintenance, view invalidation, duplicate no-op).
+  UpdateBatch batch;
+  batch.ops.push_back(UpdateOp::Insert(std::string(subject),
+                                       std::string(predicate),
+                                       std::string(object)));
+  return ApplyUpdates(batch, meter).status();
+}
+
+Result<UpdateResult> DualStore::ApplyUpdates(const UpdateBatch& batch,
+                                             CostMeter* meter) {
+  UpdateResult res;
   CostMeter local;
   CostMeter* m = meter != nullptr ? meter : &local;
-  table_.Insert(t, m);
-  if (graph_.HasPredicate(t.predicate)) {
-    // Keep the resident partition consistent (slow native-insert path).
-    Status s = graph_.InsertTriple(t, m);
-    if (s.IsCapacityExceeded()) {
-      // The graph copy no longer fits: drop the partition rather than
-      // serve stale answers. The relational store remains authoritative.
-      DSKG_RETURN_NOT_OK(graph_.EvictPartition(t.predicate, m));
+
+  // Dataset removal is deferred to one stable end-of-batch sweep (O(|G|)
+  // instead of O(|G|) per delete). A successful re-insert of a triple
+  // deleted earlier in the same batch cancels against that pending sweep
+  // instead of appending, so dataset occurrences and the table's set
+  // semantics stay aligned. Deferring also delays dictionary releases to
+  // the sweep, so ids stay valid for the whole batch.
+  std::unordered_set<rdf::Triple, rdf::TripleHash> pending_removal;
+  std::unordered_set<TermId> touched_predicates;
+
+  for (const UpdateOp& op : batch.ops) {
+    if (op.kind == UpdateOp::Kind::kInsert) {
+      rdf::Dictionary& dict = dataset_->mutable_dict();
+      const Triple t{dict.Intern(op.subject), dict.Intern(op.predicate),
+                     dict.Intern(op.object)};
+      if (!table_.Insert(t, m)) continue;  // already stored: no-op
+      if (pending_removal.erase(t) == 0) dataset_->Add(t);
+      ++res.inserted;
+      touched_predicates.insert(t.predicate);
+      if (graph_.HasPredicate(t.predicate)) {
+        Status s = graph_.InsertTriple(t, m);
+        if (s.IsCapacityExceeded()) {
+          // The graph copy no longer fits: drop the partition rather than
+          // serve stale answers (the relational store stays authoritative).
+          DSKG_RETURN_NOT_OK(graph_.EvictPartition(t.predicate, m));
+        } else {
+          DSKG_RETURN_NOT_OK(s);
+          ++res.graph_maintained;
+        }
+      }
     } else {
-      DSKG_RETURN_NOT_OK(s);
+      const rdf::Dictionary& dict = dataset_->dict();
+      const Triple t{dict.Lookup(op.subject), dict.Lookup(op.predicate),
+                     dict.Lookup(op.object)};
+      if (t.subject == rdf::kInvalidTermId ||
+          t.predicate == rdf::kInvalidTermId ||
+          t.object == rdf::kInvalidTermId) {
+        continue;  // references an unknown term: nothing stored to delete
+      }
+      if (!table_.RemoveTriple(t, m)) continue;  // not stored: no-op
+      pending_removal.insert(t);
+      ++res.deleted;
+      touched_predicates.insert(t.predicate);
+      if (graph_.HasPredicate(t.predicate)) {
+        Status s = graph_.RemoveTriple(t, m);
+        DSKG_RETURN_NOT_OK(s);
+        ++res.graph_maintained;
+      }
     }
   }
-  return Status::OK();
+
+  // Invalidate views BEFORE the dataset sweep: the sweep releases
+  // dictionary terms, and a predicate whose last triple died this batch
+  // must still resolve while the catalog is matched against
+  // `touched_predicates` (a stale view would otherwise survive and keep
+  // serving the deleted rows).
+  if (views_ != nullptr && !touched_predicates.empty()) {
+    res.views_dropped = views_->InvalidatePredicates(touched_predicates);
+  }
+  if (!pending_removal.empty()) {
+    dataset_->RemoveBatch(pending_removal);
+  }
+  return res;
 }
 
 Status DualStore::MigratePartition(TermId predicate, CostMeter* meter) {

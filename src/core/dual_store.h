@@ -34,6 +34,7 @@
 #include "common/cost.h"
 #include "common/status.h"
 #include "core/query_processor.h"
+#include "core/update.h"
 #include "graphstore/matcher.h"
 #include "graphstore/property_graph.h"
 #include "rdf/dataset.h"
@@ -85,6 +86,22 @@ class DualStore {
   Status Insert(std::string_view subject, std::string_view predicate,
                 std::string_view object, CostMeter* meter = nullptr);
 
+  /// Applies one update batch (inserts + deletes, in op order) to every
+  /// structure of this store at once: the dataset and its dictionary
+  /// usage counts, the triple table with its three index permutations and
+  /// per-predicate statistics, resident graph-store partitions (edges
+  /// maintained in place; a partition that overflows capacity is evicted
+  /// rather than left stale), and the materialized-view catalog (views
+  /// over touched predicates are dropped — the tuner rebuilds them).
+  /// Inserting a stored triple and deleting an absent one are no-ops.
+  ///
+  /// Single-applier: must not run concurrently with queries on THIS
+  /// store — `OnlineStore` layers epoch-based read/write coordination on
+  /// top for that. Charges per-tuple insert/remove and graph-maintenance
+  /// costs to `meter` when provided.
+  Result<UpdateResult> ApplyUpdates(const UpdateBatch& batch,
+                                    CostMeter* meter = nullptr);
+
   // ---- tuner admin API -----------------------------------------------------
 
   /// Migrates `predicate`'s partition from the relational store to the
@@ -130,6 +147,9 @@ class DualStore {
   const graphstore::PropertyGraph& graph() const { return graph_; }
   const relstore::Executor& executor() const { return executor_; }
   relstore::MaterializedViewManager* views() { return views_.get(); }
+  const relstore::MaterializedViewManager* views() const {
+    return views_.get();
+  }
   const DualStoreConfig& config() const { return config_; }
 
   /// Simulated cost of the initial bulk load into the relational store.

@@ -1,0 +1,129 @@
+#include "core/online_store.h"
+
+#include <string>
+#include <vector>
+
+namespace dskg::core {
+
+OnlineStore::OnlineStore(const rdf::Dataset& initial,
+                         const DualStoreConfig& config)
+    : datasets_{initial.Clone(), initial.Clone()} {
+  sides_[0] = std::make_unique<DualStore>(&datasets_[0], config);
+  sides_[1] = std::make_unique<DualStore>(&datasets_[1], config);
+}
+
+OnlineStore::ReadGuard OnlineStore::Read() const {
+  // Pin first, then resolve the active replica: the writer's publish
+  // (index store) precedes its epoch advance, so a pin at the advanced
+  // epoch is guaranteed to resolve the *new* index, and a pin at the old
+  // epoch is drained before the old replica is touched. Either way the
+  // resolved replica stays immutable for the guard's lifetime.
+  EpochManager::Pin pin = epochs_.Enter();
+  const DualStore* store = sides_[ActiveIndex()].get();
+  return ReadGuard(store, std::move(pin));
+}
+
+Result<QueryExecution> OnlineStore::Process(const sparql::Query& query) const {
+  ReadGuard guard = Read();
+  return guard.store().Process(query);
+}
+
+Result<QueryExecution> OnlineStore::Process(std::string_view text) const {
+  ReadGuard guard = Read();
+  return guard.store().Process(text);
+}
+
+Result<UpdateResult> OnlineStore::ApplyUpdates(const UpdateBatch& batch,
+                                               CostMeter* meter) {
+  DSKG_RETURN_NOT_OK(poisoned_);
+  const size_t active = ActiveIndex();
+  const size_t passive = 1 - active;
+
+  // 1. Mutate the passive replica — no reader can be inside it (it was
+  //    drained before its previous retirement ended). On failure the
+  //    half-applied replica is never published: readers keep the intact
+  //    active one, and the store poisons itself (replicas would diverge
+  //    from here on, so further applies refuse).
+  Result<UpdateResult> applied = sides_[passive]->ApplyUpdates(batch, meter);
+  if (!applied.ok()) {
+    poisoned_ = applied.status();
+    return poisoned_;
+  }
+
+  // 2. Publish: queries pinning from here on read the updated replica.
+  active_index_.store(passive, std::memory_order_seq_cst);
+  const uint64_t retired_epoch = epochs_.Advance();
+
+  // 3. Reclaim: wait for every reader that may still observe the retired
+  //    replica, then replay the batch there so the replicas stay
+  //    identical. The replay charges a scratch meter — it is replication
+  //    overhead, not additional simulated work. A replay failure also
+  //    poisons: the published replica stays fully consistent for
+  //    readers, but the pair can no longer be kept in lockstep.
+  epochs_.WaitUntilDrained(retired_epoch);
+  CostMeter scratch;
+  Status replay = sides_[active]->ApplyUpdates(batch, &scratch).status();
+  if (!replay.ok()) {
+    poisoned_ = replay;
+    return poisoned_;
+  }
+
+  ++applied_batches_;
+  return std::move(applied).ValueOrDie();
+}
+
+Status OnlineStore::TuneExclusive(const std::function<Status(DualStore*)>& fn) {
+  DSKG_RETURN_NOT_OK(poisoned_);
+  const size_t active = ActiveIndex();
+  Status s = fn(sides_[active].get());
+  if (s.ok()) {
+    s = SyncAccelerators(*sides_[active], sides_[1 - active].get());
+  }
+  if (!s.ok()) {
+    // A half-applied tuning window leaves the replicas' accelerator
+    // state divergent; poison, exactly as a failed batch does.
+    poisoned_ = s;
+  }
+  return s;
+}
+
+Status OnlineStore::SyncAccelerators(const DualStore& from, DualStore* to) {
+  CostMeter scratch;  // mirroring is bookkeeping, like the batch replay
+
+  // Graph-store residency: evict partitions the tuner dropped, migrate
+  // the ones it loaded. Content comes from `to`'s own relational store,
+  // which is logically identical to `from`'s.
+  for (rdf::TermId p : to->graph().LoadedPredicates()) {
+    if (!from.graph().HasPredicate(p)) {
+      DSKG_RETURN_NOT_OK(to->EvictPartition(p, &scratch));
+    }
+  }
+  for (rdf::TermId p : from.graph().LoadedPredicates()) {
+    if (!to->graph().HasPredicate(p)) {
+      DSKG_RETURN_NOT_OK(to->MigratePartition(p, &scratch));
+    }
+  }
+
+  // Materialized-view catalog: drop views the tuner dropped, materialize
+  // the ones it created (definitions are already generalized, so
+  // re-creating from them reproduces the same signature).
+  relstore::MaterializedViewManager* to_views = to->views();
+  const relstore::MaterializedViewManager* from_views = from.views();
+  if (to_views != nullptr && from_views != nullptr) {
+    for (const std::string& sig : to_views->Signatures()) {
+      if (!from_views->HasSignature(sig)) {
+        DSKG_RETURN_NOT_OK(to_views->DropView(sig));
+      }
+    }
+    for (const std::string& sig : from_views->Signatures()) {
+      if (!to_views->HasSignature(sig)) {
+        Status s = to_views->CreateView(*from_views->DefinitionOf(sig),
+                                        &scratch);
+        if (!s.ok() && !s.IsAlreadyExists()) return s;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dskg::core

@@ -1,0 +1,152 @@
+#ifndef DSKG_CORE_ONLINE_STORE_H_
+#define DSKG_CORE_ONLINE_STORE_H_
+
+/// \file online_store.h
+/// The online-update subsystem's front door: a dual store that stays
+/// queryable while a stream of knowledge mutations is applied.
+///
+/// Design — *left-right replication under epoch reclamation*:
+///
+/// An `OnlineStore` owns two complete `DualStore` replicas (each with its
+/// own dataset + dictionary, so readers and the applier share **no**
+/// mutable structure — the shared-nothing discipline KVell applies per
+/// worker, applied here per role). At any instant one replica is *active*
+/// (all queries read it) and one is *passive* (only the applier touches
+/// it):
+///
+///   1. readers pin the current epoch and query the active replica —
+///      wait-free, no reader-side lock anywhere on the query path;
+///   2. the single applier applies a batch to the passive replica, then
+///      *publishes* it by swapping the active index and advancing the
+///      epoch;
+///   3. the applier waits for the old epoch to drain (every reader that
+///      could still be inside the retired replica has finished) and only
+///      then catches the retired replica up by replaying the same batch —
+///      the epoch-based reclamation step: the retired state is reclaimed
+///      for writing once its last observer leaves.
+///
+/// Every query therefore sees the store exactly as of some batch boundary
+/// (snapshot-per-batch consistency): results are identical to *some*
+/// serial apply-then-query interleaving, which is what the randomized
+/// online equivalence tests assert. Batches are applied twice (once per
+/// replica) and memory is doubled — the classic left-right trade for a
+/// read-mostly store whose query path must never block.
+///
+/// Replica determinism: both replicas are clones of the same initial
+/// dataset and replay identical batch sequences, and the dictionary
+/// recycles ids deterministically, so the two replicas assign identical
+/// term ids forever. A reader may decode results against whichever
+/// replica produced them (keep the `ReadGuard` alive while decoding).
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+
+#include "common/cost.h"
+#include "common/epoch.h"
+#include "common/status.h"
+#include "core/dual_store.h"
+#include "core/update.h"
+#include "rdf/dataset.h"
+
+namespace dskg::core {
+
+/// A mutable-while-queried dual store (two replicas + epoch coordination).
+class OnlineStore {
+ public:
+  /// Builds both replicas from clones of `initial` (the source dataset is
+  /// only read during construction and is not retained).
+  OnlineStore(const rdf::Dataset& initial, const DualStoreConfig& config);
+
+  OnlineStore(const OnlineStore&) = delete;
+  OnlineStore& operator=(const OnlineStore&) = delete;
+
+  // ---- read path (any number of threads) ---------------------------------
+
+  /// Epoch-pinned access to the replica that is active at pin time. The
+  /// replica is immutable for as long as the guard lives; queries, stats
+  /// reads and result decoding through it are all safe.
+  class ReadGuard {
+   public:
+    const DualStore& store() const { return *store_; }
+    const DualStore* operator->() const { return store_; }
+
+   private:
+    friend class OnlineStore;
+    ReadGuard(const DualStore* store, EpochManager::Pin pin)
+        : store_(store), pin_(std::move(pin)) {}
+    const DualStore* store_;
+    EpochManager::Pin pin_;
+  };
+
+  /// Pins the current snapshot. Wait-free against the applier.
+  ReadGuard Read() const;
+
+  /// Convenience: pin, process one query, unpin.
+  Result<QueryExecution> Process(const sparql::Query& query) const;
+  Result<QueryExecution> Process(std::string_view text) const;
+
+  // ---- write path (one applier thread) -----------------------------------
+
+  /// Applies `batch` to the passive replica, publishes it to readers, and
+  /// once the retired replica drains replays the batch there. Costs are
+  /// charged to `meter` once (the replay is replication bookkeeping, not
+  /// additional simulated work). Single applier: concurrent ApplyUpdates
+  /// or TuneExclusive calls must be externally serialized; concurrent
+  /// `Read`/`Process` calls need no coordination at all.
+  ///
+  /// Failure poisons the store: a half-applied replica is never
+  /// published (readers keep a consistent snapshot forever), but the
+  /// replicas can no longer be kept in lockstep, so every further
+  /// ApplyUpdates/TuneExclusive returns the original error. Rebuild the
+  /// OnlineStore to resume ingestion after a poisoned batch.
+  Result<UpdateResult> ApplyUpdates(const UpdateBatch& batch,
+                                    CostMeter* meter = nullptr);
+
+  /// Offline tuning window: runs `fn` against the active replica (the one
+  /// whose statistics reflect all published batches) and then mirrors the
+  /// accelerator state `fn` changed — graph-store residency and the
+  /// materialized-view catalog — onto the passive replica, so the next
+  /// publish does not flip queries back to untuned physical state.
+  /// Caller must guarantee no queries are in flight (the online runner
+  /// tunes strictly between batches, as the paper's protocol does).
+  Status TuneExclusive(const std::function<Status(DualStore*)>& fn);
+
+  // ---- introspection (applier thread / quiescent store only) -------------
+
+  /// The currently active replica. Only meaningful from the applier
+  /// thread or while no applier is running; readers use `Read()`.
+  const DualStore& active() const { return *sides_[ActiveIndex()]; }
+
+  /// Batches published so far.
+  uint64_t applied_batches() const { return applied_batches_; }
+
+  /// OK unless a failed batch poisoned the store (see `ApplyUpdates`).
+  const Status& poison_status() const { return poisoned_; }
+
+  /// The epoch manager (exposed for tests and diagnostics).
+  const EpochManager& epochs() const { return epochs_; }
+
+ private:
+  size_t ActiveIndex() const {
+    return active_index_.load(std::memory_order_seq_cst);
+  }
+
+  /// Copies graph-store residency and the view catalog of `from` onto
+  /// `to` (used after a tuning window; `to` has identical logical content,
+  /// so partitions/views rebuild from its own relational store).
+  Status SyncAccelerators(const DualStore& from, DualStore* to);
+
+  rdf::Dataset datasets_[2];
+  std::unique_ptr<DualStore> sides_[2];
+  mutable EpochManager epochs_;
+  std::atomic<size_t> active_index_{0};
+  uint64_t applied_batches_ = 0;
+  Status poisoned_ = Status::OK();  // applier-thread state
+};
+
+}  // namespace dskg::core
+
+#endif  // DSKG_CORE_ONLINE_STORE_H_

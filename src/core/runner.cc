@@ -1,6 +1,10 @@
 #include "core/runner.h"
 
+#include <algorithm>
+#include <future>
 #include <optional>
+#include <unordered_map>
+#include <utility>
 
 #include "core/identifier.h"
 
@@ -147,6 +151,146 @@ Result<RunMetrics> WorkloadRunner::RunImpl(const Workload& workload,
       DSKG_RETURN_NOT_OK(
           tuner_->AfterBatch(store_, finished_complex, &meter));
       bm.tuning_micros += meter.sim_micros();
+    }
+    metrics.batches.push_back(std::move(bm));
+  }
+  return metrics;
+}
+
+namespace {
+
+/// Per-predicate partition sizes of the active replica (quiescent use).
+std::unordered_map<rdf::TermId, uint64_t> PartitionSizes(
+    const OnlineStore& store) {
+  std::unordered_map<rdf::TermId, uint64_t> sizes;
+  const relstore::TripleTable& table = store.active().table();
+  for (rdf::TermId p : table.Predicates()) {
+    sizes[p] = table.StatsOf(p).num_triples;
+  }
+  return sizes;
+}
+
+/// Largest relative partition-size change between two snapshots (a
+/// predicate absent on one side counts with size 0).
+double MaxDrift(const std::unordered_map<rdf::TermId, uint64_t>& then,
+                const std::unordered_map<rdf::TermId, uint64_t>& now) {
+  double drift = 0;
+  auto fold = [&](rdf::TermId p, uint64_t now_size) {
+    const auto it = then.find(p);
+    const uint64_t then_size = it == then.end() ? 0 : it->second;
+    const double delta = now_size > then_size
+                             ? static_cast<double>(now_size - then_size)
+                             : static_cast<double>(then_size - now_size);
+    drift = std::max(drift, delta / std::max<uint64_t>(1, then_size));
+  };
+  for (const auto& [p, n] : now) fold(p, n);
+  for (const auto& [p, n] : then) {
+    if (now.find(p) == now.end()) fold(p, 0);
+  }
+  return drift;
+}
+
+}  // namespace
+
+Result<OnlineRunMetrics> WorkloadRunner::RunOnline(
+    OnlineStore* store, const Workload& workload, const UpdateLog& updates,
+    const OnlineRunOptions& options, ThreadPool* pool) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("RunOnline requires an OnlineStore");
+  }
+  OnlineRunMetrics metrics;
+  const auto query_ranges = workload.BatchRanges(options.num_batches);
+  const auto update_ranges =
+      workload::EvenRanges(updates.size(), options.num_batches);
+  const WorkloadQuery* queries = workload.queries.data();
+
+  // One-off tuning before any window, as in the offline protocol.
+  double pre_tuning = 0;
+  if (tuner_ != nullptr) {
+    CostMeter meter;
+    DSKG_RETURN_NOT_OK(store->TuneExclusive([&](DualStore* s) {
+      return tuner_->BeforeWorkload(s, ComplexSubqueriesOf(workload.queries),
+                                    &meter);
+    }));
+    pre_tuning = meter.sim_micros();
+  }
+  auto last_tuned_sizes = PartitionSizes(*store);
+
+  for (size_t b = 0; b < query_ranges.size(); ++b) {
+    const auto [q_begin, q_end] = query_ranges[b];
+    const size_t batch_size = q_end - q_begin;
+    OnlineBatchMetrics bm;
+    if (b == 0) bm.tuning_micros += pre_tuning;
+
+    // ---- the online window: queries fan out, this thread applies ------
+    // Each worker pins an epoch per query, so it reads the snapshot as of
+    // whatever batch boundary was published when it started; the applier
+    // never waits for the window to finish.
+    std::vector<ProcessedQuery> processed(batch_size);
+    std::vector<std::future<void>> futures;
+    if (pool != nullptr) {
+      futures.reserve(batch_size);
+      for (size_t i = 0; i < batch_size; ++i) {
+        futures.push_back(pool->Submit([store, queries, q_begin, i,
+                                        &processed] {
+          OnlineStore::ReadGuard guard = store->Read();
+          processed[i] = ProcessOne(guard.store(), queries[q_begin + i].query);
+        }));
+      }
+    }
+    // An update failure must NOT return while query futures are still
+    // running (they write into `processed`, a stack local): record the
+    // status, always join the window, then fail.
+    CostMeter update_meter;
+    Status update_status;
+    if (b < update_ranges.size()) {
+      for (size_t u = update_ranges[b].first; u < update_ranges[b].second;
+           ++u) {
+        Result<UpdateResult> r = store->ApplyUpdates(updates.at(u),
+                                                     &update_meter);
+        update_status = r.status();
+        if (!update_status.ok()) break;
+        bm.inserted += r->inserted;
+        bm.deleted += r->deleted;
+      }
+    }
+    if (pool != nullptr) {
+      // Wait for *every* task before get() may rethrow: unwinding while
+      // sibling tasks still write `processed` would be a use-after-free.
+      for (std::future<void>& f : futures) f.wait();
+      for (std::future<void>& f : futures) f.get();
+    } else {
+      for (size_t i = 0; i < batch_size; ++i) {
+        OnlineStore::ReadGuard guard = store->Read();
+        processed[i] = ProcessOne(guard.store(), queries[q_begin + i].query);
+      }
+    }
+    DSKG_RETURN_NOT_OK(update_status);
+    bm.update_micros = update_meter.sim_micros();
+
+    std::vector<Query> finished_complex;
+    for (size_t i = 0; i < batch_size; ++i) {
+      DSKG_RETURN_NOT_OK(processed[i].status);
+      bm.tti_micros += processed[i].trace.total_micros;
+      bm.queries.push_back(processed[i].trace);
+      if (processed[i].finished_complex.has_value()) {
+        finished_complex.push_back(*std::move(processed[i].finished_complex));
+      }
+    }
+
+    // ---- offline window: drift check, tuner re-trigger ----------------
+    if (tuner_ != nullptr && options.drift_threshold >= 0) {
+      const auto now_sizes = PartitionSizes(*store);
+      bm.max_drift = MaxDrift(last_tuned_sizes, now_sizes);
+      if (bm.max_drift >= options.drift_threshold) {
+        CostMeter meter;
+        DSKG_RETURN_NOT_OK(store->TuneExclusive([&](DualStore* s) {
+          return tuner_->AfterBatch(s, finished_complex, &meter);
+        }));
+        bm.tuning_micros += meter.sim_micros();
+        bm.retuned = true;
+        last_tuned_sizes = now_sizes;
+      }
     }
     metrics.batches.push_back(std::move(bm));
   }

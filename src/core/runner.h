@@ -19,7 +19,9 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/dual_store.h"
+#include "core/online_store.h"
 #include "core/tuner.h"
+#include "core/update.h"
 #include "workload/workload.h"
 
 namespace dskg::core {
@@ -51,6 +53,70 @@ struct BatchMetrics {
   double GraphCostProportion() const {
     return tti_micros > 0 ? graph_micros / tti_micros : 0.0;
   }
+};
+
+/// Aggregates for one online window (a query batch plus the update
+/// batches applied concurrently with it).
+struct OnlineBatchMetrics {
+  /// Online time-to-insight of the window's queries (simulated us).
+  double tti_micros = 0;
+  /// Simulated cost of applying this window's update batches.
+  double update_micros = 0;
+  /// Offline tuning cost charged to this window (drift-triggered).
+  double tuning_micros = 0;
+  uint64_t inserted = 0;  ///< triples absorbed by this window's updates
+  uint64_t deleted = 0;   ///< triples removed by this window's updates
+  /// Largest relative per-predicate partition-size drift observed since
+  /// the last tuning window, and whether it re-triggered tuning.
+  double max_drift = 0;
+  bool retuned = false;
+  std::vector<QueryTrace> queries;
+};
+
+/// Aggregates for a whole online run.
+struct OnlineRunMetrics {
+  std::vector<OnlineBatchMetrics> batches;
+
+  double TotalTtiMicros() const {
+    double t = 0;
+    for (const OnlineBatchMetrics& b : batches) t += b.tti_micros;
+    return t;
+  }
+  double TotalUpdateMicros() const {
+    double t = 0;
+    for (const OnlineBatchMetrics& b : batches) t += b.update_micros;
+    return t;
+  }
+  double TotalTuningMicros() const {
+    double t = 0;
+    for (const OnlineBatchMetrics& b : batches) t += b.tuning_micros;
+    return t;
+  }
+  uint64_t TotalInserted() const {
+    uint64_t n = 0;
+    for (const OnlineBatchMetrics& b : batches) n += b.inserted;
+    return n;
+  }
+  uint64_t TotalDeleted() const {
+    uint64_t n = 0;
+    for (const OnlineBatchMetrics& b : batches) n += b.deleted;
+    return n;
+  }
+  int Retunes() const {
+    int n = 0;
+    for (const OnlineBatchMetrics& b : batches) n += b.retuned ? 1 : 0;
+    return n;
+  }
+};
+
+/// Options of `WorkloadRunner::RunOnline`.
+struct OnlineRunOptions {
+  /// Query batches (the update log is spread evenly across them).
+  int num_batches = 5;
+  /// Re-trigger tuning when any predicate partition's triple count has
+  /// drifted by more than this fraction since the last tuning window
+  /// (0 = re-tune after every window; < 0 = never re-tune).
+  double drift_threshold = 0.25;
 };
 
 /// Aggregates for a whole workload run.
@@ -99,6 +165,23 @@ class WorkloadRunner {
   /// averaged over the last `reps - warmup` repetitions.
   Result<RunMetrics> RunAveraged(const workload::Workload& workload,
                                  int num_batches, int reps, int warmup);
+
+  /// Online protocol: each query batch fans out on `pool` while this
+  /// thread — the single applier — concurrently publishes the window's
+  /// share of `updates` through `store` (queries never block on updates;
+  /// each sees some batch-boundary snapshot). Between windows the store
+  /// is quiesced and, when per-predicate statistics have drifted past
+  /// `options.drift_threshold` since the last tuning window, the tuner's
+  /// `AfterBatch` re-runs over the finished window's complex subqueries
+  /// (DOTIL re-tunes against the drifted partition sizes) with both
+  /// replicas' accelerator state kept in sync. The constructor's
+  /// `DualStore` is not used by this path; `tuner_` may be null.
+  /// A null `pool` degrades to serial interleaving (updates first).
+  Result<OnlineRunMetrics> RunOnline(OnlineStore* store,
+                                     const workload::Workload& workload,
+                                     const UpdateLog& updates,
+                                     const OnlineRunOptions& options,
+                                     ThreadPool* pool);
 
  private:
   /// Shared batch scaffolding (tuning hooks, trace aggregation) for the

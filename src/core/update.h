@@ -1,0 +1,90 @@
+#ifndef DSKG_CORE_UPDATE_H_
+#define DSKG_CORE_UPDATE_H_
+
+/// \file update.h
+/// The streaming-update vocabulary: single triple mutations, batches, and
+/// the append-only log the online subsystem publishes them through.
+///
+/// Updates carry term *strings*, not ids — an insert may introduce terms
+/// no store has interned yet, and keeping the log id-free lets the same
+/// batch be replayed against independently-encoded store replicas (the
+/// left-right `OnlineStore` applies every batch to both of its sides).
+///
+/// A batch is the atomicity and visibility unit: `DualStore::ApplyUpdates`
+/// applies one batch to every structure of one store (triple table, all
+/// three index permutations, per-predicate statistics, resident graph
+/// partitions, the materialized-view catalog, the dictionary's usage
+/// counts), and `OnlineStore` publishes whole batches to readers — a query
+/// observes a batch entirely or not at all (snapshot-per-batch
+/// consistency).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dskg::core {
+
+/// One knowledge-graph mutation.
+struct UpdateOp {
+  enum class Kind { kInsert, kDelete };
+
+  Kind kind = Kind::kInsert;
+  std::string subject;
+  std::string predicate;
+  std::string object;
+
+  static UpdateOp Insert(std::string s, std::string p, std::string o) {
+    return {Kind::kInsert, std::move(s), std::move(p), std::move(o)};
+  }
+  static UpdateOp Delete(std::string s, std::string p, std::string o) {
+    return {Kind::kDelete, std::move(s), std::move(p), std::move(o)};
+  }
+};
+
+/// One atomically-visible group of mutations.
+struct UpdateBatch {
+  std::vector<UpdateOp> ops;
+
+  size_t size() const { return ops.size(); }
+  bool empty() const { return ops.empty(); }
+};
+
+/// What `DualStore::ApplyUpdates` did with one batch.
+struct UpdateResult {
+  uint64_t inserted = 0;        ///< new triples absorbed (duplicates skip)
+  uint64_t deleted = 0;         ///< stored triples removed (misses skip)
+  uint64_t views_dropped = 0;   ///< stale materialized views invalidated
+  uint64_t graph_maintained = 0;  ///< edges maintained in resident partitions
+};
+
+/// An append-only sequence of batches with dense sequence numbers.
+/// The producer (update-stream generator, ingest frontend) appends; the
+/// single applier consumes batches in order. Not itself thread-safe: the
+/// online runner hands batches across threads by index, never sharing the
+/// log mutably.
+class UpdateLog {
+ public:
+  /// Appends `batch` and returns its sequence number (0-based).
+  uint64_t Append(UpdateBatch batch) {
+    batches_.push_back(std::move(batch));
+    return batches_.size() - 1;
+  }
+
+  const UpdateBatch& at(uint64_t seq) const { return batches_.at(seq); }
+  uint64_t size() const { return batches_.size(); }
+  bool empty() const { return batches_.empty(); }
+
+  /// Total mutations across all batches.
+  uint64_t TotalOps() const {
+    uint64_t n = 0;
+    for (const UpdateBatch& b : batches_) n += b.size();
+    return n;
+  }
+
+ private:
+  std::vector<UpdateBatch> batches_;
+};
+
+}  // namespace dskg::core
+
+#endif  // DSKG_CORE_UPDATE_H_

@@ -1,6 +1,8 @@
 #include "graphstore/property_graph.h"
 
+#include <algorithm>
 #include <limits>
+#include <utility>
 
 namespace dskg::graphstore {
 
@@ -64,6 +66,35 @@ Status PropertyGraph::InsertTriple(const Triple& t, CostMeter* meter) {
   AddEdge(&it->second, t.subject, t.object);
   ++used_triples_;
   if (meter != nullptr) meter->Add(Op::kImportTriple);
+  return Status::OK();
+}
+
+Status PropertyGraph::RemoveTriple(const Triple& t, CostMeter* meter) {
+  auto it = partitions_.find(t.predicate);
+  if (it == partitions_.end()) {
+    return Status::NotFound("partition " + std::to_string(t.predicate) +
+                            " not resident");
+  }
+  Partition& part = it->second;
+  auto edge = std::find(part.edges.begin(), part.edges.end(),
+                        std::make_pair(t.subject, t.object));
+  if (edge == part.edges.end()) {
+    return Status::NotFound("edge not present in partition " +
+                            std::to_string(t.predicate));
+  }
+  part.edges.erase(edge);  // first occurrence; order preserved
+  auto drop_one = [](std::unordered_map<TermId, std::vector<TermId>>* adj,
+                     TermId v, TermId neighbor) {
+    auto vit = adj->find(v);
+    if (vit == adj->end()) return;
+    auto nit = std::find(vit->second.begin(), vit->second.end(), neighbor);
+    if (nit != vit->second.end()) vit->second.erase(nit);
+    if (vit->second.empty()) adj->erase(vit);
+  };
+  drop_one(&part.out, t.subject, t.object);
+  drop_one(&part.in, t.object, t.subject);
+  --used_triples_;
+  if (meter != nullptr) meter->Add(Op::kEvictTriple);
   return Status::OK();
 }
 

@@ -58,6 +58,13 @@ class PropertyGraph {
   /// single-edge update path). CapacityExceeded / NotFound as above.
   Status InsertTriple(const rdf::Triple& t, CostMeter* meter);
 
+  /// Removes one edge from an already-loaded partition (the online-update
+  /// delete path). Charges one `kEvictTriple`. NotFound if the partition
+  /// is not resident or the edge is absent. O(partition) worst case: the
+  /// native store keeps no edge index, mirroring the slow single-edge
+  /// maintenance the paper attributes to graph stores.
+  Status RemoveTriple(const rdf::Triple& t, CostMeter* meter);
+
   /// True if `predicate`'s partition is resident.
   bool HasPredicate(rdf::TermId predicate) const {
     return partitions_.find(predicate) != partitions_.end();

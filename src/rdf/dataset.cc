@@ -20,10 +20,45 @@ Triple Dataset::Add(std::string_view s, std::string_view p,
 
 void Dataset::Add(const Triple& t) {
   triples_.push_back(t);
+  dict_->Retain(t.subject);
+  dict_->Retain(t.predicate);
+  dict_->Retain(t.object);
   PartitionStats& st = partition_stats_[t.predicate];
   st.predicate = t.predicate;
   st.num_triples += 1;
   st.bytes += kBytesPerTriple;
+}
+
+uint64_t Dataset::RemoveBatch(
+    const std::unordered_set<Triple, TripleHash>& batch) {
+  if (batch.empty() || triples_.empty()) return 0;
+  uint64_t removed = 0;
+  auto out = triples_.begin();
+  for (const Triple& t : triples_) {
+    if (batch.find(t) == batch.end()) {
+      *out++ = t;
+      continue;
+    }
+    ++removed;
+    dict_->Release(t.subject);
+    dict_->Release(t.predicate);
+    dict_->Release(t.object);
+    auto st = partition_stats_.find(t.predicate);
+    st->second.num_triples -= 1;
+    st->second.bytes -= kBytesPerTriple;
+    if (st->second.num_triples == 0) partition_stats_.erase(st);
+  }
+  triples_.erase(out, triples_.end());
+  return removed;
+}
+
+Dataset Dataset::Clone() const {
+  Dataset out;
+  for (const Triple& t : triples_) {
+    out.Add(dict_->TermOf(t.subject), dict_->TermOf(t.predicate),
+            dict_->TermOf(t.object));
+  }
+  return out;
 }
 
 size_t Dataset::CountDistinctSubjectsObjects() const {

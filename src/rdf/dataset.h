@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -41,11 +42,27 @@ class Dataset {
   Dataset(Dataset&&) = default;
   Dataset& operator=(Dataset&&) = default;
 
-  /// Adds a triple given term strings, interning them as needed.
+  /// Adds a triple given term strings, interning them as needed. Each
+  /// added occurrence retains its three term ids in the dictionary.
   Triple Add(std::string_view s, std::string_view p, std::string_view o);
 
   /// Adds an already-encoded triple. Ids must come from `dict()`.
   void Add(const Triple& t);
+
+  /// Removes every stored occurrence of each triple in `batch` in one
+  /// stable O(|G| + |batch|) sweep, releasing the removed occurrences'
+  /// term ids (terms with no remaining uses are reclaimed — see
+  /// `Dictionary::Release`). Returns the number of occurrences removed.
+  /// The online applier calls this once per update batch.
+  uint64_t RemoveBatch(const std::unordered_set<Triple, TripleHash>& batch);
+
+  /// Deep copy: a new dataset with its own dictionary, built by re-adding
+  /// this dataset's triples in insertion order. Term ids are assigned in
+  /// first-occurrence order, so two clones of the same dataset are
+  /// id-identical to each other (the left-right store replicas rely on
+  /// this); ids match the source's unless the source interned terms that
+  /// no triple uses.
+  Dataset Clone() const;
 
   /// All triples, in insertion order.
   const std::vector<Triple>& triples() const { return triples_; }

@@ -16,6 +16,14 @@ namespace dskg::rdf {
 
 /// Interns term strings, assigning dense ids 0, 1, 2, ... in first-seen
 /// order. Lookup is O(1) expected in both directions.
+///
+/// Terms are usage-counted for the online-update path: every stored triple
+/// occurrence `Retain`s its three ids, deletion `Release`s them, and a term
+/// whose count drops to zero is forgotten — its text is freed and its id
+/// recycled by the next `Intern` (LIFO, so id assignment is a
+/// deterministic function of the operation sequence; the left-right store
+/// replicas rely on that to stay id-aligned). Ids retained at least once
+/// are stable for as long as any triple uses them.
 class Dictionary {
  public:
   Dictionary() = default;
@@ -26,16 +34,50 @@ class Dictionary {
   Dictionary(Dictionary&&) = default;
   Dictionary& operator=(Dictionary&&) = default;
 
-  /// Returns the id for `term`, interning it if new.
+  /// Returns the id for `term`, interning it if new (recycled ids first).
   TermId Intern(std::string_view term) {
     auto it = ids_.find(std::string(term));
     if (it != ids_.end()) return it->second;
-    const TermId id = terms_.size();
-    terms_.emplace_back(term);
-    ids_.emplace(terms_.back(), id);
+    TermId id;
+    if (!free_ids_.empty()) {
+      id = free_ids_.back();
+      free_ids_.pop_back();
+      terms_[id] = std::string(term);
+    } else {
+      id = terms_.size();
+      terms_.emplace_back(term);
+      refs_.push_back(0);
+    }
+    ids_.emplace(terms_[id], id);
     bytes_ += term.size();
     return id;
   }
+
+  /// Records one usage of `id` (callers: one per triple occurrence).
+  void Retain(TermId id) {
+    if (id < refs_.size()) ++refs_[id];
+  }
+
+  /// Releases one usage of `id`. At zero the term is forgotten: `Lookup`
+  /// stops finding it, its text bytes are reclaimed, and the id joins the
+  /// free list. Unretained or already-free ids are ignored.
+  void Release(TermId id) {
+    if (id >= refs_.size() || refs_[id] == 0) return;
+    if (--refs_[id] > 0) return;
+    auto it = ids_.find(terms_[id]);
+    if (it != ids_.end() && it->second == id) ids_.erase(it);
+    bytes_ -= terms_[id].size();
+    terms_[id] = std::string();  // free the text
+    free_ids_.push_back(id);
+  }
+
+  /// Current usage count of `id` (0 for unretained or freed ids).
+  uint64_t RefCount(TermId id) const {
+    return id < refs_.size() ? refs_[id] : 0;
+  }
+
+  /// Number of freed ids awaiting reuse.
+  size_t free_ids() const { return free_ids_.size(); }
 
   /// Returns the id for `term` if present, `kInvalidTermId` otherwise.
   TermId Lookup(std::string_view term) const {
@@ -61,7 +103,7 @@ class Dictionary {
     return terms_[id];
   }
 
-  /// Number of interned terms.
+  /// Size of the id space (live terms plus freed slots awaiting reuse).
   size_t size() const { return terms_.size(); }
 
   /// Total bytes of interned term text (used for size reporting).
@@ -70,6 +112,8 @@ class Dictionary {
  private:
   std::vector<std::string> terms_;
   std::unordered_map<std::string, TermId> ids_;
+  std::vector<uint64_t> refs_;     // usage count per id
+  std::vector<TermId> free_ids_;   // recycled ids, LIFO
   uint64_t bytes_ = 0;
 };
 

@@ -9,7 +9,11 @@
 /// RDBMS secondary-index layout. Operations:
 ///
 ///   * `Insert(key)`    — O(log n), duplicates ignored (set semantics)
-///   * `Erase(key)`     — O(log n), logical delete with lazy compaction
+///   * `Erase(key)`     — O(log n), full delete with underflow handling:
+///                        an underfull node borrows from a sibling when it
+///                        can and merges with one otherwise, so the tree
+///                        stays balanced under sustained deletion (the
+///                        online-update subsystem deletes continuously)
 ///   * `LowerBound(key)`— O(log n) descent, then an iterator that walks
 ///                        leaves left to right
 ///
@@ -69,17 +73,20 @@ class BPlusTree {
   }
 
   /// Removes `key`. Returns true if it was present.
-  /// Uses logical deletion within leaves (no rebalancing); leaves never
-  /// become unreachable, and range scans skip nothing, which is sufficient
-  /// for the workloads DSKG runs (deletes are rare).
+  /// A node left under-full (fewer than `kMinKeys` keys) borrows one key
+  /// from an adjacent sibling when that sibling can spare it and merges
+  /// with the sibling otherwise, keeping every non-root node at least half
+  /// full — the occupancy bound the cost model's `kIndexProbe` depth and
+  /// `ShardStarts`'s leaf-granular sharding both assume. The leaf chain is
+  /// relinked on merges, so range scans and shard boundaries stay exact
+  /// under sustained deletion (the online-update subsystem's steady state).
   bool Erase(const Key& key) {
-    Node* node = root_.get();
-    while (!node->is_leaf) {
-      node = node->children[ChildIndex(node, key)].get();
+    if (!EraseRec(root_.get(), key)) return false;
+    if (!root_->is_leaf && root_->children.size() == 1) {
+      // Root collapse: shrink the tree by one level.
+      root_ = std::move(root_->children.front());
+      --height_;
     }
-    auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
-    if (it == node->keys.end() || key < *it || *it < key) return false;
-    node->keys.erase(it);
     --size_;
     return true;
   }
@@ -250,6 +257,99 @@ class BPlusTree {
     node->next_leaf = right.get();
     r->split_key = right->keys.front();
     r->split_right = std::move(right);
+  }
+
+  bool EraseRec(Node* node, const Key& key) {
+    if (node->is_leaf) {
+      auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+      if (it == node->keys.end() || key < *it || *it < key) return false;
+      node->keys.erase(it);
+      return true;
+    }
+    const size_t ci = ChildIndex(node, key);
+    if (!EraseRec(node->children[ci].get(), key)) return false;
+    if (node->children[ci]->keys.size() < static_cast<size_t>(kMinKeys)) {
+      Rebalance(node, ci);
+    }
+    return true;
+  }
+
+  /// Restores the occupancy invariant of `parent->children[ci]` after a
+  /// deletion left it under-full: borrow from a sibling with spare keys,
+  /// else merge with one. `parent` itself may become under-full; the
+  /// caller's recursion handles that one level up.
+  void Rebalance(Node* parent, size_t ci) {
+    Node* left = ci > 0 ? parent->children[ci - 1].get() : nullptr;
+    Node* right = ci + 1 < parent->children.size()
+                      ? parent->children[ci + 1].get()
+                      : nullptr;
+    if (left != nullptr && left->keys.size() > static_cast<size_t>(kMinKeys)) {
+      BorrowFromLeft(parent, ci);
+    } else if (right != nullptr &&
+               right->keys.size() > static_cast<size_t>(kMinKeys)) {
+      BorrowFromRight(parent, ci);
+    } else if (left != nullptr) {
+      MergeChildren(parent, ci - 1);
+    } else {
+      MergeChildren(parent, ci);
+    }
+  }
+
+  /// Moves one key (and, for inner nodes, one child) from the left sibling
+  /// into `parent->children[ci]`, rotating through the parent separator.
+  void BorrowFromLeft(Node* parent, size_t ci) {
+    Node* child = parent->children[ci].get();
+    Node* left = parent->children[ci - 1].get();
+    if (child->is_leaf) {
+      child->keys.insert(child->keys.begin(), left->keys.back());
+      left->keys.pop_back();
+      parent->keys[ci - 1] = child->keys.front();
+    } else {
+      child->keys.insert(child->keys.begin(), parent->keys[ci - 1]);
+      parent->keys[ci - 1] = left->keys.back();
+      left->keys.pop_back();
+      child->children.insert(child->children.begin(),
+                             std::move(left->children.back()));
+      left->children.pop_back();
+    }
+  }
+
+  /// Mirror image of `BorrowFromLeft` for the right sibling.
+  void BorrowFromRight(Node* parent, size_t ci) {
+    Node* child = parent->children[ci].get();
+    Node* right = parent->children[ci + 1].get();
+    if (child->is_leaf) {
+      child->keys.push_back(right->keys.front());
+      right->keys.erase(right->keys.begin());
+      parent->keys[ci] = right->keys.front();
+    } else {
+      child->keys.push_back(parent->keys[ci]);
+      parent->keys[ci] = right->keys.front();
+      right->keys.erase(right->keys.begin());
+      child->children.push_back(std::move(right->children.front()));
+      right->children.erase(right->children.begin());
+    }
+  }
+
+  /// Merges `parent->children[li + 1]` into `parent->children[li]`.
+  /// Both are at-or-below minimum occupancy, so the merged node fits
+  /// within `kMaxKeys`. Leaf merges relink the leaf chain.
+  void MergeChildren(Node* parent, size_t li) {
+    Node* left = parent->children[li].get();
+    Node* right = parent->children[li + 1].get();
+    if (left->is_leaf) {
+      left->keys.insert(left->keys.end(), right->keys.begin(),
+                        right->keys.end());
+      left->next_leaf = right->next_leaf;
+    } else {
+      left->keys.push_back(parent->keys[li]);
+      left->keys.insert(left->keys.end(), right->keys.begin(),
+                        right->keys.end());
+      for (auto& c : right->children) left->children.push_back(std::move(c));
+    }
+    parent->keys.erase(parent->keys.begin() + static_cast<ptrdiff_t>(li));
+    parent->children.erase(parent->children.begin() +
+                           static_cast<ptrdiff_t>(li) + 1);
   }
 
   void SplitInner(Node* node, InsertResult* r) {

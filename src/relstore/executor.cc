@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -178,7 +180,44 @@ std::function<bool(const Triple&)> MaterializeInto(
   };
 }
 
+/// One hash join's build side: key bytes -> binding sets of the matching
+/// extent triples. Read-only once built.
+using JoinHashTable =
+    std::unordered_map<std::string,
+                       std::vector<std::unordered_map<std::string, TermId>>>;
+
+/// Serializes a join key (TermId tuple) into map-key bytes.
+std::string JoinKeyBytes(const std::vector<TermId>& key) {
+  std::string k;
+  k.reserve(key.size() * sizeof(TermId));
+  for (TermId v : key) {
+    k.append(reinterpret_cast<const char*>(&v), sizeof(TermId));
+  }
+  return k;
+}
+
 }  // namespace
+
+/// Per-query shared hash-join builds (see executor.h). Entries are keyed
+/// by pattern index in an ordered map so the caller can fold the build
+/// meters into the query meter in a deterministic order.
+struct Executor::SharedJoinState {
+  struct Entry {
+    std::mutex mu;
+    bool built = false;
+    Status status;
+    JoinHashTable table;
+    CostMeter build_meter;
+  };
+
+  Entry* EntryFor(size_t pattern_index) {
+    std::lock_guard<std::mutex> lock(mu);
+    return &entries[pattern_index];
+  }
+
+  std::mutex mu;
+  std::map<size_t, Entry> entries;
+};
 
 Result<BindingTable> Executor::Execute(const sparql::Query& query,
                                        CostMeter* meter) const {
@@ -230,6 +269,7 @@ Result<BindingTable> Executor::ExecuteSharded(const sparql::Query& query,
     BindingTable table;
     CostMeter meter;
   };
+  SharedJoinState shared_joins;  // hash builds: once per pattern, not per shard
   std::vector<ShardOutcome> outcomes(shards.size());
   pool->ParallelFor(shards.size(), [&](size_t i) {
     ShardOutcome& out = outcomes[i];
@@ -243,12 +283,20 @@ Result<BindingTable> Executor::ExecuteSharded(const sparql::Query& query,
     out.status = table_->ScanShard(shards[i], p.ConstantExtent(), &out.meter,
                                    MaterializeInto(p, &cur, &out.meter));
     if (!out.status.ok()) return;
-    out.status = JoinRemaining(&local, &cur, &bound, 1, &out.meter);
+    out.status = JoinRemaining(&local, &cur, &bound, 1, &out.meter,
+                               &shared_joins);
     if (!out.status.ok()) return;
     out.table = cur.Project(out_vars);
   });
 
   // ---- merge in ascending shard order (deterministic) -------------------
+  // Shared hash builds first, in pattern order: each was charged exactly
+  // once however many shards probed it.
+  for (auto& [idx, entry] : shared_joins.entries) {
+    (void)idx;
+    DSKG_RETURN_NOT_OK(entry.status);
+    meter->Merge(entry.build_meter);
+  }
   BindingTable merged;
   merged.columns = out_vars;
   for (ShardOutcome& out : outcomes) {
@@ -331,7 +379,8 @@ Result<BindingTable> Executor::Run(const sparql::Query& query,
 Status Executor::JoinRemaining(std::vector<EncodedPattern>* patterns_ptr,
                                BindingTable* cur_ptr,
                                std::unordered_set<std::string>* bound_ptr,
-                               size_t num_joined, CostMeter* meter) const {
+                               size_t num_joined, CostMeter* meter,
+                               SharedJoinState* shared) const {
   std::vector<EncodedPattern>& patterns = *patterns_ptr;
   BindingTable& cur = *cur_ptr;
   std::unordered_set<std::string>& bound = *bound_ptr;
@@ -408,47 +457,62 @@ Status Executor::JoinRemaining(std::vector<EncodedPattern>* patterns_ptr,
     };
 
     if (use_hash) {
-      // ---- hash join: scan extent once, probe with outer rows ----
+      // ---- hash join: scan the extent once, probe with outer rows ----
       std::vector<int> join_cols;
       join_cols.reserve(join_vars.size());
       for (const std::string& v : join_vars) {
         join_cols.push_back(cur.ColumnIndex(v));
       }
-      struct HashedMatch {
-        std::vector<TermId> key;
+      // The build side depends only on the pattern's constant extent, so
+      // `build` is the same work whoever runs it. Serial path: build
+      // locally, charging `meter`. Sharded path: the first shard choosing
+      // a hash join on this pattern builds into the shared entry (cost on
+      // the entry's meter, folded in once by ExecuteSharded); everyone
+      // else reuses the table read-only, eliminating the per-shard
+      // duplicate extent scans + kHashBuildTuple charges.
+      auto build = [&](JoinHashTable* ht, CostMeter* build_meter) -> Status {
         std::unordered_map<std::string, TermId> binds;
-      };
-      std::unordered_map<std::string, std::vector<HashedMatch>> ht;
-      auto key_str = [](const std::vector<TermId>& key) {
-        std::string k;
-        k.reserve(key.size() * sizeof(TermId));
-        for (TermId v : key) {
-          k.append(reinterpret_cast<const char*>(&v), sizeof(TermId));
-        }
-        return k;
-      };
-      std::unordered_map<std::string, TermId> binds;
-      Status scan = table_->ScanPattern(
-          p.ConstantExtent(), meter, [&](const Triple& t) {
-            if (!p.ExtractBindings(t, &binds)) return true;
-            HashedMatch m;
-            for (const std::string& v : join_vars) {
-              m.key.push_back(binds.at(v));
-            }
-            m.binds = binds;
-            meter->Add(Op::kHashBuildTuple);
-            ht[key_str(m.key)].push_back(std::move(m));
-            return !meter->ExceededBudget();
-          });
-      DSKG_RETURN_NOT_OK(scan);
-      for (const auto& row : cur.rows) {
         std::vector<TermId> key;
-        key.reserve(join_cols.size());
+        return table_->ScanPattern(
+            p.ConstantExtent(), build_meter, [&](const Triple& t) {
+              if (!p.ExtractBindings(t, &binds)) return true;
+              key.clear();
+              for (const std::string& v : join_vars) {
+                key.push_back(binds.at(v));
+              }
+              build_meter->Add(Op::kHashBuildTuple);
+              (*ht)[JoinKeyBytes(key)].push_back(binds);
+              return !build_meter->ExceededBudget();
+            });
+      };
+      const JoinHashTable* ht = nullptr;
+      JoinHashTable local_ht;
+      if (shared != nullptr) {
+        SharedJoinState::Entry* entry = shared->EntryFor(best);
+        {
+          std::lock_guard<std::mutex> lock(entry->mu);
+          if (!entry->built) {
+            // Inherit the query's cost model and throttle (every shard
+            // meter carries the same ones), not CostMeter's defaults.
+            entry->build_meter = CostMeter(meter->model(), meter->throttle());
+            entry->status = build(&entry->table, &entry->build_meter);
+            entry->built = true;
+          }
+        }
+        DSKG_RETURN_NOT_OK(entry->status);
+        ht = &entry->table;
+      } else {
+        DSKG_RETURN_NOT_OK(build(&local_ht, meter));
+        ht = &local_ht;
+      }
+      std::vector<TermId> key;
+      for (const auto& row : cur.rows) {
+        key.clear();
         for (int c : join_cols) key.push_back(row[static_cast<size_t>(c)]);
         meter->Add(Op::kHashProbeTuple);
-        auto it = ht.find(key_str(key));
-        if (it == ht.end()) continue;
-        for (const HashedMatch& m : it->second) emit(row, m.binds);
+        auto it = ht->find(JoinKeyBytes(key));
+        if (it == ht->end()) continue;
+        for (const auto& binds : it->second) emit(row, binds);
         if (meter->ExceededBudget()) {
           return Status::Cancelled(
               "relational execution exceeded cost budget");

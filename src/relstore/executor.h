@@ -67,6 +67,10 @@ class Executor {
   /// plan: each shard charges its own `kIndexProbe` descent, and a shard
   /// may pick a different join operator than the serial plan would for
   /// its (smaller) outer relation — the usual price of a sharded plan.
+  /// Hash-join build sides, however, are *not* duplicated: the extent
+  /// hash table of a join step is built once (single extent scan, single
+  /// set of `kHashBuildTuple` charges) and probed read-only by every
+  /// shard that chooses a hash join for that step.
   /// Falls back to the serial path when `meter` carries a cost budget
   /// (cooperative cancellation is a serial protocol) or when the range
   /// does not split.
@@ -79,17 +83,29 @@ class Executor {
   /// planner helpers in executor.cc and for white-box tests.
   struct EncodedPattern;
 
+  /// Hash tables shared by the shards of one `ExecuteSharded` call: a
+  /// join step's extent hash table depends only on the pattern (never on
+  /// shard-local rows), so the first shard to choose a hash join builds
+  /// it — one extent scan, charged once — and every other shard probes it
+  /// read-only. Defined in executor.cc.
+  struct SharedJoinState;
+
  private:
   Result<sparql::BindingTable> Run(const sparql::Query& query,
                                    const sparql::BindingTable* seed,
                                    CostMeter* meter) const;
 
   /// Greedily joins every unused pattern into `*cur`, charging `meter`.
-  /// Shared by the serial path and each shard of the sharded path.
+  /// Shared by the serial path and each shard of the sharded path. When
+  /// `shared` is non-null (sharded path), hash-join builds go through it:
+  /// built once per pattern, probed by all shards, build cost charged to
+  /// the shared entry's meter instead of `meter` (the caller folds those
+  /// in deterministically afterwards).
   Status JoinRemaining(std::vector<EncodedPattern>* patterns,
                        sparql::BindingTable* cur,
                        std::unordered_set<std::string>* bound,
-                       size_t num_joined, CostMeter* meter) const;
+                       size_t num_joined, CostMeter* meter,
+                       SharedJoinState* shared = nullptr) const;
 
   const TripleTable* table_;
   const rdf::Dictionary* dict_;

@@ -32,11 +32,28 @@ bool TripleTable::Insert(const Triple& t, CostMeter* meter) {
   ++num_rows_;
   MutableStats& st = stats_[t.predicate];
   st.num_triples += 1;
-  st.subjects.insert(t.subject);
-  st.objects.insert(t.object);
-  all_subjects_.insert(t.subject);
-  all_objects_.insert(t.object);
+  CountUp(&st.subjects, t.subject);
+  CountUp(&st.objects, t.object);
+  CountUp(&all_subjects_, t.subject);
+  CountUp(&all_objects_, t.object);
   if (meter != nullptr) meter->Add(Op::kInsertTuple);
+  return true;
+}
+
+bool TripleTable::RemoveTriple(const Triple& t, CostMeter* meter) {
+  if (!spo_.Erase(MakeKey(Order::kSPO, t))) return false;  // not stored
+  pos_.Erase(MakeKey(Order::kPOS, t));
+  osp_.Erase(MakeKey(Order::kOSP, t));
+  --num_rows_;
+  auto it = stats_.find(t.predicate);
+  MutableStats& st = it->second;
+  st.num_triples -= 1;
+  CountDown(&st.subjects, t.subject);
+  CountDown(&st.objects, t.object);
+  if (st.num_triples == 0) stats_.erase(it);
+  CountDown(&all_subjects_, t.subject);
+  CountDown(&all_objects_, t.object);
+  if (meter != nullptr) meter->Add(Op::kRemoveTuple);
   return true;
 }
 

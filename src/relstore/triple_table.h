@@ -19,7 +19,6 @@
 #include <functional>
 #include <optional>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/cost.h"
@@ -64,6 +63,12 @@ class TripleTable {
 
   /// Bulk-loads a batch of triples (charges per-tuple insert costs).
   void BulkLoad(const std::vector<rdf::Triple>& triples, CostMeter* meter);
+
+  /// Removes one triple, maintaining all three indexes and the statistics
+  /// (distinct subject/object counts decay exactly — the stats keep
+  /// per-term occurrence counts, not just sets). Charges one
+  /// `kRemoveTuple` when the triple was present. Returns true if removed.
+  bool RemoveTriple(const rdf::Triple& t, CostMeter* meter);
 
   /// True if the exact triple is stored. Charges one index probe.
   bool Contains(const rdf::Triple& t, CostMeter* meter) const;
@@ -167,14 +172,26 @@ class TripleTable {
   BPlusTree<Key> osp_;
   uint64_t num_rows_ = 0;
 
+  /// Occurrence-counted term sets: `map[id]` is the number of stored
+  /// triples using `id` in that position, so deletions can retire a term
+  /// exactly when its last occurrence goes (a plain set cannot shrink).
+  using TermCounts = std::unordered_map<rdf::TermId, uint64_t>;
+
+  static void CountUp(TermCounts* counts, rdf::TermId id) { ++(*counts)[id]; }
+  static void CountDown(TermCounts* counts, rdf::TermId id) {
+    auto it = counts->find(id);
+    if (it == counts->end()) return;
+    if (--it->second == 0) counts->erase(it);
+  }
+
   struct MutableStats {
     uint64_t num_triples = 0;
-    std::unordered_set<rdf::TermId> subjects;
-    std::unordered_set<rdf::TermId> objects;
+    TermCounts subjects;
+    TermCounts objects;
   };
   std::unordered_map<rdf::TermId, MutableStats> stats_;
-  std::unordered_set<rdf::TermId> all_subjects_;
-  std::unordered_set<rdf::TermId> all_objects_;
+  TermCounts all_subjects_;
+  TermCounts all_objects_;
 };
 
 }  // namespace dskg::relstore

@@ -122,6 +122,35 @@ void MaterializedViewManager::Clear() {
   used_rows_ = 0;
 }
 
+size_t MaterializedViewManager::InvalidatePredicates(
+    const std::unordered_set<rdf::TermId>& predicates) {
+  size_t dropped = 0;
+  for (auto it = views_.begin(); it != views_.end();) {
+    bool stale = false;
+    for (const TriplePattern& p : it->second.definition.patterns) {
+      if (p.predicate.is_variable) {
+        // A variable-predicate view matches every partition: any batch
+        // can change its rows, so it is stale by construction.
+        stale = true;
+        break;
+      }
+      const rdf::TermId id = dict_->Lookup(p.predicate.text);
+      if (id != rdf::kInvalidTermId && predicates.count(id) > 0) {
+        stale = true;
+        break;
+      }
+    }
+    if (stale) {
+      used_rows_ -= it->second.data.rows.size();
+      it = views_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
 bool MaterializedViewManager::HasViewFor(
     const std::vector<TriplePattern>& patterns) const {
   return views_.find(BgpSignature(patterns)) != views_.end();

@@ -22,6 +22,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/cost.h"
@@ -69,6 +70,14 @@ class MaterializedViewManager {
   /// Drops the view with `signature`; NotFound if absent.
   Status DropView(const std::string& signature);
 
+  /// Drops every view whose definition references any predicate in
+  /// `predicates` (dictionary ids). The online applier calls this after a
+  /// batch mutates those partitions — a stale view would keep serving
+  /// pre-batch rows. The tuner rebuilds dropped views at its next window.
+  /// Returns the number of views dropped.
+  size_t InvalidatePredicates(
+      const std::unordered_set<rdf::TermId>& predicates);
+
   /// Drops all views.
   void Clear();
 
@@ -93,6 +102,26 @@ class MaterializedViewManager {
   uint64_t used_rows() const { return used_rows_; }
   uint64_t budget_rows() const { return budget_rows_; }
   size_t num_views() const { return views_.size(); }
+
+  /// Signatures of all views, ascending (deterministic).
+  std::vector<std::string> Signatures() const {
+    std::vector<std::string> out;
+    out.reserve(views_.size());
+    for (const auto& [sig, _] : views_) out.push_back(sig);
+    return out;
+  }
+
+  /// True if a view with exactly `signature` exists.
+  bool HasSignature(const std::string& signature) const {
+    return views_.find(signature) != views_.end();
+  }
+
+  /// The generalized defining query of the view with `signature`, or
+  /// nullptr if absent (used to mirror catalogs between store replicas).
+  const sparql::Query* DefinitionOf(const std::string& signature) const {
+    auto it = views_.find(signature);
+    return it == views_.end() ? nullptr : &it->second.definition;
+  }
 
  private:
   const Executor* executor_;

@@ -1,0 +1,121 @@
+#include "workload/update_stream.h"
+
+#include <algorithm>
+#include <array>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dskg::workload {
+
+using core::UpdateBatch;
+using core::UpdateLog;
+using core::UpdateOp;
+using rdf::TermId;
+
+namespace {
+
+/// Decoded sampling pools of one predicate.
+struct PredicatePool {
+  std::string name;
+  std::vector<TermId> subjects;
+  std::vector<TermId> objects;
+  uint64_t size = 0;
+};
+
+}  // namespace
+
+UpdateLog GenerateUpdateStream(const rdf::Dataset& dataset,
+                               const UpdateStreamConfig& config) {
+  UpdateLog log;
+  if (config.num_batches <= 0 || config.ops_per_batch <= 0 ||
+      dataset.num_triples() == 0) {
+    return log;
+  }
+  const rdf::Dictionary& dict = dataset.dict();
+  Rng rng(config.seed);
+
+  // Per-predicate pools, ordered by descending partition size (then id)
+  // so Zipf rank 0 is the heaviest partition, deterministically.
+  std::unordered_map<TermId, size_t> pool_index;
+  std::vector<PredicatePool> pools;
+  for (const rdf::Triple& t : dataset.triples()) {
+    auto [it, inserted] = pool_index.emplace(t.predicate, pools.size());
+    if (inserted) {
+      pools.emplace_back();
+      pools.back().name = dict.TermOf(t.predicate);
+    }
+    PredicatePool& pool = pools[it->second];
+    pool.subjects.push_back(t.subject);
+    pool.objects.push_back(t.object);
+    pool.size += 1;
+  }
+  std::sort(pools.begin(), pools.end(),
+            [](const PredicatePool& a, const PredicatePool& b) {
+              if (a.size != b.size) return a.size > b.size;
+              return a.name < b.name;
+            });
+  const ZipfSampler predicate_rank(pools.size(), config.skew);
+
+  // The live set: initial triples plus inserts minus deletes, as term
+  // strings (the log must be replayable against any replica). Sampled
+  // uniformly with swap-pop removal. `membership` dedupes it — the
+  // stores have set semantics, so a fact must appear at most once here
+  // or a delete of the extra copy would be a guaranteed no-op miss.
+  std::vector<std::array<std::string, 3>> live;
+  std::unordered_set<std::string> membership;
+  auto fact_key = [](const std::array<std::string, 3>& f) {
+    return f[0] + '\x1f' + f[1] + '\x1f' + f[2];
+  };
+  live.reserve(dataset.num_triples());
+  for (const rdf::Triple& t : dataset.triples()) {
+    std::array<std::string, 3> fact{dict.TermOf(t.subject),
+                                    dict.TermOf(t.predicate),
+                                    dict.TermOf(t.object)};
+    if (membership.insert(fact_key(fact)).second) {
+      live.push_back(std::move(fact));
+    }
+  }
+
+  uint64_t fresh_entities = 0;
+  for (int b = 0; b < config.num_batches; ++b) {
+    UpdateBatch batch;
+    batch.ops.reserve(static_cast<size_t>(config.ops_per_batch));
+    for (int i = 0; i < config.ops_per_batch; ++i) {
+      const bool insert = live.empty() || rng.NextBool(config.insert_fraction);
+      if (insert) {
+        const PredicatePool& pool = pools[predicate_rank.Sample(&rng)];
+        std::string subject;
+        if (rng.NextBool(config.fresh_entity_prob)) {
+          subject = "upd:entity_" + std::to_string(fresh_entities++);
+        } else {
+          subject =
+              dict.TermOf(pool.subjects[rng.NextIndex(pool.subjects.size())]);
+        }
+        std::string object =
+            dict.TermOf(pool.objects[rng.NextIndex(pool.objects.size())]);
+        std::array<std::string, 3> fact{subject, pool.name, object};
+        if (membership.insert(fact_key(fact)).second) {
+          live.push_back(std::move(fact));
+        }  // else: the store will no-op this duplicate; keep `live` exact
+        batch.ops.push_back(UpdateOp::Insert(std::move(subject), pool.name,
+                                             std::move(object)));
+      } else {
+        const size_t idx = rng.NextIndex(live.size());
+        std::array<std::string, 3> victim = std::move(live[idx]);
+        live[idx] = std::move(live.back());
+        live.pop_back();
+        membership.erase(fact_key(victim));
+        batch.ops.push_back(UpdateOp::Delete(
+            std::move(victim[0]), std::move(victim[1]), std::move(victim[2])));
+      }
+    }
+    log.Append(std::move(batch));
+  }
+  return log;
+}
+
+}  // namespace dskg::workload

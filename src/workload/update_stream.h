@@ -1,0 +1,53 @@
+#ifndef DSKG_WORKLOAD_UPDATE_STREAM_H_
+#define DSKG_WORKLOAD_UPDATE_STREAM_H_
+
+/// \file update_stream.h
+/// Synthetic streaming-update generator for the online-update subsystem.
+///
+/// Produces a deterministic `core::UpdateLog` of insert/delete batches
+/// shaped like real knowledge-graph ingestion against an existing dataset:
+///
+///   * updates are Zipf-skewed across predicates (heavy partitions churn
+///     the most, which is also what stresses DOTIL's drift re-tuning);
+///   * inserts attach either fresh entities (breaking news about unseen
+///     subjects) or existing ones (densification), with objects sampled
+///     from the predicate's existing object pool so inserted facts join
+///     with the query workload;
+///   * deletes pick uniformly from the *live* set — initial triples plus
+///     prior inserts minus prior deletes — so sustained streams keep
+///     deleting meaningful facts instead of missing.
+///
+/// Everything is a pure function of (dataset, config): the same seed
+/// yields the same log on every platform, keeping online benchmarks and
+/// the randomized equivalence tests reproducible.
+
+#include <cstdint>
+
+#include "core/update.h"
+#include "rdf/dataset.h"
+
+namespace dskg::workload {
+
+/// Shape of a generated update stream.
+struct UpdateStreamConfig {
+  uint64_t seed = 11;
+  /// Number of batches in the log.
+  int num_batches = 5;
+  /// Mutations per batch.
+  int ops_per_batch = 1000;
+  /// Fraction of ops that are inserts (the rest are deletes).
+  double insert_fraction = 0.7;
+  /// Zipf skew of inserts across predicates (0 = uniform).
+  double skew = 0.8;
+  /// Probability that an insert's subject is a brand-new entity (interns
+  /// fresh dictionary terms, exercising id assignment under updates).
+  double fresh_entity_prob = 0.5;
+};
+
+/// Generates an update log against `dataset` (borrowed for reading only).
+core::UpdateLog GenerateUpdateStream(const rdf::Dataset& dataset,
+                                     const UpdateStreamConfig& config);
+
+}  // namespace dskg::workload
+
+#endif  // DSKG_WORKLOAD_UPDATE_STREAM_H_

@@ -10,10 +10,9 @@ namespace dskg::workload {
 
 using rdf::TermId;
 
-std::vector<std::pair<size_t, size_t>> Workload::BatchRanges(int n) const {
+std::vector<std::pair<size_t, size_t>> EvenRanges(size_t total, int n) {
   std::vector<std::pair<size_t, size_t>> out;
   if (n <= 0) return out;
-  const size_t total = queries.size();
   const size_t base = total / static_cast<size_t>(n);
   size_t remainder = total % static_cast<size_t>(n);
   size_t pos = 0;
@@ -25,6 +24,10 @@ std::vector<std::pair<size_t, size_t>> Workload::BatchRanges(int n) const {
     pos += take;
   }
   return out;
+}
+
+std::vector<std::pair<size_t, size_t>> Workload::BatchRanges(int n) const {
+  return EvenRanges(queries.size(), n);
 }
 
 std::vector<std::vector<WorkloadQuery>> Workload::SplitBatches(int n) const {

@@ -24,6 +24,12 @@
 
 namespace dskg::workload {
 
+/// Splits [0, total) into `n` consecutive half-open ranges of near-equal
+/// size, earlier ranges taking the remainder. The single splitting rule
+/// behind `Workload::BatchRanges` and the online runner's update-log
+/// spreading — shared so the two can never disagree.
+std::vector<std::pair<size_t, size_t>> EvenRanges(size_t total, int n);
+
 /// A query template: a BGP skeleton plus slots that mutations fill with
 /// constants sampled from the dataset.
 struct QueryTemplate {

@@ -1,0 +1,511 @@
+// Online-update subsystem tests.
+//
+// The headline property (ISSUE acceptance): queries running concurrently
+// with `OnlineStore::ApplyUpdates` return results identical to *some*
+// serial apply-then-query ordering — snapshot-per-batch consistency — on
+// both the hand-checkable SmallPeopleGraph and a generated YAGO graph.
+// The concurrent tests are also the ThreadSanitizer CI job's main load.
+//
+// Below that, `DualStore::ApplyUpdates` unit tests pin the cross-structure
+// consistency contract: triple table + all three indexes, per-predicate
+// statistics, dataset + dictionary usage counts, resident graph
+// partitions, and the materialized-view catalog.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/dotil.h"
+#include "core/dual_store.h"
+#include "core/online_store.h"
+#include "core/runner.h"
+#include "core/update.h"
+#include "sparql/parser.h"
+#include "test_util.h"
+#include "workload/generators.h"
+#include "workload/templates.h"
+#include "workload/update_stream.h"
+#include "workload/workload.h"
+
+namespace dskg::core {
+namespace {
+
+using rdf::TermId;
+using sparql::BindingTable;
+using sparql::Parser;
+using sparql::Query;
+
+// ---- helpers --------------------------------------------------------------
+
+Query Parse(const char* text) {
+  auto q = Parser::Parse(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return std::move(q).ValueOrDie();
+}
+
+/// Order-insensitive, id-free canonical form of a result (rows decoded
+/// through the dictionary that produced them, then sorted).
+std::string Canon(const BindingTable& t, const rdf::Dictionary& dict) {
+  std::vector<std::string> rows;
+  rows.reserve(t.rows.size());
+  for (const auto& row : t.rows) {
+    std::string r;
+    for (TermId id : row) {
+      r += dict.TermOf(id);
+      r += '|';
+    }
+    rows.push_back(std::move(r));
+  }
+  std::sort(rows.begin(), rows.end());
+  std::string out;
+  for (const std::string& c : t.columns) {
+    out += c;
+    out += ',';
+  }
+  out += '#';
+  for (const std::string& r : rows) {
+    out += r;
+    out += ';';
+  }
+  return out;
+}
+
+/// Per-query canonical results of every batch-prefix snapshot: entry k
+/// holds the results after serially applying the first k batches to a
+/// fresh store. This is the "some serial ordering" oracle.
+void BuildSnapshotOracle(const rdf::Dataset& base, const DualStoreConfig& cfg,
+                         const std::vector<Query>& queries,
+                         const UpdateLog& log,
+                         const std::vector<std::string>& resident_partitions,
+                         std::vector<std::vector<std::string>>* oracle) {
+  rdf::Dataset ds = base.Clone();
+  DualStore store(&ds, cfg);
+  CostMeter scratch;
+  for (const std::string& p : resident_partitions) {
+    const TermId id = ds.dict().Lookup(p);
+    ASSERT_NE(id, rdf::kInvalidTermId) << p;
+    ASSERT_TRUE(store.MigratePartition(id, &scratch).ok()) << p;
+  }
+  for (uint64_t k = 0; k <= log.size(); ++k) {
+    std::vector<std::string> per_query;
+    for (const Query& q : queries) {
+      auto exec = store.Process(q);
+      ASSERT_TRUE(exec.ok()) << exec.status();
+      per_query.push_back(Canon(exec->result, store.dict()));
+    }
+    oracle->push_back(std::move(per_query));
+    if (k < log.size()) {
+      auto applied = store.ApplyUpdates(log.at(k), &scratch);
+      ASSERT_TRUE(applied.ok()) << applied.status();
+    }
+  }
+}
+
+/// Runs readers hammering `store` with `queries` while this thread (the
+/// single applier) publishes `log`, then asserts every observed result
+/// matches some batch-prefix snapshot in `oracle`.
+void RunConcurrentEquivalence(
+    const rdf::Dataset& base, const DualStoreConfig& cfg,
+    const std::vector<Query>& queries, const UpdateLog& log,
+    const std::vector<std::string>& resident_partitions = {}) {
+  std::vector<std::vector<std::string>> oracle;
+  BuildSnapshotOracle(base, cfg, queries, log, resident_partitions, &oracle);
+  ASSERT_EQ(oracle.size(), log.size() + 1);
+
+  OnlineStore store(base, cfg);
+  if (!resident_partitions.empty()) {
+    ASSERT_TRUE(store
+                    .TuneExclusive([&](DualStore* s) {
+                      CostMeter scratch;
+                      for (const std::string& p : resident_partitions) {
+                        DSKG_RETURN_NOT_OK(s->MigratePartition(
+                            s->dict().Lookup(p), &scratch));
+                      }
+                      return Status::OK();
+                    })
+                    .ok());
+  }
+
+  struct Observation {
+    size_t query = 0;
+    std::string canon;
+  };
+  std::atomic<bool> stop{false};
+  const int kReaders = 4;
+  std::vector<std::vector<Observation>> observed(kReaders);
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      size_t qi = static_cast<size_t>(r);  // staggered start
+      while (!stop.load(std::memory_order_acquire)) {
+        qi = (qi + 1) % queries.size();
+        OnlineStore::ReadGuard guard = store.Read();
+        auto exec = guard.store().Process(queries[qi]);
+        if (!exec.ok()) {
+          observed[r].push_back({qi, "ERROR: " + exec.status().ToString()});
+          return;
+        }
+        observed[r].push_back(
+            {qi, Canon(exec->result, guard.store().dict())});
+      }
+    });
+  }
+
+  CostMeter update_meter;
+  for (uint64_t k = 0; k < log.size(); ++k) {
+    auto applied = store.ApplyUpdates(log.at(k), &update_meter);
+    ASSERT_TRUE(applied.ok()) << applied.status();
+    // Give readers a slice of every snapshot (not required for
+    // correctness — only for coverage of intermediate prefixes).
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  size_t total = 0;
+  for (int r = 0; r < kReaders; ++r) {
+    for (const Observation& ob : observed[r]) {
+      ++total;
+      const bool matches_some_prefix = [&] {
+        for (uint64_t k = 0; k <= log.size(); ++k) {
+          if (oracle[k][ob.query] == ob.canon) return true;
+        }
+        return false;
+      }();
+      ASSERT_TRUE(matches_some_prefix)
+          << "reader " << r << " query " << ob.query
+          << " saw a result matching no serial snapshot:\n  " << ob.canon;
+    }
+  }
+  EXPECT_GT(total, 0u);
+
+  // Final convergence: the active replica equals the all-batches serial
+  // snapshot; after an empty-batch publish (which swaps replicas), so
+  // does the other one — i.e. left and right converged identically.
+  for (int swap = 0; swap < 2; ++swap) {
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      OnlineStore::ReadGuard guard = store.Read();
+      auto exec = guard.store().Process(queries[qi]);
+      ASSERT_TRUE(exec.ok()) << exec.status();
+      EXPECT_EQ(Canon(exec->result, guard.store().dict()),
+                oracle[log.size()][qi])
+          << "query " << qi << " after " << swap << " swaps";
+    }
+    ASSERT_TRUE(store.ApplyUpdates(UpdateBatch{}, &update_meter).ok());
+  }
+}
+
+// ---- DualStore::ApplyUpdates unit tests -----------------------------------
+
+class ApplyUpdatesTest : public ::testing::Test {
+ protected:
+  ApplyUpdatesTest() : ds_(testing::SmallPeopleGraph()) {
+    DualStoreConfig cfg;
+    cfg.graph_capacity_triples = 8;
+    store_ = std::make_unique<DualStore>(&ds_, cfg);
+  }
+
+  TermId Id(const std::string& term) { return ds_.dict().Lookup(term); }
+
+  rdf::Dataset ds_;
+  std::unique_ptr<DualStore> store_;
+};
+
+TEST_F(ApplyUpdatesTest, InsertAndDeleteKeepTableAndDatasetAligned) {
+  const uint64_t before = store_->table().size();
+  UpdateBatch batch;
+  batch.ops.push_back(UpdateOp::Insert("eve", "bornIn", "berlin"));
+  batch.ops.push_back(UpdateOp::Insert("alice", "bornIn", "berlin"));  // dup
+  batch.ops.push_back(UpdateOp::Delete("dave", "likes", "film2"));
+  batch.ops.push_back(UpdateOp::Delete("zed", "foo", "bar"));  // unknown
+  CostMeter meter;
+  auto res = store_->ApplyUpdates(batch, &meter);
+  ASSERT_TRUE(res.ok()) << res.status();
+  EXPECT_EQ(res->inserted, 1u);
+  EXPECT_EQ(res->deleted, 1u);
+  EXPECT_EQ(store_->table().size(), before);  // +1 -1
+  EXPECT_EQ(ds_.num_triples(), before);
+  EXPECT_EQ(meter.count(Op::kInsertTuple), 1u);
+  EXPECT_EQ(meter.count(Op::kRemoveTuple), 1u);
+
+  auto gone = store_->Process("SELECT ?f WHERE { dave likes ?f . }");
+  ASSERT_TRUE(gone.ok());
+  EXPECT_TRUE(gone->result.rows.empty());
+  auto there = store_->Process("SELECT ?p WHERE { ?p bornIn berlin . }");
+  ASSERT_TRUE(there.ok());
+  EXPECT_EQ(there->result.rows.size(), 3u);  // alice, bob, eve
+}
+
+TEST_F(ApplyUpdatesTest, StatsDecayExactlyOnDelete) {
+  const TermId born_in = Id("bornIn");
+  const auto before = store_->table().StatsOf(born_in);
+  EXPECT_EQ(before.num_triples, 4u);
+  EXPECT_EQ(before.num_distinct_objects, 2u);  // berlin, paris
+
+  UpdateBatch batch;
+  batch.ops.push_back(UpdateOp::Delete("carol", "bornIn", "paris"));
+  batch.ops.push_back(UpdateOp::Delete("dave", "bornIn", "paris"));
+  ASSERT_TRUE(store_->ApplyUpdates(batch).ok());
+
+  const auto after = store_->table().StatsOf(born_in);
+  EXPECT_EQ(after.num_triples, 2u);
+  EXPECT_EQ(after.num_distinct_subjects, 2u);  // alice, bob
+  EXPECT_EQ(after.num_distinct_objects, 1u);   // paris fully gone
+}
+
+TEST_F(ApplyUpdatesTest, DeleteThenReinsertWithinOneBatch) {
+  UpdateBatch batch;
+  batch.ops.push_back(UpdateOp::Delete("alice", "likes", "film1"));
+  batch.ops.push_back(UpdateOp::Insert("alice", "likes", "film1"));
+  batch.ops.push_back(UpdateOp::Insert("gina", "bornIn", "paris"));
+  batch.ops.push_back(UpdateOp::Delete("gina", "bornIn", "paris"));
+  const uint64_t triples_before = ds_.num_triples();
+  auto res = store_->ApplyUpdates(batch);
+  ASSERT_TRUE(res.ok()) << res.status();
+  EXPECT_EQ(ds_.num_triples(), triples_before);
+  CostMeter meter;
+  EXPECT_TRUE(store_->table().Contains(
+      {Id("alice"), Id("likes"), Id("film1")}, &meter));
+  EXPECT_EQ(ds_.dict().Lookup("gina"), rdf::kInvalidTermId);  // reclaimed
+}
+
+TEST_F(ApplyUpdatesTest, ResidentGraphPartitionIsMaintained) {
+  CostMeter meter;
+  ASSERT_TRUE(store_->MigratePartition(Id("likes"), &meter).ok());
+  EXPECT_EQ(store_->graph().PartitionTriples(Id("likes")), 4u);
+
+  UpdateBatch batch;
+  batch.ops.push_back(UpdateOp::Insert("eve", "likes", "film2"));
+  batch.ops.push_back(UpdateOp::Delete("bob", "likes", "film1"));
+  auto res = store_->ApplyUpdates(batch, &meter);
+  ASSERT_TRUE(res.ok()) << res.status();
+  EXPECT_EQ(res->graph_maintained, 2u);
+  EXPECT_EQ(store_->graph().PartitionTriples(Id("likes")), 4u);  // +1 -1
+
+  // The graph copy answers with the new knowledge (Case 1 route).
+  auto exec = store_->Process("SELECT ?p WHERE { ?p likes film2 . }");
+  ASSERT_TRUE(exec.ok());
+  EXPECT_EQ(exec->result.rows.size(), 3u);  // carol, dave, eve
+}
+
+TEST_F(ApplyUpdatesTest, DictionaryReclaimsAndRecyclesTerms) {
+  rdf::Dictionary& dict = ds_.mutable_dict();
+  const TermId film2 = Id("film2");
+  const TermId comedy = Id("comedy");
+  EXPECT_GT(dict.RefCount(film2), 0u);
+
+  UpdateBatch batch;
+  batch.ops.push_back(UpdateOp::Delete("carol", "likes", "film2"));
+  batch.ops.push_back(UpdateOp::Delete("dave", "likes", "film2"));
+  batch.ops.push_back(UpdateOp::Delete("film2", "genre", "comedy"));
+  ASSERT_TRUE(store_->ApplyUpdates(batch).ok());
+  // film2 and comedy lost their last uses: both forgotten and reclaimed.
+  EXPECT_EQ(dict.Lookup("film2"), rdf::kInvalidTermId);
+  EXPECT_EQ(dict.Lookup("comedy"), rdf::kInvalidTermId);
+  EXPECT_EQ(dict.RefCount(film2), 0u);
+  EXPECT_EQ(dict.free_ids(), 2u);
+
+  // Freed ids are recycled LIFO by fresh interns (comedy was freed last).
+  UpdateBatch next;
+  next.ops.push_back(UpdateOp::Insert("alice", "likes", "film3"));
+  ASSERT_TRUE(store_->ApplyUpdates(next).ok());
+  EXPECT_EQ(dict.Lookup("film3"), comedy);
+  auto exec = store_->Process("SELECT ?p WHERE { ?p likes film3 . }");
+  ASSERT_TRUE(exec.ok());
+  EXPECT_EQ(exec->result.rows.size(), 1u);
+}
+
+TEST(ApplyUpdatesViewsTest, TouchedPredicatesInvalidateViews) {
+  rdf::Dataset ds = testing::SmallPeopleGraph();
+  DualStoreConfig cfg;
+  cfg.use_graph = false;
+  cfg.use_views = true;
+  cfg.views_budget_rows = 100;
+  DualStore store(&ds, cfg);
+
+  CostMeter meter;
+  const Query vq = Parse(
+      "SELECT ?p ?c WHERE { ?p bornIn ?c . ?p advisor ?a . ?a bornIn ?c . }");
+  ASSERT_TRUE(store.views()->CreateView(vq, &meter).ok());
+  const Query other = Parse("SELECT ?p ?f WHERE { ?p likes ?f . }");
+  ASSERT_TRUE(store.views()->CreateView(other, &meter).ok());
+  ASSERT_EQ(store.views()->num_views(), 2u);
+
+  UpdateBatch batch;
+  batch.ops.push_back(UpdateOp::Insert("eve", "advisor", "alice"));
+  auto res = store.ApplyUpdates(batch, &meter);
+  ASSERT_TRUE(res.ok()) << res.status();
+  EXPECT_EQ(res->views_dropped, 1u);  // advisor view gone, likes view kept
+  EXPECT_EQ(store.views()->num_views(), 1u);
+  EXPECT_TRUE(store.views()->HasViewFor(other.patterns));
+}
+
+// ---- OnlineStore: snapshot equivalence under concurrency ------------------
+
+std::vector<Query> SmallQueries() {
+  return {
+      Parse("SELECT ?p WHERE { ?p bornIn ?c . ?p advisor ?a . "
+            "?a bornIn ?c . }"),
+      Parse("SELECT ?p ?f WHERE { ?p likes ?f . ?f genre drama . }"),
+      Parse("SELECT ?s WHERE { ?s bornIn berlin . }"),
+      Parse("SELECT ?x ?y WHERE { ?x advisor ?y . ?y likes ?f . }"),
+      Parse("SELECT ?p WHERE { ?p bornIn paris . ?p likes ?f . "
+            "?f genre comedy . }"),
+  };
+}
+
+UpdateLog SmallLog() {
+  UpdateLog log;
+  {
+    UpdateBatch b;
+    b.ops.push_back(UpdateOp::Insert("eve", "bornIn", "berlin"));
+    b.ops.push_back(UpdateOp::Insert("eve", "likes", "film1"));
+    b.ops.push_back(UpdateOp::Delete("alice", "likes", "film1"));
+    log.Append(std::move(b));
+  }
+  {
+    UpdateBatch b;
+    b.ops.push_back(UpdateOp::Delete("eve", "bornIn", "berlin"));
+    b.ops.push_back(UpdateOp::Insert("frank", "advisor", "alice"));
+    b.ops.push_back(UpdateOp::Insert("frank", "bornIn", "berlin"));
+    b.ops.push_back(UpdateOp::Insert("frank", "likes", "film2"));
+    log.Append(std::move(b));
+  }
+  {
+    UpdateBatch b;
+    b.ops.push_back(UpdateOp::Delete("carol", "advisor", "alice"));
+    b.ops.push_back(UpdateOp::Insert("carol", "advisor", "alice"));
+    b.ops.push_back(UpdateOp::Insert("gina", "bornIn", "paris"));
+    b.ops.push_back(UpdateOp::Delete("gina", "bornIn", "paris"));
+    b.ops.push_back(UpdateOp::Delete("dave", "likes", "film2"));
+    log.Append(std::move(b));
+  }
+  {
+    UpdateBatch b;
+    b.ops.push_back(UpdateOp::Insert("alice", "likes", "film1"));
+    b.ops.push_back(UpdateOp::Delete("film1", "genre", "drama"));
+    log.Append(std::move(b));
+  }
+  return log;
+}
+
+TEST(OnlineEquivalenceTest, SmallPeopleGraphRelationalOnly) {
+  DualStoreConfig cfg;
+  cfg.use_graph = false;
+  RunConcurrentEquivalence(testing::SmallPeopleGraph(), cfg, SmallQueries(),
+                           SmallLog());
+}
+
+TEST(OnlineEquivalenceTest, SmallPeopleGraphWithResidentPartitions) {
+  DualStoreConfig cfg;
+  cfg.graph_capacity_triples = 16;
+  RunConcurrentEquivalence(testing::SmallPeopleGraph(), cfg, SmallQueries(),
+                           SmallLog(), {"likes", "genre"});
+}
+
+TEST(OnlineEquivalenceTest, RandomizedYagoStream) {
+  workload::YagoConfig gen;
+  gen.target_triples = 6000;
+  rdf::Dataset ds = workload::GenerateYago(gen);
+
+  // Queries: the YAGO templates plus random BGPs anchored on the data.
+  workload::WorkloadBuilder builder(&ds);
+  auto w = builder.Build("yago", workload::YagoTemplates(), {});
+  ASSERT_TRUE(w.ok()) << w.status();
+  std::vector<Query> queries;
+  for (size_t i = 0; i < w->queries.size() && queries.size() < 6; i += 3) {
+    queries.push_back(w->queries[i].query);
+  }
+  Rng rng(13);
+  for (int i = 0; i < 6; ++i) {
+    queries.push_back(testing::RandomBgp(ds, &rng));
+  }
+
+  workload::UpdateStreamConfig uc;
+  uc.seed = 99;
+  uc.num_batches = 4;
+  uc.ops_per_batch = 250;
+  uc.insert_fraction = 0.6;
+  const UpdateLog log = workload::GenerateUpdateStream(ds, uc);
+  ASSERT_EQ(log.size(), 4u);
+
+  DualStoreConfig cfg;
+  cfg.graph_capacity_triples = ds.num_triples();  // roomy: no eviction noise
+  RunConcurrentEquivalence(ds, cfg, queries, log, {"y:wasBornIn"});
+}
+
+// ---- WorkloadRunner::RunOnline --------------------------------------------
+
+TEST(RunOnlineTest, InterleavesUpdatesAndRetunesOnDrift) {
+  workload::YagoConfig gen;
+  gen.target_triples = 8000;
+  rdf::Dataset ds = workload::GenerateYago(gen);
+  workload::WorkloadBuilder builder(&ds);
+  auto w = builder.Build("yago", workload::YagoTemplates(), {});
+  ASSERT_TRUE(w.ok()) << w.status();
+
+  DualStoreConfig cfg;
+  cfg.graph_capacity_triples = ds.num_triples() / 4;
+  OnlineStore store(ds, cfg);
+
+  workload::UpdateStreamConfig uc;
+  uc.num_batches = 5;
+  uc.ops_per_batch = 400;
+  const UpdateLog updates = workload::GenerateUpdateStream(ds, uc);
+
+  DotilTuner tuner;
+  WorkloadRunner runner(/*store=*/nullptr, &tuner);
+  OnlineRunOptions opt;
+  opt.num_batches = 5;
+  opt.drift_threshold = 0.0;  // re-tune after every window
+  ThreadPool pool(4);
+  auto m = runner.RunOnline(&store, *w, updates, opt, &pool);
+  ASSERT_TRUE(m.ok()) << m.status();
+  ASSERT_EQ(m->batches.size(), 5u);
+  EXPECT_GT(m->TotalTtiMicros(), 0.0);
+  EXPECT_GT(m->TotalUpdateMicros(), 0.0);
+  EXPECT_GT(m->TotalInserted(), 0u);
+  EXPECT_GT(m->TotalDeleted(), 0u);
+  EXPECT_EQ(m->Retunes(), 5);  // threshold 0: every window re-tunes
+  EXPECT_EQ(store.applied_batches(), updates.size());
+  size_t traced_queries = 0;
+  for (const OnlineBatchMetrics& b : m->batches) {
+    traced_queries += b.queries.size();
+  }
+  EXPECT_EQ(traced_queries, w->queries.size());
+}
+
+TEST(RunOnlineTest, SerialPathAndDisabledTuningWork) {
+  rdf::Dataset ds = testing::SmallPeopleGraph();
+  DualStoreConfig cfg;
+  cfg.use_graph = false;
+  OnlineStore store(ds, cfg);
+
+  workload::Workload w;
+  w.name = "small";
+  for (const Query& q : SmallQueries()) {
+    workload::WorkloadQuery wq;
+    wq.query = q;
+    w.queries.push_back(std::move(wq));
+  }
+  const UpdateLog log = SmallLog();
+
+  WorkloadRunner runner(/*store=*/nullptr, /*tuner=*/nullptr);
+  OnlineRunOptions opt;
+  opt.num_batches = 2;
+  auto m = runner.RunOnline(&store, w, log, opt, /*pool=*/nullptr);
+  ASSERT_TRUE(m.ok()) << m.status();
+  ASSERT_EQ(m->batches.size(), 2u);
+  EXPECT_EQ(m->Retunes(), 0);
+  EXPECT_EQ(store.applied_batches(), log.size());
+}
+
+}  // namespace
+}  // namespace dskg::core

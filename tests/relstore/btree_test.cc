@@ -5,6 +5,7 @@
 
 #include <array>
 #include <set>
+#include <vector>
 
 #include "common/rng.h"
 #include "relstore/btree.h"
@@ -129,6 +130,146 @@ TEST_P(BTreeDifferentialTest, MatchesStdSetUnderRandomOps) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BTreeDifferentialTest,
                          ::testing::Values(1, 2, 3, 4, 5, 99, 1234));
+
+// ---- targeted erase/underflow coverage ------------------------------------
+
+TEST(BPlusTree, EraseDrainsLeafThroughUnderflow) {
+  // One split (65 keys -> two leaves), then drain one side far below
+  // kMinKeys: every key must stay reachable by Contains, iteration and
+  // LowerBound while borrow/merge rebalancing runs underneath.
+  BPlusTree<Key> tree;
+  const uint64_t n = BPlusTree<Key>::kMaxKeys + 1;
+  for (uint64_t i = 0; i < n; ++i) tree.Insert({i, 0, 0});
+  EXPECT_EQ(tree.height(), 2);
+  for (uint64_t i = 0; i < n; i += 2) {
+    ASSERT_TRUE(tree.Erase({i, 0, 0})) << i;
+  }
+  EXPECT_EQ(tree.size(), n / 2);
+  for (uint64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(tree.Contains({i, 0, 0}), i % 2 == 1) << i;
+  }
+  size_t count = 0;
+  for (auto it = tree.Begin(); !it.AtEnd(); ++it) ++count;
+  EXPECT_EQ(count, n / 2);
+}
+
+TEST(BPlusTree, EraseMergesBackToSingleLeaf) {
+  // Deleting all but one key must collapse every level: the tree ends as
+  // a single near-empty root leaf, not a chain of hollow inner nodes.
+  BPlusTree<Key> tree;
+  for (uint64_t i = 0; i < 1000; ++i) tree.Insert({i, i, i});
+  const int grown_height = tree.height();
+  EXPECT_GT(grown_height, 1);
+  for (uint64_t i = 0; i < 999; ++i) {
+    ASSERT_TRUE(tree.Erase({i, i, i})) << i;
+  }
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(tree.Contains({999, 999, 999}));
+  EXPECT_TRUE(tree.Erase({999, 999, 999}));
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.Begin().AtEnd());
+}
+
+TEST(BPlusTree, BorrowKeepsLeafChainScansExact) {
+  // Interleaved deletes force both borrow directions and leaf merges;
+  // the linked-leaf scan from any lower bound must stay gap-free and
+  // sorted (this is the range-scan path queries use).
+  BPlusTree<Key> tree;
+  std::set<Key> reference;
+  const uint64_t n = 500;
+  for (uint64_t i = 0; i < n; ++i) {
+    tree.Insert({i, 1, 2});
+    reference.insert({i, 1, 2});
+  }
+  Rng rng(21);
+  for (int round = 0; round < 400; ++round) {
+    Key k{rng.NextBounded(n), 1, 2};
+    tree.Erase(k);
+    reference.erase(k);
+    const Key lo{rng.NextBounded(n), 0, 0};
+    auto it = tree.LowerBound(lo);
+    for (auto ref = reference.lower_bound(lo); ref != reference.end();
+         ++ref, ++it) {
+      ASSERT_FALSE(it.AtEnd());
+      ASSERT_EQ(*it, *ref);
+    }
+    EXPECT_TRUE(it.AtEnd());
+  }
+}
+
+TEST(BPlusTree, ShardStartsStayExactAfterDeletions) {
+  // ShardStarts partitions a prefix range on leaf boundaries; after heavy
+  // deletion the chosen boundaries must still cover exactly the surviving
+  // range keys, in order, with no shard starting on a vanished key.
+  BPlusTree<Key> tree;
+  for (uint64_t p = 1; p <= 3; ++p) {
+    for (uint64_t i = 0; i < 300; ++i) tree.Insert({p, i, 0});
+  }
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    tree.Erase({2, rng.NextBounded(300), 0});
+  }
+  std::set<Key> survivors;
+  for (auto it = tree.Begin(); !it.AtEnd(); ++it) {
+    if ((*it)[0] == 2) survivors.insert(*it);
+  }
+  ASSERT_FALSE(survivors.empty());
+  const auto within = [](const Key& k) { return k[0] == 2; };
+  for (int max_shards : {1, 2, 4, 7, 64}) {
+    const std::vector<Key> starts =
+        tree.ShardStarts({2, 0, 0}, max_shards, within);
+    ASSERT_FALSE(starts.empty());
+    EXPECT_EQ(starts.front(), *survivors.begin());
+    // Starts are strictly ascending, live keys inside the range.
+    for (size_t s = 0; s < starts.size(); ++s) {
+      EXPECT_TRUE(survivors.count(starts[s]) > 0);
+      if (s > 0) EXPECT_LT(starts[s - 1], starts[s]);
+    }
+    // Walking shard by shard reproduces the survivors exactly.
+    std::vector<Key> walked;
+    for (size_t s = 0; s < starts.size(); ++s) {
+      for (auto it = tree.LowerBound(starts[s]); !it.AtEnd(); ++it) {
+        if (!within(*it)) break;
+        if (s + 1 < starts.size() && !((*it) < starts[s + 1])) break;
+        walked.push_back(*it);
+      }
+    }
+    EXPECT_EQ(walked, std::vector<Key>(survivors.begin(), survivors.end()));
+  }
+}
+
+TEST(BPlusTree, DeleteThenReinsertCycles) {
+  // The online workload's steady state: sustained churn at constant size.
+  BPlusTree<Key> tree;
+  std::set<Key> reference;
+  Rng rng(77);
+  for (uint64_t i = 0; i < 300; ++i) {
+    Key k{rng.NextBounded(1000), 0, 0};
+    tree.Insert(k);
+    reference.insert(k);
+  }
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    // Delete ~half, then refill to the same size.
+    std::vector<Key> doomed;
+    for (const Key& k : reference) {
+      if (rng.NextBool(0.5)) doomed.push_back(k);
+    }
+    for (const Key& k : doomed) {
+      ASSERT_TRUE(tree.Erase(k));
+      reference.erase(k);
+    }
+    while (reference.size() < 300) {
+      Key k{rng.NextBounded(1000), rng.NextBounded(4), 0};
+      EXPECT_EQ(tree.Insert(k), reference.insert(k).second);
+    }
+    ASSERT_EQ(tree.size(), reference.size());
+  }
+  auto rit = reference.begin();
+  for (auto it = tree.Begin(); !it.AtEnd(); ++it, ++rit) {
+    ASSERT_EQ(*it, *rit);
+  }
+}
 
 TEST(BPlusTree, SequentialAndReverseInsertions) {
   for (bool reverse : {false, true}) {
