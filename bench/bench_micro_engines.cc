@@ -1,110 +1,273 @@
-// Google-benchmark microbenchmarks for the engine primitives (wall-clock,
-// unlike the table/figure reproductions which report simulated time).
-// Useful for spotting real performance regressions in the substrates.
+// Wall-clock microbenchmarks for the engine primitives, unlike the
+// table/figure reproductions which report simulated time. Useful for
+// spotting real performance regressions in the substrates, and the
+// canonical place the columnar-pipeline perf trajectory is recorded.
+//
+// Unlike the simulated benches, numbers here are machine-dependent; the
+// BENCH_micro_engines.json trajectory should be compared across PRs on
+// the same machine only. Sections:
+//
+//   * btree_insert / btree_lower_bound — index substrate primitives;
+//   * parse_flagship — parser throughput on the flagship complex query;
+//   * rel_flagship / graph_flagship — one complex query, both engines;
+//   * rel_complex_mix / graph_complex_mix — a whole complex-query
+//     workload (WatDiv-C resp. YAGO templates) through each engine: the
+//     large-selectivity mix whose intermediate-row materialization the
+//     slot-compiled columnar pipeline targets.
+//
+// Scale with DSKG_BENCH_SCALE as usual (>= 8.4 pushes YAGO past 1M
+// triples). Run with `--json out.json` for the machine-readable record
+// (wall_ms / peak_rss_kb are appended to every row automatically).
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_util.h"
 #include "core/dual_store.h"
+#include "graphstore/matcher.h"
 #include "relstore/btree.h"
+#include "relstore/executor.h"
 #include "sparql/parser.h"
 #include "workload/generators.h"
 
-namespace dskg {
+namespace dskg::bench {
 namespace {
 
-using BenchKey = std::array<uint64_t, 3>;
+constexpr const char* kFlagship =
+    "SELECT ?p WHERE { ?p y:wasBornIn ?city . "
+    "?p y:hasAcademicAdvisor ?a . ?a y:wasBornIn ?city . }";
 
-void BM_BTreeInsert(benchmark::State& state) {
-  const auto n = static_cast<uint64_t>(state.range(0));
-  for (auto _ : state) {
-    relstore::BPlusTree<BenchKey> tree;
-    for (uint64_t i = 0; i < n; ++i) {
-      tree.Insert({i * 2654435761u % n, i, i ^ 0x5bd1e995u});
-    }
-    benchmark::DoNotOptimize(tree.size());
+/// Runs `body` repeatedly until ~min_ms of wall time or max_iters passes,
+/// whichever comes first, and returns (iterations, total milliseconds).
+template <typename Fn>
+std::pair<uint64_t, double> TimeLoop(Fn&& body, double min_ms = 300.0,
+                                     uint64_t max_iters = 1u << 22) {
+  using Clock = std::chrono::steady_clock;
+  uint64_t iters = 0;
+  const auto start = Clock::now();
+  double elapsed_ms = 0.0;
+  while (iters < max_iters) {
+    body();
+    ++iters;
+    elapsed_ms = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                           start)
+                     .count();
+    if (elapsed_ms >= min_ms) break;
   }
-  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+  return {iters, elapsed_ms};
 }
-BENCHMARK(BM_BTreeInsert)->Arg(1000)->Arg(10000)->Arg(100000);
 
-void BM_BTreeLowerBound(benchmark::State& state) {
-  const auto n = static_cast<uint64_t>(state.range(0));
-  relstore::BPlusTree<BenchKey> tree;
-  for (uint64_t i = 0; i < n; ++i) tree.Insert({i, i, i});
-  uint64_t q = 0;
-  for (auto _ : state) {
-    auto it = tree.LowerBound({q % n, 0, 0});
-    benchmark::DoNotOptimize(it.AtEnd());
-    ++q;
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_BTreeLowerBound)->Arg(100000);
-
-void BM_ParseFlagship(benchmark::State& state) {
-  constexpr const char* kText =
-      "SELECT ?p WHERE { ?p y:wasBornIn ?city . "
-      "?p y:hasAcademicAdvisor ?a . ?a y:wasBornIn ?city . }";
-  for (auto _ : state) {
-    auto q = sparql::Parser::Parse(kText);
-    benchmark::DoNotOptimize(q.ok());
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_ParseFlagship);
-
-/// Shared fixture state: one dataset + dual store per process.
-struct FlagshipFixture {
-  FlagshipFixture() {
-    workload::YagoConfig cfg;
-    cfg.target_triples = 60000;
-    ds = workload::GenerateYago(cfg);
-    core::DualStoreConfig sc;
-    store = std::make_unique<core::DualStore>(&ds, sc);
-    CostMeter meter;
-    (void)store->MigratePartition(ds.dict().Lookup("y:wasBornIn"), &meter);
-    (void)store->MigratePartition(ds.dict().Lookup("y:hasAcademicAdvisor"),
-                                  &meter);
-  }
-  rdf::Dataset ds;
-  std::unique_ptr<core::DualStore> store;
+struct Section {
+  std::string name;
+  uint64_t iters = 0;
+  double total_ms = 0.0;
+  double per_iter_us = 0.0;
+  uint64_t work_items = 0;  // section-specific unit (keys, queries, rows)
 };
 
-FlagshipFixture& Fixture() {
-  static FlagshipFixture fixture;
-  return fixture;
+void Report(JsonReporter* json, std::vector<Section>* all, Section s) {
+  s.per_iter_us = s.iters > 0 ? s.total_ms * 1000.0 / static_cast<double>(
+                                                         s.iters)
+                              : 0.0;
+  std::printf("%-22s %10llu iters %12.2f ms total %12.3f us/iter\n",
+              s.name.c_str(), static_cast<unsigned long long>(s.iters),
+              s.total_ms, s.per_iter_us);
+  json->Row("micro", {{"name", s.name},
+                      {"iters", s.iters},
+                      {"total_ms", s.total_ms},
+                      {"per_iter_us", s.per_iter_us},
+                      {"work_items", s.work_items}});
+  all->push_back(std::move(s));
 }
 
-void BM_RelationalFlagship(benchmark::State& state) {
-  auto& f = Fixture();
-  sparql::Query q = sparql::Parser::Parse(
-                        "SELECT ?p WHERE { ?p y:wasBornIn ?city . "
-                        "?p y:hasAcademicAdvisor ?a . "
-                        "?a y:wasBornIn ?city . }")
-                        .ValueOrDie();
-  relstore::Executor ex(&f.store->table(), &f.ds.dict());
-  for (auto _ : state) {
-    CostMeter meter;
-    auto r = ex.Execute(q, &meter);
-    benchmark::DoNotOptimize(r.ok());
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_RelationalFlagship);
+void Run(JsonReporter* json) {
+  std::vector<Section> sections;
+  std::printf("Engine microbenchmarks (wall clock, DSKG_BENCH_SCALE=%.2f)\n",
+              ScaleFactor());
+  Rule();
 
-void BM_GraphFlagship(benchmark::State& state) {
-  auto& f = Fixture();
-  for (auto _ : state) {
-    auto r = f.store->Process(
-        "SELECT ?p WHERE { ?p y:wasBornIn ?city . "
-        "?p y:hasAcademicAdvisor ?a . ?a y:wasBornIn ?city . }");
-    benchmark::DoNotOptimize(r.ok());
+  // ---- index substrate ----------------------------------------------------
+  {
+    using BenchKey = std::array<uint64_t, 3>;
+    constexpr uint64_t kN = 100000;
+    uint64_t sink = 0;
+    auto [iters, ms] = TimeLoop(
+        [&] {
+          relstore::BPlusTree<BenchKey> tree;
+          for (uint64_t i = 0; i < kN; ++i) {
+            tree.Insert({i * 2654435761u % kN, i, i ^ 0x5bd1e995u});
+          }
+          sink += tree.size();
+        },
+        300.0, 64);
+    Report(json, &sections,
+           {"btree_insert_100k", iters, ms, 0.0, kN * iters + (sink & 1)});
   }
-  state.SetItemsProcessed(state.iterations());
+  {
+    using BenchKey = std::array<uint64_t, 3>;
+    constexpr uint64_t kN = 100000;
+    relstore::BPlusTree<BenchKey> tree;
+    for (uint64_t i = 0; i < kN; ++i) tree.Insert({i, i, i});
+    uint64_t q = 0;
+    uint64_t sink = 0;
+    auto [iters, ms] = TimeLoop([&] {
+      auto it = tree.LowerBound({q % kN, 0, 0});
+      sink += it.AtEnd() ? 0 : 1;
+      ++q;
+    });
+    Report(json, &sections,
+           {"btree_lower_bound", iters, ms, 0.0, sink});
+  }
+
+  // ---- parser -------------------------------------------------------------
+  {
+    uint64_t ok = 0;
+    auto [iters, ms] = TimeLoop([&] {
+      auto q = sparql::Parser::Parse(kFlagship);
+      ok += q.ok() ? 1 : 0;
+    });
+    Report(json, &sections, {"parse_flagship", iters, ms, 0.0, ok});
+  }
+
+  // ---- flagship query, both engines --------------------------------------
+  {
+    workload::YagoConfig cfg;
+    cfg.target_triples = Scaled(60000);
+    rdf::Dataset ds = workload::GenerateYago(cfg);
+    core::DualStoreConfig sc;
+    core::DualStore store(&ds, sc);
+    CostMeter load;
+    (void)store.MigratePartition(ds.dict().Lookup("y:wasBornIn"), &load);
+    (void)store.MigratePartition(ds.dict().Lookup("y:hasAcademicAdvisor"),
+                                 &load);
+    const sparql::Query flagship =
+        sparql::Parser::Parse(kFlagship).ValueOrDie();
+    relstore::Executor ex(&store.table(), &ds.dict());
+    {
+      uint64_t rows = 0;
+      auto [iters, ms] = TimeLoop(
+          [&] {
+            CostMeter meter;
+            auto r = ex.Execute(flagship, &meter);
+            rows += r.ok() ? r->NumRows() : 0;
+          },
+          500.0, 1u << 14);
+      Report(json, &sections, {"rel_flagship", iters, ms, 0.0, rows});
+    }
+    {
+      uint64_t rows = 0;
+      auto [iters, ms] = TimeLoop(
+          [&] {
+            auto r = store.Process(flagship);
+            rows += r.ok() ? r->result.NumRows() : 0;
+          },
+          500.0, 1u << 14);
+      Report(json, &sections, {"graph_flagship", iters, ms, 0.0, rows});
+    }
+  }
+
+  // ---- complex-query mix, relational engine -------------------------------
+  // The paper's large-selectivity complex workload (WatDiv-C): every query
+  // through the row-store pipeline. This is the section the slot-compiled
+  // columnar refactor targets.
+  {
+    rdf::Dataset ds = MakeDataset(WorkloadKind::kWatDivC);
+    workload::Workload w =
+        MakeWorkload(WorkloadKind::kWatDivC, ds, /*ordered=*/true);
+    core::DualStoreConfig sc;
+    sc.use_graph = false;
+    core::DualStore store(&ds, sc);
+    relstore::Executor ex(&store.table(), &ds.dict());
+    uint64_t rows = 0;
+    auto [iters, ms] = TimeLoop(
+        [&] {
+          for (const workload::WorkloadQuery& wq : w.queries) {
+            CostMeter meter;
+            auto r = ex.Execute(wq.query, &meter);
+            rows += r.ok() ? r->NumRows() : 0;
+          }
+        },
+        1500.0, 64);
+    Report(json, &sections, {"rel_complex_mix", iters, ms, 0.0, rows});
+    json->Row("mix", {{"engine", "relational"},
+                      {"dataset_triples", ds.num_triples()},
+                      {"queries_per_pass",
+                       static_cast<uint64_t>(w.queries.size())},
+                      {"passes", iters},
+                      {"pass_ms", iters > 0 ? ms / static_cast<double>(iters)
+                                            : 0.0},
+                      {"result_rows", rows}});
+  }
+
+  // ---- complex-query mix, graph engine ------------------------------------
+  // The same YAGO complex templates through the traversal matcher (all
+  // their partitions made resident first).
+  {
+    rdf::Dataset ds = MakeDataset(WorkloadKind::kYago);
+    workload::Workload w =
+        MakeWorkload(WorkloadKind::kYago, ds, /*ordered=*/true);
+    core::DualStoreConfig sc;
+    sc.use_graph = true;
+    sc.graph_capacity_triples = ds.num_triples();
+    core::DualStore store(&ds, sc);
+    CostMeter load;
+    for (const workload::WorkloadQuery& wq : w.queries) {
+      for (const std::string& pred : wq.query.ConstantPredicates()) {
+        const rdf::TermId id = ds.dict().Lookup(pred);
+        if (id != rdf::kInvalidTermId && !store.graph().HasPredicate(id)) {
+          (void)store.MigratePartition(id, &load);
+        }
+      }
+    }
+    graphstore::TraversalMatcher matcher(&store.graph(), &ds.dict());
+    uint64_t rows = 0;
+    uint64_t matched = 0;
+    auto [iters, ms] = TimeLoop(
+        [&] {
+          for (const workload::WorkloadQuery& wq : w.queries) {
+            CostMeter meter;
+            auto r = matcher.Match(wq.query, &meter);
+            if (r.ok()) {
+              rows += r->NumRows();
+              ++matched;
+            }
+          }
+        },
+        1500.0, 64);
+    Report(json, &sections, {"graph_complex_mix", iters, ms, 0.0, rows});
+    // `matched` < queries * passes means some queries errored (e.g. a
+    // template predicate absent at this scale): surface it so trajectory
+    // runs are comparable, and say so on stdout.
+    if (matched != w.queries.size() * iters) {
+      std::printf("  NOTE: graph mix matched %llu of %llu query runs "
+                  "(rest not answerable by the graph store at this "
+                  "scale)\n",
+                  static_cast<unsigned long long>(matched),
+                  static_cast<unsigned long long>(w.queries.size() * iters));
+    }
+    json->Row("mix", {{"engine", "graph"},
+                      {"dataset_triples", ds.num_triples()},
+                      {"queries_per_pass",
+                       static_cast<uint64_t>(w.queries.size())},
+                      {"passes", iters},
+                      {"pass_ms", iters > 0 ? ms / static_cast<double>(iters)
+                                            : 0.0},
+                      {"matched_queries", matched},
+                      {"result_rows", rows}});
+  }
+
+  Rule();
+  std::printf("peak RSS: %llu KiB\n",
+              static_cast<unsigned long long>(PeakRssKb()));
 }
-BENCHMARK(BM_GraphFlagship);
 
 }  // namespace
-}  // namespace dskg
+}  // namespace dskg::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  dskg::bench::JsonReporter json(argc, argv, "micro_engines");
+  dskg::bench::Run(&json);
+  return 0;
+}

@@ -145,7 +145,7 @@ void RunShardedScan(JsonReporter* json) {
                      result.status().ToString().c_str());
         std::abort();
       }
-      rows = result->rows.size();
+      rows = result->NumRows();
       sim = meter.sim_micros();
     }
     const double ms = WallMillis(t0) / reps;

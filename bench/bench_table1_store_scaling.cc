@@ -10,7 +10,11 @@
 // DSKG_BENCH_SCALE). Expected shape: relational latency grows roughly
 // linearly with |G| while graph-store latency stays an order of magnitude
 // smaller throughout.
+//
+// `--json out.json` records the sweep (simulated seconds plus wall-clock
+// and peak-RSS columns) for the BENCH_*.json perf trajectory.
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -30,7 +34,7 @@ constexpr double kPaperMySql[10] = {11.2304, 17.2368, 27.6332, 37.6454,
 constexpr double kPaperNeo4j[10] = {0.6067, 1.3270, 1.5837, 3.3893, 2.2573,
                                     3.4786, 2.7923, 3.4560, 3.7312, 3.9833};
 
-void Run() {
+void Run(JsonReporter* json) {
   std::printf("Table 1: relational vs graph store, flagship complex query\n");
   std::printf("(paper: MySQL / Neo4j at 0.5M-5M triples; measured: DSKG "
               "simulated seconds at 1/10 scale x DSKG_BENCH_SCALE=%.2f)\n\n",
@@ -49,7 +53,12 @@ void Run() {
     core::DualStoreConfig rc;
     rc.use_graph = false;
     core::DualStore rel(&ds, rc);
+    const auto rel_start = std::chrono::steady_clock::now();
     auto r1 = rel.Process(kQuery);
+    const double rel_wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - rel_start)
+            .count();
     if (!r1.ok()) {
       std::fprintf(stderr, "relational run failed: %s\n",
                    r1.status().ToString().c_str());
@@ -69,7 +78,12 @@ void Run() {
         return;
       }
     }
+    const auto graph_start = std::chrono::steady_clock::now();
     auto r2 = dual.Process(kQuery);
+    const double graph_wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - graph_start)
+            .count();
     if (!r2.ok()) {
       std::fprintf(stderr, "graph run failed: %s\n",
                    r2.status().ToString().c_str());
@@ -82,11 +96,19 @@ void Run() {
                 static_cast<unsigned long long>(ds.num_triples()), rel_s,
                 graph_s, kPaperMySql[step - 1], kPaperNeo4j[step - 1],
                 graph_s > 0 ? rel_s / graph_s : 0.0);
-    if (r1->result.rows.size() != r2->result.rows.size()) {
+    if (r1->result.NumRows() != r2->result.NumRows()) {
       std::fprintf(stderr,
                    "WARNING: result mismatch (%zu vs %zu rows) at step %d\n",
-                   r1->result.rows.size(), r2->result.rows.size(), step);
+                   r1->result.NumRows(), r2->result.NumRows(), step);
     }
+    json->Row("table1", {{"step", step},
+                         {"triples", ds.num_triples()},
+                         {"rel_tti_s", rel_s},
+                         {"graph_tti_s", graph_s},
+                         {"result_rows",
+                          static_cast<uint64_t>(r1->result.NumRows())},
+                         {"rel_wall_ms", rel_wall_ms},
+                         {"graph_wall_ms", graph_wall_ms}});
   }
   Rule();
   std::printf("Shape check: relational grows ~linearly in |G|; the graph "
@@ -96,7 +118,8 @@ void Run() {
 }  // namespace
 }  // namespace dskg::bench
 
-int main() {
-  dskg::bench::Run();
+int main(int argc, char** argv) {
+  dskg::bench::JsonReporter json(argc, argv, "table1_store_scaling");
+  dskg::bench::Run(&json);
   return 0;
 }

@@ -13,6 +13,9 @@
 /// to a laptop-scale fraction. Set DSKG_BENCH_SCALE (a float, default
 /// 1.0) to grow or shrink every dataset proportionally.
 
+#include <sys/resource.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -214,6 +217,16 @@ inline void Rule(char c = '-', int n = 78) {
   std::putchar('\n');
 }
 
+/// Peak resident set size of this process in KiB (`ru_maxrss` on Linux).
+/// Monotone over the process lifetime, so per-record values bracket the
+/// high-water mark reached *so far* — the last record of a run carries the
+/// run's peak.
+inline uint64_t PeakRssKb() {
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<uint64_t>(ru.ru_maxrss);
+}
+
 /// Machine-readable bench output. Run any wired bench as
 ///
 ///   ./bench/bench_xyz --json out.json
@@ -224,16 +237,20 @@ inline void Rule(char c = '-', int n = 78) {
 ///    "tables": {"<table>": [{"col": value, ...}, ...], ...}}
 ///
 /// so successive PRs can track a BENCH_*.json perf trajectory with plain
-/// tooling (jq, a spreadsheet, CI artifact diffing). All values are the
+/// tooling (jq, a spreadsheet, CI artifact diffing). Most values are the
 /// same deterministic simulated costs the tables print — wall-clock
-/// numbers should be added as explicitly-named columns ("wall_ms") so
-/// trajectory diffs can ignore them.
+/// numbers live in explicitly-named columns ("wall_ms", "peak_rss_kb") so
+/// trajectory diffs can ignore them. Every record automatically carries
+/// `wall_ms` (monotonic milliseconds since reporter construction) and
+/// `peak_rss_kb` (getrusage high-water mark at record time), so memory
+/// and wall-clock wins land in the BENCH_*.json trajectories alongside
+/// the simulated TTI; a caller-supplied cell with the same key wins.
 class JsonReporter {
  public:
   /// Scans argv for `--json <path>` (or `--json=<path>`); stays disabled
   /// when absent. `name` identifies the bench in the output.
   JsonReporter(int argc, char** argv, std::string name)
-      : name_(std::move(name)) {
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--json" && i + 1 < argc) {
@@ -272,6 +289,20 @@ class JsonReporter {
   /// Appends one row of cells to `table`. No-op when disabled.
   void Row(const std::string& table, std::vector<Cell> cells) {
     if (!enabled()) return;
+    auto has = [&](const char* key) {
+      for (const Cell& c : cells) {
+        if (c.key == key) return true;
+      }
+      return false;
+    };
+    if (!has("wall_ms")) {
+      const double wall_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start_)
+              .count();
+      cells.emplace_back("wall_ms", wall_ms);
+    }
+    if (!has("peak_rss_kb")) cells.emplace_back("peak_rss_kb", PeakRssKb());
     std::string row = "{";
     for (size_t i = 0; i < cells.size(); ++i) {
       if (i > 0) row += ", ";
@@ -318,6 +349,7 @@ class JsonReporter {
   }
 
   std::string name_;
+  std::chrono::steady_clock::time_point start_;
   std::string path_;
   bool flushed_ = false;
   // Ordered so output is deterministic across runs.

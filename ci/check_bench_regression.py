@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Compares a bench --json record against a committed baseline.
+
+Usage: check_bench_regression.py BASELINE.json CURRENT.json [THRESHOLD]
+
+Fails (exit 1) when any deterministic numeric metric of the current run
+moves more than THRESHOLD x away from its baseline value in either
+direction (default 3.0 — a slowdown is a regression, a collapse such as
+result_rows dropping to 0 is a lost-correctness bug), or when the
+current run dropped a table/row the baseline has. Wall-clock and memory columns
+(wall/rss/iters/passes and *_ms) are machine-dependent and ignored — the
+simulated cost model is deterministic by design, so everything else
+should only move when an engine change genuinely moves it. The generous
+3x threshold keeps the job honest without flakiness: a legitimate
+cost-model change that trips it should update bench/baselines/ in the
+same PR.
+"""
+
+import json
+import sys
+
+
+def is_ignored(key: str) -> bool:
+    k = key.lower()
+    return (
+        "wall" in k
+        or "rss" in k
+        or k in ("iters", "passes")
+        or k.endswith("_ms")
+        or k.endswith("_us")
+    )
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(__doc__)
+        return 2
+    with open(sys.argv[1]) as f:
+        baseline = json.load(f)
+    with open(sys.argv[2]) as f:
+        current = json.load(f)
+    threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 3.0
+
+    if baseline.get("scale") != current.get("scale"):
+        print(
+            f"FAIL: scale mismatch (baseline {baseline.get('scale')} vs "
+            f"current {current.get('scale')}); run both at the same "
+            "DSKG_BENCH_SCALE"
+        )
+        return 1
+
+    failures = []
+    for table, base_rows in baseline.get("tables", {}).items():
+        cur_rows = current.get("tables", {}).get(table)
+        if cur_rows is None:
+            failures.append(f"table '{table}' missing from current run")
+            continue
+        if len(cur_rows) < len(base_rows):
+            failures.append(
+                f"table '{table}' shrank: {len(base_rows)} -> {len(cur_rows)} rows"
+            )
+        for i, (b, c) in enumerate(zip(base_rows, cur_rows)):
+            for key, bv in b.items():
+                if is_ignored(key) or not isinstance(bv, (int, float)):
+                    continue
+                cv = c.get(key)
+                if not isinstance(cv, (int, float)):
+                    failures.append(f"{table}[{i}].{key}: missing in current")
+                    continue
+                if bv > 0 and cv > threshold * bv:
+                    failures.append(
+                        f"{table}[{i}].{key}: {cv:g} > {threshold:g}x "
+                        f"baseline {bv:g}"
+                    )
+                elif bv > 0 and cv * threshold < bv:
+                    failures.append(
+                        f"{table}[{i}].{key}: {cv:g} < baseline {bv:g} / "
+                        f"{threshold:g} (metric collapsed)"
+                    )
+                elif bv == 0 and cv != 0:
+                    failures.append(
+                        f"{table}[{i}].{key}: baseline 0 but current {cv:g}"
+                    )
+
+    if failures:
+        print(f"FAIL: {len(failures)} regression(s) vs {sys.argv[1]}:")
+        for f_ in failures:
+            print(f"  - {f_}")
+        return 1
+    print(f"OK: {sys.argv[2]} within {threshold:g}x of {sys.argv[1]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

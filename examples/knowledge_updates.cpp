@@ -50,7 +50,7 @@ int main() {
     return 1;
   }
   std::printf("before update: route=%s, %zu answer pairs\n",
-              core::RouteName(before->route), before->result.rows.size());
+              core::RouteName(before->route), before->result.NumRows());
 
   // Breaking news: a newly characterized protein with that function
   // interacts with two known hubs. Both touched partitions are resident,
@@ -80,13 +80,13 @@ int main() {
     return 1;
   }
   std::printf("after update : route=%s, %zu answer pairs (+%zu)\n",
-              core::RouteName(after->route), after->result.rows.size(),
-              after->result.rows.size() - before->result.rows.size());
+              core::RouteName(after->route), after->result.NumRows(),
+              after->result.NumRows() - before->result.NumRows());
 
   // The new protein shows up in the answers immediately.
   const rdf::TermId new_protein = bio.dict().Lookup("b2r:protein_new");
   size_t mentioning = 0;
-  for (const auto& row : after->result.rows) {
+  for (const auto row : after->result.Rows()) {
     if (row[0] == new_protein || row[1] == new_protein) ++mentioning;
   }
   std::printf("answer pairs involving the new protein: %zu\n", mentioning);

@@ -51,7 +51,7 @@ int main() {
     return 1;
   }
   std::printf("cold store  : route=%-10s  %zu row(s), %.2f sim-us\n",
-              RouteName(cold->route), cold->result.rows.size(),
+              RouteName(cold->route), cold->result.NumRows(),
               cold->total_micros());
 
   // 4. Migrate the two partitions the complex subquery needs (this is
@@ -79,10 +79,10 @@ int main() {
     return 1;
   }
   std::printf("warm store  : route=%-10s  %zu row(s), %.2f sim-us\n",
-              RouteName(warm->route), warm->result.rows.size(),
+              RouteName(warm->route), warm->result.NumRows(),
               warm->total_micros());
 
-  for (const auto& row : warm->result.rows) {
+  for (const auto row : warm->result.Rows()) {
     std::printf("  -> %s\n", kg.dict().TermOf(row[0]).c_str());
   }
   return 0;

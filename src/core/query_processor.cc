@@ -66,8 +66,10 @@ Result<QueryExecution> QueryProcessor::Process(const Query& query) const {
       DSKG_ASSIGN_OR_RETURN(BindingTable inter,
                             matcher_->Match(qc, &graph_meter));
       // Migrate the intermediate results into the temporary table space.
-      migrate_meter.Add(Op::kMigrateResultRow, inter.rows.size());
-      migrate_meter.Add(Op::kTempTableTuple, inter.rows.size());
+      // The matcher's columnar table is handed to the executor as-is —
+      // the seed adoption is one flat-buffer copy, no per-row re-keying.
+      migrate_meter.Add(Op::kMigrateResultRow, inter.NumRows());
+      migrate_meter.Add(Op::kTempTableTuple, inter.NumRows());
       if (exec.split.remainder.patterns.empty()) {
         // Defensive: with an empty remainder, Case 1 should have fired.
         return finish(std::move(inter), Route::kDualStore);

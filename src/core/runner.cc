@@ -58,7 +58,7 @@ ProcessedQuery ProcessOne(const DualStore& store, const Query& query) {
   out.trace.migrate_micros = e.migrate_micros;
   out.trace.graph_io_micros = e.graph_io_micros;
   out.trace.graph_cpu_micros = e.graph_cpu_micros;
-  out.trace.result_rows = e.result.rows.size();
+  out.trace.result_rows = e.result.NumRows();
   if (e.split.HasComplexSubquery()) out.finished_complex = *e.split.complex;
   return out;
 }

@@ -13,19 +13,43 @@ using sparql::BindingTable;
 
 namespace {
 
-/// One pattern endpoint: a constant id or a variable name.
+/// One pattern endpoint: a constant id or a variable slot. Variable names
+/// are resolved to dense slot indexes at plan time ("slot compilation");
+/// the traversal itself never touches a string.
 struct End {
   bool is_variable = false;
-  std::string var;
-  TermId constant = rdf::kInvalidTermId;
+  int slot = -1;  // when is_variable: index into the Dfs slot array
+  TermId constant = rdf::kInvalidTermId;  // when !is_variable
   bool missing = false;  // constant absent from the dictionary
 };
 
-End EncodeEnd(const sparql::PatternTerm& t, const rdf::Dictionary& dict) {
+/// Assigns one dense slot per distinct variable name of the query.
+class SlotLayout {
+ public:
+  int SlotOf(const std::string& var) {
+    auto [it, inserted] = slots_.emplace(var, static_cast<int>(slots_.size()));
+    (void)inserted;
+    return it->second;
+  }
+
+  /// Slot of `var`, or -1 when the variable never occurs in a pattern.
+  int Find(const std::string& var) const {
+    auto it = slots_.find(var);
+    return it == slots_.end() ? -1 : it->second;
+  }
+
+  size_t size() const { return slots_.size(); }
+
+ private:
+  std::unordered_map<std::string, int> slots_;
+};
+
+End EncodeEnd(const sparql::PatternTerm& t, const rdf::Dictionary& dict,
+              SlotLayout* layout) {
   End e;
   if (t.is_variable) {
     e.is_variable = true;
-    e.var = t.text;
+    e.slot = layout->SlotOf(t.text);
     return e;
   }
   e.constant = dict.Lookup(t.text);
@@ -40,18 +64,25 @@ struct EncPat {
 };
 
 /// Backtracking evaluator. Holds the traversal state shared across the
-/// recursion so the per-call frame stays small.
+/// recursion so the per-call frame stays small. Bindings live in a fixed
+/// `TermId` slot array (`kInvalidTermId` = unbound) with an integer
+/// trail — binding, probing and unwinding are array stores, never a heap
+/// allocation or a string hash.
 class Dfs {
  public:
   Dfs(const PropertyGraph& graph, const std::vector<EncPat>& patterns,
-      const std::vector<std::string>& out_vars, CostMeter* meter)
+      const std::vector<std::string>& out_vars,
+      const std::vector<int>& out_slots, size_t num_slots, CostMeter* meter)
       : graph_(graph), patterns_(patterns), out_vars_(out_vars),
-        meter_(meter) {}
+        out_slots_(out_slots), meter_(meter),
+        slots_(num_slots, rdf::kInvalidTermId) {
+    trail_.reserve(num_slots);
+  }
 
   Result<BindingTable> Run() {
     BindingTable out;
     out.columns = out_vars_;
-    rows_ = &out.rows;
+    out_ = &out;
     DSKG_RETURN_NOT_OK(Step(0));
     return out;
   }
@@ -60,41 +91,41 @@ class Dfs {
   /// Value of `e` under current bindings, or nullopt when unbound.
   std::optional<TermId> Resolve(const End& e) const {
     if (!e.is_variable) return e.constant;
-    auto it = bindings_.find(e.var);
-    if (it == bindings_.end()) return std::nullopt;
-    return it->second;
+    const TermId v = slots_[e.slot];
+    if (v == rdf::kInvalidTermId) return std::nullopt;
+    return v;
   }
 
   /// Binds `e` (if a variable) to `value`; returns false on conflict with
   /// an existing binding. Appends to the trail for backtracking.
   bool Bind(const End& e, TermId value) {
     if (!e.is_variable) return e.constant == value;
-    auto [it, inserted] = bindings_.emplace(e.var, value);
-    if (inserted) {
-      trail_.push_back(e.var);
+    TermId& cell = slots_[e.slot];
+    if (cell == rdf::kInvalidTermId) {
+      cell = value;
+      trail_.push_back(e.slot);
       return true;
     }
-    return it->second == value;
+    return cell == value;
   }
 
   void Unwind(size_t mark) {
     while (trail_.size() > mark) {
-      bindings_.erase(trail_.back());
+      slots_[trail_.back()] = rdf::kInvalidTermId;
       trail_.pop_back();
     }
   }
 
   Status Emit() {
-    std::vector<TermId> row;
-    row.reserve(out_vars_.size());
-    for (const std::string& v : out_vars_) {
-      auto it = bindings_.find(v);
-      if (it == bindings_.end()) {
-        return Status::Internal("unbound output variable ?" + v);
+    TermId* row = out_->AppendRow();
+    for (size_t i = 0; i < out_slots_.size(); ++i) {
+      const int slot = out_slots_[i];
+      const TermId v = slot >= 0 ? slots_[slot] : rdf::kInvalidTermId;
+      if (v == rdf::kInvalidTermId) {
+        return Status::Internal("unbound output variable ?" + out_vars_[i]);
       }
-      row.push_back(it->second);
+      row[i] = v;
     }
-    rows_->push_back(std::move(row));
     return Status::OK();
   }
 
@@ -167,10 +198,11 @@ class Dfs {
   const PropertyGraph& graph_;
   const std::vector<EncPat>& patterns_;
   const std::vector<std::string>& out_vars_;
+  const std::vector<int>& out_slots_;
   CostMeter* meter_;
-  std::unordered_map<std::string, TermId> bindings_;
-  std::vector<std::string> trail_;
-  std::vector<std::vector<TermId>>* rows_ = nullptr;
+  std::vector<TermId> slots_;  // slot -> bound value, kInvalidTermId = free
+  std::vector<int> trail_;     // slots bound on the current DFS path
+  BindingTable* out_ = nullptr;
 };
 
 }  // namespace
@@ -181,7 +213,8 @@ Result<BindingTable> TraversalMatcher::Match(const sparql::Query& query,
     return Status::InvalidArgument("query has no patterns");
   }
 
-  // ---- encode + preconditions -------------------------------------------
+  // ---- encode + preconditions (slot compilation happens here) -----------
+  SlotLayout layout;
   std::vector<EncPat> encoded;
   encoded.reserve(query.patterns.size());
   bool impossible = false;
@@ -192,8 +225,8 @@ Result<BindingTable> TraversalMatcher::Match(const sparql::Query& query,
           " cannot be answered by the partial graph store");
     }
     EncPat p;
-    p.subject = EncodeEnd(tp.subject, *dict_);
-    p.object = EncodeEnd(tp.object, *dict_);
+    p.subject = EncodeEnd(tp.subject, *dict_, &layout);
+    p.object = EncodeEnd(tp.object, *dict_, &layout);
     const TermId pred = dict_->Lookup(tp.predicate.text);
     if (pred == rdf::kInvalidTermId) {
       impossible = true;  // unknown predicate term matches nothing
@@ -212,6 +245,9 @@ Result<BindingTable> TraversalMatcher::Match(const sparql::Query& query,
 
   const std::vector<std::string> out_vars =
       query.select_vars.empty() ? query.AllVariables() : query.select_vars;
+  std::vector<int> out_slots;
+  out_slots.reserve(out_vars.size());
+  for (const std::string& v : out_vars) out_slots.push_back(layout.Find(v));
 
   if (impossible) {
     BindingTable empty;
@@ -222,11 +258,9 @@ Result<BindingTable> TraversalMatcher::Match(const sparql::Query& query,
   // ---- traversal order: smallest seed first, then stay connected --------
   std::vector<size_t> order;
   std::vector<bool> used(encoded.size(), false);
-  std::vector<std::string> bound_vars;
+  std::vector<bool> var_bound(layout.size(), false);
   auto is_bound = [&](const End& e) {
-    return !e.is_variable ||
-           std::find(bound_vars.begin(), bound_vars.end(), e.var) !=
-               bound_vars.end();
+    return !e.is_variable || var_bound[e.slot];
   };
   auto score = [&](const EncPat& p) -> uint64_t {
     // A pattern reachable from a bound vertex costs ~degree; a free
@@ -258,17 +292,17 @@ Result<BindingTable> TraversalMatcher::Match(const sparql::Query& query,
     used[best] = true;
     order.push_back(best);
     if (encoded[best].subject.is_variable) {
-      bound_vars.push_back(encoded[best].subject.var);
+      var_bound[encoded[best].subject.slot] = true;
     }
     if (encoded[best].object.is_variable) {
-      bound_vars.push_back(encoded[best].object.var);
+      var_bound[encoded[best].object.slot] = true;
     }
   }
   std::vector<EncPat> ordered;
   ordered.reserve(order.size());
   for (size_t i : order) ordered.push_back(encoded[i]);
 
-  Dfs dfs(*graph_, ordered, out_vars, meter);
+  Dfs dfs(*graph_, ordered, out_vars, out_slots, layout.size(), meter);
   return dfs.Run();
 }
 

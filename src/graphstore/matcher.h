@@ -12,6 +12,11 @@
 /// adjacency argument (paper §1), the work is proportional to the number
 /// of edges actually visited, not to the size of the graph.
 ///
+/// Variable names are slot-compiled at plan time: the traversal keeps its
+/// bindings in a fixed `TermId` slot array with an integer backtracking
+/// trail, so binding/probing/unwinding are array stores — no per-edge
+/// heap allocation or string hashing anywhere on the DFS path.
+///
 /// The matcher can only answer queries whose constant predicates are all
 /// resident in the graph store; the dual-store query processor is
 /// responsible for routing (Algorithm 3).

@@ -1,6 +1,8 @@
 #include "relstore/executor.h"
 
 #include <algorithm>
+#include <array>
+#include <cstdint>
 #include <limits>
 #include <map>
 #include <mutex>
@@ -37,10 +39,40 @@ Slot EncodeSlot(const sparql::PatternTerm& t, const rdf::Dictionary& dict) {
 
 }  // namespace
 
-/// A fully encoded pattern plus plan-time metadata.
+/// A fully encoded pattern plus plan-time metadata. Variable names are
+/// resolved once here ("slot compilation"): each distinct variable of the
+/// pattern gets a small integer index, and every per-row operation works
+/// on those indexes — no string map is ever touched while rows flow.
 struct Executor::EncodedPattern {
   Slot slots[3];  // subject, predicate, object
   bool used = false;
+
+  /// Slot layout: `var_of_pos[i]` is the index (into `vars`) of the
+  /// distinct variable at position i, or -1 for a constant position.
+  int var_of_pos[3] = {-1, -1, -1};
+  /// Distinct variable names of the pattern, in position order (<= 3).
+  std::vector<std::string> vars;
+
+  /// Resolves the pattern's variable positions to distinct-var indexes.
+  /// Called once per query by EncodeQuery.
+  void CompileSlots() {
+    vars.clear();
+    for (int i = 0; i < 3; ++i) {
+      if (!slots[i].is_variable) {
+        var_of_pos[i] = -1;
+        continue;
+      }
+      const auto it = std::find(vars.begin(), vars.end(), slots[i].var);
+      if (it == vars.end()) {
+        var_of_pos[i] = static_cast<int>(vars.size());
+        vars.push_back(slots[i].var);
+      } else {
+        var_of_pos[i] = static_cast<int>(it - vars.begin());
+      }
+    }
+  }
+
+  size_t NumVars() const { return vars.size(); }
 
   bool HasMissingConstant() const {
     return slots[0].missing_constant || slots[1].missing_constant ||
@@ -57,27 +89,22 @@ struct Executor::EncodedPattern {
   }
 
   /// Distinct variables of the pattern, in position order.
-  std::vector<std::string> Vars() const {
-    std::vector<std::string> out;
-    for (const Slot& s : slots) {
-      if (s.is_variable &&
-          std::find(out.begin(), out.end(), s.var) == out.end()) {
-        out.push_back(s.var);
-      }
-    }
-    return out;
-  }
+  const std::vector<std::string>& Vars() const { return vars; }
 
-  /// Checks within-pattern consistency for repeated variables and returns
-  /// the binding of each distinct variable for triple `t`.
-  bool ExtractBindings(const Triple& t,
-                       std::unordered_map<std::string, TermId>* out) const {
+  /// Checks within-pattern consistency for repeated variables and writes
+  /// the value of each distinct variable of triple `t` into
+  /// `out[0 .. NumVars())`. No allocation, no string hashing.
+  bool ExtractVarValues(const Triple& t, TermId* out) const {
     const TermId vals[3] = {t.subject, t.predicate, t.object};
-    out->clear();
+    for (size_t v = 0; v < vars.size(); ++v) out[v] = rdf::kInvalidTermId;
     for (int i = 0; i < 3; ++i) {
-      if (!slots[i].is_variable) continue;
-      auto [it, inserted] = out->emplace(slots[i].var, vals[i]);
-      if (!inserted && it->second != vals[i]) return false;
+      const int v = var_of_pos[i];
+      if (v < 0) continue;
+      if (out[v] == rdf::kInvalidTermId) {
+        out[v] = vals[i];
+      } else if (out[v] != vals[i]) {
+        return false;
+      }
     }
     return true;
   }
@@ -136,6 +163,7 @@ EncodedQuery EncodeQuery(const sparql::Query& query,
     out.patterns[i].slots[0] = EncodeSlot(query.patterns[i].subject, dict);
     out.patterns[i].slots[1] = EncodeSlot(query.patterns[i].predicate, dict);
     out.patterns[i].slots[2] = EncodeSlot(query.patterns[i].object, dict);
+    out.patterns[i].CompileSlots();
     if (out.patterns[i].HasMissingConstant()) out.impossible = true;
   }
   out.out_vars =
@@ -161,52 +189,76 @@ size_t SmallestExtentPattern(
 }
 
 /// Scan callback materializing each matching triple of `p` as a row of
-/// `cur` (one `kMaterializeTuple` each). Shared by the serial initial
-/// scan and every shard worker, so their per-row charging is structural,
-/// not kept in sync by hand. Stops the scan once `meter`'s budget is
-/// exhausted (never the case for shard-local meters, which carry none).
+/// `cur` (one `kMaterializeTuple` each). `cur`'s columns are exactly
+/// `p.Vars()`, so the extracted distinct-var values are the row — one
+/// flat-buffer bump, no per-row vector, no name lookup. Shared by the
+/// serial initial scan and every shard worker, so their per-row charging
+/// is structural, not kept in sync by hand. Stops the scan once `meter`'s
+/// budget is exhausted (never the case for shard-local meters, which
+/// carry none).
 std::function<bool(const Triple&)> MaterializeInto(
     const Executor::EncodedPattern& p, BindingTable* cur, CostMeter* meter) {
-  return [&p, cur, meter,
-          binds = std::unordered_map<std::string, TermId>{}](
-             const Triple& t) mutable {
-    if (!p.ExtractBindings(t, &binds)) return true;
-    std::vector<TermId> row;
-    row.reserve(cur->columns.size());
-    for (const std::string& v : cur->columns) row.push_back(binds[v]);
+  return [&p, cur, meter](const Triple& t) {
+    TermId vals[3];
+    if (!p.ExtractVarValues(t, vals)) return true;
     meter->Add(Op::kMaterializeTuple);
-    cur->rows.push_back(std::move(row));
+    TermId* row = cur->AppendRow();
+    for (size_t v = 0; v < p.NumVars(); ++v) row[v] = vals[v];
     return !meter->ExceededBudget();
   };
 }
 
-/// One hash join's build side: key bytes -> binding sets of the matching
-/// extent triples. Read-only once built.
-using JoinHashTable =
-    std::unordered_map<std::string,
-                       std::vector<std::unordered_map<std::string, TermId>>>;
+/// A packed hash-join key: up to 3 term ids (a pattern has at most three
+/// distinct variables) in a fixed array — single-id keys are effectively
+/// a bare uint64, wider keys a small stack array. Never allocates,
+/// replacing the old per-probe `std::string` key serialization.
+struct JoinKey {
+  std::array<TermId, 3> v{};
+  uint8_t n = 0;
 
-/// Serializes a join key (TermId tuple) into map-key bytes.
-std::string JoinKeyBytes(const std::vector<TermId>& key) {
-  std::string k;
-  k.reserve(key.size() * sizeof(TermId));
-  for (TermId v : key) {
-    k.append(reinterpret_cast<const char*>(&v), sizeof(TermId));
+  friend bool operator==(const JoinKey& a, const JoinKey& b) {
+    return a.n == b.n && a.v == b.v;
   }
-  return k;
-}
+};
+
+struct JoinKeyHash {
+  size_t operator()(const JoinKey& k) const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL ^ k.n;
+    for (uint8_t i = 0; i < k.n; ++i) {
+      h ^= k.v[i] + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h *= 0xbf58476d1ce4e5b9ULL;
+    }
+    h ^= h >> 31;
+    return static_cast<size_t>(h);
+  }
+};
+
+/// One hash join's build side, columnar: per key, the count of matching
+/// extent triples and their new-variable values in one flat buffer of
+/// stride `new_vars.size()`. (Join-variable values are the key itself, so
+/// only the columns a match appends are stored.) Read-only once built.
+struct JoinBuild {
+  struct Group {
+    uint32_t count = 0;
+    std::vector<TermId> new_vals;  // count * stride ids
+  };
+  std::unordered_map<JoinKey, Group, JoinKeyHash> groups;
+  size_t stride = 0;  // number of new (unbound) pattern variables
+};
 
 }  // namespace
 
 /// Per-query shared hash-join builds (see executor.h). Entries are keyed
 /// by pattern index in an ordered map so the caller can fold the build
-/// meters into the query meter in a deterministic order.
+/// meters into the query meter in a deterministic order. (The build side
+/// depends only on the pattern and the plan-time bound-variable set,
+/// which the greedy join order makes identical across shards.)
 struct Executor::SharedJoinState {
   struct Entry {
     std::mutex mu;
     bool built = false;
     Status status;
-    JoinHashTable table;
+    JoinBuild build;
     CostMeter build_meter;
   };
 
@@ -303,13 +355,12 @@ Result<BindingTable> Executor::ExecuteSharded(const sparql::Query& query,
     DSKG_RETURN_NOT_OK(out.status);
     meter->Merge(out.meter);
     if (out.table.columns.size() != out_vars.size()) {
-      if (!out.table.rows.empty()) {
+      if (!out.table.empty()) {
         return Status::Internal("projection lost columns unexpectedly");
       }
       continue;  // empty shard cut short by an empty intermediate
     }
-    merged.rows.reserve(merged.rows.size() + out.table.rows.size());
-    for (auto& row : out.table.rows) merged.rows.push_back(std::move(row));
+    merged.AppendRowsFrom(out.table);
   }
   return merged;
 }
@@ -339,10 +390,12 @@ Result<BindingTable> Executor::Run(const sparql::Query& query,
   size_t num_joined = 0;
 
   if (seed != nullptr) {
+    // Migrated intermediate results arrive as a columnar table already;
+    // adopting them is one buffer copy, no per-row re-keying.
     cur = *seed;
     for (const std::string& c : cur.columns) bound.insert(c);
     // Reading the seed out of the temporary table space.
-    meter->Add(Op::kSeqScanTuple, cur.rows.size());
+    meter->Add(Op::kSeqScanTuple, cur.NumRows());
   } else {
     // Start from the pattern with the smallest estimated extent.
     EncodedPattern& p = patterns[SmallestExtentPattern(*table_, patterns)];
@@ -368,7 +421,7 @@ Result<BindingTable> Executor::Run(const sparql::Query& query,
   if (out.columns.size() != out_vars.size()) {
     BindingTable normalized;
     normalized.columns = out_vars;
-    if (!cur.rows.empty()) {
+    if (!cur.empty()) {
       return Status::Internal("projection lost columns unexpectedly");
     }
     return normalized;
@@ -416,19 +469,41 @@ Status Executor::JoinRemaining(std::vector<EncodedPattern>* patterns_ptr,
     p.used = true;
     ++num_joined;
 
-    // Join variables and new variables of this step.
-    std::vector<std::string> join_vars;
+    // ---- step plan: resolve every name to an index, once -----------------
+    // Pattern variables split into join vars (already bound, with an
+    // outer-table column) and new vars (appended by this step). All
+    // per-row work below runs on these integer slots.
+    const size_t cur_cols = cur.NumColumns();
+    std::vector<std::string> join_vars;   // names, for estimates only
+    JoinKey probe_cols;                   // outer column of each join var
+    JoinKey key_src;                      // pattern-var index of each join var
+    std::vector<int> new_var_src;         // pattern-var index of each new var
     std::vector<std::string> new_vars;
-    for (const std::string& v : p.Vars()) {
-      if (bound.count(v) > 0) {
-        join_vars.push_back(v);
+    for (size_t v = 0; v < p.NumVars(); ++v) {
+      const std::string& name = p.Vars()[v];
+      if (bound.count(name) > 0) {
+        probe_cols.v[probe_cols.n] =
+            static_cast<TermId>(cur.ColumnIndex(name));
+        key_src.v[key_src.n] = static_cast<TermId>(v);
+        ++probe_cols.n;
+        ++key_src.n;
+        join_vars.push_back(name);
       } else {
-        new_vars.push_back(v);
+        new_var_src.push_back(static_cast<int>(v));
+        new_vars.push_back(name);
       }
+    }
+    // Outer column feeding each variable position (for index nested-loop
+    // probes), or -1 when the position is a constant or a new variable.
+    int col_of_pos[3];
+    for (int i = 0; i < 3; ++i) {
+      const int v = p.var_of_pos[i];
+      col_of_pos[i] =
+          v >= 0 ? cur.ColumnIndex(p.Vars()[static_cast<size_t>(v)]) : -1;
     }
 
     // ---- operator choice (deterministic cost-based) ----
-    const double rows_out = static_cast<double>(cur.rows.size());
+    const double rows_out = static_cast<double>(cur.NumRows());
     const uint64_t per_row_est = EstimateWithBoundVars(*table_, p, bound);
     const uint64_t extent_est =
         table_->EstimateMatches(p.ConstantExtent());
@@ -446,47 +521,52 @@ Status Executor::JoinRemaining(std::vector<EncodedPattern>* patterns_ptr,
     BindingTable next;
     next.columns = cur.columns;
     for (const std::string& v : new_vars) next.columns.push_back(v);
+    next.ReserveRows(cur.NumRows());  // joins rarely shrink below the outer
 
-    auto emit = [&](const std::vector<TermId>& base,
-                    const std::unordered_map<std::string, TermId>& binds) {
-      std::vector<TermId> row = base;
-      for (const std::string& v : new_vars) row.push_back(binds.at(v));
+    const size_t num_new = new_var_src.size();
+    // Emits base-row + new-var values: one flat-buffer bump per output
+    // row. `vals` holds the pattern's distinct-var values.
+    auto emit = [&](const TermId* base, const TermId* vals) {
+      TermId* row = next.AppendRow();
+      std::copy(base, base + cur_cols, row);
+      for (size_t j = 0; j < num_new; ++j) {
+        row[cur_cols + j] = vals[new_var_src[j]];
+      }
       meter->Add(Op::kJoinOutputTuple);
       meter->Add(Op::kMaterializeTuple);
-      next.rows.push_back(std::move(row));
     };
 
     if (use_hash) {
       // ---- hash join: scan the extent once, probe with outer rows ----
-      std::vector<int> join_cols;
-      join_cols.reserve(join_vars.size());
-      for (const std::string& v : join_vars) {
-        join_cols.push_back(cur.ColumnIndex(v));
-      }
-      // The build side depends only on the pattern's constant extent, so
-      // `build` is the same work whoever runs it. Serial path: build
-      // locally, charging `meter`. Sharded path: the first shard choosing
-      // a hash join on this pattern builds into the shared entry (cost on
-      // the entry's meter, folded in once by ExecuteSharded); everyone
-      // else reuses the table read-only, eliminating the per-shard
-      // duplicate extent scans + kHashBuildTuple charges.
-      auto build = [&](JoinHashTable* ht, CostMeter* build_meter) -> Status {
-        std::unordered_map<std::string, TermId> binds;
-        std::vector<TermId> key;
+      // The build side depends only on the pattern's constant extent and
+      // the plan-time variable split, so `build` is the same work whoever
+      // runs it. Serial path: build locally, charging `meter`. Sharded
+      // path: the first shard choosing a hash join on this pattern builds
+      // into the shared entry (cost on the entry's meter, folded in once
+      // by ExecuteSharded); everyone else probes it read-only,
+      // eliminating the per-shard duplicate extent scans +
+      // kHashBuildTuple charges.
+      auto build = [&](JoinBuild* jb, CostMeter* build_meter) -> Status {
+        jb->stride = num_new;
         return table_->ScanPattern(
             p.ConstantExtent(), build_meter, [&](const Triple& t) {
-              if (!p.ExtractBindings(t, &binds)) return true;
-              key.clear();
-              for (const std::string& v : join_vars) {
-                key.push_back(binds.at(v));
+              TermId vals[3];
+              if (!p.ExtractVarValues(t, vals)) return true;
+              JoinKey key = key_src;  // copies n; values filled below
+              for (uint8_t k = 0; k < key.n; ++k) {
+                key.v[k] = vals[key_src.v[k]];
               }
               build_meter->Add(Op::kHashBuildTuple);
-              (*ht)[JoinKeyBytes(key)].push_back(binds);
+              JoinBuild::Group& g = jb->groups[key];
+              ++g.count;
+              for (size_t j = 0; j < num_new; ++j) {
+                g.new_vals.push_back(vals[new_var_src[j]]);
+              }
               return !build_meter->ExceededBudget();
             });
       };
-      const JoinHashTable* ht = nullptr;
-      JoinHashTable local_ht;
+      const JoinBuild* jb = nullptr;
+      JoinBuild local_build;
       if (shared != nullptr) {
         SharedJoinState::Entry* entry = shared->EntryFor(best);
         {
@@ -495,24 +575,38 @@ Status Executor::JoinRemaining(std::vector<EncodedPattern>* patterns_ptr,
             // Inherit the query's cost model and throttle (every shard
             // meter carries the same ones), not CostMeter's defaults.
             entry->build_meter = CostMeter(meter->model(), meter->throttle());
-            entry->status = build(&entry->table, &entry->build_meter);
+            entry->status = build(&entry->build, &entry->build_meter);
             entry->built = true;
           }
         }
         DSKG_RETURN_NOT_OK(entry->status);
-        ht = &entry->table;
+        jb = &entry->build;
       } else {
-        DSKG_RETURN_NOT_OK(build(&local_ht, meter));
-        ht = &local_ht;
+        DSKG_RETURN_NOT_OK(build(&local_build, meter));
+        jb = &local_build;
       }
-      std::vector<TermId> key;
-      for (const auto& row : cur.rows) {
-        key.clear();
-        for (int c : join_cols) key.push_back(row[static_cast<size_t>(c)]);
+      for (size_t r = 0; r < cur.NumRows(); ++r) {
+        const TermId* row = cur.RowData(r);
+        JoinKey key = probe_cols;
+        for (uint8_t k = 0; k < key.n; ++k) {
+          key.v[k] = row[probe_cols.v[k]];
+        }
         meter->Add(Op::kHashProbeTuple);
-        auto it = ht->find(JoinKeyBytes(key));
-        if (it == ht->end()) continue;
-        for (const auto& binds : it->second) emit(row, binds);
+        const auto it = jb->groups.find(key);
+        if (it == jb->groups.end()) continue;
+        const JoinBuild::Group& g = it->second;
+        for (uint32_t m = 0; m < g.count; ++m) {
+          // Reconstruct the match's distinct-var values: join vars from
+          // the key, new vars from the group's flat payload.
+          TermId vals[3];
+          for (uint8_t k = 0; k < key_src.n; ++k) {
+            vals[key_src.v[k]] = key.v[k];
+          }
+          for (size_t j = 0; j < num_new; ++j) {
+            vals[new_var_src[j]] = g.new_vals[m * num_new + j];
+          }
+          emit(row, vals);
+        }
         if (meter->ExceededBudget()) {
           return Status::Cancelled(
               "relational execution exceeded cost budget");
@@ -520,22 +614,19 @@ Status Executor::JoinRemaining(std::vector<EncodedPattern>* patterns_ptr,
       }
     } else {
       // ---- index nested-loop join (also covers cartesian steps) ----
-      for (const auto& row : cur.rows) {
-        BoundPattern bp = p.ConstantExtent();
-        // Substitute join-variable values from the outer row.
-        auto bind_slot = [&](const Slot& slot,
-                             std::optional<TermId>* target) {
-          if (!slot.is_variable) return;
-          const int c = cur.ColumnIndex(slot.var);
-          if (c >= 0) *target = row[static_cast<size_t>(c)];
-        };
-        bind_slot(p.slots[0], &bp.subject);
-        bind_slot(p.slots[1], &bp.predicate);
-        bind_slot(p.slots[2], &bp.object);
-        std::unordered_map<std::string, TermId> binds;
+      const BoundPattern extent = p.ConstantExtent();
+      for (size_t r = 0; r < cur.NumRows(); ++r) {
+        const TermId* row = cur.RowData(r);
+        BoundPattern bp = extent;
+        // Substitute join-variable values from the outer row (slot
+        // indexes resolved once above, no per-row name lookup).
+        if (col_of_pos[0] >= 0) bp.subject = row[col_of_pos[0]];
+        if (col_of_pos[1] >= 0) bp.predicate = row[col_of_pos[1]];
+        if (col_of_pos[2] >= 0) bp.object = row[col_of_pos[2]];
         Status scan = table_->ScanPattern(bp, meter, [&](const Triple& t) {
-          if (!p.ExtractBindings(t, &binds)) return true;
-          emit(row, binds);
+          TermId vals[3];
+          if (!p.ExtractVarValues(t, vals)) return true;
+          emit(row, vals);
           return !meter->ExceededBudget();
         });
         DSKG_RETURN_NOT_OK(scan);
@@ -548,7 +639,7 @@ Status Executor::JoinRemaining(std::vector<EncodedPattern>* patterns_ptr,
 
     cur = std::move(next);
     for (const std::string& v : new_vars) bound.insert(v);
-    if (cur.rows.empty()) break;  // no results; remaining joins are no-ops
+    if (cur.empty()) break;  // no results; remaining joins are no-ops
   }
   return Status::OK();
 }

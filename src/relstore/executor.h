@@ -18,6 +18,14 @@
 /// pipeline the paper attributes to MySQL), charging `kMaterializeTuple`
 /// per intermediate row — this is the term that makes large-selectivity
 /// complex queries expensive in the relational store, reproducing Table 1.
+///
+/// The pipeline is *slot-compiled*: every variable name is resolved to a
+/// small integer (a pattern-local variable index or a `BindingTable`
+/// column index) once at plan time, intermediates are flat columnar
+/// tables, and hash joins key on packed fixed-size `TermId` tuples — the
+/// per-row path performs no heap allocation and no string hashing. The
+/// simulated cost charges are unchanged; only the real machine cost of
+/// paying them fell.
 
 #include <string>
 #include <unordered_set>

@@ -95,14 +95,14 @@ Status MaterializedViewManager::CreateView(const Query& subquery,
   if (!data.ok()) return data.status();
   view.data = std::move(data).ValueOrDie();
 
-  if (budget_rows_ > 0 && used_rows_ + view.data.rows.size() > budget_rows_) {
+  if (budget_rows_ > 0 && used_rows_ + view.data.NumRows() > budget_rows_) {
     return Status::CapacityExceeded(
-        "view of " + std::to_string(view.data.rows.size()) +
+        "view of " + std::to_string(view.data.NumRows()) +
         " rows exceeds remaining budget of " +
         std::to_string(budget_rows_ - used_rows_) + " rows");
   }
-  meter->Add(Op::kTempTableTuple, view.data.rows.size());
-  used_rows_ += view.data.rows.size();
+  meter->Add(Op::kTempTableTuple, view.data.NumRows());
+  used_rows_ += view.data.NumRows();
   views_.emplace(sig, std::move(view));
   return Status::OK();
 }
@@ -112,7 +112,7 @@ Status MaterializedViewManager::DropView(const std::string& signature) {
   if (it == views_.end()) {
     return Status::NotFound("no view with signature: " + signature);
   }
-  used_rows_ -= it->second.data.rows.size();
+  used_rows_ -= it->second.data.NumRows();
   views_.erase(it);
   return Status::OK();
 }
@@ -141,7 +141,7 @@ size_t MaterializedViewManager::InvalidatePredicates(
       }
     }
     if (stale) {
-      used_rows_ -= it->second.data.rows.size();
+      used_rows_ -= it->second.data.NumRows();
       it = views_.erase(it);
       ++dropped;
     } else {
@@ -208,7 +208,10 @@ MaterializedViewManager::TryAnswer(const std::vector<TriplePattern>& patterns,
   }
   if (impossible) return ans;  // header only, no rows
 
-  for (const auto& row : view.data.rows) {
+  // Columnar scan: filter and project with the column indexes resolved
+  // above — each surviving row is one flat-buffer append.
+  for (size_t r = 0; r < view.data.NumRows(); ++r) {
+    const rdf::TermId* row = view.data.RowData(r);
     meter->Add(Op::kViewScanTuple);
     bool pass = true;
     for (size_t f = 0; f < filter_cols.size(); ++f) {
@@ -218,10 +221,10 @@ MaterializedViewManager::TryAnswer(const std::vector<TriplePattern>& patterns,
       }
     }
     if (!pass) continue;
-    std::vector<rdf::TermId> out_row;
-    out_row.reserve(keep_cols.size());
-    for (int c : keep_cols) out_row.push_back(row[static_cast<size_t>(c)]);
-    ans.bindings.rows.push_back(std::move(out_row));
+    rdf::TermId* out_row = ans.bindings.AppendRow();
+    for (size_t c = 0; c < keep_cols.size(); ++c) {
+      out_row[c] = row[static_cast<size_t>(keep_cols[c])];
+    }
   }
   return ans;
 }

@@ -39,7 +39,7 @@ TEST_F(DualStoreTest, Case3RelationalWhenGraphEmpty) {
   auto r = store_->Process(kFlagship);
   ASSERT_TRUE(r.ok()) << r.status();
   EXPECT_EQ(r->route, Route::kRelationalOnly);
-  EXPECT_EQ(r->result.rows.size(), 2u);
+  EXPECT_EQ(r->result.NumRows(), 2u);
   EXPECT_GT(r->rel_micros, 0.0);
   EXPECT_DOUBLE_EQ(r->graph_micros, 0.0);
 }
@@ -51,7 +51,7 @@ TEST_F(DualStoreTest, Case1GraphOnlyWhenCovered) {
   auto r = store_->Process(kFlagship);
   ASSERT_TRUE(r.ok()) << r.status();
   EXPECT_EQ(r->route, Route::kGraphOnly);
-  EXPECT_EQ(r->result.rows.size(), 2u);
+  EXPECT_EQ(r->result.NumRows(), 2u);
   EXPECT_GT(r->graph_micros, 0.0);
   EXPECT_DOUBLE_EQ(r->rel_micros, 0.0);
 }
@@ -66,7 +66,7 @@ TEST_F(DualStoreTest, Case2DualStoreWhenOnlySubqueryCovered) {
       "?s marriedTo ?p . }");
   ASSERT_TRUE(r.ok()) << r.status();
   EXPECT_EQ(r->route, Route::kDualStore);
-  ASSERT_EQ(r->result.rows.size(), 1u);  // alice marriedTo bob
+  ASSERT_EQ(r->result.NumRows(), 1u);  // alice marriedTo bob
   EXPECT_GT(r->graph_micros, 0.0);
   EXPECT_GT(r->rel_micros, 0.0);
   EXPECT_GT(r->migrate_micros, 0.0);
@@ -162,7 +162,7 @@ TEST_F(DualStoreTest, InsertUpdatesBothStoresWhenResident) {
   ASSERT_TRUE(r.ok());
   auto r2 = store_->Process("SELECT ?f WHERE { eve likes ?f . }");
   ASSERT_TRUE(r2.ok());
-  EXPECT_EQ(r2->result.rows.size(), 1u);
+  EXPECT_EQ(r2->result.NumRows(), 1u);
 }
 
 TEST_F(DualStoreTest, InsertIntoNonResidentPartitionOnlyTouchesTable) {
@@ -199,7 +199,7 @@ TEST(DualStoreVariants, ViewsVariantUsesViewRoute) {
   auto r = store.Process(kFlagship);
   ASSERT_TRUE(r.ok()) << r.status();
   EXPECT_EQ(r->route, Route::kViewAssisted);
-  EXPECT_EQ(r->result.rows.size(), 2u);
+  EXPECT_EQ(r->result.NumRows(), 2u);
 }
 
 TEST(DualStoreVariants, RdbOnlyNeverRoutesToGraph) {

@@ -1,0 +1,250 @@
+// Randomized equivalence suite for the slot-compiled columnar pipeline:
+// every execution path (serial, sharded, seeded, graph traversal) must
+// produce the same multiset of rows (`BindingTable::SameRows`) as the
+// brute-force reference evaluator on SmallPeopleGraph and a generated
+// YAGO graph, plus directed slot-compiler edge cases (duplicate
+// variables, unused select variables, seed-column overlap).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/dual_store.h"
+#include "graphstore/matcher.h"
+#include "relstore/executor.h"
+#include "sparql/parser.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace dskg::core {
+namespace {
+
+using rdf::TermId;
+using relstore::Executor;
+using relstore::TripleTable;
+using sparql::BindingTable;
+using sparql::Parser;
+
+/// The two corpora of the suite: index 0 the hand-written people graph,
+/// index 1 a generated YAGO graph (Dataset is move-only, so tests build
+/// by index instead of iterating a list of values).
+rdf::Dataset MakeCorpus(int which) {
+  if (which == 0) return testing::SmallPeopleGraph();
+  workload::YagoConfig cfg;
+  cfg.target_triples = 6000;
+  return workload::GenerateYago(cfg);
+}
+
+/// Splits `q`'s patterns into a seed prefix and a remainder, evaluates
+/// the prefix with the executor (SELECT *), and runs the remainder from
+/// that seed. Equivalent to evaluating the whole query — the dual-store
+/// migration contract ExecuteWithSeed exists for.
+Result<BindingTable> RunSeeded(const Executor& ex, const sparql::Query& q,
+                               size_t seed_patterns, CostMeter* meter) {
+  sparql::Query seed_q;
+  seed_q.patterns.assign(q.patterns.begin(),
+                         q.patterns.begin() + seed_patterns);
+  sparql::Query rest;
+  rest.patterns.assign(q.patterns.begin() + seed_patterns, q.patterns.end());
+  rest.select_vars =
+      q.select_vars.empty() ? q.AllVariables() : q.select_vars;
+  DSKG_ASSIGN_OR_RETURN(BindingTable seed, ex.Execute(seed_q, meter));
+  return ex.ExecuteWithSeed(rest, seed, meter);
+}
+
+class EngineEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineEquivalenceTest, AllRelationalPathsMatchReference) {
+  for (int corpus = 0; corpus < 2; ++corpus) {
+    const rdf::Dataset ds = MakeCorpus(corpus);
+    TripleTable table;
+    CostMeter load;
+    table.BulkLoad(ds.triples(), &load);
+    Executor ex(&table, &ds.dict());
+    testing::ReferenceEvaluator reference(&ds);
+    ThreadPool pool(4);
+
+    Rng rng(GetParam());
+    for (int i = 0; i < 40; ++i) {
+      const sparql::Query q = testing::RandomBgp(ds, &rng);
+      const BindingTable expected = reference.Evaluate(q);
+
+      CostMeter m1;
+      auto serial = ex.Execute(q, &m1);
+      ASSERT_TRUE(serial.ok()) << serial.status() << "\n" << q.ToString();
+      EXPECT_TRUE(BindingTable::SameRows(*serial, expected))
+          << "Execute diverged: " << q.ToString();
+
+      CostMeter m2;
+      auto sharded = ex.ExecuteSharded(q, &m2, &pool, 4);
+      ASSERT_TRUE(sharded.ok()) << sharded.status() << "\n" << q.ToString();
+      EXPECT_TRUE(BindingTable::SameRows(*sharded, expected))
+          << "ExecuteSharded diverged: " << q.ToString();
+
+      // Seed with every possible pattern prefix (seed columns then
+      // overlap the remainder's join variables in all combinations the
+      // query offers).
+      for (size_t k = 1; k < q.patterns.size(); ++k) {
+        CostMeter m3;
+        auto seeded = RunSeeded(ex, q, k, &m3);
+        ASSERT_TRUE(seeded.ok()) << seeded.status() << "\n" << q.ToString();
+        EXPECT_TRUE(BindingTable::SameRows(*seeded, expected))
+            << "ExecuteWithSeed diverged (prefix " << k
+            << "): " << q.ToString();
+      }
+    }
+  }
+}
+
+TEST_P(EngineEquivalenceTest, TraversalMatcherMatchesReference) {
+  for (int corpus = 0; corpus < 2; ++corpus) {
+    rdf::Dataset ds = MakeCorpus(corpus);
+    DualStoreConfig cfg;
+    cfg.use_graph = true;
+    cfg.graph_capacity_triples = ds.num_triples();
+    DualStore store(&ds, cfg);
+    CostMeter load;
+    for (const TermId pred : store.table().Predicates()) {
+      ASSERT_TRUE(store.MigratePartition(pred, &load).ok());
+    }
+    graphstore::TraversalMatcher matcher(&store.graph(), &ds.dict());
+    testing::ReferenceEvaluator reference(&ds);
+
+    Rng rng(GetParam() ^ 0xabcdef);
+    for (int i = 0; i < 40; ++i) {
+      const sparql::Query q = testing::RandomBgp(ds, &rng);
+      CostMeter meter;
+      auto actual = matcher.Match(q, &meter);
+      ASSERT_TRUE(actual.ok()) << actual.status() << "\n" << q.ToString();
+      EXPECT_TRUE(BindingTable::SameRows(*actual, reference.Evaluate(q)))
+          << "Match diverged: " << q.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineEquivalenceTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ---- slot-compiler edge cases ---------------------------------------------
+
+class SlotCompilerEdgeTest : public ::testing::Test {
+ protected:
+  SlotCompilerEdgeTest() : ds_(testing::SmallPeopleGraph()) {
+    CostMeter load;
+    table_.BulkLoad(ds_.triples(), &load);
+    ex_ = std::make_unique<Executor>(&table_, &ds_.dict());
+  }
+
+  rdf::Dataset ds_;
+  TripleTable table_;
+  std::unique_ptr<Executor> ex_;
+};
+
+TEST_F(SlotCompilerEdgeTest, DuplicateVariableAcrossAllPositions) {
+  // The same variable in subject and object compiles to one slot; no row
+  // of SmallPeopleGraph is reflexive, and the reference agrees.
+  auto q = Parser::Parse("SELECT ?x WHERE { ?x marriedTo ?x . }");
+  ASSERT_TRUE(q.ok());
+  CostMeter meter;
+  auto r = ex_->Execute(*q, &meter);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+
+  // Variable repeated across *patterns* shares the slot through the
+  // bound-variable set instead.
+  auto q2 = Parser::Parse(
+      "SELECT ?x WHERE { alice likes ?x . bob likes ?x . }");
+  ASSERT_TRUE(q2.ok());
+  CostMeter m2;
+  auto r2 = ex_->Execute(*q2, &m2);
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r2->NumRows(), 1u);
+  EXPECT_EQ(r2->At(0, 0), ds_.dict().Lookup("film1"));
+}
+
+// A select variable with no slot in any pattern (the parser rejects this
+// at the surface syntax, so build the AST directly): with rows present
+// the executor refuses rather than fabricating values; with no rows the
+// header is still normalized to the full projection.
+TEST_F(SlotCompilerEdgeTest, UnusedSelectVariableErrorsWhenRowsExist) {
+  sparql::Query q;
+  q.select_vars = {"p", "zz"};
+  q.patterns.push_back({sparql::PatternTerm::Var("p"),
+                        sparql::PatternTerm::Const("bornIn"),
+                        sparql::PatternTerm::Const("berlin")});
+  CostMeter meter;
+  auto r = ex_->Execute(q, &meter);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST_F(SlotCompilerEdgeTest, UnusedSelectVariableEmptyResultKeepsHeader) {
+  sparql::Query q;
+  q.select_vars = {"p", "zz"};
+  q.patterns.push_back({sparql::PatternTerm::Var("p"),
+                        sparql::PatternTerm::Const("bornIn"),
+                        sparql::PatternTerm::Const("atlantis")});
+  CostMeter meter;
+  auto r = ex_->Execute(q, &meter);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->empty());
+  EXPECT_EQ(r->columns, (std::vector<std::string>{"p", "zz"}));
+}
+
+TEST_F(SlotCompilerEdgeTest, SeedColumnOverlapJoinsAndCarries) {
+  // Seed columns: one overlapping the remainder's variables (p, a join
+  // column) and one the remainder never mentions (tag, carried through).
+  BindingTable seed;
+  seed.columns = {"p", "tag"};
+  seed.AppendRow({ds_.dict().Lookup("alice"), 77});
+  seed.AppendRow({ds_.dict().Lookup("carol"), 88});
+
+  // ?tag only exists in the seed, so the surface parser would reject the
+  // projection; build the AST directly (the dual-store remainder path
+  // projects seed columns the same way).
+  sparql::Query q;
+  q.select_vars = {"p", "c", "tag"};
+  q.patterns.push_back({sparql::PatternTerm::Var("p"),
+                        sparql::PatternTerm::Const("bornIn"),
+                        sparql::PatternTerm::Var("c")});
+  CostMeter meter;
+  auto r = ex_->ExecuteWithSeed(q, seed, &meter);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->NumRows(), 2u);
+  r->Canonicalize();
+  for (const BindingTable::RowView row : r->Rows()) {
+    if (row[0] == ds_.dict().Lookup("alice")) {
+      EXPECT_EQ(row[1], ds_.dict().Lookup("berlin"));
+      EXPECT_EQ(row[2], 77u);
+    } else {
+      EXPECT_EQ(row[0], ds_.dict().Lookup("carol"));
+      EXPECT_EQ(row[1], ds_.dict().Lookup("paris"));
+      EXPECT_EQ(row[2], 88u);
+    }
+  }
+}
+
+TEST_F(SlotCompilerEdgeTest, SeedColumnsIdenticalToPatternVars) {
+  // Full overlap: every remainder variable is already seeded — the join
+  // degenerates to a filter and must not duplicate columns.
+  BindingTable seed;
+  seed.columns = {"p", "c"};
+  seed.AppendRow({ds_.dict().Lookup("alice"), ds_.dict().Lookup("berlin")});
+  seed.AppendRow({ds_.dict().Lookup("alice"), ds_.dict().Lookup("paris")});
+
+  auto q = Parser::Parse("SELECT ?p ?c WHERE { ?p bornIn ?c . }");
+  ASSERT_TRUE(q.ok());
+  CostMeter meter;
+  auto r = ex_->ExecuteWithSeed(*q, seed, &meter);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->NumRows(), 1u);  // only alice/berlin survives
+  EXPECT_EQ(r->NumColumns(), 2u);
+  EXPECT_EQ(r->At(0, 0), ds_.dict().Lookup("alice"));
+  EXPECT_EQ(r->At(0, 1), ds_.dict().Lookup("berlin"));
+}
+
+}  // namespace
+}  // namespace dskg::core

@@ -54,8 +54,8 @@ Query Parse(const char* text) {
 /// through the dictionary that produced them, then sorted).
 std::string Canon(const BindingTable& t, const rdf::Dictionary& dict) {
   std::vector<std::string> rows;
-  rows.reserve(t.rows.size());
-  for (const auto& row : t.rows) {
+  rows.reserve(t.NumRows());
+  for (const auto row : t.Rows()) {
     std::string r;
     for (TermId id : row) {
       r += dict.TermOf(id);
@@ -237,10 +237,10 @@ TEST_F(ApplyUpdatesTest, InsertAndDeleteKeepTableAndDatasetAligned) {
 
   auto gone = store_->Process("SELECT ?f WHERE { dave likes ?f . }");
   ASSERT_TRUE(gone.ok());
-  EXPECT_TRUE(gone->result.rows.empty());
+  EXPECT_TRUE(gone->result.empty());
   auto there = store_->Process("SELECT ?p WHERE { ?p bornIn berlin . }");
   ASSERT_TRUE(there.ok());
-  EXPECT_EQ(there->result.rows.size(), 3u);  // alice, bob, eve
+  EXPECT_EQ(there->result.NumRows(), 3u);  // alice, bob, eve
 }
 
 TEST_F(ApplyUpdatesTest, StatsDecayExactlyOnDelete) {
@@ -292,7 +292,7 @@ TEST_F(ApplyUpdatesTest, ResidentGraphPartitionIsMaintained) {
   // The graph copy answers with the new knowledge (Case 1 route).
   auto exec = store_->Process("SELECT ?p WHERE { ?p likes film2 . }");
   ASSERT_TRUE(exec.ok());
-  EXPECT_EQ(exec->result.rows.size(), 3u);  // carol, dave, eve
+  EXPECT_EQ(exec->result.NumRows(), 3u);  // carol, dave, eve
 }
 
 TEST_F(ApplyUpdatesTest, DictionaryReclaimsAndRecyclesTerms) {
@@ -319,7 +319,7 @@ TEST_F(ApplyUpdatesTest, DictionaryReclaimsAndRecyclesTerms) {
   EXPECT_EQ(dict.Lookup("film3"), comedy);
   auto exec = store_->Process("SELECT ?p WHERE { ?p likes film3 . }");
   ASSERT_TRUE(exec.ok());
-  EXPECT_EQ(exec->result.rows.size(), 1u);
+  EXPECT_EQ(exec->result.NumRows(), 1u);
 }
 
 TEST(ApplyUpdatesViewsTest, TouchedPredicatesInvalidateViews) {

@@ -185,7 +185,7 @@ TEST(ParallelEquivalenceTest, ExecuteShardedMatchesExecuteOnRandomBgps) {
     ASSERT_TRUE(sharded.ok()) << sharded.status();
     EXPECT_EQ(serial->columns, sharded->columns) << "query " << i;
     EXPECT_TRUE(BindingTable::SameRows(*serial, *sharded)) << "query " << i;
-    if (!serial->rows.empty()) ++nonempty;
+    if (!serial->empty()) ++nonempty;
 
     if (q.patterns.size() == 1) {
       // Single-pattern queries have no join-operator freedom: the sharded

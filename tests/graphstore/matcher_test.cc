@@ -54,28 +54,28 @@ class MatcherTest : public ::testing::Test {
 TEST_F(MatcherTest, FlagshipTraversal) {
   BindingTable r = Match(
       "SELECT ?p WHERE { ?p bornIn ?c . ?p advisor ?a . ?a bornIn ?c . }");
-  EXPECT_EQ(r.rows.size(), 2u);  // bob, dave
+  EXPECT_EQ(r.NumRows(), 2u);  // bob, dave
 }
 
 TEST_F(MatcherTest, BoundSubjectExpansion) {
   BindingTable r = Match("SELECT ?f WHERE { alice likes ?f . }");
-  ASSERT_EQ(r.rows.size(), 1u);
-  EXPECT_EQ(r.rows[0][0], ds_.dict().Lookup("film1"));
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.At(0, 0), ds_.dict().Lookup("film1"));
 }
 
 TEST_F(MatcherTest, BoundObjectUsesInAdjacency) {
   BindingTable r = Match("SELECT ?p WHERE { ?p advisor alice . }");
-  EXPECT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.NumRows(), 2u);
 }
 
 TEST_F(MatcherTest, RepeatedVariableWithinPattern) {
   BindingTable r = Match("SELECT ?x WHERE { ?x likes ?x . }");
-  EXPECT_TRUE(r.rows.empty());
+  EXPECT_TRUE(r.empty());
 }
 
 TEST_F(MatcherTest, UnknownConstantGivesEmpty) {
   BindingTable r = Match("SELECT ?p WHERE { ?p bornIn atlantis . }");
-  EXPECT_TRUE(r.rows.empty());
+  EXPECT_TRUE(r.empty());
   EXPECT_EQ(r.columns, std::vector<std::string>{"p"});
 }
 

@@ -74,8 +74,8 @@ TEST_P(CrossEngineEquivalenceTest, AllQueriesAgreeAcrossEngines) {
     ASSERT_TRUE(b.ok()) << b.status() << "\n" << wq.query.ToString();
     EXPECT_TRUE(
         sparql::BindingTable::SameRows(a->result, b->result))
-        << wq.query.ToString() << "\nrel rows: " << a->result.rows.size()
-        << " dual rows: " << b->result.rows.size()
+        << wq.query.ToString() << "\nrel rows: " << a->result.NumRows()
+        << " dual rows: " << b->result.NumRows()
         << " route: " << core::RouteName(b->route);
   }
 }

@@ -40,7 +40,7 @@ class ExecutorTest : public ::testing::Test {
 
 TEST_F(ExecutorTest, SinglePatternScan) {
   BindingTable r = Run("SELECT ?p WHERE { ?p bornIn berlin . }");
-  EXPECT_EQ(r.rows.size(), 2u);  // alice, bob
+  EXPECT_EQ(r.NumRows(), 2u);  // alice, bob
 }
 
 TEST_F(ExecutorTest, TwoWayJoin) {
@@ -48,41 +48,41 @@ TEST_F(ExecutorTest, TwoWayJoin) {
   // and dave (carol/paris).
   BindingTable r = Run(
       "SELECT ?p WHERE { ?p bornIn ?c . ?p advisor ?a . ?a bornIn ?c . }");
-  ASSERT_EQ(r.rows.size(), 2u);
+  ASSERT_EQ(r.NumRows(), 2u);
   r.Canonicalize();
-  std::set<rdf::TermId> people = {r.rows[0][0], r.rows[1][0]};
+  std::set<rdf::TermId> people = {r.At(0, 0), r.At(1, 0)};
   EXPECT_TRUE(people.count(ds_.dict().Lookup("bob")));
   EXPECT_TRUE(people.count(ds_.dict().Lookup("dave")));
 }
 
 TEST_F(ExecutorTest, UnknownConstantYieldsEmptyWithHeader) {
   BindingTable r = Run("SELECT ?p WHERE { ?p bornIn atlantis . }");
-  EXPECT_TRUE(r.rows.empty());
+  EXPECT_TRUE(r.empty());
   EXPECT_EQ(r.columns, std::vector<std::string>{"p"});
 }
 
 TEST_F(ExecutorTest, RepeatedVariableWithinPattern) {
   // ?x likes ?x matches nothing here.
   BindingTable r = Run("SELECT ?x WHERE { ?x likes ?x . }");
-  EXPECT_TRUE(r.rows.empty());
+  EXPECT_TRUE(r.empty());
 }
 
 TEST_F(ExecutorTest, VariablePredicate) {
   BindingTable r = Run("SELECT ?rel WHERE { alice ?rel bob . }");
-  ASSERT_EQ(r.rows.size(), 1u);
-  EXPECT_EQ(r.rows[0][0], ds_.dict().Lookup("marriedTo"));
+  ASSERT_EQ(r.NumRows(), 1u);
+  EXPECT_EQ(r.At(0, 0), ds_.dict().Lookup("marriedTo"));
 }
 
 TEST_F(ExecutorTest, CartesianProductWhenDisconnected) {
   BindingTable r = Run(
       "SELECT ?a ?b WHERE { ?a genre drama . ?b genre comedy . }");
-  ASSERT_EQ(r.rows.size(), 1u);  // film1 x film2
+  ASSERT_EQ(r.NumRows(), 1u);  // film1 x film2
 }
 
 TEST_F(ExecutorTest, SelectStarProjectsAllVariables) {
   BindingTable r = Run("SELECT * WHERE { ?p likes ?f . ?f genre ?g . }");
   EXPECT_EQ(r.columns.size(), 3u);
-  EXPECT_EQ(r.rows.size(), 4u);
+  EXPECT_EQ(r.NumRows(), 4u);
 }
 
 TEST_F(ExecutorTest, DuplicateResultsPreserved) {
@@ -90,22 +90,23 @@ TEST_F(ExecutorTest, DuplicateResultsPreserved) {
   // symmetric and self pairs (SELECT without DISTINCT keeps them all).
   BindingTable r =
       Run("SELECT ?a ?b WHERE { ?a likes ?f . ?b likes ?f . }");
-  EXPECT_EQ(r.rows.size(), 8u);  // 2^2 + 2^2
+  EXPECT_EQ(r.NumRows(), 8u);  // 2^2 + 2^2
 }
 
 TEST_F(ExecutorTest, SeededExecutionJoinsByColumnName) {
   // Seed with two people; the remainder looks up their birth city.
   BindingTable seed;
   seed.columns = {"p"};
-  seed.rows = {{ds_.dict().Lookup("alice")}, {ds_.dict().Lookup("carol")}};
+  seed.AppendRow({ds_.dict().Lookup("alice")});
+  seed.AppendRow({ds_.dict().Lookup("carol")});
   auto q = Parser::Parse("SELECT ?p ?c WHERE { ?p bornIn ?c . }");
   ASSERT_TRUE(q.ok());
   CostMeter meter;
   auto r = executor_->ExecuteWithSeed(*q, seed, &meter);
   ASSERT_TRUE(r.ok()) << r.status();
-  EXPECT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->NumRows(), 2u);
   // Each row's city matches the seeded person, not the cross product.
-  for (const auto& row : r->rows) {
+  for (const auto row : r->Rows()) {
     if (row[0] == ds_.dict().Lookup("alice")) {
       EXPECT_EQ(row[1], ds_.dict().Lookup("berlin"));
     } else {
@@ -161,7 +162,7 @@ TEST_P(ExecutorFuzzTest, AgreesWithReferenceEvaluator) {
     BindingTable expected = reference.Evaluate(q);
     EXPECT_TRUE(BindingTable::SameRows(*actual, expected))
         << "query: " << q.ToString() << "\nactual rows: "
-        << actual->rows.size() << " expected: " << expected.rows.size();
+        << actual->NumRows() << " expected: " << expected.NumRows();
   }
 }
 
@@ -183,7 +184,7 @@ TEST(ExecutorScale, FlagshipQueryOnGeneratedGraph) {
   CostMeter meter;
   auto r = executor.Execute(*q, &meter);
   ASSERT_TRUE(r.ok()) << r.status();
-  EXPECT_GT(r->rows.size(), 0u);
+  EXPECT_GT(r->NumRows(), 0u);
 
   testing::ReferenceEvaluator reference(&ds);
   BindingTable expected = reference.Evaluate(*q);

@@ -78,7 +78,7 @@ TEST_F(ViewsTest, CreateAndAnswerExactSubquery) {
   CostMeter qmeter;
   auto ans = views_->TryAnswer(def->patterns, &qmeter);
   ASSERT_TRUE(ans.has_value());
-  EXPECT_EQ(ans->bindings.rows.size(), 2u);  // bob, dave
+  EXPECT_EQ(ans->bindings.NumRows(), 2u);  // bob, dave
   EXPECT_GT(qmeter.count(Op::kViewLookup), 0u);
 }
 
@@ -95,10 +95,10 @@ TEST_F(ViewsTest, GeneralizedViewAnswersMutations) {
   CostMeter qmeter;
   auto ans = views_->TryAnswer(comedy, &qmeter);
   ASSERT_TRUE(ans.has_value());
-  ASSERT_EQ(ans->bindings.rows.size(), 2u);  // carol, dave like film2
+  ASSERT_EQ(ans->bindings.NumRows(), 2u);  // carol, dave like film2
   const int f_col = ans->bindings.ColumnIndex("f");
   ASSERT_GE(f_col, 0);
-  for (const auto& row : ans->bindings.rows) {
+  for (const auto row : ans->bindings.Rows()) {
     EXPECT_EQ(row[static_cast<size_t>(f_col)], ds_.dict().Lookup("film2"));
   }
 }
@@ -112,7 +112,7 @@ TEST_F(ViewsTest, UnknownConstantFilterGivesEmptyAnswer) {
   CostMeter qmeter;
   auto ans = views_->TryAnswer(q, &qmeter);
   ASSERT_TRUE(ans.has_value());
-  EXPECT_TRUE(ans->bindings.rows.empty());
+  EXPECT_TRUE(ans->bindings.empty());
 }
 
 TEST_F(ViewsTest, NoMatchingViewReturnsNullopt) {

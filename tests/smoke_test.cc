@@ -29,7 +29,7 @@ TEST(Smoke, FlagshipQueryAgreesAcrossVariants) {
   auto r1 = only.Process(kQuery);
   ASSERT_TRUE(r1.ok()) << r1.status();
   EXPECT_EQ(r1->route, core::Route::kRelationalOnly);
-  EXPECT_GT(r1->result.rows.size(), 0u);
+  EXPECT_GT(r1->result.NumRows(), 0u);
 
   core::DualStoreConfig gdb;
   gdb.use_graph = true;

@@ -134,17 +134,19 @@ TEST(Ast, ToStringRoundTripsThroughParser) {
 TEST(Bindings, ProjectSelectsAndReorders) {
   BindingTable t;
   t.columns = {"a", "b", "c"};
-  t.rows = {{1, 2, 3}, {4, 5, 6}};
+  t.AppendRow({1, 2, 3});
+  t.AppendRow({4, 5, 6});
   BindingTable p = t.Project({"c", "a"});
   EXPECT_EQ(p.columns, (std::vector<std::string>{"c", "a"}));
-  ASSERT_EQ(p.rows.size(), 2u);
-  EXPECT_EQ(p.rows[0], (std::vector<rdf::TermId>{3, 1}));
+  ASSERT_EQ(p.NumRows(), 2u);
+  EXPECT_EQ(p.At(0, 0), 3u);
+  EXPECT_EQ(p.At(0, 1), 1u);
 }
 
 TEST(Bindings, ProjectSkipsMissingColumns) {
   BindingTable t;
   t.columns = {"a"};
-  t.rows = {{7}};
+  t.AppendRow({7});
   BindingTable p = t.Project({"a", "zz"});
   EXPECT_EQ(p.columns, std::vector<std::string>{"a"});
 }
@@ -152,10 +154,11 @@ TEST(Bindings, ProjectSkipsMissingColumns) {
 TEST(Bindings, SameRowsIgnoresOrderButNotMultiplicity) {
   BindingTable x, y;
   x.columns = y.columns = {"a"};
-  x.rows = {{1}, {2}, {2}};
-  y.rows = {{2}, {1}, {2}};
+  for (rdf::TermId v : {1, 2, 2}) x.AppendRow({v});
+  for (rdf::TermId v : {2, 1, 2}) y.AppendRow({v});
   EXPECT_TRUE(BindingTable::SameRows(x, y));
-  y.rows = {{2}, {1}};
+  y.ClearRows();
+  for (rdf::TermId v : {2, 1}) y.AppendRow({v});
   EXPECT_FALSE(BindingTable::SameRows(x, y));
 }
 

@@ -80,11 +80,10 @@ class ReferenceEvaluator {
                std::map<std::string, rdf::TermId>* bindings,
                sparql::BindingTable* out) const {
     if (depth == query.patterns.size()) {
-      std::vector<rdf::TermId> row;
-      for (const std::string& v : out->columns) {
-        row.push_back(bindings->at(v));
+      rdf::TermId* row = out->AppendRow();
+      for (size_t i = 0; i < out->columns.size(); ++i) {
+        row[i] = bindings->at(out->columns[i]);
       }
-      out->rows.push_back(std::move(row));
       return;
     }
     const sparql::TriplePattern& p = query.patterns[depth];
