@@ -19,13 +19,18 @@
 // triples). Run with `--json out.json` for the machine-readable record
 // (wall_ms / peak_rss_kb are appended to every row automatically).
 
+#include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/dual_store.h"
+#include "core/session.h"
 #include "graphstore/matcher.h"
 #include "relstore/btree.h"
 #include "relstore/executor.h"
@@ -256,6 +261,180 @@ void Run(JsonReporter* json) {
                                             : 0.0},
                       {"matched_queries", matched},
                       {"result_rows", rows}});
+  }
+
+  // ---- prepare-once / execute-many vs parse-per-query ---------------------
+  // The session-API amortization on the WatDiv-C complex mix: the
+  // parse-per-query baseline instantiates each execution the way the old
+  // workload path did (string-substitute the template's $params, re-parse,
+  // re-identify, re-plan), while the prepared path binds new parameter
+  // values into the cached plan. Execution work is identical by design
+  // (simulated charges are bit-equal), so the delta is exactly the
+  // plan-time work the prepared-statement API removes. A deliberately
+  // small extent keeps per-execution engine time low so the amortized
+  // share is visible and stable.
+  {
+    workload::WatDivConfig cfg;
+    cfg.target_triples = std::max<uint64_t>(Scaled(8000), 6000);
+    rdf::Dataset ds = workload::GenerateWatDiv(cfg);
+    workload::WorkloadBuilder builder(&ds);
+    workload::WorkloadOptions opt;
+    opt.ordered = true;
+    auto wres = builder.Build("watdiv-c", workload::WatDivComplexTemplates(),
+                              opt);
+    if (!wres.ok()) {
+      std::fprintf(stderr, "prepared-bench workload build failed: %s\n",
+                   wres.status().ToString().c_str());
+      std::abort();
+    }
+    const workload::Workload w = std::move(wres).ValueOrDie();
+    core::DualStoreConfig sc;
+    sc.use_graph = false;
+    core::DualStore store(&ds, sc);
+
+    // The old instantiation path: substitute $params into the text.
+    auto instantiate = [](std::string text,
+                          const std::vector<std::pair<std::string,
+                                                      std::string>>& binds) {
+      for (const auto& [p, v] : binds) {
+        const std::string needle = "$" + p;
+        size_t pos = 0;
+        while ((pos = text.find(needle, pos)) != std::string::npos) {
+          const size_t after = pos + needle.size();
+          const bool boundary =
+              after >= text.size() ||
+              (!std::isalnum(static_cast<unsigned char>(text[after])) &&
+               text[after] != '_');
+          if (boundary) {
+            text.replace(pos, needle.size(), v);
+            pos += v.size();
+          } else {
+            pos += needle.size();
+          }
+        }
+      }
+      return text;
+    };
+    std::vector<std::string> bound_texts;
+    bound_texts.reserve(w.queries.size());
+    for (const workload::WorkloadQuery& wq : w.queries) {
+      bound_texts.push_back(instantiate(wq.prepared_text, wq.bindings));
+    }
+
+    // One prepared handle per query (all handles of a template share the
+    // cached plan; binding is the only per-execution setup).
+    core::Session session(&store);
+    std::vector<core::PreparedQuery> prepared;
+    prepared.reserve(w.queries.size());
+    for (const workload::WorkloadQuery& wq : w.queries) {
+      auto p = session.Prepare(wq.prepared_text);
+      if (!p.ok()) {
+        std::fprintf(stderr, "Prepare failed: %s\n",
+                     p.status().ToString().c_str());
+        std::abort();
+      }
+      prepared.push_back(std::move(p).ValueOrDie());
+    }
+
+    using Clock = std::chrono::steady_clock;
+    const int kPasses = 8;  // 8 x 15 queries = 120 executions per round
+    const int kRounds = 3;  // alternate rounds, keep each path's best
+    uint64_t rows_baseline = 0;
+    uint64_t rows_prepared = 0;
+    double best_baseline_ms = std::numeric_limits<double>::max();
+    double best_prepared_ms = std::numeric_limits<double>::max();
+    for (int round = 0; round < kRounds; ++round) {
+      uint64_t rows_b = 0;
+      const auto b0 = Clock::now();
+      for (int pass = 0; pass < kPasses; ++pass) {
+        for (const std::string& text : bound_texts) {
+          auto r = store.Process(text);  // parse + identify + plan + run
+          rows_b += r.ok() ? r->result.NumRows() : 0;
+        }
+      }
+      best_baseline_ms = std::min(
+          best_baseline_ms,
+          std::chrono::duration<double, std::milli>(Clock::now() - b0)
+              .count());
+
+      uint64_t rows_p = 0;
+      const auto p0 = Clock::now();
+      for (int pass = 0; pass < kPasses; ++pass) {
+        for (size_t i = 0; i < prepared.size(); ++i) {
+          for (const auto& [param, term] : w.queries[i].bindings) {
+            (void)prepared[i].Bind(param, term);
+          }
+          auto r = prepared[i].ExecuteAll();  // bind-patch + run
+          rows_p += r.ok() ? r->result.NumRows() : 0;
+        }
+      }
+      best_prepared_ms = std::min(
+          best_prepared_ms,
+          std::chrono::duration<double, std::milli>(Clock::now() - p0)
+              .count());
+      rows_baseline = rows_b;
+      rows_prepared = rows_p;
+    }
+
+    // The removed work, measured directly: substitution + parse +
+    // identification + routing + slot compilation (no execution).
+    uint64_t prep_iters = 0;
+    double prep_ms = 0;
+    {
+      const auto t0 = Clock::now();
+      while (prep_ms < 200.0) {
+        for (const workload::WorkloadQuery& wq : w.queries) {
+          const std::string text = instantiate(wq.prepared_text, wq.bindings);
+          auto q = sparql::Parser::Parse(text);
+          if (q.ok()) {
+            auto plan = store.Prepare(*q);
+            prep_iters += plan.ok() ? 1 : 0;
+          }
+        }
+        prep_ms = std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                      .count();
+      }
+    }
+
+    const uint64_t executions =
+        static_cast<uint64_t>(kPasses) * w.queries.size();
+    const double base_us = best_baseline_ms * 1000.0 /
+                           static_cast<double>(executions);
+    const double prep_us_exec = best_prepared_ms * 1000.0 /
+                                static_cast<double>(executions);
+    const double removed_us =
+        prep_iters > 0 ? prep_ms * 1000.0 / static_cast<double>(prep_iters)
+                       : 0.0;
+    // The CI-guarded bit. The prepared path does strictly less work per
+    // execution, but this is a wall-clock comparison on shared runners:
+    // a 10% noise margin keeps the gate honest (losing the amortization
+    // entirely would make the two paths equal, well past the margin)
+    // without flaking on scheduler jitter. The raw per-exec numbers and
+    // speedup are recorded alongside for trajectory tracking.
+    const int prepared_slower = prep_us_exec <= base_us * 1.10 ? 0 : 1;
+    const int rows_match = rows_baseline == rows_prepared ? 1 : 0;
+    std::printf("%-22s %10llu execs  %10.3f us/exec parse-per-query\n",
+                "prepared_vs_parse",
+                static_cast<unsigned long long>(executions), base_us);
+    std::printf("%-22s %10s        %10.3f us/exec prepared (bind+run)\n", "",
+                "", prep_us_exec);
+    std::printf("  removed per execution: %.3f us (substitute+parse+"
+                "identify+plan), speedup %.2fx, rows_match=%d\n",
+                removed_us, prep_us_exec > 0 ? base_us / prep_us_exec : 0.0,
+                rows_match);
+    json->Row("prepared",
+              {{"name", "prepared_vs_parse"},
+               {"executions", executions},
+               {"queries_per_pass",
+                static_cast<uint64_t>(w.queries.size())},
+               {"result_rows", rows_baseline / kPasses},
+               {"rows_match", rows_match},
+               {"prepared_slower", prepared_slower},
+               {"baseline_per_exec_us", base_us},
+               {"prepared_per_exec_us", prep_us_exec},
+               {"removed_prepare_us", removed_us},
+               {"speedup_wall",
+                prep_us_exec > 0 ? base_us / prep_us_exec : 0.0}});
   }
 
   Rule();

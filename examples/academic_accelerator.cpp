@@ -11,6 +11,7 @@
 #include "core/dotil.h"
 #include "core/dual_store.h"
 #include "core/runner.h"
+#include "core/session.h"
 #include "workload/generators.h"
 #include "workload/templates.h"
 
@@ -86,5 +87,40 @@ int main() {
                 static_cast<unsigned long long>(store.PartitionSize(pred)),
                 dotil.MatrixOf(pred).at(0, 1), dotil.MatrixOf(pred).at(1, 0));
   }
+
+  // Serve an ad-hoc analyst question from the tuned store through the
+  // public Session API: prepared once, parameterized by prize, streamed.
+  core::Session session(&store);
+  auto prepared = session.Prepare(
+      "SELECT ?p ?c WHERE { ?p y:wonPrize $prize . "
+      "?p y:graduatedFrom ?u . ?u y:locatedInCity ?c . }");
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "%s\n", prepared.status().ToString().c_str());
+    return 1;
+  }
+  if (auto s = prepared->Bind("prize", "y:prize_0"); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto cursor = prepared->OpenCursor();
+  if (!cursor.ok()) {
+    std::fprintf(stderr, "%s\n", cursor.status().ToString().c_str());
+    return 1;
+  }
+  sparql::BindingTable chunk;
+  bool done = false;
+  size_t streamed = 0;
+  while (!done && streamed < 5) {  // first few hits only: the cursor
+    if (!cursor->Next(&chunk, 1, &done).ok()) break;  // stops the search
+    for (const auto row : chunk.Rows()) {
+      std::printf("  prize winner %s (university city %s)\n",
+                  kg.dict().TermOf(row[0]).c_str(),
+                  kg.dict().TermOf(row[1]).c_str());
+      ++streamed;
+    }
+  }
+  std::printf("\nstreamed the first %zu answer(s) of the tuned store "
+              "(route=%s) without materializing the rest.\n",
+              streamed, core::RouteName(cursor->route()));
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "core/dual_store.h"
+#include "core/session.h"
 #include "workload/generators.h"
 
 using namespace dskg;
@@ -35,16 +36,27 @@ int main() {
     }
   }
 
-  // A pathway-style query: two-hop interaction neighborhoods of proteins
-  // with a given function. Its complex subquery runs in the graph store;
-  // the second hop finishes in the relational store (Case 2).
-  const char* query =
+  // A pathway-style query template: two-hop interaction neighborhoods of
+  // proteins with a $function of interest. Prepared once through the
+  // session; every function of interest is just a rebind. Its complex
+  // subquery runs in the graph store; the second hop finishes in the
+  // relational store (Case 2).
+  core::Session session(&store);
+  auto prepared = session.Prepare(
       "SELECT ?pa ?pc WHERE { "
       "  ?pa b2r:interactsWith ?pb . "
       "  ?pb b2r:interactsWith ?pc . "
-      "  ?pa b2r:hasFunction b2r:function_3 . }";
+      "  ?pa b2r:hasFunction $function . }");
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "%s\n", prepared.status().ToString().c_str());
+    return 1;
+  }
+  if (auto s = prepared->Bind("function", "b2r:function_3"); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
 
-  auto before = store.Process(query);
+  auto before = prepared->ExecuteAll();
   if (!before.ok()) {
     std::fprintf(stderr, "%s\n", before.status().ToString().c_str());
     return 1;
@@ -74,7 +86,10 @@ int main() {
               "resident graph-partition maintenance)\n",
               update_cost.sim_micros());
 
-  auto after = store.Process(query);
+  // The prepared plan re-validates by itself: inserts moved the store's
+  // plan epoch, so this execution re-plans against the new state — no
+  // caller-side cache invalidation, and the new facts are visible.
+  auto after = prepared->ExecuteAll();
   if (!after.ok()) {
     std::fprintf(stderr, "%s\n", after.status().ToString().c_str());
     return 1;

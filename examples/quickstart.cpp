@@ -1,19 +1,22 @@
-// Quickstart: build a small knowledge graph, ask the paper's flagship
-// complex query, and watch the dual store route it — first through the
-// relational store (cold), then through the graph store after migrating
-// the two partitions the query needs.
+// Quickstart: the Session API end to end. Build a small knowledge graph,
+// prepare the paper's flagship complex query once (with a `$city`
+// parameter), execute it with different bindings, watch the dual store
+// re-route it after tuning — the prepared plan re-validates by itself —
+// and stream the final result through a cursor.
 //
 //   $ ./build/examples/quickstart
 
 #include <cstdio>
 
 #include "core/dual_store.h"
+#include "core/session.h"
 #include "rdf/dataset.h"
 
 using dskg::CostMeter;
 using dskg::core::DualStore;
 using dskg::core::DualStoreConfig;
 using dskg::core::RouteName;
+using dskg::core::Session;
 
 int main() {
   // 1. A hand-written knowledge graph: people, cities, advisors.
@@ -29,33 +32,49 @@ int main() {
   kg.Add("ex:grace", "ex:hasGivenName", "ex:Grace");
   kg.Add("ex:alan", "ex:hasGivenName", "ex:Alan");
 
-  // 2. A dual store: the relational store absorbs the whole graph; the
-  //    graph store (capacity: 6 triples) starts empty.
+  // 2. A dual store and a session over it. The session owns the prepared-
+  //    statement cache; `Prepare` parses, identifies the complex
+  //    subquery, picks the route and slot-compiles ONCE.
   DualStoreConfig config;
   config.graph_capacity_triples = 8;
   DualStore store(&kg, config);
+  Session session(&store);
 
-  // 3. The flagship complex query: who was born in the same city as
-  //    their academic advisor?
-  const char* query =
+  // 3. The flagship complex query, parameterized: who was born in $city
+  //    together with their academic advisor?
+  auto prepared = session.Prepare(
       "SELECT ?name WHERE { "
-      "  ?p ex:wasBornIn ?city . "
+      "  ?p ex:wasBornIn $city . "
       "  ?p ex:hasAcademicAdvisor ?a . "
-      "  ?a ex:wasBornIn ?city . "
-      "  ?p ex:hasGivenName ?name . }";
-
-  auto cold = store.Process(query);
-  if (!cold.ok()) {
-    std::fprintf(stderr, "query failed: %s\n",
-                 cold.status().ToString().c_str());
+      "  ?a ex:wasBornIn $city . "
+      "  ?p ex:hasGivenName ?name . }");
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "prepare failed: %s\n",
+                 prepared.status().ToString().c_str());
     return 1;
   }
-  std::printf("cold store  : route=%-10s  %zu row(s), %.2f sim-us\n",
-              RouteName(cold->route), cold->result.NumRows(),
-              cold->total_micros());
 
-  // 4. Migrate the two partitions the complex subquery needs (this is
-  //    what DOTIL automates; see the academic_accelerator example).
+  // 4. Execute-many: rebinding the parameter re-uses the cached plan —
+  //    no re-parse, no re-routing, no re-encoding.
+  for (const char* city : {"ex:london", "ex:newyork"}) {
+    if (auto s = prepared->Bind("city", city); !s.ok()) {
+      std::fprintf(stderr, "bind failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    auto exec = prepared->ExecuteAll();
+    if (!exec.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   exec.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("cold  $city=%-12s route=%-10s %zu row(s), %.2f sim-us\n",
+                city, RouteName(exec->route), exec->result.NumRows(),
+                exec->total_micros());
+  }
+
+  // 5. Migrate the two partitions the complex subquery needs (this is
+  //    what DOTIL automates; see the academic_accelerator example). The
+  //    store's plan epoch moves, so the prepared plan is now stale...
   CostMeter tuning;
   for (const char* pred : {"ex:wasBornIn", "ex:hasAcademicAdvisor"}) {
     auto s = store.MigratePartition(kg.dict().Lookup(pred), &tuning);
@@ -64,26 +83,51 @@ int main() {
       return 1;
     }
   }
-  std::printf("tuning      : moved %llu triples into the graph store "
+  std::printf("tuning: moved %llu triples into the graph store "
               "(%.2f sim-us, offline)\n",
               static_cast<unsigned long long>(store.graph().used_triples()),
               tuning.sim_micros());
 
-  // 5. Same query, warm store: the complex subquery runs as a graph
-  //    traversal; the name lookup stays relational (Case 2 of the
-  //    paper's Algorithm 3).
-  auto warm = store.Process(query);
-  if (!warm.ok()) {
-    std::fprintf(stderr, "query failed: %s\n",
-                 warm.status().ToString().c_str());
+  // 6. ...and the next execution transparently re-validates it: the
+  //    complex subquery now runs as a graph traversal, the name lookup
+  //    stays relational (Case 2 of the paper's Algorithm 3). This time,
+  //    stream the result through a cursor instead of materializing it.
+  if (auto s = prepared->Bind("city", "ex:london"); !s.ok()) {
+    std::fprintf(stderr, "bind failed: %s\n", s.ToString().c_str());
     return 1;
   }
-  std::printf("warm store  : route=%-10s  %zu row(s), %.2f sim-us\n",
-              RouteName(warm->route), warm->result.NumRows(),
-              warm->total_micros());
-
-  for (const auto row : warm->result.Rows()) {
-    std::printf("  -> %s\n", kg.dict().TermOf(row[0]).c_str());
+  auto cursor = prepared->OpenCursor();
+  if (!cursor.ok()) {
+    std::fprintf(stderr, "cursor failed: %s\n",
+                 cursor.status().ToString().c_str());
+    return 1;
   }
-  return 0;
+  std::printf("warm  $city=%-12s route=%-10s (streaming)\n", "ex:london",
+              RouteName(cursor->route()));
+  dskg::sparql::BindingTable chunk;
+  bool done = false;
+  size_t rows = 0;
+  while (!done) {
+    if (auto s = cursor->Next(&chunk, /*max_rows=*/2, &done); !s.ok()) {
+      std::fprintf(stderr, "cursor failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    for (const auto row : chunk.Rows()) {
+      std::printf("  -> %s\n", kg.dict().TermOf(row[0]).c_str());
+      ++rows;
+    }
+  }
+  const auto drained = cursor->Execution();
+  std::printf("streamed %zu row(s), %.2f sim-us "
+              "(graph %.2f + rel %.2f + migrate %.2f)\n",
+              rows, drained.total_micros(), drained.graph_micros,
+              drained.rel_micros, drained.migrate_micros);
+
+  const Session::Stats stats = session.stats();
+  std::printf("session: %llu prepare(s), %llu execution(s), "
+              "%llu transparent replan(s)\n",
+              static_cast<unsigned long long>(stats.prepares),
+              static_cast<unsigned long long>(stats.executions),
+              static_cast<unsigned long long>(stats.replans));
+  return rows > 0 ? 0 : 1;
 }

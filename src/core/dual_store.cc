@@ -41,6 +41,27 @@ Result<QueryExecution> DualStore::Process(std::string_view text) const {
   return processor_->Process(query);
 }
 
+Result<PreparedPlan> DualStore::Prepare(const Query& query) const {
+  DSKG_ASSIGN_OR_RETURN(PreparedPlan plan, processor_->Prepare(query));
+  plan.plan_epoch = plan_epoch();
+  return plan;
+}
+
+Result<QueryExecution> DualStore::ExecutePlan(const PreparedPlan& plan,
+                                              const rdf::TermId* params) const {
+  return processor_->ExecutePlan(plan, params);
+}
+
+Result<ExecutionCursor> DualStore::OpenCursor(const PreparedPlan& plan,
+                                              const rdf::TermId* params) const {
+  return processor_->OpenCursor(plan, params);
+}
+
+void DualStore::ForcePlanEpoch(uint64_t target) {
+  const uint64_t views_v = views_ != nullptr ? views_->catalog_version() : 0;
+  plan_epoch_ = target > views_v ? target - views_v : 0;
+}
+
 Status DualStore::Insert(std::string_view subject, std::string_view predicate,
                          std::string_view object, CostMeter* meter) {
   // A single-fact insert is a one-op batch: same consistency guarantees
@@ -54,6 +75,10 @@ Status DualStore::Insert(std::string_view subject, std::string_view predicate,
 
 Result<UpdateResult> DualStore::ApplyUpdates(const UpdateBatch& batch,
                                              CostMeter* meter) {
+  // Any batch may intern terms, flip residency (overflow eviction) or
+  // change statistics: prepared plans must re-validate. Bumped
+  // unconditionally so both online replicas advance in lockstep.
+  ++plan_epoch_;
   UpdateResult res;
   CostMeter local;
   CostMeter* m = meter != nullptr ? meter : &local;
@@ -148,11 +173,15 @@ Status DualStore::MigratePartition(TermId predicate, CostMeter* meter) {
     triples.push_back(t);
     return true;
   }));
-  return graph_.ImportPartition(predicate, triples, meter);
+  DSKG_RETURN_NOT_OK(graph_.ImportPartition(predicate, triples, meter));
+  ++plan_epoch_;  // residency changed: prepared routes are stale
+  return Status::OK();
 }
 
 Status DualStore::EvictPartition(TermId predicate, CostMeter* meter) {
-  return graph_.EvictPartition(predicate, meter);
+  DSKG_RETURN_NOT_OK(graph_.EvictPartition(predicate, meter));
+  ++plan_epoch_;  // residency changed: prepared routes are stale
+  return Status::OK();
 }
 
 Result<double> DualStore::GraphQueryCost(const Query& qc,

@@ -79,6 +79,40 @@ class DualStore {
   /// Parses `text` and processes it.
   Result<QueryExecution> Process(std::string_view text) const;
 
+  // ---- prepared path ------------------------------------------------------
+  // (`core::Session` is the ergonomic front door — it adds the plan
+  // cache, `$param` binding by name, and epoch re-validation on top.)
+
+  /// Plan-time half of Algorithm 3 for `query`: identification, routing,
+  /// slot compilation, stamped with the current `plan_epoch()`.
+  Result<PreparedPlan> Prepare(const sparql::Query& query) const;
+
+  /// Executes a prepared plan with bound parameter values (one per
+  /// `plan.params` entry; null when none). Identical results and
+  /// simulated charges as `Process` on the bound query. The caller is
+  /// responsible for epoch validation (`Session` does it transparently).
+  Result<QueryExecution> ExecutePlan(const PreparedPlan& plan,
+                                     const rdf::TermId* params) const;
+
+  /// Streaming variant of `ExecutePlan` (see `ExecutionCursor`).
+  Result<ExecutionCursor> OpenCursor(const PreparedPlan& plan,
+                                     const rdf::TermId* params) const;
+
+  /// Monotone version of everything a prepared plan depends on: graph-
+  /// store residency, the view catalog, and dictionary/statistics state
+  /// (bumped by MigratePartition, EvictPartition and ApplyUpdates, plus
+  /// every view-catalog change). A plan whose `plan_epoch` differs from
+  /// the store's must be re-prepared before use.
+  uint64_t plan_epoch() const {
+    return plan_epoch_ + (views_ != nullptr ? views_->catalog_version() : 0);
+  }
+
+  /// Forces `plan_epoch()` to `target` (which must be >= the current
+  /// value). Replication bookkeeping only: `OnlineStore` aligns its two
+  /// replicas' epochs after a tuning window so a plan validated against
+  /// one replica is exactly as valid against the other.
+  void ForcePlanEpoch(uint64_t target);
+
   /// Inserts a new fact. The relational store always absorbs it; if the
   /// predicate's partition is resident in the graph store, the graph copy
   /// is updated too (the slow native-store insert path). Cost is charged
@@ -146,6 +180,8 @@ class DualStore {
   const relstore::TripleTable& table() const { return table_; }
   const graphstore::PropertyGraph& graph() const { return graph_; }
   const relstore::Executor& executor() const { return executor_; }
+  const graphstore::TraversalMatcher& matcher() const { return matcher_; }
+  const QueryProcessor& processor() const { return *processor_; }
   relstore::MaterializedViewManager* views() { return views_.get(); }
   const relstore::MaterializedViewManager* views() const {
     return views_.get();
@@ -168,6 +204,8 @@ class DualStore {
   std::unique_ptr<relstore::MaterializedViewManager> views_;
   std::unique_ptr<QueryProcessor> processor_;
   double load_micros_ = 0;
+  /// Structural share of `plan_epoch()` (residency + content changes).
+  uint64_t plan_epoch_ = 0;
 };
 
 }  // namespace dskg::core

@@ -1,5 +1,6 @@
 #include "core/online_store.h"
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -78,6 +79,17 @@ Status OnlineStore::TuneExclusive(const std::function<Status(DualStore*)>& fn) {
   Status s = fn(sides_[active].get());
   if (s.ok()) {
     s = SyncAccelerators(*sides_[active], sides_[1 - active].get());
+  }
+  if (s.ok()) {
+    // Align the replicas' plan epochs: the tuner's op count on the active
+    // side rarely equals the sync's net op count on the passive side, but
+    // after the mirror both are logically identical — so a prepared plan
+    // must be exactly as (in)valid against either. Strictly above both
+    // old values, so every pre-tune plan re-validates.
+    const uint64_t target = std::max(sides_[0]->plan_epoch(),
+                                     sides_[1]->plan_epoch()) + 1;
+    sides_[0]->ForcePlanEpoch(target);
+    sides_[1]->ForcePlanEpoch(target);
   }
   if (!s.ok()) {
     // A half-applied tuning window leaves the replicas' accelerator

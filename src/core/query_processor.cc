@@ -1,7 +1,14 @@
 #include "core/query_processor.h"
 
+#include <algorithm>
+#include <limits>
+#include <utility>
+
 namespace dskg::core {
 
+using graphstore::TraversalMatcher;
+using rdf::TermId;
+using relstore::Executor;
 using sparql::BindingTable;
 using sparql::Query;
 
@@ -25,9 +32,170 @@ bool QueryProcessor::GraphCovers(const Query& q) const {
   return true;
 }
 
-Result<QueryExecution> QueryProcessor::Process(const Query& query) const {
+namespace {
+
+/// Index of `name` in `params` (the plan-level parameter order). The
+/// parser guarantees every artifact parameter is a query parameter.
+size_t PlanParamIndex(const std::vector<std::string>& params,
+                      const std::string& name) {
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (params[i] == name) return i;
+  }
+  return params.size();  // unreachable for well-formed plans
+}
+
+/// Builds the artifact-local -> plan-level parameter index map.
+std::vector<size_t> ParamMap(const std::vector<std::string>& plan_params,
+                             const std::vector<std::string>& local_names) {
+  std::vector<size_t> map;
+  map.reserve(local_names.size());
+  for (const std::string& n : local_names) {
+    map.push_back(PlanParamIndex(plan_params, n));
+  }
+  return map;
+}
+
+/// Records the `$param` sites of `q`'s patterns into `sites`.
+void RecordAstSites(const Query& q, uint8_t which,
+                    const std::vector<std::string>& params,
+                    std::vector<PreparedPlan::AstParamSite>* sites) {
+  for (size_t i = 0; i < q.patterns.size(); ++i) {
+    const sparql::PatternTerm* ends[2] = {&q.patterns[i].subject,
+                                          &q.patterns[i].object};
+    const uint8_t pos[2] = {0, 2};
+    for (int e = 0; e < 2; ++e) {
+      if (!ends[e]->is_param) continue;
+      sites->push_back(
+          {which, static_cast<uint32_t>(i), pos[e],
+           static_cast<uint32_t>(PlanParamIndex(params, ends[e]->text))});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<TermId> QueryProcessor::MapParams(const std::vector<size_t>& map,
+                                              const TermId* param_values) {
+  std::vector<TermId> out;
+  out.reserve(map.size());
+  for (size_t i : map) {
+    out.push_back(param_values != nullptr ? param_values[i]
+                                          : rdf::kInvalidTermId);
+  }
+  return out;
+}
+
+Result<BindingTable> QueryProcessor::MatchAll(
+    const TraversalMatcher::Plan& plan, const std::vector<size_t>& map,
+    const TermId* param_values, CostMeter* meter) const {
+  BindingTable out;
+  out.columns = plan.out_vars;
+  if (plan.impossible && plan.param_names.empty()) return out;
+  const std::vector<TermId> local = MapParams(map, param_values);
+  DSKG_ASSIGN_OR_RETURN(
+      TraversalMatcher::Cursor cursor,
+      matcher_->OpenCursor(plan, local.empty() ? nullptr : local.data(),
+                           meter));
+  if (plan.impossible) return out;
+  bool done = false;
+  DSKG_RETURN_NOT_OK(
+      cursor.Fill(&out, std::numeric_limits<size_t>::max(), &done));
+  return out;
+}
+
+IdentifiedQuery QueryProcessor::BindSplit(const PreparedPlan& plan,
+                                          const TermId* param_values) const {
+  IdentifiedQuery split = plan.split;
+  for (const PreparedPlan::AstParamSite& site : plan.ast_param_sites) {
+    if (param_values == nullptr) break;
+    const TermId v = param_values[site.param];
+    if (v == rdf::kInvalidTermId) continue;  // caught by the engines
+    Query* q = site.which == 0   ? &split.query
+               : site.which == 1 ? &*split.complex
+                                 : &split.remainder;
+    sparql::PatternTerm& term = site.pos == 0
+                                    ? q->patterns[site.pattern].subject
+                                    : q->patterns[site.pattern].object;
+    term = sparql::PatternTerm::Const(dict_->TermOf(v));
+  }
+  return split;
+}
+
+Result<PreparedPlan> QueryProcessor::Prepare(const Query& query) const {
+  PreparedPlan plan;
+  plan.params = query.Parameters();
+  plan.split = ComplexSubqueryIdentifier::Identify(query);
+  plan.out_vars =
+      query.select_vars.empty() ? query.AllVariables() : query.select_vars;
+  if (!plan.params.empty()) {
+    RecordAstSites(plan.split.query, 0, plan.params, &plan.ast_param_sites);
+    if (plan.split.HasComplexSubquery()) {
+      RecordAstSites(*plan.split.complex, 1, plan.params,
+                     &plan.ast_param_sites);
+    }
+    RecordAstSites(plan.split.remainder, 2, plan.params,
+                   &plan.ast_param_sites);
+  }
+
+  // The remainder's projection: the query's own (explicit) output.
+  auto remainder_with_projection = [&]() {
+    Query rem = plan.split.remainder;
+    rem.select_vars = plan.out_vars;
+    return rem;
+  };
+
+  // ---- route selection (Algorithm 3, decided once) ----------------------
+  if (config_.use_graph && plan.split.HasComplexSubquery()) {
+    const Query& qc = *plan.split.complex;
+    if (GraphCovers(plan.split.query)) {
+      // Case 1: the whole query runs in the graph store.
+      plan.route = Route::kGraphOnly;
+      DSKG_ASSIGN_OR_RETURN(plan.graph_whole,
+                            matcher_->Compile(plan.split.query));
+      plan.graph_whole_param_map =
+          ParamMap(plan.params, plan.graph_whole.param_names);
+      return plan;
+    }
+    if (GraphCovers(qc)) {
+      // Case 2: q_c in the graph store, remainder in the relational store.
+      plan.route = Route::kDualStore;
+      DSKG_ASSIGN_OR_RETURN(plan.graph_complex, matcher_->Compile(qc));
+      plan.graph_complex_param_map =
+          ParamMap(plan.params, plan.graph_complex.param_names);
+      if (!plan.split.remainder.patterns.empty()) {
+        plan.has_remainder = true;
+        plan.remainder = executor_->Compile(remainder_with_projection());
+        plan.remainder_param_map =
+            ParamMap(plan.params, plan.remainder.param_names);
+      }
+      return plan;
+    }
+    // Case 3 falls through.
+  }
+
+  if (config_.use_views && views_ != nullptr &&
+      plan.split.HasComplexSubquery()) {
+    // RDB-views: probe the catalog per execution (the view's filters are
+    // the *bound* constants), fall back to Case 3 on a miss.
+    plan.try_view = true;
+    if (!plan.split.remainder.patterns.empty()) {
+      plan.has_remainder = true;
+      plan.remainder = executor_->Compile(remainder_with_projection());
+      plan.remainder_param_map =
+          ParamMap(plan.params, plan.remainder.param_names);
+    }
+  }
+
+  // Case 3 (and the view-miss fallback): the whole query, relational.
+  plan.rel = executor_->Compile(plan.split.query);
+  plan.rel_param_map = ParamMap(plan.params, plan.rel.param_names);
+  return plan;
+}
+
+Result<QueryExecution> QueryProcessor::ExecutePlan(
+    const PreparedPlan& plan, const TermId* param_values) const {
   QueryExecution exec;
-  exec.split = ComplexSubqueryIdentifier::Identify(query);
+  exec.split = BindSplit(plan, param_values);
 
   CostMeter rel_meter;
   CostMeter graph_meter(&CostModel::Default(), config_.graph_throttle);
@@ -44,71 +212,281 @@ Result<QueryExecution> QueryProcessor::Process(const Query& query) const {
     return exec;
   };
 
-  // The remainder's projection: the query's own (explicit) output.
-  auto remainder_with_projection = [&]() {
-    Query rem = exec.split.remainder;
-    rem.select_vars = query.select_vars.empty() ? query.AllVariables()
-                                                : query.select_vars;
-    return rem;
-  };
-
-  // ---- RDB-GDB routing (Algorithm 3) ------------------------------------
-  if (config_.use_graph && exec.split.HasComplexSubquery()) {
-    const Query& qc = *exec.split.complex;
-    if (GraphCovers(query)) {
-      // Case 1: the whole query runs in the graph store.
-      DSKG_ASSIGN_OR_RETURN(BindingTable result,
-                            matcher_->Match(query, &graph_meter));
-      return finish(std::move(result), Route::kGraphOnly);
-    }
-    if (GraphCovers(qc)) {
-      // Case 2: q_c in the graph store, remainder in the relational store.
-      DSKG_ASSIGN_OR_RETURN(BindingTable inter,
-                            matcher_->Match(qc, &graph_meter));
-      // Migrate the intermediate results into the temporary table space.
-      // The matcher's columnar table is handed to the executor as-is —
-      // the seed adoption is one flat-buffer copy, no per-row re-keying.
-      migrate_meter.Add(Op::kMigrateResultRow, inter.NumRows());
-      migrate_meter.Add(Op::kTempTableTuple, inter.NumRows());
-      if (exec.split.remainder.patterns.empty()) {
-        // Defensive: with an empty remainder, Case 1 should have fired.
-        return finish(std::move(inter), Route::kDualStore);
-      }
-      DSKG_ASSIGN_OR_RETURN(
-          BindingTable result,
-          executor_->ExecuteWithSeed(remainder_with_projection(), inter,
-                                     &rel_meter));
-      return finish(std::move(result), Route::kDualStore);
-    }
-    // Case 3 falls through.
+  if (plan.route == Route::kGraphOnly) {
+    DSKG_ASSIGN_OR_RETURN(BindingTable result,
+                          MatchAll(plan.graph_whole,
+                                   plan.graph_whole_param_map, param_values,
+                                   &graph_meter));
+    return finish(std::move(result), Route::kGraphOnly);
   }
 
-  // ---- RDB-views routing -------------------------------------------------
-  if (config_.use_views && views_ != nullptr &&
-      exec.split.HasComplexSubquery()) {
-    const Query& qc = *exec.split.complex;
+  if (plan.route == Route::kDualStore) {
+    DSKG_ASSIGN_OR_RETURN(BindingTable inter,
+                          MatchAll(plan.graph_complex,
+                                   plan.graph_complex_param_map,
+                                   param_values, &graph_meter));
+    // Migrate the intermediate results into the temporary table space.
+    // The matcher's columnar table is handed to the executor as-is —
+    // the seed adoption is one flat-buffer copy, no per-row re-keying.
+    migrate_meter.Add(Op::kMigrateResultRow, inter.NumRows());
+    migrate_meter.Add(Op::kTempTableTuple, inter.NumRows());
+    if (!plan.has_remainder) {
+      // Defensive: with an empty remainder, Case 1 should have fired.
+      return finish(std::move(inter), Route::kDualStore);
+    }
+    const std::vector<TermId> local =
+        MapParams(plan.remainder_param_map, param_values);
+    DSKG_ASSIGN_OR_RETURN(
+        BindingTable result,
+        executor_->ExecuteCompiled(plan.remainder,
+                                   local.empty() ? nullptr : local.data(),
+                                   &inter, &rel_meter));
+    return finish(std::move(result), Route::kDualStore);
+  }
+
+  if (plan.try_view) {
+    const Query& bound_qc = *exec.split.complex;
     std::optional<relstore::MaterializedViewManager::Answer> ans =
-        views_->TryAnswer(qc.patterns, &rel_meter);
+        views_->TryAnswer(bound_qc.patterns, &rel_meter);
     if (ans.has_value()) {
-      if (exec.split.remainder.patterns.empty()) {
-        const std::vector<std::string> out_vars =
-            query.select_vars.empty() ? query.AllVariables()
-                                      : query.select_vars;
-        return finish(ans->bindings.Project(out_vars),
+      if (!plan.has_remainder) {
+        return finish(ans->bindings.Project(plan.out_vars),
                       Route::kViewAssisted);
       }
+      const std::vector<TermId> local =
+          MapParams(plan.remainder_param_map, param_values);
       DSKG_ASSIGN_OR_RETURN(
           BindingTable result,
-          executor_->ExecuteWithSeed(remainder_with_projection(),
-                                     ans->bindings, &rel_meter));
+          executor_->ExecuteCompiled(plan.remainder,
+                                     local.empty() ? nullptr : local.data(),
+                                     &ans->bindings, &rel_meter));
       return finish(std::move(result), Route::kViewAssisted);
     }
   }
 
   // ---- Case 3: relational store ------------------------------------------
-  DSKG_ASSIGN_OR_RETURN(BindingTable result,
-                        executor_->Execute(query, &rel_meter));
+  const std::vector<TermId> local = MapParams(plan.rel_param_map,
+                                              param_values);
+  DSKG_ASSIGN_OR_RETURN(
+      BindingTable result,
+      executor_->ExecuteCompiled(plan.rel,
+                                 local.empty() ? nullptr : local.data(),
+                                 nullptr, &rel_meter));
   return finish(std::move(result), Route::kRelationalOnly);
+}
+
+Result<QueryExecution> QueryProcessor::Process(const Query& query) const {
+  DSKG_ASSIGN_OR_RETURN(PreparedPlan plan, Prepare(query));
+  if (!plan.params.empty()) {
+    return Status::FailedPrecondition(
+        "query has unbound parameters; prepare and bind it instead");
+  }
+  return ExecutePlan(plan, nullptr);
+}
+
+// ---- streaming --------------------------------------------------------------
+
+/// Cursor internals. Meters live here so the engine cursors can hold
+/// stable pointers to them while the public object moves around.
+struct ExecutionCursor::Body {
+  Route route = Route::kRelationalOnly;
+  IdentifiedQuery split;  // bound
+  CostMeter rel_meter;
+  CostMeter graph_meter;
+  CostMeter migrate_meter;
+
+  /// Graph-only route: the resumable traversal streams rows directly.
+  std::optional<TraversalMatcher::Cursor> graph_cursor;
+  bool graph_impossible = false;
+
+  /// Every other route: the final (unprojected) join intermediate plus
+  /// the projection column map; chunks are projected on demand.
+  BindingTable joined;
+  std::vector<int> out_cols;
+  size_t next_row = 0;
+
+  std::vector<std::string> columns;
+  bool done = false;
+};
+
+ExecutionCursor::ExecutionCursor() = default;
+ExecutionCursor::~ExecutionCursor() = default;
+ExecutionCursor::ExecutionCursor(ExecutionCursor&&) noexcept = default;
+ExecutionCursor& ExecutionCursor::operator=(ExecutionCursor&&) noexcept =
+    default;
+
+const std::vector<std::string>& ExecutionCursor::columns() const {
+  // Default-constructed / moved-from cursors answer benignly instead of
+  // dereferencing a null body.
+  static const std::vector<std::string> kEmpty;
+  return body_ != nullptr ? body_->columns : kEmpty;
+}
+
+Route ExecutionCursor::route() const {
+  return body_ != nullptr ? body_->route : Route::kRelationalOnly;
+}
+
+QueryExecution ExecutionCursor::Execution() const {
+  QueryExecution exec;
+  if (body_ == nullptr) return exec;
+  exec.route = body_->route;
+  exec.split = body_->split;
+  exec.rel_micros = body_->rel_meter.sim_micros();
+  exec.graph_micros = body_->graph_meter.sim_micros();
+  exec.migrate_micros = body_->migrate_meter.sim_micros();
+  exec.graph_io_micros = body_->graph_meter.io_micros();
+  exec.graph_cpu_micros = body_->graph_meter.cpu_micros();
+  return exec;
+}
+
+Status ExecutionCursor::Next(sparql::BindingTable* chunk, size_t max_rows,
+                             bool* done) {
+  if (body_ == nullptr) {
+    return Status::FailedPrecondition(
+        "cursor is empty (default-constructed or moved from)");
+  }
+  Body& b = *body_;
+  chunk->columns = b.columns;
+  chunk->ClearRows();
+  if (b.done) {
+    *done = true;
+    return Status::OK();
+  }
+  if (b.graph_cursor.has_value()) {
+    DSKG_RETURN_NOT_OK(b.graph_cursor->Fill(chunk, max_rows, &b.done));
+    *done = b.done;
+    return Status::OK();
+  }
+  const size_t stride = b.out_cols.size();
+  const size_t end = std::min(b.joined.NumRows(), b.next_row + max_rows);
+  chunk->ReserveRows(end - b.next_row);
+  for (size_t r = b.next_row; r < end; ++r) {
+    const TermId* row = b.joined.RowData(r);
+    TermId* out_row = chunk->AppendRow();
+    for (size_t c = 0; c < stride; ++c) {
+      out_row[c] = row[b.out_cols[c]];
+    }
+  }
+  b.next_row = end;
+  if (b.next_row >= b.joined.NumRows()) b.done = true;
+  *done = b.done;
+  return Status::OK();
+}
+
+Result<ExecutionCursor> QueryProcessor::OpenCursor(
+    const PreparedPlan& plan, const TermId* param_values) const {
+  ExecutionCursor cursor;
+  cursor.body_ = std::make_unique<ExecutionCursor::Body>();
+  ExecutionCursor::Body& b = *cursor.body_;
+  b.split = BindSplit(plan, param_values);
+  b.graph_meter = CostMeter(&CostModel::Default(), config_.graph_throttle);
+
+  // Adopts a fully joined (unprojected) table: resolve the projection
+  // columns once; chunks copy through them. Missing columns are legal
+  // only when no rows exist (then the header is still the full
+  // projection, as the materialized path normalizes it).
+  auto adopt_joined = [&](BindingTable joined,
+                          const std::vector<std::string>& vars,
+                          bool drop_missing) -> Status {
+    b.out_cols.clear();
+    b.columns.clear();
+    for (const std::string& v : vars) {
+      const int c = joined.ColumnIndex(v);
+      if (c >= 0) {
+        b.out_cols.push_back(c);
+        b.columns.push_back(v);
+      } else if (!drop_missing) {
+        if (!joined.empty()) {
+          return Status::Internal("projection lost columns unexpectedly");
+        }
+        b.columns = vars;
+        b.out_cols.clear();
+        b.joined = BindingTable{};
+        return Status::OK();
+      }
+    }
+    b.joined = std::move(joined);
+    return Status::OK();
+  };
+
+  if (plan.route == Route::kGraphOnly) {
+    b.route = Route::kGraphOnly;
+    b.columns = plan.graph_whole.out_vars;
+    const std::vector<TermId> local =
+        MapParams(plan.graph_whole_param_map, param_values);
+    DSKG_ASSIGN_OR_RETURN(
+        TraversalMatcher::Cursor gc,
+        matcher_->OpenCursor(plan.graph_whole,
+                             local.empty() ? nullptr : local.data(),
+                             &b.graph_meter));
+    b.graph_cursor = std::move(gc);
+    return cursor;
+  }
+
+  if (plan.route == Route::kDualStore) {
+    b.route = Route::kDualStore;
+    DSKG_ASSIGN_OR_RETURN(BindingTable inter,
+                          MatchAll(plan.graph_complex,
+                                   plan.graph_complex_param_map,
+                                   param_values, &b.graph_meter));
+    b.migrate_meter.Add(Op::kMigrateResultRow, inter.NumRows());
+    b.migrate_meter.Add(Op::kTempTableTuple, inter.NumRows());
+    if (!plan.has_remainder) {
+      // Defensive: the intermediate *is* the result, already projected.
+      std::vector<std::string> vars = inter.columns;
+      DSKG_RETURN_NOT_OK(adopt_joined(std::move(inter), vars, false));
+      return cursor;
+    }
+    const std::vector<TermId> local =
+        MapParams(plan.remainder_param_map, param_values);
+    DSKG_ASSIGN_OR_RETURN(
+        BindingTable joined,
+        executor_->ExecuteCompiledJoined(
+            plan.remainder, local.empty() ? nullptr : local.data(), &inter,
+            &b.rel_meter));
+    DSKG_RETURN_NOT_OK(
+        adopt_joined(std::move(joined), plan.remainder.out_vars, false));
+    return cursor;
+  }
+
+  if (plan.try_view) {
+    const Query& bound_qc = *b.split.complex;
+    std::optional<relstore::MaterializedViewManager::Answer> ans =
+        views_->TryAnswer(bound_qc.patterns, &b.rel_meter);
+    if (ans.has_value()) {
+      b.route = Route::kViewAssisted;
+      if (!plan.has_remainder) {
+        // Project() semantics: silently drop projected variables the view
+        // cannot bind (the materialized path does the same).
+        DSKG_RETURN_NOT_OK(
+            adopt_joined(std::move(ans->bindings), plan.out_vars, true));
+        return cursor;
+      }
+      const std::vector<TermId> local =
+          MapParams(plan.remainder_param_map, param_values);
+      DSKG_ASSIGN_OR_RETURN(
+          BindingTable joined,
+          executor_->ExecuteCompiledJoined(
+              plan.remainder, local.empty() ? nullptr : local.data(),
+              &ans->bindings, &b.rel_meter));
+      DSKG_RETURN_NOT_OK(
+          adopt_joined(std::move(joined), plan.remainder.out_vars, false));
+      return cursor;
+    }
+  }
+
+  // ---- Case 3: relational store ------------------------------------------
+  b.route = Route::kRelationalOnly;
+  const std::vector<TermId> local = MapParams(plan.rel_param_map,
+                                              param_values);
+  DSKG_ASSIGN_OR_RETURN(
+      BindingTable joined,
+      executor_->ExecuteCompiledJoined(plan.rel,
+                                       local.empty() ? nullptr : local.data(),
+                                       nullptr, &b.rel_meter));
+  DSKG_RETURN_NOT_OK(adopt_joined(std::move(joined), plan.rel.out_vars,
+                                  false));
+  return cursor;
 }
 
 }  // namespace dskg::core

@@ -2,7 +2,8 @@
 #define DSKG_CORE_QUERY_PROCESSOR_H_
 
 /// \file query_processor.h
-/// The dual-store query processor (paper §5, Algorithm 3).
+/// The dual-store query processor (paper §5, Algorithm 3), split into an
+/// explicit prepare/execute pipeline.
 ///
 /// Routing of a query q with complex subquery q_c against the resident
 /// complex subgraphs G_c:
@@ -17,8 +18,23 @@
 /// The RDB-views variant replaces the graph store with the materialized
 /// view catalog: if a view matches q_c, its (filtered) rows seed the
 /// remainder. RDB-only always takes Case 3.
+///
+/// `Prepare` runs everything that does not depend on bound parameter
+/// values — complex-subquery identification, route selection, dictionary
+/// encoding and slot compilation for every store the route touches — and
+/// returns a `PreparedPlan` that `ExecutePlan`/`OpenCursor` re-run any
+/// number of times with different `$parameter` bindings. `Process` is the
+/// classic one-shot composition of the two and behaves (and charges)
+/// exactly as before the split.
+///
+/// A plan is valid only against the physical state it was prepared for
+/// (graph residency, view catalog, dictionary contents); `DualStore::
+/// plan_epoch()` versions that state and `Session` re-prepares stale
+/// plans transparently.
 
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "common/cost.h"
 #include "common/status.h"
@@ -49,7 +65,8 @@ const char* RouteName(Route route);
 struct QueryExecution {
   sparql::BindingTable result;
   Route route = Route::kRelationalOnly;
-  /// The identifier's split (kept for the tuner's training data).
+  /// The identifier's split (kept for the tuner's training data), with
+  /// parameter values substituted in.
   IdentifiedQuery split;
 
   // Simulated time, microseconds.
@@ -63,6 +80,96 @@ struct QueryExecution {
   double total_micros() const {
     return graph_micros + rel_micros + migrate_micros;
   }
+};
+
+/// Everything plan-time about one query: the identifier's split, the
+/// chosen route, and the slot-compiled artifact for each engine the route
+/// touches. Parameter values are *not* part of the plan — they are
+/// supplied per execution, so one plan serves every mutation of a query
+/// template.
+struct PreparedPlan {
+  /// The split of the (possibly parameterized) query.
+  IdentifiedQuery split;
+  /// Distinct `$parameter` names in first-appearance order; the
+  /// `param_values` arrays passed to ExecutePlan/OpenCursor align with it.
+  std::vector<std::string> params;
+
+  /// The route selected at prepare time. `kViewAssisted` is never planned
+  /// directly — `try_view` marks plans that probe the view catalog per
+  /// execution and fall back to `kRelationalOnly` on a miss, exactly as
+  /// the one-shot processor does.
+  Route route = Route::kRelationalOnly;
+  bool try_view = false;
+
+  /// The query's output header (select list, or all variables).
+  std::vector<std::string> out_vars;
+
+  /// Compiled artifacts; only the ones the route needs are populated.
+  relstore::Executor::CompiledQuery rel;        // Case 3 / view fallback
+  relstore::Executor::CompiledQuery remainder;  // Case 2 / view remainder
+  bool has_remainder = false;
+  graphstore::TraversalMatcher::Plan graph_whole;    // Case 1
+  graphstore::TraversalMatcher::Plan graph_complex;  // Case 2 q_c
+
+  /// Parameter index mapping from each artifact's local parameter order
+  /// to `params` (artifacts see only the parameters in their patterns).
+  std::vector<size_t> rel_param_map;
+  std::vector<size_t> remainder_param_map;
+  std::vector<size_t> graph_whole_param_map;
+  std::vector<size_t> graph_complex_param_map;
+
+  /// `$param` occurrences in the split's ASTs, so executions can
+  /// materialize the bound split (tuners train on it) and the view path
+  /// can filter on bound constants.
+  struct AstParamSite {
+    uint8_t which;     // 0 = split.query, 1 = split.complex, 2 = remainder
+    uint32_t pattern;  // pattern index within that query
+    uint8_t pos;       // 0 = subject, 2 = object
+    uint32_t param;    // index into `params`
+  };
+  std::vector<AstParamSite> ast_param_sites;
+
+  /// `DualStore::plan_epoch()` at prepare time (stamped by the store;
+  /// 0 when the plan was prepared through a bare QueryProcessor).
+  uint64_t plan_epoch = 0;
+};
+
+/// A pull-based streaming result: chunks of rows on demand instead of one
+/// materialized `BindingTable`. Obtained from `QueryProcessor::OpenCursor`
+/// (or `Session::PreparedQuery::OpenCursor` at the public API). The
+/// relational pipeline still materializes its join intermediates — that
+/// is the row-store semantics the cost model charges for — but the final
+/// projected result is emitted chunk by chunk, and a pure graph-store
+/// route streams straight out of the resumable traversal with no
+/// materialization at all.
+class ExecutionCursor {
+ public:
+  ExecutionCursor();
+  ~ExecutionCursor();
+  ExecutionCursor(ExecutionCursor&&) noexcept;
+  ExecutionCursor& operator=(ExecutionCursor&&) noexcept;
+
+  /// Replaces `*chunk` with the next `max_rows` (or fewer) result rows.
+  /// `*done` turns true once the result set is exhausted (a call after
+  /// that yields an empty chunk). Graph-route cursors charge traversal
+  /// cost as they advance; a fully drained cursor has charged exactly
+  /// what `ExecutePlan` charges.
+  Status Next(sparql::BindingTable* chunk, size_t max_rows, bool* done);
+
+  /// Output column names of every chunk.
+  const std::vector<std::string>& columns() const;
+
+  Route route() const;
+
+  /// Execution record so far: route, bound split, and the cost breakdown
+  /// accrued to date (`result` left empty). After a full drain the totals
+  /// equal `ExecutePlan`'s for the same bindings.
+  QueryExecution Execution() const;
+
+ private:
+  friend class QueryProcessor;
+  struct Body;
+  std::unique_ptr<Body> body_;
 };
 
 /// Routes and executes queries against the current dual-store state.
@@ -87,7 +194,24 @@ class QueryProcessor {
       : executor_(executor), graph_(graph), matcher_(matcher), views_(views),
         dict_(dict), config_(config) {}
 
-  /// Processes `query` end to end per Algorithm 3.
+  /// Plan-time half of Algorithm 3: identification, routing, slot
+  /// compilation — everything reusable across executions.
+  Result<PreparedPlan> Prepare(const sparql::Query& query) const;
+
+  /// Executes a prepared plan with `param_values` bound (one id per entry
+  /// of `plan.params`; null allowed when the plan has none). Results and
+  /// simulated charges are identical to `Process` on the equivalent bound
+  /// query. An unbound or invalid parameter fails with
+  /// FailedPrecondition.
+  Result<QueryExecution> ExecutePlan(const PreparedPlan& plan,
+                                     const rdf::TermId* param_values) const;
+
+  /// Streaming variant of `ExecutePlan`; see `ExecutionCursor`.
+  Result<ExecutionCursor> OpenCursor(const PreparedPlan& plan,
+                                     const rdf::TermId* param_values) const;
+
+  /// Processes `query` end to end per Algorithm 3 (`Prepare` +
+  /// `ExecutePlan`, kept as the one-shot convenience).
   Result<QueryExecution> Process(const sparql::Query& query) const;
 
   const Config& config() const { return config_; }
@@ -97,6 +221,22 @@ class QueryProcessor {
   /// True if every pattern of `q` has a constant predicate whose partition
   /// is resident in the graph store.
   bool GraphCovers(const sparql::Query& q) const;
+
+  /// The split with `param_values` substituted for its `$param` sites.
+  IdentifiedQuery BindSplit(const PreparedPlan& plan,
+                            const rdf::TermId* param_values) const;
+
+  /// Drains one compiled traversal into a table (shared by the
+  /// materialized and streaming paths so they can never diverge).
+  Result<sparql::BindingTable> MatchAll(
+      const graphstore::TraversalMatcher::Plan& plan,
+      const std::vector<size_t>& map, const rdf::TermId* param_values,
+      CostMeter* meter) const;
+
+  /// Gathers an artifact's local parameter values from the plan-level
+  /// array via its index map.
+  static std::vector<rdf::TermId> MapParams(
+      const std::vector<size_t>& map, const rdf::TermId* param_values);
 
   const relstore::Executor* executor_;
   const graphstore::PropertyGraph* graph_;

@@ -1,0 +1,222 @@
+#include "core/session.h"
+
+#include <utility>
+
+#include "sparql/parser.h"
+
+namespace dskg::core {
+
+using session_internal::CacheEntry;
+using session_internal::Snapshot;
+
+// ---- Cursor -----------------------------------------------------------------
+
+Result<sparql::BindingTable> Cursor::DrainAll(size_t chunk_rows) {
+  sparql::BindingTable all;
+  all.columns = columns();
+  sparql::BindingTable chunk;
+  bool done = false;
+  while (!done) {
+    DSKG_RETURN_NOT_OK(Next(&chunk, chunk_rows, &done));
+    all.AppendRowsFrom(chunk);
+  }
+  return all;
+}
+
+// ---- PreparedQuery ----------------------------------------------------------
+
+PreparedQuery::PreparedQuery(Session* session,
+                             std::shared_ptr<CacheEntry> entry)
+    : session_(session), entry_(std::move(entry)),
+      bindings_(entry_->params.size()) {}
+
+Status PreparedQuery::Bind(std::string_view param, std::string_view term) {
+  size_t idx = entry_->params.size();
+  for (size_t i = 0; i < entry_->params.size(); ++i) {
+    if (entry_->params[i] == param) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx == entry_->params.size()) {
+    return Status::InvalidArgument(
+        "no parameter $" + std::string(param) + " in query \"" +
+        entry_->text + "\"");
+  }
+  const Snapshot snap = session_->Pin();
+  const rdf::TermId id = snap.store->dict().Lookup(term);
+  if (id == rdf::kInvalidTermId) {
+    return Status::NotFound("term " + std::string(term) +
+                            " is not in the dictionary; binding it to $" +
+                            std::string(param) + " could never match");
+  }
+  bindings_[idx] = {true, std::string(term), id, snap.store->plan_epoch()};
+  return Status::OK();
+}
+
+void PreparedQuery::ClearBindings() {
+  bindings_.assign(entry_->params.size(), Binding{});
+}
+
+Result<std::vector<rdf::TermId>> PreparedQuery::ResolveForExecution(
+    const Snapshot& snap, std::shared_ptr<const PreparedPlan>* plan) {
+  DSKG_ASSIGN_OR_RETURN(*plan, session_->PlanFor(entry_.get(), *snap.store));
+  const uint64_t epoch = (*plan)->plan_epoch;
+  std::vector<rdf::TermId> values;
+  values.reserve(bindings_.size());
+  for (size_t i = 0; i < bindings_.size(); ++i) {
+    Binding& b = bindings_[i];
+    if (!b.bound) {
+      return Status::FailedPrecondition(
+          "parameter $" + entry_->params[i] + " is unbound in query \"" +
+          entry_->text + "\"");
+    }
+    if (b.epoch != epoch) {
+      // The dictionary may have changed (ids are recycled
+      // deterministically): re-resolve the bound text against the pinned
+      // snapshot rather than trusting a possibly re-assigned id.
+      b.id = snap.store->dict().Lookup(b.term);
+      b.epoch = epoch;
+      if (b.id == rdf::kInvalidTermId) {
+        return Status::NotFound("bound term " + b.term +
+                                " is no longer in the dictionary");
+      }
+    }
+    values.push_back(b.id);
+  }
+  return values;
+}
+
+Result<QueryExecution> PreparedQuery::ExecuteAll() {
+  Snapshot snap = session_->Pin();
+  std::shared_ptr<const PreparedPlan> plan;
+  DSKG_ASSIGN_OR_RETURN(std::vector<rdf::TermId> values,
+                        ResolveForExecution(snap, &plan));
+  return snap.store->ExecutePlan(*plan,
+                                 values.empty() ? nullptr : values.data());
+}
+
+Result<Cursor> PreparedQuery::OpenCursor() {
+  Snapshot snap = session_->Pin();
+  std::shared_ptr<const PreparedPlan> plan;
+  DSKG_ASSIGN_OR_RETURN(std::vector<rdf::TermId> values,
+                        ResolveForExecution(snap, &plan));
+  Cursor cursor;
+  DSKG_ASSIGN_OR_RETURN(
+      cursor.impl_,
+      snap.store->OpenCursor(*plan,
+                             values.empty() ? nullptr : values.data()));
+  cursor.plan_ = std::move(plan);
+  // The cursor owns the snapshot pin from here: over an OnlineStore the
+  // pinned replica stays immutable until the cursor is destroyed.
+  cursor.pin_ = std::move(snap.guard);
+  return cursor;
+}
+
+// ---- Session ----------------------------------------------------------------
+
+Snapshot Session::Pin() const {
+  Snapshot snap;
+  if (online_ != nullptr) {
+    snap.guard = online_->Read();
+    snap.store = &snap.guard->store();
+  } else {
+    snap.store = dual_;
+  }
+  return snap;
+}
+
+Result<PreparedQuery> Session::Prepare(std::string_view text) {
+  std::shared_ptr<CacheEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = cache_.find(std::string(text));
+    if (it != cache_.end()) entry = it->second;
+  }
+  if (entry != nullptr) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    return PreparedQuery(this, std::move(entry));
+  }
+
+  DSKG_ASSIGN_OR_RETURN(sparql::Query query, sparql::Parser::Parse(text));
+  entry = std::make_shared<CacheEntry>();
+  entry->text = std::string(text);
+  entry->query = std::move(query);
+  entry->params = entry->query.Parameters();
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto [it, inserted] = cache_.emplace(entry->text, entry);
+    if (!inserted) entry = it->second;  // lost a race: share the winner's
+  }
+  prepares_.fetch_add(1, std::memory_order_relaxed);
+  return PreparedQuery(this, std::move(entry));
+}
+
+Result<std::shared_ptr<const PreparedPlan>> Session::PlanFor(
+    CacheEntry* entry, const DualStore& store) {
+  const uint64_t epoch = store.plan_epoch();
+  bool replanned = false;
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (entry->plan != nullptr && entry->plan->plan_epoch == epoch) {
+      executions_.fetch_add(1, std::memory_order_relaxed);
+      return entry->plan;
+    }
+    replanned = entry->plan != nullptr;
+  }
+  DSKG_ASSIGN_OR_RETURN(PreparedPlan plan, store.Prepare(entry->query));
+  auto shared = std::make_shared<const PreparedPlan>(std::move(plan));
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    entry->plan = shared;
+  }
+  executions_.fetch_add(1, std::memory_order_relaxed);
+  if (replanned) replans_.fetch_add(1, std::memory_order_relaxed);
+  return shared;
+}
+
+Result<QueryExecution> Session::Execute(std::string_view text) {
+  DSKG_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(text));
+  return prepared.ExecuteAll();
+}
+
+std::future<Result<QueryExecution>> Session::SubmitAsync(
+    std::string_view text) {
+  std::string owned(text);
+  if (pool_ == nullptr) {
+    std::promise<Result<QueryExecution>> promise;
+    promise.set_value(Execute(owned));
+    return promise.get_future();
+  }
+  return pool_->Submit(
+      [this, owned = std::move(owned)] { return Execute(owned); });
+}
+
+std::future<Result<QueryExecution>> Session::SubmitAsync(
+    PreparedQuery prepared) {
+  if (pool_ == nullptr) {
+    std::promise<Result<QueryExecution>> promise;
+    promise.set_value(prepared.ExecuteAll());
+    return promise.get_future();
+  }
+  return pool_->Submit(
+      [prepared = std::move(prepared)]() mutable {
+        return prepared.ExecuteAll();
+      });
+}
+
+void Session::ClearPlanCache() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  cache_.clear();
+}
+
+Session::Stats Session::stats() const {
+  Stats s;
+  s.prepares = prepares_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.executions = executions_.load(std::memory_order_relaxed);
+  s.replans = replans_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace dskg::core

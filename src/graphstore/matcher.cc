@@ -2,9 +2,7 @@
 
 #include <algorithm>
 #include <limits>
-#include <optional>
 #include <unordered_map>
-#include <vector>
 
 namespace dskg::graphstore {
 
@@ -12,16 +10,6 @@ using rdf::TermId;
 using sparql::BindingTable;
 
 namespace {
-
-/// One pattern endpoint: a constant id or a variable slot. Variable names
-/// are resolved to dense slot indexes at plan time ("slot compilation");
-/// the traversal itself never touches a string.
-struct End {
-  bool is_variable = false;
-  int slot = -1;  // when is_variable: index into the Dfs slot array
-  TermId constant = rdf::kInvalidTermId;  // when !is_variable
-  bool missing = false;  // constant absent from the dictionary
-};
 
 /// Assigns one dense slot per distinct variable name of the query.
 class SlotLayout {
@@ -44,12 +32,27 @@ class SlotLayout {
   std::unordered_map<std::string, int> slots_;
 };
 
-End EncodeEnd(const sparql::PatternTerm& t, const rdf::Dictionary& dict,
-              SlotLayout* layout) {
-  End e;
+TraversalMatcher::End EncodeEnd(const sparql::PatternTerm& t,
+                                const rdf::Dictionary& dict,
+                                SlotLayout* layout,
+                                std::vector<std::string>* param_names) {
+  TraversalMatcher::End e;
   if (t.is_variable) {
     e.is_variable = true;
     e.slot = layout->SlotOf(t.text);
+    return e;
+  }
+  if (t.is_param) {
+    // An open constant: the value arrives when the cursor opens. Not
+    // "missing" — bound values are validated at bind time instead.
+    const auto it =
+        std::find(param_names->begin(), param_names->end(), t.text);
+    if (it == param_names->end()) {
+      e.param = static_cast<int>(param_names->size());
+      param_names->push_back(t.text);
+    } else {
+      e.param = static_cast<int>(it - param_names->begin());
+    }
     return e;
   }
   e.constant = dict.Lookup(t.text);
@@ -57,167 +60,19 @@ End EncodeEnd(const sparql::PatternTerm& t, const rdf::Dictionary& dict,
   return e;
 }
 
-struct EncPat {
-  End subject;
-  TermId predicate = rdf::kInvalidTermId;  // always constant (checked)
-  End object;
-};
-
-/// Backtracking evaluator. Holds the traversal state shared across the
-/// recursion so the per-call frame stays small. Bindings live in a fixed
-/// `TermId` slot array (`kInvalidTermId` = unbound) with an integer
-/// trail — binding, probing and unwinding are array stores, never a heap
-/// allocation or a string hash.
-class Dfs {
- public:
-  Dfs(const PropertyGraph& graph, const std::vector<EncPat>& patterns,
-      const std::vector<std::string>& out_vars,
-      const std::vector<int>& out_slots, size_t num_slots, CostMeter* meter)
-      : graph_(graph), patterns_(patterns), out_vars_(out_vars),
-        out_slots_(out_slots), meter_(meter),
-        slots_(num_slots, rdf::kInvalidTermId) {
-    trail_.reserve(num_slots);
-  }
-
-  Result<BindingTable> Run() {
-    BindingTable out;
-    out.columns = out_vars_;
-    out_ = &out;
-    DSKG_RETURN_NOT_OK(Step(0));
-    return out;
-  }
-
- private:
-  /// Value of `e` under current bindings, or nullopt when unbound.
-  std::optional<TermId> Resolve(const End& e) const {
-    if (!e.is_variable) return e.constant;
-    const TermId v = slots_[e.slot];
-    if (v == rdf::kInvalidTermId) return std::nullopt;
-    return v;
-  }
-
-  /// Binds `e` (if a variable) to `value`; returns false on conflict with
-  /// an existing binding. Appends to the trail for backtracking.
-  bool Bind(const End& e, TermId value) {
-    if (!e.is_variable) return e.constant == value;
-    TermId& cell = slots_[e.slot];
-    if (cell == rdf::kInvalidTermId) {
-      cell = value;
-      trail_.push_back(e.slot);
-      return true;
-    }
-    return cell == value;
-  }
-
-  void Unwind(size_t mark) {
-    while (trail_.size() > mark) {
-      slots_[trail_.back()] = rdf::kInvalidTermId;
-      trail_.pop_back();
-    }
-  }
-
-  Status Emit() {
-    TermId* row = out_->AppendRow();
-    for (size_t i = 0; i < out_slots_.size(); ++i) {
-      const int slot = out_slots_[i];
-      const TermId v = slot >= 0 ? slots_[slot] : rdf::kInvalidTermId;
-      if (v == rdf::kInvalidTermId) {
-        return Status::Internal("unbound output variable ?" + out_vars_[i]);
-      }
-      row[i] = v;
-    }
-    return Status::OK();
-  }
-
-  Status Step(size_t depth) {
-    if (meter_->ExceededBudget()) {
-      return Status::Cancelled("graph traversal exceeded cost budget");
-    }
-    if (depth == patterns_.size()) return Emit();
-    const EncPat& p = patterns_[depth];
-    const std::optional<TermId> s = Resolve(p.subject);
-    const std::optional<TermId> o = Resolve(p.object);
-
-    if (s.has_value()) {
-      meter_->Add(Op::kNodeLookup);
-      const std::vector<TermId>* nbrs = graph_.OutNeighbors(*s, p.predicate);
-      if (nbrs == nullptr) return Status::OK();
-      for (TermId nbr : *nbrs) {
-        meter_->Add(Op::kAdjExpandEdge);
-        if (o.has_value()) {
-          meter_->Add(Op::kBindCheck);
-          if (nbr != *o) continue;
-          DSKG_RETURN_NOT_OK(Step(depth + 1));
-        } else {
-          const size_t mark = trail_.size();
-          if (Bind(p.object, nbr)) {
-            DSKG_RETURN_NOT_OK(Step(depth + 1));
-          }
-          Unwind(mark);
-        }
-        if (meter_->ExceededBudget()) {
-          return Status::Cancelled("graph traversal exceeded cost budget");
-        }
-      }
-      return Status::OK();
-    }
-
-    if (o.has_value()) {
-      meter_->Add(Op::kNodeLookup);
-      const std::vector<TermId>* nbrs = graph_.InNeighbors(*o, p.predicate);
-      if (nbrs == nullptr) return Status::OK();
-      for (TermId nbr : *nbrs) {
-        meter_->Add(Op::kAdjExpandEdge);
-        const size_t mark = trail_.size();
-        if (Bind(p.subject, nbr)) {
-          DSKG_RETURN_NOT_OK(Step(depth + 1));
-        }
-        Unwind(mark);
-        if (meter_->ExceededBudget()) {
-          return Status::Cancelled("graph traversal exceeded cost budget");
-        }
-      }
-      return Status::OK();
-    }
-
-    // Both endpoints unbound: seed from the partition's edge list.
-    for (const auto& [es, eo] : graph_.Edges(p.predicate)) {
-      meter_->Add(Op::kAdjExpandEdge);
-      const size_t mark = trail_.size();
-      if (Bind(p.subject, es) && Bind(p.object, eo)) {
-        DSKG_RETURN_NOT_OK(Step(depth + 1));
-      }
-      Unwind(mark);
-      if (meter_->ExceededBudget()) {
-        return Status::Cancelled("graph traversal exceeded cost budget");
-      }
-    }
-    return Status::OK();
-  }
-
-  const PropertyGraph& graph_;
-  const std::vector<EncPat>& patterns_;
-  const std::vector<std::string>& out_vars_;
-  const std::vector<int>& out_slots_;
-  CostMeter* meter_;
-  std::vector<TermId> slots_;  // slot -> bound value, kInvalidTermId = free
-  std::vector<int> trail_;     // slots bound on the current DFS path
-  BindingTable* out_ = nullptr;
-};
-
 }  // namespace
 
-Result<BindingTable> TraversalMatcher::Match(const sparql::Query& query,
-                                             CostMeter* meter) const {
+Result<TraversalMatcher::Plan> TraversalMatcher::Compile(
+    const sparql::Query& query) const {
   if (query.patterns.empty()) {
     return Status::InvalidArgument("query has no patterns");
   }
 
   // ---- encode + preconditions (slot compilation happens here) -----------
+  Plan plan;
   SlotLayout layout;
   std::vector<EncPat> encoded;
   encoded.reserve(query.patterns.size());
-  bool impossible = false;
   for (const sparql::TriplePattern& tp : query.patterns) {
     if (tp.predicate.is_variable) {
       return Status::FailedPrecondition(
@@ -225,11 +80,11 @@ Result<BindingTable> TraversalMatcher::Match(const sparql::Query& query,
           " cannot be answered by the partial graph store");
     }
     EncPat p;
-    p.subject = EncodeEnd(tp.subject, *dict_, &layout);
-    p.object = EncodeEnd(tp.object, *dict_, &layout);
+    p.subject = EncodeEnd(tp.subject, *dict_, &layout, &plan.param_names);
+    p.object = EncodeEnd(tp.object, *dict_, &layout, &plan.param_names);
     const TermId pred = dict_->Lookup(tp.predicate.text);
     if (pred == rdf::kInvalidTermId) {
-      impossible = true;  // unknown predicate term matches nothing
+      plan.impossible = true;  // unknown predicate term matches nothing
       p.predicate = rdf::kInvalidTermId;
     } else {
       if (!graph_->HasPredicate(pred)) {
@@ -239,23 +94,21 @@ Result<BindingTable> TraversalMatcher::Match(const sparql::Query& query,
       }
       p.predicate = pred;
     }
-    if (p.subject.missing || p.object.missing) impossible = true;
+    if (p.subject.missing || p.object.missing) plan.impossible = true;
     encoded.push_back(std::move(p));
   }
 
-  const std::vector<std::string> out_vars =
+  plan.out_vars =
       query.select_vars.empty() ? query.AllVariables() : query.select_vars;
-  std::vector<int> out_slots;
-  out_slots.reserve(out_vars.size());
-  for (const std::string& v : out_vars) out_slots.push_back(layout.Find(v));
-
-  if (impossible) {
-    BindingTable empty;
-    empty.columns = out_vars;
-    return empty;
+  plan.out_slots.reserve(plan.out_vars.size());
+  for (const std::string& v : plan.out_vars) {
+    plan.out_slots.push_back(layout.Find(v));
   }
+  plan.num_slots = layout.size();
 
   // ---- traversal order: smallest seed first, then stay connected --------
+  // A `$param` endpoint scores exactly like the constant it will become,
+  // so the compiled order is the order the bound query would get.
   std::vector<size_t> order;
   std::vector<bool> used(encoded.size(), false);
   std::vector<bool> var_bound(layout.size(), false);
@@ -298,12 +151,217 @@ Result<BindingTable> TraversalMatcher::Match(const sparql::Query& query,
       var_bound[encoded[best].object.slot] = true;
     }
   }
-  std::vector<EncPat> ordered;
-  ordered.reserve(order.size());
-  for (size_t i : order) ordered.push_back(encoded[i]);
+  plan.patterns.reserve(order.size());
+  for (size_t i : order) plan.patterns.push_back(encoded[i]);
+  return plan;
+}
 
-  Dfs dfs(*graph_, ordered, out_vars, out_slots, layout.size(), meter);
-  return dfs.Run();
+Result<TraversalMatcher::Cursor> TraversalMatcher::OpenCursor(
+    const Plan& plan, const TermId* param_values, CostMeter* meter) const {
+  for (size_t i = 0; i < plan.param_names.size(); ++i) {
+    if (param_values == nullptr || param_values[i] == rdf::kInvalidTermId) {
+      return Status::FailedPrecondition(
+          "unbound parameter $" + plan.param_names[i] +
+          " (bind every parameter before executing)");
+    }
+  }
+  Cursor c;
+  c.graph_ = graph_;
+  c.meter_ = meter;
+  c.patterns_ = plan.patterns;
+  for (EncPat& p : c.patterns_) {
+    if (p.subject.param >= 0) p.subject.constant = param_values[p.subject.param];
+    if (p.object.param >= 0) p.object.constant = param_values[p.object.param];
+  }
+  c.out_vars_ = plan.out_vars;
+  c.out_slots_ = plan.out_slots;
+  c.slots_.assign(plan.num_slots, rdf::kInvalidTermId);
+  c.trail_.reserve(plan.num_slots);
+  if (plan.impossible) c.finished_ = true;
+  return c;
+}
+
+Result<BindingTable> TraversalMatcher::Match(const sparql::Query& query,
+                                             CostMeter* meter) const {
+  DSKG_ASSIGN_OR_RETURN(Plan plan, Compile(query));
+  if (!plan.param_names.empty()) {
+    return Status::FailedPrecondition(
+        "query has unbound parameters; prepare and bind it instead");
+  }
+  BindingTable out;
+  out.columns = plan.out_vars;
+  if (plan.impossible) return out;
+  DSKG_ASSIGN_OR_RETURN(Cursor cursor, OpenCursor(plan, nullptr, meter));
+  bool done = false;
+  DSKG_RETURN_NOT_OK(
+      cursor.Fill(&out, std::numeric_limits<size_t>::max(), &done));
+  return out;
+}
+
+// ---- the resumable DFS ------------------------------------------------------
+
+bool TraversalMatcher::Cursor::Resolve(const End& e, TermId* value) const {
+  if (!e.is_variable) {
+    *value = e.constant;
+    return true;
+  }
+  const TermId v = slots_[e.slot];
+  if (v == rdf::kInvalidTermId) return false;
+  *value = v;
+  return true;
+}
+
+bool TraversalMatcher::Cursor::Bind(const End& e, TermId value) {
+  if (!e.is_variable) return e.constant == value;
+  TermId& cell = slots_[e.slot];
+  if (cell == rdf::kInvalidTermId) {
+    cell = value;
+    trail_.push_back(e.slot);
+    return true;
+  }
+  return cell == value;
+}
+
+void TraversalMatcher::Cursor::Unwind(size_t mark) {
+  while (trail_.size() > mark) {
+    slots_[trail_.back()] = rdf::kInvalidTermId;
+    trail_.pop_back();
+  }
+}
+
+Status TraversalMatcher::Cursor::EmitRow(BindingTable* out) {
+  TermId* row = out->AppendRow();
+  for (size_t i = 0; i < out_slots_.size(); ++i) {
+    const int slot = out_slots_[i];
+    const TermId v = slot >= 0 ? slots_[slot] : rdf::kInvalidTermId;
+    if (v == rdf::kInvalidTermId) {
+      return Fail(Status::Internal("unbound output variable ?" +
+                                   out_vars_[i]));
+    }
+    row[i] = v;
+  }
+  return Status::OK();
+}
+
+Status TraversalMatcher::Cursor::Fail(Status s) {
+  status_ = std::move(s);
+  return status_;
+}
+
+/// The recursive backtracking search of the original matcher, run as an
+/// explicit-stack machine so it can suspend between emitted rows. Charge
+/// points and budget checks sit exactly where the recursion had them, so
+/// a drained cursor's meter is bit-identical to the one-shot path's.
+Status TraversalMatcher::Cursor::Fill(BindingTable* out, size_t max_rows,
+                                      bool* done) {
+  *done = false;
+  if (!status_.ok()) return status_;
+  if (finished_) {
+    *done = true;
+    return Status::OK();
+  }
+
+  size_t emitted = 0;
+  while (true) {
+    if (descend_) {
+      // Entering Step(depth) with depth == stack_.size().
+      descend_ = false;
+      if (meter_->ExceededBudget()) {
+        return Fail(
+            Status::Cancelled("graph traversal exceeded cost budget"));
+      }
+      const size_t depth = stack_.size();
+      if (depth == patterns_.size()) {
+        DSKG_RETURN_NOT_OK(EmitRow(out));
+        ++emitted;
+        if (emitted >= max_rows) return Status::OK();  // suspend, stack kept
+        continue;  // the child "returned OK": resume the parent frame
+      }
+      const EncPat& p = patterns_[depth];
+      TermId s_val = rdf::kInvalidTermId;
+      TermId o_val = rdf::kInvalidTermId;
+      const bool s_bound = Resolve(p.subject, &s_val);
+      const bool o_bound = Resolve(p.object, &o_val);
+      Frame f;
+      if (s_bound) {
+        meter_->Add(Op::kNodeLookup);
+        f.mode = Frame::kOut;
+        f.nbrs = graph_->OutNeighbors(s_val, p.predicate);
+        f.has_o = o_bound;
+        f.o_val = o_val;
+        if (f.nbrs == nullptr) continue;  // no expansion: return OK upward
+      } else if (o_bound) {
+        meter_->Add(Op::kNodeLookup);
+        f.mode = Frame::kIn;
+        f.nbrs = graph_->InNeighbors(o_val, p.predicate);
+        if (f.nbrs == nullptr) continue;
+      } else {
+        // Both endpoints unbound: seed from the partition's edge list.
+        f.mode = Frame::kEdges;
+        f.edges = &graph_->Edges(p.predicate);
+      }
+      stack_.push_back(f);
+      continue;
+    }
+
+    if (stack_.empty()) {
+      finished_ = true;
+      *done = true;
+      return Status::OK();
+    }
+
+    Frame& f = stack_.back();
+    const EncPat& p = patterns_[stack_.size() - 1];
+    if (f.post_pending) {
+      // The branch started last time (a descent, or a failed Bind) has
+      // completed: unwind its bindings and run the post-branch budget
+      // check, exactly as the recursion does after Step returns.
+      f.post_pending = false;
+      if (f.did_bind) Unwind(f.mark);
+      if (meter_->ExceededBudget()) {
+        return Fail(
+            Status::Cancelled("graph traversal exceeded cost budget"));
+      }
+    }
+
+    const size_t count =
+        f.mode == Frame::kEdges ? f.edges->size() : f.nbrs->size();
+    bool advanced = false;
+    while (f.idx < count) {
+      const size_t i = f.idx++;
+      meter_->Add(Op::kAdjExpandEdge);
+      if (f.mode == Frame::kOut) {
+        const TermId nbr = (*f.nbrs)[i];
+        if (f.has_o) {
+          meter_->Add(Op::kBindCheck);
+          if (nbr != f.o_val) continue;  // mismatch: next neighbor directly
+          f.post_pending = true;
+          f.did_bind = false;
+          descend_ = true;
+        } else {
+          f.mark = trail_.size();
+          f.post_pending = true;
+          f.did_bind = true;
+          if (Bind(p.object, nbr)) descend_ = true;
+        }
+      } else if (f.mode == Frame::kIn) {
+        const TermId nbr = (*f.nbrs)[i];
+        f.mark = trail_.size();
+        f.post_pending = true;
+        f.did_bind = true;
+        if (Bind(p.subject, nbr)) descend_ = true;
+      } else {
+        const auto& [es, eo] = (*f.edges)[i];
+        f.mark = trail_.size();
+        f.post_pending = true;
+        f.did_bind = true;
+        if (Bind(p.subject, es) && Bind(p.object, eo)) descend_ = true;
+      }
+      advanced = true;
+      break;
+    }
+    if (!advanced) stack_.pop_back();  // frame exhausted: return OK upward
+  }
 }
 
 }  // namespace dskg::graphstore

@@ -17,9 +17,20 @@
 /// trail, so binding/probing/unwinding are array stores — no per-edge
 /// heap allocation or string hashing anywhere on the DFS path.
 ///
+/// The plan/execute split is explicit: `Compile` produces a reusable
+/// `Plan` (encoding, precondition checks, traversal order, `$param`
+/// sites) once; `OpenCursor` runs it as a *resumable* DFS that emits
+/// result rows in pull-sized chunks — the traversal suspends mid-search
+/// with its explicit stack intact, so a caller consuming a few rows never
+/// pays for (or stores) the rest. `Match` composes the two into the
+/// classic materialize-everything call.
+///
 /// The matcher can only answer queries whose constant predicates are all
 /// resident in the graph store; the dual-store query processor is
 /// responsible for routing (Algorithm 3).
+
+#include <string>
+#include <vector>
 
 #include "common/cost.h"
 #include "common/status.h"
@@ -37,14 +48,117 @@ class TraversalMatcher {
   TraversalMatcher(const PropertyGraph* graph, const rdf::Dictionary* dict)
       : graph_(graph), dict_(dict) {}
 
-  /// Evaluates `query` and returns its projected bindings.
+  /// One pattern endpoint after slot compilation: a constant id, a
+  /// variable slot, or an open `$param` site patched at cursor open.
+  struct End {
+    bool is_variable = false;
+    int slot = -1;  // when is_variable: index into the DFS slot array
+    rdf::TermId constant = rdf::kInvalidTermId;  // when !is_variable
+    bool missing = false;  // constant absent from the dictionary
+    int param = -1;  // >= 0: index into Plan::param_names
+  };
+
+  /// One encoded pattern; the predicate is always a constant (checked at
+  /// compile time — a variable predicate cannot be answered by the
+  /// partial graph store).
+  struct EncPat {
+    End subject;
+    rdf::TermId predicate = rdf::kInvalidTermId;
+    End object;
+  };
+
+  /// A slot-compiled traversal plan: patterns in traversal order, the
+  /// output slot mapping, and the parameter sites left open for binding.
+  /// Valid only while the partitions it was compiled against stay
+  /// resident — the session layer guards this with plan epochs.
+  struct Plan {
+    std::vector<EncPat> patterns;  // in greedy traversal order
+    std::vector<std::string> out_vars;
+    std::vector<int> out_slots;  // slot of each out_var, -1 if absent
+    size_t num_slots = 0;
+    /// A non-parameter constant (or a predicate term) is unknown to the
+    /// dictionary: the query can never match.
+    bool impossible = false;
+    /// Distinct parameter names in first-appearance order; `End::param`
+    /// and the `param_values` array passed to `OpenCursor` align with it.
+    std::vector<std::string> param_names;
+  };
+
+  /// Compiles `query` once: dictionary-encodes endpoints, checks the
+  /// graph-store preconditions, fixes the traversal order.
   ///
   /// Preconditions checked here (FailedPrecondition on violation):
-  ///  * every constant predicate of the query is resident;
-  ///  * no pattern has a variable in predicate position (the graph store
-  ///    holds only a subset of partitions, so a variable predicate could
-  ///    silently return partial answers — the processor must route such
-  ///    queries to the relational store).
+  ///  * every known constant predicate of the query is resident;
+  ///  * no pattern has a variable predicate (the graph store holds only a
+  ///    subset of partitions, so a variable predicate could silently
+  ///    return partial answers — the processor must route such queries to
+  ///    the relational store).
+  Result<Plan> Compile(const sparql::Query& query) const;
+
+  /// A resumable traversal: the DFS over the plan's patterns with its
+  /// explicit stack, suspendable between result rows. Obtained from
+  /// `OpenCursor`; borrows the matcher's graph and the caller's meter,
+  /// both of which must outlive it.
+  class Cursor {
+   public:
+    /// Runs the traversal until `max_rows` more rows have been appended
+    /// to `*out` (whose columns must already be the plan's `out_vars`) or
+    /// the search space is exhausted (`*done` = true). Cost is charged to
+    /// the meter as the search advances, so a drained cursor has charged
+    /// exactly what `Match` charges. Returns Cancelled when the meter's
+    /// budget runs out; errors are sticky.
+    Status Fill(sparql::BindingTable* out, size_t max_rows, bool* done);
+
+    const std::vector<std::string>& out_vars() const { return out_vars_; }
+
+   private:
+    friend class TraversalMatcher;
+    Cursor() = default;
+
+    struct Frame {
+      enum Mode { kOut, kIn, kEdges };
+      Mode mode = kOut;
+      const std::vector<rdf::TermId>* nbrs = nullptr;  // kOut / kIn
+      const std::vector<std::pair<rdf::TermId, rdf::TermId>>* edges =
+          nullptr;  // kEdges
+      size_t idx = 0;
+      bool has_o = false;            // kOut: object already resolved
+      rdf::TermId o_val = rdf::kInvalidTermId;
+      size_t mark = 0;               // trail mark of the in-flight branch
+      bool post_pending = false;     // branch needs unwind + budget check
+      bool did_bind = false;         // branch attempted a Bind
+    };
+
+    bool Resolve(const End& e, rdf::TermId* value) const;
+    bool Bind(const End& e, rdf::TermId value);
+    void Unwind(size_t mark);
+    Status EmitRow(sparql::BindingTable* out);
+    Status Fail(Status s);
+
+    const PropertyGraph* graph_ = nullptr;
+    CostMeter* meter_ = nullptr;
+    std::vector<EncPat> patterns_;  // param sites already patched
+    std::vector<std::string> out_vars_;
+    std::vector<int> out_slots_;
+    std::vector<rdf::TermId> slots_;  // slot -> value, kInvalidTermId = free
+    std::vector<int> trail_;          // slots bound on the current DFS path
+    std::vector<Frame> stack_;
+    bool descend_ = true;   // next action: enter depth stack_.size()
+    bool finished_ = false;
+    Status status_;         // sticky failure
+  };
+
+  /// Opens a resumable cursor over `plan`. `param_values` supplies one
+  /// term id per entry of `plan.param_names` (null allowed when the plan
+  /// has none); a missing or invalid value fails with FailedPrecondition.
+  /// Work is charged to `meter` incrementally as the cursor is pulled.
+  Result<Cursor> OpenCursor(const Plan& plan,
+                            const rdf::TermId* param_values,
+                            CostMeter* meter) const;
+
+  /// Evaluates `query` and returns its projected bindings — `Compile` +
+  /// a fully drained cursor. Fails with FailedPrecondition if the query
+  /// contains `$parameters` (prepare and bind it instead).
   /// Returns Cancelled if the meter's budget is exhausted.
   Result<sparql::BindingTable> Match(const sparql::Query& query,
                                      CostMeter* meter) const;

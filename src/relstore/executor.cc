@@ -17,16 +17,9 @@ using sparql::BindingTable;
 
 namespace {
 
-/// One triple-pattern position after dictionary encoding.
-struct Slot {
-  bool is_variable = false;
-  std::string var;          // when is_variable
-  TermId constant = rdf::kInvalidTermId;  // when !is_variable
-  bool missing_constant = false;  // constant not in the dictionary
-};
-
-Slot EncodeSlot(const sparql::PatternTerm& t, const rdf::Dictionary& dict) {
-  Slot s;
+Executor::Slot EncodeSlot(const sparql::PatternTerm& t,
+                          const rdf::Dictionary& dict) {
+  Executor::Slot s;
   if (t.is_variable) {
     s.is_variable = true;
     s.var = t.text;
@@ -39,76 +32,46 @@ Slot EncodeSlot(const sparql::PatternTerm& t, const rdf::Dictionary& dict) {
 
 }  // namespace
 
-/// A fully encoded pattern plus plan-time metadata. Variable names are
-/// resolved once here ("slot compilation"): each distinct variable of the
-/// pattern gets a small integer index, and every per-row operation works
-/// on those indexes — no string map is ever touched while rows flow.
-struct Executor::EncodedPattern {
-  Slot slots[3];  // subject, predicate, object
-  bool used = false;
-
-  /// Slot layout: `var_of_pos[i]` is the index (into `vars`) of the
-  /// distinct variable at position i, or -1 for a constant position.
-  int var_of_pos[3] = {-1, -1, -1};
-  /// Distinct variable names of the pattern, in position order (<= 3).
-  std::vector<std::string> vars;
-
-  /// Resolves the pattern's variable positions to distinct-var indexes.
-  /// Called once per query by EncodeQuery.
-  void CompileSlots() {
-    vars.clear();
-    for (int i = 0; i < 3; ++i) {
-      if (!slots[i].is_variable) {
-        var_of_pos[i] = -1;
-        continue;
-      }
-      const auto it = std::find(vars.begin(), vars.end(), slots[i].var);
-      if (it == vars.end()) {
-        var_of_pos[i] = static_cast<int>(vars.size());
-        vars.push_back(slots[i].var);
-      } else {
-        var_of_pos[i] = static_cast<int>(it - vars.begin());
-      }
+void Executor::EncodedPattern::CompileSlots() {
+  vars.clear();
+  for (int i = 0; i < 3; ++i) {
+    if (!slots[i].is_variable) {
+      var_of_pos[i] = -1;
+      continue;
+    }
+    const auto it = std::find(vars.begin(), vars.end(), slots[i].var);
+    if (it == vars.end()) {
+      var_of_pos[i] = static_cast<int>(vars.size());
+      vars.push_back(slots[i].var);
+    } else {
+      var_of_pos[i] = static_cast<int>(it - vars.begin());
     }
   }
+}
 
-  size_t NumVars() const { return vars.size(); }
+BoundPattern Executor::EncodedPattern::ConstantExtent() const {
+  BoundPattern b;
+  if (!slots[0].is_variable) b.subject = slots[0].constant;
+  if (!slots[1].is_variable) b.predicate = slots[1].constant;
+  if (!slots[2].is_variable) b.object = slots[2].constant;
+  return b;
+}
 
-  bool HasMissingConstant() const {
-    return slots[0].missing_constant || slots[1].missing_constant ||
-           slots[2].missing_constant;
-  }
-
-  /// Pattern with only its constants bound (the scan extent).
-  BoundPattern ConstantExtent() const {
-    BoundPattern b;
-    if (!slots[0].is_variable) b.subject = slots[0].constant;
-    if (!slots[1].is_variable) b.predicate = slots[1].constant;
-    if (!slots[2].is_variable) b.object = slots[2].constant;
-    return b;
-  }
-
-  /// Distinct variables of the pattern, in position order.
-  const std::vector<std::string>& Vars() const { return vars; }
-
-  /// Checks within-pattern consistency for repeated variables and writes
-  /// the value of each distinct variable of triple `t` into
-  /// `out[0 .. NumVars())`. No allocation, no string hashing.
-  bool ExtractVarValues(const Triple& t, TermId* out) const {
-    const TermId vals[3] = {t.subject, t.predicate, t.object};
-    for (size_t v = 0; v < vars.size(); ++v) out[v] = rdf::kInvalidTermId;
-    for (int i = 0; i < 3; ++i) {
-      const int v = var_of_pos[i];
-      if (v < 0) continue;
-      if (out[v] == rdf::kInvalidTermId) {
-        out[v] = vals[i];
-      } else if (out[v] != vals[i]) {
-        return false;
-      }
+bool Executor::EncodedPattern::ExtractVarValues(const Triple& t,
+                                                TermId* out) const {
+  const TermId vals[3] = {t.subject, t.predicate, t.object};
+  for (size_t v = 0; v < vars.size(); ++v) out[v] = rdf::kInvalidTermId;
+  for (int i = 0; i < 3; ++i) {
+    const int v = var_of_pos[i];
+    if (v < 0) continue;
+    if (out[v] == rdf::kInvalidTermId) {
+      out[v] = vals[i];
+    } else if (out[v] != vals[i]) {
+      return false;
     }
-    return true;
   }
-};
+  return true;
+}
 
 namespace {
 
@@ -131,9 +94,9 @@ double JoinVarSelectivity(const TripleTable& table, TermId predicate,
 uint64_t EstimateWithBoundVars(
     const TripleTable& table, const Executor::EncodedPattern& p,
     const std::unordered_set<std::string>& bound_vars) {
-  const Slot& s = p.slots[0];
-  const Slot& pr = p.slots[1];
-  const Slot& o = p.slots[2];
+  const Executor::Slot& s = p.slots[0];
+  const Executor::Slot& pr = p.slots[1];
+  const Executor::Slot& o = p.slots[2];
   const bool s_bound = !s.is_variable || bound_vars.count(s.var) > 0;
   const bool o_bound = !o.is_variable || bound_vars.count(o.var) > 0;
   if (!pr.is_variable) {
@@ -145,30 +108,6 @@ uint64_t EstimateWithBoundVars(
   if (s_bound) est /= std::max<uint64_t>(1, table.SubjectCount());
   if (o_bound) est /= std::max<uint64_t>(1, table.ObjectCount());
   return static_cast<uint64_t>(std::max(1.0, est));
-}
-
-/// The dictionary-encoded form of a query, shared by the serial and
-/// sharded paths so they can never plan from different encodings.
-struct EncodedQuery {
-  std::vector<Executor::EncodedPattern> patterns;
-  std::vector<std::string> out_vars;
-  bool impossible = false;  // a constant is absent from the dictionary
-};
-
-EncodedQuery EncodeQuery(const sparql::Query& query,
-                         const rdf::Dictionary& dict) {
-  EncodedQuery out;
-  out.patterns.resize(query.patterns.size());
-  for (size_t i = 0; i < query.patterns.size(); ++i) {
-    out.patterns[i].slots[0] = EncodeSlot(query.patterns[i].subject, dict);
-    out.patterns[i].slots[1] = EncodeSlot(query.patterns[i].predicate, dict);
-    out.patterns[i].slots[2] = EncodeSlot(query.patterns[i].object, dict);
-    out.patterns[i].CompileSlots();
-    if (out.patterns[i].HasMissingConstant()) out.impossible = true;
-  }
-  out.out_vars =
-      query.select_vars.empty() ? query.AllVariables() : query.select_vars;
-  return out;
 }
 
 /// Index of the pattern with the smallest estimated constant extent —
@@ -271,6 +210,66 @@ struct Executor::SharedJoinState {
   std::map<size_t, Entry> entries;
 };
 
+Executor::CompiledQuery Executor::Compile(const sparql::Query& query) const {
+  CompiledQuery out;
+  out.patterns.resize(query.patterns.size());
+  for (size_t i = 0; i < query.patterns.size(); ++i) {
+    const sparql::PatternTerm* terms[3] = {&query.patterns[i].subject,
+                                           &query.patterns[i].predicate,
+                                           &query.patterns[i].object};
+    for (int pos = 0; pos < 3; ++pos) {
+      if (terms[pos]->is_param) {
+        // An open site: the slot stays a constant position (so it is part
+        // of the scan extent, never a join variable) whose value arrives
+        // at execution time. Not "missing" — bound values are validated
+        // when supplied instead of silently matching nothing.
+        uint32_t idx = 0;
+        const auto it = std::find(out.param_names.begin(),
+                                  out.param_names.end(), terms[pos]->text);
+        if (it == out.param_names.end()) {
+          idx = static_cast<uint32_t>(out.param_names.size());
+          out.param_names.push_back(terms[pos]->text);
+        } else {
+          idx = static_cast<uint32_t>(it - out.param_names.begin());
+        }
+        out.param_sites.push_back({static_cast<uint32_t>(i),
+                                   static_cast<uint8_t>(pos), idx});
+      } else {
+        out.patterns[i].slots[pos] = EncodeSlot(*terms[pos], *dict_);
+      }
+    }
+    out.patterns[i].CompileSlots();
+    if (out.patterns[i].HasMissingConstant()) out.impossible = true;
+  }
+  out.out_vars =
+      query.select_vars.empty() ? query.AllVariables() : query.select_vars;
+  return out;
+}
+
+namespace {
+
+/// Clones the compiled patterns and writes the bound parameter values
+/// into their sites. Fails (rather than matching nothing, or worse,
+/// treating the position as a wildcard) when a value is absent.
+Status PatchParams(const Executor::CompiledQuery& cq,
+                   const TermId* param_values,
+                   std::vector<Executor::EncodedPattern>* out) {
+  *out = cq.patterns;
+  for (const Executor::CompiledQuery::ParamSite& site : cq.param_sites) {
+    const TermId v =
+        param_values != nullptr ? param_values[site.param] : rdf::kInvalidTermId;
+    if (v == rdf::kInvalidTermId) {
+      return Status::FailedPrecondition(
+          "unbound parameter $" + cq.param_names[site.param] +
+          " (bind every parameter before executing)");
+    }
+    (*out)[site.pattern].slots[site.pos].constant = v;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<BindingTable> Executor::Execute(const sparql::Query& query,
                                        CostMeter* meter) const {
   return Run(query, nullptr, meter);
@@ -297,7 +296,11 @@ Result<BindingTable> Executor::ExecuteSharded(const sparql::Query& query,
   }
 
   // ---- encode and plan (exactly as the serial path does) ----------------
-  EncodedQuery eq = EncodeQuery(query, *dict_);
+  CompiledQuery eq = Compile(query);
+  if (!eq.param_sites.empty()) {
+    return Status::FailedPrecondition(
+        "query has unbound parameters; prepare and bind it instead");
+  }
   std::vector<EncodedPattern>& patterns = eq.patterns;
   const std::vector<std::string>& out_vars = eq.out_vars;
   if (eq.impossible) {
@@ -368,16 +371,22 @@ Result<BindingTable> Executor::ExecuteSharded(const sparql::Query& query,
 Result<BindingTable> Executor::Run(const sparql::Query& query,
                                    const BindingTable* seed,
                                    CostMeter* meter) const {
-  if (query.patterns.empty()) {
+  return ExecuteCompiled(Compile(query), nullptr, seed, meter);
+}
+
+Result<BindingTable> Executor::ExecuteCompiledJoined(
+    const CompiledQuery& cq, const TermId* param_values,
+    const BindingTable* seed, CostMeter* meter) const {
+  const std::vector<std::string>& out_vars = cq.out_vars;
+  if (cq.patterns.empty()) {
     return Status::InvalidArgument("query has no patterns");
   }
 
-  // ---- encode -----------------------------------------------------------
-  EncodedQuery eq = EncodeQuery(query, *dict_);
-  std::vector<EncodedPattern>& patterns = eq.patterns;
-  const std::vector<std::string>& out_vars = eq.out_vars;
+  // ---- clone the plan, patch parameter sites ----------------------------
+  std::vector<EncodedPattern> patterns;
+  DSKG_RETURN_NOT_OK(PatchParams(cq, param_values, &patterns));
 
-  if (eq.impossible) {
+  if (cq.impossible) {
     // A constant that is not in the dictionary matches nothing.
     BindingTable empty;
     empty.columns = out_vars;
@@ -413,14 +422,23 @@ Result<BindingTable> Executor::Run(const sparql::Query& query,
 
   DSKG_RETURN_NOT_OK(JoinRemaining(&patterns, &cur, &bound, num_joined,
                                    meter));
+  return cur;
+}
+
+Result<BindingTable> Executor::ExecuteCompiled(
+    const CompiledQuery& cq, const TermId* param_values,
+    const BindingTable* seed, CostMeter* meter) const {
+  DSKG_ASSIGN_OR_RETURN(
+      BindingTable cur,
+      ExecuteCompiledJoined(cq, param_values, seed, meter));
 
   // ---- projection --------------------------------------------------------
-  BindingTable out = cur.Project(out_vars);
+  BindingTable out = cur.Project(cq.out_vars);
   // Projected-away columns may leave missing columns if joins were cut
   // short by an empty intermediate; normalize the header.
-  if (out.columns.size() != out_vars.size()) {
+  if (out.columns.size() != cq.out_vars.size()) {
     BindingTable normalized;
-    normalized.columns = out_vars;
+    normalized.columns = cq.out_vars;
     if (!cur.empty()) {
       return Status::Internal("projection lost columns unexpectedly");
     }

@@ -104,6 +104,7 @@ Status MaterializedViewManager::CreateView(const Query& subquery,
   meter->Add(Op::kTempTableTuple, view.data.NumRows());
   used_rows_ += view.data.NumRows();
   views_.emplace(sig, std::move(view));
+  ++catalog_version_;
   return Status::OK();
 }
 
@@ -114,10 +115,12 @@ Status MaterializedViewManager::DropView(const std::string& signature) {
   }
   used_rows_ -= it->second.data.NumRows();
   views_.erase(it);
+  ++catalog_version_;
   return Status::OK();
 }
 
 void MaterializedViewManager::Clear() {
+  if (!views_.empty()) ++catalog_version_;
   views_.clear();
   used_rows_ = 0;
 }
@@ -148,6 +151,7 @@ size_t MaterializedViewManager::InvalidatePredicates(
       ++it;
     }
   }
+  if (dropped > 0) ++catalog_version_;
   return dropped;
 }
 

@@ -103,6 +103,13 @@ class MaterializedViewManager {
   uint64_t budget_rows() const { return budget_rows_; }
   size_t num_views() const { return views_.size(); }
 
+  /// Monotone version of the catalog: bumped by every successful
+  /// CreateView/DropView/InvalidatePredicates/Clear that changes it.
+  /// Prepared query plans record it (folded into `DualStore::
+  /// plan_epoch()`) and re-validate when it moves — a plan that decided
+  /// its route against an older catalog must not keep serving it.
+  uint64_t catalog_version() const { return catalog_version_; }
+
   /// Signatures of all views, ascending (deterministic).
   std::vector<std::string> Signatures() const {
     std::vector<std::string> out;
@@ -128,6 +135,7 @@ class MaterializedViewManager {
   const rdf::Dictionary* dict_;
   uint64_t budget_rows_;
   uint64_t used_rows_ = 0;
+  uint64_t catalog_version_ = 0;
   // Ordered map => deterministic iteration.
   std::map<std::string, MaterializedView> views_;
 };

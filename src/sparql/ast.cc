@@ -42,9 +42,21 @@ std::vector<std::string> Query::ConstantPredicates() const {
   return out;
 }
 
+std::vector<std::string> Query::Parameters() const {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  for (const TriplePattern& p : patterns) {
+    for (const PatternTerm* t : {&p.subject, &p.predicate, &p.object}) {
+      if (t->is_param && seen.insert(t->text).second) out.push_back(t->text);
+    }
+  }
+  return out;
+}
+
 namespace {
 void AppendTerm(const PatternTerm& t, std::string* out) {
   if (t.is_variable) out->push_back('?');
+  if (t.is_param) out->push_back('$');
   out->append(t.text);
 }
 }  // namespace

@@ -18,17 +18,26 @@
 
 namespace dskg::sparql {
 
-/// One position of a triple pattern: a variable or a constant term.
+/// One position of a triple pattern: a variable, a constant term, or a
+/// `$name` parameter placeholder (a constant whose value is supplied at
+/// execution time via `PreparedQuery::Bind`). A parameter is *not* a
+/// variable: it never joins, is never projected, and a query containing
+/// unbound parameters cannot be executed directly.
 struct PatternTerm {
   bool is_variable = false;
-  /// Variable name without the leading '?', or the constant's text.
+  bool is_param = false;
+  /// Variable/parameter name without the leading '?'/'$', or the
+  /// constant's text.
   std::string text;
 
   static PatternTerm Var(std::string name) {
-    return PatternTerm{true, std::move(name)};
+    return PatternTerm{true, false, std::move(name)};
   }
   static PatternTerm Const(std::string term) {
-    return PatternTerm{false, std::move(term)};
+    return PatternTerm{false, false, std::move(term)};
+  }
+  static PatternTerm Param(std::string name) {
+    return PatternTerm{false, true, std::move(name)};
   }
 
   friend bool operator==(const PatternTerm&, const PatternTerm&) = default;
@@ -67,6 +76,10 @@ struct Query {
   /// Distinct constant predicates of the BGP, in first-appearance order.
   /// Patterns with variable predicates contribute nothing.
   std::vector<std::string> ConstantPredicates() const;
+
+  /// Distinct `$parameter` names of the BGP, in first-appearance order
+  /// (subject before object within a pattern). Empty for ordinary queries.
+  std::vector<std::string> Parameters() const;
 
   /// Serializes back to query text (canonical whitespace).
   std::string ToString() const;

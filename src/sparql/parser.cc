@@ -8,7 +8,7 @@ namespace dskg::sparql {
 
 namespace {
 
-enum class TokKind { kVar, kTerm, kLBrace, kRBrace, kDot, kStar, kEnd };
+enum class TokKind { kVar, kParam, kTerm, kLBrace, kRBrace, kDot, kStar, kEnd };
 
 struct Token {
   TokKind kind;
@@ -45,16 +45,20 @@ class Lexer {
       return Token{TokKind::kDot, ".", start};
     }
     if (c == '?' || c == '$') {
+      // `?name` is a variable; `$name` is a parameter placeholder bound at
+      // execution time (PreparedQuery::Bind).
       ++pos_;
       std::string name;
       while (pos_ < text_.size() && IsNameChar(text_[pos_])) {
         name.push_back(text_[pos_++]);
       }
       if (name.empty()) {
-        return Status::ParseError("empty variable name at offset " +
-                                  std::to_string(start));
+        return Status::ParseError(std::string("empty ") +
+                                  (c == '$' ? "parameter" : "variable") +
+                                  " name at offset " + std::to_string(start));
       }
-      return Token{TokKind::kVar, std::move(name), start};
+      return Token{c == '$' ? TokKind::kParam : TokKind::kVar,
+                   std::move(name), start};
     }
     if (c == '<') {
       // IRIREF: consume through '>'.
@@ -165,6 +169,10 @@ Result<Query> Parser::Parse(std::string_view text) {
       query.select_vars.push_back(tok.text);
       DSKG_ASSIGN_OR_RETURN(tok, lexer.Next());
     }
+    if (tok.kind == TokKind::kParam) {
+      return Status::ParseError("parameter $" + tok.text +
+                                " cannot be projected");
+    }
     if (query.select_vars.empty()) {
       return Status::ParseError("expected '*' or variables after SELECT");
     }
@@ -186,9 +194,22 @@ Result<Query> Parser::Parse(std::string_view text) {
     TriplePattern pattern;
     PatternTerm* slots[3] = {&pattern.subject, &pattern.predicate,
                              &pattern.object};
-    for (PatternTerm* slot : slots) {
+    for (int pos = 0; pos < 3; ++pos) {
+      PatternTerm* slot = slots[pos];
       if (tok.kind == TokKind::kVar) {
         *slot = PatternTerm::Var(tok.text);
+      } else if (tok.kind == TokKind::kParam) {
+        // Parameters are constants-to-be: they may stand for subjects or
+        // objects, but not predicates — routing (graph-store coverage,
+        // complex-subquery structure) must be decidable at prepare time,
+        // before any value is bound.
+        if (pos == 1) {
+          return Status::ParseError(
+              "parameter $" + tok.text +
+              " cannot appear in predicate position (offset " +
+              std::to_string(tok.pos) + ")");
+        }
+        *slot = PatternTerm::Param(tok.text);
       } else if (tok.kind == TokKind::kTerm) {
         *slot = PatternTerm::Const(tok.text);
       } else {
@@ -216,6 +237,16 @@ Result<Query> Parser::Parse(std::string_view text) {
     if (counts.find(v) == counts.end()) {
       return Status::ParseError("projected variable ?" + v +
                                 " does not appear in WHERE block");
+    }
+  }
+  // A name may be a variable or a parameter, never both — `?x` joins while
+  // `$x` is a bound constant, and letting them alias would silently change
+  // the join structure between prepare and bind.
+  for (const std::string& p : query.Parameters()) {
+    if (counts.find(p) != counts.end()) {
+      return Status::ParseError("name " + p +
+                                " is used both as variable ?" + p +
+                                " and parameter $" + p);
     }
   }
   return query;

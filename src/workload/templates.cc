@@ -17,7 +17,7 @@ std::vector<QueryTemplate> YagoTemplates() {
       "?a y:wasBornIn ?city . "
       "?p y:isMarriedTo ?p2 . "
       "?p2 y:wasBornIn ?city . "
-      "?p y:wonPrize ?prize . }",
+      "?p y:wonPrize $prize . }",
       {{"prize", "y:wonPrize", true}}});
   // Y2 — co-actors (in movies of a given genre) born in the same city.
   out.push_back(QueryTemplate{
@@ -25,7 +25,7 @@ std::vector<QueryTemplate> YagoTemplates() {
       "SELECT ?p1 ?p2 WHERE { "
       "?p1 y:actedIn ?m . "
       "?p2 y:actedIn ?m . "
-      "?m y:hasGenre ?g . "
+      "?m y:hasGenre $g . "
       "?p1 y:wasBornIn ?c . "
       "?p2 y:wasBornIn ?c . }",
       {{"g", "y:hasGenre", true}}});
@@ -36,13 +36,13 @@ std::vector<QueryTemplate> YagoTemplates() {
       "?p y:isMarriedTo ?p2 . "
       "?p y:wasBornIn ?c . "
       "?p2 y:wasBornIn ?c . "
-      "?p y:worksAt ?comp . }",
+      "?p y:worksAt $comp . }",
       {{"comp", "y:worksAt", true}}});
   // Y4 — winners of a given prize and where their university is located.
   out.push_back(QueryTemplate{
       "yago-prize-university",
       "SELECT ?p ?c WHERE { "
-      "?p y:wonPrize ?prize . "
+      "?p y:wonPrize $prize . "
       "?p y:graduatedFrom ?u . "
       "?u y:locatedInCity ?c . }",
       {{"prize", "y:wonPrize", true}}});
@@ -59,45 +59,45 @@ std::vector<QueryTemplate> WatDivLinearTemplates() {
       "SELECT ?u ?v WHERE { "
       "?u wsdbm:follows ?v . "
       "?v wsdbm:likes ?p . "
-      "?p wsdbm:hasGenre ?g . }",
+      "?p wsdbm:hasGenre $g . }",
       {{"g", "wsdbm:hasGenre", true}}});
   out.push_back(QueryTemplate{
       "watdiv-l2",
       "SELECT ?r ?p WHERE { "
       "?r rev:reviewFor ?p . "
       "?p wsdbm:producedBy ?rt . "
-      "?rt sorg:homepage ?hp . }",
+      "?rt sorg:homepage $hp . }",
       {{"hp", "sorg:homepage", true}}});
   out.push_back(QueryTemplate{
       "watdiv-l3",
       "SELECT ?u WHERE { "
       "?u wsdbm:location ?c . "
-      "?c gn:parentCountry ?co . }",
+      "?c gn:parentCountry $co . }",
       {{"co", "gn:parentCountry", true}}});
   out.push_back(QueryTemplate{
       "watdiv-l4",
       "SELECT ?u ?v WHERE { "
       "?u wsdbm:follows ?v . "
       "?v wsdbm:purchases ?p . "
-      "?p wsdbm:hasGenre ?g . }",
+      "?p wsdbm:hasGenre $g . }",
       {{"g", "wsdbm:hasGenre", true}}});
   out.push_back(QueryTemplate{
       "watdiv-l5",
       "SELECT ?u ?v WHERE { "
       "?u wsdbm:friendOf ?v . "
-      "?v wsdbm:location ?c . }",
+      "?v wsdbm:location $c . }",
       {{"c", "wsdbm:location", true}}});
   out.push_back(QueryTemplate{
       "watdiv-l6",
       "SELECT ?r ?u WHERE { "
       "?r rev:reviewer ?u . "
       "?u wsdbm:location ?c . "
-      "?c gn:parentCountry ?co . }",
+      "?c gn:parentCountry $co . }",
       {{"co", "gn:parentCountry", true}}});
   out.push_back(QueryTemplate{
       "watdiv-l7",
       "SELECT ?p WHERE { "
-      "?u wsdbm:subscribes ?w . "
+      "?u wsdbm:subscribes $w . "
       "?u wsdbm:likes ?p . }",
       {{"w", "wsdbm:subscribes", true}}});
   return out;
@@ -110,21 +110,21 @@ std::vector<QueryTemplate> WatDivStarTemplates() {
       "SELECT ?p ?cap ?price WHERE { "
       "?p sorg:caption ?cap . "
       "?p sorg:price ?price . "
-      "?p wsdbm:hasGenre ?g . "
-      "?p wsdbm:producedBy ?rt . }",
+      "?p wsdbm:hasGenre $g . "
+      "?p wsdbm:producedBy $rt . }",
       {{"g", "wsdbm:hasGenre", true}, {"rt", "wsdbm:producedBy", true}}});
   out.push_back(QueryTemplate{
       "watdiv-s2",
       "SELECT ?u ?c WHERE { "
       "?u wsdbm:location ?c . "
-      "?u wsdbm:gender ?gen . "
+      "?u wsdbm:gender $gen . "
       "?u wsdbm:birthDate ?b . "
-      "?u wsdbm:likes ?prod . }",
+      "?u wsdbm:likes $prod . }",
       {{"gen", "wsdbm:gender", true}, {"prod", "wsdbm:likes", true}}});
   out.push_back(QueryTemplate{
       "watdiv-s3",
       "SELECT ?r ?rating WHERE { "
-      "?r rev:reviewFor ?p . "
+      "?r rev:reviewFor $p . "
       "?r rev:rating ?rating . "
       "?r rev:reviewer ?u . "
       "?u wsdbm:location ?c . }",
@@ -134,15 +134,15 @@ std::vector<QueryTemplate> WatDivStarTemplates() {
       "SELECT ?rt ?name WHERE { "
       "?rt sorg:legalName ?name . "
       "?rt wsdbm:sells ?p . "
-      "?p wsdbm:hasGenre ?g . }",
+      "?p wsdbm:hasGenre $g . }",
       {{"g", "wsdbm:hasGenre", true}}});
   out.push_back(QueryTemplate{
       "watdiv-s5",
       "SELECT ?p ?d WHERE { "
       "?p sorg:description ?d . "
       "?p sorg:price ?price . "
-      "?p wsdbm:hasGenre ?g . "
-      "?p wsdbm:producedBy ?rt . }",
+      "?p wsdbm:hasGenre $g . "
+      "?p wsdbm:producedBy $rt . }",
       {{"g", "wsdbm:hasGenre", true}, {"rt", "wsdbm:producedBy", true}}});
   return out;
 }
@@ -153,10 +153,10 @@ std::vector<QueryTemplate> WatDivSnowflakeTemplates() {
       "watdiv-f1",
       "SELECT ?u ?p ?r WHERE { "
       "?u wsdbm:purchases ?p . "
-      "?p wsdbm:hasGenre ?g . "
+      "?p wsdbm:hasGenre $g . "
       "?r rev:reviewFor ?p . "
       "?r rev:rating ?rating . "
-      "?u wsdbm:location ?c . }",
+      "?u wsdbm:location $c . }",
       {{"g", "wsdbm:hasGenre", true}, {"c", "wsdbm:location", true}}});
   out.push_back(QueryTemplate{
       "watdiv-f2",
@@ -165,14 +165,14 @@ std::vector<QueryTemplate> WatDivSnowflakeTemplates() {
       "?rt sorg:legalName ?name . "
       "?r rev:reviewFor ?p . "
       "?r rev:reviewer ?u . "
-      "?u wsdbm:location ?c . }",
+      "?u wsdbm:location $c . }",
       {{"c", "wsdbm:location", true}}});
   out.push_back(QueryTemplate{
       "watdiv-f3",
       "SELECT ?u ?v ?p WHERE { "
       "?u wsdbm:follows ?v . "
       "?v wsdbm:purchases ?p . "
-      "?p wsdbm:hasGenre ?g . "
+      "?p wsdbm:hasGenre $g . "
       "?p wsdbm:producedBy ?rt . }",
       {{"g", "wsdbm:hasGenre", true}}});
   out.push_back(QueryTemplate{
@@ -182,7 +182,7 @@ std::vector<QueryTemplate> WatDivSnowflakeTemplates() {
       "?r2 rev:reviewFor ?p . "
       "?r1 rev:rating ?rating1 . "
       "?r2 rev:rating ?rating2 . "
-      "?p wsdbm:hasGenre ?g . }",
+      "?p wsdbm:hasGenre $g . }",
       {{"g", "wsdbm:hasGenre", true}}});
   out.push_back(QueryTemplate{
       "watdiv-f5",
@@ -205,7 +205,7 @@ std::vector<QueryTemplate> WatDivComplexTemplates() {
       "?v wsdbm:likes ?p . "
       "?r rev:reviewFor ?p . "
       "?r rev:rating ?rating . "
-      "?p wsdbm:hasGenre ?g . }",
+      "?p wsdbm:hasGenre $g . }",
       {{"g", "wsdbm:hasGenre", true}}});
   out.push_back(QueryTemplate{
       "watdiv-c2",
@@ -236,20 +236,20 @@ std::vector<QueryTemplate> Bio2RdfTemplates() {
       "?drug b2r:targets ?prot . "
       "?prot b2r:interactsWith ?prot2 . "
       "?gene b2r:encodes ?prot2 . "
-      "?gene b2r:associatedWithDisease ?dis . }",
+      "?gene b2r:associatedWithDisease $dis . }",
       {{"dis", "b2r:associatedWithDisease", true}}});
   out.push_back(QueryTemplate{
       "bio2rdf-b2",
       "SELECT ?a ?g WHERE { "
       "?a b2r:mentionsGene ?g . "
       "?g b2r:encodes ?p . "
-      "?p b2r:memberOfFamily ?fam . }",
+      "?p b2r:memberOfFamily $fam . }",
       {{"fam", "b2r:memberOfFamily", true}}});
   out.push_back(QueryTemplate{
       "bio2rdf-b3",
       "SELECT ?d ?pr WHERE { "
       "?d b2r:treatsDisease ?dis . "
-      "?dis b2r:hasSymptom ?sym . "
+      "?dis b2r:hasSymptom $sym . "
       "?d b2r:targets ?pr . }",
       {{"sym", "b2r:hasSymptom", true}}});
   out.push_back(QueryTemplate{
@@ -257,14 +257,14 @@ std::vector<QueryTemplate> Bio2RdfTemplates() {
       "SELECT ?a ?b WHERE { "
       "?a b2r:cites ?b . "
       "?b b2r:mentionsGene ?g . "
-      "?g b2r:locatedOnChromosome ?chr . }",
+      "?g b2r:locatedOnChromosome $chr . }",
       {{"chr", "b2r:locatedOnChromosome", true}}});
   out.push_back(QueryTemplate{
       "bio2rdf-b5",
       "SELECT ?p1 ?p3 WHERE { "
       "?p1 b2r:interactsWith ?p2 . "
       "?p2 b2r:interactsWith ?p3 . "
-      "?p1 b2r:hasFunction ?f . }",
+      "?p1 b2r:hasFunction $f . }",
       {{"f", "b2r:hasFunction", true}}});
   return out;
 }

@@ -86,26 +86,50 @@ Result<Workload> WorkloadBuilder::Build(
     const QueryTemplate& tmpl = templates[ti];
     DSKG_ASSIGN_OR_RETURN(sparql::Query skeleton,
                           sparql::Parser::Parse(tmpl.text));
-    // Validate slots against the skeleton.
+    // Validate slots against the skeleton: each is a `$param` (canonical)
+    // or a variable (legacy AST substitution).
     const auto counts = skeleton.VariableCounts();
+    const std::vector<std::string> params = skeleton.Parameters();
+    bool all_param_slots = true;
     for (const QueryTemplate::Slot& slot : tmpl.slots) {
-      if (counts.find(slot.variable) == counts.end()) {
-        return Status::InvalidArgument("template " + tmpl.name +
-                                       ": slot variable ?" + slot.variable +
-                                       " not in skeleton");
-      }
-      for (const std::string& sv : skeleton.select_vars) {
-        if (sv == slot.variable) {
+      const bool is_param =
+          std::find(params.begin(), params.end(), slot.variable) !=
+          params.end();
+      if (!is_param) {
+        all_param_slots = false;
+        if (counts.find(slot.variable) == counts.end()) {
           return Status::InvalidArgument("template " + tmpl.name +
                                          ": slot variable ?" + slot.variable +
-                                         " is projected");
+                                         " not in skeleton");
         }
+        for (const std::string& sv : skeleton.select_vars) {
+          if (sv == slot.variable) {
+            return Status::InvalidArgument("template " + tmpl.name +
+                                           ": slot variable ?" +
+                                           slot.variable + " is projected");
+          }
+        }
+      }
+    }
+    // Every skeleton parameter must be covered by a slot, or executions
+    // would always fail with an unbound parameter.
+    for (const std::string& p : params) {
+      const bool covered =
+          std::any_of(tmpl.slots.begin(), tmpl.slots.end(),
+                      [&](const QueryTemplate::Slot& s) {
+                        return s.variable == p;
+                      });
+      if (!covered) {
+        return Status::InvalidArgument("template " + tmpl.name +
+                                       ": parameter $" + p +
+                                       " has no sampling slot");
       }
     }
 
     const int versions = 1 + options.mutations_per_template;
     for (int m = 0; m < versions; ++m) {
       sparql::Query q = skeleton;
+      WorkloadQuery wq;
       for (const QueryTemplate::Slot& slot : tmpl.slots) {
         DSKG_ASSIGN_OR_RETURN(
             std::string value,
@@ -113,18 +137,18 @@ Result<Workload> WorkloadBuilder::Build(
         const sparql::PatternTerm replacement =
             sparql::PatternTerm::Const(value);
         for (sparql::TriplePattern& p : q.patterns) {
-          if (p.subject.is_variable && p.subject.text == slot.variable) {
-            p.subject = replacement;
-          }
-          if (p.object.is_variable && p.object.text == slot.variable) {
-            p.object = replacement;
+          for (sparql::PatternTerm* end : {&p.subject, &p.object}) {
+            const bool hits = (end->is_variable || end->is_param) &&
+                              end->text == slot.variable;
+            if (hits) *end = replacement;
           }
         }
+        wq.bindings.emplace_back(slot.variable, std::move(value));
       }
-      WorkloadQuery wq;
       wq.query = std::move(q);
       wq.template_index = static_cast<int>(ti);
       wq.mutation = m;
+      if (all_param_slots) wq.prepared_text = tmpl.text;
       out.queries.push_back(std::move(wq));
     }
   }

@@ -32,15 +32,24 @@ std::vector<std::pair<size_t, size_t>> EvenRanges(size_t total, int n);
 
 /// A query template: a BGP skeleton plus slots that mutations fill with
 /// constants sampled from the dataset.
+///
+/// Canonical templates mark their slots as `$parameters` in the text
+/// ("?p y:wonPrize $prize"), so one skeleton is prepared once and every
+/// mutation is a `Bind` — the runners route these through the session's
+/// prepared-query cache. Legacy `?variable` slots are still accepted and
+/// instantiated by AST substitution (those queries re-plan per
+/// execution).
 struct QueryTemplate {
   /// Identifier used in reports ("yago-advisor-city").
   std::string name;
-  /// SPARQL text of the skeleton; every slot position is a variable.
+  /// SPARQL text of the skeleton; slot positions are `$params` (or, for
+  /// legacy templates, variables).
   std::string text;
 
   /// One mutable position of the skeleton.
   struct Slot {
-    /// Variable to replace (no '?'). Must not be projected.
+    /// Parameter (or legacy variable) to fill, without the '$'/'?'.
+    /// Must not be projected.
     std::string variable;
     /// Predicate whose extent supplies sample values.
     std::string predicate;
@@ -52,11 +61,20 @@ struct QueryTemplate {
 
 /// One query of a built workload.
 struct WorkloadQuery {
+  /// The fully bound query (every slot replaced by its sampled constant).
   sparql::Query query;
   /// Index of the originating template (for per-template analysis).
   int template_index = 0;
   /// 0 = the template's original instantiation, 1..k = mutations.
   int mutation = 0;
+
+  /// The originating template's parameterized text, when every slot is a
+  /// `$param` — the key the runners prepare once per template and re-bind
+  /// per mutation. Empty for legacy (AST-substituted) instantiations;
+  /// those execute through the one-shot path.
+  std::string prepared_text;
+  /// Parameter name -> sampled term text, aligned with `prepared_text`.
+  std::vector<std::pair<std::string, std::string>> bindings;
 };
 
 /// A fully instantiated workload.

@@ -7,12 +7,17 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/dual_store.h"
+#include "core/online_store.h"
+#include "core/session.h"
+#include "core/update.h"
 #include "graphstore/matcher.h"
 #include "relstore/executor.h"
 #include "sparql/parser.h"
@@ -121,6 +126,150 @@ TEST_P(EngineEquivalenceTest, TraversalMatcherMatchesReference) {
       ASSERT_TRUE(actual.ok()) << actual.status() << "\n" << q.ToString();
       EXPECT_TRUE(BindingTable::SameRows(*actual, reference.Evaluate(q)))
           << "Match diverged: " << q.ToString();
+    }
+  }
+}
+
+// A prepared query (kept across mutations of the store) must always
+// return exactly what a freshly prepared/processed query returns: plans
+// carry a plan epoch and re-validate after `ApplyUpdates` or re-tuning
+// moves graph residency, the view catalog or the dictionary. This is the
+// randomized oracle for that invariant: random parameterized BGPs are
+// prepared once, then the store is mutated round after round (update
+// batches interleaved with migrate/evict tuning windows) and every
+// prepared handle is compared — rows and simulated charges — against a
+// fresh one-shot execution of its bound form.
+TEST_P(EngineEquivalenceTest, PreparedVsFreshOracleUnderMutations) {
+  for (int corpus = 0; corpus < 2; ++corpus) {
+    rdf::Dataset initial = MakeCorpus(corpus);
+    const std::vector<rdf::Triple> triples = initial.triples();
+    DualStoreConfig cfg;
+    cfg.graph_capacity_triples = initial.num_triples();
+    OnlineStore store(initial, cfg);
+    Session session(&store);
+
+    Rng rng(GetParam() ^ 0xfeed);
+
+    // Prepare a pool of parameterized queries once, up front.
+    struct Prepared {
+      sparql::Query bound;    // the equivalent constant-only query
+      std::optional<PreparedQuery> handle;
+      std::vector<std::pair<std::string, std::string>> bindings;
+    };
+    std::vector<Prepared> pool;
+    for (int i = 0; i < 6; ++i) {
+      const sparql::Query q = testing::RandomBgp(store.active().dataset(),
+                                                 &rng);
+      Prepared p;
+      p.bound = q;
+      // Parameterize each constant endpoint with probability 1/2.
+      sparql::Query tmpl = q;
+      int next = 0;
+      for (sparql::TriplePattern& tp : tmpl.patterns) {
+        for (sparql::PatternTerm* end : {&tp.subject, &tp.object}) {
+          if (end->is_variable || !rng.NextBool(0.5)) continue;
+          const std::string name = "prm" + std::to_string(next++);
+          p.bindings.emplace_back(name, end->text);
+          *end = sparql::PatternTerm::Param(name);
+        }
+      }
+      auto prepared = session.Prepare(tmpl.ToString());
+      ASSERT_TRUE(prepared.ok()) << prepared.status() << "\n"
+                                 << tmpl.ToString();
+      p.handle.emplace(std::move(prepared).ValueOrDie());
+      pool.push_back(std::move(p));
+    }
+
+    for (int round = 0; round < 6; ++round) {
+      // ---- mutate the store -------------------------------------------
+      if (round % 2 == 0) {
+        // An update batch: inserts of novel facts + deletes of existing
+        // triples (term strings survive via the initial triple list).
+        UpdateBatch batch;
+        for (int u = 0; u < 5; ++u) {
+          if (rng.NextBool(0.5) && !triples.empty()) {
+            const rdf::Triple& t = triples[rng.NextIndex(triples.size())];
+            batch.ops.push_back(UpdateOp::Delete(
+                initial.dict().TermOf(t.subject),
+                initial.dict().TermOf(t.predicate),
+                initial.dict().TermOf(t.object)));
+          } else {
+            const rdf::Triple& t = triples[rng.NextIndex(triples.size())];
+            batch.ops.push_back(UpdateOp::Insert(
+                "fresh:s" + std::to_string(round) + "_" + std::to_string(u),
+                initial.dict().TermOf(t.predicate),
+                initial.dict().TermOf(t.object)));
+          }
+        }
+        ASSERT_TRUE(store.ApplyUpdates(batch).ok());
+      } else {
+        // A tuning window: flip residency of a random predicate.
+        ASSERT_TRUE(store.TuneExclusive([&](DualStore* s) {
+          const std::vector<rdf::TermId> preds = s->table().Predicates();
+          if (preds.empty()) return Status::OK();
+          const rdf::TermId pred = preds[rng.NextIndex(preds.size())];
+          CostMeter scratch;
+          if (s->IsResident(pred)) {
+            (void)s->EvictPartition(pred, &scratch);
+          } else {
+            (void)s->MigratePartition(pred, &scratch);
+          }
+          return Status::OK();
+        }).ok());
+      }
+
+      // ---- every prepared handle vs a fresh execution -----------------
+      for (Prepared& p : pool) {
+        for (const auto& [name, term] : p.bindings) {
+          // Terms referenced by the pool come from the immutable initial
+          // triple list; deletes can only remove whole triples, not the
+          // sampled subjects/objects used elsewhere — but a vanished
+          // term is still possible, and then both paths must agree that
+          // nothing matches.
+          const Status s = p.handle->Bind(name, term);
+          if (!s.ok()) {
+            ASSERT_TRUE(s.IsNotFound()) << s;
+          }
+        }
+        Result<QueryExecution> prepared_exec = p.handle->ExecuteAll();
+        Result<QueryExecution> fresh = store.Process(p.bound);
+        if (!prepared_exec.ok()) {
+          // Only a vanished bound term may fail; the fresh path then
+          // returns the empty result that constant could never match.
+          ASSERT_TRUE(prepared_exec.status().IsNotFound())
+              << prepared_exec.status();
+          ASSERT_TRUE(fresh.ok()) << fresh.status();
+          EXPECT_TRUE(fresh->result.empty());
+          continue;
+        }
+        ASSERT_TRUE(fresh.ok()) << fresh.status();
+        EXPECT_EQ(prepared_exec->route, fresh->route)
+            << p.bound.ToString();
+        EXPECT_TRUE(BindingTable::SameRows(prepared_exec->result,
+                                           fresh->result))
+            << "prepared diverged from fresh after round " << round << ": "
+            << p.bound.ToString();
+        EXPECT_DOUBLE_EQ(prepared_exec->rel_micros, fresh->rel_micros);
+        EXPECT_DOUBLE_EQ(prepared_exec->graph_micros, fresh->graph_micros);
+        EXPECT_DOUBLE_EQ(prepared_exec->migrate_micros,
+                         fresh->migrate_micros);
+
+        // And against a second, cache-cold session (a truly fresh
+        // prepare of the same parameterized text).
+        Session cold(&store);
+        auto cold_prep = cold.Prepare(p.handle->text());
+        ASSERT_TRUE(cold_prep.ok());
+        bool bound_ok = true;
+        for (const auto& [name, term] : p.bindings) {
+          if (!cold_prep->Bind(name, term).ok()) bound_ok = false;
+        }
+        if (bound_ok) {
+          auto cold_exec = cold_prep->ExecuteAll();
+          ASSERT_TRUE(cold_exec.ok()) << cold_exec.status();
+          EXPECT_TRUE(BindingTable::SameRows(cold_exec->result,
+                                             fresh->result));
+        }
+      }
     }
   }
 }

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "core/identifier.h"
@@ -86,13 +87,23 @@ TEST_P(TemplateCatalogTest, TemplatesParseAndSlotsAreValid) {
   for (const QueryTemplate& t : factory()) {
     auto q = sparql::Parser::Parse(t.text);
     ASSERT_TRUE(q.ok()) << t.name << ": " << q.status();
-    const auto counts = q->VariableCounts();
+    const std::vector<std::string> params = q->Parameters();
+    // Canonical catalogs mark every slot as a $param (so runners prepare
+    // each template once and re-bind per mutation), and every skeleton
+    // parameter has a sampling slot.
     for (const auto& slot : t.slots) {
-      EXPECT_TRUE(counts.count(slot.variable) > 0)
-          << t.name << " slot ?" << slot.variable;
+      EXPECT_TRUE(std::find(params.begin(), params.end(), slot.variable) !=
+                  params.end())
+          << t.name << " slot $" << slot.variable << " is not a parameter";
       for (const auto& sv : q->select_vars) {
         EXPECT_NE(sv, slot.variable) << t.name << " projects a slot var";
       }
+    }
+    for (const auto& p : params) {
+      EXPECT_TRUE(std::any_of(
+          t.slots.begin(), t.slots.end(),
+          [&](const QueryTemplate::Slot& s) { return s.variable == p; }))
+          << t.name << " parameter $" << p << " has no slot";
     }
   }
 }
