@@ -4,6 +4,7 @@
 /// \file dictionary.h
 /// Bidirectional mapping between term strings and dense `TermId`s.
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -13,6 +14,16 @@
 #include "rdf/triple.h"
 
 namespace dskg::rdf {
+
+/// Transparent string hash: lets the forward index probe with a
+/// `string_view` directly, so the `Intern`/`Lookup` hit paths allocate
+/// nothing (previously every call built a temporary `std::string` key).
+struct TermHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 /// Interns term strings, assigning dense ids 0, 1, 2, ... in first-seen
 /// order. Lookup is O(1) expected in both directions.
@@ -35,8 +46,9 @@ class Dictionary {
   Dictionary& operator=(Dictionary&&) = default;
 
   /// Returns the id for `term`, interning it if new (recycled ids first).
+  /// The hit path is allocation-free (heterogeneous `string_view` probe).
   TermId Intern(std::string_view term) {
-    auto it = ids_.find(std::string(term));
+    auto it = ids_.find(term);
     if (it != ids_.end()) return it->second;
     TermId id;
     if (!free_ids_.empty()) {
@@ -80,8 +92,9 @@ class Dictionary {
   size_t free_ids() const { return free_ids_.size(); }
 
   /// Returns the id for `term` if present, `kInvalidTermId` otherwise.
+  /// Allocation-free (heterogeneous `string_view` probe).
   TermId Lookup(std::string_view term) const {
-    auto it = ids_.find(std::string(term));
+    auto it = ids_.find(term);
     return it == ids_.end() ? kInvalidTermId : it->second;
   }
 
@@ -111,7 +124,7 @@ class Dictionary {
 
  private:
   std::vector<std::string> terms_;
-  std::unordered_map<std::string, TermId> ids_;
+  std::unordered_map<std::string, TermId, TermHash, std::equal_to<>> ids_;
   std::vector<uint64_t> refs_;     // usage count per id
   std::vector<TermId> free_ids_;   // recycled ids, LIFO
   uint64_t bytes_ = 0;
