@@ -17,15 +17,39 @@
 ///   * `LowerBound(key)`— O(log n) descent, then an iterator that walks
 ///                        leaves left to right
 ///
+/// Memory layout — *pool-allocated fixed-capacity nodes*: nodes are flat
+/// structs with inline `Key[kMaxKeys + 1]` arrays (the +1 is overflow
+/// slack so a split runs after the insert, as the historical vector-based
+/// layout did), addressed by `uint32_t` node ids instead of `unique_ptr`s.
+/// Leaves and inner nodes live in two per-tree slabs (`std::vector`), so a
+/// leaf spends no bytes on a child array and an inner node none on leaf
+/// links; the id's top bit tags which pool it points into. No per-node
+/// heap allocation, no per-key vector capacity slack, half-width links,
+/// and nodes freed by merges are recycled through per-pool LIFO free
+/// lists, so sustained churn at constant size allocates nothing at all.
+/// The slabs make footprint accounting exact (`MemoryBytes`) and can be
+/// pre-sized for a bulk load (`Reserve`).
+///
+/// Split heuristic: a leaf split normally divides keys evenly, but when
+/// the overflowing insert landed at the leaf's first or last slot — an
+/// ascending or descending run, the dominant pattern when a permutation
+/// index ingests a generated or sorted dataset — the split leaves the run
+/// side nearly empty and the other side full. Sequential loads therefore
+/// pack leaves to ~100% instead of 50%, roughly halving slab bytes; a
+/// run-boundary leaf can sit below the half-full occupancy bound until a
+/// deletion touches it, which `Erase`'s borrow/merge already handles.
+///
+/// Invalidation: mutating the tree may grow the slabs, so `Iterator`s are
+/// only stable across const operations (the same contract the engines
+/// already rely on — scans never straddle mutations).
+///
 /// The node fan-out is deliberately page-like (`kMaxKeys` = 64) so that a
 /// root-to-leaf descent has realistic depth for the cost model's
 /// `kIndexProbe` weight to represent.
 
 #include <algorithm>
-#include <array>
 #include <cassert>
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 namespace dskg::relstore {
@@ -39,33 +63,117 @@ class BPlusTree {
   static constexpr int kMinKeys = kMaxKeys / 2;
 
  private:
-  struct Node {
-    bool is_leaf = true;
-    std::vector<Key> keys;
-    std::vector<std::unique_ptr<Node>> children;  // inner nodes only
-    Node* next_leaf = nullptr;                    // leaves only
+  /// Pool-tagged node handle: the top bit selects the leaf pool, the rest
+  /// indexes into it.
+  using NodeId = uint32_t;
+  static constexpr NodeId kNoNode = 0xFFFFFFFFu;
+  static constexpr NodeId kLeafBit = 0x80000000u;
+
+  struct LeafNode {
+    uint16_t num_keys = 0;
+    NodeId next_leaf = kNoNode;
+    /// One slot of overflow slack: an insert may briefly hold
+    /// kMaxKeys + 1 keys before the split restores the bound.
+    Key keys[kMaxKeys + 1];
+  };
+
+  struct InnerNode {
+    uint16_t num_keys = 0;
+    Key keys[kMaxKeys + 1];
+    NodeId children[kMaxKeys + 2];
   };
 
  public:
-  BPlusTree() : root_(NewLeaf()) {}
+  BPlusTree() { root_ = AllocLeaf(); }
 
   BPlusTree(const BPlusTree&) = delete;
   BPlusTree& operator=(const BPlusTree&) = delete;
   BPlusTree(BPlusTree&&) = default;
   BPlusTree& operator=(BPlusTree&&) = default;
 
+  /// Pre-sizes the leaf pool for roughly `num_keys` keys at ~2/3
+  /// occupancy (inner nodes are two orders of magnitude fewer and grow
+  /// on demand). Purely an allocation hint for bulk loads; never shrinks.
+  void Reserve(size_t num_keys) {
+    leaves_.reserve(num_keys / (kMaxKeys * 2 / 3) + 4);
+  }
+
+  /// Builds the tree from strictly ascending `sorted_keys` at full leaf
+  /// occupancy, bottom-up, replacing the current (empty) contents — the
+  /// fresh-load path. Versus inserting one by one, packed leaves roughly
+  /// halve slab bytes and the build is one pass with O(#nodes) work; a
+  /// later insert into a packed leaf simply splits it, and the rightmost
+  /// leaf/tail inner may hold fewer than `kMinKeys` entries until a
+  /// deletion touches them (same as a split-heuristic run boundary).
+  /// Requires `empty()` and `sorted_keys` strictly increasing.
+  void BulkBuild(const std::vector<Key>& sorted_keys) {
+    assert(empty());
+    leaves_.clear();
+    inners_.clear();
+    free_leaves_.clear();
+    free_inners_.clear();
+    height_ = 1;
+    if (sorted_keys.empty()) {
+      root_ = AllocLeaf();
+      return;
+    }
+    const size_t n = sorted_keys.size();
+    // Level 0: packed leaves, chained left to right.
+    leaves_.reserve((n + kMaxKeys - 1) / kMaxKeys);
+    std::vector<NodeId> level;       // current level's nodes
+    std::vector<Key> level_first;    // first key of each node's subtree
+    for (size_t i = 0; i < n; i += kMaxKeys) {
+      const size_t cnt = std::min<size_t>(kMaxKeys, n - i);
+      const NodeId id = AllocLeaf();
+      LeafNode& leaf = Leaf(id);
+      leaf.num_keys = static_cast<uint16_t>(cnt);
+      std::copy(sorted_keys.begin() + static_cast<ptrdiff_t>(i),
+                sorted_keys.begin() + static_cast<ptrdiff_t>(i + cnt),
+                leaf.keys);
+      if (!level.empty()) Leaf(level.back()).next_leaf = id;
+      level.push_back(id);
+      level_first.push_back(sorted_keys[i]);
+    }
+    // Upper levels: pack kMaxKeys + 1 children per inner node; separators
+    // are the first keys of the right subtrees.
+    while (level.size() > 1) {
+      std::vector<NodeId> up;
+      std::vector<Key> up_first;
+      for (size_t i = 0; i < level.size();) {
+        size_t cnt = std::min<size_t>(kMaxKeys + 1, level.size() - i);
+        if (level.size() - i - cnt == 1) --cnt;  // no 1-child tail node
+        const NodeId id = AllocInner();
+        InnerNode& node = Inner(id);
+        node.num_keys = static_cast<uint16_t>(cnt - 1);
+        for (size_t c = 0; c < cnt; ++c) {
+          node.children[c] = level[i + c];
+          if (c > 0) node.keys[c - 1] = level_first[i + c];
+        }
+        up.push_back(id);
+        up_first.push_back(level_first[i]);
+        i += cnt;
+      }
+      level = std::move(up);
+      level_first = std::move(up_first);
+      ++height_;
+    }
+    root_ = level[0];
+    size_ = n;
+  }
+
   /// Inserts `key`. Returns true if inserted, false if already present.
   bool Insert(const Key& key) {
-    InsertResult r = InsertRec(root_.get(), key);
+    InsertResult r = InsertRec(root_, key);
     if (!r.inserted) return false;
-    if (r.split_right != nullptr) {
+    if (r.split_right != kNoNode) {
       // Root split: grow the tree by one level.
-      auto new_root = std::make_unique<Node>();
-      new_root->is_leaf = false;
-      new_root->keys.push_back(r.split_key);
-      new_root->children.push_back(std::move(root_));
-      new_root->children.push_back(std::move(r.split_right));
-      root_ = std::move(new_root);
+      const NodeId new_root = AllocInner();
+      InnerNode& nr = Inner(new_root);
+      nr.num_keys = 1;
+      nr.keys[0] = r.split_key;
+      nr.children[0] = root_;
+      nr.children[1] = r.split_right;
+      root_ = new_root;
       ++height_;
     }
     ++size_;
@@ -75,16 +183,20 @@ class BPlusTree {
   /// Removes `key`. Returns true if it was present.
   /// A node left under-full (fewer than `kMinKeys` keys) borrows one key
   /// from an adjacent sibling when that sibling can spare it and merges
-  /// with the sibling otherwise, keeping every non-root node at least half
-  /// full — the occupancy bound the cost model's `kIndexProbe` depth and
-  /// `ShardStarts`'s leaf-granular sharding both assume. The leaf chain is
-  /// relinked on merges, so range scans and shard boundaries stay exact
-  /// under sustained deletion (the online-update subsystem's steady state).
+  /// with the sibling otherwise, keeping deletion-touched nodes at least
+  /// half full — the occupancy bound the cost model's `kIndexProbe` depth
+  /// and `ShardStarts`'s leaf-granular sharding both assume. The leaf
+  /// chain is relinked on merges, so range scans and shard boundaries
+  /// stay exact under sustained deletion (the online-update subsystem's
+  /// steady state). Nodes emptied by merges return to their pool's free
+  /// list.
   bool Erase(const Key& key) {
-    if (!EraseRec(root_.get(), key)) return false;
-    if (!root_->is_leaf && root_->children.size() == 1) {
+    if (!EraseRec(root_, key)) return false;
+    if (!IsLeaf(root_) && Inner(root_).num_keys == 0) {
       // Root collapse: shrink the tree by one level.
-      root_ = std::move(root_->children.front());
+      const NodeId old_root = root_;
+      root_ = Inner(root_).children[0];
+      FreeNode(old_root);
       --height_;
     }
     --size_;
@@ -93,27 +205,24 @@ class BPlusTree {
 
   /// True if `key` is present.
   bool Contains(const Key& key) const {
-    const Node* node = root_.get();
-    while (!node->is_leaf) {
-      node = node->children[ChildIndex(node, key)].get();
-    }
-    auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
-    return it != node->keys.end() && !(key < *it) && !(*it < key);
+    const LeafNode& leaf = Leaf(Descend(key));
+    const Key* end = leaf.keys + leaf.num_keys;
+    const Key* it = std::lower_bound(leaf.keys, end, key);
+    return it != end && !(key < *it) && !(*it < key);
   }
 
   /// Forward iterator over keys in sorted order, starting at a leaf slot.
+  /// Stable only while the tree is not mutated (mutations may grow or
+  /// recycle the node pools underneath).
   class Iterator {
    public:
     Iterator() = default;
-    Iterator(const Node* leaf, size_t slot) : leaf_(leaf), slot_(slot) {
-      SkipEmpty();
-    }
 
-    bool AtEnd() const { return leaf_ == nullptr; }
+    bool AtEnd() const { return tree_ == nullptr; }
 
     const Key& operator*() const {
       assert(!AtEnd());
-      return leaf_->keys[slot_];
+      return tree_->Leaf(leaf_).keys[slot_];
     }
 
     Iterator& operator++() {
@@ -124,24 +233,36 @@ class BPlusTree {
     }
 
    private:
+    friend class BPlusTree;
+    Iterator(const BPlusTree* tree, NodeId leaf, size_t slot)
+        : tree_(tree), leaf_(leaf), slot_(slot) {
+      SkipEmpty();
+    }
+
     void SkipEmpty() {
-      while (leaf_ != nullptr && slot_ >= leaf_->keys.size()) {
-        leaf_ = leaf_->next_leaf;
+      while (tree_ != nullptr) {
+        const LeafNode& leaf = tree_->Leaf(leaf_);
+        if (slot_ < leaf.num_keys) return;
+        if (leaf.next_leaf == kNoNode) {
+          tree_ = nullptr;
+          return;
+        }
+        leaf_ = leaf.next_leaf;
         slot_ = 0;
       }
     }
-    const Node* leaf_ = nullptr;
+
+    const BPlusTree* tree_ = nullptr;
+    NodeId leaf_ = 0;
     size_t slot_ = 0;
   };
 
   /// Iterator positioned at the first key >= `key`.
   Iterator LowerBound(const Key& key) const {
-    const Node* node = root_.get();
-    while (!node->is_leaf) {
-      node = node->children[ChildIndex(node, key)].get();
-    }
-    auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
-    return Iterator(node, static_cast<size_t>(it - node->keys.begin()));
+    const NodeId id = Descend(key);
+    const LeafNode& leaf = Leaf(id);
+    const Key* it = std::lower_bound(leaf.keys, leaf.keys + leaf.num_keys, key);
+    return Iterator(this, id, static_cast<size_t>(it - leaf.keys));
   }
 
   /// Splits the key range [first key >= `lo`, first key failing `within`)
@@ -158,17 +279,15 @@ class BPlusTree {
                                Pred within) const {
     // Collect the first in-range key of every leaf overlapping the range.
     std::vector<Key> leaf_starts;
-    const Node* node = root_.get();
-    while (!node->is_leaf) {
-      node = node->children[ChildIndex(node, lo)].get();
-    }
+    NodeId id = Descend(lo);
     bool first_leaf = true;
-    for (; node != nullptr; node = node->next_leaf, first_leaf = false) {
-      auto it = first_leaf ? std::lower_bound(node->keys.begin(),
-                                              node->keys.end(), lo)
-                           : node->keys.begin();
-      if (it == node->keys.end()) continue;  // empty(ied) leaf: skip
-      if (!within(*it)) break;               // past the range end
+    for (; id != kNoNode; id = Leaf(id).next_leaf, first_leaf = false) {
+      const LeafNode& leaf = Leaf(id);
+      const Key* end = leaf.keys + leaf.num_keys;
+      const Key* it =
+          first_leaf ? std::lower_bound(leaf.keys, end, lo) : leaf.keys;
+      if (it == end) continue;  // empty(ied) leaf: skip
+      if (!within(*it)) break;  // past the range end
       leaf_starts.push_back(*it);
     }
     if (leaf_starts.empty() || max_shards <= 1) {
@@ -188,9 +307,9 @@ class BPlusTree {
 
   /// Iterator over the whole tree in sorted order.
   Iterator Begin() const {
-    const Node* node = root_.get();
-    while (!node->is_leaf) node = node->children.front().get();
-    return Iterator(node, 0);
+    NodeId id = root_;
+    while (!IsLeaf(id)) id = Inner(id).children[0];
+    return Iterator(this, id, 0);
   }
 
   /// Number of keys stored.
@@ -201,174 +320,321 @@ class BPlusTree {
   /// `kIndexProbe` per descent regardless; height is exposed for tests.
   int height() const { return height_; }
 
+  /// Nodes currently reachable from the root (excludes free-listed slots).
+  size_t live_nodes() const {
+    return leaves_.size() + inners_.size() - free_leaves_.size() -
+           free_inners_.size();
+  }
+
+  /// Pool slots ever allocated (live nodes + slots awaiting recycling).
+  size_t pool_nodes() const { return leaves_.size() + inners_.size(); }
+
+  /// Free-listed node slots awaiting reuse (exposed for churn tests).
+  size_t free_nodes() const {
+    return free_leaves_.size() + free_inners_.size();
+  }
+
+  /// Bytes of the node slabs plus free-list bookkeeping. Deterministic
+  /// for a given operation sequence (counts pool slots, not vector
+  /// capacity), which is what the bench baselines track as bytes/triple.
+  uint64_t MemoryBytes() const {
+    return static_cast<uint64_t>(leaves_.size()) * sizeof(LeafNode) +
+           static_cast<uint64_t>(inners_.size()) * sizeof(InnerNode) +
+           (free_leaves_.size() + free_inners_.size()) * sizeof(NodeId);
+  }
+
  private:
   struct InsertResult {
     bool inserted = false;
     Key split_key{};
-    std::unique_ptr<Node> split_right;
+    NodeId split_right = kNoNode;
   };
 
-  static std::unique_ptr<Node> NewLeaf() {
-    auto n = std::make_unique<Node>();
-    n->is_leaf = true;
-    return n;
+  static bool IsLeaf(NodeId id) { return (id & kLeafBit) != 0; }
+
+  LeafNode& Leaf(NodeId id) { return leaves_[id & ~kLeafBit]; }
+  const LeafNode& Leaf(NodeId id) const { return leaves_[id & ~kLeafBit]; }
+  InnerNode& Inner(NodeId id) { return inners_[id]; }
+  const InnerNode& Inner(NodeId id) const { return inners_[id]; }
+
+  /// Root-to-leaf descent for `key`.
+  NodeId Descend(const Key& key) const {
+    NodeId id = root_;
+    while (!IsLeaf(id)) {
+      const InnerNode& node = Inner(id);
+      id = node.children[ChildIndex(node, key)];
+    }
+    return id;
+  }
+
+  /// Takes a slot from the pool's free list (LIFO) or grows the slab. Any
+  /// node reference held across a call may dangle (the slab can
+  /// reallocate): callers re-resolve ids afterwards.
+  NodeId AllocLeaf() {
+    NodeId id;
+    if (!free_leaves_.empty()) {
+      id = free_leaves_.back();
+      free_leaves_.pop_back();
+    } else {
+      id = static_cast<NodeId>(leaves_.size()) | kLeafBit;
+      leaves_.emplace_back();
+    }
+    LeafNode& leaf = Leaf(id);
+    leaf.num_keys = 0;
+    leaf.next_leaf = kNoNode;
+    return id;
+  }
+
+  NodeId AllocInner() {
+    NodeId id;
+    if (!free_inners_.empty()) {
+      id = free_inners_.back();
+      free_inners_.pop_back();
+    } else {
+      id = static_cast<NodeId>(inners_.size());
+      inners_.emplace_back();
+    }
+    Inner(id).num_keys = 0;
+    return id;
+  }
+
+  void FreeNode(NodeId id) {
+    if (IsLeaf(id)) {
+      free_leaves_.push_back(id);
+    } else {
+      free_inners_.push_back(id);
+    }
+  }
+
+  /// Shifts `arr[pos, n)` right by one and writes `v` at `pos`.
+  template <typename T>
+  static void ArrInsert(T* arr, size_t n, size_t pos, const T& v) {
+    std::copy_backward(arr + pos, arr + n, arr + n + 1);
+    arr[pos] = v;
+  }
+
+  /// Removes `arr[pos]` from `arr[0, n)`, shifting the tail left.
+  template <typename T>
+  static void ArrRemove(T* arr, size_t n, size_t pos) {
+    std::copy(arr + pos + 1, arr + n, arr + pos);
   }
 
   /// Index of the child subtree that may contain `key`.
   /// Inner node invariant: child i holds keys < keys[i]; the last child
-  /// holds keys >= keys.back().
-  static size_t ChildIndex(const Node* node, const Key& key) {
-    auto it = std::upper_bound(node->keys.begin(), node->keys.end(), key);
-    return static_cast<size_t>(it - node->keys.begin());
+  /// holds keys >= keys[num_keys - 1].
+  static size_t ChildIndex(const InnerNode& node, const Key& key) {
+    const Key* it =
+        std::upper_bound(node.keys, node.keys + node.num_keys, key);
+    return static_cast<size_t>(it - node.keys);
   }
 
-  InsertResult InsertRec(Node* node, const Key& key) {
-    if (node->is_leaf) {
-      auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
-      if (it != node->keys.end() && !(key < *it) && !(*it < key)) {
+  InsertResult InsertRec(NodeId id, const Key& key) {
+    if (IsLeaf(id)) {
+      LeafNode& leaf = Leaf(id);
+      Key* end = leaf.keys + leaf.num_keys;
+      Key* it = std::lower_bound(leaf.keys, end, key);
+      if (it != end && !(key < *it) && !(*it < key)) {
         return {};  // duplicate
       }
-      node->keys.insert(it, key);
+      const size_t slot = static_cast<size_t>(it - leaf.keys);
+      ArrInsert(leaf.keys, leaf.num_keys, slot, key);
+      ++leaf.num_keys;
       InsertResult r;
       r.inserted = true;
-      if (node->keys.size() > kMaxKeys) SplitLeaf(node, &r);
+      if (leaf.num_keys > kMaxKeys) SplitLeaf(id, slot, &r);
       return r;
     }
-    const size_t ci = ChildIndex(node, key);
-    InsertResult child_r = InsertRec(node->children[ci].get(), key);
+    const size_t ci = ChildIndex(Inner(id), key);
+    const NodeId child = Inner(id).children[ci];
+    InsertResult child_r = InsertRec(child, key);
     if (!child_r.inserted) return {};
     InsertResult r;
     r.inserted = true;
-    if (child_r.split_right != nullptr) {
-      node->keys.insert(node->keys.begin() + ci, child_r.split_key);
-      node->children.insert(node->children.begin() + ci + 1,
-                            std::move(child_r.split_right));
-      if (node->keys.size() > kMaxKeys) SplitInner(node, &r);
+    if (child_r.split_right != kNoNode) {
+      InnerNode& node = Inner(id);  // re-resolve: the recursion may have
+                                    // grown the slab
+      ArrInsert(node.keys, node.num_keys, ci, child_r.split_key);
+      ArrInsert(node.children, node.num_keys + 1, ci + 1,
+                child_r.split_right);
+      ++node.num_keys;
+      if (node.num_keys > kMaxKeys) SplitInner(id, &r);
     }
     return r;
   }
 
-  void SplitLeaf(Node* node, InsertResult* r) {
-    auto right = NewLeaf();
-    const size_t mid = node->keys.size() / 2;
-    right->keys.assign(node->keys.begin() + mid, node->keys.end());
-    node->keys.resize(mid);
-    right->next_leaf = node->next_leaf;
-    node->next_leaf = right.get();
-    r->split_key = right->keys.front();
-    r->split_right = std::move(right);
+  /// `insert_slot` is where the overflowing key landed: a first/last-slot
+  /// insert is an ascending/descending run, so the split leaves the run
+  /// side nearly empty instead of halving (see the file comment).
+  void SplitLeaf(NodeId id, size_t insert_slot, InsertResult* r) {
+    const NodeId right_id = AllocLeaf();
+    LeafNode& leaf = Leaf(id);  // re-resolve after the alloc
+    LeafNode& right = Leaf(right_id);
+    uint16_t mid;
+    if (insert_slot == static_cast<size_t>(leaf.num_keys) - 1) {
+      mid = leaf.num_keys - 1;  // ascending run: left stays full
+    } else if (insert_slot == 0) {
+      mid = 1;  // descending run: right stays full
+    } else {
+      mid = leaf.num_keys / 2;
+    }
+    right.num_keys = leaf.num_keys - mid;
+    std::copy(leaf.keys + mid, leaf.keys + leaf.num_keys, right.keys);
+    leaf.num_keys = mid;
+    right.next_leaf = leaf.next_leaf;
+    leaf.next_leaf = right_id;
+    r->split_key = right.keys[0];
+    r->split_right = right_id;
   }
 
-  bool EraseRec(Node* node, const Key& key) {
-    if (node->is_leaf) {
-      auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
-      if (it == node->keys.end() || key < *it || *it < key) return false;
-      node->keys.erase(it);
+  void SplitInner(NodeId id, InsertResult* r) {
+    const NodeId right_id = AllocInner();
+    InnerNode& node = Inner(id);  // re-resolve after the alloc
+    InnerNode& right = Inner(right_id);
+    // keys[mid] moves up; keys right of it and children right of mid+1
+    // move to the new node.
+    const uint16_t mid = node.num_keys / 2;
+    r->split_key = node.keys[mid];
+    right.num_keys = node.num_keys - mid - 1;
+    std::copy(node.keys + mid + 1, node.keys + node.num_keys, right.keys);
+    std::copy(node.children + mid + 1, node.children + node.num_keys + 1,
+              right.children);
+    node.num_keys = mid;
+    r->split_right = right_id;
+  }
+
+  bool EraseRec(NodeId id, const Key& key) {
+    // The erase path never allocates, so node references stay valid
+    // across the recursion (FreeNode only pushes onto a free list).
+    if (IsLeaf(id)) {
+      LeafNode& leaf = Leaf(id);
+      Key* end = leaf.keys + leaf.num_keys;
+      Key* it = std::lower_bound(leaf.keys, end, key);
+      if (it == end || key < *it || *it < key) return false;
+      ArrRemove(leaf.keys, leaf.num_keys, static_cast<size_t>(it - leaf.keys));
+      --leaf.num_keys;
       return true;
     }
+    InnerNode& node = Inner(id);
     const size_t ci = ChildIndex(node, key);
-    if (!EraseRec(node->children[ci].get(), key)) return false;
-    if (node->children[ci]->keys.size() < static_cast<size_t>(kMinKeys)) {
-      Rebalance(node, ci);
-    }
+    const NodeId child = node.children[ci];
+    if (!EraseRec(child, key)) return false;
+    if (KeyCount(child) < kMinKeys) Rebalance(id, ci);
     return true;
   }
 
-  /// Restores the occupancy invariant of `parent->children[ci]` after a
+  uint16_t KeyCount(NodeId id) const {
+    return IsLeaf(id) ? Leaf(id).num_keys : Inner(id).num_keys;
+  }
+
+  /// Restores the occupancy invariant of child `ci` of `parent_id` after a
   /// deletion left it under-full: borrow from a sibling with spare keys,
-  /// else merge with one. `parent` itself may become under-full; the
+  /// else merge with one. The parent itself may become under-full; the
   /// caller's recursion handles that one level up.
-  void Rebalance(Node* parent, size_t ci) {
-    Node* left = ci > 0 ? parent->children[ci - 1].get() : nullptr;
-    Node* right = ci + 1 < parent->children.size()
-                      ? parent->children[ci + 1].get()
-                      : nullptr;
-    if (left != nullptr && left->keys.size() > static_cast<size_t>(kMinKeys)) {
-      BorrowFromLeft(parent, ci);
-    } else if (right != nullptr &&
-               right->keys.size() > static_cast<size_t>(kMinKeys)) {
-      BorrowFromRight(parent, ci);
-    } else if (left != nullptr) {
-      MergeChildren(parent, ci - 1);
+  void Rebalance(NodeId parent_id, size_t ci) {
+    const InnerNode& parent = Inner(parent_id);
+    const bool has_left = ci > 0;
+    const bool has_right = ci + 1 < static_cast<size_t>(parent.num_keys) + 1;
+    if (has_left && KeyCount(parent.children[ci - 1]) > kMinKeys) {
+      BorrowFromLeft(parent_id, ci);
+    } else if (has_right && KeyCount(parent.children[ci + 1]) > kMinKeys) {
+      BorrowFromRight(parent_id, ci);
+    } else if (has_left) {
+      MergeChildren(parent_id, ci - 1);
     } else {
-      MergeChildren(parent, ci);
+      MergeChildren(parent_id, ci);
     }
   }
 
   /// Moves one key (and, for inner nodes, one child) from the left sibling
-  /// into `parent->children[ci]`, rotating through the parent separator.
-  void BorrowFromLeft(Node* parent, size_t ci) {
-    Node* child = parent->children[ci].get();
-    Node* left = parent->children[ci - 1].get();
-    if (child->is_leaf) {
-      child->keys.insert(child->keys.begin(), left->keys.back());
-      left->keys.pop_back();
-      parent->keys[ci - 1] = child->keys.front();
+  /// into child `ci`, rotating through the parent separator.
+  void BorrowFromLeft(NodeId parent_id, size_t ci) {
+    InnerNode& parent = Inner(parent_id);
+    const NodeId child_id = parent.children[ci];
+    const NodeId left_id = parent.children[ci - 1];
+    if (IsLeaf(child_id)) {
+      LeafNode& child = Leaf(child_id);
+      LeafNode& left = Leaf(left_id);
+      ArrInsert(child.keys, child.num_keys, 0, left.keys[left.num_keys - 1]);
+      ++child.num_keys;
+      --left.num_keys;
+      parent.keys[ci - 1] = child.keys[0];
     } else {
-      child->keys.insert(child->keys.begin(), parent->keys[ci - 1]);
-      parent->keys[ci - 1] = left->keys.back();
-      left->keys.pop_back();
-      child->children.insert(child->children.begin(),
-                             std::move(left->children.back()));
-      left->children.pop_back();
+      InnerNode& child = Inner(child_id);
+      InnerNode& left = Inner(left_id);
+      const uint16_t ln = left.num_keys;
+      ArrInsert(child.keys, child.num_keys, 0, parent.keys[ci - 1]);
+      ++child.num_keys;
+      parent.keys[ci - 1] = left.keys[ln - 1];
+      // Child count is num_keys + 1; child.num_keys already grew by one.
+      ArrInsert(child.children, child.num_keys, 0, left.children[ln]);
+      left.num_keys = ln - 1;
     }
   }
 
   /// Mirror image of `BorrowFromLeft` for the right sibling.
-  void BorrowFromRight(Node* parent, size_t ci) {
-    Node* child = parent->children[ci].get();
-    Node* right = parent->children[ci + 1].get();
-    if (child->is_leaf) {
-      child->keys.push_back(right->keys.front());
-      right->keys.erase(right->keys.begin());
-      parent->keys[ci] = right->keys.front();
+  void BorrowFromRight(NodeId parent_id, size_t ci) {
+    InnerNode& parent = Inner(parent_id);
+    const NodeId child_id = parent.children[ci];
+    const NodeId right_id = parent.children[ci + 1];
+    if (IsLeaf(child_id)) {
+      LeafNode& child = Leaf(child_id);
+      LeafNode& right = Leaf(right_id);
+      child.keys[child.num_keys] = right.keys[0];
+      ++child.num_keys;
+      ArrRemove(right.keys, right.num_keys, 0);
+      --right.num_keys;
+      parent.keys[ci] = right.keys[0];
     } else {
-      child->keys.push_back(parent->keys[ci]);
-      parent->keys[ci] = right->keys.front();
-      right->keys.erase(right->keys.begin());
-      child->children.push_back(std::move(right->children.front()));
-      right->children.erase(right->children.begin());
+      InnerNode& child = Inner(child_id);
+      InnerNode& right = Inner(right_id);
+      const uint16_t rn = right.num_keys;
+      child.keys[child.num_keys] = parent.keys[ci];
+      ++child.num_keys;
+      parent.keys[ci] = right.keys[0];
+      ArrRemove(right.keys, rn, 0);
+      child.children[child.num_keys] = right.children[0];
+      ArrRemove(right.children, static_cast<size_t>(rn) + 1, 0);
+      right.num_keys = rn - 1;
     }
   }
 
-  /// Merges `parent->children[li + 1]` into `parent->children[li]`.
-  /// Both are at-or-below minimum occupancy, so the merged node fits
-  /// within `kMaxKeys`. Leaf merges relink the leaf chain.
-  void MergeChildren(Node* parent, size_t li) {
-    Node* left = parent->children[li].get();
-    Node* right = parent->children[li + 1].get();
-    if (left->is_leaf) {
-      left->keys.insert(left->keys.end(), right->keys.begin(),
-                        right->keys.end());
-      left->next_leaf = right->next_leaf;
+  /// Merges child `li + 1` into child `li` of `parent_id`. Both are
+  /// at-or-below minimum occupancy, so the merged node fits within
+  /// `kMaxKeys`. Leaf merges relink the leaf chain; the emptied right
+  /// node returns to its pool's free list.
+  void MergeChildren(NodeId parent_id, size_t li) {
+    InnerNode& parent = Inner(parent_id);
+    const NodeId left_id = parent.children[li];
+    const NodeId right_id = parent.children[li + 1];
+    if (IsLeaf(left_id)) {
+      LeafNode& left = Leaf(left_id);
+      LeafNode& right = Leaf(right_id);
+      std::copy(right.keys, right.keys + right.num_keys,
+                left.keys + left.num_keys);
+      left.num_keys += right.num_keys;
+      left.next_leaf = right.next_leaf;
     } else {
-      left->keys.push_back(parent->keys[li]);
-      left->keys.insert(left->keys.end(), right->keys.begin(),
-                        right->keys.end());
-      for (auto& c : right->children) left->children.push_back(std::move(c));
+      InnerNode& left = Inner(left_id);
+      InnerNode& right = Inner(right_id);
+      left.keys[left.num_keys] = parent.keys[li];
+      std::copy(right.keys, right.keys + right.num_keys,
+                left.keys + left.num_keys + 1);
+      std::copy(right.children, right.children + right.num_keys + 1,
+                left.children + left.num_keys + 1);
+      left.num_keys += right.num_keys + 1;
     }
-    parent->keys.erase(parent->keys.begin() + static_cast<ptrdiff_t>(li));
-    parent->children.erase(parent->children.begin() +
-                           static_cast<ptrdiff_t>(li) + 1);
+    ArrRemove(parent.keys, parent.num_keys, li);
+    ArrRemove(parent.children, static_cast<size_t>(parent.num_keys) + 1,
+              li + 1);
+    --parent.num_keys;
+    FreeNode(right_id);
   }
 
-  void SplitInner(Node* node, InsertResult* r) {
-    auto right = std::make_unique<Node>();
-    right->is_leaf = false;
-    const size_t mid = node->keys.size() / 2;
-    // keys[mid] moves up; keys right of it and children right of mid+1 move
-    // to the new node.
-    r->split_key = node->keys[mid];
-    right->keys.assign(node->keys.begin() + mid + 1, node->keys.end());
-    for (size_t i = mid + 1; i < node->children.size(); ++i) {
-      right->children.push_back(std::move(node->children[i]));
-    }
-    node->keys.resize(mid);
-    node->children.resize(mid + 1);
-    r->split_right = std::move(right);
-  }
-
-  std::unique_ptr<Node> root_;
+  std::vector<LeafNode> leaves_;      ///< leaf slab, indexed by id sans tag
+  std::vector<InnerNode> inners_;     ///< inner slab, indexed by id
+  std::vector<NodeId> free_leaves_;   ///< recycled leaf slots, LIFO
+  std::vector<NodeId> free_inners_;   ///< recycled inner slots, LIFO
+  NodeId root_ = kNoNode;
   size_t size_ = 0;
   int height_ = 1;
 };

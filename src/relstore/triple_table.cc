@@ -59,7 +59,49 @@ bool TripleTable::RemoveTriple(const Triple& t, CostMeter* meter) {
 
 void TripleTable::BulkLoad(const std::vector<Triple>& triples,
                            CostMeter* meter) {
-  for (const Triple& t : triples) Insert(t, meter);
+  if (num_rows_ != 0) {
+    // Incremental top-up of a live table: per-key inserts.
+    Reserve(num_rows_ + triples.size());
+    for (const Triple& t : triples) Insert(t, meter);
+    return;
+  }
+  // Fresh load: sort/unique once, then build each permutation bottom-up
+  // at full leaf occupancy (`BPlusTree::BulkBuild`) — ~half the slab
+  // bytes and none of the split churn of one-by-one insertion. Charges
+  // and statistics are identical to the incremental path: one
+  // `kInsertTuple` and one stats update per *stored* (unique) triple;
+  // the cost meter and the occurrence counters are order-independent.
+  std::vector<Key> keys;
+  keys.reserve(triples.size());
+  for (const Triple& t : triples) keys.push_back(MakeKey(Order::kSPO, t));
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  spo_.BulkBuild(keys);
+  for (const Key& k : keys) {
+    const Triple t = KeyToTriple(Order::kSPO, k);
+    ++num_rows_;
+    MutableStats& st = stats_[t.predicate];
+    st.num_triples += 1;
+    CountUp(&st.subjects, t.subject);
+    CountUp(&st.objects, t.object);
+    CountUp(&all_subjects_, t.subject);
+    CountUp(&all_objects_, t.object);
+    if (meter != nullptr) meter->Add(Op::kInsertTuple);
+  }
+  // The other permutations of the same (already unique) triple set.
+  std::vector<Key> permuted;
+  permuted.reserve(keys.size());
+  for (const Key& k : keys) {
+    permuted.push_back(MakeKey(Order::kPOS, KeyToTriple(Order::kSPO, k)));
+  }
+  std::sort(permuted.begin(), permuted.end());
+  pos_.BulkBuild(permuted);
+  permuted.clear();
+  for (const Key& k : keys) {
+    permuted.push_back(MakeKey(Order::kOSP, KeyToTriple(Order::kSPO, k)));
+  }
+  std::sort(permuted.begin(), permuted.end());
+  osp_.BulkBuild(permuted);
 }
 
 bool TripleTable::Contains(const Triple& t, CostMeter* meter) const {

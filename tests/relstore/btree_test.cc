@@ -271,6 +271,223 @@ TEST(BPlusTree, DeleteThenReinsertCycles) {
   }
 }
 
+// ---- pool / free-list coverage --------------------------------------------
+
+TEST(BPlusTree, PoolRecyclesNodesThroughFreeList) {
+  // Growing then draining must push merged-away nodes onto the free list;
+  // regrowing must consume them before the slab grows again.
+  BPlusTree<Key> tree;
+  for (uint64_t i = 0; i < 5000; ++i) tree.Insert({i, 0, 0});
+  const size_t grown_pool = tree.pool_nodes();
+  EXPECT_EQ(tree.live_nodes() + tree.free_nodes(), grown_pool);
+  for (uint64_t i = 0; i < 5000; ++i) ASSERT_TRUE(tree.Erase({i, 0, 0}));
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.live_nodes(), 1u);  // the root leaf
+  EXPECT_EQ(tree.pool_nodes(), grown_pool);  // slab never shrinks...
+  EXPECT_EQ(tree.free_nodes(), grown_pool - 1);
+  for (uint64_t i = 0; i < 5000; ++i) tree.Insert({i, 1, 0});
+  // ...and regrowth reuses the recycled slots instead of extending it.
+  EXPECT_EQ(tree.pool_nodes(), grown_pool);
+}
+
+class BTreeChurnOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BTreeChurnOracleTest, MatchesStdSetAcrossFreeListReuse) {
+  // The arena-specific differential test: sustained churn cycles force
+  // splits to consume free-listed node slots that merges produced, so a
+  // stale-id or mislinked-recycled-node bug shows up as a divergence from
+  // the std::set oracle in membership, full iteration, lower-bound probes
+  // or ShardStarts coverage.
+  Rng rng(GetParam());
+  BPlusTree<Key> tree;
+  std::set<Key> reference;
+  size_t peak_pool = 0;
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    // Grow aggressively, then shrink aggressively (85% / 15% inserts).
+    const bool growing = cycle % 2 == 0;
+    for (int op = 0; op < 4000; ++op) {
+      Key k{rng.NextBounded(40), rng.NextBounded(12), rng.NextBounded(40)};
+      if (rng.NextBool(growing ? 0.85 : 0.15)) {
+        ASSERT_EQ(tree.Insert(k), reference.insert(k).second);
+      } else {
+        ASSERT_EQ(tree.Erase(k), reference.erase(k) > 0);
+      }
+    }
+    ASSERT_EQ(tree.size(), reference.size());
+    ASSERT_EQ(tree.live_nodes() + tree.free_nodes(), tree.pool_nodes());
+    peak_pool = std::max(peak_pool, tree.pool_nodes());
+    // Full scan equals the sorted reference.
+    auto rit = reference.begin();
+    for (auto it = tree.Begin(); !it.AtEnd(); ++it, ++rit) {
+      ASSERT_NE(rit, reference.end());
+      ASSERT_EQ(*it, *rit);
+    }
+    ASSERT_EQ(rit, reference.end());
+    // Random lower-bound probes agree.
+    for (int probe = 0; probe < 100; ++probe) {
+      Key k{rng.NextBounded(45), rng.NextBounded(13), rng.NextBounded(45)};
+      auto it = tree.LowerBound(k);
+      auto ref = reference.lower_bound(k);
+      if (ref == reference.end()) {
+        ASSERT_TRUE(it.AtEnd());
+      } else {
+        ASSERT_FALSE(it.AtEnd());
+        ASSERT_EQ(*it, *ref);
+      }
+    }
+    // ShardStarts covers the survivors of a random prefix exactly.
+    const uint64_t p = rng.NextBounded(40);
+    const auto within = [&](const Key& k) { return k[0] == p; };
+    const std::vector<Key> starts = tree.ShardStarts({p, 0, 0}, 5, within);
+    std::vector<Key> walked;
+    for (size_t s = 0; s < starts.size(); ++s) {
+      for (auto it = tree.LowerBound(starts[s]); !it.AtEnd(); ++it) {
+        if (!within(*it)) break;
+        if (s + 1 < starts.size() && !((*it) < starts[s + 1])) break;
+        walked.push_back(*it);
+      }
+    }
+    std::vector<Key> expected;
+    for (auto ref = reference.lower_bound(Key{p, 0, 0});
+         ref != reference.end() && (*ref)[0] == p; ++ref) {
+      expected.push_back(*ref);
+    }
+    ASSERT_EQ(walked, expected);
+  }
+  // The shrink cycles must actually have recycled slots (otherwise this
+  // test exercised nothing arena-specific).
+  EXPECT_GT(peak_pool, tree.live_nodes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeChurnOracleTest,
+                         ::testing::Values(7, 31, 2024));
+
+// ---- packed bulk build ----------------------------------------------------
+
+TEST(BPlusTree, BulkBuildMatchesIncrementalInsertion) {
+  // Same key set, two construction paths: every read API must agree.
+  std::vector<Key> keys;
+  for (uint64_t i = 0; i < 10000; ++i) keys.push_back({i * 3, i % 17, i});
+  std::sort(keys.begin(), keys.end());
+  BPlusTree<Key> packed;
+  packed.BulkBuild(keys);
+  BPlusTree<Key> grown;
+  for (const Key& k : keys) grown.Insert(k);
+  ASSERT_EQ(packed.size(), grown.size());
+  // Packed leaves: meaningfully fewer nodes than incremental growth.
+  EXPECT_LT(packed.pool_nodes(), grown.pool_nodes());
+  EXPECT_LE(packed.pool_nodes(), keys.size() / 64 + keys.size() / 1000 + 2);
+  auto a = packed.Begin();
+  auto b = grown.Begin();
+  for (; !a.AtEnd(); ++a, ++b) {
+    ASSERT_FALSE(b.AtEnd());
+    ASSERT_EQ(*a, *b);
+  }
+  EXPECT_TRUE(b.AtEnd());
+  Rng rng(3);
+  for (int probe = 0; probe < 500; ++probe) {
+    Key k{rng.NextBounded(31000), rng.NextBounded(18), rng.NextBounded(10001)};
+    EXPECT_EQ(packed.Contains(k), grown.Contains(k));
+    auto pa = packed.LowerBound(k);
+    auto pb = grown.LowerBound(k);
+    ASSERT_EQ(pa.AtEnd(), pb.AtEnd());
+    if (!pa.AtEnd()) EXPECT_EQ(*pa, *pb);
+  }
+}
+
+TEST(BPlusTree, BulkBuildEdgeSizes) {
+  for (size_t n : {0u, 1u, 63u, 64u, 65u, 64u * 65u, 64u * 65u + 1u}) {
+    std::vector<Key> keys;
+    for (uint64_t i = 0; i < n; ++i) keys.push_back({i, 0, 0});
+    BPlusTree<Key> tree;
+    tree.BulkBuild(keys);
+    EXPECT_EQ(tree.size(), n);
+    size_t count = 0;
+    uint64_t prev = 0;
+    for (auto it = tree.Begin(); !it.AtEnd(); ++it, ++count) {
+      if (count > 0) EXPECT_GT((*it)[0], prev);
+      prev = (*it)[0];
+    }
+    EXPECT_EQ(count, n);
+    if (n > 0) {
+      EXPECT_TRUE(tree.Contains({0, 0, 0}));
+      EXPECT_TRUE(tree.Contains({n - 1, 0, 0}));
+      EXPECT_FALSE(tree.Contains({n, 0, 0}));
+    }
+  }
+}
+
+TEST(BPlusTree, BulkBuiltTreeSurvivesChurn) {
+  // Mutating a packed tree (splits of full leaves, underflow of the
+  // sparse tail) must keep oracle equivalence.
+  std::vector<Key> keys;
+  for (uint64_t i = 0; i < 5000; ++i) keys.push_back({i * 2, 0, 0});
+  BPlusTree<Key> tree;
+  tree.BulkBuild(keys);
+  std::set<Key> reference(keys.begin(), keys.end());
+  Rng rng(11);
+  for (int op = 0; op < 20000; ++op) {
+    Key k{rng.NextBounded(10000), 0, 0};
+    if (rng.NextBool(0.5)) {
+      ASSERT_EQ(tree.Insert(k), reference.insert(k).second);
+    } else {
+      ASSERT_EQ(tree.Erase(k), reference.erase(k) > 0);
+    }
+  }
+  ASSERT_EQ(tree.size(), reference.size());
+  auto rit = reference.begin();
+  for (auto it = tree.Begin(); !it.AtEnd(); ++it, ++rit) {
+    ASSERT_NE(rit, reference.end());
+    ASSERT_EQ(*it, *rit);
+  }
+  EXPECT_EQ(rit, reference.end());
+}
+
+TEST(BPlusTree, SplitHeuristicPacksSequentialRuns) {
+  // Ascending and descending runs must fill leaves nearly completely
+  // instead of the 50% an even split leaves behind.
+  for (bool reverse : {false, true}) {
+    BPlusTree<Key> tree;
+    const uint64_t n = 6400;
+    for (uint64_t i = 0; i < n; ++i) {
+      const uint64_t v = reverse ? n - 1 - i : i;
+      tree.Insert({v, 0, 0});
+    }
+    // ~n/64 packed leaves plus inners; allow modest slack.
+    EXPECT_LT(tree.pool_nodes(), n / 64 + n / 500 + 8) << reverse;
+  }
+}
+
+TEST(BPlusTree, MemoryBytesTracksPool) {
+  BPlusTree<Key> tree;
+  const uint64_t empty_bytes = tree.MemoryBytes();
+  EXPECT_GT(empty_bytes, 0u);
+  for (uint64_t i = 0; i < 10000; ++i) tree.Insert({i, i, i});
+  EXPECT_GT(tree.MemoryBytes(), empty_bytes);
+  // ~64-key fan-out: 10k keys need a few hundred nodes, not thousands.
+  EXPECT_LT(tree.pool_nodes(), 500u);
+}
+
+TEST(BPlusTree, ReserveDoesNotChangeSemantics) {
+  BPlusTree<Key> reserved;
+  reserved.Reserve(2000);
+  BPlusTree<Key> plain;
+  for (uint64_t i = 0; i < 2000; ++i) {
+    const Key k{i * 7919 % 2000, i % 13, i};
+    EXPECT_EQ(reserved.Insert(k), plain.Insert(k));
+  }
+  EXPECT_EQ(reserved.size(), plain.size());
+  EXPECT_EQ(reserved.height(), plain.height());
+  EXPECT_EQ(reserved.pool_nodes(), plain.pool_nodes());
+  auto a = reserved.Begin();
+  auto b = plain.Begin();
+  for (; !a.AtEnd(); ++a, ++b) {
+    ASSERT_FALSE(b.AtEnd());
+    ASSERT_EQ(*a, *b);
+  }
+  EXPECT_TRUE(b.AtEnd());
+}
+
 TEST(BPlusTree, SequentialAndReverseInsertions) {
   for (bool reverse : {false, true}) {
     BPlusTree<Key> tree;
