@@ -7,6 +7,7 @@
 //   $ ./build/examples/academic_accelerator
 
 #include <cstdio>
+#include <string>
 
 #include "core/dotil.h"
 #include "core/dual_store.h"
@@ -83,7 +84,7 @@ int main() {
                   store.graph().capacity_triples()));
   for (rdf::TermId pred : store.graph().LoadedPredicates()) {
     std::printf("  %-28s %8llu triples   Q=[%.3f, %.3f]\n",
-                kg.dict().TermOf(pred).c_str(),
+                std::string(kg.dict().TermOf(pred)).c_str(),
                 static_cast<unsigned long long>(store.PartitionSize(pred)),
                 dotil.MatrixOf(pred).at(0, 1), dotil.MatrixOf(pred).at(1, 0));
   }
@@ -114,8 +115,8 @@ int main() {
     if (!cursor->Next(&chunk, 1, &done).ok()) break;  // stops the search
     for (const auto row : chunk.Rows()) {
       std::printf("  prize winner %s (university city %s)\n",
-                  kg.dict().TermOf(row[0]).c_str(),
-                  kg.dict().TermOf(row[1]).c_str());
+                  std::string(kg.dict().TermOf(row[0])).c_str(),
+                  std::string(kg.dict().TermOf(row[1])).c_str());
       ++streamed;
     }
   }

@@ -8,6 +8,7 @@
 //   $ ./build/examples/adaptive_commerce
 
 #include <cstdio>
+#include <string>
 
 #include "common/thread_pool.h"
 #include "core/dotil.h"
@@ -24,7 +25,7 @@ namespace {
 void PrintResidentSet(const core::DualStore& store) {
   std::printf("  resident partitions:");
   for (rdf::TermId pred : store.graph().LoadedPredicates()) {
-    std::printf(" %s", store.dict().TermOf(pred).c_str());
+    std::printf(" %s", std::string(store.dict().TermOf(pred)).c_str());
   }
   std::printf("  (%llu/%llu triples)\n",
               static_cast<unsigned long long>(store.graph().used_triples()),

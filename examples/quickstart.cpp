@@ -7,6 +7,7 @@
 //   $ ./build/examples/quickstart
 
 #include <cstdio>
+#include <string>
 
 #include "core/dual_store.h"
 #include "core/session.h"
@@ -113,7 +114,7 @@ int main() {
       return 1;
     }
     for (const auto row : chunk.Rows()) {
-      std::printf("  -> %s\n", kg.dict().TermOf(row[0]).c_str());
+      std::printf("  -> %s\n", std::string(kg.dict().TermOf(row[0])).c_str());
       ++rows;
     }
   }

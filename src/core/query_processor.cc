@@ -116,7 +116,7 @@ IdentifiedQuery QueryProcessor::BindSplit(const PreparedPlan& plan,
     sparql::PatternTerm& term = site.pos == 0
                                     ? q->patterns[site.pattern].subject
                                     : q->patterns[site.pattern].object;
-    term = sparql::PatternTerm::Const(dict_->TermOf(v));
+    term = sparql::PatternTerm::Const(std::string(dict_->TermOf(v)));
   }
   return split;
 }

@@ -54,6 +54,12 @@ uint64_t Dataset::RemoveBatch(
 
 Dataset Dataset::Clone() const {
   Dataset out;
+  // Pre-size the clone's dictionary (id table, hash index, one arena
+  // chunk of exactly the source's text bytes) and triple list: replica
+  // rebuilds — the OnlineStore constructor and retired-replica replay —
+  // run O(chunks) allocations instead of growing every table.
+  out.dict_->Reserve(dict_->size(), dict_->text_bytes());
+  out.triples_.reserve(triples_.size());
   for (const Triple& t : triples_) {
     out.Add(dict_->TermOf(t.subject), dict_->TermOf(t.predicate),
             dict_->TermOf(t.object));

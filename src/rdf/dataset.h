@@ -91,8 +91,16 @@ class Dataset {
   /// POS index instead, this is a convenience for tests/tools).
   std::vector<Triple> TriplesWithPredicate(TermId predicate) const;
 
-  /// Estimated total dataset footprint in bytes.
+  /// Estimated total dataset footprint in bytes (budget model: a fixed
+  /// per-triple charge plus live term text; used for partition budgets).
   uint64_t EstimatedBytes() const;
+
+  /// Exact storage bytes of the triple list plus the dictionary's arena,
+  /// span, refcount and index tables. Deterministic for a given operation
+  /// sequence — the bench baselines track this as part of bytes/triple.
+  uint64_t StorageBytes() const {
+    return triples_.size() * sizeof(Triple) + dict_->MemoryBytes();
+  }
 
  private:
   std::unique_ptr<Dictionary> dict_;

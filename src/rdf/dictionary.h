@@ -3,11 +3,28 @@
 
 /// \file dictionary.h
 /// Bidirectional mapping between term strings and dense `TermId`s.
+///
+/// Memory layout — *interned-string arena*: term text lives in an
+/// append-only byte arena (a list of fixed-size chunks that never move),
+/// each id owning one `{chunk, offset, len}` span. The forward index is an
+/// open-addressing (linear-probing) hash table of term ids hashed by their
+/// span's text, probed heterogeneously with a `string_view`, so `Intern`
+/// and `Lookup` allocate nothing — hit or miss. Compared to the historical
+/// layout (a `std::vector<std::string>` plus an `unordered_map` keyed by a
+/// second copy of every string), each term's text is stored once, with
+/// ~24 bytes of fixed per-term metadata instead of two `std::string`
+/// headers plus a hash-map node.
+///
+/// `string_view`s returned by `TermOf` point into the arena and stay valid
+/// for as long as the term is live (chunks never move or shrink); the
+/// bytes of a term whose refcount reached zero may be overwritten when its
+/// id is recycled.
 
-#include <functional>
+#include <algorithm>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -15,26 +32,19 @@
 
 namespace dskg::rdf {
 
-/// Transparent string hash: lets the forward index probe with a
-/// `string_view` directly, so the `Intern`/`Lookup` hit paths allocate
-/// nothing (previously every call built a temporary `std::string` key).
-struct TermHash {
-  using is_transparent = void;
-  size_t operator()(std::string_view s) const {
-    return std::hash<std::string_view>{}(s);
-  }
-};
-
 /// Interns term strings, assigning dense ids 0, 1, 2, ... in first-seen
-/// order. Lookup is O(1) expected in both directions.
+/// order. Lookup is O(1) expected in both directions and allocation-free.
 ///
 /// Terms are usage-counted for the online-update path: every stored triple
 /// occurrence `Retain`s its three ids, deletion `Release`s them, and a term
-/// whose count drops to zero is forgotten — its text is freed and its id
-/// recycled by the next `Intern` (LIFO, so id assignment is a
+/// whose count drops to zero is forgotten — its id joins the free list and
+/// is recycled by the next `Intern` (LIFO, so id assignment is a
 /// deterministic function of the operation sequence; the left-right store
-/// replicas rely on that to stay id-aligned). Ids retained at least once
-/// are stable for as long as any triple uses them.
+/// replicas rely on that to stay id-aligned). The freed id keeps its arena
+/// extent: a recycled term whose text fits the old extent is written in
+/// place, so churn at a steady term population stops growing the arena.
+/// Ids retained at least once are stable for as long as any triple uses
+/// them.
 class Dictionary {
  public:
   Dictionary() = default;
@@ -45,22 +55,39 @@ class Dictionary {
   Dictionary(Dictionary&&) = default;
   Dictionary& operator=(Dictionary&&) = default;
 
+  /// Pre-sizes the id table, hash index and text arena — the bulk-load /
+  /// replica-rebuild path (`Dataset::Clone`) passes the source's exact
+  /// totals so the rebuild performs O(chunks) allocations instead of
+  /// growing incrementally. An allocation hint only; never shrinks.
+  void Reserve(size_t num_terms, uint64_t total_text_bytes) {
+    spans_.reserve(num_terms);
+    refs_.reserve(num_terms);
+    size_t want_slots = 16;
+    while (want_slots * 7 < num_terms * 10) want_slots *= 2;
+    if (want_slots > slots_.size()) Rehash(want_slots);
+    if (total_text_bytes > 0) ReserveArena(total_text_bytes);
+  }
+
   /// Returns the id for `term`, interning it if new (recycled ids first).
-  /// The hit path is allocation-free (heterogeneous `string_view` probe).
+  /// Allocation-free on hit (heterogeneous `string_view` probe of the
+  /// open-addressing index).
   TermId Intern(std::string_view term) {
-    auto it = ids_.find(term);
-    if (it != ids_.end()) return it->second;
+    const uint64_t hash = HashTerm(term);
+    const TermId found = FindId(term, hash);
+    if (found != kInvalidTermId) return found;
     TermId id;
     if (!free_ids_.empty()) {
       id = free_ids_.back();
       free_ids_.pop_back();
-      terms_[id] = std::string(term);
+      WriteSpan(&spans_[id], term);
     } else {
-      id = terms_.size();
-      terms_.emplace_back(term);
+      id = spans_.size();
+      Span s;
+      WriteSpan(&s, term);
+      spans_.push_back(s);
       refs_.push_back(0);
     }
-    ids_.emplace(terms_[id], id);
+    InsertSlot(id, hash);
     bytes_ += term.size();
     return id;
   }
@@ -71,15 +98,15 @@ class Dictionary {
   }
 
   /// Releases one usage of `id`. At zero the term is forgotten: `Lookup`
-  /// stops finding it, its text bytes are reclaimed, and the id joins the
-  /// free list. Unretained or already-free ids are ignored.
+  /// stops finding it, its text bytes become reusable, and the id joins
+  /// the free list. Unretained or already-free ids are ignored.
   void Release(TermId id) {
     if (id >= refs_.size() || refs_[id] == 0) return;
     if (--refs_[id] > 0) return;
-    auto it = ids_.find(terms_[id]);
-    if (it != ids_.end() && it->second == id) ids_.erase(it);
-    bytes_ -= terms_[id].size();
-    terms_[id] = std::string();  // free the text
+    Span& s = spans_[id];
+    EraseSlot(id, HashTerm(TextOf(s)));
+    bytes_ -= s.len;
+    s.len = 0;  // TermOf of a freed id reads as empty; extent kept for reuse
     free_ids_.push_back(id);
   }
 
@@ -94,8 +121,7 @@ class Dictionary {
   /// Returns the id for `term` if present, `kInvalidTermId` otherwise.
   /// Allocation-free (heterogeneous `string_view` probe).
   TermId Lookup(std::string_view term) const {
-    auto it = ids_.find(term);
-    return it == ids_.end() ? kInvalidTermId : it->second;
+    return FindId(term, HashTerm(term));
   }
 
   /// True if `term` has been interned.
@@ -103,31 +129,179 @@ class Dictionary {
     return Lookup(term) != kInvalidTermId;
   }
 
-  /// Returns the string for `id`. Requires `id < size()`.
-  const std::string& TermOf(TermId id) const { return terms_.at(id); }
+  /// Returns the text for `id` as a view into the arena. Requires
+  /// `id < size()`. Valid while the term stays live (freed ids read as
+  /// empty until recycled; recycling may overwrite the bytes).
+  std::string_view TermOf(TermId id) const { return TextOf(spans_.at(id)); }
 
   /// Returns the string for `id` or an error if out of range.
   Result<std::string> TermOfChecked(TermId id) const {
-    if (id >= terms_.size()) {
+    if (id >= spans_.size()) {
       return Status::NotFound("term id " + std::to_string(id) +
                               " not in dictionary of size " +
-                              std::to_string(terms_.size()));
+                              std::to_string(spans_.size()));
     }
-    return terms_[id];
+    return std::string(TextOf(spans_[id]));
   }
 
   /// Size of the id space (live terms plus freed slots awaiting reuse).
-  size_t size() const { return terms_.size(); }
+  size_t size() const { return spans_.size(); }
 
   /// Total bytes of interned term text (used for size reporting).
   uint64_t text_bytes() const { return bytes_; }
 
+  /// Bytes allocated for arena chunks (includes reusable freed extents
+  /// and chunk tails). Deterministic for a given operation sequence.
+  uint64_t arena_bytes() const { return arena_bytes_; }
+
+  /// Total storage-tier footprint: arena chunks plus span/refcount/index
+  /// tables. Deterministic for a given operation sequence (counts table
+  /// sizes, not vector capacities).
+  uint64_t MemoryBytes() const {
+    return arena_bytes_ + spans_.size() * sizeof(Span) +
+           refs_.size() * sizeof(uint64_t) + slots_.size() * sizeof(TermId) +
+           free_ids_.size() * sizeof(TermId);
+  }
+
  private:
-  std::vector<std::string> terms_;
-  std::unordered_map<std::string, TermId, TermHash, std::equal_to<>> ids_;
-  std::vector<uint64_t> refs_;     // usage count per id
-  std::vector<TermId> free_ids_;   // recycled ids, LIFO
-  uint64_t bytes_ = 0;
+  /// One term's extent in the arena. `cap` is the extent's full size: a
+  /// recycled id whose new text fits `cap` reuses the bytes in place.
+  struct Span {
+    uint32_t chunk = 0;
+    uint32_t offset = 0;
+    uint32_t len = 0;
+    uint32_t cap = 0;
+  };
+
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    uint32_t cap = 0;
+    uint32_t used = 0;
+  };
+
+  static constexpr uint32_t kChunkSize = 1 << 16;
+
+  std::string_view TextOf(const Span& s) const {
+    // Zero-length spans (the empty term, or a freed id awaiting reuse)
+    // may reference no chunk at all — never dereference through them.
+    if (s.len == 0) return {};
+    return {chunks_[s.chunk].data.get() + s.offset, s.len};
+  }
+
+  /// FNV-1a; self-contained so the probe order is platform-independent.
+  static uint64_t HashTerm(std::string_view s) {
+    uint64_t h = 1469598103934665603ULL;
+    for (char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+
+  /// Appends a chunk able to hold at least `min(need, ~4 GiB)` more
+  /// bytes. Span offsets are 32-bit, so one chunk cannot exceed 4 GiB —
+  /// a `Reserve` hint beyond that gets the largest possible chunk and
+  /// the remainder grows incrementally (never a silently tiny chunk).
+  void ReserveArena(uint64_t need) {
+    const uint32_t cap = static_cast<uint32_t>(std::min<uint64_t>(
+        std::max<uint64_t>(kChunkSize, need), 0xFFFFFFFFull));
+    chunks_.push_back({std::make_unique<char[]>(cap), cap, 0});
+    arena_bytes_ += cap;
+  }
+
+  /// Places `term`'s bytes: in the span's existing extent when it fits
+  /// (the recycle path), else in fresh arena space.
+  void WriteSpan(Span* s, std::string_view term) {
+    const uint32_t len = static_cast<uint32_t>(term.size());
+    if (len == 0) {
+      s->len = 0;  // the empty term needs no extent (see TextOf)
+      return;
+    }
+    if (len > s->cap) {
+      if (chunks_.empty() || chunks_.back().cap - chunks_.back().used < len) {
+        ReserveArena(len);
+      }
+      Chunk& c = chunks_.back();
+      s->chunk = static_cast<uint32_t>(chunks_.size() - 1);
+      s->offset = c.used;
+      s->cap = len;
+      c.used += len;
+    }
+    s->len = len;
+    std::copy(term.begin(), term.end(),
+              chunks_[s->chunk].data.get() + s->offset);
+  }
+
+  // ---- open-addressing forward index (linear probing) ---------------------
+
+  size_t Mask() const { return slots_.size() - 1; }
+
+  TermId FindId(std::string_view term, uint64_t hash) const {
+    if (slots_.empty()) return kInvalidTermId;
+    size_t i = hash & Mask();
+    while (slots_[i] != kInvalidTermId) {
+      if (TextOf(spans_[slots_[i]]) == term) return slots_[i];
+      i = (i + 1) & Mask();
+    }
+    return kInvalidTermId;
+  }
+
+  void Rehash(size_t new_size) {
+    std::vector<TermId> old = std::move(slots_);
+    slots_.assign(new_size, kInvalidTermId);
+    for (TermId id : old) {
+      if (id == kInvalidTermId) continue;
+      size_t i = HashTerm(TextOf(spans_[id])) & Mask();
+      while (slots_[i] != kInvalidTermId) i = (i + 1) & Mask();
+      slots_[i] = id;
+    }
+  }
+
+  void InsertSlot(TermId id, uint64_t hash) {
+    if (slots_.empty() || (live_ + 1) * 10 > slots_.size() * 7) {
+      Rehash(slots_.empty() ? 16 : slots_.size() * 2);
+    }
+    size_t i = hash & Mask();
+    while (slots_[i] != kInvalidTermId) i = (i + 1) & Mask();
+    slots_[i] = id;
+    ++live_;
+  }
+
+  /// Backward-shift deletion: no tombstones, so the load factor only
+  /// counts live entries and probe chains stay short under churn.
+  void EraseSlot(TermId id, uint64_t hash) {
+    if (slots_.empty()) return;
+    size_t i = hash & Mask();
+    while (slots_[i] != id) {
+      if (slots_[i] == kInvalidTermId) return;  // not indexed (defensive)
+      i = (i + 1) & Mask();
+    }
+    size_t hole = i;
+    size_t j = (i + 1) & Mask();
+    while (slots_[j] != kInvalidTermId) {
+      const size_t ideal = HashTerm(TextOf(spans_[slots_[j]])) & Mask();
+      // slots_[j] may fill the hole iff its probe path [ideal, j) passes
+      // through the hole (cyclically).
+      const bool reaches = ideal <= j ? (ideal <= hole && hole < j)
+                                      : (hole >= ideal || hole < j);
+      if (reaches) {
+        slots_[hole] = slots_[j];
+        hole = j;
+      }
+      j = (j + 1) & Mask();
+    }
+    slots_[hole] = kInvalidTermId;
+    --live_;
+  }
+
+  std::vector<Chunk> chunks_;     ///< arena; chunk storage never moves
+  std::vector<Span> spans_;       ///< per-id text extent
+  std::vector<uint64_t> refs_;    ///< usage count per id
+  std::vector<TermId> free_ids_;  ///< recycled ids, LIFO
+  std::vector<TermId> slots_;     ///< open-addressing index (power of two)
+  size_t live_ = 0;               ///< entries in `slots_`
+  uint64_t bytes_ = 0;            ///< live text bytes
+  uint64_t arena_bytes_ = 0;      ///< allocated chunk bytes
 };
 
 }  // namespace dskg::rdf

@@ -72,9 +72,9 @@ UpdateLog GenerateUpdateStream(const rdf::Dataset& dataset,
   };
   live.reserve(dataset.num_triples());
   for (const rdf::Triple& t : dataset.triples()) {
-    std::array<std::string, 3> fact{dict.TermOf(t.subject),
-                                    dict.TermOf(t.predicate),
-                                    dict.TermOf(t.object)};
+    std::array<std::string, 3> fact{std::string(dict.TermOf(t.subject)),
+                                    std::string(dict.TermOf(t.predicate)),
+                                    std::string(dict.TermOf(t.object))};
     if (membership.insert(fact_key(fact)).second) {
       live.push_back(std::move(fact));
     }
@@ -95,8 +95,8 @@ UpdateLog GenerateUpdateStream(const rdf::Dataset& dataset,
           subject =
               dict.TermOf(pool.subjects[rng.NextIndex(pool.subjects.size())]);
         }
-        std::string object =
-            dict.TermOf(pool.objects[rng.NextIndex(pool.objects.size())]);
+        std::string object(
+            dict.TermOf(pool.objects[rng.NextIndex(pool.objects.size())]));
         std::array<std::string, 3> fact{subject, pool.name, object};
         if (membership.insert(fact_key(fact)).second) {
           live.push_back(std::move(fact));

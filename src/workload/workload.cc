@@ -72,7 +72,7 @@ Result<std::string> WorkloadBuilder::SampleTerm(const std::string& predicate,
     return Status::InvalidArgument("predicate " + predicate +
                                    " has no triples to sample from");
   }
-  return dict.TermOf(side[rng->NextIndex(side.size())]);
+  return std::string(dict.TermOf(side[rng->NextIndex(side.size())]));
 }
 
 Result<Workload> WorkloadBuilder::Build(

@@ -190,15 +190,15 @@ TEST_P(EngineEquivalenceTest, PreparedVsFreshOracleUnderMutations) {
           if (rng.NextBool(0.5) && !triples.empty()) {
             const rdf::Triple& t = triples[rng.NextIndex(triples.size())];
             batch.ops.push_back(UpdateOp::Delete(
-                initial.dict().TermOf(t.subject),
-                initial.dict().TermOf(t.predicate),
-                initial.dict().TermOf(t.object)));
+                std::string(initial.dict().TermOf(t.subject)),
+                std::string(initial.dict().TermOf(t.predicate)),
+                std::string(initial.dict().TermOf(t.object))));
           } else {
             const rdf::Triple& t = triples[rng.NextIndex(triples.size())];
             batch.ops.push_back(UpdateOp::Insert(
                 "fresh:s" + std::to_string(round) + "_" + std::to_string(u),
-                initial.dict().TermOf(t.predicate),
-                initial.dict().TermOf(t.object)));
+                std::string(initial.dict().TermOf(t.predicate)),
+                std::string(initial.dict().TermOf(t.object))));
           }
         }
         ASSERT_TRUE(store.ApplyUpdates(batch).ok());

@@ -1,0 +1,215 @@
+// Arena-dictionary tests: span stability, LIFO id-recycle determinism,
+// extent reuse, and refcount-driven reclamation under the online-update
+// replay pattern (two replicas applying identical op sequences must stay
+// id-aligned forever).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "rdf/dictionary.h"
+
+namespace dskg::rdf {
+namespace {
+
+std::string Term(uint64_t i) { return "y:term_" + std::to_string(i); }
+
+TEST(DictionaryArena, SpansStayStableAcrossChunkGrowth) {
+  // Interning enough text to span many 64 KiB chunks must never move the
+  // bytes of already-interned terms: the engines hold TermOf views across
+  // later interns (e.g. while decoding one result as updates intern new
+  // terms into the other replica).
+  Dictionary d;
+  std::vector<TermId> ids;
+  std::vector<std::string_view> views;
+  std::vector<std::string> expected;
+  for (uint64_t i = 0; i < 5000; ++i) {
+    // ~40 bytes/term -> ~200 KiB of text, several chunks.
+    std::string t = Term(i) + std::string(30, 'x');
+    ids.push_back(d.Intern(t));
+    views.push_back(d.TermOf(ids.back()));
+    expected.push_back(t);
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(views[i], expected[i]) << i;           // view still valid
+    EXPECT_EQ(d.TermOf(ids[i]), expected[i]) << i;   // and re-readable
+    EXPECT_EQ(d.Lookup(expected[i]), ids[i]) << i;
+  }
+}
+
+TEST(DictionaryArena, LookupIsAllocationFreeSemantics) {
+  // Heterogeneous probe: looking up via a non-null-terminated substring
+  // view must work (no hidden std::string construction needed).
+  Dictionary d;
+  const TermId id = d.Intern("y:wasBornIn");
+  const std::string haystack = "xy:wasBornInz";
+  const std::string_view probe(haystack.data() + 1, 11);
+  EXPECT_EQ(d.Lookup(probe), id);
+  EXPECT_EQ(d.Intern(probe), id);
+}
+
+TEST(DictionaryArena, EmptyTermNeedsNoArena) {
+  // The empty string is a valid term and may be the first ever interned
+  // (no arena chunk exists yet): it must round-trip without touching
+  // arena storage, and its id must recycle like any other.
+  Dictionary d;
+  const TermId id = d.Intern("");
+  EXPECT_EQ(d.TermOf(id), "");
+  EXPECT_EQ(d.Lookup(""), id);
+  EXPECT_EQ(d.Intern(""), id);
+  EXPECT_EQ(d.text_bytes(), 0u);
+  const TermId other = d.Intern("y:real");
+  EXPECT_NE(other, id);
+  EXPECT_EQ(d.Lookup(""), id);  // still findable next to real terms
+  d.Retain(id);
+  d.Release(id);
+  EXPECT_EQ(d.Lookup(""), kInvalidTermId);
+  EXPECT_EQ(d.Intern("y:recycled"), id);  // freed id reused
+  EXPECT_EQ(d.TermOf(id), "y:recycled");
+}
+
+TEST(DictionaryArena, ReleaseRecyclesIdsLifo) {
+  Dictionary d;
+  const TermId a = d.Intern("a");
+  const TermId b = d.Intern("b");
+  const TermId c = d.Intern("c");
+  for (TermId id : {a, b, c}) d.Retain(id);
+  d.Release(a);
+  d.Release(c);
+  EXPECT_EQ(d.free_ids(), 2u);
+  EXPECT_FALSE(d.Contains("a"));
+  EXPECT_TRUE(d.Contains("b"));
+  // LIFO: the most recently freed id (c's) is handed out first.
+  EXPECT_EQ(d.Intern("d"), c);
+  EXPECT_EQ(d.Intern("e"), a);
+  EXPECT_EQ(d.Intern("f"), 3u);  // free list drained -> fresh id
+  EXPECT_EQ(d.TermOf(c), "d");
+  EXPECT_EQ(d.Lookup("d"), c);
+}
+
+TEST(DictionaryArena, FreedTermReadsEmptyUntilRecycled) {
+  Dictionary d;
+  const TermId id = d.Intern("y:gone");
+  d.Retain(id);
+  d.Release(id);
+  EXPECT_EQ(d.TermOf(id), "");
+  EXPECT_EQ(d.Lookup("y:gone"), kInvalidTermId);
+  EXPECT_EQ(d.RefCount(id), 0u);
+}
+
+TEST(DictionaryArena, RecycleReusesExtentInPlace) {
+  // Churn at a steady population with same-or-shorter terms must not grow
+  // the arena: the recycled id's old extent absorbs the new text.
+  Dictionary d;
+  std::vector<TermId> ids;
+  for (uint64_t i = 0; i < 100; ++i) {
+    ids.push_back(d.Intern(Term(i)));
+    d.Retain(ids.back());
+  }
+  const uint64_t grown = d.arena_bytes();
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    for (int i = 0; i < 100; ++i) d.Release(ids[static_cast<size_t>(i)]);
+    ids.clear();
+    for (uint64_t i = 0; i < 100; ++i) {
+      // Same lengths, different texts (cycle digit rotates).
+      ids.push_back(d.Intern(Term((i + static_cast<uint64_t>(cycle)) % 100)));
+      d.Retain(ids.back());
+    }
+  }
+  EXPECT_EQ(d.arena_bytes(), grown);
+  EXPECT_EQ(d.size(), 100u);  // id space never grew either
+}
+
+TEST(DictionaryArena, TextBytesTracksLiveTerms) {
+  Dictionary d;
+  const TermId abc = d.Intern("abc");
+  d.Intern("de");
+  d.Intern("abc");  // duplicate adds nothing
+  EXPECT_EQ(d.text_bytes(), 5u);
+  d.Retain(abc);
+  d.Release(abc);
+  EXPECT_EQ(d.text_bytes(), 2u);
+  EXPECT_GT(d.MemoryBytes(), d.text_bytes());
+}
+
+TEST(DictionaryArena, ReserveDoesNotChangeAssignment) {
+  Dictionary hinted;
+  hinted.Reserve(1000, 1 << 20);
+  Dictionary plain;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(hinted.Intern(Term(i % 700)), plain.Intern(Term(i % 700)));
+  }
+  EXPECT_EQ(hinted.size(), plain.size());
+  EXPECT_EQ(hinted.text_bytes(), plain.text_bytes());
+}
+
+TEST(DictionaryArena, ReplayedOpSequencesStayIdAligned) {
+  // The left-right OnlineStore guarantee: two dictionaries fed the exact
+  // same intern/retain/release sequence assign identical ids at every
+  // step, across free-list recycling, chunk growth and index rehashes.
+  Rng rng(2027);
+  Dictionary left;
+  Dictionary right;
+  std::vector<std::pair<TermId, std::string>> live;
+  for (int op = 0; op < 20000; ++op) {
+    if (live.empty() || rng.NextBool(0.6)) {
+      const std::string t = Term(rng.NextBounded(4000));
+      const TermId dl = left.Intern(t);
+      const TermId dr = right.Intern(t);
+      ASSERT_EQ(dl, dr) << "op " << op;
+      left.Retain(dl);
+      right.Retain(dr);
+      live.emplace_back(dl, t);
+    } else {
+      const size_t pick = rng.NextIndex(live.size());
+      const auto [id, t] = live[pick];
+      live[pick] = live.back();
+      live.pop_back();
+      left.Release(id);
+      right.Release(id);
+      ASSERT_EQ(left.Contains(t), right.Contains(t));
+    }
+  }
+  ASSERT_EQ(left.size(), right.size());
+  ASSERT_EQ(left.free_ids(), right.free_ids());
+  ASSERT_EQ(left.text_bytes(), right.text_bytes());
+  ASSERT_EQ(left.arena_bytes(), right.arena_bytes());
+  for (const auto& [id, t] : live) {
+    ASSERT_EQ(left.TermOf(id), right.TermOf(id));
+  }
+}
+
+TEST(DictionaryArena, HeavyChurnKeepsForwardIndexExact) {
+  // Backward-shift deletion in the open-addressing index: random
+  // insert/release churn with many colliding-length keys must never lose
+  // or resurrect an entry.
+  Rng rng(99);
+  Dictionary d;
+  std::vector<std::pair<TermId, std::string>> live;
+  for (int op = 0; op < 30000; ++op) {
+    if (live.empty() || rng.NextBool(0.55)) {
+      const std::string t = Term(rng.NextBounded(500));
+      const TermId id = d.Intern(t);
+      d.Retain(id);
+      live.emplace_back(id, t);
+    } else {
+      const size_t pick = rng.NextIndex(live.size());
+      d.Release(live[pick].first);
+      live[pick] = live.back();
+      live.pop_back();
+    }
+    if (op % 5000 == 0) {
+      // Spot-check: every live term resolves to an id whose text matches.
+      for (const auto& [id, t] : live) {
+        if (d.RefCount(id) == 0) continue;  // released duplicate entry
+        ASSERT_EQ(d.TermOf(d.Lookup(t)), t);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dskg::rdf

@@ -153,14 +153,16 @@ inline sparql::Query RandomBgp(const rdf::Dataset& ds, Rng* rng) {
     // Anchor the pattern on a real triple so matches are likely.
     const rdf::Triple& t = triples[rng->NextIndex(triples.size())];
     sparql::TriplePattern p;
-    p.predicate =
-        sparql::PatternTerm::Const(ds.dict().TermOf(t.predicate));
+    p.predicate = sparql::PatternTerm::Const(
+        std::string(ds.dict().TermOf(t.predicate)));
     p.subject = rng->NextBool(0.7)
                     ? sparql::PatternTerm::Var(reuse_or_new_var())
-                    : sparql::PatternTerm::Const(ds.dict().TermOf(t.subject));
+                    : sparql::PatternTerm::Const(
+                          std::string(ds.dict().TermOf(t.subject)));
     p.object = rng->NextBool(0.7)
                    ? sparql::PatternTerm::Var(reuse_or_new_var())
-                   : sparql::PatternTerm::Const(ds.dict().TermOf(t.object));
+                   : sparql::PatternTerm::Const(
+                         std::string(ds.dict().TermOf(t.object)));
     q.patterns.push_back(std::move(p));
   }
   // SELECT * (all variables) keeps the comparison total.
