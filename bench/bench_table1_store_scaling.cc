@@ -12,10 +12,22 @@
 // smaller throughout.
 //
 // `--json out.json` records the sweep (simulated seconds plus wall-clock
-// and peak-RSS columns) for the BENCH_*.json perf trajectory.
+// and peak-RSS columns) for the BENCH_*.json perf trajectory. A second
+// `storage` table records the storage tier's exact footprint — B+-tree
+// node slabs, dictionary arena + tables, triple list — as deterministic
+// bytes/triple, plus machine-dependent load wall time and peak RSS.
+//
+// `--max-step N` stops the sweep after step N: the paper-scale load path
+// runs one big step instead of ten small ones, e.g.
+//
+//   DSKG_BENCH_SCALE=200 bench_table1_store_scaling --max-step 1
+//
+// loads 10M triples and runs the flagship query on both engines.
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "bench_util.h"
 #include "common/stopwatch.h"
@@ -34,7 +46,11 @@ constexpr double kPaperMySql[10] = {11.2304, 17.2368, 27.6332, 37.6454,
 constexpr double kPaperNeo4j[10] = {0.6067, 1.3270, 1.5837, 3.3893, 2.2573,
                                     3.4786, 2.7923, 3.4560, 3.7312, 3.9833};
 
-void Run(JsonReporter* json) {
+/// Returns false on any failure, including an engine row-count mismatch —
+/// the CI smoke steps rely on a non-zero exit to surface scale-only
+/// correctness bugs.
+bool Run(JsonReporter* json, int max_step) {
+  bool mismatch = false;
   std::printf("Table 1: relational vs graph store, flagship complex query\n");
   std::printf("(paper: MySQL / Neo4j at 0.5M-5M triples; measured: DSKG "
               "simulated seconds at 1/10 scale x DSKG_BENCH_SCALE=%.2f)\n\n",
@@ -44,15 +60,41 @@ void Run(JsonReporter* json) {
               "speedup");
   Rule();
 
-  for (int step = 1; step <= 10; ++step) {
+  for (int step = 1; step <= max_step; ++step) {
     workload::YagoConfig cfg;
     cfg.target_triples = Scaled(50000) * static_cast<uint64_t>(step);
     rdf::Dataset ds = workload::GenerateYago(cfg);
 
-    // Relational-only store.
+    // Relational-only store (timed: this is the storage tier's bulk-load
+    // path — dataset + dictionary arena + three B+-tree indexes).
     core::DualStoreConfig rc;
     rc.use_graph = false;
+    const auto load_start = std::chrono::steady_clock::now();
     core::DualStore rel(&ds, rc);
+    const double load_wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - load_start)
+            .count();
+
+    // Storage-tier footprint, exact and deterministic: triple list +
+    // dictionary (arena, spans, refcounts, hash index) + index slabs.
+    const uint64_t dict_bytes = ds.dict().MemoryBytes();
+    const uint64_t dataset_bytes = ds.StorageBytes();
+    const uint64_t index_bytes = rel.table().IndexBytes();
+    const uint64_t storage_bytes = dataset_bytes + index_bytes;
+    const double bytes_per_triple =
+        static_cast<double>(storage_bytes) /
+        static_cast<double>(ds.num_triples());
+    json->Row("storage",
+              {{"step", step},
+               {"triples", ds.num_triples()},
+               {"bytes_per_triple", bytes_per_triple},
+               {"storage_bytes", storage_bytes},
+               {"dict_bytes", dict_bytes},
+               {"index_bytes", index_bytes},
+               {"index_nodes", rel.table().IndexNodes()},
+               {"load_wall_ms", load_wall_ms}});
+
     const auto rel_start = std::chrono::steady_clock::now();
     auto r1 = rel.Process(kQuery);
     const double rel_wall_ms =
@@ -62,7 +104,7 @@ void Run(JsonReporter* json) {
     if (!r1.ok()) {
       std::fprintf(stderr, "relational run failed: %s\n",
                    r1.status().ToString().c_str());
-      return;
+      return false;
     }
 
     // Graph store with the needed partitions resident (Table 1 measures
@@ -75,7 +117,7 @@ void Run(JsonReporter* json) {
       auto st = dual.MigratePartition(ds.dict().Lookup(pred), &load);
       if (!st.ok()) {
         std::fprintf(stderr, "migration failed: %s\n", st.ToString().c_str());
-        return;
+        return false;
       }
     }
     const auto graph_start = std::chrono::steady_clock::now();
@@ -87,19 +129,26 @@ void Run(JsonReporter* json) {
     if (!r2.ok()) {
       std::fprintf(stderr, "graph run failed: %s\n",
                    r2.status().ToString().c_str());
-      return;
+      return false;
     }
 
     const double rel_s = Sec(r1->rel_micros);
     const double graph_s = Sec(r2->graph_micros);
-    std::printf("%10llu | %12.4f %12.4f | %12.4f %12.4f | %7.1fx\n",
+    std::printf("%10llu | %12.4f %12.4f | %12.4f %12.4f | %7.1fx"
+                " | %5.1f B/triple, load %.0f ms, rss %llu MiB\n",
                 static_cast<unsigned long long>(ds.num_triples()), rel_s,
                 graph_s, kPaperMySql[step - 1], kPaperNeo4j[step - 1],
-                graph_s > 0 ? rel_s / graph_s : 0.0);
+                graph_s > 0 ? rel_s / graph_s : 0.0, bytes_per_triple,
+                load_wall_ms,
+                static_cast<unsigned long long>(PeakRssKb() / 1024));
     if (r1->result.NumRows() != r2->result.NumRows()) {
+      // The two engines disagreeing on the flagship query is a
+      // correctness bug, not a perf signal: fail the process so the CI
+      // smoke steps go red.
       std::fprintf(stderr,
-                   "WARNING: result mismatch (%zu vs %zu rows) at step %d\n",
+                   "FAIL: result mismatch (%zu vs %zu rows) at step %d\n",
                    r1->result.NumRows(), r2->result.NumRows(), step);
+      mismatch = true;
     }
     json->Row("table1", {{"step", step},
                          {"triples", ds.num_triples()},
@@ -113,6 +162,7 @@ void Run(JsonReporter* json) {
   Rule();
   std::printf("Shape check: relational grows ~linearly in |G|; the graph "
               "store stays far below it at every size (paper: 9-25x).\n");
+  return !mismatch;
 }
 
 }  // namespace
@@ -120,6 +170,23 @@ void Run(JsonReporter* json) {
 
 int main(int argc, char** argv) {
   dskg::bench::JsonReporter json(argc, argv, "table1_store_scaling");
-  dskg::bench::Run(&json);
-  return 0;
+  int max_step = 10;
+  for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
+    if (std::strcmp(argv[i], "--max-step") == 0 && i + 1 < argc) {
+      value = argv[++i];
+    } else if (std::strncmp(argv[i], "--max-step=", 11) == 0) {
+      value = argv[i] + 11;
+    }
+    if (value != nullptr) {
+      max_step = std::atoi(value);
+      if (max_step < 1 || max_step > 10) {
+        // A typo must not silently widen a CI smoke run into the full
+        // ten-step sweep at paper scale.
+        std::fprintf(stderr, "--max-step must be 1..10, got \"%s\"\n", value);
+        return 2;
+      }
+    }
+  }
+  return dskg::bench::Run(&json, max_step) ? 0 : 1;
 }

@@ -2,6 +2,7 @@
 """Compares a bench --json record against a committed baseline.
 
 Usage: check_bench_regression.py BASELINE.json CURRENT.json [THRESHOLD]
+           [--tight KEYSUBSTR=FACTOR ...]
 
 Fails (exit 1) when any deterministic numeric metric of the current run
 moves more than THRESHOLD x away from its baseline value in either
@@ -14,6 +15,13 @@ should only move when an engine change genuinely moves it. The generous
 3x threshold keeps the job honest without flakiness: a legitimate
 cost-model change that trips it should update bench/baselines/ in the
 same PR.
+
+`--tight KEYSUBSTR=FACTOR` overrides the threshold for metrics whose key
+contains KEYSUBSTR — used for metrics that are exactly reproducible by
+construction, e.g. the storage tier's bytes/triple, where a 3x allowance
+would let a memory-layout regression slip through:
+
+    check_bench_regression.py base.json cur.json --tight bytes_per_triple=1.25
 """
 
 import json
@@ -32,14 +40,37 @@ def is_ignored(key: str) -> bool:
 
 
 def main() -> int:
-    if len(sys.argv) < 3:
+    positional = []
+    tight = []  # (key substring, factor)
+    args = iter(sys.argv[1:])
+    for arg in args:
+        if arg == "--tight":
+            spec = next(args, None)
+            if spec is None or "=" not in spec:
+                print("--tight needs KEYSUBSTR=FACTOR")
+                return 2
+            sub, factor = spec.split("=", 1)
+            tight.append((sub, float(factor)))
+        elif arg.startswith("--tight="):
+            sub, factor = arg[len("--tight="):].split("=", 1)
+            tight.append((sub, float(factor)))
+        else:
+            positional.append(arg)
+
+    if len(positional) < 2:
         print(__doc__)
         return 2
-    with open(sys.argv[1]) as f:
+    with open(positional[0]) as f:
         baseline = json.load(f)
-    with open(sys.argv[2]) as f:
+    with open(positional[1]) as f:
         current = json.load(f)
-    threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 3.0
+    default_threshold = float(positional[2]) if len(positional) > 2 else 3.0
+
+    def threshold_for(key: str) -> float:
+        for sub, factor in tight:
+            if sub in key:
+                return factor
+        return default_threshold
 
     if baseline.get("scale") != current.get("scale"):
         print(
@@ -67,6 +98,7 @@ def main() -> int:
                 if not isinstance(cv, (int, float)):
                     failures.append(f"{table}[{i}].{key}: missing in current")
                     continue
+                threshold = threshold_for(key)
                 if bv > 0 and cv > threshold * bv:
                     failures.append(
                         f"{table}[{i}].{key}: {cv:g} > {threshold:g}x "
@@ -83,11 +115,11 @@ def main() -> int:
                     )
 
     if failures:
-        print(f"FAIL: {len(failures)} regression(s) vs {sys.argv[1]}:")
+        print(f"FAIL: {len(failures)} regression(s) vs {positional[0]}:")
         for f_ in failures:
             print(f"  - {f_}")
         return 1
-    print(f"OK: {sys.argv[2]} within {threshold:g}x of {sys.argv[1]}")
+    print(f"OK: {positional[1]} within thresholds of {positional[0]}")
     return 0
 
 
