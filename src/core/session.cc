@@ -131,7 +131,11 @@ Result<PreparedQuery> Session::Prepare(std::string_view text) {
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
     auto it = cache_.find(std::string(text));
-    if (it != cache_.end()) entry = it->second;
+    if (it != cache_.end()) {
+      entry = it->second.entry;
+      // Most-recently-prepared: move to the front of the LRU list.
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    }
   }
   if (entry != nullptr) {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -145,11 +149,39 @@ Result<PreparedQuery> Session::Prepare(std::string_view text) {
   entry->params = entry->query.Parameters();
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
-    auto [it, inserted] = cache_.emplace(entry->text, entry);
-    if (!inserted) entry = it->second;  // lost a race: share the winner's
+    auto it = cache_.find(entry->text);
+    if (it != cache_.end()) {
+      entry = it->second.entry;  // lost a race: share the winner's
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    } else {
+      lru_.push_front(entry->text);
+      cache_.emplace(entry->text,
+                     session_internal::CacheSlot{entry, lru_.begin()});
+      EvictOverflowLocked();
+    }
   }
   prepares_.fetch_add(1, std::memory_order_relaxed);
   return PreparedQuery(this, std::move(entry));
+}
+
+void Session::EvictOverflowLocked() {
+  if (plan_cache_capacity_ == 0) return;
+  while (cache_.size() > plan_cache_capacity_) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Session::SetPlanCacheCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  plan_cache_capacity_ = capacity;
+  EvictOverflowLocked();
+}
+
+size_t Session::plan_cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cache_.size();
 }
 
 Result<std::shared_ptr<const PreparedPlan>> Session::PlanFor(
@@ -208,6 +240,7 @@ std::future<Result<QueryExecution>> Session::SubmitAsync(
 void Session::ClearPlanCache() {
   std::lock_guard<std::mutex> lock(cache_mu_);
   cache_.clear();
+  lru_.clear();
 }
 
 Session::Stats Session::stats() const {
@@ -216,6 +249,7 @@ Session::Stats Session::stats() const {
   s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   s.executions = executions_.load(std::memory_order_relaxed);
   s.replans = replans_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -45,9 +45,17 @@
 /// compare/swap before running lock-free. A `PreparedQuery` or `Cursor`
 /// instance is a single-thread object — create one per worker (they
 /// share the cached plan, so this is cheap).
+///
+/// Cache bound: the plan cache holds at most `plan_cache_capacity`
+/// entries (default `kDefaultPlanCacheCapacity`; 0 = unbounded). When a
+/// `Prepare` of a new text overflows it, the least-recently-*prepared*
+/// text is evicted (`stats().evictions`). Outstanding `PreparedQuery`
+/// handles keep their entry alive through their shared pointer and keep
+/// working; re-preparing an evicted text is a fresh parse.
 
 #include <atomic>
 #include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -81,6 +89,13 @@ struct CacheEntry {
 
   std::mutex mu;                     // guards `plan`
   std::shared_ptr<const PreparedPlan> plan;  // null until first execution
+};
+
+/// A plan-cache slot: the shared entry plus its position in the session's
+/// least-recently-prepared list (most recent at the front).
+struct CacheSlot {
+  std::shared_ptr<CacheEntry> entry;
+  std::list<std::string>::iterator lru_it;
 };
 
 /// An epoch-pinned view of the session's store: for an `OnlineStore` the
@@ -185,12 +200,24 @@ class PreparedQuery {
 /// The session façade over a `DualStore` or an `OnlineStore`.
 class Session {
  public:
+  /// Default bound on cached plans. Generous for any workload's template
+  /// catalog while capping an adversarial stream of distinct texts.
+  static constexpr size_t kDefaultPlanCacheCapacity = 256;
+
   /// Neither store nor pool is owned; both must outlive the session.
   /// `pool` (optional) serves `SubmitAsync`.
   explicit Session(DualStore* store, ThreadPool* pool = nullptr)
       : dual_(store), pool_(pool) {}
   explicit Session(OnlineStore* store, ThreadPool* pool = nullptr)
       : online_(store), pool_(pool) {}
+
+  /// Rebounds the plan cache to at most `capacity` entries (0 =
+  /// unbounded), evicting least-recently-prepared entries immediately if
+  /// the cache is over the new bound.
+  void SetPlanCacheCapacity(size_t capacity);
+
+  /// Cached plans currently held.
+  size_t plan_cache_size() const;
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
@@ -222,6 +249,7 @@ class Session {
     uint64_t cache_hits = 0;   ///< Prepare served from the cache
     uint64_t executions = 0;   ///< ExecuteAll / cursor opens
     uint64_t replans = 0;      ///< plans re-validated after an epoch move
+    uint64_t evictions = 0;    ///< entries dropped by the LRU bound
   };
   Stats stats() const;
 
@@ -239,16 +267,23 @@ class Session {
   OnlineStore* online_ = nullptr;
   ThreadPool* pool_ = nullptr;
 
+  /// Evicts least-recently-prepared entries until the cache fits the
+  /// capacity. Caller holds `cache_mu_`.
+  void EvictOverflowLocked();
+
   mutable std::mutex cache_mu_;
-  std::unordered_map<std::string,
-                     std::shared_ptr<session_internal::CacheEntry>>
-      cache_;
+  std::unordered_map<std::string, session_internal::CacheSlot> cache_;
+  /// Texts ordered by last `Prepare`, most recent first. Guarded by
+  /// `cache_mu_`.
+  std::list<std::string> lru_;
+  size_t plan_cache_capacity_ = kDefaultPlanCacheCapacity;
 
   // Lock-free counters: executions must not serialize on a stats mutex.
   std::atomic<uint64_t> prepares_{0};
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> executions_{0};
   std::atomic<uint64_t> replans_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace dskg::core
