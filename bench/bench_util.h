@@ -227,6 +227,22 @@ inline uint64_t PeakRssKb() {
   return static_cast<uint64_t>(ru.ru_maxrss);
 }
 
+/// Current resident set size in KiB (VmRSS from /proc/self/status; 0 when
+/// unavailable). Unlike `PeakRssKb` this can go down, so a before/after
+/// pair brackets the resident footprint one construction added — the
+/// number the replica-vs-snapshot memory claims are guarded on.
+inline uint64_t CurrentRssKb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  unsigned long long kb = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmRSS: %llu kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return static_cast<uint64_t>(kb);
+}
+
 /// Machine-readable bench output. Run any wired bench as
 ///
 ///   ./bench/bench_xyz --json out.json

@@ -22,6 +22,14 @@ construction, e.g. the storage tier's bytes/triple, where a 3x allowance
 would let a memory-layout regression slip through:
 
     check_bench_regression.py base.json cur.json --tight bytes_per_triple=1.25
+
+`--rss-max KEYSUBSTR=FACTOR` asserts an upper bound only: metrics whose
+key contains KEYSUBSTR must satisfy current <= FACTOR x baseline, with no
+collapse check (shrinking is the point) and even when the key would
+normally be ignored as a memory column. Used to pin a claimed memory
+reduction to a frozen predecessor baseline:
+
+    check_bench_regression.py old_design.json cur.json --rss-max store_bytes=0.65
 """
 
 import json
@@ -42,6 +50,7 @@ def is_ignored(key: str) -> bool:
 def main() -> int:
     positional = []
     tight = []  # (key substring, factor)
+    rss_max = []  # (key substring, factor): upper bound only
     args = iter(sys.argv[1:])
     for arg in args:
         if arg == "--tight":
@@ -54,6 +63,16 @@ def main() -> int:
         elif arg.startswith("--tight="):
             sub, factor = arg[len("--tight="):].split("=", 1)
             tight.append((sub, float(factor)))
+        elif arg == "--rss-max":
+            spec = next(args, None)
+            if spec is None or "=" not in spec:
+                print("--rss-max needs KEYSUBSTR=FACTOR")
+                return 2
+            sub, factor = spec.split("=", 1)
+            rss_max.append((sub, float(factor)))
+        elif arg.startswith("--rss-max="):
+            sub, factor = arg[len("--rss-max="):].split("=", 1)
+            rss_max.append((sub, float(factor)))
         else:
             positional.append(arg)
 
@@ -92,7 +111,22 @@ def main() -> int:
             )
         for i, (b, c) in enumerate(zip(base_rows, cur_rows)):
             for key, bv in b.items():
-                if is_ignored(key) or not isinstance(bv, (int, float)):
+                if not isinstance(bv, (int, float)):
+                    continue
+                rss_factor = next(
+                    (factor for sub, factor in rss_max if sub in key), None
+                )
+                if rss_factor is not None:
+                    cv = c.get(key)
+                    if not isinstance(cv, (int, float)):
+                        failures.append(f"{table}[{i}].{key}: missing in current")
+                    elif cv > rss_factor * bv:
+                        failures.append(
+                            f"{table}[{i}].{key}: {cv:g} > {rss_factor:g}x "
+                            f"predecessor baseline {bv:g}"
+                        )
+                    continue
+                if is_ignored(key):
                     continue
                 cv = c.get(key)
                 if not isinstance(cv, (int, float)):

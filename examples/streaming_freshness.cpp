@@ -1,0 +1,119 @@
+// Streaming freshness: `RunOnline` end to end against the sharded
+// copy-on-write store. A YAGO-style query workload runs on a thread pool
+// while the injector concurrently publishes an insert/delete stream
+// across four predicate shards; every query window sees a consistent
+// batch-boundary snapshot, and DOTIL re-tunes when partition statistics
+// drift.
+//
+// The printout is the freshness trade-off: the same query workload runs
+// once against a frozen store (stale, never drift-re-tuned) and once with
+// live updates (fresh facts join the answers), with per-window TTI, apply
+// cost and drift so the price of freshness is a number, not a claim.
+//
+//   $ ./build/examples/streaming_freshness
+
+#include <cstdio>
+
+#include "common/thread_pool.h"
+#include "core/dotil.h"
+#include "core/online_store.h"
+#include "core/runner.h"
+#include "workload/generators.h"
+#include "workload/templates.h"
+#include "workload/update_stream.h"
+#include "workload/workload.h"
+
+using namespace dskg;
+
+namespace {
+
+/// One full online run on a fresh store; `updates` may be empty (the
+/// static baseline — same protocol, zero mutations).
+Result<core::OnlineRunMetrics> RunOnce(const rdf::Dataset& ds,
+                                       const workload::Workload& w,
+                                       const core::UpdateLog& updates,
+                                       uint64_t* store_bytes) {
+  core::DualStoreConfig cfg;
+  cfg.graph_capacity_triples = ds.num_triples() / 4;
+  cfg.num_shards = 4;
+  core::OnlineStore store(ds, cfg);
+  if (store_bytes != nullptr) *store_bytes = store.StorageBytes();
+
+  core::DotilTuner tuner;
+  core::WorkloadRunner runner(/*store=*/nullptr, &tuner);
+  core::OnlineRunOptions opt;
+  opt.num_batches = 5;
+  opt.drift_threshold = 0.10;
+
+  ThreadPool pool(ThreadPool::DefaultThreads());
+  return runner.RunOnline(&store, w, updates, opt, &pool);
+}
+
+}  // namespace
+
+int main() {
+  workload::YagoConfig gen;
+  gen.target_triples = 60000;
+  rdf::Dataset yago = workload::GenerateYago(gen);
+  std::printf("knowledge graph: %llu triples, %zu predicates\n",
+              static_cast<unsigned long long>(yago.num_triples()),
+              yago.num_predicates());
+
+  workload::WorkloadBuilder builder(&yago);
+  workload::WorkloadOptions wopt;
+  auto w = builder.Build("yago", workload::YagoTemplates(), wopt);
+  if (!w.ok()) {
+    std::fprintf(stderr, "%s\n", w.status().ToString().c_str());
+    return 1;
+  }
+
+  // A live ingestion stream: five update batches, applied concurrently
+  // with the five query windows (one batch per window).
+  workload::UpdateStreamConfig uc;
+  uc.num_batches = 5;
+  uc.ops_per_batch = 2000;
+  const core::UpdateLog updates = workload::GenerateUpdateStream(yago, uc);
+
+  uint64_t store_bytes = 0;
+  auto stale = RunOnce(yago, *w, core::UpdateLog{}, nullptr);
+  auto fresh = RunOnce(yago, *w, updates, &store_bytes);
+  if (!stale.ok() || !fresh.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 (!stale.ok() ? stale : fresh).status().ToString().c_str());
+    return 1;
+  }
+  std::printf("sharded store: 4 predicate shards, %.2f MiB single copy "
+              "(snapshots share nodes)\n\n",
+              static_cast<double>(store_bytes) / (1024.0 * 1024.0));
+
+  std::printf("%7s %12s %12s %8s %8s %8s %8s\n", "window", "TTI s",
+              "update s", "ins", "del", "drift", "retuned");
+  for (size_t i = 0; i < fresh->batches.size(); ++i) {
+    const core::OnlineBatchMetrics& b = fresh->batches[i];
+    std::printf("%7zu %12.4f %12.4f %8llu %8llu %7.0f%% %8s\n", i + 1,
+                b.tti_micros * 1e-6, b.update_micros * 1e-6,
+                static_cast<unsigned long long>(b.inserted),
+                static_cast<unsigned long long>(b.deleted),
+                100.0 * b.max_drift, b.retuned ? "yes" : "-");
+  }
+
+  const double stale_tti = stale->TotalTtiMicros() * 1e-6;
+  const double fresh_tti = fresh->TotalTtiMicros() * 1e-6;
+  std::printf("\nstale store  (no updates): TTI %.4f s\n", stale_tti);
+  std::printf("fresh store (%llu ins, %llu del): TTI %.4f s (%+.1f%%), "
+              "apply %.4f s, re-tuning %.4f s (%d retunes)\n",
+              static_cast<unsigned long long>(fresh->TotalInserted()),
+              static_cast<unsigned long long>(fresh->TotalDeleted()),
+              fresh_tti,
+              stale_tti > 0 ? 100.0 * (fresh_tti - stale_tti) / stale_tti : 0,
+              fresh->TotalUpdateMicros() * 1e-6,
+              fresh->TotalTuningMicros() * 1e-6, fresh->Retunes());
+  std::printf("queries never block on the stream: readers pin an epoch and\n"
+              "traverse an immutable snapshot while appliers build the next\n"
+              "one; the TTI delta is changed knowledge and re-tuning, not\n"
+              "contention.\n");
+
+  // Freshness must have been real: the stream landed facts, and the
+  // store absorbed them without poisoning any shard.
+  return fresh->TotalInserted() > 0 && fresh->TotalDeleted() > 0 ? 0 : 1;
+}

@@ -34,6 +34,8 @@
 #include <cassert>
 #include <cstdint>
 #include <thread>
+#include <utility>
+#include <vector>
 
 namespace dskg {
 
@@ -158,6 +160,51 @@ class EpochManager {
 
   std::atomic<uint64_t> global_epoch_{1};
   Slot slots_[kMaxReaders];
+};
+
+/// Writer-side queue of retired state tagged with the epoch it was retired
+/// in. Each shard of the online store keeps its own queues (share-nothing:
+/// no cross-shard synchronization on the reclamation path); the injector
+/// drains them after `WaitUntilDrained` proves the tagged epochs have no
+/// remaining observers.
+///
+/// Not thread-safe: one owner pushes and drains. The epoch tag exists so
+/// state that must outlive *two* publications (the dictionary's two-stage
+/// id reclamation) can sit in the same queue as single-batch retirees.
+template <typename T>
+class RetireQueue {
+ public:
+  /// Queues `item`, retired as of `epoch` (its readers may be pinned at
+  /// `epoch` or earlier, never later).
+  void Push(uint64_t epoch, T item) {
+    items_.push_back({epoch, std::move(item)});
+  }
+
+  /// Invokes `fn(item)` on — and removes — every item whose retire epoch
+  /// is <= `drained_epoch`. Items retire in epoch order, so this is a
+  /// prefix drain.
+  template <typename Fn>
+  void Drain(uint64_t drained_epoch, Fn&& fn) {
+    size_t keep = 0;
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (items_[i].epoch <= drained_epoch) {
+        fn(std::move(items_[i].item));
+      } else {
+        items_[keep++] = std::move(items_[i]);
+      }
+    }
+    items_.resize(keep);
+  }
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+ private:
+  struct Entry {
+    uint64_t epoch;
+    T item;
+  };
+  std::vector<Entry> items_;
 };
 
 }  // namespace dskg

@@ -1,0 +1,132 @@
+#ifndef DSKG_COMMON_STABLE_VECTOR_H_
+#define DSKG_COMMON_STABLE_VECTOR_H_
+
+/// \file stable_vector.h
+/// Chunked append-only storage with stable element addresses.
+///
+/// `std::vector` reallocates on growth, which moves every element — fatal
+/// for the single-writer / many-reader structures of the online store,
+/// where epoch-pinned readers traverse B+-tree nodes and dictionary spans
+/// *while* the applier appends. `StableVector` keeps elements in a
+/// geometric series of heap chunks (64, 64, 128, 256, ... elements) that
+/// are never moved or freed before destruction, and publishes each new
+/// chunk pointer and the logical size through atomics:
+///
+///   * exactly one writer may `push_back`/`emplace_back`/mutate slots;
+///   * any number of readers may concurrently index elements they learned
+///     about through a properly published root (acquire on the size or on
+///     an external snapshot pointer) — the element address never changes.
+///
+/// Element *values* are not atomic: the writer must not mutate a slot
+/// that a concurrent reader may read (the copy-on-write discipline of the
+/// callers guarantees writers only touch unpublished or drained slots).
+///
+/// Indexing is O(1): chunk c holds `kBase << c` elements, so the chunk
+/// for index i and the offset within it fall out of one `bit_width`.
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace dskg {
+
+template <typename T>
+class StableVector {
+ public:
+  /// log2 of the first chunk's element count.
+  static constexpr size_t kBaseLog2 = 6;
+  static constexpr size_t kBase = size_t{1} << kBaseLog2;
+  static constexpr size_t kMaxChunks = 32;
+
+  StableVector() = default;
+
+  StableVector(const StableVector&) = delete;
+  StableVector& operator=(const StableVector&) = delete;
+  StableVector(StableVector&&) = delete;
+  StableVector& operator=(StableVector&&) = delete;
+
+  ~StableVector() {
+    for (size_t c = 0; c < kMaxChunks; ++c) {
+      delete[] chunks_[c].load(std::memory_order_relaxed);
+    }
+  }
+
+  /// Logical element count (acquire: pairs with the writer's release so a
+  /// reader that observes size i may read every element below i).
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+  bool empty() const { return size() == 0; }
+
+  T& operator[](size_t i) { return *Slot(i); }
+  const T& operator[](size_t i) const { return *Slot(i); }
+
+  /// Appends a value (single writer only).
+  void push_back(const T& v) { emplace_back() = v; }
+  void push_back(T&& v) { emplace_back() = std::move(v); }
+
+  /// Appends a default-constructed element and returns it (single
+  /// writer only). The new element is visible to readers that observe
+  /// the incremented size (or any snapshot published after this call).
+  T& emplace_back() {
+    const size_t i = size_.load(std::memory_order_relaxed);
+    EnsureChunkFor(i);
+    T* slot = Slot(i);
+    *slot = T{};
+    size_.store(i + 1, std::memory_order_release);
+    return *slot;
+  }
+
+  /// Pre-allocates chunks to hold at least `n` elements (writer only).
+  void reserve(size_t n) {
+    if (n > 0) EnsureChunkFor(n - 1);
+  }
+
+  /// Resets the logical size to zero, keeping allocated chunks (writer
+  /// only, and only when no concurrent readers exist — the bulk-load /
+  /// rebuild path).
+  void clear() { size_.store(0, std::memory_order_release); }
+
+  /// Chunk bytes currently allocated (diagnostics; footprint accounting
+  /// deliberately uses logical `size()` to stay slack-independent).
+  uint64_t AllocatedBytes() const {
+    uint64_t total = 0;
+    for (size_t c = 0; c < kMaxChunks; ++c) {
+      if (chunks_[c].load(std::memory_order_relaxed) != nullptr) {
+        total += uint64_t{ChunkElems(c)} * sizeof(T);
+      }
+    }
+    return total;
+  }
+
+ private:
+  /// Chunk c holds `kBase << c` elements; chunks 0..c-1 hold
+  /// `kBase * (2^c - 1)` elements in total.
+  static size_t ChunkOf(size_t i) {
+    return static_cast<size_t>(std::bit_width((i >> kBaseLog2) + 1)) - 1;
+  }
+  static size_t ChunkElems(size_t c) { return kBase << c; }
+  static size_t ChunkBase(size_t c) { return ((size_t{1} << c) - 1) << kBaseLog2; }
+
+  T* Slot(size_t i) const {
+    const size_t c = ChunkOf(i);
+    T* chunk = chunks_[c].load(std::memory_order_acquire);
+    return chunk + (i - ChunkBase(c));
+  }
+
+  void EnsureChunkFor(size_t i) {
+    const size_t c = ChunkOf(i);
+    for (size_t k = 0; k <= c; ++k) {
+      if (chunks_[k].load(std::memory_order_relaxed) == nullptr) {
+        chunks_[k].store(new T[ChunkElems(k)], std::memory_order_release);
+      }
+    }
+  }
+
+  mutable std::atomic<T*> chunks_[kMaxChunks] = {};
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace dskg
+
+#endif  // DSKG_COMMON_STABLE_VECTOR_H_

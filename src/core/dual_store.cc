@@ -13,7 +13,8 @@ using sparql::Query;
 DualStore::DualStore(rdf::Dataset* dataset, const DualStoreConfig& config)
     : dataset_(dataset),
       config_(config),
-      graph_(config.graph_capacity_triples),
+      table_(config.num_shards),
+      graph_(config.graph_capacity_triples, config.num_shards),
       executor_(&table_, &dataset->dict()),
       matcher_(&graph_, &dataset->dict()) {
   CostMeter load_meter;
@@ -59,7 +60,19 @@ Result<ExecutionCursor> DualStore::OpenCursor(const PreparedPlan& plan,
 
 void DualStore::ForcePlanEpoch(uint64_t target) {
   const uint64_t views_v = views_ != nullptr ? views_->catalog_version() : 0;
-  plan_epoch_ = target > views_v ? target - views_v : 0;
+  plan_epoch_.store(target > views_v ? target - views_v : 0,
+                    std::memory_order_release);
+}
+
+DualStore::Snapshot DualStore::MakeSnapshot() const {
+  Snapshot snap;
+  snap.owner = this;
+  snap.table = table_.MakeSnapshot();
+  snap.graph = graph_.MakeSnapshot();
+  if (views_ != nullptr) snap.views = views_->MakeSnapshot();
+  snap.plan_epoch = plan_epoch_.load(std::memory_order_acquire) +
+                    (views_ != nullptr ? views_->catalog_version() : 0);
+  return snap;
 }
 
 Status DualStore::Insert(std::string_view subject, std::string_view predicate,
@@ -77,8 +90,8 @@ Result<UpdateResult> DualStore::ApplyUpdates(const UpdateBatch& batch,
                                              CostMeter* meter) {
   // Any batch may intern terms, flip residency (overflow eviction) or
   // change statistics: prepared plans must re-validate. Bumped
-  // unconditionally so both online replicas advance in lockstep.
-  ++plan_epoch_;
+  // unconditionally so the epoch tracks applied batches exactly.
+  plan_epoch_.fetch_add(1, std::memory_order_release);
   UpdateResult res;
   CostMeter local;
   CostMeter* m = meter != nullptr ? meter : &local;

@@ -26,6 +26,7 @@
 ///       "?p y:hasAcademicAdvisor ?a . ?a y:wasBornIn ?c . }");
 /// \endcode
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -58,6 +59,10 @@ struct DualStoreConfig {
   uint64_t views_budget_rows = 0;
   /// Contention applied to graph-store execution (Table 6 / Figure 7).
   ResourceThrottle graph_throttle;
+  /// Share-nothing predicate shards of the triple table and graph store
+  /// (the online store's applier parallelism). One shard — the default —
+  /// is bit-identical to the unsharded layout.
+  int num_shards = 1;
 };
 
 /// The dual-store structure (relational + graph) for one knowledge graph.
@@ -102,15 +107,19 @@ class DualStore {
   /// store residency, the view catalog, and dictionary/statistics state
   /// (bumped by MigratePartition, EvictPartition and ApplyUpdates, plus
   /// every view-catalog change). A plan whose `plan_epoch` differs from
-  /// the store's must be re-prepared before use.
+  /// the store's must be re-prepared before use. Under an installed
+  /// `SnapshotScope` this is the captured epoch, so a reader validates
+  /// against the state it will actually read.
   uint64_t plan_epoch() const {
-    return plan_epoch_ + (views_ != nullptr ? views_->catalog_version() : 0);
+    if (const Snapshot* snap = CurrentSnapshot()) return snap->plan_epoch;
+    return plan_epoch_.load(std::memory_order_acquire) +
+           (views_ != nullptr ? views_->catalog_version() : 0);
   }
 
   /// Forces `plan_epoch()` to `target` (which must be >= the current
-  /// value). Replication bookkeeping only: `OnlineStore` aligns its two
-  /// replicas' epochs after a tuning window so a plan validated against
-  /// one replica is exactly as valid against the other.
+  /// value). Snapshot bookkeeping only: `OnlineStore` bumps the epoch
+  /// after an exclusive tuning window so plans validated against the
+  /// pre-window snapshot re-prepare.
   void ForcePlanEpoch(uint64_t target);
 
   /// Inserts a new fact. The relational store always absorbs it; if the
@@ -173,6 +182,50 @@ class DualStore {
                                                double budget_micros,
                                                CostMeter* meter) const;
 
+  // ---- snapshots (the online store's concurrent read path) ----------------
+
+  /// A consistent, immutable view across every component a query reads:
+  /// triple-table roots, graph partitions, view catalog, and the plan
+  /// epoch they correspond to. Built by the online store's applier at the
+  /// end of each batch; pointered state stays valid until the store's
+  /// post-drain reclamation.
+  struct Snapshot {
+    const DualStore* owner = nullptr;
+    relstore::TripleTable::Snapshot table;
+    graphstore::PropertyGraph::Snapshot graph;
+    /// Owner-null (inert) when the store has no view catalog.
+    relstore::MaterializedViewManager::Snapshot views;
+    uint64_t plan_epoch = 0;
+  };
+
+  /// Captures the current state of every component. Quiescent only (the
+  /// online store calls it from the applier between batches).
+  Snapshot MakeSnapshot() const;
+
+  /// Installs `snap` as this thread's read source: the triple table, the
+  /// graph store, the view catalog and `plan_epoch()` all serve the
+  /// captured state for the scope's lifetime (nests; restores previous
+  /// sources on destruction). A null snapshot leaves reads live.
+  class SnapshotScope {
+   public:
+    explicit SnapshotScope(const Snapshot* snap)
+        : table_(snap != nullptr ? &snap->table : nullptr),
+          graph_(snap != nullptr ? &snap->graph : nullptr),
+          views_(snap != nullptr ? &snap->views : nullptr),
+          prev_(tls_snapshot_) {
+      tls_snapshot_ = snap;
+    }
+    SnapshotScope(const SnapshotScope&) = delete;
+    SnapshotScope& operator=(const SnapshotScope&) = delete;
+    ~SnapshotScope() { tls_snapshot_ = prev_; }
+
+   private:
+    relstore::TripleTable::ReadScope table_;
+    graphstore::PropertyGraph::ReadScope graph_;
+    relstore::MaterializedViewManager::ReadScope views_;
+    const Snapshot* prev_;
+  };
+
   // ---- component access ----------------------------------------------------
 
   const rdf::Dictionary& dict() const { return dataset_->dict(); }
@@ -188,6 +241,9 @@ class DualStore {
   }
   const DualStoreConfig& config() const { return config_; }
 
+  /// Share-nothing predicate shards (1 = unsharded).
+  int num_shards() const { return table_.num_shards(); }
+
   /// Simulated cost of the initial bulk load into the relational store.
   double load_micros() const { return load_micros_; }
 
@@ -195,6 +251,17 @@ class DualStore {
   void SetGraphThrottle(ResourceThrottle t);
 
  private:
+  /// The online store drives this store's sharded write pipeline (per-
+  /// shard appliers, snapshot publication, deferred reclamation) through
+  /// the private component state.
+  friend class OnlineStore;
+
+  /// This thread's installed snapshot if it belongs to this store.
+  const Snapshot* CurrentSnapshot() const {
+    const Snapshot* s = tls_snapshot_;
+    return (s != nullptr && s->owner == this) ? s : nullptr;
+  }
+
   rdf::Dataset* dataset_;
   DualStoreConfig config_;
   relstore::TripleTable table_;
@@ -205,7 +272,10 @@ class DualStore {
   std::unique_ptr<QueryProcessor> processor_;
   double load_micros_ = 0;
   /// Structural share of `plan_epoch()` (residency + content changes).
-  uint64_t plan_epoch_ = 0;
+  /// Atomic: the online injector bumps it while prepared sessions poll.
+  std::atomic<uint64_t> plan_epoch_{0};
+
+  inline static thread_local const Snapshot* tls_snapshot_ = nullptr;
 };
 
 }  // namespace dskg::core

@@ -1,140 +1,306 @@
 #include "core/online_store.h"
 
 #include <algorithm>
-#include <string>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 namespace dskg::core {
 
+using rdf::TermId;
+using rdf::Triple;
+
 OnlineStore::OnlineStore(const rdf::Dataset& initial,
                          const DualStoreConfig& config)
-    : datasets_{initial.Clone(), initial.Clone()} {
-  sides_[0] = std::make_unique<DualStore>(&datasets_[0], config);
-  sides_[1] = std::make_unique<DualStore>(&datasets_[1], config);
+    : dataset_(initial.Clone(std::max(1, config.num_shards))) {
+  store_ = std::make_unique<DualStore>(&dataset_, config);
+
+  // Flip every component into online mode: tree writes copy root-to-leaf
+  // paths instead of mutating shared nodes, graph partitions clone on
+  // first touch, dropped views and released dictionary ids are retired
+  // until the epoch drain instead of destroyed.
+  store_->table_.SetCopyOnWrite(true);
+  store_->graph_.SetDeferredReclaim(true);
+  if (store_->views_ != nullptr) store_->views_->SetDeferredReclaim(true);
+  dataset_.mutable_dict().SetDeferredReclaim(true);
+
+  snapshot_.store(new DualStore::Snapshot(store_->MakeSnapshot()),
+                  std::memory_order_seq_cst);
+
+  const int n = store_->num_shards();
+  workers_.reserve(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) workers_.push_back(std::make_unique<Worker>());
+  for (int s = 0; s < n; ++s) {
+    workers_[static_cast<size_t>(s)]->thread =
+        std::thread(&OnlineStore::WorkerLoop, this, s);
+  }
+}
+
+OnlineStore::~OnlineStore() {
+  for (const std::unique_ptr<Worker>& w : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(w->mu);
+      w->stop = true;
+    }
+    w->cv.notify_all();
+  }
+  for (const std::unique_ptr<Worker>& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  delete snapshot_.load(std::memory_order_seq_cst);
 }
 
 OnlineStore::ReadGuard OnlineStore::Read() const {
-  // Pin first, then resolve the active replica: the writer's publish
-  // (index store) precedes its epoch advance, so a pin at the advanced
-  // epoch is guaranteed to resolve the *new* index, and a pin at the old
-  // epoch is drained before the old replica is touched. Either way the
-  // resolved replica stays immutable for the guard's lifetime.
+  // Pin first, then resolve the published snapshot: the writer's publish
+  // (pointer exchange) precedes its epoch advance, so a pin at the
+  // advanced epoch is guaranteed to resolve the *new* snapshot, and a pin
+  // at the old epoch is drained before anything the old snapshot reaches
+  // is reclaimed. Either way the resolved snapshot stays immutable for
+  // the guard's lifetime.
   EpochManager::Pin pin = epochs_.Enter();
-  const DualStore* store = sides_[ActiveIndex()].get();
-  return ReadGuard(store, std::move(pin));
+  const DualStore::Snapshot* snap = snapshot_.load(std::memory_order_seq_cst);
+  return ReadGuard(store_.get(), snap, std::move(pin));
+}
+
+Result<QueryExecution> OnlineStore::ReadGuard::Process(
+    const sparql::Query& query) const {
+  DualStore::SnapshotScope scope(snap_);
+  return store_->Process(query);
+}
+
+Result<QueryExecution> OnlineStore::ReadGuard::Process(
+    std::string_view text) const {
+  DualStore::SnapshotScope scope(snap_);
+  return store_->Process(text);
 }
 
 Result<QueryExecution> OnlineStore::Process(const sparql::Query& query) const {
-  ReadGuard guard = Read();
-  return guard.store().Process(query);
+  return Read().Process(query);
 }
 
 Result<QueryExecution> OnlineStore::Process(std::string_view text) const {
-  ReadGuard guard = Read();
-  return guard.store().Process(text);
+  return Read().Process(text);
 }
 
 Result<UpdateResult> OnlineStore::ApplyUpdates(const UpdateBatch& batch,
                                                CostMeter* meter) {
   DSKG_RETURN_NOT_OK(poisoned_);
-  const size_t active = ActiveIndex();
-  const size_t passive = 1 - active;
+  // Any batch may intern terms, flip residency (overflow eviction) or
+  // change statistics: prepared plans must re-validate.
+  store_->plan_epoch_.fetch_add(1, std::memory_order_release);
 
-  // 1. Mutate the passive replica — no reader can be inside it (it was
-  //    drained before its previous retirement ended). On failure the
-  //    half-applied replica is never published: readers keep the intact
-  //    active one, and the store poisons itself (replicas would diverge
-  //    from here on, so further applies refuse).
-  Result<UpdateResult> applied = sides_[passive]->ApplyUpdates(batch, meter);
-  if (!applied.ok()) {
-    poisoned_ = applied.status();
+  UpdateResult res;
+  CostMeter local;
+  CostMeter* m = meter != nullptr ? meter : &local;
+  const int n = num_shards();
+  const size_t num_ops = batch.ops.size();
+
+  // ---- Phase I (inject): resolve ids in op order, route by predicate.
+  // Interning happens here, on one thread, in exactly the serial store's
+  // order — id assignment is independent of the shard count's timing.
+  rdf::Dictionary& dict = dataset_.mutable_dict();
+  std::vector<Triple> triples(num_ops);
+  std::vector<uint8_t> outcomes(num_ops, 0);  // 0 = skipped no-op
+  std::vector<std::vector<ShardOp>> shard_ops(static_cast<size_t>(n));
+  for (size_t i = 0; i < num_ops; ++i) {
+    const UpdateOp& op = batch.ops[i];
+    if (op.kind == UpdateOp::Kind::kInsert) {
+      const Triple t{dict.Intern(op.subject), dict.Intern(op.predicate),
+                     dict.Intern(op.object)};
+      triples[i] = t;
+      shard_ops[static_cast<size_t>(store_->table_.ShardOf(t.predicate))]
+          .push_back({static_cast<uint32_t>(i), true, t});
+    } else {
+      const Triple t{dict.Lookup(op.subject), dict.Lookup(op.predicate),
+                     dict.Lookup(op.object)};
+      if (t.subject == rdf::kInvalidTermId ||
+          t.predicate == rdf::kInvalidTermId ||
+          t.object == rdf::kInvalidTermId) {
+        continue;  // references an unknown term: nothing stored to delete
+      }
+      triples[i] = t;
+      shard_ops[static_cast<size_t>(store_->table_.ShardOf(t.predicate))]
+          .push_back({static_cast<uint32_t>(i), false, t});
+    }
+  }
+
+  // ---- Phase II (apply): fan out to the shard appliers. Each charges
+  // its own meter; with one shard the caller's meter is charged directly,
+  // so the serial charge sequence is reproduced bit for bit.
+  std::vector<CostMeter> shard_meters;
+  if (n > 1) {
+    shard_meters.reserve(static_cast<size_t>(n));
+    for (int s = 0; s < n; ++s) {
+      shard_meters.emplace_back(m->model(), m->throttle());
+    }
+  }
+  for (int s = 0; s < n; ++s) {
+    if (shard_ops[static_cast<size_t>(s)].empty()) continue;
+    Worker& w = *workers_[static_cast<size_t>(s)];
+    {
+      std::lock_guard<std::mutex> lock(w.mu);
+      w.ops = &shard_ops[static_cast<size_t>(s)];
+      w.meter = n > 1 ? &shard_meters[static_cast<size_t>(s)] : m;
+      w.outcomes = &outcomes;
+      w.has_work = true;
+      w.done = false;
+    }
+    w.cv.notify_all();
+  }
+  Status apply_status = Status::OK();
+  for (int s = 0; s < n; ++s) {
+    if (shard_ops[static_cast<size_t>(s)].empty()) continue;
+    Worker& w = *workers_[static_cast<size_t>(s)];
+    std::unique_lock<std::mutex> lock(w.mu);
+    w.cv.wait(lock, [&w] { return w.done; });
+    if (!w.status.ok() && apply_status.ok()) apply_status = w.status;
+  }
+  if (!apply_status.ok()) {
+    // Never published: readers keep the last consistent snapshot, but the
+    // live shards may have half-applied the batch — poison.
+    poisoned_ = apply_status;
     return poisoned_;
   }
 
-  // 2. Publish: queries pinning from here on read the updated replica.
-  active_index_.store(passive, std::memory_order_seq_cst);
+  // ---- Phase III (merge): fold shard meters in shard order, replay
+  // outcomes in op order into the op-order-dependent bookkeeping.
+  if (n > 1) {
+    for (int s = 0; s < n; ++s) {
+      if (shard_ops[static_cast<size_t>(s)].empty()) continue;
+      m->Merge(shard_meters[static_cast<size_t>(s)]);
+    }
+  }
+  // Dataset removal is deferred to one stable end-of-batch sweep; a
+  // successful re-insert of a triple deleted earlier in the same batch
+  // cancels against the pending sweep (see DualStore::ApplyUpdates, the
+  // serial reference for this bookkeeping).
+  std::unordered_set<Triple, rdf::TripleHash> pending_removal;
+  std::unordered_set<TermId> touched_predicates;
+  for (size_t i = 0; i < num_ops; ++i) {
+    if ((outcomes[i] & kOutcomeApplied) == 0) continue;
+    const Triple& t = triples[i];
+    if (batch.ops[i].kind == UpdateOp::Kind::kInsert) {
+      if (pending_removal.erase(t) == 0) dataset_.Add(t);
+      ++res.inserted;
+    } else {
+      pending_removal.insert(t);
+      ++res.deleted;
+    }
+    touched_predicates.insert(t.predicate);
+    if ((outcomes[i] & kOutcomeGraphMaintained) != 0) ++res.graph_maintained;
+  }
+  // Invalidate views BEFORE the dataset sweep: invalidation resolves
+  // predicate text against the dictionary, and a predicate whose last
+  // triple died this batch must still resolve.
+  if (store_->views_ != nullptr && !touched_predicates.empty()) {
+    res.views_dropped =
+        store_->views_->InvalidatePredicates(touched_predicates);
+  }
+  if (!pending_removal.empty()) {
+    dataset_.RemoveBatch(pending_removal);
+  }
+
+  // ---- Phase IV: publish the new snapshot, then reclaim the old one's
+  // reachable state once its last reader leaves.
+  PublishAndReclaim();
+  applied_batches_.fetch_add(1, std::memory_order_relaxed);
+  return res;
+}
+
+void OnlineStore::WorkerLoop(int shard) {
+  Worker& w = *workers_[static_cast<size_t>(shard)];
+  std::unique_lock<std::mutex> lock(w.mu);
+  for (;;) {
+    w.cv.wait(lock, [&w] { return w.has_work || w.stop; });
+    if (w.stop) return;
+    const std::vector<ShardOp>* ops = w.ops;
+    CostMeter* m = w.meter;
+    std::vector<uint8_t>* outcomes = w.outcomes;
+    lock.unlock();
+    Status status = ApplyShard(shard, *ops, m, outcomes);
+    lock.lock();
+    w.status = std::move(status);
+    w.has_work = false;
+    w.done = true;
+    w.cv.notify_all();
+  }
+}
+
+Status OnlineStore::ApplyShard(int shard, const std::vector<ShardOp>& ops,
+                               CostMeter* m,
+                               std::vector<uint8_t>* outcomes) {
+  relstore::TripleTable& table = store_->table_;
+  graphstore::PropertyGraph& graph = store_->graph_;
+  // New copy-on-write batch: the first touch of any tree node or graph
+  // partition reachable from the published snapshot clones it.
+  table.BeginShardBatch(shard);
+  graph.BeginShardBatch(shard);
+  for (const ShardOp& op : ops) {
+    if (op.is_insert) {
+      if (!table.Insert(op.triple, m)) continue;  // already stored: no-op
+      uint8_t bits = kOutcomeApplied;
+      if (graph.HasPredicate(op.triple.predicate)) {
+        Status s = graph.InsertTriple(op.triple, m);
+        if (s.IsCapacityExceeded()) {
+          // The graph copy no longer fits: drop the partition rather than
+          // serve stale answers (the relational store stays
+          // authoritative).
+          DSKG_RETURN_NOT_OK(
+              graph.EvictPartition(op.triple.predicate, m));
+        } else {
+          DSKG_RETURN_NOT_OK(s);
+          bits |= kOutcomeGraphMaintained;
+        }
+      }
+      (*outcomes)[op.index] = bits;
+    } else {
+      if (!table.RemoveTriple(op.triple, m)) continue;  // not stored: no-op
+      uint8_t bits = kOutcomeApplied;
+      if (graph.HasPredicate(op.triple.predicate)) {
+        DSKG_RETURN_NOT_OK(graph.RemoveTriple(op.triple, m));
+        bits |= kOutcomeGraphMaintained;
+      }
+      (*outcomes)[op.index] = bits;
+    }
+  }
+  return Status::OK();
+}
+
+void OnlineStore::PublishAndReclaim() {
+  const DualStore::Snapshot* fresh =
+      new DualStore::Snapshot(store_->MakeSnapshot());
+  const DualStore::Snapshot* old =
+      snapshot_.exchange(fresh, std::memory_order_seq_cst);
   const uint64_t retired_epoch = epochs_.Advance();
-
-  // 3. Reclaim: wait for every reader that may still observe the retired
-  //    replica, then replay the batch there so the replicas stay
-  //    identical. The replay charges a scratch meter — it is replication
-  //    overhead, not additional simulated work. A replay failure also
-  //    poisons: the published replica stays fully consistent for
-  //    readers, but the pair can no longer be kept in lockstep.
+  // Wait for every reader that may still observe the retired snapshot,
+  // then free what only it could reach: the snapshot object itself,
+  // copied-over tree nodes, cloned-over graph partitions, dropped views,
+  // and dictionary ids released by the batch (their two-stage
+  // reclamation keeps ids resolvable for exactly one more snapshot).
   epochs_.WaitUntilDrained(retired_epoch);
-  CostMeter scratch;
-  Status replay = sides_[active]->ApplyUpdates(batch, &scratch).status();
-  if (!replay.ok()) {
-    poisoned_ = replay;
-    return poisoned_;
+  delete old;
+  for (int s = 0; s < num_shards(); ++s) {
+    store_->table_.ReclaimShard(s);
+    store_->graph_.ReclaimShard(s);
   }
-
-  ++applied_batches_;
-  return std::move(applied).ValueOrDie();
+  if (store_->views_ != nullptr) store_->views_->CollectRetired();
+  dataset_.mutable_dict().ReclaimDeferred();
 }
 
 Status OnlineStore::TuneExclusive(const std::function<Status(DualStore*)>& fn) {
   DSKG_RETURN_NOT_OK(poisoned_);
-  const size_t active = ActiveIndex();
-  Status s = fn(sides_[active].get());
-  if (s.ok()) {
-    s = SyncAccelerators(*sides_[active], sides_[1 - active].get());
-  }
-  if (s.ok()) {
-    // Align the replicas' plan epochs: the tuner's op count on the active
-    // side rarely equals the sync's net op count on the passive side, but
-    // after the mirror both are logically identical — so a prepared plan
-    // must be exactly as (in)valid against either. Strictly above both
-    // old values, so every pre-tune plan re-validates.
-    const uint64_t target = std::max(sides_[0]->plan_epoch(),
-                                     sides_[1]->plan_epoch()) + 1;
-    sides_[0]->ForcePlanEpoch(target);
-    sides_[1]->ForcePlanEpoch(target);
-  }
+  Status s = fn(store_.get());
   if (!s.ok()) {
-    // A half-applied tuning window leaves the replicas' accelerator
-    // state divergent; poison, exactly as a failed batch does.
+    // A half-applied tuning window leaves the live accelerator state
+    // divergent from the published snapshot; poison, exactly as a failed
+    // batch does.
     poisoned_ = s;
+    return s;
   }
-  return s;
-}
-
-Status OnlineStore::SyncAccelerators(const DualStore& from, DualStore* to) {
-  CostMeter scratch;  // mirroring is bookkeeping, like the batch replay
-
-  // Graph-store residency: evict partitions the tuner dropped, migrate
-  // the ones it loaded. Content comes from `to`'s own relational store,
-  // which is logically identical to `from`'s.
-  for (rdf::TermId p : to->graph().LoadedPredicates()) {
-    if (!from.graph().HasPredicate(p)) {
-      DSKG_RETURN_NOT_OK(to->EvictPartition(p, &scratch));
-    }
-  }
-  for (rdf::TermId p : from.graph().LoadedPredicates()) {
-    if (!to->graph().HasPredicate(p)) {
-      DSKG_RETURN_NOT_OK(to->MigratePartition(p, &scratch));
-    }
-  }
-
-  // Materialized-view catalog: drop views the tuner dropped, materialize
-  // the ones it created (definitions are already generalized, so
-  // re-creating from them reproduces the same signature).
-  relstore::MaterializedViewManager* to_views = to->views();
-  const relstore::MaterializedViewManager* from_views = from.views();
-  if (to_views != nullptr && from_views != nullptr) {
-    for (const std::string& sig : to_views->Signatures()) {
-      if (!from_views->HasSignature(sig)) {
-        DSKG_RETURN_NOT_OK(to_views->DropView(sig));
-      }
-    }
-    for (const std::string& sig : from_views->Signatures()) {
-      if (!to_views->HasSignature(sig)) {
-        Status s = to_views->CreateView(*from_views->DefinitionOf(sig),
-                                        &scratch);
-        if (!s.ok() && !s.IsAlreadyExists()) return s;
-      }
-    }
-  }
+  // Strictly above the pre-tune epoch, so every pre-tune plan
+  // re-validates even when the window was a no-op.
+  store_->ForcePlanEpoch(store_->plan_epoch() + 1);
+  PublishAndReclaim();
   return Status::OK();
 }
 

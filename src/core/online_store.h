@@ -5,44 +5,55 @@
 /// The online-update subsystem's front door: a dual store that stays
 /// queryable while a stream of knowledge mutations is applied.
 ///
-/// Design — *left-right replication under epoch reclamation*:
+/// Design — *share-nothing shards + copy-on-write snapshots under epoch
+/// reclamation*:
 ///
-/// An `OnlineStore` owns two complete `DualStore` replicas (each with its
-/// own dataset + dictionary, so readers and the applier share **no**
-/// mutable structure — the shared-nothing discipline KVell applies per
-/// worker, applied here per role). At any instant one replica is *active*
-/// (all queries read it) and one is *passive* (only the applier touches
-/// it):
+/// An `OnlineStore` owns ONE `DualStore` whose triple table, graph store
+/// and dictionary are split into `num_shards` share-nothing predicate
+/// shards. Each shard has a persistent applier thread; batches flow
+/// through a four-phase pipeline:
 ///
-///   1. readers pin the current epoch and query the active replica —
-///      wait-free, no reader-side lock anywhere on the query path;
-///   2. the single applier applies a batch to the passive replica, then
-///      *publishes* it by swapping the active index and advancing the
-///      epoch;
-///   3. the applier waits for the old epoch to drain (every reader that
-///      could still be inside the retired replica has finished) and only
-///      then catches the retired replica up by replaying the same batch —
-///      the epoch-based reclamation step: the retired state is reclaimed
-///      for writing once its last observer leaves.
+///   1. **Inject** (caller thread): resolve every op's term ids against
+///      the dictionary in op order (id assignment is therefore identical
+///      to the serial store's), then route each op to the shard owning
+///      its predicate.
+///   2. **Apply** (shard appliers, parallel): each shard applies its ops
+///      in order to its own B+-tree slabs and graph partitions.
+///      Structures a published snapshot can reach are never mutated in
+///      place — the B+-trees clone root-to-leaf paths into fresh pool
+///      nodes (node-level copy-on-write), graph partitions clone on the
+///      batch's first touch. Appliers share no mutable state: outcomes
+///      land in per-op slots, costs in per-shard meters.
+///   3. **Merge** (caller thread): fold shard meters in shard order,
+///      replay outcomes in op order into the dataset / pending-removal
+///      bookkeeping, and invalidate stale materialized views.
+///   4. **Publish + reclaim** (caller thread): capture a new immutable
+///      `DualStore::Snapshot` (new tree roots, partition pointers, view
+///      catalog), publish it atomically, advance the epoch, wait for the
+///      previous epoch to drain, and only then free what the retired
+///      snapshot could reach: retired tree nodes return to the pools,
+///      cloned-over partitions and dropped views are destroyed, and
+///      dictionary ids released by the batch finish their two-stage
+///      reclamation.
 ///
-/// Every query therefore sees the store exactly as of some batch boundary
-/// (snapshot-per-batch consistency): results are identical to *some*
-/// serial apply-then-query interleaving, which is what the randomized
-/// online equivalence tests assert. Batches are applied twice (once per
-/// replica) and memory is doubled — the classic left-right trade for a
-/// read-mostly store whose query path must never block.
-///
-/// Replica determinism: both replicas are clones of the same initial
-/// dataset and replay identical batch sequences, and the dictionary
-/// recycles ids deterministically, so the two replicas assign identical
-/// term ids forever. A reader may decode results against whichever
-/// replica produced them (keep the `ReadGuard` alive while decoding).
+/// Readers pin an epoch and traverse the published snapshot — wait-free,
+/// no reader-side lock anywhere on the query path. Every query sees the
+/// store exactly as of some batch boundary (snapshot-per-batch
+/// consistency): results are identical to *some* serial apply-then-query
+/// interleaving, which is what the randomized online equivalence tests
+/// assert. Memory holds ONE copy of the store plus the current batch's
+/// copy-on-write deltas — the predecessor design's left-right replica
+/// pair (2x memory, every batch applied twice) is gone.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string_view>
+#include <thread>
+#include <vector>
 
 #include "common/cost.h"
 #include "common/epoch.h"
@@ -53,75 +64,101 @@
 
 namespace dskg::core {
 
-/// A mutable-while-queried dual store (two replicas + epoch coordination).
+/// A mutable-while-queried dual store (sharded copy-on-write applier +
+/// epoch-coordinated snapshot reads).
 class OnlineStore {
  public:
-  /// Builds both replicas from clones of `initial` (the source dataset is
-  /// only read during construction and is not retained).
+  /// Builds the store from a clone of `initial` (the source dataset is
+  /// only read during construction and is not retained). The clone's
+  /// dictionary is sliced to match `config.num_shards`.
   OnlineStore(const rdf::Dataset& initial, const DualStoreConfig& config);
+
+  ~OnlineStore();
 
   OnlineStore(const OnlineStore&) = delete;
   OnlineStore& operator=(const OnlineStore&) = delete;
 
   // ---- read path (any number of threads) ---------------------------------
 
-  /// Epoch-pinned access to the replica that is active at pin time. The
-  /// replica is immutable for as long as the guard lives; queries, stats
-  /// reads and result decoding through it are all safe.
+  /// Epoch-pinned access to the snapshot published at pin time. The
+  /// snapshot is immutable for as long as the guard lives; queries,
+  /// stats reads and result decoding through it are all safe.
   class ReadGuard {
    public:
+    /// The underlying store. Reads through it outside `Process` see LIVE
+    /// state — safe only when no applier is running. Concurrent readers
+    /// go through `Process` (or install `snapshot()` themselves).
     const DualStore& store() const { return *store_; }
     const DualStore* operator->() const { return store_; }
 
+    /// The pinned immutable snapshot.
+    const DualStore::Snapshot& snapshot() const { return *snap_; }
+
+    /// Processes one query against the pinned snapshot.
+    Result<QueryExecution> Process(const sparql::Query& query) const;
+    Result<QueryExecution> Process(std::string_view text) const;
+
    private:
     friend class OnlineStore;
-    ReadGuard(const DualStore* store, EpochManager::Pin pin)
-        : store_(store), pin_(std::move(pin)) {}
+    ReadGuard(const DualStore* store, const DualStore::Snapshot* snap,
+              EpochManager::Pin pin)
+        : store_(store), snap_(snap), pin_(std::move(pin)) {}
     const DualStore* store_;
+    const DualStore::Snapshot* snap_;
     EpochManager::Pin pin_;
   };
 
   /// Pins the current snapshot. Wait-free against the applier.
   ReadGuard Read() const;
 
-  /// Convenience: pin, process one query, unpin.
+  /// Convenience: pin, process one query against the snapshot, unpin.
   Result<QueryExecution> Process(const sparql::Query& query) const;
   Result<QueryExecution> Process(std::string_view text) const;
 
-  // ---- write path (one applier thread) -----------------------------------
+  // ---- write path (one injector thread) ----------------------------------
 
-  /// Applies `batch` to the passive replica, publishes it to readers, and
-  /// once the retired replica drains replays the batch there. Costs are
-  /// charged to `meter` once (the replay is replication bookkeeping, not
-  /// additional simulated work). Single applier: concurrent ApplyUpdates
-  /// or TuneExclusive calls must be externally serialized; concurrent
-  /// `Read`/`Process` calls need no coordination at all.
+  /// Applies `batch` through the sharded pipeline and publishes the
+  /// resulting snapshot to readers. Costs are charged to `meter` (shard
+  /// meters merge in shard order; with one shard the charges are
+  /// bit-identical to the serial store's). Single injector: concurrent
+  /// ApplyUpdates or TuneExclusive calls must be externally serialized;
+  /// concurrent `Read`/`Process` calls need no coordination at all.
   ///
-  /// Failure poisons the store: a half-applied replica is never
-  /// published (readers keep a consistent snapshot forever), but the
-  /// replicas can no longer be kept in lockstep, so every further
+  /// Failure poisons the store: a half-applied batch is never published
+  /// (readers keep the last published snapshot forever), but the live
+  /// structures may have diverged from it, so every further
   /// ApplyUpdates/TuneExclusive returns the original error. Rebuild the
   /// OnlineStore to resume ingestion after a poisoned batch.
   Result<UpdateResult> ApplyUpdates(const UpdateBatch& batch,
                                     CostMeter* meter = nullptr);
 
-  /// Offline tuning window: runs `fn` against the active replica (the one
-  /// whose statistics reflect all published batches) and then mirrors the
-  /// accelerator state `fn` changed — graph-store residency and the
-  /// materialized-view catalog — onto the passive replica, so the next
-  /// publish does not flip queries back to untuned physical state.
-  /// Caller must guarantee no queries are in flight (the online runner
-  /// tunes strictly between batches, as the paper's protocol does).
+  /// Offline tuning window: runs `fn` against the store (graph-store
+  /// migrations/evictions, view builds) and publishes the tuned state as
+  /// a fresh snapshot. Caller must guarantee no queries are in flight
+  /// (the online runner tunes strictly between batches, as the paper's
+  /// protocol does).
   Status TuneExclusive(const std::function<Status(DualStore*)>& fn);
 
-  // ---- introspection (applier thread / quiescent store only) -------------
+  // ---- introspection (injector thread / quiescent store only) ------------
 
-  /// The currently active replica. Only meaningful from the applier
-  /// thread or while no applier is running; readers use `Read()`.
-  const DualStore& active() const { return *sides_[ActiveIndex()]; }
+  /// The store. Only meaningful from the injector thread or while no
+  /// applier is running; readers use `Read()`.
+  const DualStore& active() const { return *store_; }
 
   /// Batches published so far.
-  uint64_t applied_batches() const { return applied_batches_; }
+  uint64_t applied_batches() const {
+    return applied_batches_.load(std::memory_order_relaxed);
+  }
+
+  /// Share-nothing predicate shards (= applier threads).
+  int num_shards() const { return static_cast<int>(workers_.size()); }
+
+  /// Deterministic storage-tier footprint of the online store: dataset +
+  /// dictionary + index slabs of the single copy it keeps. Quiescent
+  /// only.
+  uint64_t StorageBytes() const {
+    return dataset_.StorageBytes() + store_->table().IndexBytes();
+  }
 
   /// OK unless a failed batch poisoned the store (see `ApplyUpdates`).
   const Status& poison_status() const { return poisoned_; }
@@ -130,21 +167,54 @@ class OnlineStore {
   const EpochManager& epochs() const { return epochs_; }
 
  private:
-  size_t ActiveIndex() const {
-    return active_index_.load(std::memory_order_seq_cst);
-  }
+  /// One routed mutation: its slot in the batch plus resolved ids.
+  struct ShardOp {
+    uint32_t index = 0;  ///< position in the batch (outcome slot)
+    bool is_insert = false;
+    rdf::Triple triple;
+  };
 
-  /// Copies graph-store residency and the view catalog of `from` onto
-  /// `to` (used after a tuning window; `to` has identical logical content,
-  /// so partitions/views rebuild from its own relational store).
-  Status SyncAccelerators(const DualStore& from, DualStore* to);
+  // Outcome bits a shard applier reports per op.
+  static constexpr uint8_t kOutcomeApplied = 1;
+  static constexpr uint8_t kOutcomeGraphMaintained = 2;
 
-  rdf::Dataset datasets_[2];
-  std::unique_ptr<DualStore> sides_[2];
+  /// One persistent shard applier. The injector hands it a task under
+  /// `mu` and waits for `done`; the worker owns its shard's table trees
+  /// and graph partitions exclusively while running.
+  struct Worker {
+    std::thread thread;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool has_work = false;  // guarded by mu
+    bool done = true;       // guarded by mu
+    bool stop = false;      // guarded by mu
+    // Task (valid while has_work/!done):
+    const std::vector<ShardOp>* ops = nullptr;
+    CostMeter* meter = nullptr;
+    std::vector<uint8_t>* outcomes = nullptr;
+    Status status;  // task result, read by the injector after `done`
+  };
+
+  void WorkerLoop(int shard);
+
+  /// Phase II body: applies `ops` (in order) to shard `shard`'s slabs and
+  /// partitions, recording outcomes and charging `m`.
+  Status ApplyShard(int shard, const std::vector<ShardOp>& ops, CostMeter* m,
+                    std::vector<uint8_t>* outcomes);
+
+  /// Phase IV: captures the live state, publishes it, waits for the
+  /// previous epoch to drain, and reclaims everything only the retired
+  /// snapshot could reach.
+  void PublishAndReclaim();
+
+  rdf::Dataset dataset_;
+  std::unique_ptr<DualStore> store_;
   mutable EpochManager epochs_;
-  std::atomic<size_t> active_index_{0};
-  uint64_t applied_batches_ = 0;
-  Status poisoned_ = Status::OK();  // applier-thread state
+  /// The published snapshot; replaced (never mutated) by the injector.
+  std::atomic<const DualStore::Snapshot*> snapshot_{nullptr};
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<uint64_t> applied_batches_{0};
+  Status poisoned_ = Status::OK();  // injector-thread state
 };
 
 }  // namespace dskg::core

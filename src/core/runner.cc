@@ -202,7 +202,7 @@ Result<RunMetrics> WorkloadRunner::RunImpl(const Workload& workload,
 
 namespace {
 
-/// Per-predicate partition sizes of the active replica (quiescent use).
+/// Per-predicate partition sizes of the active snapshot (quiescent use).
 std::unordered_map<rdf::TermId, uint64_t> PartitionSizes(
     const OnlineStore& store) {
   std::unordered_map<rdf::TermId, uint64_t> sizes;
@@ -248,7 +248,7 @@ Result<OnlineRunMetrics> WorkloadRunner::RunOnline(
   const WorkloadQuery* queries = workload.queries.data();
 
   // Prepared-query cache over the online store: each execution pins the
-  // replica active when it starts, and plans prepared before an update
+  // snapshot active when it starts, and plans prepared before an update
   // batch or a re-tune re-validate transparently (the plan epoch moved).
   Session session(store);
   auto run_query = [&](const WorkloadQuery& wq) {

@@ -167,15 +167,16 @@ class WorkloadRunner {
                                  int num_batches, int reps, int warmup);
 
   /// Online protocol: each query batch fans out on `pool` while this
-  /// thread — the single applier — concurrently publishes the window's
-  /// share of `updates` through `store` (queries never block on updates;
-  /// each sees some batch-boundary snapshot). Between windows the store
-  /// is quiesced and, when per-predicate statistics have drifted past
+  /// thread — the injector — concurrently publishes the window's share
+  /// of `updates` through `store` (the shard appliers build the next
+  /// copy-on-write snapshot; queries never block on updates, each sees
+  /// some batch-boundary snapshot). Between windows the store is
+  /// quiesced and, when per-predicate statistics have drifted past
   /// `options.drift_threshold` since the last tuning window, the tuner's
   /// `AfterBatch` re-runs over the finished window's complex subqueries
-  /// (DOTIL re-tunes against the drifted partition sizes) with both
-  /// replicas' accelerator state kept in sync. The constructor's
-  /// `DualStore` is not used by this path; `tuner_` may be null.
+  /// (DOTIL re-tunes against the drifted partition sizes). The
+  /// constructor's `DualStore` is not used by this path; `tuner_` may be
+  /// null.
   /// A null `pool` degrades to serial interleaving (updates first).
   Result<OnlineRunMetrics> RunOnline(OnlineStore* store,
                                      const workload::Workload& workload,

@@ -44,6 +44,7 @@ Status PreparedQuery::Bind(std::string_view param, std::string_view term) {
         entry_->text + "\"");
   }
   const Snapshot snap = session_->Pin();
+  DualStore::SnapshotScope scope(snap.view);
   const rdf::TermId id = snap.store->dict().Lookup(term);
   if (id == rdf::kInvalidTermId) {
     return Status::NotFound("term " + std::string(term) +
@@ -89,6 +90,10 @@ Result<std::vector<rdf::TermId>> PreparedQuery::ResolveForExecution(
 
 Result<QueryExecution> PreparedQuery::ExecuteAll() {
   Snapshot snap = session_->Pin();
+  // Everything from plan validation to the last row reads the pinned
+  // snapshot: over an OnlineStore the execution is wait-free against the
+  // applier and never sees a half-applied batch.
+  DualStore::SnapshotScope scope(snap.view);
   std::shared_ptr<const PreparedPlan> plan;
   DSKG_ASSIGN_OR_RETURN(std::vector<rdf::TermId> values,
                         ResolveForExecution(snap, &plan));
@@ -98,6 +103,7 @@ Result<QueryExecution> PreparedQuery::ExecuteAll() {
 
 Result<Cursor> PreparedQuery::OpenCursor() {
   Snapshot snap = session_->Pin();
+  DualStore::SnapshotScope scope(snap.view);
   std::shared_ptr<const PreparedPlan> plan;
   DSKG_ASSIGN_OR_RETURN(std::vector<rdf::TermId> values,
                         ResolveForExecution(snap, &plan));
@@ -108,7 +114,9 @@ Result<Cursor> PreparedQuery::OpenCursor() {
                              values.empty() ? nullptr : values.data()));
   cursor.plan_ = std::move(plan);
   // The cursor owns the snapshot pin from here: over an OnlineStore the
-  // pinned replica stays immutable until the cursor is destroyed.
+  // pinned snapshot stays immutable (and re-installed per Next) until
+  // the cursor is destroyed.
+  cursor.view_ = snap.view;
   cursor.pin_ = std::move(snap.guard);
   return cursor;
 }
@@ -120,6 +128,7 @@ Snapshot Session::Pin() const {
   if (online_ != nullptr) {
     snap.guard = online_->Read();
     snap.store = &snap.guard->store();
+    snap.view = &snap.guard->snapshot();
   } else {
     snap.store = dual_;
   }

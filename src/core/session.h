@@ -26,7 +26,7 @@
 ///
 /// Snapshots and invalidation: every execution runs against one
 /// consistent snapshot — over an `OnlineStore` each execution (and each
-/// cursor, for its whole lifetime) pins the replica that was active when
+/// cursor, for its whole lifetime) pins the snapshot that was active when
 /// it started, so concurrent `ApplyUpdates` never tear a result. Plans
 /// carry the store's `plan_epoch()`; when updates or re-tuning move it
 /// (graph residency, view catalog, dictionary contents), the next
@@ -99,10 +99,12 @@ struct CacheSlot {
 };
 
 /// An epoch-pinned view of the session's store: for an `OnlineStore` the
-/// guard keeps the resolved replica immutable; for a plain `DualStore`
-/// it is just the store pointer.
+/// guard keeps the published snapshot immutable and `view` points at it
+/// (executions install it as the thread's read source); for a plain
+/// `DualStore` it is just the store pointer and reads serve live state.
 struct Snapshot {
   const DualStore* store = nullptr;
+  const DualStore::Snapshot* view = nullptr;
   std::optional<OnlineStore::ReadGuard> guard;
 };
 
@@ -115,8 +117,11 @@ class Cursor {
   /// Replaces `*chunk` with the next `max_rows` (or fewer) rows; `*done`
   /// turns true once the result set is exhausted. Graph-route cursors
   /// traverse incrementally — abandoning the cursor early really does
-  /// skip the remaining work.
+  /// skip the remaining work. Each pull re-installs the cursor's pinned
+  /// snapshot, so the traversal keeps reading the state it started on no
+  /// matter how many batches publish in between.
   Status Next(sparql::BindingTable* chunk, size_t max_rows, bool* done) {
+    DualStore::SnapshotScope scope(view_);
     return impl_.Next(chunk, max_rows, done);
   }
 
@@ -135,7 +140,8 @@ class Cursor {
   Cursor() = default;
 
   std::shared_ptr<const PreparedPlan> plan_;       // keeps the plan alive
-  std::optional<OnlineStore::ReadGuard> pin_;      // keeps the replica alive
+  std::optional<OnlineStore::ReadGuard> pin_;      // keeps the snapshot alive
+  const DualStore::Snapshot* view_ = nullptr;      // pinned snapshot (or null)
   ExecutionCursor impl_;
 };
 

@@ -7,8 +7,9 @@
 ///
 /// Updates carry term *strings*, not ids — an insert may introduce terms
 /// no store has interned yet, and keeping the log id-free lets the same
-/// batch be replayed against independently-encoded store replicas (the
-/// left-right `OnlineStore` applies every batch to both of its sides).
+/// batch be replayed against independently-encoded stores (the sharded
+/// `OnlineStore` resolves ids in op order at injection, so a log recorded
+/// under one shard count replays identically under any other).
 ///
 /// A batch is the atomicity and visibility unit: `DualStore::ApplyUpdates`
 /// applies one batch to every structure of one store (triple table, all

@@ -12,16 +12,10 @@ using rdf::Triple;
 Status PropertyGraph::ImportPartition(TermId predicate,
                                       const std::vector<Triple>& triples,
                                       CostMeter* meter) {
-  if (HasPredicate(predicate)) {
+  Shard& sh = shards_[static_cast<size_t>(ShardOf(predicate))];
+  if (sh.partitions.find(predicate) != sh.partitions.end()) {
     return Status::AlreadyExists("partition " + std::to_string(predicate) +
                                  " already resident");
-  }
-  if (capacity_triples_ > 0 &&
-      used_triples_ + triples.size() > capacity_triples_) {
-    return Status::CapacityExceeded(
-        "importing " + std::to_string(triples.size()) + " triples exceeds " +
-        std::to_string(capacity_triples_) + "-triple budget (" +
-        std::to_string(used_triples_) + " used)");
   }
   for (const Triple& t : triples) {
     if (t.predicate != predicate) {
@@ -30,59 +24,72 @@ Status PropertyGraph::ImportPartition(TermId predicate,
           " in partition " + std::to_string(predicate));
     }
   }
-  Partition part;
+  if (!TryReserve(triples.size())) {
+    return Status::CapacityExceeded(
+        "importing " + std::to_string(triples.size()) + " triples exceeds " +
+        std::to_string(capacity_triples_) + "-triple budget (" +
+        std::to_string(used_.load(std::memory_order_relaxed)) + " used)");
+  }
+  auto part = std::make_unique<Partition>();
   for (const Triple& t : triples) {
-    AddEdge(&part, t.subject, t.object);
+    AddEdge(part.get(), t.subject, t.object);
     if (meter != nullptr) meter->Add(Op::kImportTriple);
   }
-  used_triples_ += triples.size();
-  partitions_.emplace(predicate, std::move(part));
+  sh.partitions.emplace(predicate, std::move(part));
+  if (deferred_) sh.fresh.insert(predicate);
   return Status::OK();
 }
 
 Status PropertyGraph::EvictPartition(TermId predicate, CostMeter* meter) {
-  auto it = partitions_.find(predicate);
-  if (it == partitions_.end()) {
+  Shard& sh = shards_[static_cast<size_t>(ShardOf(predicate))];
+  auto it = sh.partitions.find(predicate);
+  if (it == sh.partitions.end()) {
     return Status::NotFound("partition " + std::to_string(predicate) +
                             " not resident");
   }
-  const uint64_t n = it->second.edges.size();
+  const uint64_t n = it->second->edges.size();
   if (meter != nullptr) meter->Add(Op::kEvictTriple, n);
-  used_triples_ -= n;
-  partitions_.erase(it);
+  used_.fetch_sub(n, std::memory_order_relaxed);
+  if (deferred_) {
+    // A published snapshot may still traverse the partition: keep the
+    // object alive until the shard's post-drain reclamation.
+    sh.retired.push_back(std::move(it->second));
+    sh.fresh.erase(predicate);
+  }
+  sh.partitions.erase(it);
   return Status::OK();
 }
 
 Status PropertyGraph::InsertTriple(const Triple& t, CostMeter* meter) {
-  auto it = partitions_.find(t.predicate);
-  if (it == partitions_.end()) {
+  Shard& sh = shards_[static_cast<size_t>(ShardOf(t.predicate))];
+  Partition* part = Own(&sh, t.predicate);
+  if (part == nullptr) {
     return Status::NotFound("partition " + std::to_string(t.predicate) +
                             " not resident; single inserts only extend "
                             "loaded partitions");
   }
-  if (capacity_triples_ > 0 && used_triples_ + 1 > capacity_triples_) {
+  if (!TryReserve(1)) {
     return Status::CapacityExceeded("graph store is full");
   }
-  AddEdge(&it->second, t.subject, t.object);
-  ++used_triples_;
+  AddEdge(part, t.subject, t.object);
   if (meter != nullptr) meter->Add(Op::kImportTriple);
   return Status::OK();
 }
 
 Status PropertyGraph::RemoveTriple(const Triple& t, CostMeter* meter) {
-  auto it = partitions_.find(t.predicate);
-  if (it == partitions_.end()) {
+  Shard& sh = shards_[static_cast<size_t>(ShardOf(t.predicate))];
+  Partition* part = Own(&sh, t.predicate);
+  if (part == nullptr) {
     return Status::NotFound("partition " + std::to_string(t.predicate) +
                             " not resident");
   }
-  Partition& part = it->second;
-  auto edge = std::find(part.edges.begin(), part.edges.end(),
+  auto edge = std::find(part->edges.begin(), part->edges.end(),
                         std::make_pair(t.subject, t.object));
-  if (edge == part.edges.end()) {
+  if (edge == part->edges.end()) {
     return Status::NotFound("edge not present in partition " +
                             std::to_string(t.predicate));
   }
-  part.edges.erase(edge);  // first occurrence; order preserved
+  part->edges.erase(edge);  // first occurrence; order preserved
   auto drop_one = [](std::unordered_map<TermId, std::vector<TermId>>* adj,
                      TermId v, TermId neighbor) {
     auto vit = adj->find(v);
@@ -91,53 +98,105 @@ Status PropertyGraph::RemoveTriple(const Triple& t, CostMeter* meter) {
     if (nit != vit->second.end()) vit->second.erase(nit);
     if (vit->second.empty()) adj->erase(vit);
   };
-  drop_one(&part.out, t.subject, t.object);
-  drop_one(&part.in, t.object, t.subject);
-  --used_triples_;
+  drop_one(&part->out, t.subject, t.object);
+  drop_one(&part->in, t.object, t.subject);
+  used_.fetch_sub(1, std::memory_order_relaxed);
   if (meter != nullptr) meter->Add(Op::kEvictTriple);
   return Status::OK();
 }
 
 std::vector<TermId> PropertyGraph::LoadedPredicates() const {
   std::vector<TermId> out;
-  out.reserve(partitions_.size());
-  for (const auto& [p, _] : partitions_) out.push_back(p);
+  if (const Snapshot* snap = CurrentSnapshot()) {
+    out.reserve(snap->parts.size());
+    for (const auto& [p, _] : snap->parts) out.push_back(p);
+    return out;  // snapshot is already sorted by predicate
+  }
+  for (const Shard& sh : shards_) {
+    for (const auto& [p, _] : sh.partitions) out.push_back(p);
+  }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 uint64_t PropertyGraph::PartitionTriples(TermId predicate) const {
-  auto it = partitions_.find(predicate);
-  return it == partitions_.end() ? 0 : it->second.edges.size();
+  const Partition* part = Find(predicate);
+  return part == nullptr ? 0 : part->edges.size();
+}
+
+uint64_t PropertyGraph::used_triples() const {
+  if (const Snapshot* snap = CurrentSnapshot()) return snap->used_triples;
+  return used_.load(std::memory_order_relaxed);
 }
 
 uint64_t PropertyGraph::FreeTriples() const {
   if (capacity_triples_ == 0) {
     return std::numeric_limits<uint64_t>::max();
   }
-  return capacity_triples_ - used_triples_;
+  return capacity_triples_ - used_triples();
 }
 
 const std::vector<TermId>* PropertyGraph::OutNeighbors(
     TermId v, TermId predicate) const {
-  auto it = partitions_.find(predicate);
-  if (it == partitions_.end()) return nullptr;
-  auto vit = it->second.out.find(v);
-  return vit == it->second.out.end() ? nullptr : &vit->second;
+  const Partition* part = Find(predicate);
+  if (part == nullptr) return nullptr;
+  auto vit = part->out.find(v);
+  return vit == part->out.end() ? nullptr : &vit->second;
 }
 
 const std::vector<TermId>* PropertyGraph::InNeighbors(
     TermId v, TermId predicate) const {
-  auto it = partitions_.find(predicate);
-  if (it == partitions_.end()) return nullptr;
-  auto vit = it->second.in.find(v);
-  return vit == it->second.in.end() ? nullptr : &vit->second;
+  const Partition* part = Find(predicate);
+  if (part == nullptr) return nullptr;
+  auto vit = part->in.find(v);
+  return vit == part->in.end() ? nullptr : &vit->second;
 }
 
 const std::vector<std::pair<TermId, TermId>>& PropertyGraph::Edges(
     TermId predicate) const {
   static const std::vector<std::pair<TermId, TermId>> kEmpty;
-  auto it = partitions_.find(predicate);
-  return it == partitions_.end() ? kEmpty : it->second.edges;
+  const Partition* part = Find(predicate);
+  return part == nullptr ? kEmpty : part->edges;
+}
+
+const PropertyGraph::Partition* PropertyGraph::Find(TermId predicate) const {
+  if (const Snapshot* snap = CurrentSnapshot()) {
+    const auto it = std::lower_bound(
+        snap->parts.begin(), snap->parts.end(), predicate,
+        [](const auto& entry, TermId p) { return entry.first < p; });
+    if (it == snap->parts.end() || it->first != predicate) return nullptr;
+    return it->second;
+  }
+  const Shard& sh = shards_[static_cast<size_t>(ShardOf(predicate))];
+  const auto it = sh.partitions.find(predicate);
+  return it == sh.partitions.end() ? nullptr : it->second.get();
+}
+
+PropertyGraph::Partition* PropertyGraph::Own(Shard* sh, TermId predicate) {
+  auto it = sh->partitions.find(predicate);
+  if (it == sh->partitions.end()) return nullptr;
+  if (!deferred_ || sh->fresh.count(predicate) != 0) return it->second.get();
+  // Batch's first touch of a published partition: mutate a clone, retire
+  // the original until the drain proves its snapshot readers finished.
+  auto clone = std::make_unique<Partition>(*it->second);
+  sh->retired.push_back(std::move(it->second));
+  it->second = std::move(clone);
+  sh->fresh.insert(predicate);
+  return it->second.get();
+}
+
+PropertyGraph::Snapshot PropertyGraph::MakeSnapshot() const {
+  Snapshot snap;
+  snap.owner = this;
+  for (const Shard& sh : shards_) {
+    for (const auto& [p, part] : sh.partitions) {
+      snap.parts.emplace_back(p, part.get());
+    }
+  }
+  snap.used_triples = used_.load(std::memory_order_relaxed);
+  std::sort(snap.parts.begin(), snap.parts.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return snap;
 }
 
 void PropertyGraph::AddEdge(Partition* part, TermId s, TermId o) {

@@ -19,10 +19,29 @@
 ///     per-tuple weight in the cost model).
 /// Partitions are imported and evicted whole, which is exactly the
 /// granularity DOTIL tunes.
+///
+/// Share-nothing sharding: partitions are split across `num_shards`
+/// sub-shards by `predicate % num_shards`, each with its own partition
+/// map, so the online store's per-shard appliers maintain disjoint state.
+/// The triple budget stays global — an atomic reservation counter — so
+/// capacity decisions (and the tuner's eviction planning against
+/// `FreeTriples`) are identical at every shard count. One shard (the
+/// default) is exactly the unsharded store.
+///
+/// Snapshot reads + copy-on-write partitions (online mode): partitions are
+/// held by pointer; under `SetDeferredReclaim(true)` a mutation clones the
+/// partition on the batch's first touch and retires the original, so a
+/// `MakeSnapshot` taken earlier keeps serving the untouched copy. Readers
+/// install a snapshot with `ReadScope`; retired partitions are destroyed
+/// by `ReclaimShard` after the epoch drain.
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <set>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/cost.h"
@@ -33,19 +52,35 @@ namespace dskg::graphstore {
 
 /// A capacity-bounded, partition-granular property graph.
 class PropertyGraph {
+  struct Partition {
+    std::vector<std::pair<rdf::TermId, rdf::TermId>> edges;
+    std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> out;
+    std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> in;
+  };
+
  public:
   /// \param capacity_triples  maximum triples resident at once
   ///                          (0 = unlimited, for tests / Table 1).
-  explicit PropertyGraph(uint64_t capacity_triples = 0)
-      : capacity_triples_(capacity_triples) {}
+  /// \param num_shards        share-nothing predicate sub-shards.
+  explicit PropertyGraph(uint64_t capacity_triples = 0, int num_shards = 1)
+      : capacity_triples_(capacity_triples),
+        shards_(static_cast<size_t>(num_shards < 1 ? 1 : num_shards)) {}
 
   PropertyGraph(const PropertyGraph&) = delete;
   PropertyGraph& operator=(const PropertyGraph&) = delete;
 
+  /// Number of share-nothing predicate sub-shards.
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// The sub-shard owning `predicate`'s partition.
+  int ShardOf(rdf::TermId predicate) const {
+    return static_cast<int>(predicate % shards_.size());
+  }
+
   /// Bulk-imports the partition of `predicate`. All triples must carry
   /// that predicate. Fails with AlreadyExists if the partition is loaded
-  /// and with CapacityExceeded if it does not fit. Charges one
-  /// `kImportTriple` per triple.
+  /// and with CapacityExceeded if it does not fit its sub-shard's slice
+  /// of the budget. Charges one `kImportTriple` per triple.
   Status ImportPartition(rdf::TermId predicate,
                          const std::vector<rdf::Triple>& triples,
                          CostMeter* meter);
@@ -67,7 +102,7 @@ class PropertyGraph {
 
   /// True if `predicate`'s partition is resident.
   bool HasPredicate(rdf::TermId predicate) const {
-    return partitions_.find(predicate) != partitions_.end();
+    return Find(predicate) != nullptr;
   }
 
   /// Resident predicates in ascending id order (deterministic).
@@ -76,7 +111,7 @@ class PropertyGraph {
   /// Number of triples in `predicate`'s resident partition (0 if absent).
   uint64_t PartitionTriples(rdf::TermId predicate) const;
 
-  uint64_t used_triples() const { return used_triples_; }
+  uint64_t used_triples() const;
   uint64_t capacity_triples() const { return capacity_triples_; }
   /// Remaining capacity in triples (max value when unlimited).
   uint64_t FreeTriples() const;
@@ -96,19 +131,109 @@ class PropertyGraph {
   const std::vector<std::pair<rdf::TermId, rdf::TermId>>& Edges(
       rdf::TermId predicate) const;
 
- private:
-  struct Partition {
-    std::vector<std::pair<rdf::TermId, rdf::TermId>> edges;
-    std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> out;
-    std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> in;
+  // ---- snapshots (the online store's concurrent read path) --------------
+
+  /// An immutable view: the resident partitions (by pointer — valid until
+  /// `ReclaimShard` destroys the retired originals) plus usage totals.
+  /// Capture at a write-quiescent point; read through `ReadScope`.
+  struct Snapshot {
+    const PropertyGraph* owner = nullptr;
+    /// Resident partitions sorted by predicate id.
+    std::vector<std::pair<rdf::TermId, const Partition*>> parts;
+    uint64_t used_triples = 0;
   };
 
-  void AddEdge(Partition* part, rdf::TermId s, rdf::TermId o);
+  /// Captures the current state. Quiescent only.
+  Snapshot MakeSnapshot() const;
 
-  // Ordered map keeps LoadedPredicates() deterministic.
-  std::map<rdf::TermId, Partition> partitions_;
+  /// Installs `snap` as this thread's read source for the owning graph
+  /// (nests; restores the previous source on destruction). A null
+  /// snapshot, or one owned by another graph, leaves reads live.
+  class ReadScope {
+   public:
+    explicit ReadScope(const Snapshot* snap) : prev_(tls_snapshot_) {
+      tls_snapshot_ = snap;
+    }
+    ReadScope(const ReadScope&) = delete;
+    ReadScope& operator=(const ReadScope&) = delete;
+    ~ReadScope() { tls_snapshot_ = prev_; }
+
+   private:
+    const Snapshot* prev_;
+  };
+
+  // ---- copy-on-write control (the online store's write path) ------------
+
+  /// Switches between in-place partition mutation (offline, default) and
+  /// clone-on-first-touch with deferred destruction (online). Toggle only
+  /// while quiescent.
+  void SetDeferredReclaim(bool on) { deferred_ = on; }
+
+  /// Starts a batch on one sub-shard: partitions mutated from now on are
+  /// cloned on first touch (shard-local; called by the shard's applier).
+  void BeginShardBatch(int shard) {
+    shards_[static_cast<size_t>(shard)].fresh.clear();
+  }
+
+  /// Destroys one sub-shard's retired partition copies. Call after the
+  /// epoch protocol proves no reader still holds a snapshot referencing
+  /// them. Returns the number destroyed.
+  size_t ReclaimShard(int shard) {
+    Shard& sh = shards_[static_cast<size_t>(shard)];
+    const size_t n = sh.retired.size();
+    sh.retired.clear();
+    return n;
+  }
+
+ private:
+  /// One share-nothing sub-shard. Mutated only by its owning applier (or
+  /// the single offline writer).
+  struct Shard {
+    // Ordered map keeps LoadedPredicates() deterministic.
+    std::map<rdf::TermId, std::unique_ptr<Partition>> partitions;
+    std::set<rdf::TermId> fresh;  ///< partitions owned by the current batch
+    std::vector<std::unique_ptr<Partition>> retired;  ///< awaiting drain
+  };
+
+  static void AddEdge(Partition* part, rdf::TermId s, rdf::TermId o);
+
+  /// Reserves `n` triples of the global budget; false when they do not
+  /// fit. CAS loop: concurrent shard appliers never overshoot.
+  bool TryReserve(uint64_t n) {
+    if (capacity_triples_ == 0) {
+      used_.fetch_add(n, std::memory_order_relaxed);
+      return true;
+    }
+    uint64_t cur = used_.load(std::memory_order_relaxed);
+    do {
+      if (cur + n > capacity_triples_) return false;
+    } while (!used_.compare_exchange_weak(cur, cur + n,
+                                          std::memory_order_relaxed));
+    return true;
+  }
+
+  /// The partition to read for `predicate`: the installed snapshot's, or
+  /// the live one.
+  const Partition* Find(rdf::TermId predicate) const;
+
+  /// The partition to *write* for `predicate` in `sh` (clone-on-first-
+  /// touch under deferred reclamation). Null if not resident.
+  Partition* Own(Shard* sh, rdf::TermId predicate);
+
+  /// This thread's installed snapshot if it belongs to this graph.
+  const Snapshot* CurrentSnapshot() const {
+    const Snapshot* s = tls_snapshot_;
+    return (s != nullptr && s->owner == this) ? s : nullptr;
+  }
+
   uint64_t capacity_triples_;
-  uint64_t used_triples_ = 0;
+  /// Global resident-triple count (atomic: shard appliers reserve and
+  /// release concurrently).
+  std::atomic<uint64_t> used_{0};
+  std::vector<Shard> shards_;
+  bool deferred_ = false;
+
+  inline static thread_local const Snapshot* tls_snapshot_ = nullptr;
 };
 
 }  // namespace dskg::graphstore

@@ -52,12 +52,12 @@ uint64_t Dataset::RemoveBatch(
   return removed;
 }
 
-Dataset Dataset::Clone() const {
-  Dataset out;
+Dataset Dataset::Clone(int dict_slices) const {
+  Dataset out(dict_slices);
   // Pre-size the clone's dictionary (id table, hash index, one arena
-  // chunk of exactly the source's text bytes) and triple list: replica
-  // rebuilds — the OnlineStore constructor and retired-replica replay —
-  // run O(chunks) allocations instead of growing every table.
+  // chunk of exactly the source's text bytes) and triple list: rebuilds —
+  // the OnlineStore constructor in particular — run O(chunks)
+  // allocations instead of growing every table.
   out.dict_->Reserve(dict_->size(), dict_->text_bytes());
   out.triples_.reserve(triples_.size());
   for (const Triple& t : triples_) {

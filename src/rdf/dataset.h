@@ -35,7 +35,11 @@ struct PartitionStats {
 /// A knowledge graph held in memory.
 class Dataset {
  public:
-  Dataset() : dict_(std::make_unique<Dictionary>()) {}
+  /// `dict_slices` shards the dictionary's arenas by term hash (the
+  /// online store passes its shard count); one slice — the default — is
+  /// the exact unsliced layout and id assignment.
+  explicit Dataset(int dict_slices = 1)
+      : dict_(std::make_unique<Dictionary>(dict_slices)) {}
 
   Dataset(const Dataset&) = delete;
   Dataset& operator=(const Dataset&) = delete;
@@ -56,13 +60,13 @@ class Dataset {
   /// The online applier calls this once per update batch.
   uint64_t RemoveBatch(const std::unordered_set<Triple, TripleHash>& batch);
 
-  /// Deep copy: a new dataset with its own dictionary, built by re-adding
-  /// this dataset's triples in insertion order. Term ids are assigned in
-  /// first-occurrence order, so two clones of the same dataset are
-  /// id-identical to each other (the left-right store replicas rely on
-  /// this); ids match the source's unless the source interned terms that
-  /// no triple uses.
-  Dataset Clone() const;
+  /// Deep copy: a new dataset with its own dictionary (of `dict_slices`
+  /// slices), built by re-adding this dataset's triples in insertion
+  /// order. Term ids are assigned in first-occurrence order, so two
+  /// same-slice-count clones of the same dataset are id-identical to each
+  /// other; with one slice, ids match the source's unless the source
+  /// interned terms that no triple uses.
+  Dataset Clone(int dict_slices = 1) const;
 
   /// All triples, in insertion order.
   const std::vector<Triple>& triples() const { return triples_; }

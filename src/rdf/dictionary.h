@@ -6,7 +6,7 @@
 ///
 /// Memory layout — *interned-string arena*: term text lives in an
 /// append-only byte arena (a list of fixed-size chunks that never move),
-/// each id owning one `{chunk, offset, len}` span. The forward index is an
+/// each id owning one `{ptr, len, cap}` span. The forward index is an
 /// open-addressing (linear-probing) hash table of term ids hashed by their
 /// span's text, probed heterogeneously with a `string_view`, so `Intern`
 /// and `Lookup` allocate nothing — hit or miss. Compared to the historical
@@ -15,113 +15,215 @@
 /// ~24 bytes of fixed per-term metadata instead of two `std::string`
 /// headers plus a hash-map node.
 ///
+/// Slices: the dictionary is split into `num_slices` share-nothing slices
+/// routed by term hash, each owning its own arena, span table, index and
+/// free list. Ids interleave — `id = local * num_slices + slice` — so ids
+/// from different slices stay globally unique and comparable, and with one
+/// slice (the default) id assignment is exactly the unsliced dictionary's.
+/// The online store sizes the slice count to its shard count so per-slice
+/// arenas grow independently; interning remains single-writer (the
+/// injector) because a term's slice is its hash, not its triple's shard.
+///
+/// Concurrent reads: `Lookup`/`TermOf`/`Contains` are safe to call from
+/// any number of reader threads while the single writer interns. Spans
+/// live in a `StableVector` (addresses never move), spans point straight
+/// into arena chunk storage (readers never touch the chunk table), and
+/// the probe index is a heap table of atomic slots republished wholesale
+/// on growth — a reader sees a term exactly when the writer's release
+/// store of its slot has been observed.
+///
 /// `string_view`s returned by `TermOf` point into the arena and stay valid
 /// for as long as the term is live (chunks never move or shrink); the
 /// bytes of a term whose refcount reached zero may be overwritten when its
 /// id is recycled.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/stable_vector.h"
 #include "common/status.h"
 #include "rdf/triple.h"
 
 namespace dskg::rdf {
 
 /// Interns term strings, assigning dense ids 0, 1, 2, ... in first-seen
-/// order. Lookup is O(1) expected in both directions and allocation-free.
+/// order (interleaved across slices when `num_slices > 1`). Lookup is O(1)
+/// expected in both directions and allocation-free.
 ///
 /// Terms are usage-counted for the online-update path: every stored triple
 /// occurrence `Retain`s its three ids, deletion `Release`s them, and a term
 /// whose count drops to zero is forgotten — its id joins the free list and
 /// is recycled by the next `Intern` (LIFO, so id assignment is a
-/// deterministic function of the operation sequence; the left-right store
-/// replicas rely on that to stay id-aligned). The freed id keeps its arena
-/// extent: a recycled term whose text fits the old extent is written in
-/// place, so churn at a steady term population stops growing the arena.
-/// Ids retained at least once are stable for as long as any triple uses
-/// them.
+/// deterministic function of the operation sequence). The freed id keeps
+/// its arena extent: a recycled term whose text fits the old extent is
+/// written in place, so churn at a steady term population stops growing
+/// the arena. Ids retained at least once are stable for as long as any
+/// triple uses them.
+///
+/// Deferred reclamation (`SetDeferredReclaim(true)`, the online store's
+/// mode): a zero-refcount term is not erased immediately — concurrent
+/// epoch-pinned readers may still look it up or read its text. Instead it
+/// retires in two stages driven by `ReclaimDeferred()`, which the store
+/// calls once per batch *after* its epoch drain: the first call tombstones
+/// the term's index slot (lookups stop finding it; a term re-interned
+/// before this resurrects with its old id, matching the serial path's
+/// LIFO-recycled assignment); the second returns the id to the free list
+/// and lets its text bytes be overwritten. Offline (the default), a
+/// zero-refcount term is erased and recycled immediately — the exact
+/// historical semantics.
 class Dictionary {
  public:
-  Dictionary() = default;
+  explicit Dictionary(int num_slices = 1)
+      : slices_(static_cast<size_t>(num_slices < 1 ? 1 : num_slices)) {}
 
-  // Movable but not copyable: a dictionary is typically shared by pointer.
   Dictionary(const Dictionary&) = delete;
   Dictionary& operator=(const Dictionary&) = delete;
-  Dictionary(Dictionary&&) = default;
-  Dictionary& operator=(Dictionary&&) = default;
+  Dictionary(Dictionary&&) = delete;
+  Dictionary& operator=(Dictionary&&) = delete;
 
-  /// Pre-sizes the id table, hash index and text arena — the bulk-load /
-  /// replica-rebuild path (`Dataset::Clone`) passes the source's exact
-  /// totals so the rebuild performs O(chunks) allocations instead of
-  /// growing incrementally. An allocation hint only; never shrinks.
+  ~Dictionary() {
+    for (Slice& s : slices_) delete s.table.load(std::memory_order_relaxed);
+  }
+
+  /// Number of share-nothing hash slices.
+  int num_slices() const { return static_cast<int>(slices_.size()); }
+
+  /// Switches between immediate (offline, default) and epoch-deferred
+  /// (online) reclamation of zero-refcount terms. Toggle only while
+  /// quiescent with no zombies outstanding.
+  void SetDeferredReclaim(bool on) { deferred_ = on; }
+
+  /// Pre-sizes the id tables, hash indexes and text arenas — the
+  /// bulk-load / rebuild path (`Dataset::Clone`) passes the source's
+  /// exact totals so the rebuild performs O(chunks) allocations instead
+  /// of growing incrementally. An allocation hint only; never shrinks.
   void Reserve(size_t num_terms, uint64_t total_text_bytes) {
-    spans_.reserve(num_terms);
-    refs_.reserve(num_terms);
-    size_t want_slots = 16;
-    while (want_slots * 7 < num_terms * 10) want_slots *= 2;
-    if (want_slots > slots_.size()) Rehash(want_slots);
-    if (total_text_bytes > 0) ReserveArena(total_text_bytes);
+    const size_t per_terms = num_terms / slices_.size();
+    const uint64_t per_bytes = total_text_bytes / slices_.size();
+    for (Slice& s : slices_) {
+      s.spans.reserve(per_terms);
+      s.refs.reserve(per_terms);
+      size_t want_slots = 16;
+      while (want_slots * 7 < per_terms * 10) want_slots *= 2;
+      const SlotTable* t = s.table.load(std::memory_order_relaxed);
+      if (t == nullptr || want_slots > t->size) Rehash(&s, want_slots);
+      if (per_bytes > 0) ReserveArena(&s, per_bytes);
+    }
   }
 
   /// Returns the id for `term`, interning it if new (recycled ids first).
   /// Allocation-free on hit (heterogeneous `string_view` probe of the
-  /// open-addressing index).
+  /// open-addressing index). Single writer.
   TermId Intern(std::string_view term) {
     const uint64_t hash = HashTerm(term);
-    const TermId found = FindId(term, hash);
-    if (found != kInvalidTermId) return found;
-    TermId id;
-    if (!free_ids_.empty()) {
-      id = free_ids_.back();
-      free_ids_.pop_back();
-      WriteSpan(&spans_[id], term);
-    } else {
-      id = spans_.size();
-      Span s;
-      WriteSpan(&s, term);
-      spans_.push_back(s);
-      refs_.push_back(0);
+    Slice& sl = slices_[hash % slices_.size()];
+    const TermId found = FindLocal(sl, term, hash);
+    if (found != kInvalidTermId) {
+      // May be a hit on a stage-one zombie (deferred mode): the term
+      // resurrects with its old id — exactly the id the serial path's
+      // LIFO recycling would reassign. `ReclaimDeferred` skips it once
+      // the caller's `Retain` lands.
+      return ToGlobal(sl, found);
     }
-    InsertSlot(id, hash);
-    bytes_ += term.size();
-    return id;
+    TermId local;
+    if (!sl.free_local.empty()) {
+      local = sl.free_local.back();
+      sl.free_local.pop_back();
+      WriteSpan(&sl, &sl.spans[local], term);
+    } else {
+      local = static_cast<TermId>(sl.spans.size());
+      Span& s = sl.spans.emplace_back();
+      WriteSpan(&sl, &s, term);
+      sl.refs.push_back(0);
+    }
+    InsertSlot(&sl, local, hash);
+    sl.bytes += term.size();
+    return ToGlobal(sl, local);
   }
 
   /// Records one usage of `id` (callers: one per triple occurrence).
   void Retain(TermId id) {
-    if (id < refs_.size()) ++refs_[id];
+    Slice& sl = SliceOf(id);
+    const TermId local = ToLocal(id);
+    if (local < sl.refs.size()) ++sl.refs[local];
   }
 
   /// Releases one usage of `id`. At zero the term is forgotten: `Lookup`
-  /// stops finding it, its text bytes become reusable, and the id joins
-  /// the free list. Unretained or already-free ids are ignored.
+  /// stops finding it (immediately offline; after the next
+  /// `ReclaimDeferred` online), its text bytes become reusable, and the
+  /// id joins the free list. Unretained or already-free ids are ignored.
   void Release(TermId id) {
-    if (id >= refs_.size() || refs_[id] == 0) return;
-    if (--refs_[id] > 0) return;
-    Span& s = spans_[id];
-    EraseSlot(id, HashTerm(TextOf(s)));
-    bytes_ -= s.len;
+    Slice& sl = SliceOf(id);
+    const TermId local = ToLocal(id);
+    if (local >= sl.refs.size() || sl.refs[local] == 0) return;
+    if (--sl.refs[local] > 0) return;
+    if (deferred_) {
+      // Leave slot, span and byte accounting intact: epoch-pinned readers
+      // may still find the term, and a same-window re-intern resurrects
+      // it. `ReclaimDeferred` finishes the job after the drain.
+      sl.zombies_stage1.push_back(local);
+      return;
+    }
+    Span& s = sl.spans[local];
+    EraseSlot(&sl, local, HashTerm(TextOf(s)));
+    sl.bytes -= s.len;
     s.len = 0;  // TermOf of a freed id reads as empty; extent kept for reuse
-    free_ids_.push_back(id);
+    sl.free_local.push_back(local);
+  }
+
+  /// Deferred-mode reclamation step; call once per update batch, after
+  /// the epoch protocol proves the batch's readers drained. Stage one
+  /// tombstones the index slots of terms released in the just-drained
+  /// window (skipping any that were re-interned meanwhile); stage two
+  /// recycles the ids tombstoned by the *previous* call, whose text no
+  /// published state can reach any more. Also frees index tables retired
+  /// by growth.
+  void ReclaimDeferred() {
+    for (Slice& sl : slices_) {
+      for (const TermId local : sl.zombies_stage2) {
+        sl.spans[local].len = 0;
+        sl.free_local.push_back(local);
+      }
+      sl.zombies_stage2.clear();
+      for (const TermId local : sl.zombies_stage1) {
+        if (sl.refs[local] > 0) continue;  // resurrected; still live
+        Span& s = sl.spans[local];
+        TombstoneSlot(&sl, local, HashTerm(TextOf(s)));
+        sl.bytes -= s.len;
+        sl.zombies_stage2.push_back(local);
+      }
+      sl.zombies_stage1.clear();
+      sl.retired_tables.clear();
+    }
   }
 
   /// Current usage count of `id` (0 for unretained or freed ids).
   uint64_t RefCount(TermId id) const {
-    return id < refs_.size() ? refs_[id] : 0;
+    const Slice& sl = SliceOf(id);
+    const TermId local = ToLocal(id);
+    return local < sl.refs.size() ? sl.refs[local] : 0;
   }
 
   /// Number of freed ids awaiting reuse.
-  size_t free_ids() const { return free_ids_.size(); }
+  size_t free_ids() const {
+    size_t n = 0;
+    for (const Slice& sl : slices_) n += sl.free_local.size();
+    return n;
+  }
 
   /// Returns the id for `term` if present, `kInvalidTermId` otherwise.
-  /// Allocation-free (heterogeneous `string_view` probe).
+  /// Allocation-free (heterogeneous `string_view` probe); safe against a
+  /// concurrent writer.
   TermId Lookup(std::string_view term) const {
-    return FindId(term, HashTerm(term));
+    const uint64_t hash = HashTerm(term);
+    const Slice& sl = slices_[hash % slices_.size()];
+    const TermId local = FindLocal(sl, term, hash);
+    return local == kInvalidTermId ? kInvalidTermId : ToGlobal(sl, local);
   }
 
   /// True if `term` has been interned.
@@ -129,46 +231,72 @@ class Dictionary {
     return Lookup(term) != kInvalidTermId;
   }
 
-  /// Returns the text for `id` as a view into the arena. Requires
-  /// `id < size()`. Valid while the term stays live (freed ids read as
-  /// empty until recycled; recycling may overwrite the bytes).
-  std::string_view TermOf(TermId id) const { return TextOf(spans_.at(id)); }
+  /// Returns the text for `id` as a view into the arena. Requires a
+  /// previously assigned id. Valid while the term stays live (freed ids
+  /// read as empty until recycled; recycling may overwrite the bytes).
+  std::string_view TermOf(TermId id) const {
+    const Slice& sl = SliceOf(id);
+    return TextOf(sl.spans[ToLocal(id)]);
+  }
 
   /// Returns the string for `id` or an error if out of range.
   Result<std::string> TermOfChecked(TermId id) const {
-    if (id >= spans_.size()) {
+    const Slice& sl = SliceOf(id);
+    const TermId local = ToLocal(id);
+    if (local >= sl.spans.size()) {
       return Status::NotFound("term id " + std::to_string(id) +
                               " not in dictionary of size " +
-                              std::to_string(spans_.size()));
+                              std::to_string(size()));
     }
-    return std::string(TextOf(spans_[id]));
+    return std::string(TextOf(sl.spans[local]));
   }
 
   /// Size of the id space (live terms plus freed slots awaiting reuse).
-  size_t size() const { return spans_.size(); }
+  /// With several slices this counts assigned ids, whose *values*
+  /// interleave (an id may exceed `size()` when slices are unbalanced).
+  size_t size() const {
+    size_t n = 0;
+    for (const Slice& sl : slices_) n += sl.spans.size();
+    return n;
+  }
 
   /// Total bytes of interned term text (used for size reporting).
-  uint64_t text_bytes() const { return bytes_; }
+  uint64_t text_bytes() const {
+    uint64_t n = 0;
+    for (const Slice& sl : slices_) n += sl.bytes;
+    return n;
+  }
 
   /// Bytes allocated for arena chunks (includes reusable freed extents
   /// and chunk tails). Deterministic for a given operation sequence.
-  uint64_t arena_bytes() const { return arena_bytes_; }
+  uint64_t arena_bytes() const {
+    uint64_t n = 0;
+    for (const Slice& sl : slices_) n += sl.arena_bytes;
+    return n;
+  }
 
   /// Total storage-tier footprint: arena chunks plus span/refcount/index
   /// tables. Deterministic for a given operation sequence (counts table
   /// sizes, not vector capacities).
   uint64_t MemoryBytes() const {
-    return arena_bytes_ + spans_.size() * sizeof(Span) +
-           refs_.size() * sizeof(uint64_t) + slots_.size() * sizeof(TermId) +
-           free_ids_.size() * sizeof(TermId);
+    uint64_t n = 0;
+    for (const Slice& sl : slices_) {
+      const SlotTable* t = sl.table.load(std::memory_order_relaxed);
+      n += sl.arena_bytes + sl.spans.size() * sizeof(Span) +
+           sl.refs.size() * sizeof(uint64_t) +
+           (t != nullptr ? t->size : 0) * sizeof(TermId) +
+           sl.free_local.size() * sizeof(TermId);
+    }
+    return n;
   }
 
  private:
-  /// One term's extent in the arena. `cap` is the extent's full size: a
-  /// recycled id whose new text fits `cap` reuses the bytes in place.
+  /// One term's extent in the arena. `ptr` aims straight at chunk storage
+  /// so readers never touch the chunk table; `cap` is the extent's full
+  /// size — a recycled id whose new text fits `cap` reuses the bytes in
+  /// place.
   struct Span {
-    uint32_t chunk = 0;
-    uint32_t offset = 0;
+    char* ptr = nullptr;
     uint32_t len = 0;
     uint32_t cap = 0;
   };
@@ -179,13 +307,56 @@ class Dictionary {
     uint32_t used = 0;
   };
 
+  /// Published probe index: a power-of-two table of *local* ids. Replaced
+  /// wholesale on growth (readers keep probing whichever table they
+  /// loaded; superseded tables die after the epoch drain).
+  struct SlotTable {
+    explicit SlotTable(size_t n) : slots(new std::atomic<TermId>[n]), size(n) {
+      for (size_t i = 0; i < n; ++i) {
+        slots[i].store(kInvalidTermId, std::memory_order_relaxed);
+      }
+    }
+    std::unique_ptr<std::atomic<TermId>[]> slots;
+    size_t size;
+  };
+
+  /// Slot value marking a deferred-mode deletion: probes continue past it
+  /// (unlike `kInvalidTermId`), and inserts never reuse it — the slot is
+  /// compacted away by the next growth rehash.
+  static constexpr TermId kTombstone = kInvalidTermId - 1;
+
   static constexpr uint32_t kChunkSize = 1 << 16;
+
+  /// One share-nothing hash slice. All non-atomic state is single-writer.
+  struct Slice {
+    std::vector<Chunk> chunks;          ///< arena; chunk storage never moves
+    StableVector<Span> spans;           ///< per-local-id text extent
+    std::vector<uint64_t> refs;         ///< usage count per local id
+    std::vector<TermId> free_local;     ///< recycled local ids, LIFO
+    std::atomic<SlotTable*> table{nullptr};  ///< published probe index
+    size_t occupied = 0;                ///< live + tombstoned slots
+    uint64_t bytes = 0;                 ///< live text bytes
+    uint64_t arena_bytes = 0;           ///< allocated chunk bytes
+    std::vector<TermId> zombies_stage1;  ///< released, pre-drain
+    std::vector<TermId> zombies_stage2;  ///< tombstoned, text still pinned
+    std::vector<std::unique_ptr<SlotTable>> retired_tables;
+  };
+
+  Slice& SliceOf(TermId id) { return slices_[id % slices_.size()]; }
+  const Slice& SliceOf(TermId id) const { return slices_[id % slices_.size()]; }
+  TermId ToLocal(TermId id) const {
+    return id / static_cast<TermId>(slices_.size());
+  }
+  TermId ToGlobal(const Slice& sl, TermId local) const {
+    return local * static_cast<TermId>(slices_.size()) +
+           static_cast<TermId>(&sl - slices_.data());
+  }
 
   std::string_view TextOf(const Span& s) const {
     // Zero-length spans (the empty term, or a freed id awaiting reuse)
     // may reference no chunk at all — never dereference through them.
     if (s.len == 0) return {};
-    return {chunks_[s.chunk].data.get() + s.offset, s.len};
+    return {s.ptr, s.len};
   }
 
   /// FNV-1a; self-contained so the probe order is platform-independent.
@@ -199,109 +370,158 @@ class Dictionary {
   }
 
   /// Appends a chunk able to hold at least `min(need, ~4 GiB)` more
-  /// bytes. Span offsets are 32-bit, so one chunk cannot exceed 4 GiB —
+  /// bytes. Extents are 32-bit-sized, so one chunk cannot exceed 4 GiB —
   /// a `Reserve` hint beyond that gets the largest possible chunk and
   /// the remainder grows incrementally (never a silently tiny chunk).
-  void ReserveArena(uint64_t need) {
+  void ReserveArena(Slice* sl, uint64_t need) {
     const uint32_t cap = static_cast<uint32_t>(std::min<uint64_t>(
         std::max<uint64_t>(kChunkSize, need), 0xFFFFFFFFull));
-    chunks_.push_back({std::make_unique<char[]>(cap), cap, 0});
-    arena_bytes_ += cap;
+    sl->chunks.push_back({std::make_unique<char[]>(cap), cap, 0});
+    sl->arena_bytes += cap;
   }
 
   /// Places `term`'s bytes: in the span's existing extent when it fits
-  /// (the recycle path), else in fresh arena space.
-  void WriteSpan(Span* s, std::string_view term) {
+  /// (the recycle path), else in fresh arena space. The span is only
+  /// published to readers afterwards (release store of its slot).
+  void WriteSpan(Slice* sl, Span* s, std::string_view term) {
     const uint32_t len = static_cast<uint32_t>(term.size());
     if (len == 0) {
       s->len = 0;  // the empty term needs no extent (see TextOf)
       return;
     }
     if (len > s->cap) {
-      if (chunks_.empty() || chunks_.back().cap - chunks_.back().used < len) {
-        ReserveArena(len);
+      if (sl->chunks.empty() ||
+          sl->chunks.back().cap - sl->chunks.back().used < len) {
+        ReserveArena(sl, len);
       }
-      Chunk& c = chunks_.back();
-      s->chunk = static_cast<uint32_t>(chunks_.size() - 1);
-      s->offset = c.used;
+      Chunk& c = sl->chunks.back();
+      s->ptr = c.data.get() + c.used;
       s->cap = len;
       c.used += len;
     }
     s->len = len;
-    std::copy(term.begin(), term.end(),
-              chunks_[s->chunk].data.get() + s->offset);
+    std::copy(term.begin(), term.end(), s->ptr);
   }
 
   // ---- open-addressing forward index (linear probing) ---------------------
 
-  size_t Mask() const { return slots_.size() - 1; }
-
-  TermId FindId(std::string_view term, uint64_t hash) const {
-    if (slots_.empty()) return kInvalidTermId;
-    size_t i = hash & Mask();
-    while (slots_[i] != kInvalidTermId) {
-      if (TextOf(spans_[slots_[i]]) == term) return slots_[i];
-      i = (i + 1) & Mask();
-    }
-    return kInvalidTermId;
-  }
-
-  void Rehash(size_t new_size) {
-    std::vector<TermId> old = std::move(slots_);
-    slots_.assign(new_size, kInvalidTermId);
-    for (TermId id : old) {
-      if (id == kInvalidTermId) continue;
-      size_t i = HashTerm(TextOf(spans_[id])) & Mask();
-      while (slots_[i] != kInvalidTermId) i = (i + 1) & Mask();
-      slots_[i] = id;
+  TermId FindLocal(const Slice& sl, std::string_view term,
+                   uint64_t hash) const {
+    const SlotTable* t = sl.table.load(std::memory_order_acquire);
+    if (t == nullptr) return kInvalidTermId;
+    const size_t mask = t->size - 1;
+    size_t i = hash & mask;
+    for (;;) {
+      const TermId local = t->slots[i].load(std::memory_order_acquire);
+      if (local == kInvalidTermId) return kInvalidTermId;
+      if (local != kTombstone && TextOf(sl.spans[local]) == term) return local;
+      i = (i + 1) & mask;
     }
   }
 
-  void InsertSlot(TermId id, uint64_t hash) {
-    if (slots_.empty() || (live_ + 1) * 10 > slots_.size() * 7) {
-      Rehash(slots_.empty() ? 16 : slots_.size() * 2);
+  /// Builds and publishes a fresh table of `new_size` slots (compacting
+  /// tombstones away). The superseded table stays probe-safe for readers
+  /// that already loaded it: retired under deferred reclamation, deleted
+  /// immediately offline (no concurrent readers exist there).
+  void Rehash(Slice* sl, size_t new_size) {
+    SlotTable* old = sl->table.load(std::memory_order_relaxed);
+    auto fresh = std::make_unique<SlotTable>(new_size);
+    size_t live = 0;
+    if (old != nullptr) {
+      const size_t mask = new_size - 1;
+      for (size_t i = 0; i < old->size; ++i) {
+        const TermId local = old->slots[i].load(std::memory_order_relaxed);
+        if (local == kInvalidTermId || local == kTombstone) continue;
+        size_t j = HashTerm(TextOf(sl->spans[local])) & mask;
+        while (fresh->slots[j].load(std::memory_order_relaxed) !=
+               kInvalidTermId) {
+          j = (j + 1) & mask;
+        }
+        fresh->slots[j].store(local, std::memory_order_relaxed);
+        ++live;
+      }
     }
-    size_t i = hash & Mask();
-    while (slots_[i] != kInvalidTermId) i = (i + 1) & Mask();
-    slots_[i] = id;
-    ++live_;
+    sl->occupied = live;
+    sl->table.store(fresh.release(), std::memory_order_release);
+    if (old != nullptr) {
+      if (deferred_) {
+        sl->retired_tables.emplace_back(old);
+      } else {
+        delete old;
+      }
+    }
   }
 
-  /// Backward-shift deletion: no tombstones, so the load factor only
-  /// counts live entries and probe chains stay short under churn.
-  void EraseSlot(TermId id, uint64_t hash) {
-    if (slots_.empty()) return;
-    size_t i = hash & Mask();
-    while (slots_[i] != id) {
-      if (slots_[i] == kInvalidTermId) return;  // not indexed (defensive)
-      i = (i + 1) & Mask();
+  void InsertSlot(Slice* sl, TermId local, uint64_t hash) {
+    SlotTable* t = sl->table.load(std::memory_order_relaxed);
+    if (t == nullptr || (sl->occupied + 1) * 10 > t->size * 7) {
+      Rehash(sl, t == nullptr ? 16 : t->size * 2);
+      t = sl->table.load(std::memory_order_relaxed);
+    }
+    const size_t mask = t->size - 1;
+    size_t i = hash & mask;
+    // Never reuse a tombstone: readers mid-probe rely on the slot's value
+    // only ever going live -> tombstone until the next table swap.
+    while (t->slots[i].load(std::memory_order_relaxed) != kInvalidTermId) {
+      i = (i + 1) & mask;
+    }
+    t->slots[i].store(local, std::memory_order_release);
+    ++sl->occupied;
+  }
+
+  /// Backward-shift deletion (offline mode only): no tombstones, so the
+  /// load factor only counts live entries and probe chains stay short
+  /// under churn. Unsafe against concurrent readers — deferred mode uses
+  /// `TombstoneSlot` instead.
+  void EraseSlot(Slice* sl, TermId local, uint64_t hash) {
+    SlotTable* t = sl->table.load(std::memory_order_relaxed);
+    if (t == nullptr) return;
+    const size_t mask = t->size - 1;
+    const auto at = [&](size_t i) {
+      return t->slots[i].load(std::memory_order_relaxed);
+    };
+    size_t i = hash & mask;
+    while (at(i) != local) {
+      if (at(i) == kInvalidTermId) return;  // not indexed (defensive)
+      i = (i + 1) & mask;
     }
     size_t hole = i;
-    size_t j = (i + 1) & Mask();
-    while (slots_[j] != kInvalidTermId) {
-      const size_t ideal = HashTerm(TextOf(spans_[slots_[j]])) & Mask();
-      // slots_[j] may fill the hole iff its probe path [ideal, j) passes
+    size_t j = (i + 1) & mask;
+    while (at(j) != kInvalidTermId) {
+      const size_t ideal = HashTerm(TextOf(sl->spans[at(j)])) & mask;
+      // slots[j] may fill the hole iff its probe path [ideal, j) passes
       // through the hole (cyclically).
       const bool reaches = ideal <= j ? (ideal <= hole && hole < j)
                                       : (hole >= ideal || hole < j);
       if (reaches) {
-        slots_[hole] = slots_[j];
+        t->slots[hole].store(at(j), std::memory_order_relaxed);
         hole = j;
       }
-      j = (j + 1) & Mask();
+      j = (j + 1) & mask;
     }
-    slots_[hole] = kInvalidTermId;
-    --live_;
+    t->slots[hole].store(kInvalidTermId, std::memory_order_relaxed);
+    --sl->occupied;
   }
 
-  std::vector<Chunk> chunks_;     ///< arena; chunk storage never moves
-  std::vector<Span> spans_;       ///< per-id text extent
-  std::vector<uint64_t> refs_;    ///< usage count per id
-  std::vector<TermId> free_ids_;  ///< recycled ids, LIFO
-  std::vector<TermId> slots_;     ///< open-addressing index (power of two)
-  size_t live_ = 0;               ///< entries in `slots_`
-  uint64_t bytes_ = 0;            ///< live text bytes
-  uint64_t arena_bytes_ = 0;      ///< allocated chunk bytes
+  /// Deferred-mode deletion: marks the slot dead without disturbing the
+  /// probe chains concurrent readers are walking. The slot stays counted
+  /// in `occupied` until a growth rehash compacts it away.
+  void TombstoneSlot(Slice* sl, TermId local, uint64_t hash) {
+    SlotTable* t = sl->table.load(std::memory_order_relaxed);
+    if (t == nullptr) return;
+    const size_t mask = t->size - 1;
+    size_t i = hash & mask;
+    for (;;) {
+      const TermId cur = t->slots[i].load(std::memory_order_relaxed);
+      if (cur == local) break;
+      if (cur == kInvalidTermId) return;  // not indexed (defensive)
+      i = (i + 1) & mask;
+    }
+    t->slots[i].store(kTombstone, std::memory_order_release);
+  }
+
+  std::vector<Slice> slices_;
+  bool deferred_ = false;
 };
 
 }  // namespace dskg::rdf

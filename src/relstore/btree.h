@@ -5,8 +5,8 @@
 /// In-memory B+-tree used for the relational store's secondary indexes.
 ///
 /// The tree stores fixed-width composite keys (permuted triples) in sorted
-/// order in its leaves, which are linked for range scans — the classic
-/// RDBMS secondary-index layout. Operations:
+/// order in its leaves — the classic RDBMS secondary-index layout.
+/// Operations:
 ///
 ///   * `Insert(key)`    — O(log n), duplicates ignored (set semantics)
 ///   * `Erase(key)`     — O(log n), full delete with underflow handling:
@@ -15,20 +15,36 @@
 ///                        stays balanced under sustained deletion (the
 ///                        online-update subsystem deletes continuously)
 ///   * `LowerBound(key)`— O(log n) descent, then an iterator that walks
-///                        leaves left to right
+///                        leaves left to right via a parent stack
 ///
 /// Memory layout — *pool-allocated fixed-capacity nodes*: nodes are flat
 /// structs with inline `Key[kMaxKeys + 1]` arrays (the +1 is overflow
-/// slack so a split runs after the insert, as the historical vector-based
-/// layout did), addressed by `uint32_t` node ids instead of `unique_ptr`s.
-/// Leaves and inner nodes live in two per-tree slabs (`std::vector`), so a
-/// leaf spends no bytes on a child array and an inner node none on leaf
-/// links; the id's top bit tags which pool it points into. No per-node
-/// heap allocation, no per-key vector capacity slack, half-width links,
-/// and nodes freed by merges are recycled through per-pool LIFO free
-/// lists, so sustained churn at constant size allocates nothing at all.
-/// The slabs make footprint accounting exact (`MemoryBytes`) and can be
-/// pre-sized for a bulk load (`Reserve`).
+/// slack so a split runs after the insert), addressed by `uint32_t` node
+/// ids instead of `unique_ptr`s. Leaves and inner nodes live in two
+/// per-tree chunked slabs (`StableVector`) whose element addresses never
+/// move, so concurrent snapshot readers can traverse nodes while the
+/// writer allocates; the id's top bit tags which pool it points into.
+/// Nodes freed by merges are recycled through per-pool LIFO free lists,
+/// so sustained churn at constant size allocates nothing at all.
+///
+/// Copy-on-write snapshots (the online store's read path): with
+/// `SetCopyOnWrite(true)`, every mutation first clones the root-to-leaf
+/// path it touches into fresh pool nodes (`BeginCowBatch` bounds what
+/// counts as already-owned), leaving every node reachable from a
+/// previously published root byte-for-byte intact. The writer publishes
+/// the new `root()` per batch; superseded nodes park on a pending-reclaim
+/// list until `ReclaimRetired()` — called only after
+/// `EpochManager::WaitUntilDrained` proves no reader can still be
+/// traversing them — returns their slots to the free lists. Readers
+/// therefore traverse an immutable tree for the price of one root id, and
+/// the store keeps ONE copy of the data plus per-batch path deltas
+/// (O(batch · height) nodes) instead of a full second replica. Offline
+/// (the default), mutations edit nodes in place exactly as before — same
+/// pool growth, same free-list order, same bytes.
+///
+/// Read entry points come in root-parameterized form (`ContainsAt`,
+/// `LowerBoundAt`, `BeginAt`, `ShardStartsAt`) used by snapshot readers,
+/// with the classic forms reading the live root.
 ///
 /// Split heuristic: a leaf split normally divides keys evenly, but when
 /// the overflowing insert landed at the leaf's first or last slot — an
@@ -39,9 +55,9 @@
 /// run-boundary leaf can sit below the half-full occupancy bound until a
 /// deletion touches it, which `Erase`'s borrow/merge already handles.
 ///
-/// Invalidation: mutating the tree may grow the slabs, so `Iterator`s are
-/// only stable across const operations (the same contract the engines
-/// already rely on — scans never straddle mutations).
+/// Invalidation: live-root `Iterator`s are only stable across const
+/// operations. Snapshot-root iterators stay valid until `ReclaimRetired`
+/// recycles that snapshot's nodes (the epoch protocol's job to prevent).
 ///
 /// The node fan-out is deliberately page-like (`kMaxKeys` = 64) so that a
 /// root-to-leaf descent has realistic depth for the cost model's
@@ -50,7 +66,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <unordered_set>
 #include <vector>
+
+#include "common/stable_vector.h"
 
 namespace dskg::relstore {
 
@@ -62,16 +81,20 @@ class BPlusTree {
   static constexpr int kMaxKeys = 64;
   static constexpr int kMinKeys = kMaxKeys / 2;
 
- private:
   /// Pool-tagged node handle: the top bit selects the leaf pool, the rest
-  /// indexes into it.
+  /// indexes into it. Exposed so snapshot owners can hold a published
+  /// root; treat as opaque.
   using NodeId = uint32_t;
   static constexpr NodeId kNoNode = 0xFFFFFFFFu;
+
+ private:
   static constexpr NodeId kLeafBit = 0x80000000u;
+  /// Deepest descent the iterator stack supports; fan-out 65 makes even
+  /// 2^32 keys fit in 6 levels.
+  static constexpr int kMaxDepth = 16;
 
   struct LeafNode {
     uint16_t num_keys = 0;
-    NodeId next_leaf = kNoNode;
     /// One slot of overflow slack: an insert may briefly hold
     /// kMaxKeys + 1 keys before the split restores the bound.
     Key keys[kMaxKeys + 1];
@@ -88,8 +111,8 @@ class BPlusTree {
 
   BPlusTree(const BPlusTree&) = delete;
   BPlusTree& operator=(const BPlusTree&) = delete;
-  BPlusTree(BPlusTree&&) = default;
-  BPlusTree& operator=(BPlusTree&&) = default;
+  BPlusTree(BPlusTree&&) = delete;
+  BPlusTree& operator=(BPlusTree&&) = delete;
 
   /// Pre-sizes the leaf pool for roughly `num_keys` keys at ~2/3
   /// occupancy (inner nodes are two orders of magnitude fewer and grow
@@ -98,6 +121,41 @@ class BPlusTree {
     leaves_.reserve(num_keys / (kMaxKeys * 2 / 3) + 4);
   }
 
+  // ---- copy-on-write control (single writer) ------------------------------
+
+  /// Switches mutation mode. Offline (false, the default) mutations edit
+  /// nodes in place. Online (true) every mutation clones the path it
+  /// touches, preserving all nodes reachable from previously published
+  /// roots. Toggle only while no snapshot is outstanding.
+  void SetCopyOnWrite(bool on) { cow_ = on; }
+
+  /// Starts a new copy-on-write batch: nodes cloned or allocated from now
+  /// on are owned by this batch and may be edited in place; everything
+  /// older is cloned on first touch. Publish `root()` when the batch is
+  /// done.
+  void BeginCowBatch() { fresh_.clear(); }
+
+  /// Returns every pending-reclaim node slot to the free lists. Call only
+  /// after the epoch protocol proves no reader still traverses a root
+  /// that references them. Returns the number of slots recycled.
+  size_t ReclaimRetired() {
+    const size_t n = retired_.size();
+    for (const NodeId id : retired_) {
+      if (IsLeaf(id)) {
+        free_leaves_.push_back(id);
+      } else {
+        free_inners_.push_back(id);
+      }
+    }
+    retired_.clear();
+    return n;
+  }
+
+  /// The current root handle. A published root plus the immutability
+  /// guarantee of copy-on-write mode is a consistent snapshot of the
+  /// whole tree.
+  NodeId root() const { return root_; }
+
   /// Builds the tree from strictly ascending `sorted_keys` at full leaf
   /// occupancy, bottom-up, replacing the current (empty) contents — the
   /// fresh-load path. Versus inserting one by one, packed leaves roughly
@@ -105,20 +163,23 @@ class BPlusTree {
   /// later insert into a packed leaf simply splits it, and the rightmost
   /// leaf/tail inner may hold fewer than `kMinKeys` entries until a
   /// deletion touches them (same as a split-heuristic run boundary).
-  /// Requires `empty()` and `sorted_keys` strictly increasing.
+  /// Requires `empty()`, `sorted_keys` strictly increasing, and no
+  /// outstanding snapshot (bulk loads precede online publication).
   void BulkBuild(const std::vector<Key>& sorted_keys) {
     assert(empty());
+    assert(retired_.empty());
     leaves_.clear();
     inners_.clear();
     free_leaves_.clear();
     free_inners_.clear();
+    fresh_.clear();
     height_ = 1;
     if (sorted_keys.empty()) {
       root_ = AllocLeaf();
       return;
     }
     const size_t n = sorted_keys.size();
-    // Level 0: packed leaves, chained left to right.
+    // Level 0: packed leaves, left to right.
     leaves_.reserve((n + kMaxKeys - 1) / kMaxKeys);
     std::vector<NodeId> level;       // current level's nodes
     std::vector<Key> level_first;    // first key of each node's subtree
@@ -130,7 +191,6 @@ class BPlusTree {
       std::copy(sorted_keys.begin() + static_cast<ptrdiff_t>(i),
                 sorted_keys.begin() + static_cast<ptrdiff_t>(i + cnt),
                 leaf.keys);
-      if (!level.empty()) Leaf(level.back()).next_leaf = id;
       level.push_back(id);
       level_first.push_back(sorted_keys[i]);
     }
@@ -163,6 +223,7 @@ class BPlusTree {
 
   /// Inserts `key`. Returns true if inserted, false if already present.
   bool Insert(const Key& key) {
+    root_ = EnsureOwned(root_);
     InsertResult r = InsertRec(root_, key);
     if (!r.inserted) return false;
     if (r.split_right != kNoNode) {
@@ -185,35 +246,41 @@ class BPlusTree {
   /// from an adjacent sibling when that sibling can spare it and merges
   /// with the sibling otherwise, keeping deletion-touched nodes at least
   /// half full — the occupancy bound the cost model's `kIndexProbe` depth
-  /// and `ShardStarts`'s leaf-granular sharding both assume. The leaf
-  /// chain is relinked on merges, so range scans and shard boundaries
-  /// stay exact under sustained deletion (the online-update subsystem's
-  /// steady state). Nodes emptied by merges return to their pool's free
-  /// list.
+  /// and `ShardStarts`'s leaf-granular sharding both assume. Nodes
+  /// emptied by merges return to their pool's free list (offline) or park
+  /// on the pending-reclaim list (copy-on-write).
   bool Erase(const Key& key) {
+    root_ = EnsureOwned(root_);
     if (!EraseRec(root_, key)) return false;
     if (!IsLeaf(root_) && Inner(root_).num_keys == 0) {
       // Root collapse: shrink the tree by one level.
       const NodeId old_root = root_;
       root_ = Inner(root_).children[0];
-      FreeNode(old_root);
+      DiscardNode(old_root);
       --height_;
     }
     --size_;
     return true;
   }
 
-  /// True if `key` is present.
-  bool Contains(const Key& key) const {
-    const LeafNode& leaf = Leaf(Descend(key));
+  /// True if `key` is present (live root).
+  bool Contains(const Key& key) const { return ContainsAt(root_, key); }
+
+  /// True if `key` is present under snapshot root `root`.
+  bool ContainsAt(NodeId root, const Key& key) const {
+    const LeafNode& leaf = Leaf(Descend(root, key));
     const Key* end = leaf.keys + leaf.num_keys;
     const Key* it = std::lower_bound(leaf.keys, end, key);
     return it != end && !(key < *it) && !(*it < key);
   }
 
-  /// Forward iterator over keys in sorted order, starting at a leaf slot.
-  /// Stable only while the tree is not mutated (mutations may grow or
-  /// recycle the node pools underneath).
+  /// Forward iterator over keys in sorted order. Holds the root-to-leaf
+  /// descent path inline, advancing across leaves through the deepest
+  /// ancestor with an unvisited child — no leaf links, so a snapshot
+  /// reader touches only nodes reachable from its root. Stable while the
+  /// nodes under its root are not edited or reclaimed: for the live root
+  /// that means across const operations only; for a published
+  /// copy-on-write root, until the snapshot is drained and reclaimed.
   class Iterator {
    public:
     Iterator() = default;
@@ -222,47 +289,97 @@ class BPlusTree {
 
     const Key& operator*() const {
       assert(!AtEnd());
-      return tree_->Leaf(leaf_).keys[slot_];
+      const Frame& f = path_[depth_ - 1];
+      return tree_->Leaf(f.id).keys[f.idx];
     }
 
     Iterator& operator++() {
       assert(!AtEnd());
-      ++slot_;
-      SkipEmpty();
+      Frame& f = path_[depth_ - 1];
+      ++f.idx;
+      if (f.idx >= tree_->Leaf(f.id).num_keys) NextLeaf();
       return *this;
     }
 
    private:
     friend class BPlusTree;
-    Iterator(const BPlusTree* tree, NodeId leaf, size_t slot)
-        : tree_(tree), leaf_(leaf), slot_(slot) {
-      SkipEmpty();
+    struct Frame {
+      NodeId id = kNoNode;
+      uint16_t idx = 0;  ///< child index (inner frames) / key slot (leaf)
+    };
+
+    /// Positions at the first key >= `*lower` (or the first key overall
+    /// when `lower` is null) under `root`.
+    Iterator(const BPlusTree* tree, NodeId root, const Key* lower)
+        : tree_(tree) {
+      NodeId id = root;
+      while (!IsLeaf(id)) {
+        const InnerNode& node = tree_->Inner(id);
+        const uint16_t ci =
+            lower == nullptr
+                ? uint16_t{0}
+                : static_cast<uint16_t>(ChildIndex(node, *lower));
+        assert(depth_ < kMaxDepth);
+        path_[depth_++] = {id, ci};
+        id = node.children[ci];
+      }
+      const LeafNode& leaf = tree_->Leaf(id);
+      uint16_t slot = 0;
+      if (lower != nullptr) {
+        const Key* it =
+            std::lower_bound(leaf.keys, leaf.keys + leaf.num_keys, *lower);
+        slot = static_cast<uint16_t>(it - leaf.keys);
+      }
+      assert(depth_ < kMaxDepth);
+      path_[depth_++] = {id, slot};
+      if (slot >= leaf.num_keys) NextLeaf();
     }
 
-    void SkipEmpty() {
-      while (tree_ != nullptr) {
-        const LeafNode& leaf = tree_->Leaf(leaf_);
-        if (slot_ < leaf.num_keys) return;
-        if (leaf.next_leaf == kNoNode) {
-          tree_ = nullptr;
+    /// Abandons the current leaf and descends to the next one's first
+    /// key; ends the iterator when no ancestor has an unvisited child.
+    void NextLeaf() {
+      --depth_;  // pop the leaf frame
+      while (depth_ > 0) {
+        Frame& f = path_[depth_ - 1];
+        const InnerNode& node = tree_->Inner(f.id);
+        if (f.idx < node.num_keys) {  // children run 0..num_keys
+          ++f.idx;
+          NodeId id = node.children[f.idx];
+          while (!IsLeaf(id)) {
+            assert(depth_ < kMaxDepth);
+            path_[depth_++] = {id, 0};
+            id = tree_->Inner(id).children[0];
+          }
+          assert(depth_ < kMaxDepth);
+          path_[depth_++] = {id, 0};
+          // Non-root leaves hold >= 1 key (occupancy invariant), so the
+          // new position is valid.
           return;
         }
-        leaf_ = leaf.next_leaf;
-        slot_ = 0;
+        --depth_;
       }
+      tree_ = nullptr;
     }
 
     const BPlusTree* tree_ = nullptr;
-    NodeId leaf_ = 0;
-    size_t slot_ = 0;
+    Frame path_[kMaxDepth];
+    int depth_ = 0;
   };
 
-  /// Iterator positioned at the first key >= `key`.
-  Iterator LowerBound(const Key& key) const {
-    const NodeId id = Descend(key);
-    const LeafNode& leaf = Leaf(id);
-    const Key* it = std::lower_bound(leaf.keys, leaf.keys + leaf.num_keys, key);
-    return Iterator(this, id, static_cast<size_t>(it - leaf.keys));
+  /// Iterator positioned at the first key >= `key` (live root).
+  Iterator LowerBound(const Key& key) const { return LowerBoundAt(root_, key); }
+
+  /// Iterator positioned at the first key >= `key` under `root`.
+  Iterator LowerBoundAt(NodeId root, const Key& key) const {
+    return Iterator(this, root, &key);
+  }
+
+  /// Iterator over the whole tree in sorted order (live root).
+  Iterator Begin() const { return BeginAt(root_); }
+
+  /// Iterator over the whole snapshot under `root`.
+  Iterator BeginAt(NodeId root) const {
+    return Iterator(this, root, nullptr);
   }
 
   /// Splits the key range [first key >= `lo`, first key failing `within`)
@@ -272,23 +389,23 @@ class BPlusTree {
   /// larger keys (a range-end predicate such as a prefix match). Returns
   /// an empty vector when no key of the tree is in range. Shard i covers
   /// [result[i], result[i+1]) — the last shard is bounded by `within`
-  /// alone. Cost: one leaf-chain walk over the range (no key is visited
-  /// twice; O(#leaves in range)).
+  /// alone. Cost: one leaf walk over the range (no key is visited twice;
+  /// O(#leaves in range)).
   template <typename Pred>
   std::vector<Key> ShardStarts(const Key& lo, int max_shards,
                                Pred within) const {
+    return ShardStartsAt(root_, lo, max_shards, within);
+  }
+
+  template <typename Pred>
+  std::vector<Key> ShardStartsAt(NodeId root, const Key& lo, int max_shards,
+                                 Pred within) const {
     // Collect the first in-range key of every leaf overlapping the range.
     std::vector<Key> leaf_starts;
-    NodeId id = Descend(lo);
-    bool first_leaf = true;
-    for (; id != kNoNode; id = Leaf(id).next_leaf, first_leaf = false) {
-      const LeafNode& leaf = Leaf(id);
-      const Key* end = leaf.keys + leaf.num_keys;
-      const Key* it =
-          first_leaf ? std::lower_bound(leaf.keys, end, lo) : leaf.keys;
-      if (it == end) continue;  // empty(ied) leaf: skip
-      if (!within(*it)) break;  // past the range end
-      leaf_starts.push_back(*it);
+    for (Iterator it(this, root, &lo); !it.AtEnd(); it.NextLeaf()) {
+      const Key& first = *it;
+      if (!within(first)) break;  // past the range end
+      leaf_starts.push_back(first);
     }
     if (leaf_starts.empty() || max_shards <= 1) {
       if (!leaf_starts.empty()) return {leaf_starts.front()};
@@ -305,13 +422,6 @@ class BPlusTree {
     return out;
   }
 
-  /// Iterator over the whole tree in sorted order.
-  Iterator Begin() const {
-    NodeId id = root_;
-    while (!IsLeaf(id)) id = Inner(id).children[0];
-    return Iterator(this, id, 0);
-  }
-
   /// Number of keys stored.
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
@@ -320,13 +430,19 @@ class BPlusTree {
   /// `kIndexProbe` per descent regardless; height is exposed for tests.
   int height() const { return height_; }
 
-  /// Nodes currently reachable from the root (excludes free-listed slots).
+  /// Nodes currently reachable from the live root (excludes free-listed
+  /// slots and retired-but-undrained copy-on-write nodes).
   size_t live_nodes() const {
     return leaves_.size() + inners_.size() - free_leaves_.size() -
-           free_inners_.size();
+           free_inners_.size() - retired_.size();
   }
 
-  /// Pool slots ever allocated (live nodes + slots awaiting recycling).
+  /// Superseded copy-on-write nodes awaiting `ReclaimRetired` — still
+  /// allocated (old snapshots may traverse them) but no longer reachable
+  /// from the live root.
+  size_t pending_nodes() const { return retired_.size(); }
+
+  /// Pool slots ever allocated (live + pending-reclaim + free).
   size_t pool_nodes() const { return leaves_.size() + inners_.size(); }
 
   /// Free-listed node slots awaiting reuse (exposed for churn tests).
@@ -334,13 +450,15 @@ class BPlusTree {
     return free_leaves_.size() + free_inners_.size();
   }
 
-  /// Bytes of the node slabs plus free-list bookkeeping. Deterministic
-  /// for a given operation sequence (counts pool slots, not vector
-  /// capacity), which is what the bench baselines track as bytes/triple.
+  /// Bytes of the node slabs plus free-list and pending-reclaim
+  /// bookkeeping. Deterministic for a given operation sequence (counts
+  /// pool slots, not chunk capacity), which is what the bench baselines
+  /// track as bytes/triple.
   uint64_t MemoryBytes() const {
     return static_cast<uint64_t>(leaves_.size()) * sizeof(LeafNode) +
            static_cast<uint64_t>(inners_.size()) * sizeof(InnerNode) +
-           (free_leaves_.size() + free_inners_.size()) * sizeof(NodeId);
+           (free_leaves_.size() + free_inners_.size() + retired_.size()) *
+               sizeof(NodeId);
   }
 
  private:
@@ -357,9 +475,9 @@ class BPlusTree {
   InnerNode& Inner(NodeId id) { return inners_[id]; }
   const InnerNode& Inner(NodeId id) const { return inners_[id]; }
 
-  /// Root-to-leaf descent for `key`.
-  NodeId Descend(const Key& key) const {
-    NodeId id = root_;
+  /// Root-to-leaf descent for `key` under `root`.
+  NodeId Descend(NodeId root, const Key& key) const {
+    NodeId id = root;
     while (!IsLeaf(id)) {
       const InnerNode& node = Inner(id);
       id = node.children[ChildIndex(node, key)];
@@ -367,9 +485,10 @@ class BPlusTree {
     return id;
   }
 
-  /// Takes a slot from the pool's free list (LIFO) or grows the slab. Any
-  /// node reference held across a call may dangle (the slab can
-  /// reallocate): callers re-resolve ids afterwards.
+  /// Takes a slot from the pool's free list (LIFO) or grows the slab.
+  /// Slabs are chunked and never move, so node references held across a
+  /// call stay valid. In copy-on-write mode the new node is owned by the
+  /// current batch.
   NodeId AllocLeaf() {
     NodeId id;
     if (!free_leaves_.empty()) {
@@ -381,7 +500,7 @@ class BPlusTree {
     }
     LeafNode& leaf = Leaf(id);
     leaf.num_keys = 0;
-    leaf.next_leaf = kNoNode;
+    if (cow_) fresh_.insert(id);
     return id;
   }
 
@@ -395,10 +514,37 @@ class BPlusTree {
       inners_.emplace_back();
     }
     Inner(id).num_keys = 0;
+    if (cow_) fresh_.insert(id);
     return id;
   }
 
-  void FreeNode(NodeId id) {
+  /// Copy-on-write gate: a node the current batch does not own is cloned
+  /// into a fresh slot and the original parks on the pending-reclaim
+  /// list (readers of previously published roots may still traverse it).
+  /// Offline, or for batch-owned nodes, the id passes through untouched.
+  NodeId EnsureOwned(NodeId id) {
+    if (!cow_ || fresh_.count(id) != 0) return id;
+    if (IsLeaf(id)) {
+      const NodeId copy = AllocLeaf();
+      Leaf(copy) = Leaf(id);
+      retired_.push_back(id);
+      return copy;
+    }
+    const NodeId copy = AllocInner();
+    Inner(copy) = Inner(id);
+    retired_.push_back(id);
+    return copy;
+  }
+
+  /// Drops a node the tree no longer references: batch-owned (or
+  /// offline) nodes return straight to the free list; published nodes
+  /// park on the pending-reclaim list.
+  void DiscardNode(NodeId id) {
+    if (cow_ && fresh_.count(id) == 0) {
+      retired_.push_back(id);
+      return;
+    }
+    fresh_.erase(id);
     if (IsLeaf(id)) {
       free_leaves_.push_back(id);
     } else {
@@ -428,6 +574,9 @@ class BPlusTree {
     return static_cast<size_t>(it - node.keys);
   }
 
+  /// `id` is always batch-owned on entry (the caller cloned it), so its
+  /// fields may be edited in place; children are cloned on first touch as
+  /// the descent reaches them.
   InsertResult InsertRec(NodeId id, const Key& key) {
     if (IsLeaf(id)) {
       LeafNode& leaf = Leaf(id);
@@ -444,15 +593,15 @@ class BPlusTree {
       if (leaf.num_keys > kMaxKeys) SplitLeaf(id, slot, &r);
       return r;
     }
-    const size_t ci = ChildIndex(Inner(id), key);
-    const NodeId child = Inner(id).children[ci];
+    InnerNode& node = Inner(id);
+    const size_t ci = ChildIndex(node, key);
+    const NodeId child = EnsureOwned(node.children[ci]);
+    node.children[ci] = child;
     InsertResult child_r = InsertRec(child, key);
     if (!child_r.inserted) return {};
     InsertResult r;
     r.inserted = true;
     if (child_r.split_right != kNoNode) {
-      InnerNode& node = Inner(id);  // re-resolve: the recursion may have
-                                    // grown the slab
       ArrInsert(node.keys, node.num_keys, ci, child_r.split_key);
       ArrInsert(node.children, node.num_keys + 1, ci + 1,
                 child_r.split_right);
@@ -467,7 +616,7 @@ class BPlusTree {
   /// side nearly empty instead of halving (see the file comment).
   void SplitLeaf(NodeId id, size_t insert_slot, InsertResult* r) {
     const NodeId right_id = AllocLeaf();
-    LeafNode& leaf = Leaf(id);  // re-resolve after the alloc
+    LeafNode& leaf = Leaf(id);
     LeafNode& right = Leaf(right_id);
     uint16_t mid;
     if (insert_slot == static_cast<size_t>(leaf.num_keys) - 1) {
@@ -480,15 +629,13 @@ class BPlusTree {
     right.num_keys = leaf.num_keys - mid;
     std::copy(leaf.keys + mid, leaf.keys + leaf.num_keys, right.keys);
     leaf.num_keys = mid;
-    right.next_leaf = leaf.next_leaf;
-    leaf.next_leaf = right_id;
     r->split_key = right.keys[0];
     r->split_right = right_id;
   }
 
   void SplitInner(NodeId id, InsertResult* r) {
     const NodeId right_id = AllocInner();
-    InnerNode& node = Inner(id);  // re-resolve after the alloc
+    InnerNode& node = Inner(id);
     InnerNode& right = Inner(right_id);
     // keys[mid] moves up; keys right of it and children right of mid+1
     // move to the new node.
@@ -502,9 +649,8 @@ class BPlusTree {
     r->split_right = right_id;
   }
 
+  /// `id` is batch-owned on entry, like `InsertRec`.
   bool EraseRec(NodeId id, const Key& key) {
-    // The erase path never allocates, so node references stay valid
-    // across the recursion (FreeNode only pushes onto a free list).
     if (IsLeaf(id)) {
       LeafNode& leaf = Leaf(id);
       Key* end = leaf.keys + leaf.num_keys;
@@ -516,7 +662,8 @@ class BPlusTree {
     }
     InnerNode& node = Inner(id);
     const size_t ci = ChildIndex(node, key);
-    const NodeId child = node.children[ci];
+    const NodeId child = EnsureOwned(node.children[ci]);
+    node.children[ci] = child;
     if (!EraseRec(child, key)) return false;
     if (KeyCount(child) < kMinKeys) Rebalance(id, ci);
     return true;
@@ -529,7 +676,9 @@ class BPlusTree {
   /// Restores the occupancy invariant of child `ci` of `parent_id` after a
   /// deletion left it under-full: borrow from a sibling with spare keys,
   /// else merge with one. The parent itself may become under-full; the
-  /// caller's recursion handles that one level up.
+  /// caller's recursion handles that one level up. Siblings a borrow or
+  /// merge writes into are cloned first (copy-on-write mode); a sibling
+  /// that is merely read and discarded is retired, never edited.
   void Rebalance(NodeId parent_id, size_t ci) {
     const InnerNode& parent = Inner(parent_id);
     const bool has_left = ci > 0;
@@ -550,7 +699,8 @@ class BPlusTree {
   void BorrowFromLeft(NodeId parent_id, size_t ci) {
     InnerNode& parent = Inner(parent_id);
     const NodeId child_id = parent.children[ci];
-    const NodeId left_id = parent.children[ci - 1];
+    const NodeId left_id = EnsureOwned(parent.children[ci - 1]);
+    parent.children[ci - 1] = left_id;
     if (IsLeaf(child_id)) {
       LeafNode& child = Leaf(child_id);
       LeafNode& left = Leaf(left_id);
@@ -575,7 +725,8 @@ class BPlusTree {
   void BorrowFromRight(NodeId parent_id, size_t ci) {
     InnerNode& parent = Inner(parent_id);
     const NodeId child_id = parent.children[ci];
-    const NodeId right_id = parent.children[ci + 1];
+    const NodeId right_id = EnsureOwned(parent.children[ci + 1]);
+    parent.children[ci + 1] = right_id;
     if (IsLeaf(child_id)) {
       LeafNode& child = Leaf(child_id);
       LeafNode& right = Leaf(right_id);
@@ -600,22 +751,22 @@ class BPlusTree {
 
   /// Merges child `li + 1` into child `li` of `parent_id`. Both are
   /// at-or-below minimum occupancy, so the merged node fits within
-  /// `kMaxKeys`. Leaf merges relink the leaf chain; the emptied right
-  /// node returns to its pool's free list.
+  /// `kMaxKeys`. The absorbed right node is only read, so it needs no
+  /// clone; it is discarded (freed offline, retired under copy-on-write).
   void MergeChildren(NodeId parent_id, size_t li) {
     InnerNode& parent = Inner(parent_id);
-    const NodeId left_id = parent.children[li];
+    const NodeId left_id = EnsureOwned(parent.children[li]);
+    parent.children[li] = left_id;
     const NodeId right_id = parent.children[li + 1];
     if (IsLeaf(left_id)) {
       LeafNode& left = Leaf(left_id);
-      LeafNode& right = Leaf(right_id);
+      const LeafNode& right = Leaf(right_id);
       std::copy(right.keys, right.keys + right.num_keys,
                 left.keys + left.num_keys);
       left.num_keys += right.num_keys;
-      left.next_leaf = right.next_leaf;
     } else {
       InnerNode& left = Inner(left_id);
-      InnerNode& right = Inner(right_id);
+      const InnerNode& right = Inner(right_id);
       left.keys[left.num_keys] = parent.keys[li];
       std::copy(right.keys, right.keys + right.num_keys,
                 left.keys + left.num_keys + 1);
@@ -627,16 +778,19 @@ class BPlusTree {
     ArrRemove(parent.children, static_cast<size_t>(parent.num_keys) + 1,
               li + 1);
     --parent.num_keys;
-    FreeNode(right_id);
+    DiscardNode(right_id);
   }
 
-  std::vector<LeafNode> leaves_;      ///< leaf slab, indexed by id sans tag
-  std::vector<InnerNode> inners_;     ///< inner slab, indexed by id
+  StableVector<LeafNode> leaves_;     ///< leaf slab, indexed by id sans tag
+  StableVector<InnerNode> inners_;    ///< inner slab, indexed by id
   std::vector<NodeId> free_leaves_;   ///< recycled leaf slots, LIFO
   std::vector<NodeId> free_inners_;   ///< recycled inner slots, LIFO
+  std::vector<NodeId> retired_;       ///< superseded COW nodes, undrained
+  std::unordered_set<NodeId> fresh_;  ///< nodes owned by the current batch
   NodeId root_ = kNoNode;
   size_t size_ = 0;
   int height_ = 1;
+  bool cow_ = false;
 };
 
 }  // namespace dskg::relstore

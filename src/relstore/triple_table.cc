@@ -26,87 +26,111 @@ Triple TripleTable::KeyToTriple(Order order, const Key& k) {
 }
 
 bool TripleTable::Insert(const Triple& t, CostMeter* meter) {
-  if (!spo_.Insert(MakeKey(Order::kSPO, t))) return false;  // duplicate
-  pos_.Insert(MakeKey(Order::kPOS, t));
-  osp_.Insert(MakeKey(Order::kOSP, t));
-  ++num_rows_;
-  MutableStats& st = stats_[t.predicate];
+  SubShard& sh = shards_[static_cast<size_t>(ShardOf(t.predicate))];
+  if (!sh.spo.Insert(MakeKey(Order::kSPO, t))) return false;  // duplicate
+  sh.pos.Insert(MakeKey(Order::kPOS, t));
+  sh.osp.Insert(MakeKey(Order::kOSP, t));
+  ++sh.num_rows;
+  MutableStats& st = sh.stats[t.predicate];
   st.num_triples += 1;
   CountUp(&st.subjects, t.subject);
   CountUp(&st.objects, t.object);
-  CountUp(&all_subjects_, t.subject);
-  CountUp(&all_objects_, t.object);
+  CountUp(&sh.all_subjects, t.subject);
+  CountUp(&sh.all_objects, t.object);
   if (meter != nullptr) meter->Add(Op::kInsertTuple);
   return true;
 }
 
 bool TripleTable::RemoveTriple(const Triple& t, CostMeter* meter) {
-  if (!spo_.Erase(MakeKey(Order::kSPO, t))) return false;  // not stored
-  pos_.Erase(MakeKey(Order::kPOS, t));
-  osp_.Erase(MakeKey(Order::kOSP, t));
-  --num_rows_;
-  auto it = stats_.find(t.predicate);
+  SubShard& sh = shards_[static_cast<size_t>(ShardOf(t.predicate))];
+  if (!sh.spo.Erase(MakeKey(Order::kSPO, t))) return false;  // not stored
+  sh.pos.Erase(MakeKey(Order::kPOS, t));
+  sh.osp.Erase(MakeKey(Order::kOSP, t));
+  --sh.num_rows;
+  auto it = sh.stats.find(t.predicate);
   MutableStats& st = it->second;
   st.num_triples -= 1;
   CountDown(&st.subjects, t.subject);
   CountDown(&st.objects, t.object);
-  if (st.num_triples == 0) stats_.erase(it);
-  CountDown(&all_subjects_, t.subject);
-  CountDown(&all_objects_, t.object);
+  if (st.num_triples == 0) sh.stats.erase(it);
+  CountDown(&sh.all_subjects, t.subject);
+  CountDown(&sh.all_objects, t.object);
   if (meter != nullptr) meter->Add(Op::kRemoveTuple);
   return true;
 }
 
 void TripleTable::BulkLoad(const std::vector<Triple>& triples,
                            CostMeter* meter) {
-  if (num_rows_ != 0) {
+  if (size() != 0) {
     // Incremental top-up of a live table: per-key inserts.
-    Reserve(num_rows_ + triples.size());
+    Reserve(size() + triples.size());
     for (const Triple& t : triples) Insert(t, meter);
     return;
   }
-  // Fresh load: sort/unique once, then build each permutation bottom-up
-  // at full leaf occupancy (`BPlusTree::BulkBuild`) — ~half the slab
-  // bytes and none of the split churn of one-by-one insertion. Charges
-  // and statistics are identical to the incremental path: one
-  // `kInsertTuple` and one stats update per *stored* (unique) triple;
-  // the cost meter and the occurrence counters are order-independent.
+  // Fresh load: sort/unique once, then build each permutation of each
+  // sub-shard bottom-up at full leaf occupancy (`BPlusTree::BulkBuild`) —
+  // ~half the slab bytes and none of the split churn of one-by-one
+  // insertion. Charges and statistics are identical to the incremental
+  // path: one `kInsertTuple` and one stats update per *stored* (unique)
+  // triple; the cost meter and the occurrence counters are
+  // order-independent. Duplicates collapse globally, which equals
+  // per-shard collapse (duplicates share a predicate and thus a shard).
   std::vector<Key> keys;
   keys.reserve(triples.size());
   for (const Triple& t : triples) keys.push_back(MakeKey(Order::kSPO, t));
   std::sort(keys.begin(), keys.end());
   keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-  spo_.BulkBuild(keys);
+  const size_t n_shards = shards_.size();
+  // Partition the sorted key set by owning sub-shard (order-preserving,
+  // so each sub-shard's subset is itself sorted). One shard: pass-through.
+  std::vector<std::vector<Key>> per_shard(n_shards);
+  if (n_shards == 1) {
+    per_shard[0] = keys;
+  } else {
+    for (const Key& k : keys) {
+      per_shard[static_cast<size_t>(ShardOf(k[1]))].push_back(k);
+    }
+  }
+  for (size_t s = 0; s < n_shards; ++s) {
+    shards_[s].spo.BulkBuild(per_shard[s]);
+  }
   for (const Key& k : keys) {
     const Triple t = KeyToTriple(Order::kSPO, k);
-    ++num_rows_;
-    MutableStats& st = stats_[t.predicate];
+    SubShard& sh = shards_[static_cast<size_t>(ShardOf(t.predicate))];
+    ++sh.num_rows;
+    MutableStats& st = sh.stats[t.predicate];
     st.num_triples += 1;
     CountUp(&st.subjects, t.subject);
     CountUp(&st.objects, t.object);
-    CountUp(&all_subjects_, t.subject);
-    CountUp(&all_objects_, t.object);
+    CountUp(&sh.all_subjects, t.subject);
+    CountUp(&sh.all_objects, t.object);
     if (meter != nullptr) meter->Add(Op::kInsertTuple);
   }
-  // The other permutations of the same (already unique) triple set.
+  // The other permutations of the same (already unique) per-shard sets.
   std::vector<Key> permuted;
-  permuted.reserve(keys.size());
-  for (const Key& k : keys) {
-    permuted.push_back(MakeKey(Order::kPOS, KeyToTriple(Order::kSPO, k)));
+  for (size_t s = 0; s < n_shards; ++s) {
+    permuted.clear();
+    permuted.reserve(per_shard[s].size());
+    for (const Key& k : per_shard[s]) {
+      permuted.push_back(MakeKey(Order::kPOS, KeyToTriple(Order::kSPO, k)));
+    }
+    std::sort(permuted.begin(), permuted.end());
+    shards_[s].pos.BulkBuild(permuted);
+    permuted.clear();
+    for (const Key& k : per_shard[s]) {
+      permuted.push_back(MakeKey(Order::kOSP, KeyToTriple(Order::kSPO, k)));
+    }
+    std::sort(permuted.begin(), permuted.end());
+    shards_[s].osp.BulkBuild(permuted);
   }
-  std::sort(permuted.begin(), permuted.end());
-  pos_.BulkBuild(permuted);
-  permuted.clear();
-  for (const Key& k : keys) {
-    permuted.push_back(MakeKey(Order::kOSP, KeyToTriple(Order::kSPO, k)));
-  }
-  std::sort(permuted.begin(), permuted.end());
-  osp_.BulkBuild(permuted);
 }
 
 bool TripleTable::Contains(const Triple& t, CostMeter* meter) const {
   if (meter != nullptr) meter->Add(Op::kIndexProbe);
-  return spo_.Contains(MakeKey(Order::kSPO, t));
+  const Snapshot* snap = CurrentSnapshot();
+  const int sub = ShardOf(t.predicate);
+  return shards_[static_cast<size_t>(sub)].spo.ContainsAt(
+      RootFor(snap, sub, Order::kSPO), MakeKey(Order::kSPO, t));
 }
 
 std::optional<std::pair<TripleTable::Order, int>> TripleTable::ChooseIndex(
@@ -125,11 +149,16 @@ std::optional<std::pair<TripleTable::Order, int>> TripleTable::ChooseIndex(
 }
 
 Status TripleTable::RangeScan(
-    Order order, const Key& lo, int prefix_len, const Key* end,
+    int sub_shard, Order order, const Key& lo, int prefix_len, const Key* end,
     bool charge_probe, Op tuple_op, const BoundPattern& pattern,
-    CostMeter* meter, const std::function<bool(const Triple&)>& fn) const {
+    CostMeter* meter, const std::function<bool(const Triple&)>& fn,
+    bool* stopped) const {
   if (charge_probe) meter->Add(Op::kIndexProbe);
-  for (auto it = IndexFor(order)->LowerBound(lo); !it.AtEnd(); ++it) {
+  const Snapshot* snap = CurrentSnapshot();
+  const BPlusTree<Key>& idx =
+      shards_[static_cast<size_t>(sub_shard)].Index(order);
+  const uint32_t root = RootFor(snap, sub_shard, order);
+  for (auto it = idx.LowerBoundAt(root, lo); !it.AtEnd(); ++it) {
     const Key& k = *it;
     if (end != nullptr && !(k < *end)) break;  // shard boundary
     // Stop once the bound prefix no longer matches (end of the range).
@@ -147,7 +176,10 @@ Status TripleTable::RangeScan(
     }
     const Triple t = KeyToTriple(order, k);
     if (!Matches(pattern, t)) continue;  // residual predicate
-    if (!fn(t)) break;
+    if (!fn(t)) {
+      if (stopped != nullptr) *stopped = true;
+      break;
+    }
   }
   return Status::OK();
 }
@@ -157,11 +189,17 @@ Status TripleTable::ScanPattern(
     const std::function<bool(const Triple&)>& fn) const {
   const auto choice = ChooseIndex(pattern);
   if (!choice.has_value()) {
-    // Nothing bound: full table scan over the SPO index (clustered
-    // order); no descent is charged, each tuple is a sequential read.
-    return RangeScan(Order::kSPO, Key{0, 0, 0}, /*prefix_len=*/0,
-                     /*end=*/nullptr, /*charge_probe=*/false,
-                     Op::kSeqScanTuple, pattern, meter, fn);
+    // Nothing bound: full table scan over the SPO indexes in sub-shard
+    // order (clustered order within each); no descent is charged, each
+    // tuple is a sequential read.
+    bool stopped = false;
+    for (int s = 0; s < num_shards() && !stopped; ++s) {
+      DSKG_RETURN_NOT_OK(RangeScan(s, Order::kSPO, Key{0, 0, 0},
+                                   /*prefix_len=*/0, /*end=*/nullptr,
+                                   /*charge_probe=*/false, Op::kSeqScanTuple,
+                                   pattern, meter, fn, &stopped));
+    }
+    return Status::OK();
   }
   const auto [order, prefix_len] = *choice;
   Key lo{0, 0, 0};
@@ -170,9 +208,21 @@ Status TripleTable::ScanPattern(
                      pattern.object.value_or(0)};
   const Key full = MakeKey(order, bound);
   for (int i = 0; i < prefix_len; ++i) lo[i] = full[i];
-  return RangeScan(order, lo, prefix_len, /*end=*/nullptr,
-                   /*charge_probe=*/true, Op::kIndexScanTuple, pattern,
-                   meter, fn);
+  if (pattern.predicate.has_value()) {
+    // Bound predicate: every matching row lives in one sub-shard.
+    return RangeScan(ShardOf(*pattern.predicate), order, lo, prefix_len,
+                     /*end=*/nullptr, /*charge_probe=*/true,
+                     Op::kIndexScanTuple, pattern, meter, fn, nullptr);
+  }
+  // Predicate unbound: the matching rows may live in any sub-shard; scan
+  // each in order (one descent per sub-shard).
+  bool stopped = false;
+  for (int s = 0; s < num_shards() && !stopped; ++s) {
+    DSKG_RETURN_NOT_OK(RangeScan(s, order, lo, prefix_len, /*end=*/nullptr,
+                                 /*charge_probe=*/true, Op::kIndexScanTuple,
+                                 pattern, meter, fn, &stopped));
+  }
+  return Status::OK();
 }
 
 std::vector<TripleTable::PatternShard> TripleTable::ShardPattern(
@@ -199,21 +249,37 @@ std::vector<TripleTable::PatternShard> TripleTable::ShardPattern(
     }
     return true;
   };
-  const std::vector<Key> starts =
-      IndexFor(order)->ShardStarts(lo, max_shards, within);
+  const Snapshot* snap = CurrentSnapshot();
+  // Bound predicate: one sub-shard holds the whole range and gets the
+  // full shard budget. Otherwise split the budget evenly across
+  // sub-shards; vector order (ascending sub-shard, then key) reproduces
+  // the serial scan order.
+  std::vector<int> subs;
+  int budget = max_shards;
+  if (pattern.predicate.has_value()) {
+    subs.push_back(ShardOf(*pattern.predicate));
+  } else {
+    for (int s = 0; s < num_shards(); ++s) subs.push_back(s);
+    budget = std::max(1, max_shards / num_shards());
+  }
   std::vector<PatternShard> shards;
-  shards.reserve(starts.size());
-  for (size_t i = 0; i < starts.size(); ++i) {
-    PatternShard s;
-    s.begin = starts[i];
-    if (i + 1 < starts.size()) {
-      s.has_end = true;
-      s.end = starts[i + 1];
+  for (const int sub : subs) {
+    const std::vector<Key> starts =
+        shards_[static_cast<size_t>(sub)].Index(order).ShardStartsAt(
+            RootFor(snap, sub, order), lo, budget, within);
+    for (size_t i = 0; i < starts.size(); ++i) {
+      PatternShard s;
+      s.begin = starts[i];
+      if (i + 1 < starts.size()) {
+        s.has_end = true;
+        s.end = starts[i + 1];
+      }
+      s.order = static_cast<int>(order);
+      s.prefix_len = prefix_len;
+      s.full_scan = full_scan;
+      s.sub_shard = sub;
+      shards.push_back(s);
     }
-    s.order = static_cast<int>(order);
-    s.prefix_len = prefix_len;
-    s.full_scan = full_scan;
-    shards.push_back(s);
   }
   return shards;
 }
@@ -224,37 +290,45 @@ Status TripleTable::ScanShard(
   // `shard.begin` carries the same bound prefix as the original scan's
   // lower bound, so the prefix check against it is the range-end check.
   // The serial full-table scan charges no descent; mirror that here.
-  return RangeScan(static_cast<Order>(shard.order), shard.begin,
-                   shard.prefix_len, shard.has_end ? &shard.end : nullptr,
+  return RangeScan(shard.sub_shard, static_cast<Order>(shard.order),
+                   shard.begin, shard.prefix_len,
+                   shard.has_end ? &shard.end : nullptr,
                    /*charge_probe=*/!shard.full_scan,
                    shard.full_scan ? Op::kSeqScanTuple : Op::kIndexScanTuple,
-                   pattern, meter, fn);
+                   pattern, meter, fn, nullptr);
 }
 
 uint64_t TripleTable::EstimateMatches(const BoundPattern& p) const {
   if (p.predicate.has_value()) {
-    const auto it = stats_.find(*p.predicate);
-    if (it == stats_.end()) return 0;
-    const MutableStats& st = it->second;
+    const PredicateTableStats st = StatsOf(*p.predicate);
+    if (st.num_triples == 0) return 0;
     double est = static_cast<double>(st.num_triples);
     if (p.subject.has_value()) {
-      est /= std::max<uint64_t>(1, st.subjects.size());
+      est /= std::max<uint64_t>(1, st.num_distinct_subjects);
     }
     if (p.object.has_value()) {
-      est /= std::max<uint64_t>(1, st.objects.size());
+      est /= std::max<uint64_t>(1, st.num_distinct_objects);
     }
     return static_cast<uint64_t>(std::max(1.0, est));
   }
   // Variable predicate: assume uniformity across the whole table.
-  double est = static_cast<double>(num_rows_);
+  double est = static_cast<double>(size());
   if (p.subject.has_value()) est /= std::max<uint64_t>(1, SubjectCount());
   if (p.object.has_value()) est /= std::max<uint64_t>(1, ObjectCount());
   return static_cast<uint64_t>(std::max(1.0, est));
 }
 
 PredicateTableStats TripleTable::StatsOf(TermId predicate) const {
-  const auto it = stats_.find(predicate);
-  if (it == stats_.end()) return {};
+  if (const Snapshot* snap = CurrentSnapshot()) {
+    const auto it = std::lower_bound(
+        snap->stats.begin(), snap->stats.end(), predicate,
+        [](const auto& entry, TermId p) { return entry.first < p; });
+    if (it == snap->stats.end() || it->first != predicate) return {};
+    return it->second;
+  }
+  const SubShard& sh = shards_[static_cast<size_t>(ShardOf(predicate))];
+  const auto it = sh.stats.find(predicate);
+  if (it == sh.stats.end()) return {};
   return {it->second.num_triples,
           static_cast<uint64_t>(it->second.subjects.size()),
           static_cast<uint64_t>(it->second.objects.size())};
@@ -262,9 +336,65 @@ PredicateTableStats TripleTable::StatsOf(TermId predicate) const {
 
 std::vector<TermId> TripleTable::Predicates() const {
   std::vector<TermId> out;
-  out.reserve(stats_.size());
-  for (const auto& [p, _] : stats_) out.push_back(p);
+  if (const Snapshot* snap = CurrentSnapshot()) {
+    out.reserve(snap->stats.size());
+    for (const auto& [p, _] : snap->stats) out.push_back(p);
+    return out;
+  }
+  for (const SubShard& sh : shards_) {
+    for (const auto& [p, _] : sh.stats) out.push_back(p);
+  }
   return out;
+}
+
+uint64_t TripleTable::size() const {
+  if (const Snapshot* snap = CurrentSnapshot()) return snap->num_rows;
+  uint64_t total = 0;
+  for (const SubShard& sh : shards_) total += sh.num_rows;
+  return total;
+}
+
+uint64_t TripleTable::num_predicates() const {
+  if (const Snapshot* snap = CurrentSnapshot()) return snap->stats.size();
+  uint64_t total = 0;
+  for (const SubShard& sh : shards_) total += sh.stats.size();
+  return total;
+}
+
+uint64_t TripleTable::SubjectCount() const {
+  if (const Snapshot* snap = CurrentSnapshot()) return snap->subject_count;
+  uint64_t total = 0;
+  for (const SubShard& sh : shards_) total += sh.all_subjects.size();
+  return total;
+}
+
+uint64_t TripleTable::ObjectCount() const {
+  if (const Snapshot* snap = CurrentSnapshot()) return snap->object_count;
+  uint64_t total = 0;
+  for (const SubShard& sh : shards_) total += sh.all_objects.size();
+  return total;
+}
+
+TripleTable::Snapshot TripleTable::MakeSnapshot() const {
+  Snapshot snap;
+  snap.owner = this;
+  snap.shards.reserve(shards_.size());
+  for (const SubShard& sh : shards_) {
+    snap.shards.push_back(
+        {sh.spo.root(), sh.pos.root(), sh.osp.root()});
+    snap.num_rows += sh.num_rows;
+    snap.subject_count += sh.all_subjects.size();
+    snap.object_count += sh.all_objects.size();
+    for (const auto& [p, st] : sh.stats) {
+      snap.stats.emplace_back(
+          p, PredicateTableStats{st.num_triples,
+                                 static_cast<uint64_t>(st.subjects.size()),
+                                 static_cast<uint64_t>(st.objects.size())});
+    }
+  }
+  std::sort(snap.stats.begin(), snap.stats.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return snap;
 }
 
 }  // namespace dskg::relstore

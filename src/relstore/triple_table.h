@@ -12,6 +12,24 @@
 /// Large-selectivity access degrades to full partition/table scans, which
 /// is exactly the behaviour the paper's Table 1 attributes to MySQL.
 ///
+/// Share-nothing sharding: the table is split into `num_shards` sub-shards
+/// partitioned by `predicate % num_shards`. Each sub-shard owns its own
+/// three permutation trees, row counter and statistics maps, so the online
+/// store's per-shard applier threads mutate disjoint state with no
+/// cross-shard synchronization. With one shard (the default, and every
+/// offline caller) the layout, operation order, statistics and simulated
+/// charges are exactly the unsharded table's. Bound-predicate operations
+/// touch one sub-shard; predicate-unbound scans visit sub-shards in index
+/// order 0..N-1 (the serial scan order, which `ShardPattern` consumers
+/// reproduce by merging in vector order).
+///
+/// Snapshot reads: `MakeSnapshot` captures the tables's per-shard B+-tree
+/// roots plus summary statistics. Installing it in a thread's `ReadScope`
+/// makes every read method on that thread serve the captured state, which
+/// combined with the trees' copy-on-write mode gives concurrent readers a
+/// consistent, immutable view while the appliers mutate. Without a scope
+/// (or under a scope owned by a different table) reads serve live state.
+///
 /// All access paths charge the `CostMeter` (see common/cost.h).
 
 #include <array>
@@ -19,6 +37,7 @@
 #include <functional>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/cost.h"
@@ -47,27 +66,42 @@ struct PredicateTableStats {
   uint64_t num_distinct_objects = 0;
 };
 
-/// Triple table + SPO/POS/OSP B+-tree indexes + statistics.
+/// Triple table + SPO/POS/OSP B+-tree indexes + statistics, split into
+/// share-nothing predicate sub-shards.
 class TripleTable {
  public:
-  TripleTable() = default;
+  explicit TripleTable(int num_shards = 1)
+      : shards_(static_cast<size_t>(num_shards < 1 ? 1 : num_shards)) {}
 
   TripleTable(const TripleTable&) = delete;
   TripleTable& operator=(const TripleTable&) = delete;
 
-  /// Pre-sizes the three index node pools for `num_triples` keys each —
-  /// the bulk-load path reserves once instead of growing the slabs
+  /// Number of share-nothing predicate sub-shards.
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// The sub-shard owning `predicate`'s rows.
+  int ShardOf(rdf::TermId predicate) const {
+    return static_cast<int>(predicate % shards_.size());
+  }
+
+  /// Pre-sizes the index node pools for `num_triples` keys total — the
+  /// bulk-load path reserves once instead of growing the slabs
   /// incrementally. An allocation hint only; never shrinks.
   void Reserve(uint64_t num_triples) {
-    spo_.Reserve(num_triples);
-    pos_.Reserve(num_triples);
-    osp_.Reserve(num_triples);
+    const uint64_t per_shard = num_triples / shards_.size();
+    for (SubShard& s : shards_) {
+      s.spo.Reserve(per_shard);
+      s.pos.Reserve(per_shard);
+      s.osp.Reserve(per_shard);
+    }
   }
 
   /// Inserts one triple, maintaining all indexes and statistics.
   /// Duplicate triples are ignored (set semantics, as in an SPO-keyed
   /// table). Charges one `kInsertTuple` when inserted.
-  /// Returns true if the triple was new.
+  /// Returns true if the triple was new. Touches only the predicate's
+  /// sub-shard — safe to call concurrently for triples of *different*
+  /// sub-shards.
   bool Insert(const rdf::Triple& t, CostMeter* meter);
 
   /// Bulk-loads a batch of triples (charges per-tuple insert costs).
@@ -79,22 +113,43 @@ class TripleTable {
   /// per-triple inserts.
   void BulkLoad(const std::vector<rdf::Triple>& triples, CostMeter* meter);
 
-  /// Bytes of the three B+-tree node slabs (SPO + POS + OSP).
-  /// Deterministic for a given operation sequence — the bench baselines
-  /// track this as part of bytes/triple.
+  /// Bytes of the B+-tree node slabs (SPO + POS + OSP, all sub-shards,
+  /// including pending-reclaim bookkeeping). Deterministic for a given
+  /// operation sequence — the bench baselines track this as part of
+  /// bytes/triple.
   uint64_t IndexBytes() const {
-    return spo_.MemoryBytes() + pos_.MemoryBytes() + osp_.MemoryBytes();
+    uint64_t total = 0;
+    for (const SubShard& s : shards_) {
+      total += s.spo.MemoryBytes() + s.pos.MemoryBytes() + s.osp.MemoryBytes();
+    }
+    return total;
   }
 
-  /// Live B+-tree nodes across the three indexes (footprint diagnostics).
+  /// Live B+-tree nodes across all indexes (footprint diagnostics).
   uint64_t IndexNodes() const {
-    return spo_.live_nodes() + pos_.live_nodes() + osp_.live_nodes();
+    uint64_t total = 0;
+    for (const SubShard& s : shards_) {
+      total += s.spo.live_nodes() + s.pos.live_nodes() + s.osp.live_nodes();
+    }
+    return total;
+  }
+
+  /// Copy-on-write nodes retired by past batches and not yet reclaimed
+  /// (zero offline).
+  uint64_t PendingNodes() const {
+    uint64_t total = 0;
+    for (const SubShard& s : shards_) {
+      total += s.spo.pending_nodes() + s.pos.pending_nodes() +
+               s.osp.pending_nodes();
+    }
+    return total;
   }
 
   /// Removes one triple, maintaining all three indexes and the statistics
   /// (distinct subject/object counts decay exactly — the stats keep
   /// per-term occurrence counts, not just sets). Charges one
   /// `kRemoveTuple` when the triple was present. Returns true if removed.
+  /// Sub-shard-local, like `Insert`.
   bool RemoveTriple(const rdf::Triple& t, CostMeter* meter);
 
   /// True if the exact triple is stored. Charges one index probe.
@@ -103,7 +158,8 @@ class TripleTable {
   /// Streams every triple matching `pattern` to `fn` using the cheapest
   /// access path. Charges probe/scan costs. Stops early (returning
   /// Cancelled) if the meter's budget is exceeded; stops cleanly if `fn`
-  /// returns false.
+  /// returns false. Predicate-unbound patterns visit sub-shards in order
+  /// (one descent charged per sub-shard for index scans).
   Status ScanPattern(const BoundPattern& pattern, CostMeter* meter,
                      const std::function<bool(const rdf::Triple&)>& fn) const;
 
@@ -117,14 +173,16 @@ class TripleTable {
     int order = 0;         ///< internal index order tag
     int prefix_len = 0;    ///< leading bound key components
     bool full_scan = false;  ///< nothing bound: whole-table scan shard
+    int sub_shard = 0;     ///< predicate sub-shard the piece lives in
   };
 
   /// Splits the scan of `pattern` into at most `max_shards` disjoint
   /// shards whose union streams exactly the triples `ScanPattern` would,
-  /// in the same global key order when shards are consumed by ascending
-  /// `begin`. Returns an empty vector when nothing matches. Shards align
-  /// to B+-tree leaves, so a short range yields fewer shards than
-  /// requested. No cost is charged (catalog/boundary lookup only).
+  /// in the same global order when shards are consumed in vector order
+  /// (ascending `(sub_shard, begin)` — the serial scan order). Returns an
+  /// empty vector when nothing matches. Shards align to B+-tree leaves,
+  /// so a short range yields fewer shards than requested. No cost is
+  /// charged (catalog/boundary lookup only).
   std::vector<PatternShard> ShardPattern(const BoundPattern& pattern,
                                          int max_shards) const;
 
@@ -146,12 +204,86 @@ class TripleTable {
   /// Predicates present in the table, unordered.
   std::vector<rdf::TermId> Predicates() const;
 
-  uint64_t size() const { return num_rows_; }
-  uint64_t num_predicates() const { return stats_.size(); }
+  uint64_t size() const;
+  uint64_t num_predicates() const;
 
-  /// Distinct subjects / objects across the whole table.
-  uint64_t SubjectCount() const { return all_subjects_.size(); }
-  uint64_t ObjectCount() const { return all_objects_.size(); }
+  /// Distinct subjects / objects across the whole table (with more than
+  /// one sub-shard these sum per-shard distinct counts, so a term used by
+  /// several sub-shards counts once per shard — an estimator input, not
+  /// an exact cardinality).
+  uint64_t SubjectCount() const;
+  uint64_t ObjectCount() const;
+
+  // ---- snapshots (the online store's concurrent read path) --------------
+
+  /// An immutable view of the table: per-sub-shard B+-tree roots plus
+  /// summary statistics, valid until the copy-on-write nodes it pins are
+  /// reclaimed (the epoch protocol's job). Capture at a write-quiescent
+  /// point; read through `ReadScope`.
+  struct Snapshot {
+    struct ShardView {
+      uint32_t spo_root = 0;
+      uint32_t pos_root = 0;
+      uint32_t osp_root = 0;
+    };
+    const TripleTable* owner = nullptr;
+    std::vector<ShardView> shards;
+    /// Per-predicate summary stats, sorted by predicate id.
+    std::vector<std::pair<rdf::TermId, PredicateTableStats>> stats;
+    uint64_t num_rows = 0;
+    uint64_t subject_count = 0;
+    uint64_t object_count = 0;
+  };
+
+  /// Captures the current state. Quiescent only (no concurrent writers).
+  Snapshot MakeSnapshot() const;
+
+  /// Installs `snap` as this thread's read source for the owning table —
+  /// every read method called on this thread serves the captured state
+  /// until the scope dies (scopes nest; the previous source is restored).
+  /// A null snapshot, or one owned by another table, leaves reads live.
+  class ReadScope {
+   public:
+    explicit ReadScope(const Snapshot* snap) : prev_(tls_snapshot_) {
+      tls_snapshot_ = snap;
+    }
+    ReadScope(const ReadScope&) = delete;
+    ReadScope& operator=(const ReadScope&) = delete;
+    ~ReadScope() { tls_snapshot_ = prev_; }
+
+   private:
+    const Snapshot* prev_;
+  };
+
+  // ---- copy-on-write control (the online store's write path) ------------
+
+  /// Switches every index tree between in-place (offline, default) and
+  /// copy-on-write mutation. Toggle only while quiescent.
+  void SetCopyOnWrite(bool on) {
+    for (SubShard& s : shards_) {
+      s.spo.SetCopyOnWrite(on);
+      s.pos.SetCopyOnWrite(on);
+      s.osp.SetCopyOnWrite(on);
+    }
+  }
+
+  /// Starts a copy-on-write batch on one sub-shard's trees (called by
+  /// that sub-shard's applier; shard-local).
+  void BeginShardBatch(int sub_shard) {
+    SubShard& s = shards_[static_cast<size_t>(sub_shard)];
+    s.spo.BeginCowBatch();
+    s.pos.BeginCowBatch();
+    s.osp.BeginCowBatch();
+  }
+
+  /// Returns one sub-shard's drained copy-on-write nodes to the free
+  /// lists. Call after the epoch protocol proves no reader still holds a
+  /// root that references them.
+  size_t ReclaimShard(int sub_shard) {
+    SubShard& s = shards_[static_cast<size_t>(sub_shard)];
+    return s.spo.ReclaimRetired() + s.pos.ReclaimRetired() +
+           s.osp.ReclaimRetired();
+  }
 
  private:
   // Index key: a triple permuted into the index's component order.
@@ -167,37 +299,23 @@ class TripleTable {
   static std::optional<std::pair<Order, int>> ChooseIndex(
       const BoundPattern& pattern);
 
-  /// Shared scan loop of `ScanPattern` and `ScanShard`: walks keys from
-  /// the first >= `lo` while the `prefix_len`-component prefix matches
-  /// `lo` (and, when `end` is non-null, while key < `*end`), charging
-  /// `tuple_op` per key (plus one `kIndexProbe` when `charge_probe`).
-  Status RangeScan(Order order, const Key& lo, int prefix_len,
+  /// Shared scan loop of `ScanPattern` and `ScanShard`: walks keys of one
+  /// sub-shard's index from the first >= `lo` while the
+  /// `prefix_len`-component prefix matches `lo` (and, when `end` is
+  /// non-null, while key < `*end`), charging `tuple_op` per key (plus one
+  /// `kIndexProbe` when `charge_probe`). Sets `*stopped` when `fn`
+  /// returned false (so multi-shard loops stop cleanly too).
+  Status RangeScan(int sub_shard, Order order, const Key& lo, int prefix_len,
                    const Key* end, bool charge_probe, Op tuple_op,
                    const BoundPattern& pattern, CostMeter* meter,
-                   const std::function<bool(const rdf::Triple&)>& fn) const;
+                   const std::function<bool(const rdf::Triple&)>& fn,
+                   bool* stopped) const;
 
   static bool Matches(const BoundPattern& p, const rdf::Triple& t) {
     return (!p.subject || *p.subject == t.subject) &&
            (!p.predicate || *p.predicate == t.predicate) &&
            (!p.object || *p.object == t.object);
   }
-
-  BPlusTree<Key>* IndexFor(Order order) {
-    switch (order) {
-      case Order::kSPO: return &spo_;
-      case Order::kPOS: return &pos_;
-      case Order::kOSP: return &osp_;
-    }
-    return &spo_;
-  }
-  const BPlusTree<Key>* IndexFor(Order order) const {
-    return const_cast<TripleTable*>(this)->IndexFor(order);
-  }
-
-  BPlusTree<Key> spo_;
-  BPlusTree<Key> pos_;
-  BPlusTree<Key> osp_;
-  uint64_t num_rows_ = 0;
 
   /// Occurrence-counted term sets: `map[id]` is the number of stored
   /// triples using `id` in that position, so deletions can retire a term
@@ -216,9 +334,55 @@ class TripleTable {
     TermCounts subjects;
     TermCounts objects;
   };
-  std::unordered_map<rdf::TermId, MutableStats> stats_;
-  TermCounts all_subjects_;
-  TermCounts all_objects_;
+
+  /// One share-nothing predicate sub-shard: indexes + row count + stats.
+  /// Mutated only by its owning applier (or the single offline writer).
+  struct SubShard {
+    BPlusTree<Key> spo;
+    BPlusTree<Key> pos;
+    BPlusTree<Key> osp;
+    uint64_t num_rows = 0;
+    std::unordered_map<rdf::TermId, MutableStats> stats;
+    TermCounts all_subjects;
+    TermCounts all_objects;
+
+    BPlusTree<Key>& Index(Order order) {
+      switch (order) {
+        case Order::kSPO: return spo;
+        case Order::kPOS: return pos;
+        case Order::kOSP: return osp;
+      }
+      return spo;
+    }
+    const BPlusTree<Key>& Index(Order order) const {
+      return const_cast<SubShard*>(this)->Index(order);
+    }
+  };
+
+  /// This thread's installed snapshot if it belongs to this table.
+  const Snapshot* CurrentSnapshot() const {
+    const Snapshot* s = tls_snapshot_;
+    return (s != nullptr && s->owner == this) ? s : nullptr;
+  }
+
+  /// Root to traverse for one sub-shard's index: the installed snapshot's
+  /// published root, or the live root.
+  uint32_t RootFor(const Snapshot* snap, int sub_shard, Order order) const {
+    if (snap != nullptr) {
+      const Snapshot::ShardView& v =
+          snap->shards[static_cast<size_t>(sub_shard)];
+      switch (order) {
+        case Order::kSPO: return v.spo_root;
+        case Order::kPOS: return v.pos_root;
+        case Order::kOSP: return v.osp_root;
+      }
+    }
+    return shards_[static_cast<size_t>(sub_shard)].Index(order).root();
+  }
+
+  std::vector<SubShard> shards_;
+
+  inline static thread_local const Snapshot* tls_snapshot_ = nullptr;
 };
 
 }  // namespace dskg::relstore

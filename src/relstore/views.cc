@@ -1,5 +1,6 @@
 #include "relstore/views.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "rdf/dictionary.h"
@@ -87,24 +88,24 @@ Status MaterializedViewManager::CreateView(const Query& subquery,
   if (views_.find(sig) != views_.end()) {
     return Status::AlreadyExists("view exists for signature: " + sig);
   }
-  MaterializedView view;
-  view.signature = sig;
-  view.definition = Generalize(subquery.patterns);
+  auto view = std::make_unique<MaterializedView>();
+  view->signature = sig;
+  view->definition = Generalize(subquery.patterns);
 
-  Result<BindingTable> data = executor_->Execute(view.definition, meter);
+  Result<BindingTable> data = executor_->Execute(view->definition, meter);
   if (!data.ok()) return data.status();
-  view.data = std::move(data).ValueOrDie();
+  view->data = std::move(data).ValueOrDie();
 
-  if (budget_rows_ > 0 && used_rows_ + view.data.NumRows() > budget_rows_) {
+  if (budget_rows_ > 0 && used_rows_ + view->data.NumRows() > budget_rows_) {
     return Status::CapacityExceeded(
-        "view of " + std::to_string(view.data.NumRows()) +
+        "view of " + std::to_string(view->data.NumRows()) +
         " rows exceeds remaining budget of " +
         std::to_string(budget_rows_ - used_rows_) + " rows");
   }
-  meter->Add(Op::kTempTableTuple, view.data.NumRows());
-  used_rows_ += view.data.NumRows();
+  meter->Add(Op::kTempTableTuple, view->data.NumRows());
+  used_rows_ += view->data.NumRows();
   views_.emplace(sig, std::move(view));
-  ++catalog_version_;
+  catalog_version_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 
@@ -113,16 +114,15 @@ Status MaterializedViewManager::DropView(const std::string& signature) {
   if (it == views_.end()) {
     return Status::NotFound("no view with signature: " + signature);
   }
-  used_rows_ -= it->second.data.NumRows();
-  views_.erase(it);
-  ++catalog_version_;
+  RemoveView(it);
+  catalog_version_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 
 void MaterializedViewManager::Clear() {
-  if (!views_.empty()) ++catalog_version_;
-  views_.clear();
-  used_rows_ = 0;
+  if (views_.empty()) return;
+  for (auto it = views_.begin(); it != views_.end();) it = RemoveView(it);
+  catalog_version_.fetch_add(1, std::memory_order_release);
 }
 
 size_t MaterializedViewManager::InvalidatePredicates(
@@ -130,7 +130,7 @@ size_t MaterializedViewManager::InvalidatePredicates(
   size_t dropped = 0;
   for (auto it = views_.begin(); it != views_.end();) {
     bool stale = false;
-    for (const TriplePattern& p : it->second.definition.patterns) {
+    for (const TriplePattern& p : it->second->definition.patterns) {
       if (p.predicate.is_variable) {
         // A variable-predicate view matches every partition: any batch
         // can change its rows, so it is stale by construction.
@@ -144,28 +144,94 @@ size_t MaterializedViewManager::InvalidatePredicates(
       }
     }
     if (stale) {
-      used_rows_ -= it->second.data.NumRows();
-      it = views_.erase(it);
+      it = RemoveView(it);
       ++dropped;
     } else {
       ++it;
     }
   }
-  if (dropped > 0) ++catalog_version_;
+  if (dropped > 0) catalog_version_.fetch_add(1, std::memory_order_release);
   return dropped;
+}
+
+std::map<std::string, std::unique_ptr<MaterializedView>>::iterator
+MaterializedViewManager::RemoveView(
+    std::map<std::string, std::unique_ptr<MaterializedView>>::iterator it) {
+  used_rows_ -= it->second->data.NumRows();
+  if (deferred_) {
+    // A published snapshot may still answer from this view: keep the
+    // object alive until the post-drain CollectRetired.
+    retired_.push_back(std::move(it->second));
+  }
+  return views_.erase(it);
+}
+
+const MaterializedView* MaterializedViewManager::FindView(
+    const std::string& signature) const {
+  if (const Snapshot* snap = CurrentSnapshot()) {
+    const auto it = std::lower_bound(
+        snap->views.begin(), snap->views.end(), signature,
+        [](const auto& entry, const std::string& s) {
+          return entry.first < s;
+        });
+    if (it == snap->views.end() || it->first != signature) return nullptr;
+    return it->second;
+  }
+  const auto it = views_.find(signature);
+  return it == views_.end() ? nullptr : it->second.get();
+}
+
+uint64_t MaterializedViewManager::used_rows() const {
+  if (const Snapshot* snap = CurrentSnapshot()) return snap->used_rows;
+  return used_rows_;
+}
+
+size_t MaterializedViewManager::num_views() const {
+  if (const Snapshot* snap = CurrentSnapshot()) return snap->views.size();
+  return views_.size();
+}
+
+uint64_t MaterializedViewManager::catalog_version() const {
+  if (const Snapshot* snap = CurrentSnapshot()) return snap->catalog_version;
+  return catalog_version_.load(std::memory_order_acquire);
+}
+
+std::vector<std::string> MaterializedViewManager::Signatures() const {
+  std::vector<std::string> out;
+  if (const Snapshot* snap = CurrentSnapshot()) {
+    out.reserve(snap->views.size());
+    for (const auto& [sig, _] : snap->views) out.push_back(sig);
+    return out;  // snapshot is already sorted by signature
+  }
+  out.reserve(views_.size());
+  for (const auto& [sig, _] : views_) out.push_back(sig);
+  return out;
+}
+
+MaterializedViewManager::Snapshot MaterializedViewManager::MakeSnapshot()
+    const {
+  Snapshot snap;
+  snap.owner = this;
+  snap.views.reserve(views_.size());
+  for (const auto& [sig, view] : views_) {
+    snap.views.emplace_back(sig, view.get());
+  }
+  snap.used_rows = used_rows_;
+  snap.catalog_version = catalog_version_.load(std::memory_order_acquire);
+  return snap;
 }
 
 bool MaterializedViewManager::HasViewFor(
     const std::vector<TriplePattern>& patterns) const {
-  return views_.find(BgpSignature(patterns)) != views_.end();
+  return FindView(BgpSignature(patterns)) != nullptr;
 }
 
 std::optional<MaterializedViewManager::Answer>
 MaterializedViewManager::TryAnswer(const std::vector<TriplePattern>& patterns,
                                    CostMeter* meter) const {
-  auto it = views_.find(BgpSignature(patterns));
-  if (it == views_.end()) return std::nullopt;
-  const MaterializedView& view = it->second;
+  const MaterializedView* found = FindView(BgpSignature(patterns));
+  if (found == nullptr) return std::nullopt;
+  const MaterializedView& view = *found;
   meter->Add(Op::kViewLookup);
 
   // Positionally align the query's terms with the view definition's

@@ -17,12 +17,22 @@
 /// constants are renamed in first-occurrence order, predicates are kept.
 /// Two BGPs with the same join structure over the same predicates share a
 /// signature.
+///
+/// Snapshot reads (online mode): views are held by pointer; under
+/// `SetDeferredReclaim(true)` a dropped or invalidated view is retired —
+/// kept alive until `CollectRetired` after the epoch drain — instead of
+/// destroyed, so a `MakeSnapshot` captured earlier keeps serving it.
+/// Readers install a snapshot with `ReadScope`; without one, reads serve
+/// the live catalog.
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/cost.h"
@@ -99,45 +109,108 @@ class MaterializedViewManager {
   /// True if a view with the signature of `patterns` exists.
   bool HasViewFor(const std::vector<sparql::TriplePattern>& patterns) const;
 
-  uint64_t used_rows() const { return used_rows_; }
+  uint64_t used_rows() const;
   uint64_t budget_rows() const { return budget_rows_; }
-  size_t num_views() const { return views_.size(); }
+  size_t num_views() const;
 
   /// Monotone version of the catalog: bumped by every successful
   /// CreateView/DropView/InvalidatePredicates/Clear that changes it.
   /// Prepared query plans record it (folded into `DualStore::
   /// plan_epoch()`) and re-validate when it moves — a plan that decided
   /// its route against an older catalog must not keep serving it.
-  uint64_t catalog_version() const { return catalog_version_; }
+  uint64_t catalog_version() const;
 
   /// Signatures of all views, ascending (deterministic).
-  std::vector<std::string> Signatures() const {
-    std::vector<std::string> out;
-    out.reserve(views_.size());
-    for (const auto& [sig, _] : views_) out.push_back(sig);
-    return out;
-  }
+  std::vector<std::string> Signatures() const;
 
   /// True if a view with exactly `signature` exists.
   bool HasSignature(const std::string& signature) const {
-    return views_.find(signature) != views_.end();
+    return FindView(signature) != nullptr;
   }
 
   /// The generalized defining query of the view with `signature`, or
-  /// nullptr if absent (used to mirror catalogs between store replicas).
+  /// nullptr if absent (used to mirror catalogs between stores).
   const sparql::Query* DefinitionOf(const std::string& signature) const {
-    auto it = views_.find(signature);
-    return it == views_.end() ? nullptr : &it->second.definition;
+    const MaterializedView* v = FindView(signature);
+    return v == nullptr ? nullptr : &v->definition;
+  }
+
+  // ---- snapshots (the online store's concurrent read path) --------------
+
+  /// An immutable view of the catalog (by pointer — valid until
+  /// `CollectRetired` destroys retired views). Capture at a
+  /// write-quiescent point; read through `ReadScope`.
+  struct Snapshot {
+    const MaterializedViewManager* owner = nullptr;
+    /// Views sorted by signature (map order).
+    std::vector<std::pair<std::string, const MaterializedView*>> views;
+    uint64_t used_rows = 0;
+    uint64_t catalog_version = 0;
+  };
+
+  /// Captures the current catalog. Quiescent only.
+  Snapshot MakeSnapshot() const;
+
+  /// Installs `snap` as this thread's read source for the owning manager
+  /// (nests; restores the previous source on destruction). A null
+  /// snapshot, or one owned by another manager, leaves reads live.
+  class ReadScope {
+   public:
+    explicit ReadScope(const Snapshot* snap) : prev_(tls_snapshot_) {
+      tls_snapshot_ = snap;
+    }
+    ReadScope(const ReadScope&) = delete;
+    ReadScope& operator=(const ReadScope&) = delete;
+    ~ReadScope() { tls_snapshot_ = prev_; }
+
+   private:
+    const Snapshot* prev_;
+  };
+
+  // ---- deferred reclamation (the online store's write path) -------------
+
+  /// Switches between immediate view destruction (offline, default) and
+  /// retire-until-drained (online). Toggle only while quiescent.
+  void SetDeferredReclaim(bool on) { deferred_ = on; }
+
+  /// Destroys views retired by drops/invalidations. Call after the epoch
+  /// protocol proves no reader still holds a snapshot referencing them.
+  /// Returns the number destroyed.
+  size_t CollectRetired() {
+    const size_t n = retired_.size();
+    retired_.clear();
+    return n;
   }
 
  private:
+  /// The view to read for `signature`: the installed snapshot's (binary
+  /// search), or the live catalog's.
+  const MaterializedView* FindView(const std::string& signature) const;
+
+  /// This thread's installed snapshot if it belongs to this manager.
+  const Snapshot* CurrentSnapshot() const {
+    const Snapshot* s = tls_snapshot_;
+    return (s != nullptr && s->owner == this) ? s : nullptr;
+  }
+
+  /// Removes `it`'s view from the catalog: destroyed offline, retired
+  /// until the drain under deferred reclamation.
+  std::map<std::string, std::unique_ptr<MaterializedView>>::iterator
+  RemoveView(std::map<std::string, std::unique_ptr<MaterializedView>>::iterator
+                 it);
+
   const Executor* executor_;
   const rdf::Dictionary* dict_;
   uint64_t budget_rows_;
   uint64_t used_rows_ = 0;
-  uint64_t catalog_version_ = 0;
+  /// Atomic: bumped by the applier while prepared sessions poll it.
+  std::atomic<uint64_t> catalog_version_{0};
   // Ordered map => deterministic iteration.
-  std::map<std::string, MaterializedView> views_;
+  std::map<std::string, std::unique_ptr<MaterializedView>> views_;
+  bool deferred_ = false;
+  std::vector<std::unique_ptr<MaterializedView>> retired_;
+
+  inline static thread_local const Snapshot* tls_snapshot_ = nullptr;
 };
 
 }  // namespace dskg::relstore

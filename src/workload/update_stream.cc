@@ -28,6 +28,18 @@ struct PredicatePool {
 
 }  // namespace
 
+uint32_t UpdateStreamShardOf(std::string_view predicate, int num_shards) {
+  if (num_shards <= 1) return 0;
+  // Seeded FNV-1a: stable across platforms and standard-library
+  // implementations, unlike std::hash.
+  uint64_t h = 0xcbf29ce484222325ull ^ 0x9e3779b97f4a7c15ull;
+  for (char c : predicate) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return static_cast<uint32_t>(h % static_cast<uint64_t>(num_shards));
+}
+
 UpdateLog GenerateUpdateStream(const rdf::Dataset& dataset,
                                const UpdateStreamConfig& config) {
   UpdateLog log;
@@ -61,7 +73,7 @@ UpdateLog GenerateUpdateStream(const rdf::Dataset& dataset,
   const ZipfSampler predicate_rank(pools.size(), config.skew);
 
   // The live set: initial triples plus inserts minus deletes, as term
-  // strings (the log must be replayable against any replica). Sampled
+  // strings (the log must be replayable against any store). Sampled
   // uniformly with swap-pop removal. `membership` dedupes it — the
   // stores have set semantics, so a fact must appear at most once here
   // or a delete of the extra copy would be a guaranteed no-op miss.
@@ -113,7 +125,21 @@ UpdateLog GenerateUpdateStream(const rdf::Dataset& dataset,
             std::move(victim[0]), std::move(victim[1]), std::move(victim[2])));
       }
     }
-    log.Append(std::move(batch));
+    // Split mode: the full batch above is generated from the same RNG
+    // state regardless of the split, so each shard's slice is a pure
+    // order-preserving filter of the num_shards == 1 batch.
+    if (config.num_shards > 1) {
+      UpdateBatch slice;
+      for (UpdateOp& op : batch.ops) {
+        if (UpdateStreamShardOf(op.predicate, config.num_shards) ==
+            static_cast<uint32_t>(config.shard_index)) {
+          slice.ops.push_back(std::move(op));
+        }
+      }
+      log.Append(std::move(slice));
+    } else {
+      log.Append(std::move(batch));
+    }
   }
   return log;
 }

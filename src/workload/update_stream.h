@@ -22,6 +22,7 @@
 /// the randomized equivalence tests reproducible.
 
 #include <cstdint>
+#include <string_view>
 
 #include "core/update.h"
 #include "rdf/dataset.h"
@@ -42,7 +43,24 @@ struct UpdateStreamConfig {
   /// Probability that an insert's subject is a brand-new entity (interns
   /// fresh dictionary terms, exercising id assignment under updates).
   double fresh_entity_prob = 0.5;
+
+  /// Per-shard split mode. With `num_shards > 1` the generator first
+  /// produces the full (`num_shards == 1`) log from the same seed, then
+  /// keeps only the ops whose predicate hashes to `shard_index` —
+  /// batch structure and within-batch op order preserved. The N per-shard
+  /// logs therefore partition the full log exactly: concatenating any
+  /// batch's per-shard slices in shard order and stable-sorting by the
+  /// original op position reproduces the unsharded batch (the workload
+  /// test asserts the partition property directly).
+  int num_shards = 1;
+  /// Which shard's slice to emit; must be in [0, num_shards).
+  int shard_index = 0;
 };
+
+/// The split-mode shard owning `predicate`: a seeded, platform-stable
+/// hash of the predicate text modulo `num_shards`. Exposed so injectors
+/// and tests agree with the generator about stream routing.
+uint32_t UpdateStreamShardOf(std::string_view predicate, int num_shards);
 
 /// Generates an update log against `dataset` (borrowed for reading only).
 core::UpdateLog GenerateUpdateStream(const rdf::Dataset& dataset,

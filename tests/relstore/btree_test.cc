@@ -503,5 +503,87 @@ TEST(BPlusTree, SequentialAndReverseInsertions) {
   }
 }
 
+TEST(BPlusTree, CopyOnWriteSnapshotsStayImmutable) {
+  // A published root must keep serving the exact pre-batch contents while
+  // the writer mutates through cloned paths, and the accounting must keep
+  // retired-but-undrained nodes separate from both live and free.
+  BPlusTree<Key> tree;
+  for (uint64_t i = 0; i < 3000; ++i) tree.Insert({i, 0, 0});
+  tree.SetCopyOnWrite(true);
+
+  const auto snap = tree.root();
+  const size_t live_before = tree.live_nodes();
+  tree.BeginCowBatch();
+  for (uint64_t i = 0; i < 200; ++i) tree.Insert({i, 5, 5});
+  for (uint64_t i = 0; i < 200; ++i) ASSERT_TRUE(tree.Erase({i, 0, 0}));
+
+  // The snapshot still sees exactly the old keys...
+  for (uint64_t i = 0; i < 200; ++i) {
+    EXPECT_TRUE(tree.ContainsAt(snap, {i, 0, 0}));
+    EXPECT_FALSE(tree.ContainsAt(snap, {i, 5, 5}));
+  }
+  size_t snap_count = 0;
+  for (auto it = tree.BeginAt(snap); !it.AtEnd(); ++it) ++snap_count;
+  EXPECT_EQ(snap_count, 3000u);
+  // ...while the live root sees the new state.
+  EXPECT_TRUE(tree.Contains({0, 5, 5}));
+  EXPECT_FALSE(tree.Contains({0, 0, 0}));
+  EXPECT_EQ(tree.size(), 3000u);
+
+  // Superseded path copies are pending, not free and not live.
+  EXPECT_GT(tree.pending_nodes(), 0u);
+  EXPECT_EQ(tree.live_nodes() + tree.free_nodes() + tree.pending_nodes(),
+            tree.pool_nodes());
+
+  // After the drain point the pending slots return to the free lists.
+  const size_t pending = tree.pending_nodes();
+  EXPECT_EQ(tree.ReclaimRetired(), pending);
+  EXPECT_EQ(tree.pending_nodes(), 0u);
+  EXPECT_EQ(tree.live_nodes() + tree.free_nodes(), tree.pool_nodes());
+  EXPECT_LE(tree.live_nodes(), live_before + 8);  // one path delta, no copy
+}
+
+TEST(BPlusTree, CopyOnWriteChurnReturnsToSteadyState) {
+  // Sustained batch churn with reclamation after every "drain" must not
+  // grow the pool without bound: each batch's clones are fed by the slots
+  // the previous batch retired.
+  Rng rng(7);
+  BPlusTree<Key> tree;
+  std::set<Key> reference;
+  for (uint64_t i = 0; i < 4000; ++i) {
+    Key k{rng.NextBounded(50), rng.NextBounded(10), rng.NextBounded(50)};
+    tree.Insert(k);
+    reference.insert(k);
+  }
+  tree.SetCopyOnWrite(true);
+  const size_t settled_pool_hint = tree.pool_nodes();
+  size_t peak_pool = 0;
+  for (int batch = 0; batch < 40; ++batch) {
+    tree.BeginCowBatch();
+    for (int op = 0; op < 100; ++op) {
+      Key k{rng.NextBounded(50), rng.NextBounded(10), rng.NextBounded(50)};
+      if (rng.NextBool(0.5)) {
+        ASSERT_EQ(tree.Insert(k), reference.insert(k).second);
+      } else {
+        ASSERT_EQ(tree.Erase(k), reference.erase(k) > 0);
+      }
+    }
+    ASSERT_EQ(tree.live_nodes() + tree.free_nodes() + tree.pending_nodes(),
+              tree.pool_nodes());
+    tree.ReclaimRetired();  // the post-WaitUntilDrained step
+    ASSERT_EQ(tree.pending_nodes(), 0u);
+    peak_pool = std::max(peak_pool, tree.pool_nodes());
+  }
+  // Steady state: the pool stays within one batch's path-copy overhead of
+  // the offline pool for the same contents (batch of 100 ops, height 3).
+  EXPECT_LT(peak_pool, settled_pool_hint + 400);
+  // And the tree still matches the oracle exactly.
+  ASSERT_EQ(tree.size(), reference.size());
+  auto rit = reference.begin();
+  for (auto it = tree.Begin(); !it.AtEnd(); ++it, ++rit) {
+    ASSERT_EQ(*it, *rit);
+  }
+}
+
 }  // namespace
 }  // namespace dskg::relstore

@@ -10,6 +10,7 @@
 #include "sparql/parser.h"
 #include "workload/generators.h"
 #include "workload/templates.h"
+#include "workload/update_stream.h"
 #include "workload/workload.h"
 
 namespace dskg::workload {
@@ -246,6 +247,60 @@ TEST(WorkloadSplit, BatchesCoverAllQueriesInOrder) {
     for (const auto& q : b) EXPECT_EQ(q.template_index, expect++);
   }
   EXPECT_EQ(expect, 23);
+}
+
+// Split mode: for every shard count, the per-shard streams are an exact,
+// order-preserving partition of the unsharded stream — batch by batch,
+// with no op lost, duplicated, or misrouted.
+TEST(UpdateStreamSplit, PerShardStreamsPartitionTheFullStream) {
+  YagoConfig gen;
+  gen.target_triples = 5000;
+  rdf::Dataset ds = GenerateYago(gen);
+
+  UpdateStreamConfig base;
+  base.seed = 17;
+  base.num_batches = 3;
+  base.ops_per_batch = 200;
+  const core::UpdateLog full = GenerateUpdateStream(ds, base);
+  ASSERT_EQ(full.size(), 3u);
+
+  auto op_key = [](const core::UpdateOp& op) {
+    return std::string(op.kind == core::UpdateOp::Kind::kInsert ? "+" : "-") +
+           op.subject + '\x1f' + op.predicate + '\x1f' + op.object;
+  };
+
+  for (int shards : {2, 4, 8}) {
+    SCOPED_TRACE(shards);
+    std::vector<core::UpdateLog> slices;
+    for (int s = 0; s < shards; ++s) {
+      UpdateStreamConfig cfg = base;
+      cfg.num_shards = shards;
+      cfg.shard_index = s;
+      slices.push_back(GenerateUpdateStream(ds, cfg));
+      ASSERT_EQ(slices.back().size(), full.size());
+    }
+    for (uint64_t b = 0; b < full.size(); ++b) {
+      // Every op of every slice belongs to its shard; merging the slices
+      // by walking the full batch reproduces it exactly.
+      std::vector<size_t> cursor(static_cast<size_t>(shards), 0);
+      for (const core::UpdateOp& op : full.at(b).ops) {
+        const uint32_t s = UpdateStreamShardOf(op.predicate, shards);
+        const core::UpdateBatch& slice = slices[s].at(b);
+        ASSERT_LT(cursor[s], slice.ops.size())
+            << "batch " << b << ": shard " << s << " ran out of ops";
+        EXPECT_EQ(op_key(slice.ops[cursor[s]]), op_key(op));
+        ++cursor[s];
+      }
+      size_t merged = 0;
+      for (int s = 0; s < shards; ++s) {
+        EXPECT_EQ(cursor[static_cast<size_t>(s)],
+                  slices[s].at(b).ops.size())
+            << "batch " << b << ": shard " << s << " has extra ops";
+        merged += slices[s].at(b).ops.size();
+      }
+      EXPECT_EQ(merged, full.at(b).ops.size());
+    }
+  }
 }
 
 TEST(WorkloadSplit, DegenerateCases) {
