@@ -1,0 +1,124 @@
+// Telemetry overhead guard: the wall-clock cost of the instrumented hot
+// path must stay negligible. Runs the flagship complex query through a
+// Session with the global registry enabled and disabled, interleaved in
+// A/B rounds so CPU-frequency drift and cache warmth hit both modes
+// equally, and compares the *best* round per mode (min-of-reps is the
+// standard noise-robust estimator for "how fast can this go").
+//
+// Exit status is the CI contract: non-zero when the enabled/disabled
+// ratio exceeds DSKG_TELEM_OVERHEAD_MAX (default 1.05, i.e. <= 5%
+// overhead). Wall-clock numbers are machine-dependent as usual; the
+// *ratio* is what the guard pins down.
+//
+// Run with `--json out.json` for the machine-readable record.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/telemetry.h"
+#include "core/dual_store.h"
+#include "core/session.h"
+#include "workload/generators.h"
+
+namespace dskg::bench {
+namespace {
+
+constexpr const char* kFlagship =
+    "SELECT ?p WHERE { ?p y:wasBornIn ?city . "
+    "?p y:hasAcademicAdvisor ?a . ?a y:wasBornIn ?city . }";
+
+double MaxRatio() {
+  const char* env = std::getenv("DSKG_TELEM_OVERHEAD_MAX");
+  if (env == nullptr) return 1.05;
+  const double v = std::atof(env);
+  return v > 1.0 ? v : 1.05;
+}
+
+/// Milliseconds to execute the flagship `iters` times on `session`.
+double RunRound(core::Session* session, int iters) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    auto exec = session->Execute(kFlagship);
+    if (!exec.ok()) {
+      std::fprintf(stderr, "flagship failed: %s\n",
+                   exec.status().ToString().c_str());
+      std::abort();
+    }
+  }
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+int Main(int argc, char** argv) {
+  JsonReporter json(argc, argv, "bench_telemetry_overhead");
+
+  workload::YagoConfig cfg;
+  cfg.target_triples = Scaled(30000);
+  rdf::Dataset ds = workload::GenerateYago(cfg);
+  core::DualStore store(&ds, {});
+  core::Session session(&store);
+
+  auto& reg = telemetry::MetricsRegistry::Global();
+  const bool was_enabled = reg.enabled();
+
+  // Sized so one round is long enough to time reliably (~tens of ms)
+  // but a full A/B run stays in CI-smoke territory.
+  const int iters = 20;
+  const int rounds = 5;
+
+  // Warm both modes once (plan cache, allocator, branch predictors).
+  reg.set_enabled(true);
+  RunRound(&session, iters);
+  reg.set_enabled(false);
+  RunRound(&session, iters);
+
+  double best_on = std::numeric_limits<double>::infinity();
+  double best_off = std::numeric_limits<double>::infinity();
+  std::printf("%-8s %14s %14s\n", "round", "enabled_ms", "disabled_ms");
+  Rule();
+  for (int r = 0; r < rounds; ++r) {
+    reg.set_enabled(true);
+    const double on = RunRound(&session, iters);
+    reg.set_enabled(false);
+    const double off = RunRound(&session, iters);
+    best_on = std::min(best_on, on);
+    best_off = std::min(best_off, off);
+    std::printf("%-8d %14.3f %14.3f\n", r, on, off);
+    json.Row("rounds", {{"round", r},
+                        {"enabled_ms", on},
+                        {"disabled_ms", off}});
+  }
+  reg.set_enabled(was_enabled);
+
+  const double ratio = best_off > 0 ? best_on / best_off : 1.0;
+  const double limit = MaxRatio();
+  Rule();
+  std::printf("best enabled  %10.3f ms\n", best_on);
+  std::printf("best disabled %10.3f ms\n", best_off);
+  std::printf("ratio         %10.4f   (limit %.2f)\n", ratio, limit);
+  json.Row("summary", {{"best_enabled_ms", best_on},
+                       {"best_disabled_ms", best_off},
+                       {"ratio", ratio},
+                       {"limit", limit}});
+
+  if (ratio > limit) {
+    std::fprintf(stderr,
+                 "FAIL: telemetry overhead ratio %.4f exceeds %.2f\n", ratio,
+                 limit);
+    return 1;
+  }
+  std::printf("OK: telemetry overhead within %.2fx\n", limit);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dskg::bench
+
+int main(int argc, char** argv) { return dskg::bench::Main(argc, argv); }

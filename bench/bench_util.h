@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/telemetry.h"
 #include "core/baseline_tuners.h"
 #include "core/dotil.h"
 #include "core/dual_store.h"
@@ -325,10 +326,17 @@ class JsonReporter {
       row += Quote(cells[i].key) + ": " + cells[i].json;
     }
     row += "}";
-    tables_[table].push_back(std::move(row));
+    RowsOf(table)->push_back(std::move(row));
   }
 
   /// Writes the file (also called by the destructor). Safe to call twice.
+  /// In addition to the tables, the record carries a `"telemetry"` block
+  /// — the global registry's `DumpJson()` at flush time — so every
+  /// `--json` bench record ships its runtime metrics (plan-cache churn,
+  /// per-shard applier latencies, COW churn, ...) without the bench
+  /// opting in. `ci/check_telemetry_schema.py` validates the block;
+  /// `ci/check_bench_regression.py` ignores it (wall-clock histograms are
+  /// machine-dependent by design).
   void Flush() {
     if (!enabled() || flushed_) return;
     std::FILE* f = std::fopen(path_.c_str(), "w");
@@ -348,7 +356,8 @@ class JsonReporter {
       std::fprintf(f, "\n  ]");
       first_table = false;
     }
-    std::fprintf(f, "\n}}\n");
+    std::fprintf(f, "\n},\n\"telemetry\": %s}\n",
+                 telemetry::MetricsRegistry::Global().DumpJson().c_str());
     std::fclose(f);
     flushed_ = true;
   }
@@ -364,12 +373,25 @@ class JsonReporter {
     return out;
   }
 
+  /// The rows of `table`, creating it at the back on first use. Tables
+  /// flush in first-`Row` order — insertion order, not std::map name
+  /// order — so adding a table never reshuffles the others in baseline
+  /// diffs, and the order on disk matches the order the bench produced.
+  std::vector<std::string>* RowsOf(const std::string& table) {
+    for (auto& [name, rows] : tables_) {
+      if (name == table) return &rows;
+    }
+    tables_.emplace_back(table, std::vector<std::string>{});
+    return &tables_.back().second;
+  }
+
   std::string name_;
   std::chrono::steady_clock::time_point start_;
   std::string path_;
   bool flushed_ = false;
-  // Ordered so output is deterministic across runs.
-  std::map<std::string, std::vector<std::string>> tables_;
+  // Insertion-ordered (see RowsOf) so output is deterministic across
+  // runs *and* stable under table additions.
+  std::vector<std::pair<std::string, std::vector<std::string>>> tables_;
 };
 
 }  // namespace dskg::bench

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Validates the `telemetry` block a bench --json record ships.
+
+Usage: check_telemetry_schema.py RECORD.json [--require NAME ...]
+
+Every bench record carries the global registry's DumpJson() under a
+top-level "telemetry" key (bench_util.h appends it at flush time). This
+checker pins that contract so the observability surface cannot silently
+rot:
+
+  * the block exists and has the five sections (counters, gauges,
+    histograms, slow_queries, spans);
+  * a baseline set of metric names every query-serving run must emit is
+    present (plan-cache counters, per-route counters/histograms);
+  * additional required names can be demanded per bench with --require
+    (e.g. the online bench must ship per-shard applier histograms);
+  * every histogram is internally consistent: non-negative count/sum,
+    min <= p50 <= p95 <= p99 <= max, cumulative buckets monotone
+    non-decreasing with strictly increasing finite `le` edges, and the
+    terminal "+Inf" bucket equal to the total count.
+
+Exit 1 on any violation; the offending record and reason are printed.
+"""
+
+import json
+import sys
+
+# Metrics any run that served at least one query must have registered.
+BASE_COUNTERS = [
+    "session.prepares",
+    "session.cache_hits",
+    "session.executions",
+    "query.route.relational",
+    "query.route.graph",
+    "query.route.dual",
+    "query.route.view",
+]
+BASE_HISTOGRAMS = [
+    "session.prepare_us",
+    "session.execute_us",
+]
+
+
+def fail(msg: str) -> int:
+    print(f"telemetry schema: FAIL: {msg}")
+    return 1
+
+
+def check_histogram(name: str, h) -> list:
+    errs = []
+    for key in ("count", "sum", "min", "max", "p50", "p95", "p99",
+                "buckets"):
+        if key not in h:
+            errs.append(f"histogram {name}: missing field '{key}'")
+    if errs:
+        return errs
+    if h["count"] < 0 or h["sum"] < 0:
+        errs.append(f"histogram {name}: negative count/sum")
+    if h["count"] > 0:
+        order = [h["min"], h["p50"], h["p95"], h["p99"], h["max"]]
+        if any(a > b for a, b in zip(order, order[1:])):
+            errs.append(
+                f"histogram {name}: quantiles out of order: {order}")
+    buckets = h["buckets"]
+    if not buckets or buckets[-1].get("le") != "+Inf":
+        errs.append(f"histogram {name}: missing terminal +Inf bucket")
+        return errs
+    prev_le = None
+    prev_count = 0
+    for b in buckets:
+        le, cum = b.get("le"), b.get("count")
+        if cum is None or cum < prev_count:
+            errs.append(
+                f"histogram {name}: cumulative counts not monotone at "
+                f"le={le}")
+            break
+        prev_count = cum
+        if le == "+Inf":
+            continue
+        if prev_le is not None and not le > prev_le:
+            errs.append(
+                f"histogram {name}: bucket edges not increasing at "
+                f"le={le}")
+            break
+        prev_le = le
+    if buckets[-1]["count"] != h["count"]:
+        errs.append(
+            f"histogram {name}: +Inf bucket {buckets[-1]['count']} != "
+            f"count {h['count']}")
+    return errs
+
+
+def main() -> int:
+    argv = sys.argv[1:]
+    if not argv:
+        print(__doc__)
+        return 2
+    path = argv[0]
+    required = []
+    it = iter(argv[1:])
+    for arg in it:
+        if arg == "--require":
+            name = next(it, None)
+            if name is None:
+                print("--require needs a metric name")
+                return 2
+            required.append(name)
+        else:
+            print(f"unknown argument {arg}")
+            return 2
+
+    with open(path) as f:
+        record = json.load(f)
+
+    telem = record.get("telemetry")
+    if telem is None:
+        return fail(f"{path}: no top-level 'telemetry' block")
+    for section in ("counters", "gauges", "histograms", "slow_queries",
+                    "spans"):
+        if section not in telem:
+            return fail(f"{path}: telemetry block missing '{section}'")
+
+    known = (set(telem["counters"]) | set(telem["gauges"])
+             | set(telem["histograms"]))
+    errors = []
+    for name in BASE_COUNTERS:
+        if name not in telem["counters"]:
+            errors.append(f"required counter '{name}' absent")
+    for name in BASE_HISTOGRAMS + required:
+        if name not in known:
+            errors.append(f"required metric '{name}' absent")
+
+    for name, h in sorted(telem["histograms"].items()):
+        errors.extend(check_histogram(name, h))
+
+    if errors:
+        for e in errors:
+            print(f"telemetry schema: FAIL: {path}: {e}")
+        return 1
+    print(f"telemetry schema: OK: {path}: "
+          f"{len(telem['counters'])} counters, {len(telem['gauges'])} "
+          f"gauges, {len(telem['histograms'])} histograms")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

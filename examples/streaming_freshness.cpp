@@ -10,14 +10,33 @@
 // live updates (fresh facts join the answers), with per-window TTI, apply
 // cost and drift so the price of freshness is a number, not a claim.
 //
+// The per-window table is sourced from the telemetry registry, not from
+// the returned metrics struct: an `after_window` callback snapshots
+// `SnapshotValues()` while the store is quiesced, and each row is the
+// delta between consecutive snapshots — the same numbers any monitoring
+// scrape would see.
+//
 //   $ ./build/examples/streaming_freshness
+//   $ ./build/examples/streaming_freshness --slow-query-ms 0.05
+//
+// The flag arms the registry's slow-query log at the given wall-clock
+// threshold and then replays a few queries through a `Session` over the
+// final store, printing what the log captured.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
 
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "core/dotil.h"
 #include "core/online_store.h"
 #include "core/runner.h"
+#include "core/session.h"
 #include "workload/generators.h"
 #include "workload/templates.h"
 #include "workload/update_stream.h"
@@ -27,12 +46,16 @@ using namespace dskg;
 
 namespace {
 
+constexpr const char* kFlagship =
+    "SELECT ?p WHERE { ?p y:wasBornIn ?city . "
+    "?p y:hasAcademicAdvisor ?a . ?a y:wasBornIn ?city . }";
+
 /// One full online run on a fresh store; `updates` may be empty (the
 /// static baseline — same protocol, zero mutations).
-Result<core::OnlineRunMetrics> RunOnce(const rdf::Dataset& ds,
-                                       const workload::Workload& w,
-                                       const core::UpdateLog& updates,
-                                       uint64_t* store_bytes) {
+Result<core::OnlineRunMetrics> RunOnce(
+    const rdf::Dataset& ds, const workload::Workload& w,
+    const core::UpdateLog& updates, uint64_t* store_bytes,
+    std::function<void(int)> after_window = nullptr) {
   core::DualStoreConfig cfg;
   cfg.graph_capacity_triples = ds.num_triples() / 4;
   cfg.num_shards = 4;
@@ -44,14 +67,64 @@ Result<core::OnlineRunMetrics> RunOnce(const rdf::Dataset& ds,
   core::OnlineRunOptions opt;
   opt.num_batches = 5;
   opt.drift_threshold = 0.10;
+  opt.after_window = std::move(after_window);
 
   ThreadPool pool(ThreadPool::DefaultThreads());
   return runner.RunOnline(&store, w, updates, opt, &pool);
 }
 
+/// `m[key]`, 0 when absent (a metric nobody touched yet has no entry).
+double Val(const std::map<std::string, double>& m, const std::string& key) {
+  auto it = m.find(key);
+  return it == m.end() ? 0.0 : it->second;
+}
+
+/// Runs a few queries through a `Session` over a fresh store so the
+/// armed slow-query log has traffic to catch, then prints its contents.
+void DemoSlowQueryLog(const rdf::Dataset& ds, double threshold_ms) {
+  auto& reg = telemetry::MetricsRegistry::Global();
+  reg.slow_queries().set_threshold_ms(threshold_ms);
+
+  core::DualStoreConfig cfg;
+  cfg.graph_capacity_triples = ds.num_triples() / 4;
+  core::OnlineStore store(ds, cfg);
+  core::Session session(&store);
+  for (int i = 0; i < 5; ++i) {
+    auto exec = session.Execute(kFlagship);
+    if (!exec.ok()) {
+      std::fprintf(stderr, "%s\n", exec.status().ToString().c_str());
+      return;
+    }
+  }
+
+  std::printf("\nslow-query log (threshold %.3f ms, %llu caught):\n",
+              threshold_ms,
+              static_cast<unsigned long long>(reg.slow_queries().total()));
+  for (const telemetry::SlowQueryLog::Entry& e :
+       reg.slow_queries().Snapshot()) {
+    std::printf("  #%llu %8.3f ms [%s] %s\n",
+                static_cast<unsigned long long>(e.seq), e.wall_ms,
+                e.route.c_str(), e.text.c_str());
+  }
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  double slow_query_ms = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--slow-query-ms") == 0 && i + 1 < argc) {
+      slow_query_ms = std::atof(argv[i + 1]);
+    } else if (std::strncmp(argv[i], "--slow-query-ms=", 16) == 0) {
+      slow_query_ms = std::atof(argv[i] + 16);
+    }
+  }
+
+  // The whole point of this example is the observability surface; make
+  // sure it is on even if the environment disabled it.
+  auto& reg = telemetry::MetricsRegistry::Global();
+  reg.set_enabled(true);
+
   workload::YagoConfig gen;
   gen.target_triples = 60000;
   rdf::Dataset yago = workload::GenerateYago(gen);
@@ -76,7 +149,16 @@ int main() {
 
   uint64_t store_bytes = 0;
   auto stale = RunOnce(yago, *w, core::UpdateLog{}, nullptr);
-  auto fresh = RunOnce(yago, *w, updates, &store_bytes);
+
+  // Registry snapshots bracketing each window of the fresh run: snaps[0]
+  // is the pre-run state, snaps[i + 1] lands right after window i while
+  // the store is quiesced. Row i of the table is snaps[i+1] - snaps[i].
+  std::vector<std::map<std::string, double>> snaps;
+  snaps.push_back(reg.SnapshotValues());
+  auto fresh = RunOnce(yago, *w, updates, &store_bytes,
+                       [&snaps, &reg](int) {
+                         snaps.push_back(reg.SnapshotValues());
+                       });
   if (!stale.ok() || !fresh.ok()) {
     std::fprintf(stderr, "%s\n",
                  (!stale.ok() ? stale : fresh).status().ToString().c_str());
@@ -86,15 +168,28 @@ int main() {
               "(snapshots share nodes)\n\n",
               static_cast<double>(store_bytes) / (1024.0 * 1024.0));
 
+  std::printf("per-window table (from telemetry registry deltas):\n");
   std::printf("%7s %12s %12s %8s %8s %8s %8s\n", "window", "TTI s",
               "update s", "ins", "del", "drift", "retuned");
-  for (size_t i = 0; i < fresh->batches.size(); ++i) {
-    const core::OnlineBatchMetrics& b = fresh->batches[i];
-    std::printf("%7zu %12.4f %12.4f %8llu %8llu %7.0f%% %8s\n", i + 1,
-                b.tti_micros * 1e-6, b.update_micros * 1e-6,
-                static_cast<unsigned long long>(b.inserted),
-                static_cast<unsigned long long>(b.deleted),
-                100.0 * b.max_drift, b.retuned ? "yes" : "-");
+  for (size_t i = 0; i + 1 < snaps.size(); ++i) {
+    const std::map<std::string, double>& a = snaps[i];
+    const std::map<std::string, double>& b = snaps[i + 1];
+    const double tti_us =
+        Val(b, "online.window.tti_sim_us.sum") -
+        Val(a, "online.window.tti_sim_us.sum");
+    const double upd_us =
+        Val(b, "online.window.update_sim_us.sum") -
+        Val(a, "online.window.update_sim_us.sum");
+    const double ins = Val(b, "store.triples_inserted") -
+                       Val(a, "store.triples_inserted");
+    const double del = Val(b, "store.triples_deleted") -
+                       Val(a, "store.triples_deleted");
+    const double retunes =
+        Val(b, "online.retunes") - Val(a, "online.retunes");
+    const double drift = Val(b, "online.max_drift");  // gauge: last window
+    std::printf("%7zu %12.4f %12.4f %8.0f %8.0f %7.0f%% %8s\n", i + 1,
+                tti_us * 1e-6, upd_us * 1e-6, ins, del, 100.0 * drift,
+                retunes > 0 ? "yes" : "-");
   }
 
   const double stale_tti = stale->TotalTtiMicros() * 1e-6;
@@ -113,7 +208,15 @@ int main() {
               "one; the TTI delta is changed knowledge and re-tuning, not\n"
               "contention.\n");
 
+  if (slow_query_ms > 0) DemoSlowQueryLog(yago, slow_query_ms);
+
   // Freshness must have been real: the stream landed facts, and the
-  // store absorbed them without poisoning any shard.
-  return fresh->TotalInserted() > 0 && fresh->TotalDeleted() > 0 ? 0 : 1;
+  // store absorbed them without poisoning any shard. The registry must
+  // agree with the returned metrics — it watched the same run.
+  const auto& last = snaps.back();
+  const double reg_ins = Val(last, "store.triples_inserted") -
+                         Val(snaps.front(), "store.triples_inserted");
+  const bool ok = fresh->TotalInserted() > 0 && fresh->TotalDeleted() > 0 &&
+                  reg_ins == static_cast<double>(fresh->TotalInserted());
+  return ok ? 0 : 1;
 }

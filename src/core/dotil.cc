@@ -4,12 +4,29 @@
 #include <limits>
 #include <unordered_set>
 
+#include "common/telemetry.h"
+
 namespace dskg::core {
 
 using rdf::TermId;
 using sparql::Query;
 
 namespace {
+
+// Tuning-decision counters: how often DOTIL moves partitions around.
+struct DotilMetrics {
+  telemetry::Counter* migrations;
+  telemetry::Counter* evictions;
+};
+
+const DotilMetrics& Dm() {
+  static const DotilMetrics m = [] {
+    auto& reg = telemetry::MetricsRegistry::Global();
+    return DotilMetrics{reg.counter("dotil.migrations"),
+                        reg.counter("dotil.evictions")};
+  }();
+  return m;
+}
 
 /// Cap on the decision-time counterfactual probe (simulated microseconds):
 /// bounds offline tuning work while still separating heavy complex
@@ -140,12 +157,14 @@ Status DotilTuner::AfterBatch(DualStore* store,
       if (lost_value > gain) continue;  // eviction would be a net loss
       for (TermId t : eviction_plan) {
         DSKG_RETURN_NOT_OK(store->EvictPartition(t, meter));
+        Dm().evictions->Add();
       }
     }
 
     // Lines 28-29: migrate T_set.
     for (TermId t : tset) {
       DSKG_RETURN_NOT_OK(store->MigratePartition(t, meter));
+      Dm().migrations->Add();
     }
 
     // Lines 30-31: train transferred and kept partitions.

@@ -1,6 +1,7 @@
 #include "core/online_store.h"
 
 #include <algorithm>
+#include <string>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -9,6 +10,42 @@ namespace dskg::core {
 
 using rdf::TermId;
 using rdf::Triple;
+
+namespace {
+
+// Store-level pipeline metrics, resolved once against the global
+// registry (per-shard metrics live in OnlineStore::shard_metrics_).
+struct StoreMetrics {
+  telemetry::Counter* batches_applied;
+  telemetry::Counter* triples_inserted;
+  telemetry::Counter* triples_deleted;
+  telemetry::Counter* cow_nodes_cloned;
+  telemetry::Counter* cow_nodes_retired;
+  telemetry::Counter* cow_nodes_reclaimed;
+  telemetry::Gauge* cow_pending_nodes;
+  telemetry::Histogram* inject_route_us;
+  telemetry::Histogram* merge_barrier_us;
+  telemetry::Histogram* epoch_drain_us;
+};
+
+const StoreMetrics& Sm() {
+  static const StoreMetrics m = [] {
+    auto& reg = telemetry::MetricsRegistry::Global();
+    return StoreMetrics{reg.counter("store.batches_applied"),
+                        reg.counter("store.triples_inserted"),
+                        reg.counter("store.triples_deleted"),
+                        reg.counter("store.cow.nodes_cloned"),
+                        reg.counter("store.cow.nodes_retired"),
+                        reg.counter("store.cow.nodes_reclaimed"),
+                        reg.gauge("store.cow.pending_nodes"),
+                        reg.histogram("store.inject_route_us"),
+                        reg.histogram("store.merge_barrier_us"),
+                        reg.histogram("store.epoch_drain_us")};
+  }();
+  return m;
+}
+
+}  // namespace
 
 OnlineStore::OnlineStore(const rdf::Dataset& initial,
                          const DualStoreConfig& config)
@@ -30,6 +67,14 @@ OnlineStore::OnlineStore(const rdf::Dataset& initial,
   const int n = store_->num_shards();
   workers_.reserve(static_cast<size_t>(n));
   for (int s = 0; s < n; ++s) workers_.push_back(std::make_unique<Worker>());
+  auto& reg = telemetry::MetricsRegistry::Global();
+  shard_metrics_.resize(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    const std::string prefix = "store.shard" + std::to_string(s);
+    shard_metrics_[static_cast<size_t>(s)] = {
+        reg.histogram(prefix + ".apply_us"),
+        reg.gauge(prefix + ".queue_depth")};
+  }
   for (int s = 0; s < n; ++s) {
     workers_[static_cast<size_t>(s)]->thread =
         std::thread(&OnlineStore::WorkerLoop, this, s);
@@ -89,6 +134,9 @@ Result<UpdateResult> OnlineStore::ApplyUpdates(const UpdateBatch& batch,
   // change statistics: prepared plans must re-validate.
   store_->plan_epoch_.fetch_add(1, std::memory_order_release);
 
+  auto& reg = telemetry::MetricsRegistry::Global();
+  const bool telem = reg.enabled();
+
   UpdateResult res;
   CostMeter local;
   CostMeter* m = meter != nullptr ? meter : &local;
@@ -98,6 +146,7 @@ Result<UpdateResult> OnlineStore::ApplyUpdates(const UpdateBatch& batch,
   // ---- Phase I (inject): resolve ids in op order, route by predicate.
   // Interning happens here, on one thread, in exactly the serial store's
   // order — id assignment is independent of the shard count's timing.
+  const double inject0 = telem ? reg.NowMicros() : 0;
   rdf::Dictionary& dict = dataset_.mutable_dict();
   std::vector<Triple> triples(num_ops);
   std::vector<uint8_t> outcomes(num_ops, 0);  // 0 = skipped no-op
@@ -124,6 +173,16 @@ Result<UpdateResult> OnlineStore::ApplyUpdates(const UpdateBatch& batch,
     }
   }
 
+  if (telem) {
+    Sm().inject_route_us->Record(reg.NowMicros() - inject0);
+    // Routed queue depth per shard: how skewed this batch's predicate
+    // distribution is (the rebalancing follow-on's input signal).
+    for (int s = 0; s < n; ++s) {
+      shard_metrics_[static_cast<size_t>(s)].queue_depth->Set(
+          static_cast<double>(shard_ops[static_cast<size_t>(s)].size()));
+    }
+  }
+
   // ---- Phase II (apply): fan out to the shard appliers. Each charges
   // its own meter; with one shard the caller's meter is charged directly,
   // so the serial charge sequence is reproduced bit for bit.
@@ -147,6 +206,10 @@ Result<UpdateResult> OnlineStore::ApplyUpdates(const UpdateBatch& batch,
     }
     w.cv.notify_all();
   }
+  // Merge barrier: the injector blocks here until every shard applier
+  // reports done (the overlapped-injection follow-on wants this wait
+  // small; now it is measured).
+  const double barrier0 = telem ? reg.NowMicros() : 0;
   Status apply_status = Status::OK();
   for (int s = 0; s < n; ++s) {
     if (shard_ops[static_cast<size_t>(s)].empty()) continue;
@@ -155,6 +218,7 @@ Result<UpdateResult> OnlineStore::ApplyUpdates(const UpdateBatch& batch,
     w.cv.wait(lock, [&w] { return w.done; });
     if (!w.status.ok() && apply_status.ok()) apply_status = w.status;
   }
+  if (telem) Sm().merge_barrier_us->Record(reg.NowMicros() - barrier0);
   if (!apply_status.ok()) {
     // Never published: readers keep the last consistent snapshot, but the
     // live shards may have half-applied the batch — poison.
@@ -200,10 +264,14 @@ Result<UpdateResult> OnlineStore::ApplyUpdates(const UpdateBatch& batch,
     dataset_.RemoveBatch(pending_removal);
   }
 
+  Sm().triples_inserted->Add(res.inserted);
+  Sm().triples_deleted->Add(res.deleted);
+
   // ---- Phase IV: publish the new snapshot, then reclaim the old one's
   // reachable state once its last reader leaves.
   PublishAndReclaim();
   applied_batches_.fetch_add(1, std::memory_order_relaxed);
+  Sm().batches_applied->Add();
   return res;
 }
 
@@ -229,8 +297,15 @@ void OnlineStore::WorkerLoop(int shard) {
 Status OnlineStore::ApplyShard(int shard, const std::vector<ShardOp>& ops,
                                CostMeter* m,
                                std::vector<uint8_t>* outcomes) {
+  auto& reg = telemetry::MetricsRegistry::Global();
+  const bool telem = reg.enabled();
   relstore::TripleTable& table = store_->table_;
   graphstore::PropertyGraph& graph = store_->graph_;
+  // COW churn is a before/after delta of the shard's own tree counters:
+  // this applier is the only mutator, so the reads are exact.
+  const double wall0 = telem ? reg.NowMicros() : 0;
+  const uint64_t clones0 = telem ? table.CowClonesOf(shard) : 0;
+  const uint64_t pending0 = telem ? table.PendingNodesOf(shard) : 0;
   // New copy-on-write batch: the first touch of any tree node or graph
   // partition reachable from the published snapshot clones it.
   table.BeginShardBatch(shard);
@@ -263,10 +338,18 @@ Status OnlineStore::ApplyShard(int shard, const std::vector<ShardOp>& ops,
       (*outcomes)[op.index] = bits;
     }
   }
+  if (telem) {
+    shard_metrics_[static_cast<size_t>(shard)].apply_us->Record(
+        reg.NowMicros() - wall0);
+    Sm().cow_nodes_cloned->Add(table.CowClonesOf(shard) - clones0);
+    Sm().cow_nodes_retired->Add(table.PendingNodesOf(shard) - pending0);
+  }
   return Status::OK();
 }
 
 void OnlineStore::PublishAndReclaim() {
+  auto& reg = telemetry::MetricsRegistry::Global();
+  const bool telem = reg.enabled();
   const DualStore::Snapshot* fresh =
       new DualStore::Snapshot(store_->MakeSnapshot());
   const DualStore::Snapshot* old =
@@ -277,14 +360,22 @@ void OnlineStore::PublishAndReclaim() {
   // copied-over tree nodes, cloned-over graph partitions, dropped views,
   // and dictionary ids released by the batch (their two-stage
   // reclamation keeps ids resolvable for exactly one more snapshot).
+  const double drain0 = telem ? reg.NowMicros() : 0;
   epochs_.WaitUntilDrained(retired_epoch);
+  if (telem) Sm().epoch_drain_us->Record(reg.NowMicros() - drain0);
   delete old;
+  size_t reclaimed = 0;
   for (int s = 0; s < num_shards(); ++s) {
-    store_->table_.ReclaimShard(s);
+    reclaimed += store_->table_.ReclaimShard(s);
     store_->graph_.ReclaimShard(s);
   }
   if (store_->views_ != nullptr) store_->views_->CollectRetired();
   dataset_.mutable_dict().ReclaimDeferred();
+  if (telem) {
+    Sm().cow_nodes_reclaimed->Add(reclaimed);
+    Sm().cow_pending_nodes->Set(
+        static_cast<double>(store_->table_.PendingNodes()));
+  }
 }
 
 Status OnlineStore::TuneExclusive(const std::function<Status(DualStore*)>& fn) {

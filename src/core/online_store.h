@@ -58,6 +58,7 @@
 #include "common/cost.h"
 #include "common/epoch.h"
 #include "common/status.h"
+#include "common/telemetry.h"
 #include "core/dual_store.h"
 #include "core/update.h"
 #include "rdf/dataset.h"
@@ -207,12 +208,22 @@ class OnlineStore {
   /// snapshot could reach.
   void PublishAndReclaim();
 
+  /// One shard's applier telemetry, resolved against the global registry
+  /// at construction (`store.shard<k>.*` metrics; shared by every store
+  /// with a shard k — the registry merges, per-run deltas come from
+  /// snapshots).
+  struct ShardMetrics {
+    telemetry::Histogram* apply_us = nullptr;
+    telemetry::Gauge* queue_depth = nullptr;
+  };
+
   rdf::Dataset dataset_;
   std::unique_ptr<DualStore> store_;
   mutable EpochManager epochs_;
   /// The published snapshot; replaced (never mutated) by the injector.
   std::atomic<const DualStore::Snapshot*> snapshot_{nullptr};
   std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<ShardMetrics> shard_metrics_;  // aligned with workers_
   std::atomic<uint64_t> applied_batches_{0};
   Status poisoned_ = Status::OK();  // injector-thread state
 };

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 #include <utility>
+
+#include "common/telemetry.h"
 
 namespace dskg::core {
 
@@ -11,6 +14,44 @@ using rdf::TermId;
 using relstore::Executor;
 using sparql::BindingTable;
 using sparql::Query;
+
+namespace {
+
+// Route/engine metrics, resolved once against the global registry.
+// Indexed by `static_cast<int>(Route)`.
+struct QpMetrics {
+  telemetry::Counter* route_count[4];
+  telemetry::Histogram* wall_us[4];
+  telemetry::Histogram* sim_us[4];
+  telemetry::Histogram* rel_exec_wall_us;
+  telemetry::Histogram* rel_exec_sim_us;
+  telemetry::Histogram* graph_match_wall_us;
+  telemetry::Histogram* graph_match_sim_us;
+};
+
+const QpMetrics& Qm() {
+  static const QpMetrics m = [] {
+    auto& reg = telemetry::MetricsRegistry::Global();
+    QpMetrics q;
+    const Route routes[4] = {Route::kRelationalOnly, Route::kGraphOnly,
+                             Route::kDualStore, Route::kViewAssisted};
+    for (Route r : routes) {
+      const std::string n = RouteName(r);
+      const int i = static_cast<int>(r);
+      q.route_count[i] = reg.counter("query.route." + n);
+      q.wall_us[i] = reg.histogram("query.wall_us." + n);
+      q.sim_us[i] = reg.histogram("query.sim_us." + n);
+    }
+    q.rel_exec_wall_us = reg.histogram("rel.exec_wall_us");
+    q.rel_exec_sim_us = reg.histogram("rel.exec_sim_us");
+    q.graph_match_wall_us = reg.histogram("graph.match_wall_us");
+    q.graph_match_sim_us = reg.histogram("graph.match_sim_us");
+    return q;
+  }();
+  return m;
+}
+
+}  // namespace
 
 const char* RouteName(Route route) {
   switch (route) {
@@ -88,6 +129,10 @@ std::vector<TermId> QueryProcessor::MapParams(const std::vector<size_t>& map,
 Result<BindingTable> QueryProcessor::MatchAll(
     const TraversalMatcher::Plan& plan, const std::vector<size_t>& map,
     const TermId* param_values, CostMeter* meter) const {
+  auto& reg = telemetry::MetricsRegistry::Global();
+  const bool telem = reg.enabled();
+  const double wall0 = telem ? reg.NowMicros() : 0;
+  const double sim0 = telem && meter != nullptr ? meter->sim_micros() : 0;
   BindingTable out;
   out.columns = plan.out_vars;
   if (plan.impossible && plan.param_names.empty()) return out;
@@ -100,6 +145,14 @@ Result<BindingTable> QueryProcessor::MatchAll(
   bool done = false;
   DSKG_RETURN_NOT_OK(
       cursor.Fill(&out, std::numeric_limits<size_t>::max(), &done));
+  if (telem) {
+    // Wall vs. simulated pair for the same traversal: how the real clock
+    // tracks the cost model's TTI charge.
+    Qm().graph_match_wall_us->Record(reg.NowMicros() - wall0);
+    if (meter != nullptr) {
+      Qm().graph_match_sim_us->Record(meter->sim_micros() - sim0);
+    }
+  }
   return out;
 }
 
@@ -194,6 +247,9 @@ Result<PreparedPlan> QueryProcessor::Prepare(const Query& query) const {
 
 Result<QueryExecution> QueryProcessor::ExecutePlan(
     const PreparedPlan& plan, const TermId* param_values) const {
+  auto& reg = telemetry::MetricsRegistry::Global();
+  const bool telem = reg.enabled();
+  const double start_us = telem ? reg.NowMicros() : 0;
   QueryExecution exec;
   exec.split = BindSplit(plan, param_values);
 
@@ -209,7 +265,32 @@ Result<QueryExecution> QueryProcessor::ExecutePlan(
     exec.migrate_micros = migrate_meter.sim_micros();
     exec.graph_io_micros = graph_meter.io_micros();
     exec.graph_cpu_micros = graph_meter.cpu_micros();
+    const int ri = static_cast<int>(route);
+    Qm().route_count[ri]->Add();
+    if (telem) {
+      const double wall = reg.NowMicros() - start_us;
+      Qm().wall_us[ri]->Record(wall);
+      Qm().sim_us[ri]->Record(exec.total_micros());
+      if (reg.traces().enabled()) {
+        reg.traces().Record("query.execute", start_us, wall);
+      }
+    }
     return exec;
+  };
+
+  // Relational executions wrapped with their wall/simulated pair.
+  auto run_rel = [&](const Executor::CompiledQuery& cq,
+                     const std::vector<TermId>& local,
+                     BindingTable* seed) -> Result<BindingTable> {
+    const double wall0 = telem ? reg.NowMicros() : 0;
+    const double sim0 = telem ? rel_meter.sim_micros() : 0;
+    Result<BindingTable> res = executor_->ExecuteCompiled(
+        cq, local.empty() ? nullptr : local.data(), seed, &rel_meter);
+    if (telem && res.ok()) {
+      Qm().rel_exec_wall_us->Record(reg.NowMicros() - wall0);
+      Qm().rel_exec_sim_us->Record(rel_meter.sim_micros() - sim0);
+    }
+    return res;
   };
 
   if (plan.route == Route::kGraphOnly) {
@@ -236,11 +317,8 @@ Result<QueryExecution> QueryProcessor::ExecutePlan(
     }
     const std::vector<TermId> local =
         MapParams(plan.remainder_param_map, param_values);
-    DSKG_ASSIGN_OR_RETURN(
-        BindingTable result,
-        executor_->ExecuteCompiled(plan.remainder,
-                                   local.empty() ? nullptr : local.data(),
-                                   &inter, &rel_meter));
+    DSKG_ASSIGN_OR_RETURN(BindingTable result,
+                          run_rel(plan.remainder, local, &inter));
     return finish(std::move(result), Route::kDualStore);
   }
 
@@ -255,11 +333,8 @@ Result<QueryExecution> QueryProcessor::ExecutePlan(
       }
       const std::vector<TermId> local =
           MapParams(plan.remainder_param_map, param_values);
-      DSKG_ASSIGN_OR_RETURN(
-          BindingTable result,
-          executor_->ExecuteCompiled(plan.remainder,
-                                     local.empty() ? nullptr : local.data(),
-                                     &ans->bindings, &rel_meter));
+      DSKG_ASSIGN_OR_RETURN(BindingTable result,
+                            run_rel(plan.remainder, local, &ans->bindings));
       return finish(std::move(result), Route::kViewAssisted);
     }
   }
@@ -267,11 +342,8 @@ Result<QueryExecution> QueryProcessor::ExecutePlan(
   // ---- Case 3: relational store ------------------------------------------
   const std::vector<TermId> local = MapParams(plan.rel_param_map,
                                               param_values);
-  DSKG_ASSIGN_OR_RETURN(
-      BindingTable result,
-      executor_->ExecuteCompiled(plan.rel,
-                                 local.empty() ? nullptr : local.data(),
-                                 nullptr, &rel_meter));
+  DSKG_ASSIGN_OR_RETURN(BindingTable result,
+                        run_rel(plan.rel, local, nullptr));
   return finish(std::move(result), Route::kRelationalOnly);
 }
 

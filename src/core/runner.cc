@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/telemetry.h"
 #include "core/identifier.h"
 #include "core/session.h"
 
@@ -342,7 +343,28 @@ Result<OnlineRunMetrics> WorkloadRunner::RunOnline(
         last_tuned_sizes = now_sizes;
       }
     }
+    {
+      // Per-window simulated aggregates into the registry (these feed
+      // examples/streaming_freshness's registry-sourced table; `Record`s
+      // of simulated values — never wall clock — so the numbers stay
+      // deterministic).
+      auto& reg = telemetry::MetricsRegistry::Global();
+      if (reg.enabled()) {
+        static telemetry::Histogram* const tti_hist =
+            reg.histogram("online.window.tti_sim_us");
+        static telemetry::Histogram* const update_hist =
+            reg.histogram("online.window.update_sim_us");
+        static telemetry::Counter* const retunes =
+            reg.counter("online.retunes");
+        static telemetry::Gauge* const drift = reg.gauge("online.max_drift");
+        tti_hist->Record(bm.tti_micros);
+        update_hist->Record(bm.update_micros);
+        if (bm.retuned) retunes->Add();
+        drift->Set(bm.max_drift);
+      }
+    }
     metrics.batches.push_back(std::move(bm));
+    if (options.after_window) options.after_window(static_cast<int>(b));
   }
   return metrics;
 }

@@ -14,6 +14,7 @@
 ///     repetitions (the paper runs 6 times and averages the last 5 to
 ///     warm the accelerator).
 
+#include <functional>
 #include <vector>
 
 #include "common/status.h"
@@ -117,6 +118,10 @@ struct OnlineRunOptions {
   /// drifted by more than this fraction since the last tuning window
   /// (0 = re-tune after every window; < 0 = never re-tune).
   double drift_threshold = 0.25;
+  /// Called after each window completes (post drift check / re-tune),
+  /// with the window index, while the store is quiesced — e.g. to
+  /// snapshot the telemetry registry per window. Null = no callback.
+  std::function<void(int window)> after_window;
 };
 
 /// Aggregates for a whole workload run.

@@ -9,7 +9,47 @@ namespace dskg::core {
 using session_internal::CacheEntry;
 using session_internal::Snapshot;
 
+namespace {
+
+// Session-layer span histograms, resolved once against the global
+// registry (the lookup takes a lock; the pointers are stable).
+struct SessionHists {
+  telemetry::Histogram* prepare_us;
+  telemetry::Histogram* bind_us;
+  telemetry::Histogram* execute_us;
+  telemetry::Histogram* cursor_next_us;
+};
+
+const SessionHists& Hists() {
+  static const SessionHists h = [] {
+    auto& reg = telemetry::MetricsRegistry::Global();
+    return SessionHists{reg.histogram("session.prepare_us"),
+                        reg.histogram("session.bind_us"),
+                        reg.histogram("session.execute_us"),
+                        reg.histogram("session.cursor_next_us")};
+  }();
+  return h;
+}
+
+}  // namespace
+
+Session::StatCells::StatCells() {
+  auto& reg = telemetry::MetricsRegistry::Global();
+  prepares = reg.counter("session.prepares")->NewCell();
+  cache_hits = reg.counter("session.cache_hits")->NewCell();
+  executions = reg.counter("session.executions")->NewCell();
+  replans = reg.counter("session.replans")->NewCell();
+  evictions = reg.counter("session.evictions")->NewCell();
+}
+
 // ---- Cursor -----------------------------------------------------------------
+
+Status Cursor::Next(sparql::BindingTable* chunk, size_t max_rows,
+                    bool* done) {
+  telemetry::TraceScope span(Hists().cursor_next_us, "session.cursor_next");
+  DualStore::SnapshotScope scope(view_);
+  return impl_.Next(chunk, max_rows, done);
+}
 
 Result<sparql::BindingTable> Cursor::DrainAll(size_t chunk_rows) {
   sparql::BindingTable all;
@@ -31,6 +71,7 @@ PreparedQuery::PreparedQuery(Session* session,
       bindings_(entry_->params.size()) {}
 
 Status PreparedQuery::Bind(std::string_view param, std::string_view term) {
+  telemetry::TraceScope span(Hists().bind_us, "session.bind");
   size_t idx = entry_->params.size();
   for (size_t i = 0; i < entry_->params.size(); ++i) {
     if (entry_->params[i] == param) {
@@ -89,6 +130,9 @@ Result<std::vector<rdf::TermId>> PreparedQuery::ResolveForExecution(
 }
 
 Result<QueryExecution> PreparedQuery::ExecuteAll() {
+  auto& reg = telemetry::MetricsRegistry::Global();
+  const bool telem = reg.enabled();
+  const double start_us = telem ? reg.NowMicros() : 0;
   Snapshot snap = session_->Pin();
   // Everything from plan validation to the last row reads the pinned
   // snapshot: over an OnlineStore the execution is wait-free against the
@@ -97,8 +141,20 @@ Result<QueryExecution> PreparedQuery::ExecuteAll() {
   std::shared_ptr<const PreparedPlan> plan;
   DSKG_ASSIGN_OR_RETURN(std::vector<rdf::TermId> values,
                         ResolveForExecution(snap, &plan));
-  return snap.store->ExecutePlan(*plan,
-                                 values.empty() ? nullptr : values.data());
+  Result<QueryExecution> result = snap.store->ExecutePlan(
+      *plan, values.empty() ? nullptr : values.data());
+  if (telem) {
+    const double dur_us = reg.NowMicros() - start_us;
+    Hists().execute_us->Record(dur_us);
+    if (reg.traces().enabled()) {
+      reg.traces().Record("session.execute", start_us, dur_us);
+    }
+    if (result.ok() && reg.slow_queries().enabled()) {
+      reg.slow_queries().MaybeRecord(entry_->text, RouteName(result->route),
+                                     dur_us / 1000.0);
+    }
+  }
+  return result;
 }
 
 Result<Cursor> PreparedQuery::OpenCursor() {
@@ -136,6 +192,7 @@ Snapshot Session::Pin() const {
 }
 
 Result<PreparedQuery> Session::Prepare(std::string_view text) {
+  telemetry::TraceScope span(Hists().prepare_us, "session.prepare");
   std::shared_ptr<CacheEntry> entry;
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
@@ -147,7 +204,7 @@ Result<PreparedQuery> Session::Prepare(std::string_view text) {
     }
   }
   if (entry != nullptr) {
-    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    cells_.cache_hits->Add();
     return PreparedQuery(this, std::move(entry));
   }
 
@@ -169,7 +226,7 @@ Result<PreparedQuery> Session::Prepare(std::string_view text) {
       EvictOverflowLocked();
     }
   }
-  prepares_.fetch_add(1, std::memory_order_relaxed);
+  cells_.prepares->Add();
   return PreparedQuery(this, std::move(entry));
 }
 
@@ -178,7 +235,7 @@ void Session::EvictOverflowLocked() {
   while (cache_.size() > plan_cache_capacity_) {
     cache_.erase(lru_.back());
     lru_.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    cells_.evictions->Add();
   }
 }
 
@@ -200,7 +257,7 @@ Result<std::shared_ptr<const PreparedPlan>> Session::PlanFor(
   {
     std::lock_guard<std::mutex> lock(entry->mu);
     if (entry->plan != nullptr && entry->plan->plan_epoch == epoch) {
-      executions_.fetch_add(1, std::memory_order_relaxed);
+      cells_.executions->Add();
       return entry->plan;
     }
     replanned = entry->plan != nullptr;
@@ -211,8 +268,8 @@ Result<std::shared_ptr<const PreparedPlan>> Session::PlanFor(
     std::lock_guard<std::mutex> lock(entry->mu);
     entry->plan = shared;
   }
-  executions_.fetch_add(1, std::memory_order_relaxed);
-  if (replanned) replans_.fetch_add(1, std::memory_order_relaxed);
+  cells_.executions->Add();
+  if (replanned) cells_.replans->Add();
   return shared;
 }
 
@@ -254,11 +311,11 @@ void Session::ClearPlanCache() {
 
 Session::Stats Session::stats() const {
   Stats s;
-  s.prepares = prepares_.load(std::memory_order_relaxed);
-  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
-  s.executions = executions_.load(std::memory_order_relaxed);
-  s.replans = replans_.load(std::memory_order_relaxed);
-  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.prepares = cells_.prepares->value();
+  s.cache_hits = cells_.cache_hits->value();
+  s.executions = cells_.executions->value();
+  s.replans = cells_.replans->value();
+  s.evictions = cells_.evictions->value();
   return s;
 }
 

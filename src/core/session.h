@@ -65,6 +65,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "core/dual_store.h"
 #include "core/online_store.h"
@@ -120,10 +121,7 @@ class Cursor {
   /// skip the remaining work. Each pull re-installs the cursor's pinned
   /// snapshot, so the traversal keeps reading the state it started on no
   /// matter how many batches publish in between.
-  Status Next(sparql::BindingTable* chunk, size_t max_rows, bool* done) {
-    DualStore::SnapshotScope scope(view_);
-    return impl_.Next(chunk, max_rows, done);
-  }
+  Status Next(sparql::BindingTable* chunk, size_t max_rows, bool* done);
 
   /// Pulls everything that remains into one table (chunked internally).
   Result<sparql::BindingTable> DrainAll(size_t chunk_rows = 4096);
@@ -250,6 +248,11 @@ class Session {
   /// Drops every cached plan (handles re-prepare lazily on next use).
   void ClearPlanCache();
 
+  /// Compatibility view over this session's telemetry counter cells:
+  /// same fields, same per-instance semantics as the pre-telemetry
+  /// atomics. The registry counters `session.*` are the single source of
+  /// truth — `stats()` reads this session's dedicated cells, the global
+  /// export sums every session's cells into the process totals.
   struct Stats {
     uint64_t prepares = 0;     ///< cache misses: full parse + plan
     uint64_t cache_hits = 0;   ///< Prepare served from the cache
@@ -284,12 +287,20 @@ class Session {
   std::list<std::string> lru_;
   size_t plan_cache_capacity_ = kDefaultPlanCacheCapacity;
 
-  // Lock-free counters: executions must not serialize on a stats mutex.
-  std::atomic<uint64_t> prepares_{0};
-  std::atomic<uint64_t> cache_hits_{0};
-  std::atomic<uint64_t> executions_{0};
-  std::atomic<uint64_t> replans_{0};
-  std::atomic<uint64_t> evictions_{0};
+  /// This session's dedicated write cells in the global `session.*`
+  /// counters — lock-free increments (executions must not serialize on a
+  /// stats mutex), exact per-session reads, and they roll up into the
+  /// process-wide registry totals for free. Counting is unconditional:
+  /// `stats()` keeps its semantics whether telemetry is enabled or not.
+  struct StatCells {
+    StatCells();  // allocates cells from MetricsRegistry::Global()
+    telemetry::Counter::Cell* prepares;
+    telemetry::Counter::Cell* cache_hits;
+    telemetry::Counter::Cell* executions;
+    telemetry::Counter::Cell* replans;
+    telemetry::Counter::Cell* evictions;
+  };
+  StatCells cells_;
 };
 
 }  // namespace dskg::core

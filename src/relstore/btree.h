@@ -442,6 +442,11 @@ class BPlusTree {
   /// from the live root.
   size_t pending_nodes() const { return retired_.size(); }
 
+  /// Nodes cloned by the copy-on-write gate since construction
+  /// (monotone; batch deltas come from subtracting reads). Written only
+  /// by the tree's single mutator thread.
+  uint64_t cow_clones() const { return cow_clones_; }
+
   /// Pool slots ever allocated (live + pending-reclaim + free).
   size_t pool_nodes() const { return leaves_.size() + inners_.size(); }
 
@@ -524,6 +529,7 @@ class BPlusTree {
   /// Offline, or for batch-owned nodes, the id passes through untouched.
   NodeId EnsureOwned(NodeId id) {
     if (!cow_ || fresh_.count(id) != 0) return id;
+    ++cow_clones_;
     if (IsLeaf(id)) {
       const NodeId copy = AllocLeaf();
       Leaf(copy) = Leaf(id);
@@ -791,6 +797,7 @@ class BPlusTree {
   size_t size_ = 0;
   int height_ = 1;
   bool cow_ = false;
+  uint64_t cow_clones_ = 0;  ///< lifetime copy-on-write gate clones
 };
 
 }  // namespace dskg::relstore

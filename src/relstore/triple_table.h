@@ -145,6 +145,22 @@ class TripleTable {
     return total;
   }
 
+  /// One sub-shard's retired-but-undrained copy-on-write nodes (its
+  /// applier's view of `PendingNodes`).
+  uint64_t PendingNodesOf(int sub_shard) const {
+    const SubShard& s = shards_[static_cast<size_t>(sub_shard)];
+    return s.spo.pending_nodes() + s.pos.pending_nodes() +
+           s.osp.pending_nodes();
+  }
+
+  /// Lifetime copy-on-write clones across one sub-shard's three index
+  /// trees (monotone; per-batch churn is a delta of two reads). Read it
+  /// from the sub-shard's applier thread or while quiescent.
+  uint64_t CowClonesOf(int sub_shard) const {
+    const SubShard& s = shards_[static_cast<size_t>(sub_shard)];
+    return s.spo.cow_clones() + s.pos.cow_clones() + s.osp.cow_clones();
+  }
+
   /// Removes one triple, maintaining all three indexes and the statistics
   /// (distinct subject/object counts decay exactly — the stats keep
   /// per-term occurrence counts, not just sets). Charges one
