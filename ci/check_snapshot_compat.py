@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Verifies the committed golden snapshot fixture still loads.
+
+Usage: check_snapshot_compat.py BENCH_PERSISTENCE_BINARY FIXTURE_DIR
+
+Runs `bench_persistence --check-compat FIXTURE_DIR`, which recovers an
+OnlineStore from the committed snapshot + WAL pair in FIXTURE_DIR and
+compares the recovered row set (count and CRC32C) and replay depth
+against FIXTURE_DIR/expected.json. The binary prints one line of the
+form
+
+    COMPAT {"ok": 1, "rows": 38, ...}
+
+and exits nonzero on any mismatch. This script is a thin wrapper that
+surfaces that line in CI logs and turns a missing/garbled report into a
+failure too — a format change that breaks old snapshots must ship a
+regenerated fixture (`bench_persistence --write-fixture`) and a
+format-version bump in the same PR.
+"""
+
+import json
+import subprocess
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    binary, fixture_dir = sys.argv[1], sys.argv[2]
+
+    proc = subprocess.run(
+        [binary, "--check-compat", fixture_dir],
+        capture_output=True,
+        text=True,
+    )
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+
+    report = None
+    for line in proc.stdout.splitlines():
+        if line.startswith("COMPAT "):
+            try:
+                report = json.loads(line[len("COMPAT "):])
+            except json.JSONDecodeError:
+                print(f"FAIL: unparseable compat report: {line}")
+                return 1
+
+    if report is None:
+        print("FAIL: no COMPAT report line in output")
+        return 1
+    if proc.returncode != 0 or not report.get("ok"):
+        print(
+            f"FAIL: golden snapshot in {fixture_dir} no longer recovers "
+            "cleanly; if the on-disk format changed intentionally, bump the "
+            "snapshot version and regenerate the fixture with "
+            "--write-fixture in this PR"
+        )
+        return 1
+    print(f"OK: golden snapshot in {fixture_dir} recovers bit-identically")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,26 @@ DualStore::DualStore(rdf::Dataset* dataset, const DualStoreConfig& config)
       &executor_, &graph_, &matcher_, views_.get(), &dataset->dict(), pc);
 }
 
+DualStore::DualStore(rdf::Dataset* dataset, const DualStoreConfig& config,
+                     RestoreTag)
+    : dataset_(dataset),
+      config_(config),
+      table_(config.num_shards),
+      graph_(config.graph_capacity_triples, config.num_shards),
+      executor_(&table_, &dataset->dict()),
+      matcher_(&graph_, &dataset->dict()) {
+  if (config.use_views) {
+    views_ = std::make_unique<relstore::MaterializedViewManager>(
+        &executor_, &dataset->dict(), config.views_budget_rows);
+  }
+  QueryProcessor::Config pc;
+  pc.use_graph = config.use_graph;
+  pc.use_views = config.use_views;
+  pc.graph_throttle = config.graph_throttle;
+  processor_ = std::make_unique<QueryProcessor>(
+      &executor_, &graph_, &matcher_, views_.get(), &dataset->dict(), pc);
+}
+
 Result<QueryExecution> DualStore::Process(const Query& query) const {
   return processor_->Process(query);
 }

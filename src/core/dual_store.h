@@ -73,6 +73,14 @@ class DualStore {
   /// it stays mutable because knowledge updates intern new terms.
   DualStore(rdf::Dataset* dataset, const DualStoreConfig& config);
 
+  /// Recovery constructor (the persistence tier's entry): wires every
+  /// component exactly like the bulk-load constructor but skips the bulk
+  /// load, leaving the triple table empty — the caller (the online
+  /// store's restore path) rebuilds `table_` in place from a snapshot
+  /// slab image, O(slab bytes) instead of O(n log n) re-insertion.
+  struct RestoreTag {};
+  DualStore(rdf::Dataset* dataset, const DualStoreConfig& config, RestoreTag);
+
   DualStore(const DualStore&) = delete;
   DualStore& operator=(const DualStore&) = delete;
 

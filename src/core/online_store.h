@@ -61,6 +61,7 @@
 #include "common/telemetry.h"
 #include "core/dual_store.h"
 #include "core/update.h"
+#include "persist/wal.h"
 #include "rdf/dataset.h"
 
 namespace dskg::core {
@@ -73,6 +74,15 @@ class OnlineStore {
   /// only read during construction and is not retained). The clone's
   /// dictionary is sliced to match `config.num_shards`.
   OnlineStore(const rdf::Dataset& initial, const DualStoreConfig& config);
+
+  /// Durable variant: same construction, plus crash safety rooted at
+  /// `durability.dir`. Writes an initial snapshot (watermark 0 — the WAL
+  /// alone cannot reconstruct the bulk-loaded dataset) and opens a WAL;
+  /// every subsequent `ApplyUpdates` appends its batch as a checksummed
+  /// record *before* any structure mutates. A failure to establish
+  /// durability poisons the store (check `poison_status()`).
+  OnlineStore(const rdf::Dataset& initial, const DualStoreConfig& config,
+              const persist::DurabilityOptions& durability);
 
   ~OnlineStore();
 
@@ -140,6 +150,50 @@ class OnlineStore {
   /// protocol does).
   Status TuneExclusive(const std::function<Status(DualStore*)>& fn);
 
+  // ---- durability & crash recovery (injector thread) ---------------------
+
+  /// What `Recover` found and did.
+  struct RecoveryReport {
+    uint64_t snapshot_watermark = 0;  ///< batch id the loaded snapshot covers
+    uint64_t replayed_batches = 0;    ///< WAL records applied past it
+    bool used_fallback_snapshot = false;  ///< newest snapshot failed checksums
+    bool dropped_tail = false;  ///< bytes past the valid WAL prefix discarded
+    /// OK when the WAL ended cleanly (a record boundary, or a torn tail
+    /// from a crash mid-append). IoError when a fully framed mid-log
+    /// record failed its checksum or would not decode — recovery still
+    /// returns the store at the last good prefix.
+    Status wal_status = Status::OK();
+    std::string snapshot_file;  ///< path of the snapshot recovery loaded
+  };
+
+  /// Rebuilds a store from `durability.dir`: loads the newest snapshot
+  /// that validates end to end (falling back to older ones on checksum
+  /// failure — corrupt images are never loaded), replays the contiguous
+  /// WAL suffix past its watermark, then checkpoints the recovered state
+  /// (fresh snapshot + rotated WAL) so the next crash replays from here.
+  /// NotFound when the directory holds no snapshot at all.
+  /// `config` must describe the same shard layout the snapshot was saved
+  /// under (InvalidArgument otherwise).
+  static Result<std::unique_ptr<OnlineStore>> Recover(
+      const DualStoreConfig& config,
+      const persist::DurabilityOptions& durability,
+      RecoveryReport* report = nullptr);
+
+  /// Checkpoints the current state: writes a snapshot at the current
+  /// watermark (temp file + rename + directory fsync — torn saves never
+  /// shadow the previous snapshot), rotates the WAL to a fresh segment,
+  /// and prunes snapshots/segments made obsolete by
+  /// `DurabilityOptions::keep_snapshots`. Durable stores only; call
+  /// between batches (the store must be quiescent).
+  Status SaveSnapshot();
+
+  /// The id the next applied batch will be sequenced as (the durability
+  /// watermark). Batches below it are acknowledged as no-ops.
+  uint64_t next_batch_id() const { return next_batch_id_; }
+
+  /// True when construction configured a durability directory.
+  bool durable() const { return !durability_.dir.empty(); }
+
   // ---- introspection (injector thread / quiescent store only) ------------
 
   /// The store. Only meaningful from the injector thread or while no
@@ -168,6 +222,28 @@ class OnlineStore {
   const EpochManager& epochs() const { return epochs_; }
 
  private:
+  /// Restores from a snapshot instead of bulk-loading: the dataset is
+  /// moved in, the triple table deserialized from its slab image, and the
+  /// graph re-imports the partitions that were resident at save time.
+  /// On failure `*status` is set and the appliers never start (the
+  /// destructor is safe either way).
+  struct RestoreTag {};
+  OnlineStore(RestoreTag, rdf::Dataset&& restored,
+              const DualStoreConfig& config, std::string_view table_payload,
+              const std::vector<rdf::TermId>& resident_predicates,
+              Status* status);
+
+  /// Shared constructor tail: flips every component into online
+  /// (copy-on-write / deferred-reclaim) mode, publishes the first
+  /// snapshot, and starts the shard applier threads.
+  void FinishConstruction();
+
+  /// Best-effort cleanup of files superseded by the newest snapshots
+  /// (keeps `DurabilityOptions::keep_snapshots` of them plus every WAL
+  /// segment the oldest kept snapshot still needs). Failures are ignored:
+  /// stale files are harmless at recovery.
+  void PruneObsoleteFiles();
+
   /// One routed mutation: its slot in the batch plus resolved ids.
   struct ShardOp {
     uint32_t index = 0;  ///< position in the batch (outcome slot)
@@ -226,6 +302,13 @@ class OnlineStore {
   std::vector<ShardMetrics> shard_metrics_;  // aligned with workers_
   std::atomic<uint64_t> applied_batches_{0};
   Status poisoned_ = Status::OK();  // injector-thread state
+
+  // Durability (injector-thread state; empty dir = not durable).
+  persist::DurabilityOptions durability_;
+  std::unique_ptr<persist::WalWriter> wal_;
+  /// Monotone batch sequence: the id the next batch will carry. Equals
+  /// the watermark every snapshot/WAL rotation is stamped with.
+  uint64_t next_batch_id_ = 0;
 };
 
 }  // namespace dskg::core

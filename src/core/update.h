@@ -21,9 +21,18 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/bytes.h"
+#include "common/status.h"
+
 namespace dskg::core {
+
+/// `UpdateBatch::batch_id` value meaning "not yet sequenced". The store
+/// assigns the next id on apply; `UpdateLog::Append` stamps the sequence
+/// number.
+inline constexpr uint64_t kUnassignedBatchId = ~0ULL;
 
 /// One knowledge-graph mutation.
 struct UpdateOp {
@@ -45,6 +54,10 @@ struct UpdateOp {
 /// One atomically-visible group of mutations.
 struct UpdateBatch {
   std::vector<UpdateOp> ops;
+  /// Monotone batch identity: assigned by `UpdateLog::Append` (the dense
+  /// log position) or by the store at apply time when unassigned. The WAL
+  /// watermark, recovery replay, and telemetry windows all key off it.
+  uint64_t batch_id = kUnassignedBatchId;
 
   size_t size() const { return ops.size(); }
   bool empty() const { return ops.empty(); }
@@ -56,7 +69,67 @@ struct UpdateResult {
   uint64_t deleted = 0;         ///< stored triples removed (misses skip)
   uint64_t views_dropped = 0;   ///< stale materialized views invalidated
   uint64_t graph_maintained = 0;  ///< edges maintained in resident partitions
+  /// The batch id this result belongs to (the effective id the store
+  /// sequenced the batch under).
+  uint64_t batch_id = kUnassignedBatchId;
+  /// True when `OnlineStore::ApplyUpdates` recognized an already-applied
+  /// batch id (recovery replay idempotence) and did nothing.
+  bool already_applied = false;
 };
+
+// ---- binary batch codec (the WAL record payload) ---------------------------
+
+/// Appends `batch` in the durable wire format under an explicit id: u64
+/// batch_id, u32 op count, then per op a kind byte and three
+/// length-prefixed term strings. Fixed-width little-endian throughout
+/// (see common/bytes.h); framing and checksumming are the WAL layer's
+/// job.
+inline void EncodeUpdateBatch(const UpdateBatch& batch, uint64_t batch_id,
+                              std::string* out) {
+  PutU64(out, batch_id);
+  PutU32(out, static_cast<uint32_t>(batch.ops.size()));
+  for (const UpdateOp& op : batch.ops) {
+    PutU8(out, op.kind == UpdateOp::Kind::kInsert ? 0 : 1);
+    PutString(out, op.subject);
+    PutString(out, op.predicate);
+    PutString(out, op.object);
+  }
+}
+
+/// Convenience overload: encodes under the batch's own id.
+inline void EncodeUpdateBatch(const UpdateBatch& batch, std::string* out) {
+  EncodeUpdateBatch(batch, batch.batch_id, out);
+}
+
+/// Decodes one batch written by `EncodeUpdateBatch`. Truncated or
+/// malformed input returns an error without reading out of bounds.
+inline Status DecodeUpdateBatch(ByteReader* in, UpdateBatch* out) {
+  out->ops.clear();
+  DSKG_RETURN_NOT_OK(in->ReadU64(&out->batch_id));
+  uint32_t num_ops = 0;
+  DSKG_RETURN_NOT_OK(in->ReadU32(&num_ops));
+  // Each op occupies >= 13 bytes (kind + three length prefixes): a count
+  // the remaining bytes cannot hold is malformed, not an allocation size.
+  if (static_cast<uint64_t>(num_ops) * 13 > in->remaining()) {
+    return Status::IoError("batch op count " + std::to_string(num_ops) +
+                           " exceeds remaining payload");
+  }
+  out->ops.reserve(num_ops);
+  for (uint32_t i = 0; i < num_ops; ++i) {
+    UpdateOp op;
+    uint8_t kind = 0;
+    DSKG_RETURN_NOT_OK(in->ReadU8(&kind));
+    if (kind > 1) {
+      return Status::IoError("bad op kind " + std::to_string(kind));
+    }
+    op.kind = kind == 0 ? UpdateOp::Kind::kInsert : UpdateOp::Kind::kDelete;
+    DSKG_RETURN_NOT_OK(in->ReadString(&op.subject));
+    DSKG_RETURN_NOT_OK(in->ReadString(&op.predicate));
+    DSKG_RETURN_NOT_OK(in->ReadString(&op.object));
+    out->ops.push_back(std::move(op));
+  }
+  return Status::OK();
+}
 
 /// An append-only sequence of batches with dense sequence numbers.
 /// The producer (update-stream generator, ingest frontend) appends; the
@@ -65,8 +138,11 @@ struct UpdateResult {
 /// log mutably.
 class UpdateLog {
  public:
-  /// Appends `batch` and returns its sequence number (0-based).
+  /// Appends `batch` and returns its sequence number (0-based). The
+  /// batch's `batch_id` is stamped with that sequence number, so a log
+  /// replayed in order carries dense, monotone batch identities.
   uint64_t Append(UpdateBatch batch) {
+    batch.batch_id = batches_.size();
     batches_.push_back(std::move(batch));
     return batches_.size() - 1;
   }

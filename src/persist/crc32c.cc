@@ -1,0 +1,52 @@
+#include "persist/crc32c.h"
+
+namespace dskg::persist {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+
+struct Tables {
+  uint32_t t[4][256];
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? (c >> 1) ^ kPoly : c >> 1;
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFF];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFF];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFF];
+    }
+  }
+};
+
+const Tables& T() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const Tables& tb = T();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  // Slicing-by-4: fold four bytes per step through the four tables.
+  while (n >= 4) {
+    c ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+    c = tb.t[3][c & 0xFF] ^ tb.t[2][(c >> 8) & 0xFF] ^
+        tb.t[1][(c >> 16) & 0xFF] ^ tb.t[0][(c >> 24) & 0xFF];
+    p += 4;
+    n -= 4;
+  }
+  while (n-- > 0) {
+    c = (c >> 8) ^ tb.t[0][(c ^ *p++) & 0xFF];
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace dskg::persist

@@ -1,0 +1,30 @@
+#ifndef DSKG_PERSIST_CRC32C_H_
+#define DSKG_PERSIST_CRC32C_H_
+
+/// \file crc32c.h
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+/// checksum guarding every WAL record and snapshot section. Software
+/// slicing-by-4 implementation; no hardware intrinsics so the value is
+/// identical on every build. Known vector: Crc32c("123456789", 9) ==
+/// 0xE3069283 (the iSCSI test vector), pinned by tests/persist/codec_test.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dskg::persist {
+
+/// Extends `crc` (state from a previous call, 0 to start) over `n` bytes.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+inline uint32_t Crc32c(std::string_view s) {
+  return Crc32cExtend(0, s.data(), s.size());
+}
+
+}  // namespace dskg::persist
+
+#endif  // DSKG_PERSIST_CRC32C_H_

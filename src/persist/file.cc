@@ -1,0 +1,238 @@
+#include "persist/file.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace dskg::persist {
+
+namespace {
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::IoError(op + " " + path + ": " + std::strerror(errno));
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path, uint64_t offset)
+      : fd_(fd), path_(std::move(path)), offset_(offset) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Errno("write", path_);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+      offset_ += static_cast<uint64_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fdatasync(fd_) != 0) return Errno("fdatasync", path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return Errno("close", path_);
+    return Status::OK();
+  }
+
+  uint64_t offset() const override { return offset_; }
+
+ private:
+  int fd_;
+  std::string path_;
+  uint64_t offset_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<WritableFile>> OpenWritable(const std::string& path,
+                                                   bool truncate) {
+  const int flags =
+      O_WRONLY | O_CREAT | O_CLOEXEC | (truncate ? O_TRUNC : O_APPEND);
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return Errno("open", path);
+  uint64_t offset = 0;
+  if (!truncate) {
+    const off_t end = ::lseek(fd, 0, SEEK_END);
+    if (end < 0) {
+      ::close(fd);
+      return Errno("lseek", path);
+    }
+    offset = static_cast<uint64_t>(end);
+  }
+  return std::unique_ptr<WritableFile>(
+      new PosixWritableFile(fd, path, offset));
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Errno("open", path);
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Errno("read", path);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status CreateDirIfMissing(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::OK();
+  }
+  return Errno("mkdir", dir);
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return Errno("opendir", dir);
+  std::vector<std::string> out;
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    out.push_back(name);
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return Errno("stat", path);
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) return Errno("unlink", path);
+  return Status::OK();
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) return Errno("rename", from);
+  return Status::OK();
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Errno("truncate", path);
+  }
+  return Status::OK();
+}
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Errno("open", dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Errno("fsync", dir);
+  return Status::OK();
+}
+
+// ---- fault injection --------------------------------------------------------
+
+WritableWrapper FaultInjector::Wrapper() {
+  return [this](std::unique_ptr<WritableFile> inner, const std::string&) {
+    return std::unique_ptr<WritableFile>(
+        new FaultInjectingFile(std::move(inner), this));
+  };
+}
+
+Status FaultInjectingFile::Append(std::string_view data) {
+  FaultInjector& inj = *injector_;
+  if (inj.silent_dead_) return Status::OK();  // torn: bytes vanish silently
+  if (inj.dead_) return Status::IoError("injected: process crashed");
+  const uint64_t io = inj.io_count_++;
+  const bool fire = !inj.triggered_ && inj.plan_.kind != FaultKind::kNone &&
+                    inj.plan_.kind != FaultKind::kFailSync &&
+                    io >= inj.plan_.at_io;
+  if (!fire) return inner_->Append(data);
+  inj.triggered_ = true;
+  // Deterministic split point / corrupt byte from the seed and the io
+  // index (xorshift so nearby seeds diverge).
+  uint64_t h = inj.plan_.seed ^ (io * 0x9E3779B97F4A7C15ull);
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 29;
+  switch (inj.plan_.kind) {
+    case FaultKind::kFailWrite:
+      inj.dead_ = true;
+      return Status::IoError("injected: write failed");
+    case FaultKind::kShortWrite: {
+      const size_t keep = data.empty() ? 0 : h % data.size();
+      inj.dead_ = true;
+      if (keep > 0) (void)inner_->Append(data.substr(0, keep));
+      return Status::IoError("injected: short write (" +
+                             std::to_string(keep) + "/" +
+                             std::to_string(data.size()) + " bytes)");
+    }
+    case FaultKind::kTornWrite: {
+      const size_t keep = data.empty() ? 0 : h % data.size();
+      inj.silent_dead_ = true;
+      if (keep > 0) (void)inner_->Append(data.substr(0, keep));
+      return Status::OK();  // lies: claims the full write landed
+    }
+    case FaultKind::kFlipByte: {
+      std::string corrupt(data);
+      if (!corrupt.empty()) {
+        const size_t pos = h % corrupt.size();
+        corrupt[pos] = static_cast<char>(
+            corrupt[pos] ^ static_cast<char>(1 + ((h >> 32) & 0xFF) % 255));
+      }
+      return inner_->Append(corrupt);  // run continues; corruption latent
+    }
+    case FaultKind::kNone:
+    case FaultKind::kFailSync:
+      break;  // unreachable (filtered by `fire`)
+  }
+  return inner_->Append(data);
+}
+
+Status FaultInjectingFile::Sync() {
+  FaultInjector& inj = *injector_;
+  if (inj.silent_dead_) return Status::OK();
+  if (inj.dead_) return Status::IoError("injected: process crashed");
+  const uint64_t io = inj.io_count_++;
+  if (!inj.triggered_ && inj.plan_.kind == FaultKind::kFailSync &&
+      io >= inj.plan_.at_io) {
+    inj.triggered_ = true;
+    inj.dead_ = true;
+    return Status::IoError("injected: fsync failed");
+  }
+  return inner_->Sync();
+}
+
+}  // namespace dskg::persist

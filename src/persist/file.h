@@ -1,0 +1,145 @@
+#ifndef DSKG_PERSIST_FILE_H_
+#define DSKG_PERSIST_FILE_H_
+
+/// \file file.h
+/// The persistence tier's file abstraction: a minimal POSIX-backed
+/// `WritableFile` (append / sync / close), whole-file reads, and the
+/// directory helpers the WAL and snapshot managers need (atomic
+/// temp+rename publication, listing, deletion).
+///
+/// Every write path goes through the `WritableFile` interface so the
+/// fault-injection harness can interpose: `FaultInjector` wraps files and
+/// deterministically fails, shortens, tears or corrupts the Nth I/O of a
+/// run — the crash matrix in tests/persist/recovery_test.cc drives
+/// recovery through every such failure point and asserts the store always
+/// comes back as a valid batch-prefix, never corrupt.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dskg::persist {
+
+/// Append-only output file. Not thread-safe (single writer).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `data` at the end of the file.
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Forces written data to stable storage (fdatasync).
+  virtual Status Sync() = 0;
+
+  /// Closes the descriptor. Idempotent; the destructor closes too (but
+  /// swallows errors — call Close to observe them).
+  virtual Status Close() = 0;
+
+  /// Bytes appended so far through this handle.
+  virtual uint64_t offset() const = 0;
+};
+
+/// Wraps a freshly opened writable file; the persistence managers route
+/// every file they open through the configured wrapper so tests can
+/// substitute a `FaultInjector`-controlled file. Identity when null.
+using WritableWrapper = std::function<std::unique_ptr<WritableFile>(
+    std::unique_ptr<WritableFile> inner, const std::string& path)>;
+
+/// Opens `path` for appending. `truncate` discards existing contents;
+/// otherwise appends at the current end (the WAL-reopen path).
+Result<std::unique_ptr<WritableFile>> OpenWritable(const std::string& path,
+                                                   bool truncate);
+
+/// Reads the whole file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+Status CreateDirIfMissing(const std::string& dir);
+Result<std::vector<std::string>> ListDir(const std::string& dir);
+bool FileExists(const std::string& path);
+Result<uint64_t> FileSize(const std::string& path);
+Status RemoveFile(const std::string& path);
+Status RenameFile(const std::string& from, const std::string& to);
+Status TruncateFile(const std::string& path, uint64_t size);
+
+/// Fsyncs the directory entry itself so renames/creates/unlinks in it are
+/// durable (a rename without it can vanish on power loss).
+Status SyncDir(const std::string& dir);
+
+// ---- fault injection --------------------------------------------------------
+
+/// What to do to the Nth I/O of a run.
+enum class FaultKind {
+  kNone,        ///< passthrough
+  kFailWrite,   ///< the write fails cleanly: no bytes land, error returned
+  kShortWrite,  ///< a prefix lands, then an error (interrupted write)
+  kTornWrite,   ///< a prefix lands but the write *claims success*; every
+                ///< later I/O is silently swallowed (power loss with data
+                ///< stuck in the page cache)
+  kFlipByte,    ///< one byte of the write is corrupted silently; the run
+                ///< continues (bit rot / firmware bug)
+  kFailSync,    ///< the first sync at or after the Nth I/O fails
+};
+
+struct FaultPlan {
+  FaultKind kind = FaultKind::kNone;
+  /// 0-based index of the I/O operation (appends and syncs both count,
+  /// across every file the injector wraps) at which the fault fires.
+  uint64_t at_io = 0;
+  /// Drives the deterministic choice of prefix length / flipped byte.
+  uint64_t seed = 0;
+};
+
+/// Shared fault state for one simulated process run: counts I/Os across
+/// every file opened through `Wrapper()` so "the Nth I/O of the run" is
+/// well defined no matter which file it lands on. After a crash-class
+/// fault (fail/short/torn) fires, the injector is *dead*: every later
+/// write on every wrapped file fails (or, for torn writes, silently
+/// disappears) — the process is considered gone and the test recovers
+/// from whatever reached the disk.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan) : plan_(plan) {}
+
+  /// The wrapper to install in `DurabilityOptions::wrap_writable`.
+  WritableWrapper Wrapper();
+
+  /// True once the fault has fired.
+  bool triggered() const { return triggered_; }
+
+  /// I/O operations observed so far.
+  uint64_t io_count() const { return io_count_; }
+
+ private:
+  friend class FaultInjectingFile;
+  FaultPlan plan_;
+  uint64_t io_count_ = 0;
+  bool triggered_ = false;
+  bool dead_ = false;        ///< crash-class fault fired: writes fail
+  bool silent_dead_ = false; ///< torn write: writes vanish but "succeed"
+};
+
+/// A `WritableFile` under `FaultInjector` control (see `FaultKind`).
+class FaultInjectingFile : public WritableFile {
+ public:
+  FaultInjectingFile(std::unique_ptr<WritableFile> inner,
+                     FaultInjector* injector)
+      : inner_(std::move(inner)), injector_(injector) {}
+
+  Status Append(std::string_view data) override;
+  Status Sync() override;
+  Status Close() override { return inner_->Close(); }
+  uint64_t offset() const override { return inner_->offset(); }
+
+ private:
+  std::unique_ptr<WritableFile> inner_;
+  FaultInjector* injector_;
+};
+
+}  // namespace dskg::persist
+
+#endif  // DSKG_PERSIST_FILE_H_

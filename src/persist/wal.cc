@@ -1,0 +1,214 @@
+#include "persist/wal.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/bytes.h"
+#include "common/telemetry.h"
+#include "persist/crc32c.h"
+
+namespace dskg::persist {
+
+namespace {
+
+constexpr size_t kRecordHeader = 8;  // u32 crc + u32 len
+// A single batch record larger than this is malformed (the generator's
+// batches are a few hundred KiB at most); bounds a corrupt length prefix.
+constexpr uint32_t kMaxRecordLen = 1u << 30;
+
+double SteadyMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct WalMetrics {
+  telemetry::Histogram* append_us;
+  telemetry::Histogram* fsync_us;
+  telemetry::Counter* records;
+  telemetry::Counter* bytes;
+};
+
+const WalMetrics& Wm() {
+  static const WalMetrics m = [] {
+    auto& reg = telemetry::MetricsRegistry::Global();
+    return WalMetrics{reg.histogram("persist.wal.append_us"),
+                      reg.histogram("persist.fsync_us"),
+                      reg.counter("persist.wal.records"),
+                      reg.counter("persist.wal.bytes")};
+  }();
+  return m;
+}
+
+std::string NumberedName(const char* prefix, uint64_t n, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%020" PRIu64 "%s", prefix, n, suffix);
+  return buf;
+}
+
+bool ParseNumberedName(const std::string& name, const std::string& prefix,
+                       const std::string& suffix, uint64_t* n) {
+  if (name.size() != prefix.size() + 20 + suffix.size()) return false;
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (size_t i = prefix.size(); i < prefix.size() + 20; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *n = v;
+  return true;
+}
+
+}  // namespace
+
+std::string WalSegmentName(uint64_t first_batch_id) {
+  return NumberedName("wal-", first_batch_id, ".log");
+}
+
+std::string SnapshotFileName(uint64_t watermark) {
+  return NumberedName("snapshot-", watermark, ".dskg");
+}
+
+bool ParseWalSegmentName(const std::string& name, uint64_t* first_batch_id) {
+  return ParseNumberedName(name, "wal-", ".log", first_batch_id);
+}
+
+bool ParseSnapshotFileName(const std::string& name, uint64_t* watermark) {
+  return ParseNumberedName(name, "snapshot-", ".dskg", watermark);
+}
+
+WalWriter::WalWriter(std::unique_ptr<WritableFile> file, std::string path,
+                     uint64_t first_batch_id, const DurabilityOptions& opts)
+    : file_(std::move(file)),
+      path_(std::move(path)),
+      first_batch_id_(first_batch_id),
+      policy_(opts.sync_policy),
+      sync_every_n_(opts.sync_every_n == 0 ? 1 : opts.sync_every_n),
+      sync_interval_ms_(opts.sync_interval_ms),
+      last_sync_ms_(SteadyMs()) {}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(
+    const DurabilityOptions& opts, uint64_t first_batch_id) {
+  const std::string path = opts.dir + "/" + WalSegmentName(first_batch_id);
+  DSKG_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                        OpenWritable(path, /*truncate=*/true));
+  if (opts.wrap_writable) file = opts.wrap_writable(std::move(file), path);
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(std::move(file), path, first_batch_id, opts));
+}
+
+Status WalWriter::Append(const core::UpdateBatch& batch, uint64_t batch_id) {
+  auto& reg = telemetry::MetricsRegistry::Global();
+  const bool telem = reg.enabled();
+  const double t0 = telem ? reg.NowMicros() : 0;
+
+  std::string payload;
+  EncodeUpdateBatch(batch, batch_id, &payload);
+  std::string frame;
+  frame.reserve(kRecordHeader + payload.size());
+  PutU32(&frame, Crc32c(payload));
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  frame.append(payload);
+  DSKG_RETURN_NOT_OK(file_->Append(frame));
+  ++unsynced_records_;
+
+  bool want_sync = false;
+  switch (policy_) {
+    case SyncPolicy::kEveryBatch:
+      want_sync = true;
+      break;
+    case SyncPolicy::kEveryN:
+      want_sync = unsynced_records_ >= sync_every_n_;
+      break;
+    case SyncPolicy::kInterval:
+      want_sync = SteadyMs() - last_sync_ms_ >= sync_interval_ms_;
+      break;
+    case SyncPolicy::kNever:
+      break;
+  }
+  if (want_sync) DSKG_RETURN_NOT_OK(Sync());
+
+  if (telem) {
+    Wm().append_us->Record(reg.NowMicros() - t0);
+    Wm().records->Add();
+    Wm().bytes->Add(frame.size());
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  auto& reg = telemetry::MetricsRegistry::Global();
+  const bool telem = reg.enabled();
+  const double t0 = telem ? reg.NowMicros() : 0;
+  DSKG_RETURN_NOT_OK(file_->Sync());
+  if (telem) Wm().fsync_us->Record(reg.NowMicros() - t0);
+  unsynced_records_ = 0;
+  last_sync_ms_ = SteadyMs();
+  return Status::OK();
+}
+
+Status WalWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  Status s = file_->Sync();
+  Status c = file_->Close();
+  file_.reset();
+  DSKG_RETURN_NOT_OK(s);
+  return c;
+}
+
+Result<WalScanResult> ScanWalFile(const std::string& path) {
+  WalScanResult out;
+  if (!FileExists(path)) return out;
+  DSKG_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  size_t pos = 0;
+  while (pos < data.size()) {
+    if (data.size() - pos < kRecordHeader) {
+      out.dropped_tail = true;  // bare partial header: clean crash tail
+      break;
+    }
+    ByteReader header(std::string_view(data).substr(pos, kRecordHeader));
+    uint32_t crc = 0, len = 0;
+    (void)header.ReadU32(&crc);
+    (void)header.ReadU32(&len);
+    if (len > kMaxRecordLen) {
+      out.dropped_tail = true;
+      out.tail_status = Status::IoError(
+          path + ": implausible record length " + std::to_string(len) +
+          " at offset " + std::to_string(pos) + " (corrupt header)");
+      break;
+    }
+    if (data.size() - pos - kRecordHeader < len) {
+      out.dropped_tail = true;  // payload ran past EOF: clean crash tail
+      break;
+    }
+    const std::string_view payload =
+        std::string_view(data).substr(pos + kRecordHeader, len);
+    if (Crc32c(payload) != crc) {
+      out.dropped_tail = true;
+      out.tail_status = Status::IoError(path + ": checksum mismatch at offset " +
+                                        std::to_string(pos));
+      break;
+    }
+    core::UpdateBatch batch;
+    ByteReader body(payload);
+    Status decoded = DecodeUpdateBatch(&body, &batch);
+    if (!decoded.ok() || !body.AtEnd()) {
+      out.dropped_tail = true;
+      out.tail_status = Status::IoError(
+          path + ": undecodable record at offset " + std::to_string(pos) +
+          (decoded.ok() ? " (trailing payload bytes)"
+                        : ": " + decoded.ToString()));
+      break;
+    }
+    out.batches.push_back(std::move(batch));
+    pos += kRecordHeader + len;
+    out.valid_bytes = pos;
+  }
+  return out;
+}
+
+}  // namespace dskg::persist

@@ -1,0 +1,131 @@
+#ifndef DSKG_PERSIST_WAL_H_
+#define DSKG_PERSIST_WAL_H_
+
+/// \file wal.h
+/// Write-ahead log for the online store's update batches.
+///
+/// Record format (little-endian):
+///
+///   +-----------+-----------+----------------------+
+///   | u32 crc32c| u32 len   | payload (len bytes)  |
+///   +-----------+-----------+----------------------+
+///
+/// `crc` covers the payload (an `EncodeUpdateBatch` image carrying its
+/// batch id). A record is valid iff it is fully framed and its checksum
+/// matches; a partial tail (crash mid-append) is dropped cleanly, and a
+/// checksum failure on a fully framed record is *corruption*, reported
+/// via `Status` with every earlier record still usable.
+///
+/// Segments: one WAL file per snapshot interval, named
+/// `wal-<first_batch_id>.log`. After a snapshot at watermark W commits,
+/// the writer rotates to `wal-W.log`; segments whose entire id range is
+/// below the oldest retained snapshot's watermark are deleted.
+///
+/// Sync policy: every batch (durable once `Append` returns), every N
+/// batches, or on a wall-clock timer — the classic durability/throughput
+/// dial, measured by the `persist.wal.append_us` / `persist.fsync_us`
+/// histograms and swept by bench/bench_persistence.cc.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/update.h"
+#include "persist/file.h"
+
+namespace dskg::persist {
+
+enum class SyncPolicy {
+  kEveryBatch,  ///< fsync after every record (full durability)
+  kEveryN,      ///< fsync after every `sync_every_n` records
+  kInterval,    ///< fsync when `sync_interval_ms` elapsed since the last
+  kNever,       ///< rely on the OS (rotation/close still sync)
+};
+
+/// Durability configuration for an `OnlineStore` (and the recovery entry
+/// point's input). `dir` holds snapshots and WAL segments side by side.
+struct DurabilityOptions {
+  std::string dir;
+  SyncPolicy sync_policy = SyncPolicy::kEveryBatch;
+  uint64_t sync_every_n = 8;
+  double sync_interval_ms = 50.0;
+  /// Newest snapshots kept on disk; older ones (and the WAL segments
+  /// only they need) are pruned after each successful snapshot. Keeping
+  /// >= 2 lets recovery fall back to the previous snapshot when the
+  /// newest fails its checksum.
+  int keep_snapshots = 2;
+  /// Test seam: every file the persistence tier opens for writing is
+  /// routed through this wrapper (see `FaultInjector`). Null = identity.
+  WritableWrapper wrap_writable;
+};
+
+/// File names. Batch ids are zero-padded so lexicographic = numeric order.
+std::string WalSegmentName(uint64_t first_batch_id);
+std::string SnapshotFileName(uint64_t watermark);
+/// Parses `wal-<id>.log` / `snapshot-<id>.dskg`; false when `name` is not
+/// of that form.
+bool ParseWalSegmentName(const std::string& name, uint64_t* first_batch_id);
+bool ParseSnapshotFileName(const std::string& name, uint64_t* watermark);
+
+/// Appends checksummed batch records to one WAL segment.
+class WalWriter {
+ public:
+  /// Opens (creates/truncates) segment `wal-<first_batch_id>.log` in
+  /// `opts.dir`, routed through `opts.wrap_writable`.
+  static Result<std::unique_ptr<WalWriter>> Open(const DurabilityOptions& opts,
+                                                 uint64_t first_batch_id);
+
+  /// Appends one record under `batch_id` (the id the store sequences the
+  /// batch as, which may differ from `batch.batch_id` when the caller
+  /// assigns ids at apply time) and applies the sync policy. An error
+  /// means the record may be torn on disk — recovery drops invalid tails,
+  /// so the caller treats the batch as not durable and must not apply it.
+  Status Append(const core::UpdateBatch& batch, uint64_t batch_id);
+
+  /// Forces an fsync regardless of policy.
+  Status Sync();
+
+  /// Syncs and closes the segment.
+  Status Close();
+
+  uint64_t first_batch_id() const { return first_batch_id_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(std::unique_ptr<WritableFile> file, std::string path,
+            uint64_t first_batch_id, const DurabilityOptions& opts);
+
+  std::unique_ptr<WritableFile> file_;
+  std::string path_;
+  uint64_t first_batch_id_;
+  SyncPolicy policy_;
+  uint64_t sync_every_n_;
+  double sync_interval_ms_;
+  uint64_t unsynced_records_ = 0;
+  double last_sync_ms_ = 0;  // steady-clock ms of the last sync
+};
+
+/// Result of scanning one WAL segment.
+struct WalScanResult {
+  /// Every valid record in file order, batch ids decoded.
+  std::vector<core::UpdateBatch> batches;
+  /// File offset one past the last valid record (the truncation point a
+  /// re-opened writer appends at).
+  uint64_t valid_bytes = 0;
+  /// OK when the file ends exactly at a record boundary or with a bare
+  /// partial tail (the expected crash shape). A checksum/decode failure
+  /// on a fully framed record reports IoError here — the records
+  /// *before* it are still returned and usable (graceful degradation).
+  Status tail_status = Status::OK();
+  /// True when bytes past `valid_bytes` were dropped (either shape).
+  bool dropped_tail = false;
+};
+
+/// Scans segment file `path` (absent file = empty result, not an error).
+Result<WalScanResult> ScanWalFile(const std::string& path);
+
+}  // namespace dskg::persist
+
+#endif  // DSKG_PERSIST_WAL_H_

@@ -1,6 +1,10 @@
 #include "rdf/dataset.h"
 
+#include <algorithm>
+#include <type_traits>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 namespace dskg::rdf {
 
@@ -103,6 +107,54 @@ std::vector<Triple> Dataset::TriplesWithPredicate(TermId predicate) const {
 
 uint64_t Dataset::EstimatedBytes() const {
   return triples_.size() * kBytesPerTriple + dict_->text_bytes();
+}
+
+// ---- persistence ------------------------------------------------------------
+
+Status Dataset::SerializeTo(std::string* out) const {
+  PutU64(out, triples_.size());
+  static_assert(std::is_trivially_copyable_v<Triple>);
+  PutBytes(out, triples_.data(), triples_.size() * sizeof(Triple));
+  // Sorted by predicate id: the image is deterministic for a given
+  // logical state (golden snapshot fixtures depend on stable bytes).
+  std::vector<std::pair<TermId, PartitionStats>> stats(
+      partition_stats_.begin(), partition_stats_.end());
+  std::sort(stats.begin(), stats.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  PutU64(out, stats.size());
+  for (const auto& [pred, st] : stats) {
+    PutU64(out, pred);
+    PutU64(out, st.num_triples);
+    PutU64(out, st.bytes);
+  }
+  return dict_->SerializeTo(out);
+}
+
+Status Dataset::DeserializeFrom(ByteReader* in) {
+  if (!triples_.empty() || !partition_stats_.empty()) {
+    return Status::FailedPrecondition("dataset restore target is not empty");
+  }
+  uint64_t num_triples = 0;
+  DSKG_RETURN_NOT_OK(in->ReadU64(&num_triples));
+  if (num_triples * sizeof(Triple) > in->remaining()) {
+    return Status::IoError("dataset image: triple count overflow");
+  }
+  triples_.resize(num_triples);
+  DSKG_RETURN_NOT_OK(
+      in->ReadBytes(triples_.data(), num_triples * sizeof(Triple)));
+  uint64_t num_partitions = 0;
+  DSKG_RETURN_NOT_OK(in->ReadU64(&num_partitions));
+  if (num_partitions * 24 > in->remaining()) {
+    return Status::IoError("dataset image: partition count overflow");
+  }
+  for (uint64_t i = 0; i < num_partitions; ++i) {
+    PartitionStats st;
+    DSKG_RETURN_NOT_OK(in->ReadU64(&st.predicate));
+    DSKG_RETURN_NOT_OK(in->ReadU64(&st.num_triples));
+    DSKG_RETURN_NOT_OK(in->ReadU64(&st.bytes));
+    partition_stats_[st.predicate] = st;
+  }
+  return dict_->DeserializeFrom(in);
 }
 
 }  // namespace dskg::rdf

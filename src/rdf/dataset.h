@@ -18,6 +18,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/status.h"
 #include "rdf/dictionary.h"
 #include "rdf/triple.h"
@@ -105,6 +106,19 @@ class Dataset {
   uint64_t StorageBytes() const {
     return triples_.size() * sizeof(Triple) + dict_->MemoryBytes();
   }
+
+  // ---- persistence (the snapshot tier) ----------------------------------
+
+  /// Appends the triple list, partition statistics and the dictionary
+  /// image (see `Dictionary::SerializeTo`) to `out`.
+  Status SerializeTo(std::string* out) const;
+
+  /// Restores a `SerializeTo` image into this (freshly constructed)
+  /// dataset. The dictionary's slice count must match construction. The
+  /// image carries the dictionary's refcounts, so triples are restored
+  /// *without* re-retaining their ids — unlike `Add`, this reproduces the
+  /// saved state bit for bit.
+  Status DeserializeFrom(ByteReader* in);
 
  private:
   std::unique_ptr<Dictionary> dict_;

@@ -45,6 +45,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/stable_vector.h"
 #include "common/status.h"
 #include "rdf/triple.h"
@@ -288,6 +289,166 @@ class Dictionary {
            sl.free_local.size() * sizeof(TermId);
     }
     return n;
+  }
+
+  // ---- persistence (the snapshot tier's arena codec) ------------------------
+
+  /// Appends every slice — arena chunks, spans (as chunk-relative
+  /// extents), refcounts, the free list and both zombie stages — to `out`
+  /// in the snapshot wire format. Id assignment is position-based, so a
+  /// restored dictionary recycles, resurrects and tombstones exactly like
+  /// the original: same ids for the same future operation sequence. The
+  /// probe index is *not* serialized (it is rebuilt on load); retired
+  /// index tables are reader-epoch state and die with the process.
+  Status SerializeTo(std::string* out) const {
+    PutU32(out, static_cast<uint32_t>(slices_.size()));
+    for (const Slice& sl : slices_) {
+      PutU32(out, static_cast<uint32_t>(sl.chunks.size()));
+      for (const Chunk& c : sl.chunks) {
+        PutU32(out, c.cap);
+        PutU32(out, c.used);
+        PutBytes(out, c.data.get(), c.used);
+      }
+      // Chunk starts ascending by address for extent -> chunk resolution.
+      std::vector<std::pair<const char*, uint32_t>> starts;
+      starts.reserve(sl.chunks.size());
+      for (uint32_t i = 0; i < sl.chunks.size(); ++i) {
+        starts.emplace_back(sl.chunks[i].data.get(), i);
+      }
+      std::sort(starts.begin(), starts.end());
+      PutU64(out, sl.spans.size());
+      for (size_t i = 0; i < sl.spans.size(); ++i) {
+        const Span& s = sl.spans[i];
+        if (s.cap == 0) {
+          PutU32(out, 0xFFFFFFFFu);  // no extent (empty term / fresh slot)
+          PutU32(out, 0);
+        } else {
+          auto it = std::upper_bound(
+              starts.begin(), starts.end(),
+              std::make_pair(static_cast<const char*>(s.ptr), ~0u));
+          const auto& [start, chunk_idx] = *--it;
+          PutU32(out, chunk_idx);
+          PutU32(out, static_cast<uint32_t>(s.ptr - start));
+        }
+        PutU32(out, s.len);
+        PutU32(out, s.cap);
+      }
+      for (size_t i = 0; i < sl.refs.size(); ++i) PutU64(out, sl.refs[i]);
+      const auto put_ids = [out](const std::vector<TermId>& ids) {
+        PutU64(out, ids.size());
+        for (const TermId id : ids) PutU64(out, id);
+      };
+      put_ids(sl.free_local);
+      put_ids(sl.zombies_stage1);
+      put_ids(sl.zombies_stage2);
+      PutU64(out, sl.bytes);
+    }
+    return Status::OK();
+  }
+
+  /// Restores a `SerializeTo` image into this (freshly constructed)
+  /// dictionary and rebuilds each slice's probe index from the live local
+  /// ids (everything except free-listed and stage-two-tombstoned slots —
+  /// stage-one zombies are still findable, matching the crash-time
+  /// semantics). The slice count must match construction: id interleaving
+  /// depends on it.
+  Status DeserializeFrom(ByteReader* in) {
+    uint32_t num_slices = 0;
+    DSKG_RETURN_NOT_OK(in->ReadU32(&num_slices));
+    if (num_slices != slices_.size()) {
+      return Status::InvalidArgument(
+          "dictionary image has " + std::to_string(num_slices) +
+          " slices, store configured for " + std::to_string(slices_.size()));
+    }
+    for (Slice& sl : slices_) {
+      if (!sl.spans.empty() || !sl.chunks.empty()) {
+        return Status::FailedPrecondition(
+            "dictionary restore target is not empty");
+      }
+      uint32_t num_chunks = 0;
+      DSKG_RETURN_NOT_OK(in->ReadU32(&num_chunks));
+      sl.chunks.reserve(num_chunks);
+      for (uint32_t i = 0; i < num_chunks; ++i) {
+        uint32_t cap = 0, used = 0;
+        DSKG_RETURN_NOT_OK(in->ReadU32(&cap));
+        DSKG_RETURN_NOT_OK(in->ReadU32(&used));
+        if (used > cap || used > in->remaining()) {
+          return Status::IoError("dictionary image: bad chunk extent");
+        }
+        Chunk c{std::make_unique<char[]>(cap), cap, used};
+        DSKG_RETURN_NOT_OK(in->ReadBytes(c.data.get(), used));
+        sl.arena_bytes += cap;
+        sl.chunks.push_back(std::move(c));
+      }
+      uint64_t num_spans = 0;
+      DSKG_RETURN_NOT_OK(in->ReadU64(&num_spans));
+      // Each span occupies 16 bytes plus an 8-byte refcount downstream.
+      if (num_spans * 16 > in->remaining()) {
+        return Status::IoError("dictionary image: span count overflow");
+      }
+      sl.spans.reserve(num_spans);
+      for (uint64_t i = 0; i < num_spans; ++i) {
+        uint32_t chunk_idx = 0, offset = 0;
+        Span& s = sl.spans.emplace_back();
+        DSKG_RETURN_NOT_OK(in->ReadU32(&chunk_idx));
+        DSKG_RETURN_NOT_OK(in->ReadU32(&offset));
+        DSKG_RETURN_NOT_OK(in->ReadU32(&s.len));
+        DSKG_RETURN_NOT_OK(in->ReadU32(&s.cap));
+        if (chunk_idx == 0xFFFFFFFFu) {
+          if (s.cap != 0 || s.len != 0) {
+            return Status::IoError("dictionary image: extent-free span");
+          }
+          continue;
+        }
+        if (chunk_idx >= sl.chunks.size() || s.len > s.cap ||
+            uint64_t{offset} + s.cap > sl.chunks[chunk_idx].used) {
+          return Status::IoError("dictionary image: span out of chunk");
+        }
+        s.ptr = sl.chunks[chunk_idx].data.get() + offset;
+      }
+      sl.refs.resize(num_spans);
+      for (uint64_t i = 0; i < num_spans; ++i) {
+        DSKG_RETURN_NOT_OK(in->ReadU64(&sl.refs[i]));
+      }
+      const auto read_ids = [&](std::vector<TermId>* ids) {
+        uint64_t n = 0;
+        DSKG_RETURN_NOT_OK(in->ReadU64(&n));
+        if (n > num_spans) {
+          return Status::IoError("dictionary image: id list overflow");
+        }
+        ids->reserve(n);
+        for (uint64_t i = 0; i < n; ++i) {
+          TermId id = kInvalidTermId;
+          DSKG_RETURN_NOT_OK(in->ReadU64(&id));
+          if (id >= num_spans) {
+            return Status::IoError("dictionary image: local id out of range");
+          }
+          ids->push_back(id);
+        }
+        return Status::OK();
+      };
+      DSKG_RETURN_NOT_OK(read_ids(&sl.free_local));
+      DSKG_RETURN_NOT_OK(read_ids(&sl.zombies_stage1));
+      DSKG_RETURN_NOT_OK(read_ids(&sl.zombies_stage2));
+      DSKG_RETURN_NOT_OK(in->ReadU64(&sl.bytes));
+      // Rebuild the probe index from the live ids (physical slot layout
+      // differs from the original's — growth/tombstone history is gone —
+      // but lookup results and future id assignment are identical).
+      std::vector<bool> live(num_spans, true);
+      for (const TermId id : sl.free_local) live[id] = false;
+      for (const TermId id : sl.zombies_stage2) live[id] = false;
+      size_t live_count = 0;
+      for (uint64_t i = 0; i < num_spans; ++i) live_count += live[i];
+      size_t want_slots = 16;
+      while ((live_count + 1) * 10 > want_slots * 7) want_slots *= 2;
+      Rehash(&sl, want_slots);
+      for (uint64_t i = 0; i < num_spans; ++i) {
+        if (!live[i]) continue;
+        InsertSlot(&sl, static_cast<TermId>(i),
+                   HashTerm(TextOf(sl.spans[i])));
+      }
+    }
+    return Status::OK();
   }
 
  private:

@@ -66,10 +66,14 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <cstring>
+#include <type_traits>
 #include <unordered_set>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/stable_vector.h"
+#include "common/status.h"
 
 namespace dskg::relstore {
 
@@ -464,6 +468,143 @@ class BPlusTree {
            static_cast<uint64_t>(inners_.size()) * sizeof(InnerNode) +
            (free_leaves_.size() + free_inners_.size() + retired_.size()) *
                sizeof(NodeId);
+  }
+
+  // ---- persistence (the snapshot tier's slab codec) -------------------------
+
+  /// Appends the whole tree — both node slabs, the free lists, root and
+  /// shape — to `out` in the snapshot wire format: node ids are preserved
+  /// verbatim so a restored tree is slot-for-slot identical (same ids,
+  /// same free-list recycling order, hence the same behavior under every
+  /// later mutation). Per slot only `num_keys` live keys are written, so
+  /// the encoding is deterministic for a given operation history.
+  /// Requires a quiescent tree: no pending-reclaim copy-on-write nodes
+  /// (snapshot between batches, after `ReclaimRetired`).
+  Status SerializeTo(std::string* out) const {
+    static_assert(std::is_trivially_copyable_v<Key>,
+                  "B+-tree snapshot codec stores keys as raw bytes");
+    if (!retired_.empty()) {
+      return Status::FailedPrecondition(
+          "cannot serialize a B+-tree with pending-reclaim nodes");
+    }
+    PutU64(out, size_);
+    PutU32(out, static_cast<uint32_t>(height_));
+    PutU32(out, root_);
+    PutU32(out, static_cast<uint32_t>(leaves_.size()));
+    PutU32(out, static_cast<uint32_t>(inners_.size()));
+    for (size_t i = 0; i < leaves_.size(); ++i) {
+      const LeafNode& leaf = leaves_[i];
+      PutU16(out, leaf.num_keys);
+      PutBytes(out, leaf.keys, sizeof(Key) * leaf.num_keys);
+    }
+    for (size_t i = 0; i < inners_.size(); ++i) {
+      const InnerNode& node = inners_[i];
+      PutU16(out, node.num_keys);
+      PutBytes(out, node.keys, sizeof(Key) * node.num_keys);
+      for (uint16_t c = 0; c <= node.num_keys; ++c) {
+        PutU32(out, node.children[c]);
+      }
+    }
+    PutU32(out, static_cast<uint32_t>(free_leaves_.size()));
+    for (const NodeId id : free_leaves_) PutU32(out, id);
+    PutU32(out, static_cast<uint32_t>(free_inners_.size()));
+    for (const NodeId id : free_inners_) PutU32(out, id);
+    return Status::OK();
+  }
+
+  /// Replaces the tree's contents with a `SerializeTo` image. Validates
+  /// node counts, key counts and id ranges (defense in depth behind the
+  /// snapshot checksums) and leaves the tree in offline mode with no
+  /// batch state — the restore path flips copy-on-write back on after
+  /// every structure is rebuilt.
+  Status DeserializeFrom(ByteReader* in) {
+    static_assert(std::is_trivially_copyable_v<Key>,
+                  "B+-tree snapshot codec stores keys as raw bytes");
+    uint64_t size = 0;
+    uint32_t height = 0, root = 0, num_leaves = 0, num_inners = 0;
+    DSKG_RETURN_NOT_OK(in->ReadU64(&size));
+    DSKG_RETURN_NOT_OK(in->ReadU32(&height));
+    DSKG_RETURN_NOT_OK(in->ReadU32(&root));
+    DSKG_RETURN_NOT_OK(in->ReadU32(&num_leaves));
+    DSKG_RETURN_NOT_OK(in->ReadU32(&num_inners));
+    if (height < 1 || height > static_cast<uint32_t>(kMaxDepth)) {
+      return Status::IoError("b+-tree image: bad height " +
+                             std::to_string(height));
+    }
+    const auto valid_id = [&](NodeId id) {
+      return IsLeaf(id) ? (id & ~kLeafBit) < num_leaves : id < num_inners;
+    };
+    leaves_.clear();
+    inners_.clear();
+    free_leaves_.clear();
+    free_inners_.clear();
+    retired_.clear();
+    fresh_.clear();
+    leaves_.reserve(num_leaves);
+    inners_.reserve(num_inners);
+    for (uint32_t i = 0; i < num_leaves; ++i) {
+      LeafNode& leaf = leaves_.emplace_back();
+      uint16_t n = 0;
+      DSKG_RETURN_NOT_OK(in->ReadU16(&n));
+      if (n > kMaxKeys) {
+        return Status::IoError("b+-tree image: leaf key count " +
+                               std::to_string(n));
+      }
+      leaf.num_keys = n;
+      DSKG_RETURN_NOT_OK(in->ReadBytes(leaf.keys, sizeof(Key) * n));
+    }
+    for (uint32_t i = 0; i < num_inners; ++i) {
+      InnerNode& node = inners_.emplace_back();
+      uint16_t n = 0;
+      DSKG_RETURN_NOT_OK(in->ReadU16(&n));
+      if (n > kMaxKeys) {
+        return Status::IoError("b+-tree image: inner key count " +
+                               std::to_string(n));
+      }
+      node.num_keys = n;
+      DSKG_RETURN_NOT_OK(in->ReadBytes(node.keys, sizeof(Key) * n));
+      for (uint16_t c = 0; c <= n; ++c) {
+        DSKG_RETURN_NOT_OK(in->ReadU32(&node.children[c]));
+      }
+    }
+    // Children of free-listed slots are stale but were valid ids when the
+    // slot was live, and slabs never shrink — so every child must parse.
+    for (uint32_t i = 0; i < num_inners; ++i) {
+      const InnerNode& node = inners_[i];
+      for (uint16_t c = 0; c <= node.num_keys; ++c) {
+        if (!valid_id(node.children[c])) {
+          return Status::IoError("b+-tree image: child id out of range");
+        }
+      }
+    }
+    if (!valid_id(root)) {
+      return Status::IoError("b+-tree image: root id out of range");
+    }
+    const auto read_free = [&](std::vector<NodeId>* list, bool leaf_pool) {
+      uint32_t n = 0;
+      DSKG_RETURN_NOT_OK(in->ReadU32(&n));
+      if (n > (leaf_pool ? num_leaves : num_inners)) {
+        return Status::IoError("b+-tree image: free-list overflow");
+      }
+      list->reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        NodeId id = kNoNode;
+        DSKG_RETURN_NOT_OK(in->ReadU32(&id));
+        if (IsLeaf(id) != leaf_pool || !valid_id(id)) {
+          return Status::IoError("b+-tree image: free-list id out of range");
+        }
+        list->push_back(id);
+      }
+      return Status::OK();
+    };
+    DSKG_RETURN_NOT_OK(read_free(&free_leaves_, /*leaf_pool=*/true));
+    DSKG_RETURN_NOT_OK(read_free(&free_inners_, /*leaf_pool=*/false));
+    root_ = root;
+    size_ = size;
+    height_ = static_cast<int>(height);
+    cow_ = false;
+    cow_clones_ = 0;
+    return Status::OK();
   }
 
  private:

@@ -397,4 +397,102 @@ TripleTable::Snapshot TripleTable::MakeSnapshot() const {
   return snap;
 }
 
+// ---- persistence ------------------------------------------------------------
+
+namespace {
+
+/// Writes an occurrence-count map sorted by term id (deterministic bytes
+/// for a given table state).
+void PutCounts(const std::unordered_map<TermId, uint64_t>& counts,
+               std::string* out) {
+  std::vector<std::pair<TermId, uint64_t>> sorted(counts.begin(),
+                                                  counts.end());
+  std::sort(sorted.begin(), sorted.end());
+  PutU64(out, sorted.size());
+  for (const auto& [id, n] : sorted) {
+    PutU64(out, id);
+    PutU64(out, n);
+  }
+}
+
+Status ReadCounts(ByteReader* in, std::unordered_map<TermId, uint64_t>* out) {
+  uint64_t n = 0;
+  DSKG_RETURN_NOT_OK(in->ReadU64(&n));
+  if (n * 16 > in->remaining()) {
+    return Status::IoError("table image: count-map size overflow");
+  }
+  out->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t id = 0, count = 0;
+    DSKG_RETURN_NOT_OK(in->ReadU64(&id));
+    DSKG_RETURN_NOT_OK(in->ReadU64(&count));
+    (*out)[id] = count;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status TripleTable::SerializeTo(std::string* out) const {
+  PutU32(out, static_cast<uint32_t>(shards_.size()));
+  for (const SubShard& sh : shards_) {
+    DSKG_RETURN_NOT_OK(sh.spo.SerializeTo(out));
+    DSKG_RETURN_NOT_OK(sh.pos.SerializeTo(out));
+    DSKG_RETURN_NOT_OK(sh.osp.SerializeTo(out));
+    PutU64(out, sh.num_rows);
+    std::vector<TermId> preds;
+    preds.reserve(sh.stats.size());
+    for (const auto& [p, st] : sh.stats) preds.push_back(p);
+    std::sort(preds.begin(), preds.end());
+    PutU64(out, preds.size());
+    for (const TermId p : preds) {
+      const MutableStats& st = sh.stats.at(p);
+      PutU64(out, p);
+      PutU64(out, st.num_triples);
+      PutCounts(st.subjects, out);
+      PutCounts(st.objects, out);
+    }
+    PutCounts(sh.all_subjects, out);
+    PutCounts(sh.all_objects, out);
+  }
+  return Status::OK();
+}
+
+Status TripleTable::DeserializeFrom(ByteReader* in) {
+  uint32_t num_shards = 0;
+  DSKG_RETURN_NOT_OK(in->ReadU32(&num_shards));
+  if (num_shards != shards_.size()) {
+    return Status::InvalidArgument(
+        "table image has " + std::to_string(num_shards) +
+        " sub-shards, store configured for " +
+        std::to_string(shards_.size()));
+  }
+  for (SubShard& sh : shards_) {
+    if (sh.num_rows != 0 || !sh.spo.empty()) {
+      return Status::FailedPrecondition("table restore target is not empty");
+    }
+    DSKG_RETURN_NOT_OK(sh.spo.DeserializeFrom(in));
+    DSKG_RETURN_NOT_OK(sh.pos.DeserializeFrom(in));
+    DSKG_RETURN_NOT_OK(sh.osp.DeserializeFrom(in));
+    DSKG_RETURN_NOT_OK(in->ReadU64(&sh.num_rows));
+    uint64_t num_preds = 0;
+    DSKG_RETURN_NOT_OK(in->ReadU64(&num_preds));
+    if (num_preds * 16 > in->remaining()) {
+      return Status::IoError("table image: predicate count overflow");
+    }
+    sh.stats.reserve(num_preds);
+    for (uint64_t i = 0; i < num_preds; ++i) {
+      uint64_t pred = 0;
+      DSKG_RETURN_NOT_OK(in->ReadU64(&pred));
+      MutableStats& st = sh.stats[pred];
+      DSKG_RETURN_NOT_OK(in->ReadU64(&st.num_triples));
+      DSKG_RETURN_NOT_OK(ReadCounts(in, &st.subjects));
+      DSKG_RETURN_NOT_OK(ReadCounts(in, &st.objects));
+    }
+    DSKG_RETURN_NOT_OK(ReadCounts(in, &sh.all_subjects));
+    DSKG_RETURN_NOT_OK(ReadCounts(in, &sh.all_objects));
+  }
+  return Status::OK();
+}
+
 }  // namespace dskg::relstore

@@ -40,6 +40,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/cost.h"
 #include "common/status.h"
 #include "rdf/triple.h"
@@ -300,6 +301,21 @@ class TripleTable {
     return s.spo.ReclaimRetired() + s.pos.ReclaimRetired() +
            s.osp.ReclaimRetired();
   }
+
+  // ---- persistence (the snapshot tier) ----------------------------------
+
+  /// Appends every sub-shard — the three permutation trees (slab images,
+  /// see `BPlusTree::SerializeTo`), row count and statistics — to `out`.
+  /// Unordered statistics maps are written sorted by term id so the
+  /// encoding is deterministic. Requires quiescence: no pending-reclaim
+  /// copy-on-write nodes in any tree.
+  Status SerializeTo(std::string* out) const;
+
+  /// Restores a `SerializeTo` image into this (freshly constructed)
+  /// table. The shard count must match the image's — row placement is
+  /// `predicate % num_shards`. Trees come back in offline mode; the
+  /// restore path flips copy-on-write on afterwards.
+  Status DeserializeFrom(ByteReader* in);
 
  private:
   // Index key: a triple permuted into the index's component order.
