@@ -20,6 +20,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "common/thread_pool.h"
@@ -47,6 +48,19 @@ void RunUpdateRateSweep(JsonReporter* json) {
 
   const int kRates[] = {0, 500, 2000, 8000};
   double base_tti = -1;
+  // One point per update rate for the TTI-vs-freshness frontier emitted
+  // after the sweep: how much simulated query latency buys how much
+  // absorbed-update throughput.
+  struct FrontierPoint {
+    int rate;
+    uint64_t absorbed;
+    double tti_s;
+    double tti_slowdown;
+    double update_s;
+    double tuning_s;
+    double freshness_ops_per_s;
+  };
+  std::vector<FrontierPoint> frontier;
   for (int rate : kRates) {
     rdf::Dataset ds = MakeDataset(WorkloadKind::kYago);
     workload::Workload w = MakeWorkload(WorkloadKind::kYago, ds,
@@ -106,6 +120,45 @@ void RunUpdateRateSweep(JsonReporter* json) {
                  {"store_bytes", store_bytes},
                  {"store_rss_kb", store_rss_kb},
                  {"wall_ms", wall_ms}});
+    }
+
+    // Frontier coordinates, all simulated and deterministic. Freshness =
+    // absorbed mutations per simulated second of TOTAL store work (query
+    // TTI + update apply + retuning), so a rate that saves apply time but
+    // explodes tuning cost does not get credit for it.
+    const uint64_t absorbed = m->TotalInserted() + m->TotalDeleted();
+    const double total_s =
+        Sec(tti) + Sec(m->TotalUpdateMicros()) + Sec(m->TotalTuningMicros());
+    frontier.push_back({rate, absorbed, Sec(tti),
+                        base_tti > 0 ? tti / base_tti : 1.0,
+                        Sec(m->TotalUpdateMicros()),
+                        Sec(m->TotalTuningMicros()),
+                        total_s > 0 ? absorbed / total_s : 0.0});
+  }
+  Rule();
+
+  // The frontier table: each rate is one point trading query latency
+  // (tti_slowdown vs the static rate-0 run) against update freshness
+  // (absorbed mutations per simulated second). A dominated point — more
+  // slowdown AND less freshness than a neighbour — marks a rate not
+  // worth running at.
+  std::printf("\nTTI-vs-freshness frontier\n");
+  std::printf("%10s %10s %12s %14s %18s\n", "ops/batch", "absorbed",
+              "tti_s", "tti_slowdown", "freshness ops/s");
+  Rule();
+  for (const FrontierPoint& p : frontier) {
+    std::printf("%10d %10llu %12.3f %14.3f %18.1f\n", p.rate,
+                static_cast<unsigned long long>(p.absorbed), p.tti_s,
+                p.tti_slowdown, p.freshness_ops_per_s);
+    if (json != nullptr) {
+      json->Row("freshness_frontier",
+                {{"ops_per_batch", p.rate},
+                 {"absorbed", p.absorbed},
+                 {"query_tti_s", p.tti_s},
+                 {"tti_slowdown", p.tti_slowdown},
+                 {"update_cost_s", p.update_s},
+                 {"tuning_cost_s", p.tuning_s},
+                 {"freshness_ops_per_s", p.freshness_ops_per_s}});
     }
   }
   Rule();

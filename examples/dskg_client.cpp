@@ -1,0 +1,245 @@
+// dskg_client: the serving-smoke oracle. Connects to a running
+// dskg_server, regenerates the SAME deterministic dataset locally (same
+// --triples/--seed), drives the YAGO template workload over the wire,
+// and verifies every response — rows AND simulated charges — is
+// bit-identical to a direct in-process core::Session execution of the
+// same query. Also exercises the streaming FETCH path and scrapes the
+// admin listener. Exits non-zero on any mismatch, which is exactly what
+// the serving-smoke CI job hard-fails on.
+//
+//   $ ./build/examples/dskg_client --port 7687 --admin-port 7688
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/online_store.h"
+#include "core/session.h"
+#include "server/client.h"
+#include "workload/generators.h"
+#include "workload/templates.h"
+#include "workload/workload.h"
+
+using dskg::core::OnlineStore;
+using dskg::core::Session;
+using dskg::server::Client;
+using dskg::server::RowsResult;
+
+namespace {
+
+const char* FlagValue(const char* arg, const char* name, int argc,
+                      char** argv, int* i) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0) return nullptr;
+  if (arg[n] == '=') return arg + n + 1;
+  if (arg[n] == '\0' && *i + 1 < argc) return argv[++*i];
+  return nullptr;
+}
+
+int Fail(const char* what, const dskg::Status& s) {
+  std::fprintf(stderr, "dskg_client FAIL: %s: %s\n", what,
+               s.ToString().c_str());
+  return 1;
+}
+
+/// Renders the local oracle's execution into the wire shape (term text
+/// rows) for exact comparison.
+std::vector<std::vector<std::string>> OracleRows(
+    const dskg::sparql::BindingTable& t, const dskg::rdf::Dictionary& dict) {
+  std::vector<std::vector<std::string>> rows(t.NumRows());
+  for (size_t r = 0; r < t.NumRows(); ++r) {
+    rows[r].resize(t.NumColumns());
+    for (size_t c = 0; c < t.NumColumns(); ++c) {
+      rows[r][c] = std::string(dict.TermOf(t.At(r, c)));
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 0, admin_port = 0, shards = 4, count = 0;
+  uint64_t triples = 120000, seed = 1;
+  std::string metrics_out;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* v;
+    if ((v = FlagValue(argv[i], "--port", argc, argv, &i))) {
+      port = std::atoi(v);
+    } else if ((v = FlagValue(argv[i], "--admin-port", argc, argv, &i))) {
+      admin_port = std::atoi(v);
+    } else if ((v = FlagValue(argv[i], "--shards", argc, argv, &i))) {
+      shards = std::atoi(v);
+    } else if ((v = FlagValue(argv[i], "--triples", argc, argv, &i))) {
+      triples = std::strtoull(v, nullptr, 10);
+    } else if ((v = FlagValue(argv[i], "--seed", argc, argv, &i))) {
+      seed = std::strtoull(v, nullptr, 10);
+    } else if ((v = FlagValue(argv[i], "--count", argc, argv, &i))) {
+      count = std::atoi(v);
+    } else if ((v = FlagValue(argv[i], "--metrics-out", argc, argv, &i))) {
+      metrics_out = v;
+    } else {
+      std::fprintf(stderr,
+                   "usage: dskg_client --port N [--admin-port N] [--shards N]"
+                   " [--triples N] [--seed N] [--count N]"
+                   " [--metrics-out PATH]\n");
+      return 2;
+    }
+  }
+  if (port == 0) {
+    std::fprintf(stderr, "dskg_client: --port is required\n");
+    return 2;
+  }
+
+  // The local oracle: the same dataset and store shape the server built.
+  dskg::workload::YagoConfig ycfg;
+  ycfg.seed = seed;
+  ycfg.target_triples = triples;
+  dskg::rdf::Dataset ds = dskg::workload::GenerateYago(ycfg);
+  dskg::core::DualStoreConfig store_cfg;
+  store_cfg.num_shards = shards;
+  store_cfg.graph_capacity_triples = ds.num_triples() / 4;
+  OnlineStore oracle_store(ds, store_cfg);
+  Session oracle(&oracle_store);
+
+  dskg::workload::WorkloadBuilder builder(&ds);
+  auto workload = builder.Build("YAGO", dskg::workload::YagoTemplates(),
+                                dskg::workload::WorkloadOptions{});
+  if (!workload.ok()) return Fail("workload build", workload.status());
+  std::vector<dskg::workload::WorkloadQuery> queries =
+      std::move(workload->queries);
+  if (count > 0 && static_cast<size_t>(count) < queries.size()) {
+    queries.resize(count);
+  }
+
+  auto client_r = Client::Connect(static_cast<uint16_t>(port));
+  if (!client_r.ok()) return Fail("connect", client_r.status());
+  Client client = std::move(client_r).ValueOrDie();
+  if (dskg::Status s = client.Ping(); !s.ok()) return Fail("ping", s);
+
+  uint64_t checked = 0, rows_total = 0;
+  uint32_t stmt_id = 0;
+  std::string last_text;
+  for (const dskg::workload::WorkloadQuery& q : queries) {
+    // PREPARE once per template text (consecutive mutations share it).
+    if (q.prepared_text != last_text) {
+      ++stmt_id;
+      auto params = client.Prepare(stmt_id, q.prepared_text);
+      if (!params.ok()) return Fail("prepare", params.status());
+      last_text = q.prepared_text;
+    }
+    auto remote = client.Execute(stmt_id, q.bindings);
+    if (!remote.ok()) return Fail("execute", remote.status());
+
+    auto local_prep = oracle.Prepare(q.prepared_text);
+    if (!local_prep.ok()) return Fail("oracle prepare", local_prep.status());
+    for (const auto& [name, term] : q.bindings) {
+      if (dskg::Status s = local_prep->Bind(name, term); !s.ok()) {
+        return Fail("oracle bind", s);
+      }
+    }
+    auto local = local_prep->ExecuteAll();
+    if (!local.ok()) return Fail("oracle execute", local.status());
+
+    // Rows and simulated charges must be bit-identical. Render through
+    // the ORACLE STORE's dictionary: OnlineStore clones the dataset into
+    // a sliced dictionary, so its term ids differ from `ds.dict()`'s.
+    const auto expect =
+        OracleRows(local->result, oracle_store.Read().store().dict());
+    if (remote->rows != expect) {
+      std::fprintf(stderr,
+                   "dskg_client FAIL: row mismatch on \"%s\" "
+                   "(server %zu rows, oracle %zu rows)\n",
+                   q.prepared_text.c_str(), remote->rows.size(),
+                   expect.size());
+      auto dump = [](const char* who,
+                     const std::vector<std::vector<std::string>>& rows) {
+        std::fprintf(stderr, "  %s:\n", who);
+        for (size_t r = 0; r < rows.size() && r < 8; ++r) {
+          std::fprintf(stderr, "    [");
+          for (size_t c = 0; c < rows[r].size(); ++c) {
+            std::fprintf(stderr, "%s%s", c ? ", " : "", rows[r][c].c_str());
+          }
+          std::fprintf(stderr, "]\n");
+        }
+      };
+      dump("server", remote->rows);
+      dump("oracle", expect);
+      return 1;
+    }
+    if (remote->rel_us != local->rel_micros ||
+        remote->graph_us != local->graph_micros ||
+        remote->migrate_us != local->migrate_micros ||
+        remote->graph_io_us != local->graph_io_micros ||
+        remote->graph_cpu_us != local->graph_cpu_micros) {
+      std::fprintf(stderr,
+                   "dskg_client FAIL: charge mismatch on \"%s\": "
+                   "wire (%.17g, %.17g, %.17g) vs oracle (%.17g, %.17g, "
+                   "%.17g)\n",
+                   q.prepared_text.c_str(), remote->rel_us, remote->graph_us,
+                   remote->migrate_us, local->rel_micros, local->graph_micros,
+                   local->migrate_micros);
+      return 1;
+    }
+    ++checked;
+    rows_total += remote->rows.size();
+  }
+
+  // Streaming path: cursor FETCH over the last statement must drain to
+  // the same rows as the inline execute.
+  if (!queries.empty()) {
+    const dskg::workload::WorkloadQuery& q = queries.back();
+    auto opened = client.OpenCursor(stmt_id, q.bindings);
+    if (!opened.ok()) return Fail("open cursor", opened.status());
+    std::vector<std::vector<std::string>> streamed;
+    RowsResult chunk;
+    chunk.done = false;
+    chunk.cursor_id = opened->cursor_id;
+    while (!chunk.done) {
+      auto r = client.Fetch(opened->cursor_id, 7);
+      if (!r.ok()) return Fail("fetch", r.status());
+      chunk = std::move(r).ValueOrDie();
+      streamed.insert(streamed.end(), chunk.rows.begin(), chunk.rows.end());
+    }
+    auto inline_r = client.Execute(stmt_id, q.bindings);
+    if (!inline_r.ok()) return Fail("execute (cursor check)",
+                                    inline_r.status());
+    if (streamed != inline_r->rows) {
+      std::fprintf(stderr, "dskg_client FAIL: cursor rows diverge\n");
+      return 1;
+    }
+  }
+
+  // Admin listener: health + metrics scrape.
+  if (admin_port != 0) {
+    auto health = Client::HttpGet(static_cast<uint16_t>(admin_port),
+                                  "/healthz");
+    if (!health.ok()) return Fail("/healthz", health.status());
+    auto metrics = Client::HttpGet(static_cast<uint16_t>(admin_port),
+                                   "/metrics");
+    if (!metrics.ok()) return Fail("/metrics", metrics.status());
+    if (metrics->find("server_requests_admitted") == std::string::npos) {
+      std::fprintf(stderr,
+                   "dskg_client FAIL: /metrics lacks server_* series\n");
+      return 1;
+    }
+    if (!metrics_out.empty()) {
+      std::FILE* f = std::fopen(metrics_out.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "dskg_client FAIL: cannot write %s\n",
+                     metrics_out.c_str());
+        return 1;
+      }
+      std::fwrite(metrics->data(), 1, metrics->size(), f);
+      std::fclose(f);
+    }
+  }
+
+  std::printf("dskg_client OK queries=%llu rows=%llu\n",
+              static_cast<unsigned long long>(checked),
+              static_cast<unsigned long long>(rows_total));
+  return 0;
+}

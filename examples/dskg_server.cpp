@@ -1,0 +1,159 @@
+// dskg_server: the network serving tier, end to end. Generates a
+// deterministic YAGO-shaped knowledge graph, stands an OnlineStore over
+// it, and serves the DSKG wire protocol plus an admin HTTP listener
+// (/metrics, /healthz, /debug/slow). SIGINT/SIGTERM drain in-flight
+// requests and — with --snapshot-dir — take a final checkpoint.
+//
+//   $ ./build/examples/dskg_server --port 7687 --admin-port 7688
+//   dskg_server READY port=7687 admin_port=7688 triples=120000
+//
+// A peer that generates the same dataset (same --triples and --seed,
+// e.g. examples/dskg_client) gets bit-identical rows and simulated
+// charges to a direct in-process core::Session run.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/telemetry.h"
+#include "core/online_store.h"
+#include "persist/wal.h"
+#include "server/server.h"
+#include "workload/generators.h"
+
+using dskg::core::DualStoreConfig;
+using dskg::core::OnlineStore;
+using dskg::server::Server;
+using dskg::server::ServerConfig;
+
+namespace {
+
+const char* FlagValue(const char* arg, const char* name, int argc,
+                      char** argv, int* i) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0) return nullptr;
+  if (arg[n] == '=') return arg + n + 1;
+  if (arg[n] == '\0' && *i + 1 < argc) return argv[++*i];
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 0, admin_port = 0, workers = 4, shards = 4;
+  uint64_t triples = 120000, seed = 1;
+  size_t queue_depth = 256, batch_max = 16;
+  double slow_query_ms = 0;
+  std::string snapshot_dir, port_file;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* v;
+    if ((v = FlagValue(argv[i], "--port", argc, argv, &i))) {
+      port = std::atoi(v);
+    } else if ((v = FlagValue(argv[i], "--admin-port", argc, argv, &i))) {
+      admin_port = std::atoi(v);
+    } else if ((v = FlagValue(argv[i], "--workers", argc, argv, &i))) {
+      workers = std::atoi(v);
+    } else if ((v = FlagValue(argv[i], "--shards", argc, argv, &i))) {
+      shards = std::atoi(v);
+    } else if ((v = FlagValue(argv[i], "--triples", argc, argv, &i))) {
+      triples = std::strtoull(v, nullptr, 10);
+    } else if ((v = FlagValue(argv[i], "--seed", argc, argv, &i))) {
+      seed = std::strtoull(v, nullptr, 10);
+    } else if ((v = FlagValue(argv[i], "--queue-depth", argc, argv, &i))) {
+      queue_depth = std::strtoull(v, nullptr, 10);
+    } else if ((v = FlagValue(argv[i], "--batch-max", argc, argv, &i))) {
+      batch_max = std::strtoull(v, nullptr, 10);
+    } else if ((v = FlagValue(argv[i], "--slow-query-ms", argc, argv, &i))) {
+      slow_query_ms = std::atof(v);
+    } else if ((v = FlagValue(argv[i], "--snapshot-dir", argc, argv, &i))) {
+      snapshot_dir = v;
+    } else if ((v = FlagValue(argv[i], "--port-file", argc, argv, &i))) {
+      port_file = v;
+    } else {
+      std::fprintf(stderr,
+                   "usage: dskg_server [--port N] [--admin-port N]\n"
+                   "  [--workers N] [--shards N] [--triples N] [--seed N]\n"
+                   "  [--queue-depth N] [--batch-max N] [--slow-query-ms F]\n"
+                   "  [--snapshot-dir DIR] [--port-file PATH]\n");
+      return 2;
+    }
+  }
+
+  std::fprintf(stderr, "dskg_server: generating %llu-triple dataset...\n",
+               static_cast<unsigned long long>(triples));
+  dskg::workload::YagoConfig ycfg;
+  ycfg.seed = seed;
+  ycfg.target_triples = triples;
+  dskg::rdf::Dataset ds = dskg::workload::GenerateYago(ycfg);
+
+  DualStoreConfig store_cfg;
+  store_cfg.num_shards = shards;
+  store_cfg.graph_capacity_triples = ds.num_triples() / 4;
+
+  std::unique_ptr<OnlineStore> store;
+  if (!snapshot_dir.empty()) {
+    dskg::persist::DurabilityOptions dur;
+    dur.dir = snapshot_dir;
+    store = std::make_unique<OnlineStore>(ds, store_cfg, dur);
+    if (!store->poison_status().ok()) {
+      std::fprintf(stderr, "dskg_server: durability setup failed: %s\n",
+                   store->poison_status().ToString().c_str());
+      return 1;
+    }
+  } else {
+    store = std::make_unique<OnlineStore>(ds, store_cfg);
+  }
+
+  ServerConfig cfg;
+  cfg.port = static_cast<uint16_t>(port);
+  cfg.admin_port = static_cast<uint16_t>(admin_port);
+  cfg.workers = workers;
+  cfg.max_queue_depth = queue_depth;
+  cfg.max_batch = batch_max;
+  cfg.slow_query_ms = slow_query_ms;
+  cfg.checkpoint_on_shutdown = !snapshot_dir.empty();
+
+  Server server(store.get(), cfg);
+  const dskg::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "dskg_server: start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  dskg::server::InstallSignalShutdown(&server);
+
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(f, "%u %u\n", server.port(), server.admin_port());
+      std::fclose(f);
+    }
+  }
+  // The READY line is the startup contract scripts wait on.
+  std::printf("dskg_server READY port=%u admin_port=%u triples=%llu\n",
+              server.port(), server.admin_port(),
+              static_cast<unsigned long long>(ds.num_triples()));
+  std::fflush(stdout);
+
+  while (!server.stopped()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  dskg::server::InstallSignalShutdown(nullptr);
+
+  const Server::Stats s = server.stats();
+  std::printf(
+      "dskg_server STOPPED connections=%llu admitted=%llu rejected=%llu "
+      "responses=%llu errors=%llu batches=%llu\n",
+      static_cast<unsigned long long>(s.connections_accepted),
+      static_cast<unsigned long long>(s.requests_admitted),
+      static_cast<unsigned long long>(s.requests_rejected),
+      static_cast<unsigned long long>(s.responses_sent),
+      static_cast<unsigned long long>(s.errors_sent),
+      static_cast<unsigned long long>(s.batches));
+  return 0;
+}

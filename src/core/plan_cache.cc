@@ -1,0 +1,112 @@
+#include "core/plan_cache.h"
+
+#include <utility>
+
+#include "sparql/parser.h"
+
+namespace dskg::core {
+
+SharedPlanCache::SharedPlanCache(size_t capacity) : capacity_(capacity) {
+  auto& reg = telemetry::MetricsRegistry::Global();
+  hits_ = reg.counter("plan_cache.shared.hits")->NewCell();
+  misses_ = reg.counter("plan_cache.shared.misses")->NewCell();
+  parses_ = reg.counter("plan_cache.shared.parses")->NewCell();
+  invalidations_ = reg.counter("plan_cache.shared.invalidations")->NewCell();
+  evictions_ = reg.counter("plan_cache.shared.evictions")->NewCell();
+}
+
+Result<std::shared_ptr<const PreparedPlan>> SharedPlanCache::GetOrPrepare(
+    std::string_view text, const DualStore& store,
+    const sparql::Query* parsed) {
+  const uint64_t epoch = store.plan_epoch();
+  std::shared_ptr<const sparql::Query> query;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(std::string(text));
+    if (it != entries_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      if (it->second.plan != nullptr && it->second.epoch == epoch) {
+        hits_->Add();
+        return it->second.plan;
+      }
+      query = it->second.parsed;  // reuse the parse across the epoch move
+    }
+  }
+
+  // Miss: parse (if nobody has yet) and prepare outside the lock — a slow
+  // compilation must not serialize unrelated lookups.
+  if (query == nullptr) {
+    if (parsed != nullptr) {
+      query = std::make_shared<const sparql::Query>(*parsed);
+    } else {
+      DSKG_ASSIGN_OR_RETURN(sparql::Query q, sparql::Parser::Parse(text));
+      query = std::make_shared<const sparql::Query>(std::move(q));
+      parses_->Add();
+    }
+  }
+  DSKG_ASSIGN_OR_RETURN(PreparedPlan plan, store.Prepare(*query));
+  auto shared = std::make_shared<const PreparedPlan>(std::move(plan));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(std::string(text));
+  if (it == entries_.end()) {
+    lru_.push_front(std::string(text));
+    Entry entry;
+    entry.parsed = query;
+    entry.epoch = shared->plan_epoch;
+    entry.plan = shared;
+    entry.lru_it = lru_.begin();
+    it = entries_.emplace(std::string(text), std::move(entry)).first;
+    EvictOverflowLocked();
+  } else if (it->second.plan == nullptr ||
+             it->second.epoch <= shared->plan_epoch) {
+    // Replace the stale (or absent) plan; a racing caller that installed
+    // an even newer epoch wins instead.
+    if (it->second.plan != nullptr && it->second.epoch < shared->plan_epoch) {
+      invalidations_->Add();
+    }
+    it->second.epoch = shared->plan_epoch;
+    it->second.plan = shared;
+    it->second.parsed = query;
+  }
+  misses_->Add();
+  return shared;
+}
+
+void SharedPlanCache::EvictOverflowLocked() {
+  if (capacity_ == 0) return;
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    evictions_->Add();
+  }
+}
+
+SharedPlanCache::Stats SharedPlanCache::stats() const {
+  Stats s;
+  s.hits = hits_->value();
+  s.misses = misses_->value();
+  s.parses = parses_->value();
+  s.invalidations = invalidations_->value();
+  s.evictions = evictions_->value();
+  return s;
+}
+
+size_t SharedPlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void SharedPlanCache::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  EvictOverflowLocked();
+}
+
+void SharedPlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+}
+
+}  // namespace dskg::core

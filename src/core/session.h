@@ -69,6 +69,7 @@
 #include "common/thread_pool.h"
 #include "core/dual_store.h"
 #include "core/online_store.h"
+#include "core/plan_cache.h"
 #include "core/query_processor.h"
 #include "rdf/triple.h"
 #include "sparql/ast.h"
@@ -220,6 +221,18 @@ class Session {
   /// the cache is over the new bound.
   void SetPlanCacheCapacity(size_t capacity);
 
+  /// Attaches a cross-session shared plan cache (borrowed; must outlive
+  /// the session; null detaches). With a cache attached, a plan that is
+  /// missing or stale in this session's per-text entry is fetched from —
+  /// and installed into — the shared cache, so N sessions preparing the
+  /// same template against the same store state compile it once. The
+  /// session's own cache still provides the lock-free fast path for a
+  /// handle re-executing an unchanged plan.
+  void set_shared_plan_cache(SharedPlanCache* cache) {
+    shared_cache_ = cache;
+  }
+  SharedPlanCache* shared_plan_cache() const { return shared_cache_; }
+
   /// Cached plans currently held.
   size_t plan_cache_size() const;
 
@@ -275,6 +288,7 @@ class Session {
   DualStore* dual_ = nullptr;
   OnlineStore* online_ = nullptr;
   ThreadPool* pool_ = nullptr;
+  SharedPlanCache* shared_cache_ = nullptr;
 
   /// Evicts least-recently-prepared entries until the cache fits the
   /// capacity. Caller holds `cache_mu_`.

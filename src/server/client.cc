@@ -1,0 +1,344 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace dskg::server {
+
+namespace {
+
+Result<int> DialLoopback(uint16_t port, const std::string& host) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError("socket(): " + std::string(strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const Status s = Status::IoError("connect(" + host + ":" +
+                                     std::to_string(port) +
+                                     "): " + strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+Status WriteAll(int fd, const void* data, size_t size) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::send(fd, p + off, size - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IoError("send(): " + std::string(strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status ReadAll(int fd, void* data, size_t size) {
+  uint8_t* p = static_cast<uint8_t*>(data);
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::recv(fd, p + off, size - off, 0);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) return Status::IoError("connection closed by server");
+    return Status::IoError("recv(): " + std::string(strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Result<RowsResult> DecodeRows(WireReader* r) {
+  RowsResult rows;
+  uint8_t done = 0;
+  uint16_t n_cols = 0;
+  uint32_t n_rows = 0;
+  if (!r->GetU32(&rows.cursor_id) || !r->GetU8(&done) ||
+      !r->GetString(&rows.route) || !r->GetF64(&rows.rel_us) ||
+      !r->GetF64(&rows.graph_us) || !r->GetF64(&rows.migrate_us) ||
+      !r->GetF64(&rows.graph_io_us) || !r->GetF64(&rows.graph_cpu_us) ||
+      !r->GetU16(&n_cols)) {
+    return Status::Internal("malformed ROWS frame from server");
+  }
+  rows.done = done != 0;
+  rows.columns.resize(n_cols);
+  for (std::string& c : rows.columns) {
+    if (!r->GetString(&c)) {
+      return Status::Internal("malformed ROWS frame from server");
+    }
+  }
+  if (!r->GetU32(&n_rows)) {
+    return Status::Internal("malformed ROWS frame from server");
+  }
+  rows.rows.resize(n_rows);
+  for (auto& row : rows.rows) {
+    row.resize(n_cols);
+    for (std::string& cell : row) {
+      if (!r->GetString(&cell)) {
+        return Status::Internal("malformed ROWS frame from server");
+      }
+    }
+  }
+  return rows;
+}
+
+void EncodeExecute(
+    std::vector<uint8_t>* out, uint32_t request_id, uint32_t stmt_id,
+    bool open_cursor,
+    const std::vector<std::pair<std::string, std::string>>& bindings) {
+  WireWriter w(out);
+  const size_t start = w.BeginFrame(MsgType::kExecute, request_id);
+  w.PutU32(stmt_id);
+  w.PutU8(open_cursor ? 1 : 0);
+  w.PutU16(static_cast<uint16_t>(bindings.size()));
+  for (const auto& [name, term] : bindings) {
+    w.PutString(name);
+    w.PutString(term);
+  }
+  w.FinishFrame(start);
+}
+
+}  // namespace
+
+Result<Client> Client::Connect(uint16_t port, const std::string& host) {
+  DSKG_ASSIGN_OR_RETURN(int fd, DialLoopback(port, host));
+  return Client(fd);
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Client::SendFrame(const std::vector<uint8_t>& bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  return WriteAll(fd_, bytes.data(), bytes.size());
+}
+
+Status Client::ReadFrame(std::vector<uint8_t>* payload) {
+  uint8_t len_buf[4];
+  DSKG_RETURN_NOT_OK(ReadAll(fd_, len_buf, sizeof len_buf));
+  uint32_t len = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(len_buf[i]) << (8 * i);
+  }
+  if (len < 5 || len > kMaxFrameBytes) {
+    return Status::Internal("protocol violation: frame length " +
+                            std::to_string(len));
+  }
+  payload->resize(len);
+  return ReadAll(fd_, payload->data(), len);
+}
+
+Result<Response> Client::Receive() {
+  std::vector<uint8_t> payload;
+  DSKG_RETURN_NOT_OK(ReadFrame(&payload));
+  Response resp;
+  resp.type = static_cast<MsgType>(payload[0]);
+  for (size_t i = 0; i < 4; ++i) {
+    resp.request_id |= static_cast<uint32_t>(payload[1 + i]) << (8 * i);
+  }
+  WireReader r(payload.data() + 5, payload.size() - 5);
+  switch (resp.type) {
+    case MsgType::kPong:
+      break;
+    case MsgType::kError: {
+      uint16_t code = 0;
+      std::string message;
+      if (!r.GetU16(&code) || !r.GetString(&message)) {
+        return Status::Internal("malformed ERROR frame from server");
+      }
+      resp.error = StatusFromWire(static_cast<WireError>(code),
+                                  std::move(message));
+      break;
+    }
+    case MsgType::kPrepared: {
+      uint16_t n_params = 0;
+      if (!r.GetU32(&resp.stmt_id) || !r.GetU16(&n_params)) {
+        return Status::Internal("malformed PREPARED frame from server");
+      }
+      resp.params.resize(n_params);
+      for (std::string& p : resp.params) {
+        if (!r.GetString(&p)) {
+          return Status::Internal("malformed PREPARED frame from server");
+        }
+      }
+      break;
+    }
+    case MsgType::kRows: {
+      DSKG_ASSIGN_OR_RETURN(resp.rows, DecodeRows(&r));
+      break;
+    }
+    default:
+      return Status::Internal("unexpected frame type " +
+                              std::to_string(static_cast<int>(resp.type)));
+  }
+  return resp;
+}
+
+Result<Response> Client::RoundTrip(const std::vector<uint8_t>& frame) {
+  DSKG_RETURN_NOT_OK(SendFrame(frame));
+  DSKG_ASSIGN_OR_RETURN(Response resp, Receive());
+  if (resp.type == MsgType::kError) return resp.error;
+  return resp;
+}
+
+Result<std::vector<std::string>> Client::Prepare(uint32_t stmt_id,
+                                                 std::string_view text) {
+  std::vector<uint8_t> out;
+  WireWriter w(&out);
+  const size_t start = w.BeginFrame(MsgType::kPrepare, next_request_id_++);
+  w.PutU32(stmt_id);
+  w.PutString(text);
+  w.FinishFrame(start);
+  DSKG_ASSIGN_OR_RETURN(Response resp, RoundTrip(out));
+  if (resp.type != MsgType::kPrepared) {
+    return Status::Internal("expected PREPARED, got frame type " +
+                            std::to_string(static_cast<int>(resp.type)));
+  }
+  return std::move(resp.params);
+}
+
+Result<RowsResult> Client::Execute(
+    uint32_t stmt_id,
+    const std::vector<std::pair<std::string, std::string>>& bindings) {
+  std::vector<uint8_t> out;
+  EncodeExecute(&out, next_request_id_++, stmt_id, /*open_cursor=*/false,
+                bindings);
+  DSKG_ASSIGN_OR_RETURN(Response resp, RoundTrip(out));
+  if (resp.type != MsgType::kRows) {
+    return Status::Internal("expected ROWS, got frame type " +
+                            std::to_string(static_cast<int>(resp.type)));
+  }
+  return std::move(resp.rows);
+}
+
+Result<RowsResult> Client::OpenCursor(
+    uint32_t stmt_id,
+    const std::vector<std::pair<std::string, std::string>>& bindings) {
+  std::vector<uint8_t> out;
+  EncodeExecute(&out, next_request_id_++, stmt_id, /*open_cursor=*/true,
+                bindings);
+  DSKG_ASSIGN_OR_RETURN(Response resp, RoundTrip(out));
+  if (resp.type != MsgType::kRows) {
+    return Status::Internal("expected ROWS, got frame type " +
+                            std::to_string(static_cast<int>(resp.type)));
+  }
+  return std::move(resp.rows);
+}
+
+Result<RowsResult> Client::Fetch(uint32_t cursor_id, uint32_t max_rows) {
+  std::vector<uint8_t> out;
+  WireWriter w(&out);
+  const size_t start = w.BeginFrame(MsgType::kFetch, next_request_id_++);
+  w.PutU32(cursor_id);
+  w.PutU32(max_rows);
+  w.FinishFrame(start);
+  DSKG_ASSIGN_OR_RETURN(Response resp, RoundTrip(out));
+  if (resp.type != MsgType::kRows) {
+    return Status::Internal("expected ROWS, got frame type " +
+                            std::to_string(static_cast<int>(resp.type)));
+  }
+  return std::move(resp.rows);
+}
+
+Status Client::CloseStmt(uint32_t stmt_id) {
+  std::vector<uint8_t> out;
+  WireWriter w(&out);
+  const size_t start = w.BeginFrame(MsgType::kCloseStmt, next_request_id_++);
+  w.PutU32(stmt_id);
+  w.FinishFrame(start);
+  return RoundTrip(out).status();
+}
+
+Status Client::CloseCursor(uint32_t cursor_id) {
+  std::vector<uint8_t> out;
+  WireWriter w(&out);
+  const size_t start = w.BeginFrame(MsgType::kCloseCursor, next_request_id_++);
+  w.PutU32(cursor_id);
+  w.FinishFrame(start);
+  return RoundTrip(out).status();
+}
+
+Status Client::Ping() {
+  std::vector<uint8_t> out;
+  WireWriter w(&out);
+  w.FinishFrame(w.BeginFrame(MsgType::kPing, next_request_id_++));
+  DSKG_ASSIGN_OR_RETURN(Response resp, RoundTrip(out));
+  if (resp.type != MsgType::kPong) {
+    return Status::Internal("expected PONG, got frame type " +
+                            std::to_string(static_cast<int>(resp.type)));
+  }
+  return Status::OK();
+}
+
+Status Client::SendExecute(
+    uint32_t request_id, uint32_t stmt_id,
+    const std::vector<std::pair<std::string, std::string>>& bindings) {
+  std::vector<uint8_t> out;
+  EncodeExecute(&out, request_id, stmt_id, /*open_cursor=*/false, bindings);
+  return SendFrame(out);
+}
+
+Result<std::string> Client::HttpGet(uint16_t port, const std::string& path,
+                                    const std::string& host) {
+  DSKG_ASSIGN_OR_RETURN(int fd, DialLoopback(port, host));
+  const std::string req = "GET " + path + " HTTP/1.0\r\nHost: " + host +
+                          "\r\nConnection: close\r\n\r\n";
+  Status s = WriteAll(fd, req.data(), req.size());
+  if (!s.ok()) {
+    ::close(fd);
+    return s;
+  }
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      resp.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // orderly close (or error with partial data)
+  }
+  ::close(fd);
+  const size_t header_end = resp.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::IoError("malformed HTTP response from admin listener");
+  }
+  if (resp.find("200") == std::string::npos ||
+      resp.find("200") > resp.find("\r\n")) {
+    const std::string status_line = resp.substr(0, resp.find("\r\n"));
+    return Status::NotFound("admin listener: " + status_line);
+  }
+  return resp.substr(header_end + 4);
+}
+
+}  // namespace dskg::server

@@ -1,0 +1,128 @@
+#ifndef DSKG_SERVER_CLIENT_H_
+#define DSKG_SERVER_CLIENT_H_
+
+/// \file client.h
+/// A small blocking client for the DSKG wire protocol — the reference
+/// consumer used by tests, the serving bench, and `examples/
+/// dskg_client.cpp`.
+///
+/// Two usage levels:
+///   * Synchronous calls (`Prepare`/`Execute`/`OpenCursor`/`Fetch`/
+///     `Close*`/`Ping`): send one request, block for its response.
+///     Server-side errors come back as the equivalent `Status` — an
+///     admission rejection surfaces as `IsCapacityExceeded()`.
+///   * Pipelined sends (`SendExecute` + `Receive`): the open-loop bench
+///     keeps many requests in flight on one connection and matches
+///     responses by `request_id`.
+///
+/// `HttpGet` speaks just enough HTTP/1.0 to scrape the admin listener
+/// (`/metrics`, `/healthz`, `/debug/slow`).
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "server/protocol.h"
+
+namespace dskg::server {
+
+/// One EXECUTE/FETCH result decoded from a ROWS frame. Charges are the
+/// server's simulated-cost doubles, bit-identical to a direct
+/// `core::Session` execution of the same query.
+struct RowsResult {
+  uint32_t cursor_id = 0;  ///< non-zero: FETCH from this cursor
+  bool done = true;
+  std::string route;
+  double rel_us = 0;
+  double graph_us = 0;
+  double migrate_us = 0;
+  double graph_io_us = 0;
+  double graph_cpu_us = 0;
+  std::vector<std::string> columns;
+  /// Row-major cells as dictionary term text.
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Any decoded response frame (pipelined mode).
+struct Response {
+  uint32_t request_id = 0;
+  MsgType type = MsgType::kPong;
+  Status error = Status::OK();       ///< set when type == kError
+  RowsResult rows;                   ///< set when type == kRows
+  uint32_t stmt_id = 0;              ///< set when type == kPrepared
+  std::vector<std::string> params;   ///< set when type == kPrepared
+};
+
+/// A blocking connection to a `dskg::server::Server`. Not thread-safe;
+/// one client per thread (connections are cheap).
+class Client {
+ public:
+  static Result<Client> Connect(uint16_t port,
+                                const std::string& host = "127.0.0.1");
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Registers `text` under the client-chosen `stmt_id`; returns the
+  /// statement's `$parameter` names.
+  Result<std::vector<std::string>> Prepare(uint32_t stmt_id,
+                                           std::string_view text);
+
+  /// Executes a prepared statement with `(name, term)` bindings and
+  /// returns all rows inline.
+  Result<RowsResult> Execute(
+      uint32_t stmt_id,
+      const std::vector<std::pair<std::string, std::string>>& bindings = {});
+
+  /// Opens a server-side streaming cursor; the result carries the
+  /// cursor_id and header but no rows — pull them with `Fetch`.
+  Result<RowsResult> OpenCursor(
+      uint32_t stmt_id,
+      const std::vector<std::pair<std::string, std::string>>& bindings = {});
+
+  /// Next chunk (<= max_rows) from a cursor. `done` set on the final
+  /// chunk; charges are cumulative for the cursor so far.
+  Result<RowsResult> Fetch(uint32_t cursor_id, uint32_t max_rows);
+
+  Status CloseStmt(uint32_t stmt_id);
+  Status CloseCursor(uint32_t cursor_id);
+  Status Ping();
+
+  // -- pipelined mode --------------------------------------------------------
+
+  /// Fire-and-forget EXECUTE with an explicit request id; match the
+  /// response by id via `Receive`.
+  Status SendExecute(
+      uint32_t request_id, uint32_t stmt_id,
+      const std::vector<std::pair<std::string, std::string>>& bindings);
+
+  /// Blocks for the next response frame (any request id).
+  Result<Response> Receive();
+
+  // -- admin listener --------------------------------------------------------
+
+  /// Blocking one-shot HTTP GET against the admin listener; returns the
+  /// response body (Status error on non-200).
+  static Result<std::string> HttpGet(uint16_t port, const std::string& path,
+                                     const std::string& host = "127.0.0.1");
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  Status SendFrame(const std::vector<uint8_t>& bytes);
+  /// Reads exactly one frame (length prefix + payload) into `*payload`.
+  Status ReadFrame(std::vector<uint8_t>* payload);
+  /// Sends one request and decodes its (sequential) response.
+  Result<Response> RoundTrip(const std::vector<uint8_t>& frame);
+
+  uint32_t next_request_id_ = 1;
+  int fd_ = -1;
+};
+
+}  // namespace dskg::server
+
+#endif  // DSKG_SERVER_CLIENT_H_

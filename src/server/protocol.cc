@@ -1,0 +1,99 @@
+#include "server/protocol.h"
+
+namespace dskg::server {
+
+// The cast in both directions below relies on the enums being mirrors.
+static_assert(static_cast<int>(WireError::kResourceExhausted) ==
+              static_cast<int>(StatusCode::kCapacityExceeded));
+static_assert(static_cast<int>(WireError::kParseError) ==
+              static_cast<int>(StatusCode::kParseError));
+static_assert(static_cast<int>(WireError::kInternal) ==
+              static_cast<int>(StatusCode::kInternal));
+
+WireError WireErrorFromStatus(const Status& s) {
+  return static_cast<WireError>(static_cast<int>(s.code()));
+}
+
+Status StatusFromWire(WireError code, std::string message) {
+  const int c = static_cast<int>(code);
+  if (c <= 0 || c > static_cast<int>(StatusCode::kInternal)) {
+    return Status::Internal("unknown wire error code " + std::to_string(c) +
+                            ": " + message);
+  }
+  return Status(static_cast<StatusCode>(c), std::move(message));
+}
+
+const char* WireErrorName(WireError code) {
+  switch (code) {
+    case WireError::kOk: return "OK";
+    case WireError::kInvalidArgument: return "INVALID_ARGUMENT";
+    case WireError::kNotFound: return "NOT_FOUND";
+    case WireError::kAlreadyExists: return "ALREADY_EXISTS";
+    case WireError::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case WireError::kCancelled: return "CANCELLED";
+    case WireError::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case WireError::kParseError: return "PARSE_ERROR";
+    case WireError::kIoError: return "IO_ERROR";
+    case WireError::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+size_t WireWriter::BeginFrame(MsgType type, uint32_t request_id) {
+  const size_t frame_start = out_->size();
+  PutU32(0);  // length slot, patched by FinishFrame
+  PutU8(static_cast<uint8_t>(type));
+  PutU32(request_id);
+  return frame_start;
+}
+
+void WireWriter::FinishFrame(size_t frame_start) {
+  const uint32_t payload =
+      static_cast<uint32_t>(out_->size() - frame_start - 4);
+  for (size_t i = 0; i < 4; ++i) {
+    (*out_)[frame_start + i] = static_cast<uint8_t>(payload >> (8 * i));
+  }
+}
+
+bool WireReader::GetString(std::string* s) {
+  uint32_t len;
+  if (!GetU32(&len)) return false;
+  if (static_cast<size_t>(end_ - p_) < len) {
+    ok_ = false;
+    return false;
+  }
+  s->assign(reinterpret_cast<const char*>(p_), len);
+  p_ += len;
+  return true;
+}
+
+int64_t DecodeFrame(const uint8_t* buf, size_t size, Frame* frame) {
+  if (size < 4) return 0;
+  uint32_t payload = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    payload |= static_cast<uint32_t>(buf[i]) << (8 * i);
+  }
+  // type (1) + request_id (4) is the minimum payload; anything shorter
+  // or over the frame bound is a protocol violation, not a short read.
+  if (payload < 5 || payload > kMaxFrameBytes) return -1;
+  if (size < 4 + static_cast<size_t>(payload)) return 0;
+  frame->type = static_cast<MsgType>(buf[4]);
+  frame->request_id = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    frame->request_id |= static_cast<uint32_t>(buf[5 + i]) << (8 * i);
+  }
+  frame->body = buf + 9;
+  frame->body_size = payload - 5;
+  return 4 + static_cast<int64_t>(payload);
+}
+
+void EncodeError(std::vector<uint8_t>* out, uint32_t request_id,
+                 const Status& status) {
+  WireWriter w(out);
+  const size_t start = w.BeginFrame(MsgType::kError, request_id);
+  w.PutU16(static_cast<uint16_t>(WireErrorFromStatus(status)));
+  w.PutString(status.message());
+  w.FinishFrame(start);
+}
+
+}  // namespace dskg::server

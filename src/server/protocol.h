@@ -1,0 +1,205 @@
+#ifndef DSKG_SERVER_PROTOCOL_H_
+#define DSKG_SERVER_PROTOCOL_H_
+
+/// \file protocol.h
+/// The DSKG wire protocol: length-prefixed binary frames.
+///
+/// Every message — request or response — is one frame:
+///
+///     +----------------+---------+----------------+----------------+
+///     | u32 payload_len| u8 type | u32 request_id | body ...       |
+///     +----------------+---------+----------------+----------------+
+///       little-endian    MsgType    client-chosen    type-specific
+///
+/// `payload_len` counts everything after itself (type + request_id +
+/// body) and is bounded by `kMaxFrameBytes`, so a malformed or hostile
+/// peer cannot make the server buffer unbounded input. `request_id` is
+/// chosen by the client and echoed verbatim on the response; because
+/// batched executions may complete out of order relative to other
+/// requests on the same connection, the id — not arrival order — is the
+/// correlation key. All integers are little-endian fixed-width; strings
+/// are `u32 len + bytes` (no terminator); doubles are IEEE-754 bit
+/// patterns moved via `memcpy`.
+///
+/// Request bodies:
+///   PREPARE      u32 stmt_id | str text
+///   EXECUTE      u32 stmt_id | u8 open_cursor | u16 n | n x (str, str)
+///                  (name/term binding pairs; open_cursor != 0 returns a
+///                   cursor_id for FETCH instead of inline rows)
+///   FETCH        u32 cursor_id | u32 max_rows
+///   CLOSE_STMT   u32 stmt_id
+///   CLOSE_CURSOR u32 cursor_id
+///   PING         (empty)
+///
+/// Response bodies:
+///   PREPARED     u32 stmt_id | u16 n_params | n x str
+///   ROWS         u32 cursor_id (0 = none) | u8 done | str route |
+///                f64 rel_us | f64 graph_us | f64 migrate_us |
+///                f64 graph_io_us | f64 graph_cpu_us |
+///                u16 n_cols | n x str | u32 n_rows | rows x cols str
+///                  (cells are dictionary term text, resolved against
+///                   the same pinned snapshot that produced the rows)
+///   ERROR        u16 wire_code | str message
+///   PONG         (empty)
+///
+/// Error codes mirror `StatusCode` one-for-one so a client can recover
+/// the exact server-side `Status`; the overload signal is
+/// `WireError::kResourceExhausted` (admission queue full — retry with
+/// backoff, the connection stays healthy).
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dskg::server {
+
+/// Hard bound on one frame's payload (16 MiB): past this the peer is
+/// protocol-broken and the connection is dropped.
+inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Frame types. Requests are < 128, responses have the high bit set.
+enum class MsgType : uint8_t {
+  // Requests.
+  kPrepare = 1,
+  kExecute = 2,
+  kFetch = 3,
+  kCloseStmt = 4,
+  kCloseCursor = 5,
+  kPing = 6,
+  // Responses.
+  kPrepared = 129,
+  kRows = 130,
+  kError = 131,
+  kPong = 132,
+};
+
+/// Wire error codes; numerically identical to `StatusCode` (asserted in
+/// protocol.cc) so the mapping is a cast, and additions to one enum
+/// break the build until mirrored in the other.
+enum class WireError : uint16_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kResourceExhausted = 4,  ///< admission control: bounded queue full
+  kCancelled = 5,
+  kFailedPrecondition = 6,
+  kParseError = 7,
+  kIoError = 8,
+  kInternal = 9,
+};
+
+WireError WireErrorFromStatus(const Status& s);
+Status StatusFromWire(WireError code, std::string message);
+const char* WireErrorName(WireError code);
+
+/// Appends little-endian scalars / length-prefixed strings to a byte
+/// buffer. The writer owns no framing: `FinishFrame` retro-fills the
+/// length prefix reserved by `BeginFrame`.
+class WireWriter {
+ public:
+  explicit WireWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  /// Reserves the u32 length slot and writes the header; returns the
+  /// offset to hand back to `FinishFrame`.
+  size_t BeginFrame(MsgType type, uint32_t request_id);
+  void FinishFrame(size_t frame_start);
+
+  void PutU8(uint8_t v) { out_->push_back(v); }
+  void PutU16(uint16_t v) { PutLE(v); }
+  void PutU32(uint32_t v) { PutLE(v); }
+  void PutU64(uint64_t v) { PutLE(v); }
+  void PutF64(double v) {
+    uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    PutU64(bits);
+  }
+  void PutString(std::string_view s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    out_->insert(out_->end(), s.begin(), s.end());
+  }
+
+ private:
+  template <typename T>
+  void PutLE(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  std::vector<uint8_t>* out_;
+};
+
+/// Reads scalars / strings from one frame's payload with explicit bounds
+/// checks — every getter returns false (and poisons the reader) on
+/// truncated input, so decoding malformed frames is loss-free and
+/// crash-free.
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t size) : p_(data), end_(data + size) {}
+  explicit WireReader(const std::vector<uint8_t>& buf)
+      : WireReader(buf.data(), buf.size()) {}
+
+  bool GetU8(uint8_t* v) { return GetLE(v); }
+  bool GetU16(uint16_t* v) { return GetLE(v); }
+  bool GetU32(uint32_t* v) { return GetLE(v); }
+  bool GetU64(uint64_t* v) { return GetLE(v); }
+  bool GetF64(double* v) {
+    uint64_t bits;
+    if (!GetU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof bits);
+    return true;
+  }
+  bool GetString(std::string* s);
+
+  bool ok() const { return ok_; }
+  /// True when the payload is fully consumed (trailing bytes mean a
+  /// mis-encoded frame).
+  bool AtEnd() const { return ok_ && p_ == end_; }
+
+ private:
+  template <typename T>
+  bool GetLE(T* v) {
+    if (!ok_ || static_cast<size_t>(end_ - p_) < sizeof(T)) {
+      ok_ = false;
+      return false;
+    }
+    T out = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      out |= static_cast<T>(p_[i]) << (8 * i);
+    }
+    p_ += sizeof(T);
+    *v = out;
+    return true;
+  }
+  const uint8_t* p_;
+  const uint8_t* end_;
+  bool ok_ = true;
+};
+
+/// One decoded frame header + payload view (valid while the input
+/// buffer is).
+struct Frame {
+  MsgType type = MsgType::kPing;
+  uint32_t request_id = 0;
+  const uint8_t* body = nullptr;
+  size_t body_size = 0;
+};
+
+/// Tries to decode one frame from `buf[offset..]`. Returns:
+///   +n  — frame decoded, consumed n bytes total
+///    0  — need more bytes
+///   -1  — protocol violation (oversized or runt frame): drop the peer
+int64_t DecodeFrame(const uint8_t* buf, size_t size, Frame* frame);
+
+/// Encodes an ERROR response frame for `request_id`.
+void EncodeError(std::vector<uint8_t>* out, uint32_t request_id,
+                 const Status& status);
+
+}  // namespace dskg::server
+
+#endif  // DSKG_SERVER_PROTOCOL_H_

@@ -1,0 +1,853 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "core/dual_store.h"
+#include "core/query_processor.h"
+#include "rdf/dictionary.h"
+#include "sparql/bindings.h"
+#include "sparql/parser.h"
+
+namespace dskg::server {
+
+namespace {
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Binds a loopback listener on `port` (0 = ephemeral) and reports the
+/// bound port back through `*bound`.
+Result<int> Listen(uint16_t port, uint16_t* bound) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket(): " + std::string(strerror(errno)));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const Status s = Status::IoError("bind(port " + std::to_string(port) +
+                                     "): " + strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 128) != 0) {
+    const Status s = Status::IoError("listen(): " + std::string(strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  *bound = ntohs(addr.sin_port);
+  SetNonBlocking(fd);
+  return fd;
+}
+
+void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+/// Encodes a ROWS response. `rows` may be null (cursor-open ack: header
+/// only, zero rows).
+void EncodeRows(std::vector<uint8_t>* out, uint32_t request_id,
+                uint32_t cursor_id, bool done, core::Route route,
+                const core::QueryExecution& ex,
+                const std::vector<std::string>& columns,
+                const sparql::BindingTable* rows,
+                const rdf::Dictionary& dict) {
+  WireWriter w(out);
+  const size_t start = w.BeginFrame(MsgType::kRows, request_id);
+  w.PutU32(cursor_id);
+  w.PutU8(done ? 1 : 0);
+  w.PutString(core::RouteName(route));
+  w.PutF64(ex.rel_micros);
+  w.PutF64(ex.graph_micros);
+  w.PutF64(ex.migrate_micros);
+  w.PutF64(ex.graph_io_micros);
+  w.PutF64(ex.graph_cpu_micros);
+  w.PutU16(static_cast<uint16_t>(columns.size()));
+  for (const std::string& c : columns) w.PutString(c);
+  const size_t n_rows = rows != nullptr ? rows->NumRows() : 0;
+  w.PutU32(static_cast<uint32_t>(n_rows));
+  for (size_t r = 0; r < n_rows; ++r) {
+    for (size_t c = 0; c < columns.size(); ++c) {
+      w.PutString(dict.TermOf(rows->At(r, c)));
+    }
+  }
+  w.FinishFrame(start);
+}
+
+}  // namespace
+
+// ---- connection & work-item state -------------------------------------------
+
+struct Server::StmtState {
+  std::string text;
+  std::shared_ptr<const sparql::Query> parsed;
+};
+
+struct Server::CursorState {
+  std::shared_ptr<const core::PreparedPlan> plan;
+  core::OnlineStore::ReadGuard pin;  ///< the cursor's own epoch pin
+  core::ExecutionCursor cursor;
+
+  CursorState(std::shared_ptr<const core::PreparedPlan> p,
+              core::OnlineStore::ReadGuard g, core::ExecutionCursor c)
+      : plan(std::move(p)), pin(std::move(g)), cursor(std::move(c)) {}
+};
+
+struct Server::Connection {
+  int fd = -1;
+  uint64_t id = 0;
+  std::vector<uint8_t> rbuf;
+  std::atomic<bool> dead{false};
+
+  std::mutex write_mu;  ///< serializes response frames onto the socket
+
+  /// Per-tenant session state: statements are client-numbered, cursors
+  /// server-numbered. Guarded by `state_mu` (workers race on EXECUTE vs
+  /// FETCH vs CLOSE for one connection).
+  std::mutex state_mu;
+  std::unordered_map<uint32_t, StmtState> stmts;
+  std::unordered_map<uint32_t, std::unique_ptr<CursorState>> cursors;
+  uint32_t next_cursor_id = 1;
+};
+
+struct Server::WorkItem {
+  std::shared_ptr<Connection> conn;
+  MsgType type = MsgType::kPing;
+  uint32_t request_id = 0;
+  std::vector<uint8_t> body;
+  double enqueue_us = 0;
+};
+
+// ---- construction -----------------------------------------------------------
+
+Server::Server(core::OnlineStore* store, ServerConfig config)
+    : store_(store), cfg_(std::move(config)) {
+  auto& reg = telemetry::MetricsRegistry::Global();
+  cells_.accepted = reg.counter("server.connections.accepted")->NewCell();
+  cells_.admitted = reg.counter("server.requests.admitted")->NewCell();
+  cells_.rejected = reg.counter("server.requests.rejected")->NewCell();
+  cells_.responses = reg.counter("server.responses")->NewCell();
+  cells_.errors = reg.counter("server.errors")->NewCell();
+  cells_.batches = reg.counter("server.batches")->NewCell();
+  cells_.open_connections = reg.gauge("server.connections.open");
+  cells_.queue_depth = reg.gauge("server.queue.depth");
+  cells_.request_us = reg.histogram("server.request_us");
+  cells_.batch_size = reg.histogram("server.batch_size");
+}
+
+Server::~Server() {
+  if (started()) Stop();
+}
+
+Status Server::Start() {
+  if (started()) return Status::FailedPrecondition("server already started");
+  if (cfg_.slow_query_ms > 0) {
+    telemetry::MetricsRegistry::Global().slow_queries().set_threshold_ms(
+        cfg_.slow_query_ms);
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    return Status::IoError("pipe(): " + std::string(strerror(errno)));
+  }
+  SetNonBlocking(wake_pipe_[0]);
+  DSKG_ASSIGN_OR_RETURN(listen_fd_, Listen(cfg_.port, &port_));
+  if (cfg_.enable_admin) {
+    DSKG_ASSIGN_OR_RETURN(admin_fd_, Listen(cfg_.admin_port, &admin_port_));
+  }
+  const int workers = std::max(1, cfg_.workers);
+  pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(workers));
+  worker_done_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    worker_done_.push_back(pool_->Submit([this] { WorkerLoop(); }));
+  }
+  io_thread_ = std::thread([this] { IoLoop(); });
+  if (cfg_.enable_admin) {
+    admin_thread_ = std::thread([this] { AdminLoop(); });
+  }
+  started_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+void Server::Stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    // Second caller (e.g. the signal watcher racing an explicit Stop):
+    // wait for the first to finish.
+    while (!stopped()) std::this_thread::yield();
+    return;
+  }
+  // Wake poll()ers: the IO thread stops accepting and reading, the
+  // admin thread exits after its current exchange.
+  char byte = 1;
+  (void)!::write(wake_pipe_[1], &byte, 1);
+  if (io_thread_.joinable()) io_thread_.join();
+
+  // Drain: everything admitted before the listener closed gets its
+  // response. New arrivals are impossible (no reader).
+  {
+    std::unique_lock<std::mutex> lk(queue_mu_);
+    drain_cv_.wait(lk, [this] { return queue_.empty() && in_flight_ == 0; });
+  }
+  queue_cv_.notify_all();  // workers observe stopping_ + empty and exit
+  for (std::future<void>& f : worker_done_) f.get();
+  worker_done_.clear();
+  pool_.reset();
+
+  // Tear down connections (destroys cursors, releasing their pins).
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (auto& [fd, conn] : conns_) {
+      conn->dead.store(true, std::memory_order_relaxed);
+      ::close(fd);
+    }
+    conns_.clear();
+  }
+  cells_.open_connections->Set(0);
+
+  if (admin_thread_.joinable()) {
+    (void)!::write(wake_pipe_[1], &byte, 1);
+    admin_thread_.join();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (admin_fd_ >= 0) ::close(admin_fd_);
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  listen_fd_ = admin_fd_ = wake_pipe_[0] = wake_pipe_[1] = -1;
+
+  if (cfg_.checkpoint_on_shutdown && store_->durable()) {
+    const Status s = store_->SaveSnapshot();
+    if (!s.ok()) {
+      std::fprintf(stderr, "dskg_server: final checkpoint failed: %s\n",
+                   s.message().c_str());
+    }
+  }
+  stopped_.store(true, std::memory_order_release);
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  s.connections_accepted = cells_.accepted->value();
+  s.requests_admitted = cells_.admitted->value();
+  s.requests_rejected = cells_.rejected->value();
+  s.responses_sent = cells_.responses->value();
+  s.errors_sent = cells_.errors->value();
+  s.batches = cells_.batches->value();
+  return s;
+}
+
+// ---- IO thread --------------------------------------------------------------
+
+void Server::IoLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::vector<pollfd> fds;
+    std::vector<std::shared_ptr<Connection>> polled;
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    fds.push_back({listen_fd_, POLLIN, 0});
+    {
+      std::lock_guard<std::mutex> lk(conns_mu_);
+      polled.reserve(conns_.size());
+      for (auto& [fd, conn] : conns_) {
+        fds.push_back({fd, POLLIN, 0});
+        polled.push_back(conn);
+      }
+    }
+    const int n = ::poll(fds.data(), fds.size(), /*timeout_ms=*/200);
+    if (n < 0 && errno != EINTR) break;
+    if (stopping_.load(std::memory_order_acquire)) break;
+    if (n <= 0) continue;
+    if (fds[0].revents & POLLIN) {
+      char drain[64];
+      while (::read(wake_pipe_[0], drain, sizeof drain) > 0) {
+      }
+    }
+    if (fds[1].revents & POLLIN) AcceptOne();
+    for (size_t i = 2; i < fds.size(); ++i) {
+      if (fds[i].revents & (POLLIN | POLLERR | POLLHUP)) {
+        ReadFrom(polled[i - 2]);
+      }
+    }
+  }
+}
+
+void Server::AcceptOne() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN (drained) or transient error
+    SetNonBlocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(conns_mu_);
+      conns_.emplace(fd, std::move(conn));
+      cells_.open_connections->Set(static_cast<int64_t>(conns_.size()));
+    }
+    cells_.accepted->Add();
+  }
+}
+
+void Server::ReadFrom(const std::shared_ptr<Connection>& conn) {
+  uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      conn->rbuf.insert(conn->rbuf.end(), buf, buf + n);
+      if (static_cast<ssize_t>(sizeof buf) > n) break;  // drained
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    CloseConnection(conn);  // orderly close or hard error
+    return;
+  }
+  // Decode every complete frame in the buffer.
+  size_t off = 0;
+  for (;;) {
+    Frame frame;
+    const int64_t used =
+        DecodeFrame(conn->rbuf.data() + off, conn->rbuf.size() - off, &frame);
+    if (used == 0) break;
+    if (used < 0) {  // protocol violation: drop the peer
+      CloseConnection(conn);
+      return;
+    }
+    DispatchFrame(conn, frame);
+    off += static_cast<size_t>(used);
+  }
+  if (off > 0) {
+    conn->rbuf.erase(conn->rbuf.begin(),
+                     conn->rbuf.begin() + static_cast<ptrdiff_t>(off));
+  }
+}
+
+void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
+                           const Frame& frame) {
+  if (frame.type == MsgType::kPing) {  // answered inline, never queued
+    std::vector<uint8_t> out;
+    WireWriter w(&out);
+    w.FinishFrame(w.BeginFrame(MsgType::kPong, frame.request_id));
+    SendBytes(conn, out);
+    return;
+  }
+  switch (frame.type) {
+    case MsgType::kPrepare:
+    case MsgType::kExecute:
+    case MsgType::kFetch:
+    case MsgType::kCloseStmt:
+    case MsgType::kCloseCursor:
+      break;
+    default:
+      SendError(conn, frame.request_id,
+                Status::InvalidArgument(
+                    "unknown request type " +
+                    std::to_string(static_cast<int>(frame.type))));
+      return;
+  }
+  WorkItem item;
+  item.conn = conn;
+  item.type = frame.type;
+  item.request_id = frame.request_id;
+  item.body.assign(frame.body, frame.body + frame.body_size);
+  item.enqueue_us = telemetry::MetricsRegistry::Global().NowMicros();
+  {
+    std::unique_lock<std::mutex> lk(queue_mu_);
+    if (queue_.size() >= cfg_.max_queue_depth) {
+      lk.unlock();
+      cells_.rejected->Add();
+      SendError(conn, frame.request_id,
+                Status::CapacityExceeded(
+                    "server overloaded: request queue full (depth " +
+                    std::to_string(cfg_.max_queue_depth) + ")"));
+      return;
+    }
+    queue_.push_back(std::move(item));
+    cells_.queue_depth->Set(static_cast<int64_t>(queue_.size()));
+  }
+  cells_.admitted->Add();
+  queue_cv_.notify_one();
+}
+
+void Server::CloseConnection(const std::shared_ptr<Connection>& conn) {
+  conn->dead.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    conns_.erase(conn->fd);
+    cells_.open_connections->Set(static_cast<int64_t>(conns_.size()));
+  }
+  ::close(conn->fd);
+}
+
+// ---- workers ----------------------------------------------------------------
+
+void Server::WorkerLoop() {
+  for (;;) {
+    std::vector<WorkItem> batch;
+    {
+      std::unique_lock<std::mutex> lk(queue_mu_);
+      queue_cv_.wait(lk, [this] {
+        return stopping_.load(std::memory_order_acquire) || !queue_.empty();
+      });
+      if (queue_.empty()) {
+        if (stopping_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      const size_t n = std::min(std::max<size_t>(cfg_.max_batch, 1),
+                                queue_.size());
+      batch.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      in_flight_ += n;
+      cells_.queue_depth->Set(static_cast<int64_t>(queue_.size()));
+    }
+    if (cfg_.test_batch_hook) cfg_.test_batch_hook();
+    ExecuteBatch(&batch);
+    {
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      in_flight_ -= batch.size();
+      if (queue_.empty() && in_flight_ == 0) drain_cv_.notify_all();
+    }
+  }
+}
+
+void Server::ExecuteBatch(std::vector<WorkItem>* batch) {
+  cells_.batches->Add();
+  auto& reg = telemetry::MetricsRegistry::Global();
+  if (reg.enabled()) {
+    cells_.batch_size->Record(static_cast<double>(batch->size()));
+  }
+  // ONE epoch pin and ONE installed snapshot for the whole batch: every
+  // same-epoch execution in it amortizes the pin and reads one state.
+  const core::OnlineStore::ReadGuard guard = store_->Read();
+  core::DualStore::SnapshotScope scope(&guard.snapshot());
+  for (const WorkItem& item : *batch) HandleItem(item, guard);
+}
+
+void Server::HandleItem(const WorkItem& item,
+                        const core::OnlineStore::ReadGuard& g) {
+  if (item.conn->dead.load(std::memory_order_relaxed)) return;
+  Status s;
+  switch (item.type) {
+    case MsgType::kPrepare: s = HandlePrepare(item, g); break;
+    case MsgType::kExecute: s = HandleExecute(item, g); break;
+    case MsgType::kFetch: s = HandleFetch(item); break;
+    case MsgType::kCloseStmt: s = HandleClose(item, /*cursor=*/false); break;
+    case MsgType::kCloseCursor: s = HandleClose(item, /*cursor=*/true); break;
+    default: s = Status::Internal("unreachable request type");
+  }
+  if (!s.ok()) SendError(item.conn, item.request_id, s);
+  auto& reg = telemetry::MetricsRegistry::Global();
+  if (reg.enabled()) {
+    cells_.request_us->Record(reg.NowMicros() - item.enqueue_us);
+  }
+}
+
+Status Server::HandlePrepare(const WorkItem& item,
+                             const core::OnlineStore::ReadGuard& g) {
+  WireReader r(item.body.data(), item.body.size());
+  uint32_t stmt_id = 0;
+  std::string text;
+  if (!r.GetU32(&stmt_id) || !r.GetString(&text) || !r.AtEnd()) {
+    return Status::InvalidArgument("malformed PREPARE frame");
+  }
+  DSKG_ASSIGN_OR_RETURN(sparql::Query parsed, sparql::Parser::Parse(text));
+  DSKG_ASSIGN_OR_RETURN(std::shared_ptr<const core::PreparedPlan> plan,
+                        plan_cache_.GetOrPrepare(text, g.store(), &parsed));
+  {
+    std::lock_guard<std::mutex> lk(item.conn->state_mu);
+    StmtState& stmt = item.conn->stmts[stmt_id];  // re-PREPARE overwrites
+    stmt.text = std::move(text);
+    stmt.parsed = std::make_shared<const sparql::Query>(std::move(parsed));
+  }
+  std::vector<uint8_t> out;
+  WireWriter w(&out);
+  const size_t start = w.BeginFrame(MsgType::kPrepared, item.request_id);
+  w.PutU32(stmt_id);
+  w.PutU16(static_cast<uint16_t>(plan->params.size()));
+  for (const std::string& p : plan->params) w.PutString(p);
+  w.FinishFrame(start);
+  SendBytes(item.conn, out);
+  return Status::OK();
+}
+
+Status Server::HandleExecute(const WorkItem& item,
+                             const core::OnlineStore::ReadGuard& g) {
+  WireReader r(item.body.data(), item.body.size());
+  uint32_t stmt_id = 0;
+  uint8_t open_cursor = 0;
+  uint16_t n_bindings = 0;
+  if (!r.GetU32(&stmt_id) || !r.GetU8(&open_cursor) ||
+      !r.GetU16(&n_bindings)) {
+    return Status::InvalidArgument("malformed EXECUTE frame");
+  }
+  std::vector<std::pair<std::string, std::string>> bindings(n_bindings);
+  for (auto& [name, term] : bindings) {
+    if (!r.GetString(&name) || !r.GetString(&term)) {
+      return Status::InvalidArgument("malformed EXECUTE frame");
+    }
+  }
+  if (!r.AtEnd()) return Status::InvalidArgument("malformed EXECUTE frame");
+
+  StmtState stmt;
+  {
+    std::lock_guard<std::mutex> lk(item.conn->state_mu);
+    auto it = item.conn->stmts.find(stmt_id);
+    if (it == item.conn->stmts.end()) {
+      return Status::NotFound("no statement with id " +
+                              std::to_string(stmt_id));
+    }
+    stmt = it->second;  // copies text + shares the parse
+  }
+
+  // Resolve the plan through the shared cache (one compile per (text,
+  // epoch) process-wide) and the bindings against the pinned dictionary.
+  DSKG_ASSIGN_OR_RETURN(
+      std::shared_ptr<const core::PreparedPlan> plan,
+      plan_cache_.GetOrPrepare(stmt.text, g.store(), stmt.parsed.get()));
+  auto resolve = [&stmt](const core::PreparedPlan& p, const rdf::Dictionary& d,
+                         const std::vector<std::pair<std::string,
+                                                     std::string>>& binds)
+      -> Result<std::vector<rdf::TermId>> {
+    std::vector<rdf::TermId> values(p.params.size(), rdf::kInvalidTermId);
+    for (const auto& [name, term] : binds) {
+      size_t idx = p.params.size();
+      for (size_t i = 0; i < p.params.size(); ++i) {
+        if (p.params[i] == name) { idx = i; break; }
+      }
+      if (idx == p.params.size()) {
+        return Status::InvalidArgument("no parameter $" + name +
+                                       " in query \"" + stmt.text + "\"");
+      }
+      values[idx] = d.Lookup(term);
+      if (values[idx] == rdf::kInvalidTermId) {
+        return Status::NotFound("term " + term +
+                                " is not in the dictionary; binding it to $" +
+                                name + " could never match");
+      }
+    }
+    for (size_t i = 0; i < p.params.size(); ++i) {
+      if (values[i] == rdf::kInvalidTermId) {
+        return Status::FailedPrecondition("parameter $" + p.params[i] +
+                                          " is unbound in query \"" +
+                                          stmt.text + "\"");
+      }
+    }
+    return values;
+  };
+
+  if (open_cursor != 0) {
+    // A cursor outlives the batch, so it gets its OWN pin; plan and
+    // bindings re-resolve for that pin's (possibly newer) epoch.
+    core::OnlineStore::ReadGuard pin = store_->Read();
+    core::DualStore::SnapshotScope scope(&pin.snapshot());
+    DSKG_ASSIGN_OR_RETURN(
+        plan, plan_cache_.GetOrPrepare(stmt.text, pin.store(),
+                                       stmt.parsed.get()));
+    DSKG_ASSIGN_OR_RETURN(std::vector<rdf::TermId> values,
+                          resolve(*plan, pin.store().dict(), bindings));
+    DSKG_ASSIGN_OR_RETURN(
+        core::ExecutionCursor cursor,
+        pin.store().OpenCursor(*plan,
+                               values.empty() ? nullptr : values.data()));
+    const core::Route route = cursor.route();
+    const std::vector<std::string> columns = cursor.columns();
+    auto state = std::make_unique<CursorState>(plan, std::move(pin),
+                                               std::move(cursor));
+    uint32_t cursor_id = 0;
+    {
+      std::lock_guard<std::mutex> lk(item.conn->state_mu);
+      cursor_id = item.conn->next_cursor_id++;
+      item.conn->cursors.emplace(cursor_id, std::move(state));
+    }
+    // Ack with the cursor id and the header; rows (and charges, which
+    // accrue as the cursor advances) arrive via FETCH.
+    std::vector<uint8_t> out;
+    EncodeRows(&out, item.request_id, cursor_id, /*done=*/false, route,
+               core::QueryExecution{}, columns, /*rows=*/nullptr,
+               g.store().dict());
+    SendBytes(item.conn, out);
+    return Status::OK();
+  }
+
+  DSKG_ASSIGN_OR_RETURN(std::vector<rdf::TermId> values,
+                        resolve(*plan, g.store().dict(), bindings));
+  auto& reg = telemetry::MetricsRegistry::Global();
+  const bool timed = reg.enabled() && reg.slow_queries().enabled();
+  const double start_us = timed ? reg.NowMicros() : 0;
+  DSKG_ASSIGN_OR_RETURN(
+      core::QueryExecution exec,
+      g.store().ExecutePlan(*plan, values.empty() ? nullptr : values.data()));
+  if (timed) {
+    // Tag the wire-level text with the tenant so /debug/slow attributes
+    // slow templates to a connection.
+    reg.slow_queries().MaybeRecord(
+        "conn=" + std::to_string(item.conn->id) + " " + stmt.text,
+        core::RouteName(exec.route),
+        (reg.NowMicros() - start_us) / 1000.0);
+  }
+  std::vector<uint8_t> out;
+  EncodeRows(&out, item.request_id, /*cursor_id=*/0, /*done=*/true,
+             exec.route, exec, exec.result.columns, &exec.result,
+             g.store().dict());
+  SendBytes(item.conn, out);
+  return Status::OK();
+}
+
+Status Server::HandleFetch(const WorkItem& item) {
+  WireReader r(item.body.data(), item.body.size());
+  uint32_t cursor_id = 0, max_rows = 0;
+  if (!r.GetU32(&cursor_id) || !r.GetU32(&max_rows) || !r.AtEnd()) {
+    return Status::InvalidArgument("malformed FETCH frame");
+  }
+  if (max_rows == 0) max_rows = 1024;
+  // Holding state_mu across Next() serializes fetches per connection —
+  // a cursor is single-consumer by construction.
+  std::lock_guard<std::mutex> lk(item.conn->state_mu);
+  auto it = item.conn->cursors.find(cursor_id);
+  if (it == item.conn->cursors.end()) {
+    return Status::NotFound("no cursor with id " + std::to_string(cursor_id));
+  }
+  CursorState& cur = *it->second;
+  // Each pull re-installs the cursor's pinned snapshot: it keeps
+  // streaming the state it was opened on regardless of later publishes.
+  core::DualStore::SnapshotScope scope(&cur.pin.snapshot());
+  sparql::BindingTable chunk;
+  bool done = false;
+  DSKG_RETURN_NOT_OK(cur.cursor.Next(&chunk, max_rows, &done));
+  const core::QueryExecution ex = cur.cursor.Execution();  // cumulative
+  std::vector<uint8_t> out;
+  EncodeRows(&out, item.request_id, cursor_id, done, cur.cursor.route(), ex,
+             cur.cursor.columns(), &chunk, cur.pin.store().dict());
+  if (done) item.conn->cursors.erase(it);
+  SendBytes(item.conn, out);
+  return Status::OK();
+}
+
+Status Server::HandleClose(const WorkItem& item, bool cursor) {
+  WireReader r(item.body.data(), item.body.size());
+  uint32_t id = 0;
+  if (!r.GetU32(&id) || !r.AtEnd()) {
+    return Status::InvalidArgument("malformed CLOSE frame");
+  }
+  {
+    std::lock_guard<std::mutex> lk(item.conn->state_mu);
+    if (cursor) {
+      item.conn->cursors.erase(id);
+    } else {
+      item.conn->stmts.erase(id);
+    }
+  }
+  std::vector<uint8_t> out;
+  WireWriter w(&out);
+  w.FinishFrame(w.BeginFrame(MsgType::kPong, item.request_id));
+  SendBytes(item.conn, out);
+  return Status::OK();
+}
+
+// ---- response plumbing ------------------------------------------------------
+
+void Server::SendBytes(const std::shared_ptr<Connection>& conn,
+                       const std::vector<uint8_t>& bytes) {
+  if (conn->dead.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lk(conn->write_mu);
+  size_t off = 0;
+  int stalled_ms = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(conn->fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      stalled_ms = 0;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Flow control: the peer is slow. Wait for writability, bounded —
+      // a peer that never reads cannot wedge a worker forever.
+      if (stalled_ms >= 5000) {
+        conn->dead.store(true, std::memory_order_relaxed);
+        return;
+      }
+      pollfd p{conn->fd, POLLOUT, 0};
+      (void)::poll(&p, 1, 50);
+      stalled_ms += 50;
+      continue;
+    }
+    conn->dead.store(true, std::memory_order_relaxed);
+    return;
+  }
+  cells_.responses->Add();
+}
+
+void Server::SendError(const std::shared_ptr<Connection>& conn,
+                       uint32_t request_id, const Status& status) {
+  cells_.errors->Add();
+  std::vector<uint8_t> out;
+  EncodeError(&out, request_id, status);
+  SendBytes(conn, out);
+}
+
+// ---- admin listener ---------------------------------------------------------
+
+std::string Server::AdminRespond(const std::string& path) const {
+  std::string body;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string code = "200 OK";
+  auto& reg = telemetry::MetricsRegistry::Global();
+  if (path == "/healthz") {
+    body = "ok\n";
+  } else if (path == "/metrics") {
+    body = reg.DumpText();
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+  } else if (path == "/debug/slow") {
+    content_type = "application/json";
+    body = "{\"threshold_ms\": " +
+           std::to_string(reg.slow_queries().threshold_ms()) +
+           ", \"total\": " + std::to_string(reg.slow_queries().total()) +
+           ", \"entries\": [";
+    bool first = true;
+    for (const telemetry::SlowQueryLog::Entry& e :
+         reg.slow_queries().Snapshot()) {
+      if (!first) body += ", ";
+      first = false;
+      body += "{\"seq\": " + std::to_string(e.seq) +
+              ", \"wall_ms\": " + std::to_string(e.wall_ms) + ", \"route\": \"";
+      AppendJsonEscaped(&body, e.route);
+      body += "\", \"text\": \"";
+      AppendJsonEscaped(&body, e.text);
+      body += "\"}";
+    }
+    body += "]}\n";
+  } else {
+    code = "404 Not Found";
+    body = "not found\n";
+  }
+  return "HTTP/1.0 " + code + "\r\nContent-Type: " + content_type +
+         "\r\nContent-Length: " + std::to_string(body.size()) +
+         "\r\nConnection: close\r\n\r\n" + body;
+}
+
+void Server::AdminLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{wake_pipe_[0], POLLIN, 0}, {admin_fd_, POLLIN, 0}};
+    const int n = ::poll(fds, 2, 200);
+    if (stopping_.load(std::memory_order_acquire)) return;
+    if (n <= 0 || !(fds[1].revents & POLLIN)) continue;
+    const int fd = ::accept(admin_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    // One short-lived blocking exchange per scrape connection.
+    timeval tv{1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    std::string req;
+    char buf[4096];
+    while (req.find("\r\n\r\n") == std::string::npos && req.size() < 16384) {
+      const ssize_t got = ::recv(fd, buf, sizeof buf, 0);
+      if (got <= 0) break;
+      req.append(buf, static_cast<size_t>(got));
+    }
+    // "GET <path> HTTP/1.x"
+    std::string path = "/";
+    if (req.rfind("GET ", 0) == 0) {
+      const size_t end = req.find(' ', 4);
+      if (end != std::string::npos) path = req.substr(4, end - 4);
+    }
+    const std::string resp = AdminRespond(path);
+    size_t off = 0;
+    while (off < resp.size()) {
+      const ssize_t w =
+          ::send(fd, resp.data() + off, resp.size() - off, MSG_NOSIGNAL);
+      if (w <= 0) break;
+      off += static_cast<size_t>(w);
+    }
+    ::close(fd);
+  }
+}
+
+// ---- signal-driven shutdown -------------------------------------------------
+
+namespace {
+
+std::atomic<Server*> g_signal_server{nullptr};
+int g_signal_pipe[2] = {-1, -1};
+std::thread g_signal_watcher;
+
+extern "C" void DskgSignalHandler(int /*signo*/) {
+  // Async-signal-safe: one byte through the pipe, nothing else.
+  const char byte = 's';
+  (void)!::write(g_signal_pipe[1], &byte, 1);
+}
+
+}  // namespace
+
+void InstallSignalShutdown(Server* server) {
+  if (server == nullptr) {
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    g_signal_server.store(nullptr, std::memory_order_release);
+    if (g_signal_watcher.joinable()) {
+      const char byte = 'q';
+      (void)!::write(g_signal_pipe[1], &byte, 1);
+      g_signal_watcher.join();
+      ::close(g_signal_pipe[0]);
+      ::close(g_signal_pipe[1]);
+      g_signal_pipe[0] = g_signal_pipe[1] = -1;
+    }
+    return;
+  }
+  if (g_signal_pipe[0] < 0 && ::pipe(g_signal_pipe) != 0) return;
+  g_signal_server.store(server, std::memory_order_release);
+  if (!g_signal_watcher.joinable()) {
+    g_signal_watcher = std::thread([] {
+      for (;;) {
+        char byte = 0;
+        const ssize_t n = ::read(g_signal_pipe[0], &byte, 1);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0 || byte == 'q') return;
+        if (Server* s = g_signal_server.load(std::memory_order_acquire)) {
+          s->Stop();
+        }
+      }
+    });
+  }
+  std::signal(SIGINT, DskgSignalHandler);
+  std::signal(SIGTERM, DskgSignalHandler);
+}
+
+}  // namespace dskg::server
