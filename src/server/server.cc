@@ -133,6 +133,15 @@ struct Server::Connection {
   std::vector<uint8_t> rbuf;
   std::atomic<bool> dead{false};
 
+  /// The fd closes only when the LAST reference drops. Disconnection
+  /// (`CloseConnection`) merely shuts the socket down: a worker mid-send
+  /// on a queued shared_ptr keeps holding the same fd number — its
+  /// writes fail with EPIPE instead of landing on a recycled descriptor
+  /// belonging to a newly accepted client.
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
   std::mutex write_mu;  ///< serializes response frames onto the socket
 
   /// Per-tenant session state: statements are client-numbered, cursors
@@ -226,13 +235,11 @@ void Server::Stop() {
   worker_done_.clear();
   pool_.reset();
 
-  // Tear down connections (destroys cursors, releasing their pins).
+  // Tear down connections (destroys cursors, releasing their pins; each
+  // fd closes when its Connection's last reference drops).
   {
     std::lock_guard<std::mutex> lk(conns_mu_);
-    for (auto& [fd, conn] : conns_) {
-      conn->dead.store(true, std::memory_order_relaxed);
-      ::close(fd);
-    }
+    for (auto& [fd, conn] : conns_) AbortConnection(conn);
     conns_.clear();
   }
   cells_.open_connections->Set(0);
@@ -361,7 +368,7 @@ void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
     std::vector<uint8_t> out;
     WireWriter w(&out);
     w.FinishFrame(w.BeginFrame(MsgType::kPong, frame.request_id));
-    SendBytes(conn, out);
+    SendBytes(conn, out, /*may_block=*/false);
     return;
   }
   switch (frame.type) {
@@ -375,7 +382,8 @@ void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
       SendError(conn, frame.request_id,
                 Status::InvalidArgument(
                     "unknown request type " +
-                    std::to_string(static_cast<int>(frame.type))));
+                    std::to_string(static_cast<int>(frame.type))),
+                /*may_block=*/false);
       return;
   }
   WorkItem item;
@@ -392,7 +400,8 @@ void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
       SendError(conn, frame.request_id,
                 Status::CapacityExceeded(
                     "server overloaded: request queue full (depth " +
-                    std::to_string(cfg_.max_queue_depth) + ")"));
+                    std::to_string(cfg_.max_queue_depth) + ")"),
+                /*may_block=*/false);
       return;
     }
     queue_.push_back(std::move(item));
@@ -403,13 +412,19 @@ void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
 }
 
 void Server::CloseConnection(const std::shared_ptr<Connection>& conn) {
+  AbortConnection(conn);
+  std::lock_guard<std::mutex> lk(conns_mu_);
+  conns_.erase(conn->fd);
+  cells_.open_connections->Set(static_cast<int64_t>(conns_.size()));
+}
+
+void Server::AbortConnection(const std::shared_ptr<Connection>& conn) {
   conn->dead.store(true, std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lk(conns_mu_);
-    conns_.erase(conn->fd);
-    cells_.open_connections->Set(static_cast<int64_t>(conns_.size()));
-  }
-  ::close(conn->fd);
+  // Shut down rather than close: the fd number stays reserved until the
+  // last shared_ptr drops (~Connection), so a worker mid-send can never
+  // write into a recycled descriptor. The shutdown also makes the IO
+  // thread's next recv() return 0, reaping the connection table entry.
+  ::shutdown(conn->fd, SHUT_RDWR);
 }
 
 // ---- workers ----------------------------------------------------------------
@@ -625,6 +640,16 @@ Status Server::HandleExecute(const WorkItem& item,
   EncodeRows(&out, item.request_id, /*cursor_id=*/0, /*done=*/true,
              exec.route, exec, exec.result.columns, &exec.result,
              g.store().dict());
+  // A frame past kMaxFrameBytes is a protocol violation the client's
+  // decoder rightly drops the connection over — reject it here instead
+  // and point at the streaming path.
+  if (out.size() - sizeof(uint32_t) > kMaxFrameBytes) {  // len prefix excluded
+    return Status::CapacityExceeded(
+        "result encodes to " + std::to_string(out.size()) +
+        " bytes, past the " + std::to_string(kMaxFrameBytes) +
+        "-byte frame bound; re-EXECUTE with open_cursor=1 and stream it "
+        "with FETCH");
+  }
   SendBytes(item.conn, out);
   return Status::OK();
 }
@@ -636,25 +661,60 @@ Status Server::HandleFetch(const WorkItem& item) {
     return Status::InvalidArgument("malformed FETCH frame");
   }
   if (max_rows == 0) max_rows = 1024;
-  // Holding state_mu across Next() serializes fetches per connection —
-  // a cursor is single-consumer by construction.
-  std::lock_guard<std::mutex> lk(item.conn->state_mu);
-  auto it = item.conn->cursors.find(cursor_id);
-  if (it == item.conn->cursors.end()) {
-    return Status::NotFound("no cursor with id " + std::to_string(cursor_id));
+  // Check the cursor OUT of the table (a null entry marks it busy) so
+  // state_mu is never held across Next(), encoding, or a flow-controlled
+  // send — a slow-reading peer must not block the connection's other
+  // PREPARE/EXECUTE/CLOSE requests. A cursor is single-consumer by
+  // construction; a concurrent FETCH on the same id is a client error.
+  std::unique_ptr<CursorState> cur;
+  {
+    std::lock_guard<std::mutex> lk(item.conn->state_mu);
+    auto it = item.conn->cursors.find(cursor_id);
+    if (it == item.conn->cursors.end()) {
+      return Status::NotFound("no cursor with id " + std::to_string(cursor_id));
+    }
+    if (it->second == nullptr) {
+      return Status::FailedPrecondition("cursor " + std::to_string(cursor_id) +
+                                        " is busy in a concurrent FETCH");
+    }
+    cur = std::move(it->second);
   }
-  CursorState& cur = *it->second;
-  // Each pull re-installs the cursor's pinned snapshot: it keeps
-  // streaming the state it was opened on regardless of later publishes.
-  core::DualStore::SnapshotScope scope(&cur.pin.snapshot());
-  sparql::BindingTable chunk;
+  Status status;
   bool done = false;
-  DSKG_RETURN_NOT_OK(cur.cursor.Next(&chunk, max_rows, &done));
-  const core::QueryExecution ex = cur.cursor.Execution();  // cumulative
   std::vector<uint8_t> out;
-  EncodeRows(&out, item.request_id, cursor_id, done, cur.cursor.route(), ex,
-             cur.cursor.columns(), &chunk, cur.pin.store().dict());
-  if (done) item.conn->cursors.erase(it);
+  {
+    // Each pull re-installs the cursor's pinned snapshot: it keeps
+    // streaming the state it was opened on regardless of later publishes.
+    core::DualStore::SnapshotScope scope(&cur->pin.snapshot());
+    sparql::BindingTable chunk;
+    status = cur->cursor.Next(&chunk, max_rows, &done);
+    if (status.ok()) {
+      const core::QueryExecution ex = cur->cursor.Execution();  // cumulative
+      EncodeRows(&out, item.request_id, cursor_id, done, cur->cursor.route(),
+                 ex, cur->cursor.columns(), &chunk, cur->pin.store().dict());
+      if (out.size() - sizeof(uint32_t) > kMaxFrameBytes) {
+        status = Status::CapacityExceeded(
+            "chunk of " + std::to_string(max_rows) + " rows encodes to " +
+            std::to_string(out.size()) + " bytes, past the " +
+            std::to_string(kMaxFrameBytes) +
+            "-byte frame bound; FETCH fewer rows");
+      }
+    }
+  }
+  {
+    // Check the cursor back in — unless it finished, or a concurrent
+    // CLOSE_CURSOR erased the busy marker (then it dies here).
+    std::lock_guard<std::mutex> lk(item.conn->state_mu);
+    auto it = item.conn->cursors.find(cursor_id);
+    if (it != item.conn->cursors.end() && it->second == nullptr) {
+      if (status.ok() && done) {
+        item.conn->cursors.erase(it);
+      } else {
+        it->second = std::move(cur);
+      }
+    }
+  }
+  DSKG_RETURN_NOT_OK(status);
   SendBytes(item.conn, out);
   return Status::OK();
 }
@@ -683,9 +743,10 @@ Status Server::HandleClose(const WorkItem& item, bool cursor) {
 // ---- response plumbing ------------------------------------------------------
 
 void Server::SendBytes(const std::shared_ptr<Connection>& conn,
-                       const std::vector<uint8_t>& bytes) {
+                       const std::vector<uint8_t>& bytes, bool may_block) {
   if (conn->dead.load(std::memory_order_relaxed)) return;
   std::lock_guard<std::mutex> lk(conn->write_mu);
+  if (conn->dead.load(std::memory_order_relaxed)) return;
   size_t off = 0;
   int stalled_ms = 0;
   while (off < bytes.size()) {
@@ -698,10 +759,13 @@ void Server::SendBytes(const std::shared_ptr<Connection>& conn,
     }
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      // Flow control: the peer is slow. Wait for writability, bounded —
-      // a peer that never reads cannot wedge a worker forever.
-      if (stalled_ms >= 5000) {
-        conn->dead.store(true, std::memory_order_relaxed);
+      // Flow control: the peer is slow. A worker waits for writability,
+      // bounded, so a peer that never reads cannot wedge it forever. The
+      // IO thread NEVER waits (may_block=false — its replies are tiny,
+      // and one backed-up peer must not stall accepts and reads for
+      // every other connection): a would-block there drops the peer.
+      if (!may_block || stalled_ms >= 5000) {
+        AbortConnection(conn);
         return;
       }
       pollfd p{conn->fd, POLLOUT, 0};
@@ -709,18 +773,28 @@ void Server::SendBytes(const std::shared_ptr<Connection>& conn,
       stalled_ms += 50;
       continue;
     }
-    conn->dead.store(true, std::memory_order_relaxed);
+    AbortConnection(conn);
     return;
   }
   cells_.responses->Add();
 }
 
 void Server::SendError(const std::shared_ptr<Connection>& conn,
-                       uint32_t request_id, const Status& status) {
+                       uint32_t request_id, const Status& status,
+                       bool may_block) {
   cells_.errors->Add();
+  // Error text can embed client-supplied query text; cap it so the
+  // ERROR frame itself can never breach kMaxFrameBytes.
+  constexpr size_t kMaxErrorText = 4096;
   std::vector<uint8_t> out;
-  EncodeError(&out, request_id, status);
-  SendBytes(conn, out);
+  if (status.message().size() > kMaxErrorText) {
+    EncodeError(&out, request_id,
+                Status(status.code(),
+                       status.message().substr(0, kMaxErrorText) + "..."));
+  } else {
+    EncodeError(&out, request_id, status);
+  }
+  SendBytes(conn, out, may_block);
 }
 
 // ---- admin listener ---------------------------------------------------------
@@ -806,7 +880,25 @@ namespace {
 
 std::atomic<Server*> g_signal_server{nullptr};
 int g_signal_pipe[2] = {-1, -1};
-std::thread g_signal_watcher;
+
+/// Holds the watcher thread. A joinable std::thread with static storage
+/// would std::terminate at exit when the program forgets
+/// InstallSignalShutdown(nullptr); this wrapper's destructor quits and
+/// joins it instead. (Declared after g_signal_pipe, so the pipe fds are
+/// still valid when the destructor writes the quit byte.)
+struct SignalWatcher {
+  std::thread thread;
+
+  ~SignalWatcher() { StopAndJoin(); }
+
+  void StopAndJoin() {
+    if (!thread.joinable()) return;
+    const char byte = 'q';
+    (void)!::write(g_signal_pipe[1], &byte, 1);
+    thread.join();
+  }
+};
+SignalWatcher g_signal_watcher;
 
 extern "C" void DskgSignalHandler(int /*signo*/) {
   // Async-signal-safe: one byte through the pipe, nothing else.
@@ -821,10 +913,8 @@ void InstallSignalShutdown(Server* server) {
     std::signal(SIGINT, SIG_DFL);
     std::signal(SIGTERM, SIG_DFL);
     g_signal_server.store(nullptr, std::memory_order_release);
-    if (g_signal_watcher.joinable()) {
-      const char byte = 'q';
-      (void)!::write(g_signal_pipe[1], &byte, 1);
-      g_signal_watcher.join();
+    if (g_signal_watcher.thread.joinable()) {
+      g_signal_watcher.StopAndJoin();
       ::close(g_signal_pipe[0]);
       ::close(g_signal_pipe[1]);
       g_signal_pipe[0] = g_signal_pipe[1] = -1;
@@ -833,8 +923,8 @@ void InstallSignalShutdown(Server* server) {
   }
   if (g_signal_pipe[0] < 0 && ::pipe(g_signal_pipe) != 0) return;
   g_signal_server.store(server, std::memory_order_release);
-  if (!g_signal_watcher.joinable()) {
-    g_signal_watcher = std::thread([] {
+  if (!g_signal_watcher.thread.joinable()) {
+    g_signal_watcher.thread = std::thread([] {
       for (;;) {
         char byte = 0;
         const ssize_t n = ::read(g_signal_pipe[0], &byte, 1);

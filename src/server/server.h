@@ -168,6 +168,10 @@ class Server {
   void DispatchFrame(const std::shared_ptr<Connection>& conn,
                      const Frame& frame);
   void CloseConnection(const std::shared_ptr<Connection>& conn);
+  /// Marks the connection dead and shuts the socket down (any thread).
+  /// The fd itself stays open until the last shared_ptr drops, so
+  /// concurrent senders can never hit a recycled descriptor.
+  void AbortConnection(const std::shared_ptr<Connection>& conn);
 
   // Worker side.
   void WorkerLoop();
@@ -180,11 +184,14 @@ class Server {
   Status HandleFetch(const WorkItem& item);
   Status HandleClose(const WorkItem& item, bool cursor);
 
-  // Response plumbing (worker or IO thread).
+  // Response plumbing. Workers send with may_block=true (bounded
+  // flow-control waits); the IO thread sends with may_block=false — it
+  // must never stall on one peer's full socket buffer, so a would-block
+  // there drops the connection instead.
   void SendBytes(const std::shared_ptr<Connection>& conn,
-                 const std::vector<uint8_t>& bytes);
+                 const std::vector<uint8_t>& bytes, bool may_block = true);
   void SendError(const std::shared_ptr<Connection>& conn, uint32_t request_id,
-                 const Status& status);
+                 const Status& status, bool may_block = true);
 
   // Admin listener.
   void AdminLoop();
@@ -211,7 +218,10 @@ class Server {
 
   // Connections are owned by the IO thread's table; workers hold
   // shared_ptrs through queued items, so a connection that drops mid-
-  // request stays valid (writes to it fail harmlessly) until drained.
+  // request stays valid until drained. Disconnecting shuts the socket
+  // down but closes the fd only in ~Connection (last reference): an
+  // in-flight send fails with EPIPE rather than racing a close() and
+  // writing into a recycled descriptor owned by a newer client.
   std::mutex conns_mu_;
   std::unordered_map<int, std::shared_ptr<Connection>> conns_;
   std::atomic<uint64_t> next_conn_id_{1};
