@@ -23,6 +23,13 @@
 //   DSKG_BENCH_SCALE=200 bench_table1_store_scaling --max-step 1
 //
 // loads 10M triples and runs the flagship query on both engines.
+//
+// `--parallel[=N]` generates the dataset and bulk-loads the store on a
+// thread pool (N threads, default hardware concurrency). The loaded store
+// is byte-identical to the serial one, so every deterministic `storage`
+// metric (bytes_per_triple, storage_bytes, dict_bytes, index_bytes,
+// index_nodes) must match a serial run exactly — the CI scale smoke
+// asserts that; only load_wall_ms may move.
 
 #include <chrono>
 #include <cstdio>
@@ -31,6 +38,7 @@
 
 #include "bench_util.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 
 namespace dskg::bench {
 namespace {
@@ -49,7 +57,7 @@ constexpr double kPaperNeo4j[10] = {0.6067, 1.3270, 1.5837, 3.3893, 2.2573,
 /// Returns false on any failure, including an engine row-count mismatch —
 /// the CI smoke steps rely on a non-zero exit to surface scale-only
 /// correctness bugs.
-bool Run(JsonReporter* json, int max_step) {
+bool Run(JsonReporter* json, int max_step, ThreadPool* pool) {
   bool mismatch = false;
   std::printf("Table 1: relational vs graph store, flagship complex query\n");
   std::printf("(paper: MySQL / Neo4j at 0.5M-5M triples; measured: DSKG "
@@ -63,12 +71,13 @@ bool Run(JsonReporter* json, int max_step) {
   for (int step = 1; step <= max_step; ++step) {
     workload::YagoConfig cfg;
     cfg.target_triples = Scaled(50000) * static_cast<uint64_t>(step);
-    rdf::Dataset ds = workload::GenerateYago(cfg);
+    rdf::Dataset ds = workload::GenerateYago(cfg, pool);
 
     // Relational-only store (timed: this is the storage tier's bulk-load
     // path — dataset + dictionary arena + three B+-tree indexes).
     core::DualStoreConfig rc;
     rc.use_graph = false;
+    rc.load_pool = pool;
     const auto load_start = std::chrono::steady_clock::now();
     core::DualStore rel(&ds, rc);
     const double load_wall_ms =
@@ -111,6 +120,7 @@ bool Run(JsonReporter* json, int max_step) {
     // the two engines head to head, no budget).
     core::DualStoreConfig gc;
     gc.use_graph = true;
+    gc.load_pool = pool;
     core::DualStore dual(&ds, gc);
     CostMeter load;
     for (const char* pred : {"y:wasBornIn", "y:hasAcademicAdvisor"}) {
@@ -171,12 +181,21 @@ bool Run(JsonReporter* json, int max_step) {
 int main(int argc, char** argv) {
   dskg::bench::JsonReporter json(argc, argv, "table1_store_scaling");
   int max_step = 10;
+  int parallel_threads = 0;  // 0 = serial
   for (int i = 1; i < argc; ++i) {
     const char* value = nullptr;
     if (std::strcmp(argv[i], "--max-step") == 0 && i + 1 < argc) {
       value = argv[++i];
     } else if (std::strncmp(argv[i], "--max-step=", 11) == 0) {
       value = argv[i] + 11;
+    } else if (std::strcmp(argv[i], "--parallel") == 0) {
+      parallel_threads = static_cast<int>(dskg::ThreadPool::DefaultThreads());
+    } else if (std::strncmp(argv[i], "--parallel=", 11) == 0) {
+      parallel_threads = std::atoi(argv[i] + 11);
+      if (parallel_threads < 1) {
+        std::fprintf(stderr, "--parallel needs a positive thread count\n");
+        return 2;
+      }
     }
     if (value != nullptr) {
       max_step = std::atoi(value);
@@ -188,5 +207,10 @@ int main(int argc, char** argv) {
       }
     }
   }
-  return dskg::bench::Run(&json, max_step) ? 0 : 1;
+  std::unique_ptr<dskg::ThreadPool> pool;
+  if (parallel_threads > 0) {
+    pool = std::make_unique<dskg::ThreadPool>(
+        static_cast<size_t>(parallel_threads));
+  }
+  return dskg::bench::Run(&json, max_step, pool.get()) ? 0 : 1;
 }

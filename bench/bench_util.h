@@ -21,10 +21,12 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/telemetry.h"
+#include "common/thread_pool.h"
 #include "core/baseline_tuners.h"
 #include "core/dotil.h"
 #include "core/dual_store.h"
@@ -320,6 +322,18 @@ class JsonReporter {
       cells.emplace_back("wall_ms", wall_ms);
     }
     if (!has("peak_rss_kb")) cells.emplace_back("peak_rss_kb", PeakRssKb());
+    // Machine shape, so trajectory tooling can tell a perf shift from a
+    // core-count change. Both keys are on the regression checker's ignore
+    // list — simulated costs must not depend on them.
+    if (!has("threads")) {
+      cells.emplace_back("threads",
+                         static_cast<uint64_t>(ThreadPool::DefaultThreads()));
+    }
+    if (!has("hardware_concurrency")) {
+      cells.emplace_back(
+          "hardware_concurrency",
+          static_cast<uint64_t>(std::thread::hardware_concurrency()));
+    }
     std::string row = "{";
     for (size_t i = 0; i < cells.size(); ++i) {
       if (i > 0) row += ", ";

@@ -41,7 +41,7 @@ def is_ignored(key: str) -> bool:
     return (
         "wall" in k
         or "rss" in k
-        or k in ("iters", "passes")
+        or k in ("iters", "passes", "threads", "hardware_concurrency")
         or k.endswith("_ms")
         or k.endswith("_us")
     )

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Asserts two bench_table1_store_scaling --json runs loaded identical stores.
+
+Usage:
+    check_store_footprint_equal.py serial.json parallel.json
+
+The parallel load path (block-parallel generation + permutation/sub-shard
+parallel BulkLoad) must produce a store byte-identical to the serial one,
+so every deterministic metric must match EXACTLY — no tolerance:
+
+  * storage table: triples, bytes_per_triple, storage_bytes, dict_bytes,
+    index_bytes, index_nodes
+  * table1 table:  triples, rel_tti_s, graph_tti_s, result_rows
+
+Wall-clock columns (load_wall_ms, *_wall_ms, wall_ms, peak_rss_kb) are
+machine-dependent and ignored. Exits non-zero listing every mismatch.
+"""
+
+import json
+import sys
+
+STORAGE_KEYS = [
+    "triples",
+    "bytes_per_triple",
+    "storage_bytes",
+    "dict_bytes",
+    "index_bytes",
+    "index_nodes",
+]
+TABLE1_KEYS = ["triples", "rel_tti_s", "graph_tti_s", "result_rows"]
+
+
+def rows_by_step(doc, table):
+    rows = doc.get("tables", {}).get(table, [])
+    return {r.get("step"): r for r in rows}
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        serial = json.load(f)
+    with open(sys.argv[2]) as f:
+        parallel = json.load(f)
+
+    failures = []
+    for table, keys in (("storage", STORAGE_KEYS), ("table1", TABLE1_KEYS)):
+        a = rows_by_step(serial, table)
+        b = rows_by_step(parallel, table)
+        if set(a) != set(b):
+            failures.append(
+                f"{table}: step sets differ ({sorted(a)} vs {sorted(b)})")
+            continue
+        if not a:
+            failures.append(f"{table}: no rows in either run")
+            continue
+        for step in sorted(a):
+            for key in keys:
+                va, vb = a[step].get(key), b[step].get(key)
+                if va != vb:
+                    failures.append(
+                        f"{table}[step {step}].{key}: serial={va} "
+                        f"parallel={vb}")
+
+    if failures:
+        print("parallel load diverged from serial:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print("parallel load footprint identical to serial "
+          f"({len(rows_by_step(serial, 'storage'))} step(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

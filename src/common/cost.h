@@ -26,6 +26,7 @@
 
 #include <array>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <string>
 
@@ -116,18 +117,23 @@ class CostModel {
 /// with `Status::Cancelled`. DOTIL's counterfactual scenario uses this to
 /// stop the relational run of a complex subquery at λ·c₁ (Algorithm 2).
 ///
+/// Exactness: simulated time is accumulated as *integer picoseconds*.
+/// `Add` rounds the throttled per-operation weight to picoseconds once
+/// (`llround(weight * factor * 1e6)`) and multiplies by the count, so the
+/// charge for an operation is a pure function of (model, throttle, op) and
+/// integer addition makes the totals associative and commutative:
+/// charging in any order, in any grouping, from any number of threads, or
+/// folding per-shard meters with `Merge` in any order yields bit-identical
+/// sums. This is what lets the sharded executor, the sharded traversal
+/// matcher, parallel bulk load, and parallel DOTIL probes promise charges
+/// identical to their serial counterparts at every thread count. The
+/// microsecond getters divide by 1e6 (exactly representable, correctly
+/// rounded), so equal picosecond totals always render as equal doubles.
+///
 /// Thread safety: `Add` and `Merge` use relaxed atomics, so a meter may be
-/// charged concurrently from several workers: no operation count is ever
-/// lost, and every charged addend reaches the floating-point sums — but
-/// those sums' rounding depends on arrival order, so concurrently-charged
-/// micros are NOT bit-reproducible across runs. The parallel paths
-/// (sharded executor, batch
-/// runner) nevertheless give every shard/query its *own* meter and merge
-/// them in deterministic order, which keeps simulated costs bit-identical
-/// to the serial path; the atomics protect aggregate meters that callers
-/// share across workers. Configuration (`set_budget_micros`,
-/// `set_throttle`, `Reset`) is not synchronized and must happen before
-/// concurrent use.
+/// charged concurrently from several workers without losing counts or
+/// picoseconds. Configuration (`set_budget_micros`, `set_throttle`,
+/// `Reset`) is not synchronized and must happen before concurrent use.
 class CostMeter {
  public:
   /// Meter using the default cost model and no throttle.
@@ -148,52 +154,61 @@ class CostMeter {
   /// Records `n` occurrences of `op`. Safe to call concurrently.
   void Add(Op op, uint64_t n = 1) {
     counts_[static_cast<int>(op)].fetch_add(n, std::memory_order_relaxed);
-    const double base = model_->weight(op) * static_cast<double>(n);
     const ResourceClass rc = OpResourceClass(op);
-    const double scaled = base * throttle_.Factor(rc);
-    sim_micros_.fetch_add(scaled, std::memory_order_relaxed);
+    const uint64_t ps =
+        static_cast<uint64_t>(
+            std::llround(model_->weight(op) * throttle_.Factor(rc) * 1e6)) *
+        n;
+    sim_ps_.fetch_add(ps, std::memory_order_relaxed);
     if (rc == ResourceClass::kIo) {
-      io_micros_.fetch_add(scaled, std::memory_order_relaxed);
+      io_ps_.fetch_add(ps, std::memory_order_relaxed);
     } else {
-      cpu_micros_.fetch_add(scaled, std::memory_order_relaxed);
+      cpu_ps_.fetch_add(ps, std::memory_order_relaxed);
     }
   }
 
   /// Total simulated time in microseconds.
-  double sim_micros() const {
-    return sim_micros_.load(std::memory_order_relaxed);
-  }
+  double sim_micros() const { return ToMicros(sim_ps_); }
   /// Simulated time spent in IO-class operations.
-  double io_micros() const {
-    return io_micros_.load(std::memory_order_relaxed);
-  }
+  double io_micros() const { return ToMicros(io_ps_); }
   /// Simulated time spent in CPU-class operations.
-  double cpu_micros() const {
-    return cpu_micros_.load(std::memory_order_relaxed);
-  }
+  double cpu_micros() const { return ToMicros(cpu_ps_); }
+  /// Exact integer totals in picoseconds (for bit-identity assertions).
+  uint64_t sim_picos() const { return sim_ps_.load(std::memory_order_relaxed); }
+  uint64_t io_picos() const { return io_ps_.load(std::memory_order_relaxed); }
+  uint64_t cpu_picos() const { return cpu_ps_.load(std::memory_order_relaxed); }
   /// Count of operation `op` recorded so far.
   uint64_t count(Op op) const {
     return counts_[static_cast<int>(op)].load(std::memory_order_relaxed);
   }
 
   /// Sets a simulated-time budget in microseconds (<=0 disables).
-  void set_budget_micros(double budget) { budget_micros_ = budget; }
+  void set_budget_micros(double budget) {
+    budget_micros_ = budget;
+    budget_ps_ = budget > 0.0
+                     ? static_cast<uint64_t>(std::llround(budget * 1e6))
+                     : 0;
+  }
   double budget_micros() const { return budget_micros_; }
   /// True when a budget is set and has been exceeded.
   bool ExceededBudget() const {
-    return budget_micros_ > 0.0 && sim_micros() > budget_micros_;
+    return budget_ps_ > 0 &&
+           sim_ps_.load(std::memory_order_relaxed) > budget_ps_;
   }
 
   /// Folds another meter's counts and time into this one. Safe to call
-  /// concurrently on the destination; `other` must be quiescent.
+  /// concurrently on the destination; `other` must be quiescent. The
+  /// folded picoseconds keep the scaling of the *source* meter's throttle,
+  /// so a throttled engine meter merged into a neutral aggregate preserves
+  /// its throttled charges exactly.
   void Merge(const CostMeter& other) {
     for (int i = 0; i < kNumOps; ++i) {
       counts_[i].fetch_add(other.counts_[i].load(std::memory_order_relaxed),
                            std::memory_order_relaxed);
     }
-    sim_micros_.fetch_add(other.sim_micros(), std::memory_order_relaxed);
-    io_micros_.fetch_add(other.io_micros(), std::memory_order_relaxed);
-    cpu_micros_.fetch_add(other.cpu_micros(), std::memory_order_relaxed);
+    sim_ps_.fetch_add(other.sim_picos(), std::memory_order_relaxed);
+    io_ps_.fetch_add(other.io_picos(), std::memory_order_relaxed);
+    cpu_ps_.fetch_add(other.cpu_picos(), std::memory_order_relaxed);
   }
 
   /// Resets counts and simulated time (budget is kept). Not synchronized.
@@ -201,9 +216,9 @@ class CostMeter {
     for (int i = 0; i < kNumOps; ++i) {
       counts_[i].store(0, std::memory_order_relaxed);
     }
-    sim_micros_.store(0.0, std::memory_order_relaxed);
-    io_micros_.store(0.0, std::memory_order_relaxed);
-    cpu_micros_.store(0.0, std::memory_order_relaxed);
+    sim_ps_.store(0, std::memory_order_relaxed);
+    io_ps_.store(0, std::memory_order_relaxed);
+    cpu_ps_.store(0, std::memory_order_relaxed);
   }
 
   const CostModel* model() const { return model_; }
@@ -214,6 +229,10 @@ class CostMeter {
   std::string DebugString() const;
 
  private:
+  static double ToMicros(const std::atomic<uint64_t>& ps) {
+    return static_cast<double>(ps.load(std::memory_order_relaxed)) / 1e6;
+  }
+
   void CopyFrom(const CostMeter& other) {
     model_ = other.model_;
     throttle_ = other.throttle_;
@@ -221,19 +240,21 @@ class CostMeter {
       counts_[i].store(other.counts_[i].load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
     }
-    sim_micros_.store(other.sim_micros(), std::memory_order_relaxed);
-    io_micros_.store(other.io_micros(), std::memory_order_relaxed);
-    cpu_micros_.store(other.cpu_micros(), std::memory_order_relaxed);
+    sim_ps_.store(other.sim_picos(), std::memory_order_relaxed);
+    io_ps_.store(other.io_picos(), std::memory_order_relaxed);
+    cpu_ps_.store(other.cpu_picos(), std::memory_order_relaxed);
     budget_micros_ = other.budget_micros_;
+    budget_ps_ = other.budget_ps_;
   }
 
   const CostModel* model_ = &CostModel::Default();
   ResourceThrottle throttle_;
   std::array<std::atomic<uint64_t>, kNumOps> counts_{};
-  std::atomic<double> sim_micros_{0.0};
-  std::atomic<double> io_micros_{0.0};
-  std::atomic<double> cpu_micros_{0.0};
+  std::atomic<uint64_t> sim_ps_{0};
+  std::atomic<uint64_t> io_ps_{0};
+  std::atomic<uint64_t> cpu_ps_{0};
   double budget_micros_ = 0.0;
+  uint64_t budget_ps_ = 0;
 };
 
 }  // namespace dskg

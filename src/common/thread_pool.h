@@ -99,20 +99,50 @@ class ThreadPool {
     for (size_t i = 0; i < n; ++i) {
       futures.push_back(Submit([&fn, i] { fn(i); }));
     }
-    // Help out: execute queued tasks inline until ours are all done.
-    for (size_t i = 0; i < n; ++i) {
-      while (futures[i].wait_for(std::chrono::seconds(0)) !=
+    HelpAndWait(&futures);
+  }
+
+  /// Runs `fn(begin, end)` over [0, n) in contiguous chunks of at most
+  /// `grain` indices each, blocking until all chunks complete. One task is
+  /// submitted per *chunk*, not per index, so tight per-element loops pay
+  /// one std::function dispatch per `grain` elements instead of one per
+  /// element. Chunk boundaries depend only on (n, grain) — never on the
+  /// worker count — so any per-chunk state a caller derives (RNG streams,
+  /// output slabs) is identical at every thread count. Like `ParallelFor`,
+  /// the calling thread helps while it waits (nesting-safe) and the
+  /// exception of the smallest-index failing chunk is rethrown.
+  void ParallelForChunked(size_t n, size_t grain,
+                          const std::function<void(size_t, size_t)>& fn) {
+    if (n == 0) return;
+    if (grain == 0) grain = 1;
+    const size_t chunks = (n + grain - 1) / grain;
+    std::vector<std::future<void>> futures;
+    futures.reserve(chunks);
+    for (size_t c = 0; c < chunks; ++c) {
+      const size_t begin = c * grain;
+      const size_t end = begin + grain < n ? begin + grain : n;
+      futures.push_back(Submit([&fn, begin, end] { fn(begin, end); }));
+    }
+    HelpAndWait(&futures);
+  }
+
+ private:
+  /// Blocks until every future is ready, executing queued tasks inline on
+  /// the calling thread while waiting, then rethrows the exception of the
+  /// smallest failing index (deterministic regardless of scheduling).
+  void HelpAndWait(std::vector<std::future<void>>* futures) {
+    for (std::future<void>& f : *futures) {
+      while (f.wait_for(std::chrono::seconds(0)) !=
              std::future_status::ready) {
         if (!RunOneTask()) {
-          futures[i].wait();
+          f.wait();
           break;
         }
       }
     }
-    for (size_t i = 0; i < n; ++i) futures[i].get();
+    for (std::future<void>& f : *futures) f.get();
   }
 
- private:
   void WorkerLoop() {
     for (;;) {
       std::function<void()> task;

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/telemetry.h"
+#include "common/thread_pool.h"
 
 namespace dskg::core {
 
@@ -52,7 +53,48 @@ std::vector<TermId> PartitionSetOf(const Query& qc,
 Status DotilTuner::AfterBatch(DualStore* store,
                               const std::vector<Query>& finished,
                               CostMeter* meter) {
-  for (const Query& qc : finished) {
+  // Phase A (optional, parallel): speculatively probe c1/c2 for every
+  // subquery that is all-resident *now*. These probes are read-only and
+  // independent, and the store is quiescent until the serial pass below
+  // starts mutating it, so they can run concurrently. Each result is
+  // valid only while the plan epoch is unchanged: the first migration or
+  // eviction in the serial pass invalidates the remaining probes, which
+  // then rerun serially. Discarded probes charge nothing (their private
+  // meters are dropped), so total charges match the serial run exactly.
+  struct Probe {
+    bool valid = false;
+    double c1 = 0.0, c2 = 0.0;
+    CostMeter meter;
+  };
+  std::vector<Probe> probes(finished.size());
+  const uint64_t probe_epoch = store->plan_epoch();
+  if (probe_pool_ != nullptr) {
+    std::vector<size_t> candidates;
+    for (size_t i = 0; i < finished.size(); ++i) {
+      const std::vector<TermId> tc =
+          PartitionSetOf(finished[i], store->dict());
+      if (tc.size() < 2) continue;
+      bool all_resident = true;
+      for (TermId t : tc) {
+        if (!store->IsResident(t)) {
+          all_resident = false;
+          break;
+        }
+      }
+      if (all_resident) candidates.push_back(i);
+    }
+    if (candidates.size() > 1) {
+      probe_pool_->ParallelFor(candidates.size(), [&](size_t k) {
+        Probe& p = probes[candidates[k]];
+        p.valid = ProbeCosts(*store, finished[candidates[k]], &p.meter,
+                             &p.c1, &p.c2)
+                      .ok();  // a failed probe just reruns serially
+      });
+    }
+  }
+
+  for (size_t qi = 0; qi < finished.size(); ++qi) {
+    const Query& qc = finished[qi];
     const std::vector<TermId> tc = PartitionSetOf(qc, store->dict());
     if (tc.size() < 2) continue;  // not a complex subquery we can tune
 
@@ -65,8 +107,14 @@ Status DotilTuner::AfterBatch(DualStore* store,
       }
     }
     if (all_resident) {
-      DSKG_RETURN_NOT_OK(LearningProc(store, qc, tc, /*state=*/1,
-                                      /*action=*/0, meter));
+      Probe& p = probes[qi];
+      if (p.valid && store->plan_epoch() == probe_epoch) {
+        meter->Merge(p.meter);
+        Train(*store, qc, tc, /*state=*/1, /*action=*/0, p.c1, p.c2);
+      } else {
+        DSKG_RETURN_NOT_OK(LearningProc(store, qc, tc, /*state=*/1,
+                                        /*action=*/0, meter));
+      }
       continue;
     }
 
@@ -184,25 +232,28 @@ Status DotilTuner::AfterBatch(DualStore* store,
   return Status::OK();
 }
 
-Status DotilTuner::LearningProc(DualStore* store, const Query& qc,
-                                const std::vector<TermId>& partitions,
-                                int state, int action, CostMeter* meter) {
+Status DotilTuner::ProbeCosts(const DualStore& store, const Query& qc,
+                              CostMeter* meter, double* c1,
+                              double* c2) const {
   // Line 1: c1 — the real graph-store cost of q_c.
-  DSKG_ASSIGN_OR_RETURN(double c1, store->GraphQueryCost(qc, meter));
-
+  DSKG_ASSIGN_OR_RETURN(*c1, store.GraphQueryCost(qc, meter));
   // Lines 2-6: c2 — the counterfactual relational cost, cut off at λ·c1.
-  DSKG_ASSIGN_OR_RETURN(
-      double c2,
-      store->RelationalQueryCostWithCutoff(qc, config_.lambda * c1, meter));
+  DSKG_ASSIGN_OR_RETURN(*c2, store.RelationalQueryCostWithCutoff(
+                                  qc, config_.lambda * *c1, meter));
+  return Status::OK();
+}
 
+void DotilTuner::Train(const DualStore& store, const Query& qc,
+                       const std::vector<TermId>& partitions, int state,
+                       int action, double c1, double c2) {
   // Lines 7-12: amortize the reward over partitions by predicate share.
   const size_t total_patterns = qc.patterns.size();
-  if (total_patterns == 0) return Status::OK();
+  if (total_patterns == 0) return;
   for (TermId t : partitions) {
     size_t occurrences = 0;
     for (const sparql::TriplePattern& p : qc.patterns) {
       if (p.predicate.is_variable) continue;
-      if (store->dict().Lookup(p.predicate.text) == t) ++occurrences;
+      if (store.dict().Lookup(p.predicate.text) == t) ++occurrences;
     }
     const double proportion =
         static_cast<double>(occurrences) / static_cast<double>(total_patterns);
@@ -212,6 +263,14 @@ Status DotilTuner::LearningProc(DualStore* store, const Query& qc,
     qmatrices_[t].Update(state, action, reward, config_.alpha,
                          config_.gamma);
   }
+}
+
+Status DotilTuner::LearningProc(DualStore* store, const Query& qc,
+                                const std::vector<TermId>& partitions,
+                                int state, int action, CostMeter* meter) {
+  double c1 = 0.0, c2 = 0.0;
+  DSKG_RETURN_NOT_OK(ProbeCosts(*store, qc, meter, &c1, &c2));
+  Train(*store, qc, partitions, state, action, c1, c2);
   return Status::OK();
 }
 

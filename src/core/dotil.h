@@ -36,6 +36,10 @@
 #include "core/qmatrix.h"
 #include "core/tuner.h"
 
+namespace dskg {
+class ThreadPool;
+}  // namespace dskg
+
 namespace dskg::core {
 
 /// DOTIL hyper-parameters. Defaults are the paper's tuned values
@@ -79,20 +83,43 @@ class DotilTuner : public Tuner {
 
   const DotilConfig& config() const { return config_; }
 
+  /// Runs the c1/c2 cost probes of independent all-resident subqueries
+  /// concurrently on `pool` (nullptr = serial, the default). Probes are
+  /// speculative: each runs against the store state at batch entry, and a
+  /// probe is only consumed if no migration/eviction has changed the plan
+  /// epoch since — otherwise it is discarded (its charges are never
+  /// merged) and the probe reruns serially. All tuning *decisions*
+  /// (Q-updates, coin flips, migrate/evict plans) stay serial, so
+  /// outcomes and charges are identical at every thread count.
+  void set_probe_pool(ThreadPool* pool) { probe_pool_ = pool; }
+
   /// Expected value of transferring an untried partition set: the mean of
   /// all positive learned Q(0,1) values (optimistic initialization), or
   /// +infinity before any transfer has been rewarded.
   double OptimisticTransferValue() const;
 
  private:
-  /// Algorithm 2: trains every partition in `partitions` with one
-  /// (state, action) pair using the c1/c2 cost probes for `qc`.
+  /// Algorithm 2 lines 1-6: measures c1 (graph cost of `qc`) and c2 (the
+  /// counterfactual relational cost, cut off at λ·c1), charging `meter`.
+  /// Read-only on the store — safe to run concurrently for independent
+  /// subqueries against a quiescent store.
+  Status ProbeCosts(const DualStore& store, const sparql::Query& qc,
+                    CostMeter* meter, double* c1, double* c2) const;
+
+  /// Algorithm 2 lines 7-12: amortizes the (c2 - c1) reward over
+  /// `partitions` by predicate share and applies Equation 4. Serial only.
+  void Train(const DualStore& store, const sparql::Query& qc,
+             const std::vector<rdf::TermId>& partitions, int state,
+             int action, double c1, double c2);
+
+  /// Algorithm 2 end-to-end: ProbeCosts then Train.
   Status LearningProc(DualStore* store, const sparql::Query& qc,
                       const std::vector<rdf::TermId>& partitions, int state,
                       int action, CostMeter* meter);
 
   DotilConfig config_;
   Rng rng_;
+  ThreadPool* probe_pool_ = nullptr;
   std::unordered_map<rdf::TermId, QMatrix> qmatrices_;
 };
 

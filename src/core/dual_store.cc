@@ -18,7 +18,7 @@ DualStore::DualStore(rdf::Dataset* dataset, const DualStoreConfig& config)
       executor_(&table_, &dataset->dict()),
       matcher_(&graph_, &dataset->dict()) {
   CostMeter load_meter;
-  table_.BulkLoad(dataset->triples(), &load_meter);
+  table_.BulkLoad(dataset->triples(), &load_meter, config.load_pool);
   load_micros_ = load_meter.sim_micros();
 
   if (config.use_views) {
@@ -29,6 +29,7 @@ DualStore::DualStore(rdf::Dataset* dataset, const DualStoreConfig& config)
   pc.use_graph = config.use_graph;
   pc.use_views = config.use_views;
   pc.graph_throttle = config.graph_throttle;
+  pc.exec_pool = config.exec_pool;
   processor_ = std::make_unique<QueryProcessor>(
       &executor_, &graph_, &matcher_, views_.get(), &dataset->dict(), pc);
 }
@@ -49,6 +50,7 @@ DualStore::DualStore(rdf::Dataset* dataset, const DualStoreConfig& config,
   pc.use_graph = config.use_graph;
   pc.use_views = config.use_views;
   pc.graph_throttle = config.graph_throttle;
+  pc.exec_pool = config.exec_pool;
   processor_ = std::make_unique<QueryProcessor>(
       &executor_, &graph_, &matcher_, views_.get(), &dataset->dict(), pc);
 }
@@ -243,6 +245,11 @@ Result<double> DualStore::RelationalQueryCostWithCutoff(
 void DualStore::SetGraphThrottle(ResourceThrottle t) {
   config_.graph_throttle = t;
   processor_->set_graph_throttle(t);
+}
+
+void DualStore::SetExecutionPool(ThreadPool* pool) {
+  config_.exec_pool = pool;
+  processor_->set_exec_pool(pool);
 }
 
 }  // namespace dskg::core

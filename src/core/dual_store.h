@@ -63,6 +63,13 @@ struct DualStoreConfig {
   /// (the online store's applier parallelism). One shard — the default —
   /// is bit-identical to the unsharded layout.
   int num_shards = 1;
+  /// Pool used by the constructor's `BulkLoad` to sort and build the three
+  /// index permutations in parallel (borrowed; null = serial). Loaded
+  /// state and charges are bit-identical either way.
+  ThreadPool* load_pool = nullptr;
+  /// Pool handed to the query processor for sharded graph traversal
+  /// (borrowed; null = serial); `SetExecutionPool` can change it later.
+  ThreadPool* exec_pool = nullptr;
 };
 
 /// The dual-store structure (relational + graph) for one knowledge graph.
@@ -257,6 +264,11 @@ class DualStore {
 
   /// Updates the graph-store contention model (Table 6 sweeps).
   void SetGraphThrottle(ResourceThrottle t);
+
+  /// Enables (null: disables) sharded graph traversal for every query
+  /// routed through this store's processor — sessions inherit it, since
+  /// they execute via the store. Set while no query is executing.
+  void SetExecutionPool(ThreadPool* pool);
 
  private:
   /// The online store drives this store's sharded write pipeline (per-

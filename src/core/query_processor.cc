@@ -137,14 +137,14 @@ Result<BindingTable> QueryProcessor::MatchAll(
   out.columns = plan.out_vars;
   if (plan.impossible && plan.param_names.empty()) return out;
   const std::vector<TermId> local = MapParams(map, param_values);
+  // MatchSharded splits the root candidate range across the pool when one
+  // is configured and falls back to the serial drain otherwise; rows and
+  // charges are bit-identical either way.
   DSKG_ASSIGN_OR_RETURN(
-      TraversalMatcher::Cursor cursor,
-      matcher_->OpenCursor(plan, local.empty() ? nullptr : local.data(),
-                           meter));
-  if (plan.impossible) return out;
-  bool done = false;
-  DSKG_RETURN_NOT_OK(
-      cursor.Fill(&out, std::numeric_limits<size_t>::max(), &done));
+      out, matcher_->MatchSharded(plan,
+                                  local.empty() ? nullptr : local.data(),
+                                  meter, config_.exec_pool,
+                                  config_.max_traversal_shards));
   if (telem) {
     // Wall vs. simulated pair for the same traversal: how the real clock
     // tracks the cost model's TTI charge.

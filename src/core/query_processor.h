@@ -182,6 +182,12 @@ class QueryProcessor {
     bool use_views = false;
     /// Contention applied to graph-store execution (Table 6 / Figure 7).
     ResourceThrottle graph_throttle;
+    /// Pool for sharded graph traversal (borrowed, not owned; null =
+    /// serial). Sharded and serial traversal produce bit-identical rows
+    /// and charges, so this is purely a wall-clock knob.
+    ThreadPool* exec_pool = nullptr;
+    /// Max traversal shards per query (<= 0: the pool's size).
+    int max_traversal_shards = 0;
   };
 
   /// All pointers are borrowed and must outlive the processor. `views`
@@ -216,6 +222,9 @@ class QueryProcessor {
 
   const Config& config() const { return config_; }
   void set_graph_throttle(ResourceThrottle t) { config_.graph_throttle = t; }
+  /// Enables (or, with null, disables) sharded graph traversal. Not
+  /// synchronized: set while no query is executing.
+  void set_exec_pool(ThreadPool* pool) { config_.exec_pool = pool; }
 
  private:
   /// True if every pattern of `q` has a constant predicate whose partition

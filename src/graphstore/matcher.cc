@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <limits>
 #include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
 
 namespace dskg::graphstore {
 
@@ -188,14 +192,106 @@ Result<BindingTable> TraversalMatcher::Match(const sparql::Query& query,
     return Status::FailedPrecondition(
         "query has unbound parameters; prepare and bind it instead");
   }
+  return DrainSerial(plan, nullptr, meter);
+}
+
+Result<BindingTable> TraversalMatcher::DrainSerial(
+    const Plan& plan, const TermId* param_values, CostMeter* meter) const {
+  DSKG_ASSIGN_OR_RETURN(Cursor cursor, OpenCursor(plan, param_values, meter));
   BindingTable out;
   out.columns = plan.out_vars;
-  if (plan.impossible) return out;
-  DSKG_ASSIGN_OR_RETURN(Cursor cursor, OpenCursor(plan, nullptr, meter));
   bool done = false;
   DSKG_RETURN_NOT_OK(
       cursor.Fill(&out, std::numeric_limits<size_t>::max(), &done));
   return out;
+}
+
+Result<BindingTable> TraversalMatcher::MatchSharded(
+    const Plan& plan, const TermId* param_values, CostMeter* meter,
+    ThreadPool* pool, int max_shards) const {
+  if (max_shards <= 0 && pool != nullptr) {
+    max_shards = static_cast<int>(pool->size());
+  }
+  // Budgeted traversal cancels cooperatively against one running total — a
+  // serial protocol, so budgeted plans always take the serial drain.
+  if (pool == nullptr || max_shards <= 1 || plan.impossible ||
+      meter->budget_micros() > 0.0) {
+    return DrainSerial(plan, param_values, meter);
+  }
+
+  // Peek the first pattern's candidate range without charging: the root
+  // endpoints are constants or params, so resolution needs no DFS state.
+  DSKG_ASSIGN_OR_RETURN(Cursor proto, OpenCursor(plan, param_values, meter));
+  const EncPat& p0 = proto.patterns_[0];
+  const bool s_bound = !p0.subject.is_variable;
+  const bool o_bound = !p0.object.is_variable;
+  Cursor::Frame root;
+  if (s_bound) {
+    root.mode = Cursor::Frame::kOut;
+    root.nbrs = graph_->OutNeighbors(p0.subject.constant, p0.predicate);
+    root.has_o = o_bound;
+    root.o_val = p0.object.constant;
+  } else if (o_bound) {
+    root.mode = Cursor::Frame::kIn;
+    root.nbrs = graph_->InNeighbors(p0.object.constant, p0.predicate);
+  } else {
+    root.mode = Cursor::Frame::kEdges;
+    root.edges = &graph_->Edges(p0.predicate);
+  }
+  const size_t count = root.mode == Cursor::Frame::kEdges
+                           ? root.edges->size()
+                           : (root.nbrs == nullptr ? 0 : root.nbrs->size());
+  const size_t num_shards =
+      std::min<size_t>(static_cast<size_t>(max_shards), count);
+  if (num_shards <= 1) return DrainSerial(plan, param_values, meter);
+
+  // From here on this call owns the serial path's charges: replicate the
+  // root descent's node lookup exactly once on the caller's meter.
+  if (s_bound || o_bound) meter->Add(Op::kNodeLookup);
+
+  struct ShardOutcome {
+    Status status;
+    BindingTable table;
+    CostMeter meter;
+  };
+  std::vector<ShardOutcome> outcomes(num_shards);
+  // Shard tasks run on pool workers that have no thread-local read
+  // snapshot installed: re-install the caller's so they see the same
+  // graph state (null = live reads, same as the caller).
+  const PropertyGraph::Snapshot* snapshot = graph_->InstalledSnapshot();
+  const size_t base = count / num_shards;
+  const size_t extra = count % num_shards;
+  pool->ParallelFor(num_shards, [&](size_t s) {
+    ShardOutcome& out = outcomes[s];
+    PropertyGraph::ReadScope read_scope(snapshot);
+    out.meter = CostMeter(meter->model(), meter->throttle());
+    Cursor c;
+    c.graph_ = graph_;
+    c.meter_ = &out.meter;
+    c.patterns_ = proto.patterns_;
+    c.out_vars_ = proto.out_vars_;
+    c.out_slots_ = proto.out_slots_;
+    c.slots_ = proto.slots_;
+    c.trail_.reserve(c.slots_.size());
+    Cursor::Frame f = root;
+    f.idx = s * base + std::min(s, extra);
+    f.end_idx = (s + 1) * base + std::min(s + 1, extra);
+    c.stack_.push_back(f);
+    c.descend_ = false;  // resume mid-frame at the shard's first candidate
+    out.table.columns = proto.out_vars_;
+    bool done = false;
+    out.status =
+        c.Fill(&out.table, std::numeric_limits<size_t>::max(), &done);
+  });
+
+  BindingTable merged;
+  merged.columns = plan.out_vars;
+  for (ShardOutcome& out : outcomes) {
+    DSKG_RETURN_NOT_OK(out.status);
+    meter->Merge(out.meter);
+    merged.AppendRowsFrom(out.table);
+  }
+  return merged;
 }
 
 // ---- the resumable DFS ------------------------------------------------------
@@ -324,8 +420,9 @@ Status TraversalMatcher::Cursor::Fill(BindingTable* out, size_t max_rows,
       }
     }
 
-    const size_t count =
-        f.mode == Frame::kEdges ? f.edges->size() : f.nbrs->size();
+    const size_t count = std::min(
+        f.mode == Frame::kEdges ? f.edges->size() : f.nbrs->size(),
+        f.end_idx);
     bool advanced = false;
     while (f.idx < count) {
       const size_t i = f.idx++;

@@ -39,6 +39,10 @@
 #include "sparql/ast.h"
 #include "sparql/bindings.h"
 
+namespace dskg {
+class ThreadPool;
+}  // namespace dskg
+
 namespace dskg::graphstore {
 
 /// Evaluates BGP queries against a `PropertyGraph` by traversal.
@@ -122,6 +126,9 @@ class TraversalMatcher {
       const std::vector<std::pair<rdf::TermId, rdf::TermId>>* edges =
           nullptr;  // kEdges
       size_t idx = 0;
+      /// Exclusive candidate bound for sharded root frames; untouched
+      /// (no-op clamp) on the serial path.
+      size_t end_idx = static_cast<size_t>(-1);
       bool has_o = false;            // kOut: object already resolved
       rdf::TermId o_val = rdf::kInvalidTermId;
       size_t mark = 0;               // trail mark of the in-flight branch
@@ -163,7 +170,32 @@ class TraversalMatcher {
   Result<sparql::BindingTable> Match(const sparql::Query& query,
                                      CostMeter* meter) const;
 
+  /// Drains `plan` with the first pattern's candidate range split into up
+  /// to `max_shards` contiguous shards run on `pool`. Each shard gets a
+  /// clone of the DFS cursor whose root frame covers only its candidate
+  /// sub-range plus its own `CostMeter`; shard tables and meters are
+  /// merged in ascending range order, so rows arrive in exactly the
+  /// serial DFS order and (with the integer-picosecond meter) every
+  /// charge component is bit-identical to the serial drain at every
+  /// thread count. Shard tasks re-install the calling thread's
+  /// `PropertyGraph` read snapshot, so sharding is safe under
+  /// `DualStore::SnapshotScope`.
+  ///
+  /// Falls back to the serial drain when `pool` is null, the range is too
+  /// small to split, or the meter carries a budget (budgeted traversal
+  /// cancels cooperatively mid-search — a serial protocol).
+  Result<sparql::BindingTable> MatchSharded(const Plan& plan,
+                                            const rdf::TermId* param_values,
+                                            CostMeter* meter,
+                                            ThreadPool* pool,
+                                            int max_shards) const;
+
  private:
+  /// `OpenCursor` + one exhaustive `Fill` (the serial drain).
+  Result<sparql::BindingTable> DrainSerial(const Plan& plan,
+                                           const rdf::TermId* param_values,
+                                           CostMeter* meter) const;
+
   const PropertyGraph* graph_;
   const rdf::Dictionary* dict_;
 };

@@ -162,6 +162,12 @@ class PropertyGraph {
     const Snapshot* prev_;
   };
 
+  /// The snapshot this thread currently reads through (null = live reads).
+  /// Parallel traversal captures it on the dispatching thread and
+  /// re-installs it with `ReadScope` inside each pool task, so shards see
+  /// the same graph state as the caller.
+  const Snapshot* InstalledSnapshot() const { return CurrentSnapshot(); }
+
   // ---- copy-on-write control (the online store's write path) ------------
 
   /// Switches between in-place partition mutation (offline, default) and

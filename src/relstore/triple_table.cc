@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
+
 namespace dskg::relstore {
 
 using rdf::TermId;
@@ -60,7 +62,7 @@ bool TripleTable::RemoveTriple(const Triple& t, CostMeter* meter) {
 }
 
 void TripleTable::BulkLoad(const std::vector<Triple>& triples,
-                           CostMeter* meter) {
+                           CostMeter* meter, ThreadPool* pool) {
   if (size() != 0) {
     // Incremental top-up of a live table: per-key inserts.
     Reserve(size() + triples.size());
@@ -75,9 +77,17 @@ void TripleTable::BulkLoad(const std::vector<Triple>& triples,
   // triple; the cost meter and the occurrence counters are
   // order-independent. Duplicates collapse globally, which equals
   // per-shard collapse (duplicates share a predicate and thus a shard).
-  std::vector<Key> keys;
-  keys.reserve(triples.size());
-  for (const Triple& t : triples) keys.push_back(MakeKey(Order::kSPO, t));
+  std::vector<Key> keys(triples.size());
+  const auto encode_keys = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      keys[i] = MakeKey(Order::kSPO, triples[i]);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelForChunked(triples.size(), 65536, encode_keys);
+  } else {
+    encode_keys(0, triples.size());
+  }
   std::sort(keys.begin(), keys.end());
   keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
   const size_t n_shards = shards_.size();
@@ -91,37 +101,51 @@ void TripleTable::BulkLoad(const std::vector<Triple>& triples,
       per_shard[static_cast<size_t>(ShardOf(k[1]))].push_back(k);
     }
   }
-  for (size_t s = 0; s < n_shards; ++s) {
-    shards_[s].spo.BulkBuild(per_shard[s]);
-  }
-  for (const Key& k : keys) {
-    const Triple t = KeyToTriple(Order::kSPO, k);
-    SubShard& sh = shards_[static_cast<size_t>(ShardOf(t.predicate))];
-    ++sh.num_rows;
-    MutableStats& st = sh.stats[t.predicate];
-    st.num_triples += 1;
-    CountUp(&st.subjects, t.subject);
-    CountUp(&st.objects, t.object);
-    CountUp(&sh.all_subjects, t.subject);
-    CountUp(&sh.all_objects, t.object);
-    if (meter != nullptr) meter->Add(Op::kInsertTuple);
-  }
-  // The other permutations of the same (already unique) per-shard sets.
-  std::vector<Key> permuted;
-  for (size_t s = 0; s < n_shards; ++s) {
-    permuted.clear();
-    permuted.reserve(per_shard[s].size());
-    for (const Key& k : per_shard[s]) {
-      permuted.push_back(MakeKey(Order::kPOS, KeyToTriple(Order::kSPO, k)));
+  // Four independent jobs per sub-shard — the SPO build, the statistics +
+  // charge pass, and the POS/OSP permute-sort-builds. Each writes a
+  // disjoint part of its own sub-shard (distinct trees vs. the stats
+  // maps), each shard's stats pass replays the serial loop's exact
+  // per-shard insertion subsequence, and the shared meter accumulates in
+  // exact integer picoseconds, so the resulting table and charges are
+  // bit-identical to the serial job order below.
+  const auto run_job = [&](size_t job) {
+    const size_t s = job / 4;
+    SubShard& sh = shards_[s];
+    switch (job % 4) {
+      case 0:
+        sh.spo.BulkBuild(per_shard[s]);
+        break;
+      case 1:
+        for (const Key& k : per_shard[s]) {
+          const Triple t = KeyToTriple(Order::kSPO, k);
+          ++sh.num_rows;
+          MutableStats& st = sh.stats[t.predicate];
+          st.num_triples += 1;
+          CountUp(&st.subjects, t.subject);
+          CountUp(&st.objects, t.object);
+          CountUp(&sh.all_subjects, t.subject);
+          CountUp(&sh.all_objects, t.object);
+          if (meter != nullptr) meter->Add(Op::kInsertTuple);
+        }
+        break;
+      case 2:
+      case 3: {
+        const Order order = job % 4 == 2 ? Order::kPOS : Order::kOSP;
+        std::vector<Key> permuted;
+        permuted.reserve(per_shard[s].size());
+        for (const Key& k : per_shard[s]) {
+          permuted.push_back(MakeKey(order, KeyToTriple(Order::kSPO, k)));
+        }
+        std::sort(permuted.begin(), permuted.end());
+        (order == Order::kPOS ? sh.pos : sh.osp).BulkBuild(permuted);
+        break;
+      }
     }
-    std::sort(permuted.begin(), permuted.end());
-    shards_[s].pos.BulkBuild(permuted);
-    permuted.clear();
-    for (const Key& k : per_shard[s]) {
-      permuted.push_back(MakeKey(Order::kOSP, KeyToTriple(Order::kSPO, k)));
-    }
-    std::sort(permuted.begin(), permuted.end());
-    shards_[s].osp.BulkBuild(permuted);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(n_shards * 4, run_job);
+  } else {
+    for (size_t job = 0; job < n_shards * 4; ++job) run_job(job);
   }
 }
 

@@ -46,6 +46,10 @@
 #include "rdf/triple.h"
 #include "relstore/btree.h"
 
+namespace dskg {
+class ThreadPool;
+}  // namespace dskg
+
 namespace dskg::relstore {
 
 /// A triple pattern with optional bound positions (ids from the shared
@@ -112,7 +116,15 @@ class TripleTable {
   /// one-by-one insertion; rows, statistics and simulated charges are
   /// identical either way. Into a non-empty table it degrades to
   /// per-triple inserts.
-  void BulkLoad(const std::vector<rdf::Triple>& triples, CostMeter* meter);
+  ///
+  /// With a `pool`, the fresh path parallelizes key encoding and the
+  /// independent per-sub-shard jobs (each permutation's sort + BulkBuild,
+  /// the statistics pass). Every job writes disjoint state and the meter
+  /// accumulates in exact integer picoseconds, so the loaded table, its
+  /// statistics, and every charge component are bit-identical to the
+  /// serial load at every thread count.
+  void BulkLoad(const std::vector<rdf::Triple>& triples, CostMeter* meter,
+                ThreadPool* pool = nullptr);
 
   /// Bytes of the B+-tree node slabs (SPO + POS + OSP, all sub-shards,
   /// including pending-reclaim bookkeeping). Deterministic for a given

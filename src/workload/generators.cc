@@ -1,10 +1,13 @@
 #include "workload/generators.h"
 
+#include <algorithm>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace dskg::workload {
 
@@ -27,6 +30,92 @@ uint64_t SaltedRank(size_t rank, uint64_t salt, size_t n) {
   return (static_cast<uint64_t>(rank) + salt) % static_cast<uint64_t>(n);
 }
 
+// ---- block-parallel generation scaffolding --------------------------------
+//
+// Every entity loop is decomposed into fixed-size blocks of kGenBlock
+// entities. Each block draws from its own RNG stream — seeded by the
+// generator seed, a per-loop salt, and the block id — and appends its
+// triples to a private buffer; buffers are interned into the dataset in
+// block order. The decomposition depends only on the entity count, never
+// on the worker count, so serial and parallel generation produce the
+// same dataset byte for byte (same triples, same term-id assignment).
+// Blocks are processed in bounded waves so peak buffer memory stays
+// O(kGenWave * kGenBlock) regardless of scale.
+
+constexpr uint64_t kGenBlock = 8192;  ///< entities per block
+constexpr uint64_t kGenWave = 64;     ///< blocks buffered per wave
+
+/// One generated triple, still in term-string form.
+struct TripleText {
+  std::string s, p, o;
+};
+using Block = std::vector<TripleText>;
+
+/// SplitMix64 finalizer: disperses structured (seed, salt, block) inputs.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Seed of the RNG stream for block `block` of the loop tagged `salt`.
+uint64_t StreamSeed(uint64_t seed, uint64_t salt, uint64_t block) {
+  return Mix64(Mix64(seed ^ (0x9e3779b97f4a7c15ULL * (salt + 1))) ^
+               (0xbf58476d1ce4e5b9ULL * (block + 1)));
+}
+
+/// Runs `fn(begin, end, &rng)` for every block of [0, n) — on the pool
+/// when one is given, inline otherwise. `fn` must only write state owned
+/// by its own index range.
+template <typename Fn>
+void ForBlocks(ThreadPool* pool, uint64_t n, uint64_t seed, uint64_t salt,
+               const Fn& fn) {
+  if (n == 0) return;
+  const uint64_t num_blocks = (n + kGenBlock - 1) / kGenBlock;
+  const auto run = [&](size_t block) {
+    Rng rng(StreamSeed(seed, salt, block));
+    const uint64_t lo = static_cast<uint64_t>(block) * kGenBlock;
+    const uint64_t hi = std::min<uint64_t>(n, lo + kGenBlock);
+    fn(lo, hi, &rng);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(static_cast<size_t>(num_blocks), run);
+  } else {
+    for (uint64_t b = 0; b < num_blocks; ++b) run(static_cast<size_t>(b));
+  }
+}
+
+/// Generates entity blocks with `fn(begin, end, &rng, &out)` and interns
+/// them into `ds` in block order, wave by wave.
+template <typename Fn>
+void EmitBlocks(Dataset* ds, ThreadPool* pool, uint64_t n, uint64_t seed,
+                uint64_t salt, const Fn& fn) {
+  if (n == 0) return;
+  const uint64_t num_blocks = (n + kGenBlock - 1) / kGenBlock;
+  std::vector<Block> blocks;
+  for (uint64_t wave = 0; wave < num_blocks; wave += kGenWave) {
+    const uint64_t wave_blocks = std::min(kGenWave, num_blocks - wave);
+    blocks.assign(static_cast<size_t>(wave_blocks), Block{});
+    const auto run = [&](size_t b) {
+      const uint64_t block = wave + b;
+      Rng rng(StreamSeed(seed, salt, block));
+      const uint64_t lo = block * kGenBlock;
+      const uint64_t hi = std::min<uint64_t>(n, lo + kGenBlock);
+      fn(lo, hi, &rng, &blocks[b]);
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(static_cast<size_t>(wave_blocks), run);
+    } else {
+      for (uint64_t b = 0; b < wave_blocks; ++b) run(static_cast<size_t>(b));
+    }
+    for (Block& block : blocks) {
+      for (const TripleText& t : block) ds->Add(t.s, t.p, t.o);
+      Block().swap(block);
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -38,9 +127,15 @@ uint64_t SaltedRank(size_t rank, uint64_t salt, size_t n) {
 // Zipf-popular, and advisor/spouse edges are correlated with birth city so
 // the paper's flagship query ("person born in the same city as their
 // advisor") has non-trivial, size-dependent answers.
-Dataset GenerateYago(const YagoConfig& config) {
+//
+// Birth cities are drawn in a dedicated pass before the person-fact pass:
+// advisor/spouse candidates of person i are the earlier persons born in
+// i's city, which pass 0 precomputes as per-city ascending person lists
+// plus each person's rank in their city's list. With that, pass 1's block
+// for person i depends only on read-shared state — no prefix carry — yet
+// keeps the original "co-born earlier person" semantics.
+Dataset GenerateYago(const YagoConfig& config, ThreadPool* pool) {
   Dataset ds;
-  Rng rng(config.seed);
 
   // Entity counts derived from the triple target: each person contributes
   // ~8 facts on average, plus secondary-entity facts (~12% overhead).
@@ -61,145 +156,207 @@ Dataset GenerateYago(const YagoConfig& config) {
   ZipfSampler prize_zipf(prizes, config.skew);
   ZipfSampler country_zipf(countries, config.skew);
 
-  // Birth city of each person, and persons grouped by birth city, so
-  // advisor/spouse edges can be correlated with co-birth.
+  // Pass 0: birth city of each person (its own RNG stream), and persons
+  // grouped by birth city, so advisor/spouse edges can be correlated with
+  // co-birth without a cross-person carry in the fact pass.
   std::vector<uint64_t> born_city(persons);
+  ForBlocks(pool, persons, config.seed, /*salt=*/1,
+            [&](uint64_t begin, uint64_t end, Rng* rng) {
+              for (uint64_t i = begin; i < end; ++i) {
+                born_city[i] = city_zipf.Sample(rng);
+              }
+            });
   std::vector<std::vector<uint64_t>> persons_in_city(cities);
-
+  std::vector<uint64_t> rank_in_city(persons);
   for (uint64_t i = 0; i < persons; ++i) {
-    const std::string p = Name("y:person_", i);
-    ds.Add(p, "y:hasGivenName",
-           Name("y:givenName_", rng.NextBounded(given_names)));
-    ds.Add(p, "y:hasFamilyName",
-           Name("y:familyName_", rng.NextBounded(family_names)));
-    const uint64_t city = city_zipf.Sample(&rng);
-    born_city[i] = city;
-    ds.Add(p, "y:wasBornIn", Name("y:city_", city));
-    ds.Add(p, "y:hasGender", rng.NextBool(0.5) ? "y:male" : "y:female");
-    ds.Add(p, "y:isCitizenOf",
-           Name("y:country_", country_zipf.Sample(&rng)));
-    if (rng.NextBool(0.55)) {
-      ds.Add(p, "y:livesIn", Name("y:city_", city_zipf.Sample(&rng)));
-    }
-    if (rng.NextBool(0.45)) {
-      ds.Add(p, "y:graduatedFrom",
-             Name("y:university_", rng.NextBounded(universities)));
-    }
-    if (rng.NextBool(0.40)) {
-      ds.Add(p, "y:worksAt", Name("y:company_", rng.NextBounded(companies)));
-    }
-    // Advisor: an earlier person; with probability advisor_same_city_prob,
-    // one born in the same city (if any exists).
-    if (i > 0 && rng.NextBool(0.42)) {
-      uint64_t advisor;
-      const auto& same_city = persons_in_city[city];
-      if (!same_city.empty() && rng.NextBool(config.advisor_same_city_prob)) {
-        advisor = same_city[rng.NextIndex(same_city.size())];
-      } else {
-        advisor = rng.NextBounded(i);
-      }
-      ds.Add(p, "y:hasAcademicAdvisor", Name("y:person_", advisor));
-    }
-    // Spouse: similar co-birth correlation.
-    if (i > 0 && rng.NextBool(0.35)) {
-      uint64_t spouse;
-      const auto& same_city = persons_in_city[city];
-      if (!same_city.empty() && rng.NextBool(0.30)) {
-        spouse = same_city[rng.NextIndex(same_city.size())];
-      } else {
-        spouse = rng.NextBounded(i);
-      }
-      ds.Add(p, "y:isMarriedTo", Name("y:person_", spouse));
-    }
-    if (i > 0 && rng.NextBool(0.30)) {
-      ds.Add(p, "y:hasChild", Name("y:person_", rng.NextBounded(i)));
-    }
-    if (i > 0 && rng.NextBool(0.25)) {
-      ds.Add(p, "y:knows", Name("y:person_", rng.NextBounded(i)));
-    }
-    if (i > 0 && rng.NextBool(0.08)) {
-      ds.Add(p, "y:influences", Name("y:person_", rng.NextBounded(i)));
-    }
-    if (rng.NextBool(0.20)) {
-      ds.Add(p, "y:actedIn", Name("y:movie_", movie_zipf.Sample(&rng)));
-    }
-    if (rng.NextBool(0.05)) {
-      ds.Add(p, "y:directed", Name("y:movie_", movie_zipf.Sample(&rng)));
-    }
-    if (rng.NextBool(0.06)) {
-      ds.Add(p, "y:wrote", Name("y:movie_", movie_zipf.Sample(&rng)));
-    }
-    if (rng.NextBool(0.09)) {
-      ds.Add(p, "y:wonPrize", Name("y:prize_", prize_zipf.Sample(&rng)));
-    }
-    if (rng.NextBool(0.12)) {
-      ds.Add(p, "y:hasWebsite", Name("y:website_", i));
-    }
-    if (rng.NextBool(0.30)) {
-      ds.Add(p, "y:hasAge",
-             Name("y:age_", 18 + rng.NextBounded(80)));
-    }
-    if (rng.NextBool(0.10)) {
-      ds.Add(p, "y:diedIn", Name("y:city_", city_zipf.Sample(&rng)));
-    }
-    persons_in_city[city].push_back(i);
+    rank_in_city[i] = persons_in_city[born_city[i]].size();
+    persons_in_city[born_city[i]].push_back(i);
   }
+
+  // Pass 1: person facts.
+  EmitBlocks(&ds, pool, persons, config.seed, /*salt=*/2, [&](
+      uint64_t begin, uint64_t end, Rng* rng_p, Block* out) {
+    Rng& rng = *rng_p;
+    for (uint64_t i = begin; i < end; ++i) {
+      const std::string p = Name("y:person_", i);
+      out->push_back({p, "y:hasGivenName",
+                      Name("y:givenName_", rng.NextBounded(given_names))});
+      out->push_back({p, "y:hasFamilyName",
+                      Name("y:familyName_", rng.NextBounded(family_names))});
+      const uint64_t city = born_city[i];
+      out->push_back({p, "y:wasBornIn", Name("y:city_", city)});
+      out->push_back(
+          {p, "y:hasGender", rng.NextBool(0.5) ? "y:male" : "y:female"});
+      out->push_back({p, "y:isCitizenOf",
+                      Name("y:country_", country_zipf.Sample(&rng))});
+      if (rng.NextBool(0.55)) {
+        out->push_back(
+            {p, "y:livesIn", Name("y:city_", city_zipf.Sample(&rng))});
+      }
+      if (rng.NextBool(0.45)) {
+        out->push_back({p, "y:graduatedFrom",
+                        Name("y:university_", rng.NextBounded(universities))});
+      }
+      if (rng.NextBool(0.40)) {
+        out->push_back(
+            {p, "y:worksAt", Name("y:company_", rng.NextBounded(companies))});
+      }
+      // Advisor: an earlier person; with probability
+      // advisor_same_city_prob, one born in the same city (if any exists).
+      // The first `rank_in_city[i]` entries of the city's person list are
+      // exactly the earlier co-born persons.
+      const uint64_t rank = rank_in_city[i];
+      if (i > 0 && rng.NextBool(0.42)) {
+        uint64_t advisor;
+        if (rank > 0 && rng.NextBool(config.advisor_same_city_prob)) {
+          advisor = persons_in_city[city][rng.NextIndex(rank)];
+        } else {
+          advisor = rng.NextBounded(i);
+        }
+        out->push_back(
+            {p, "y:hasAcademicAdvisor", Name("y:person_", advisor)});
+      }
+      // Spouse: similar co-birth correlation.
+      if (i > 0 && rng.NextBool(0.35)) {
+        uint64_t spouse;
+        if (rank > 0 && rng.NextBool(0.30)) {
+          spouse = persons_in_city[city][rng.NextIndex(rank)];
+        } else {
+          spouse = rng.NextBounded(i);
+        }
+        out->push_back({p, "y:isMarriedTo", Name("y:person_", spouse)});
+      }
+      if (i > 0 && rng.NextBool(0.30)) {
+        out->push_back(
+            {p, "y:hasChild", Name("y:person_", rng.NextBounded(i))});
+      }
+      if (i > 0 && rng.NextBool(0.25)) {
+        out->push_back({p, "y:knows", Name("y:person_", rng.NextBounded(i))});
+      }
+      if (i > 0 && rng.NextBool(0.08)) {
+        out->push_back(
+            {p, "y:influences", Name("y:person_", rng.NextBounded(i))});
+      }
+      if (rng.NextBool(0.20)) {
+        out->push_back(
+            {p, "y:actedIn", Name("y:movie_", movie_zipf.Sample(&rng))});
+      }
+      if (rng.NextBool(0.05)) {
+        out->push_back(
+            {p, "y:directed", Name("y:movie_", movie_zipf.Sample(&rng))});
+      }
+      if (rng.NextBool(0.06)) {
+        out->push_back(
+            {p, "y:wrote", Name("y:movie_", movie_zipf.Sample(&rng))});
+      }
+      if (rng.NextBool(0.09)) {
+        out->push_back(
+            {p, "y:wonPrize", Name("y:prize_", prize_zipf.Sample(&rng))});
+      }
+      if (rng.NextBool(0.12)) {
+        out->push_back({p, "y:hasWebsite", Name("y:website_", i)});
+      }
+      if (rng.NextBool(0.30)) {
+        out->push_back(
+            {p, "y:hasAge", Name("y:age_", 18 + rng.NextBounded(80))});
+      }
+      if (rng.NextBool(0.10)) {
+        out->push_back(
+            {p, "y:diedIn", Name("y:city_", city_zipf.Sample(&rng))});
+      }
+    }
+  });
 
   // Secondary entity facts.
-  for (uint64_t c = 0; c < cities; ++c) {
-    const std::string city = Name("y:city_", c);
-    ds.Add(city, "y:isLocatedIn",
-           Name("y:country_", country_zipf.Sample(&rng)));
-    ds.Add(city, "y:hasPopulation", Name("y:pop_", rng.NextBounded(1000)));
-    if (rng.NextBool(0.5)) {
-      ds.Add(city, "y:hasMayor",
-             Name("y:person_", rng.NextBounded(persons)));
+  EmitBlocks(&ds, pool, cities, config.seed, /*salt=*/3, [&](
+      uint64_t begin, uint64_t end, Rng* rng_p, Block* out) {
+    Rng& rng = *rng_p;
+    for (uint64_t c = begin; c < end; ++c) {
+      const std::string city = Name("y:city_", c);
+      out->push_back({city, "y:isLocatedIn",
+                      Name("y:country_", country_zipf.Sample(&rng))});
+      out->push_back(
+          {city, "y:hasPopulation", Name("y:pop_", rng.NextBounded(1000))});
+      if (rng.NextBool(0.5)) {
+        out->push_back(
+            {city, "y:hasMayor", Name("y:person_", rng.NextBounded(persons))});
+      }
     }
-  }
-  for (uint64_t u = 0; u < universities; ++u) {
-    const std::string univ = Name("y:university_", u);
-    ds.Add(univ, "y:establishedIn", Name("y:year_", 1200 + rng.NextBounded(800)));
-    ds.Add(univ, "y:locatedInCity", Name("y:city_", city_zipf.Sample(&rng)));
-  }
-  for (uint64_t k = 0; k < companies; ++k) {
-    const std::string company = Name("y:company_", k);
-    ds.Add(company, "y:headquarteredIn",
-           Name("y:city_", city_zipf.Sample(&rng)));
-    ds.Add(company, "y:foundedIn", Name("y:year_", 1800 + rng.NextBounded(220)));
-    if (rng.NextBool(0.3)) {
-      ds.Add(company, "y:ownedBy",
-             Name("y:person_", rng.NextBounded(persons)));
+  });
+  EmitBlocks(&ds, pool, universities, config.seed, /*salt=*/4, [&](
+      uint64_t begin, uint64_t end, Rng* rng_p, Block* out) {
+    Rng& rng = *rng_p;
+    for (uint64_t u = begin; u < end; ++u) {
+      const std::string univ = Name("y:university_", u);
+      out->push_back({univ, "y:establishedIn",
+                      Name("y:year_", 1200 + rng.NextBounded(800))});
+      out->push_back({univ, "y:locatedInCity",
+                      Name("y:city_", city_zipf.Sample(&rng))});
     }
-  }
-  for (uint64_t m = 0; m < movies; ++m) {
-    const std::string movie = Name("y:movie_", m);
-    ds.Add(movie, "y:hasGenre", Name("y:genre_", rng.NextBounded(genres)));
-    ds.Add(movie, "y:releasedIn", Name("y:year_", 1930 + rng.NextBounded(95)));
-    if (rng.NextBool(0.4)) {
-      ds.Add(movie, "y:producedBy",
-             Name("y:company_", rng.NextBounded(companies)));
+  });
+  EmitBlocks(&ds, pool, companies, config.seed, /*salt=*/5, [&](
+      uint64_t begin, uint64_t end, Rng* rng_p, Block* out) {
+    Rng& rng = *rng_p;
+    for (uint64_t k = begin; k < end; ++k) {
+      const std::string company = Name("y:company_", k);
+      out->push_back({company, "y:headquarteredIn",
+                      Name("y:city_", city_zipf.Sample(&rng))});
+      out->push_back({company, "y:foundedIn",
+                      Name("y:year_", 1800 + rng.NextBounded(220))});
+      if (rng.NextBool(0.3)) {
+        out->push_back({company, "y:ownedBy",
+                        Name("y:person_", rng.NextBounded(persons))});
+      }
     }
-    if (rng.NextBool(0.2)) {
-      ds.Add(movie, "y:hasBudget", Name("y:budget_", rng.NextBounded(500)));
+  });
+  EmitBlocks(&ds, pool, movies, config.seed, /*salt=*/6, [&](
+      uint64_t begin, uint64_t end, Rng* rng_p, Block* out) {
+    Rng& rng = *rng_p;
+    for (uint64_t m = begin; m < end; ++m) {
+      const std::string movie = Name("y:movie_", m);
+      out->push_back(
+          {movie, "y:hasGenre", Name("y:genre_", rng.NextBounded(genres))});
+      out->push_back({movie, "y:releasedIn",
+                      Name("y:year_", 1930 + rng.NextBounded(95))});
+      if (rng.NextBool(0.4)) {
+        out->push_back({movie, "y:producedBy",
+                        Name("y:company_", rng.NextBounded(companies))});
+      }
+      if (rng.NextBool(0.2)) {
+        out->push_back(
+            {movie, "y:hasBudget", Name("y:budget_", rng.NextBounded(500))});
+      }
+      if (rng.NextBool(0.3)) {
+        out->push_back({movie, "y:hasDuration",
+                        Name("y:minutes_", 60 + rng.NextBounded(140))});
+      }
     }
-    if (rng.NextBool(0.3)) {
-      ds.Add(movie, "y:hasDuration", Name("y:minutes_", 60 + rng.NextBounded(140)));
+  });
+  EmitBlocks(&ds, pool, prizes, config.seed, /*salt=*/7, [&](
+      uint64_t begin, uint64_t end, Rng* rng_p, Block* out) {
+    Rng& rng = *rng_p;
+    for (uint64_t p = begin; p < end; ++p) {
+      const std::string prize = Name("y:prize_", p);
+      out->push_back({prize, "y:awardedBy",
+                      Name("y:company_", rng.NextBounded(companies))});
+      out->push_back({prize, "y:namedAfter",
+                      Name("y:person_", rng.NextBounded(persons))});
     }
-  }
-  for (uint64_t p = 0; p < prizes; ++p) {
-    const std::string prize = Name("y:prize_", p);
-    ds.Add(prize, "y:awardedBy",
-           Name("y:company_", rng.NextBounded(companies)));
-    ds.Add(prize, "y:namedAfter", Name("y:person_", rng.NextBounded(persons)));
-  }
-  for (uint64_t c = 0; c < countries; ++c) {
-    const std::string country = Name("y:country_", c);
-    ds.Add(country, "y:hasMotto", Name("y:motto_", c));
-    ds.Add(country, "y:hasOfficialLanguage",
-           Name("y:language_", rng.NextBounded(40)));
-    ds.Add(country, "y:hasCurrency", Name("y:currency_", rng.NextBounded(30)));
-    ds.Add(country, "y:hasArea", Name("y:area_", rng.NextBounded(2000)));
-  }
+  });
+  EmitBlocks(&ds, pool, countries, config.seed, /*salt=*/8, [&](
+      uint64_t begin, uint64_t end, Rng* rng_p, Block* out) {
+    Rng& rng = *rng_p;
+    for (uint64_t c = begin; c < end; ++c) {
+      const std::string country = Name("y:country_", c);
+      out->push_back({country, "y:hasMotto", Name("y:motto_", c)});
+      out->push_back({country, "y:hasOfficialLanguage",
+                      Name("y:language_", rng.NextBounded(40))});
+      out->push_back({country, "y:hasCurrency",
+                      Name("y:currency_", rng.NextBounded(30))});
+      out->push_back(
+          {country, "y:hasArea", Name("y:area_", rng.NextBounded(2000))});
+    }
+  });
 
   return ds;
 }
@@ -212,9 +369,8 @@ Dataset GenerateYago(const YagoConfig& config) {
 // 86 predicates: a social/commercial core plus WatDiv-style numbered
 // property groups (productProperty_*, userProperty_*), matching WatDiv's
 // pgroup design and reaching the paper's #-P = 86.
-Dataset GenerateWatDiv(const WatDivConfig& config) {
+Dataset GenerateWatDiv(const WatDivConfig& config, ThreadPool* pool) {
   Dataset ds;
-  Rng rng(config.seed);
 
   const uint64_t users = std::max<uint64_t>(60, config.target_triples / 11);
   const uint64_t products = std::max<uint64_t>(40, users / 2);
@@ -231,111 +387,152 @@ Dataset GenerateWatDiv(const WatDivConfig& config) {
   ZipfSampler genre_zipf(genres, 0.7);
   ZipfSampler city_zipf(cities, config.skew);
 
-  for (uint64_t i = 0; i < users; ++i) {
-    const std::string u = Name("wsdbm:user_", i);
-    ds.Add(u, "rdf:type", "wsdbm:User");
-    ds.Add(u, "wsdbm:userId", Name("wsdbm:id_", i));
-    ds.Add(u, "wsdbm:location", Name("wsdbm:city_", city_zipf.Sample(&rng)));
-    if (rng.NextBool(0.6)) {
-      ds.Add(u, "wsdbm:gender", rng.NextBool(0.5) ? "wsdbm:male" : "wsdbm:female");
-    }
-    if (rng.NextBool(0.5)) {
-      ds.Add(u, "wsdbm:birthDate", Name("wsdbm:year_", 1940 + rng.NextBounded(70)));
-    }
-    // Social edges (heavy, Zipf-skewed in-degree). Average out-degree 1:
-    // keeps the complex templates' partition sets within the 25% budget,
-    // as in the paper's setups where whole sets are transferable.
-    const uint64_t follows = rng.NextBounded(3);
-    for (uint64_t f = 0; f < follows; ++f) {
-      ds.Add(u, "wsdbm:follows", Name("wsdbm:user_", user_zipf.Sample(&rng)));
-    }
-    if (rng.NextBool(0.5)) {
-      ds.Add(u, "wsdbm:friendOf",
-             Name("wsdbm:user_", SaltedRank(user_zipf.Sample(&rng), 617, users)));
-    }
-    const uint64_t purchases = rng.NextBounded(3);
-    for (uint64_t k = 0; k < purchases; ++k) {
-      ds.Add(u, "wsdbm:purchases",
+  EmitBlocks(&ds, pool, users, config.seed, /*salt=*/1, [&](
+      uint64_t begin, uint64_t end, Rng* rng_p, Block* out) {
+    Rng& rng = *rng_p;
+    for (uint64_t i = begin; i < end; ++i) {
+      const std::string u = Name("wsdbm:user_", i);
+      out->push_back({u, "rdf:type", "wsdbm:User"});
+      out->push_back({u, "wsdbm:userId", Name("wsdbm:id_", i)});
+      out->push_back({u, "wsdbm:location",
+                      Name("wsdbm:city_", city_zipf.Sample(&rng))});
+      if (rng.NextBool(0.6)) {
+        out->push_back({u, "wsdbm:gender",
+                        rng.NextBool(0.5) ? "wsdbm:male" : "wsdbm:female"});
+      }
+      if (rng.NextBool(0.5)) {
+        out->push_back({u, "wsdbm:birthDate",
+                        Name("wsdbm:year_", 1940 + rng.NextBounded(70))});
+      }
+      // Social edges (heavy, Zipf-skewed in-degree). Average out-degree 1:
+      // keeps the complex templates' partition sets within the 25% budget,
+      // as in the paper's setups where whole sets are transferable.
+      const uint64_t follows = rng.NextBounded(3);
+      for (uint64_t f = 0; f < follows; ++f) {
+        out->push_back({u, "wsdbm:follows",
+                        Name("wsdbm:user_", user_zipf.Sample(&rng))});
+      }
+      if (rng.NextBool(0.5)) {
+        out->push_back(
+            {u, "wsdbm:friendOf",
+             Name("wsdbm:user_",
+                  SaltedRank(user_zipf.Sample(&rng), 617, users))});
+      }
+      const uint64_t purchases = rng.NextBounded(3);
+      for (uint64_t k = 0; k < purchases; ++k) {
+        out->push_back(
+            {u, "wsdbm:purchases",
              Name("wsdbm:product_",
-                  SaltedRank(product_zipf.Sample(&rng), 101, products)));
-    }
-    if (rng.NextBool(0.45)) {
-      ds.Add(u, "wsdbm:likes",
+                  SaltedRank(product_zipf.Sample(&rng), 101, products))});
+      }
+      if (rng.NextBool(0.45)) {
+        out->push_back(
+            {u, "wsdbm:likes",
              Name("wsdbm:product_",
-                  SaltedRank(product_zipf.Sample(&rng), 211, products)));
-    }
-    if (rng.NextBool(0.10)) {
-      ds.Add(u, "wsdbm:dislikes",
+                  SaltedRank(product_zipf.Sample(&rng), 211, products))});
+      }
+      if (rng.NextBool(0.10)) {
+        out->push_back(
+            {u, "wsdbm:dislikes",
              Name("wsdbm:product_",
-                  SaltedRank(product_zipf.Sample(&rng), 307, products)));
+                  SaltedRank(product_zipf.Sample(&rng), 307, products))});
+      }
+      if (rng.NextBool(0.25)) {
+        out->push_back({u, "wsdbm:subscribes",
+                        Name("wsdbm:website_", rng.NextBounded(retailers + 5))});
+      }
+      if (rng.NextBool(0.30)) {
+        out->push_back(
+            {u, Name("wsdbm:userProperty_", rng.NextBounded(kUserProps)),
+             Name("wsdbm:value_", rng.NextBounded(500))});
+      }
     }
-    if (rng.NextBool(0.25)) {
-      ds.Add(u, "wsdbm:subscribes",
-             Name("wsdbm:website_", rng.NextBounded(retailers + 5)));
-    }
-    if (rng.NextBool(0.30)) {
-      ds.Add(u, Name("wsdbm:userProperty_", rng.NextBounded(kUserProps)),
-             Name("wsdbm:value_", rng.NextBounded(500)));
-    }
-  }
+  });
 
-  for (uint64_t i = 0; i < products; ++i) {
-    const std::string p = Name("wsdbm:product_", i);
-    ds.Add(p, "rdf:type", "wsdbm:Product");
-    ds.Add(p, "sorg:caption", Name("wsdbm:caption_", i));
-    ds.Add(p, "wsdbm:hasGenre", Name("wsdbm:genre_", genre_zipf.Sample(&rng)));
-    ds.Add(p, "sorg:price", Name("wsdbm:price_", rng.NextBounded(1000)));
-    if (rng.NextBool(0.5)) {
-      ds.Add(p, "sorg:description", Name("wsdbm:text_", i));
+  EmitBlocks(&ds, pool, products, config.seed, /*salt=*/2, [&](
+      uint64_t begin, uint64_t end, Rng* rng_p, Block* out) {
+    Rng& rng = *rng_p;
+    for (uint64_t i = begin; i < end; ++i) {
+      const std::string p = Name("wsdbm:product_", i);
+      out->push_back({p, "rdf:type", "wsdbm:Product"});
+      out->push_back({p, "sorg:caption", Name("wsdbm:caption_", i)});
+      out->push_back({p, "wsdbm:hasGenre",
+                      Name("wsdbm:genre_", genre_zipf.Sample(&rng))});
+      out->push_back(
+          {p, "sorg:price", Name("wsdbm:price_", rng.NextBounded(1000))});
+      if (rng.NextBool(0.5)) {
+        out->push_back({p, "sorg:description", Name("wsdbm:text_", i)});
+      }
+      if (rng.NextBool(0.4)) {
+        out->push_back({p, "wsdbm:producedBy",
+                        Name("wsdbm:retailer_", rng.NextBounded(retailers))});
+      }
+      if (rng.NextBool(0.35)) {
+        out->push_back(
+            {p, Name("wsdbm:productProperty_", rng.NextBounded(kProductProps)),
+             Name("wsdbm:value_", rng.NextBounded(500))});
+      }
     }
-    if (rng.NextBool(0.4)) {
-      ds.Add(p, "wsdbm:producedBy",
-             Name("wsdbm:retailer_", rng.NextBounded(retailers)));
-    }
-    if (rng.NextBool(0.35)) {
-      ds.Add(p, Name("wsdbm:productProperty_", rng.NextBounded(kProductProps)),
-             Name("wsdbm:value_", rng.NextBounded(500)));
-    }
-  }
+  });
 
-  for (uint64_t i = 0; i < reviews; ++i) {
-    const std::string r = Name("wsdbm:review_", i);
-    ds.Add(r, "rdf:type", "wsdbm:Review");
-    ds.Add(r, "rev:reviewFor",
+  EmitBlocks(&ds, pool, reviews, config.seed, /*salt=*/3, [&](
+      uint64_t begin, uint64_t end, Rng* rng_p, Block* out) {
+    Rng& rng = *rng_p;
+    for (uint64_t i = begin; i < end; ++i) {
+      const std::string r = Name("wsdbm:review_", i);
+      out->push_back({r, "rdf:type", "wsdbm:Review"});
+      out->push_back(
+          {r, "rev:reviewFor",
            Name("wsdbm:product_",
-                SaltedRank(product_zipf.Sample(&rng), 401, products)));
-    ds.Add(r, "rev:reviewer",
-           Name("wsdbm:user_", SaltedRank(user_zipf.Sample(&rng), 701, users)));
-    ds.Add(r, "rev:rating", Name("wsdbm:rating_", 1 + rng.NextBounded(5)));
-    if (rng.NextBool(0.6)) {
-      ds.Add(r, "rev:title", Name("wsdbm:title_", i));
+                SaltedRank(product_zipf.Sample(&rng), 401, products))});
+      out->push_back(
+          {r, "rev:reviewer",
+           Name("wsdbm:user_", SaltedRank(user_zipf.Sample(&rng), 701, users))});
+      out->push_back(
+          {r, "rev:rating", Name("wsdbm:rating_", 1 + rng.NextBounded(5))});
+      if (rng.NextBool(0.6)) {
+        out->push_back({r, "rev:title", Name("wsdbm:title_", i)});
+      }
+      if (rng.NextBool(0.4)) {
+        out->push_back({r, "rev:text", Name("wsdbm:text_", i)});
+      }
     }
-    if (rng.NextBool(0.4)) {
-      ds.Add(r, "rev:text", Name("wsdbm:text_", i));
-    }
-  }
+  });
 
-  for (uint64_t i = 0; i < retailers; ++i) {
-    const std::string rt = Name("wsdbm:retailer_", i);
-    ds.Add(rt, "rdf:type", "wsdbm:Retailer");
-    ds.Add(rt, "sorg:legalName", Name("wsdbm:name_", i));
-    ds.Add(rt, "sorg:homepage", Name("wsdbm:website_", i));
-    const uint64_t sells = 1 + rng.NextBounded(6);
-    for (uint64_t k = 0; k < sells; ++k) {
-      ds.Add(rt, "wsdbm:sells",
+  EmitBlocks(&ds, pool, retailers, config.seed, /*salt=*/4, [&](
+      uint64_t begin, uint64_t end, Rng* rng_p, Block* out) {
+    Rng& rng = *rng_p;
+    for (uint64_t i = begin; i < end; ++i) {
+      const std::string rt = Name("wsdbm:retailer_", i);
+      out->push_back({rt, "rdf:type", "wsdbm:Retailer"});
+      out->push_back({rt, "sorg:legalName", Name("wsdbm:name_", i)});
+      out->push_back({rt, "sorg:homepage", Name("wsdbm:website_", i)});
+      const uint64_t sells = 1 + rng.NextBounded(6);
+      for (uint64_t k = 0; k < sells; ++k) {
+        out->push_back(
+            {rt, "wsdbm:sells",
              Name("wsdbm:product_",
-                  SaltedRank(product_zipf.Sample(&rng), 503, products)));
+                  SaltedRank(product_zipf.Sample(&rng), 503, products))});
+      }
     }
-  }
+  });
 
-  for (uint64_t c = 0; c < cities; ++c) {
-    ds.Add(Name("wsdbm:city_", c), "gn:parentCountry",
-           Name("wsdbm:country_", rng.NextBounded(countries)));
-  }
-  for (uint64_t c = 0; c < countries; ++c) {
-    ds.Add(Name("wsdbm:country_", c), "sorg:population",
-           Name("wsdbm:pop_", rng.NextBounded(5000)));
-  }
+  EmitBlocks(&ds, pool, cities, config.seed, /*salt=*/5, [&](
+      uint64_t begin, uint64_t end, Rng* rng_p, Block* out) {
+    Rng& rng = *rng_p;
+    for (uint64_t c = begin; c < end; ++c) {
+      out->push_back({Name("wsdbm:city_", c), "gn:parentCountry",
+                      Name("wsdbm:country_", rng.NextBounded(countries))});
+    }
+  });
+  EmitBlocks(&ds, pool, countries, config.seed, /*salt=*/6, [&](
+      uint64_t begin, uint64_t end, Rng* rng_p, Block* out) {
+    Rng& rng = *rng_p;
+    for (uint64_t c = begin; c < end; ++c) {
+      out->push_back({Name("wsdbm:country_", c), "sorg:population",
+                      Name("wsdbm:pop_", rng.NextBounded(5000))});
+    }
+  });
 
   // Make sure every numbered property-group predicate exists (WatDiv's
   // #-P is fixed at 86 regardless of scale).
@@ -359,9 +556,8 @@ Dataset GenerateWatDiv(const WatDivConfig& config) {
 // 161 predicates: an interaction/annotation core (protein interactions are
 // the dominant partition, as in iRefIndex) plus numbered low-frequency
 // annotation predicates reaching the paper's #-P = 161.
-Dataset GenerateBio2Rdf(const Bio2RdfConfig& config) {
+Dataset GenerateBio2Rdf(const Bio2RdfConfig& config, ThreadPool* pool) {
   Dataset ds;
-  Rng rng(config.seed);
 
   const uint64_t genes = std::max<uint64_t>(50, config.target_triples / 30);
   const uint64_t proteins = genes;
@@ -378,129 +574,174 @@ Dataset GenerateBio2Rdf(const Bio2RdfConfig& config) {
   ZipfSampler disease_zipf(diseases, 0.8);
   ZipfSampler article_zipf(articles, config.skew);
 
-  for (uint64_t i = 0; i < genes; ++i) {
-    const std::string g = Name("b2r:gene_", i);
-    ds.Add(g, "b2r:encodes", Name("b2r:protein_", i));
-    if (rng.NextBool(0.15)) {
-      ds.Add(g, "b2r:hasTaxon", Name("b2r:taxon_", rng.NextBounded(25)));
+  EmitBlocks(&ds, pool, genes, config.seed, /*salt=*/1, [&](
+      uint64_t begin, uint64_t end, Rng* rng_p, Block* out) {
+    Rng& rng = *rng_p;
+    for (uint64_t i = begin; i < end; ++i) {
+      const std::string g = Name("b2r:gene_", i);
+      out->push_back({g, "b2r:encodes", Name("b2r:protein_", i)});
+      if (rng.NextBool(0.15)) {
+        out->push_back(
+            {g, "b2r:hasTaxon", Name("b2r:taxon_", rng.NextBounded(25))});
+      }
+      out->push_back({g, "b2r:hasSymbol", Name("b2r:symbol_", i)});
+      out->push_back({g, "b2r:locatedOnChromosome",
+                      Name("b2r:chromosome_", rng.NextBounded(24))});
+      if (rng.NextBool(0.4)) {
+        out->push_back({g, "b2r:associatedWithDisease",
+                        Name("b2r:disease_", disease_zipf.Sample(&rng))});
+      }
+      if (rng.NextBool(0.25)) {
+        out->push_back(
+            {g, "b2r:hasOrtholog", Name("b2r:gene_", gene_zipf.Sample(&rng))});
+      }
+      if (rng.NextBool(0.30)) {
+        out->push_back(
+            {g, "b2r:expressedIn", Name("b2r:tissue_", rng.NextBounded(60))});
+      }
     }
-    ds.Add(g, "b2r:hasSymbol", Name("b2r:symbol_", i));
-    ds.Add(g, "b2r:locatedOnChromosome",
-           Name("b2r:chromosome_", rng.NextBounded(24)));
-    if (rng.NextBool(0.4)) {
-      ds.Add(g, "b2r:associatedWithDisease",
-             Name("b2r:disease_", disease_zipf.Sample(&rng)));
-    }
-    if (rng.NextBool(0.25)) {
-      ds.Add(g, "b2r:hasOrtholog", Name("b2r:gene_", gene_zipf.Sample(&rng)));
-    }
-    if (rng.NextBool(0.30)) {
-      ds.Add(g, "b2r:expressedIn", Name("b2r:tissue_", rng.NextBounded(60)));
-    }
-  }
+  });
 
-  for (uint64_t i = 0; i < proteins; ++i) {
-    const std::string p = Name("b2r:protein_", i);
-    // Protein-protein interactions: a dominant but budget-compatible
-    // partition (several complex-subquery partition sets must be able to
-    // coexist under the 25% graph-store budget).
-    const uint64_t interactions = 1 + rng.NextBounded(2);
-    for (uint64_t k = 0; k < interactions; ++k) {
-      ds.Add(p, "b2r:interactsWith",
-             Name("b2r:protein_", protein_zipf.Sample(&rng)));
+  EmitBlocks(&ds, pool, proteins, config.seed, /*salt=*/2, [&](
+      uint64_t begin, uint64_t end, Rng* rng_p, Block* out) {
+    Rng& rng = *rng_p;
+    for (uint64_t i = begin; i < end; ++i) {
+      const std::string p = Name("b2r:protein_", i);
+      // Protein-protein interactions: a dominant but budget-compatible
+      // partition (several complex-subquery partition sets must be able to
+      // coexist under the 25% graph-store budget).
+      const uint64_t interactions = 1 + rng.NextBounded(2);
+      for (uint64_t k = 0; k < interactions; ++k) {
+        out->push_back({p, "b2r:interactsWith",
+                        Name("b2r:protein_", protein_zipf.Sample(&rng))});
+      }
+      out->push_back(
+          {p, "b2r:hasFunction", Name("b2r:function_", rng.NextBounded(200))});
+      if (rng.NextBool(0.5)) {
+        out->push_back({p, "b2r:memberOfFamily",
+                        Name("b2r:family_", rng.NextBounded(80))});
+      }
+      if (rng.NextBool(0.3)) {
+        out->push_back(
+            {p, "b2r:hasDomain", Name("b2r:domain_", rng.NextBounded(120))});
+      }
+      if (rng.NextBool(0.2)) {
+        out->push_back({p, "b2r:localizedIn",
+                        Name("b2r:compartment_", rng.NextBounded(30))});
+      }
+      if (rng.NextBool(0.2)) {
+        out->push_back({p, "b2r:hasSequenceLength",
+                        Name("b2r:length_", 50 + rng.NextBounded(3000))});
+      }
     }
-    ds.Add(p, "b2r:hasFunction", Name("b2r:function_", rng.NextBounded(200)));
-    if (rng.NextBool(0.5)) {
-      ds.Add(p, "b2r:memberOfFamily",
-             Name("b2r:family_", rng.NextBounded(80)));
-    }
-    if (rng.NextBool(0.3)) {
-      ds.Add(p, "b2r:hasDomain", Name("b2r:domain_", rng.NextBounded(120)));
-    }
-    if (rng.NextBool(0.2)) {
-      ds.Add(p, "b2r:localizedIn",
-             Name("b2r:compartment_", rng.NextBounded(30)));
-    }
-    if (rng.NextBool(0.2)) {
-      ds.Add(p, "b2r:hasSequenceLength",
-             Name("b2r:length_", 50 + rng.NextBounded(3000)));
-    }
-  }
+  });
 
-  for (uint64_t i = 0; i < drugs; ++i) {
-    const std::string d = Name("b2r:drug_", i);
-    const uint64_t targets = 1 + rng.NextBounded(3);
-    for (uint64_t k = 0; k < targets; ++k) {
-      ds.Add(d, "b2r:targets",
+  EmitBlocks(&ds, pool, drugs, config.seed, /*salt=*/3, [&](
+      uint64_t begin, uint64_t end, Rng* rng_p, Block* out) {
+    Rng& rng = *rng_p;
+    for (uint64_t i = begin; i < end; ++i) {
+      const std::string d = Name("b2r:drug_", i);
+      const uint64_t targets = 1 + rng.NextBounded(3);
+      for (uint64_t k = 0; k < targets; ++k) {
+        out->push_back(
+            {d, "b2r:targets",
              Name("b2r:protein_",
-                  SaltedRank(protein_zipf.Sample(&rng), 131, proteins)));
+                  SaltedRank(protein_zipf.Sample(&rng), 131, proteins))});
+      }
+      if (rng.NextBool(0.6)) {
+        out->push_back({d, "b2r:treatsDisease",
+                        Name("b2r:disease_", disease_zipf.Sample(&rng))});
+      }
+      if (rng.NextBool(0.4)) {
+        out->push_back({d, "b2r:hasSideEffect",
+                        Name("b2r:sideEffect_", rng.NextBounded(150))});
+      }
+      if (rng.NextBool(0.25)) {
+        out->push_back({d, "b2r:interactsWithDrug",
+                        Name("b2r:drug_", rng.NextBounded(drugs))});
+      }
+      out->push_back({d, "b2r:hasFormula", Name("b2r:formula_", i)});
+      if (rng.NextBool(0.3)) {
+        out->push_back(
+            {d, "b2r:approvedBy", Name("b2r:agency_", rng.NextBounded(6))});
+      }
+      if (rng.NextBool(0.3)) {
+        out->push_back(
+            {d, "b2r:hasDosage", Name("b2r:dosage_", rng.NextBounded(40))});
+      }
     }
-    if (rng.NextBool(0.6)) {
-      ds.Add(d, "b2r:treatsDisease",
-             Name("b2r:disease_", disease_zipf.Sample(&rng)));
-    }
-    if (rng.NextBool(0.4)) {
-      ds.Add(d, "b2r:hasSideEffect",
-             Name("b2r:sideEffect_", rng.NextBounded(150)));
-    }
-    if (rng.NextBool(0.25)) {
-      ds.Add(d, "b2r:interactsWithDrug",
-             Name("b2r:drug_", rng.NextBounded(drugs)));
-    }
-    ds.Add(d, "b2r:hasFormula", Name("b2r:formula_", i));
-    if (rng.NextBool(0.3)) {
-      ds.Add(d, "b2r:approvedBy", Name("b2r:agency_", rng.NextBounded(6)));
-    }
-    if (rng.NextBool(0.3)) {
-      ds.Add(d, "b2r:hasDosage", Name("b2r:dosage_", rng.NextBounded(40)));
-    }
-  }
+  });
 
-  for (uint64_t i = 0; i < diseases; ++i) {
-    const std::string d = Name("b2r:disease_", i);
-    ds.Add(d, "b2r:hasSymptom", Name("b2r:symptom_", rng.NextBounded(100)));
-    if (rng.NextBool(0.5)) {
-      ds.Add(d, "b2r:affectsOrgan", Name("b2r:organ_", rng.NextBounded(40)));
+  EmitBlocks(&ds, pool, diseases, config.seed, /*salt=*/4, [&](
+      uint64_t begin, uint64_t end, Rng* rng_p, Block* out) {
+    Rng& rng = *rng_p;
+    for (uint64_t i = begin; i < end; ++i) {
+      const std::string d = Name("b2r:disease_", i);
+      out->push_back(
+          {d, "b2r:hasSymptom", Name("b2r:symptom_", rng.NextBounded(100))});
+      if (rng.NextBool(0.5)) {
+        out->push_back(
+            {d, "b2r:affectsOrgan", Name("b2r:organ_", rng.NextBounded(40))});
+      }
+      if (rng.NextBool(0.3)) {
+        out->push_back({d, "b2r:hasPrevalence",
+                        Name("b2r:prevalence_", rng.NextBounded(20))});
+      }
     }
-    if (rng.NextBool(0.3)) {
-      ds.Add(d, "b2r:hasPrevalence",
-             Name("b2r:prevalence_", rng.NextBounded(20)));
-    }
-  }
+  });
 
-  for (uint64_t i = 0; i < articles; ++i) {
-    const std::string a = Name("b2r:article_", i);
-    ds.Add(a, "b2r:publishedIn", Name("b2r:journal_", rng.NextBounded(journals)));
-    ds.Add(a, "b2r:hasAuthor", Name("b2r:author_", rng.NextBounded(authors)));
-    if (rng.NextBool(0.30)) {
-      ds.Add(a, "b2r:mentionsGene",
-             Name("b2r:gene_", SaltedRank(gene_zipf.Sample(&rng), 233, genes)));
+  EmitBlocks(&ds, pool, articles, config.seed, /*salt=*/5, [&](
+      uint64_t begin, uint64_t end, Rng* rng_p, Block* out) {
+    Rng& rng = *rng_p;
+    for (uint64_t i = begin; i < end; ++i) {
+      const std::string a = Name("b2r:article_", i);
+      out->push_back({a, "b2r:publishedIn",
+                      Name("b2r:journal_", rng.NextBounded(journals))});
+      out->push_back(
+          {a, "b2r:hasAuthor", Name("b2r:author_", rng.NextBounded(authors))});
+      if (rng.NextBool(0.30)) {
+        out->push_back(
+            {a, "b2r:mentionsGene",
+             Name("b2r:gene_", SaltedRank(gene_zipf.Sample(&rng), 233, genes))});
+      }
+      if (rng.NextBool(0.30)) {
+        out->push_back(
+            {a, "b2r:mentionsDrug", Name("b2r:drug_", rng.NextBounded(drugs))});
+      }
+      if (i > 0 && rng.NextBool(0.5)) {
+        out->push_back({a, "b2r:cites",
+                        Name("b2r:article_", article_zipf.Sample(&rng) % i)});
+      }
+      if (rng.NextBool(0.4)) {
+        out->push_back({a, "b2r:publishedInYear",
+                        Name("b2r:year_", 1970 + rng.NextBounded(55))});
+      }
+      if (rng.NextBool(0.15)) {
+        out->push_back(
+            {a, Name("b2r:annotation_", rng.NextBounded(kAnnotationProps)),
+             Name("b2r:term_", rng.NextBounded(400))});
+      }
     }
-    if (rng.NextBool(0.30)) {
-      ds.Add(a, "b2r:mentionsDrug", Name("b2r:drug_", rng.NextBounded(drugs)));
-    }
-    if (i > 0 && rng.NextBool(0.5)) {
-      ds.Add(a, "b2r:cites", Name("b2r:article_", article_zipf.Sample(&rng) % i));
-    }
-    if (rng.NextBool(0.4)) {
-      ds.Add(a, "b2r:publishedInYear",
-             Name("b2r:year_", 1970 + rng.NextBounded(55)));
-    }
-    if (rng.NextBool(0.15)) {
-      ds.Add(a, Name("b2r:annotation_", rng.NextBounded(kAnnotationProps)),
-             Name("b2r:term_", rng.NextBounded(400)));
-    }
-  }
+  });
 
-  for (uint64_t j = 0; j < journals; ++j) {
-    ds.Add(Name("b2r:journal_", j), "b2r:hasISSN", Name("b2r:issn_", j));
-  }
-  for (uint64_t a = 0; a < authors; ++a) {
-    if (rng.NextBool(0.5)) {
-      ds.Add(Name("b2r:author_", a), "b2r:affiliatedWith",
-             Name("b2r:institute_", rng.NextBounded(50)));
+  EmitBlocks(&ds, pool, journals, config.seed, /*salt=*/6, [&](
+      uint64_t begin, uint64_t end, Rng* rng_p, Block* out) {
+    (void)rng_p;
+    for (uint64_t j = begin; j < end; ++j) {
+      out->push_back(
+          {Name("b2r:journal_", j), "b2r:hasISSN", Name("b2r:issn_", j)});
     }
-  }
+  });
+  EmitBlocks(&ds, pool, authors, config.seed, /*salt=*/7, [&](
+      uint64_t begin, uint64_t end, Rng* rng_p, Block* out) {
+    Rng& rng = *rng_p;
+    for (uint64_t a = begin; a < end; ++a) {
+      if (rng.NextBool(0.5)) {
+        out->push_back({Name("b2r:author_", a), "b2r:affiliatedWith",
+                        Name("b2r:institute_", rng.NextBounded(50))});
+      }
+    }
+  });
 
   // Pin the predicate count at 161 regardless of scale: core (~31) +
   // 130 annotation predicates.

@@ -14,11 +14,20 @@
 /// parameter; the default benches run at laptop scale.
 ///
 /// All generators are deterministic functions of their config (seed
-/// included).
+/// included) — independent of the optional thread pool: entities are
+/// generated in fixed-size blocks, each block drawing from its own RNG
+/// stream seeded by (config seed, loop salt, block id), and blocks are
+/// interned in block order. The block decomposition never depends on the
+/// worker count, so the parallel dataset is byte-identical to the serial
+/// one (triple-for-triple and term-id-for-term-id) at every thread count.
 
 #include <cstdint>
 
 #include "rdf/dataset.h"
+
+namespace dskg {
+class ThreadPool;
+}  // namespace dskg
 
 namespace dskg::workload {
 
@@ -50,16 +59,20 @@ struct Bio2RdfConfig {
 
 /// Generates a YAGO-like graph: persons, cities, universities, movies,
 /// prizes, ... with 39 predicates (y:wasBornIn, y:hasAcademicAdvisor,
-/// y:isMarriedTo, y:hasGivenName, ...).
-rdf::Dataset GenerateYago(const YagoConfig& config);
+/// y:isMarriedTo, y:hasGivenName, ...). With a `pool`, entity blocks are
+/// generated in parallel; the dataset is identical either way.
+rdf::Dataset GenerateYago(const YagoConfig& config,
+                          ThreadPool* pool = nullptr);
 
 /// Generates a WatDiv-like graph: users, products, retailers, reviews,
 /// genres, ... with 86 predicates (wsdbm:follows, wsdbm:purchases, ...).
-rdf::Dataset GenerateWatDiv(const WatDivConfig& config);
+rdf::Dataset GenerateWatDiv(const WatDivConfig& config,
+                            ThreadPool* pool = nullptr);
 
 /// Generates a Bio2RDF-like graph: genes, proteins, drugs, diseases,
 /// articles, ... with 161 predicates (b2r:encodes, b2r:targets, ...).
-rdf::Dataset GenerateBio2Rdf(const Bio2RdfConfig& config);
+rdf::Dataset GenerateBio2Rdf(const Bio2RdfConfig& config,
+                             ThreadPool* pool = nullptr);
 
 }  // namespace dskg::workload
 

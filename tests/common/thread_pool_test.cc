@@ -87,6 +87,64 @@ TEST(ThreadPoolTest, ParallelForRethrowsSmallestIndexException) {
   }
 }
 
+TEST(ThreadPoolTest, ParallelForChunkedCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  // 103 indices with grain 8: 12 full chunks and a remainder of 7.
+  std::vector<std::atomic<int>> hits(103);
+  pool.ParallelForChunked(hits.size(), 8, [&hits](size_t begin, size_t end) {
+    ASSERT_LT(begin, end);
+    ASSERT_LE(end, hits.size());
+    for (size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForChunkedHandlesDegenerateShapes) {
+  ThreadPool pool(2);
+  std::atomic<size_t> total{0};
+  const auto sum_range = [&total](size_t begin, size_t end) {
+    total.fetch_add(end - begin, std::memory_order_relaxed);
+  };
+  pool.ParallelForChunked(0, 8, sum_range);  // empty range: no calls
+  EXPECT_EQ(total.load(), 0u);
+  pool.ParallelForChunked(5, 0, sum_range);  // zero grain clamps to 1
+  EXPECT_EQ(total.load(), 5u);
+  total = 0;
+  pool.ParallelForChunked(3, 100, sum_range);  // grain larger than n
+  EXPECT_EQ(total.load(), 3u);
+}
+
+TEST(ThreadPoolTest, ParallelForChunkedRethrowsSmallestChunkException) {
+  ThreadPool pool(4);
+  try {
+    pool.ParallelForChunked(64, 4, [](size_t begin, size_t) {
+      if (begin >= 8) throw std::runtime_error(std::to_string(begin));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "8");  // smallest throwing chunk wins
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForChunkedDoesNotDeadlock) {
+  ThreadPool pool(1);  // one worker: the outer task must help execute
+  std::atomic<int> counter{0};
+  auto f = pool.Submit([&] {
+    pool.ParallelForChunked(20, 3, [&](size_t begin, size_t end) {
+      pool.ParallelForChunked(end - begin, 1, [&](size_t b, size_t e) {
+        counter.fetch_add(static_cast<int>(e - b),
+                          std::memory_order_relaxed);
+      });
+    });
+  });
+  f.get();
+  EXPECT_EQ(counter.load(), 20);
+}
+
 TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
   ThreadPool pool(1);  // one worker: the outer task must help execute
   std::atomic<int> counter{0};

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <initializer_list>
 #include <optional>
 #include <string>
 #include <utility>
@@ -14,6 +16,7 @@
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "core/dotil.h"
 #include "core/dual_store.h"
 #include "core/online_store.h"
 #include "core/session.h"
@@ -127,6 +130,193 @@ TEST_P(EngineEquivalenceTest, TraversalMatcherMatchesReference) {
       EXPECT_TRUE(BindingTable::SameRows(*actual, reference.Evaluate(q)))
           << "Match diverged: " << q.ToString();
     }
+  }
+}
+
+// Sharded traversal must be indistinguishable from serial traversal at
+// every thread count: the same rows in the same order, and bit-identical
+// simulated charges (the integer-picosecond meter makes shard merges
+// exact, not approximately equal).
+TEST_P(EngineEquivalenceTest, ShardedTraversalMatchesSerial) {
+  for (int corpus = 0; corpus < 2; ++corpus) {
+    rdf::Dataset ds = MakeCorpus(corpus);
+    DualStoreConfig cfg;
+    cfg.use_graph = true;
+    cfg.graph_capacity_triples = ds.num_triples();
+    DualStore store(&ds, cfg);
+    CostMeter load;
+    for (const TermId pred : store.table().Predicates()) {
+      ASSERT_TRUE(store.MigratePartition(pred, &load).ok());
+    }
+    graphstore::TraversalMatcher matcher(&store.graph(), &ds.dict());
+
+    Rng rng(GetParam() ^ 0x5eed);
+    for (int i = 0; i < 25; ++i) {
+      const sparql::Query q = testing::RandomBgp(ds, &rng);
+      auto plan = matcher.Compile(q);
+      ASSERT_TRUE(plan.ok()) << plan.status() << "\n" << q.ToString();
+
+      CostMeter serial_meter;
+      auto serial = matcher.Match(q, &serial_meter);
+      ASSERT_TRUE(serial.ok()) << serial.status() << "\n" << q.ToString();
+
+      for (const int threads : {1, 2, 4}) {
+        ThreadPool pool(static_cast<size_t>(threads));
+        CostMeter meter;
+        auto sharded = matcher.MatchSharded(*plan, nullptr, &meter, &pool,
+                                            /*max_shards=*/0);
+        ASSERT_TRUE(sharded.ok()) << sharded.status() << "\n"
+                                  << q.ToString();
+
+        // Rows: identical content *and* order (shards merge in shard
+        // order, and each shard preserves DFS order).
+        ASSERT_EQ(sharded->columns, serial->columns) << q.ToString();
+        ASSERT_EQ(sharded->NumRows(), serial->NumRows())
+            << threads << " threads: " << q.ToString();
+        for (size_t r = 0; r < serial->NumRows(); ++r) {
+          for (size_t c = 0; c < serial->NumColumns(); ++c) {
+            ASSERT_EQ(sharded->At(r, c), serial->At(r, c))
+                << "row " << r << " col " << c << " at " << threads
+                << " threads: " << q.ToString();
+          }
+        }
+
+        // Charges: every op count and all three simulated-time components,
+        // down to the picosecond.
+        for (int op = 0; op < kNumOps; ++op) {
+          EXPECT_EQ(meter.count(static_cast<Op>(op)),
+                    serial_meter.count(static_cast<Op>(op)))
+              << OpName(static_cast<Op>(op)) << " at " << threads
+              << " threads: " << q.ToString();
+        }
+        EXPECT_EQ(meter.sim_picos(), serial_meter.sim_picos())
+            << q.ToString();
+        EXPECT_EQ(meter.io_picos(), serial_meter.io_picos())
+            << q.ToString();
+        EXPECT_EQ(meter.cpu_picos(), serial_meter.cpu_picos())
+            << q.ToString();
+      }
+    }
+  }
+}
+
+// Parallel dataset generation must be byte-identical to serial: the same
+// triples in the same order over the same term-id assignment.
+TEST(GeneratorDeterminismTest, ParallelGenerationMatchesSerial) {
+  ThreadPool pool(4);
+  const auto expect_same = [](const char* name, const rdf::Dataset& serial,
+                              const rdf::Dataset& parallel) {
+    ASSERT_EQ(serial.triples().size(), parallel.triples().size()) << name;
+    for (size_t i = 0; i < serial.triples().size(); ++i) {
+      const rdf::Triple& a = serial.triples()[i];
+      const rdf::Triple& b = parallel.triples()[i];
+      ASSERT_TRUE(a.subject == b.subject && a.predicate == b.predicate &&
+                  a.object == b.object)
+          << name << ": triple " << i << " diverged";
+    }
+    EXPECT_EQ(serial.dict().size(), parallel.dict().size()) << name;
+  };
+  {
+    workload::YagoConfig c;
+    c.target_triples = 40000;
+    expect_same("yago", workload::GenerateYago(c),
+                workload::GenerateYago(c, &pool));
+  }
+  {
+    workload::WatDivConfig c;
+    c.target_triples = 40000;
+    expect_same("watdiv", workload::GenerateWatDiv(c),
+                workload::GenerateWatDiv(c, &pool));
+  }
+  {
+    workload::Bio2RdfConfig c;
+    c.target_triples = 40000;
+    expect_same("bio2rdf", workload::GenerateBio2Rdf(c),
+                workload::GenerateBio2Rdf(c, &pool));
+  }
+}
+
+// DOTIL with a probe pool must make exactly the decisions — and charge
+// exactly the costs — of the serial tuner at every thread count: the
+// speculative c1/c2 probes change wall-clock only.
+TEST(DotilParallelProbeTest, DecisionsAndChargesMatchSerial) {
+  const auto make_queries = [] {
+    std::vector<sparql::Query> qs;
+    const auto bgp = [](std::initializer_list<std::array<const char*, 3>>
+                            patterns) {
+      sparql::Query q;
+      for (const auto& p : patterns) {
+        sparql::PatternTerm s = p[0][0] == '?'
+                                    ? sparql::PatternTerm::Var(p[0] + 1)
+                                    : sparql::PatternTerm::Const(p[0]);
+        sparql::PatternTerm o = p[2][0] == '?'
+                                    ? sparql::PatternTerm::Var(p[2] + 1)
+                                    : sparql::PatternTerm::Const(p[2]);
+        q.patterns.push_back({s, sparql::PatternTerm::Const(p[1]), o});
+      }
+      q.select_vars = q.AllVariables();
+      return q;
+    };
+    qs.push_back(bgp({{"?p", "y:wasBornIn", "?c"},
+                      {"?p", "y:hasAcademicAdvisor", "?a"},
+                      {"?a", "y:wasBornIn", "?c"}}));
+    qs.push_back(bgp({{"?p", "y:livesIn", "?c"},
+                      {"?p", "y:isMarriedTo", "?s"},
+                      {"?s", "y:livesIn", "?c"}}));
+    qs.push_back(bgp({{"?p", "y:actedIn", "?m"},
+                      {"?m", "y:hasGenre", "?g"}}));
+    qs.push_back(bgp({{"?p", "y:worksAt", "?k"},
+                      {"?k", "y:headquarteredIn", "?c"},
+                      {"?p", "y:livesIn", "?c"}}));
+    return qs;
+  };
+  const std::vector<sparql::Query> queries = make_queries();
+
+  // Serial reference run.
+  const auto run = [&](ThreadPool* probe_pool, CostMeter* meter,
+                       DotilTuner* tuner, std::vector<TermId>* resident) {
+    rdf::Dataset ds = MakeCorpus(1);
+    DualStoreConfig cfg;
+    cfg.use_graph = true;
+    cfg.graph_capacity_triples = ds.num_triples();
+    DualStore store(&ds, cfg);
+    tuner->set_probe_pool(probe_pool);
+    for (int round = 0; round < 3; ++round) {
+      ASSERT_TRUE(tuner->AfterBatch(&store, queries, meter).ok());
+    }
+    *resident = store.graph().LoadedPredicates();
+    std::sort(resident->begin(), resident->end());
+  };
+
+  CostMeter serial_meter;
+  DotilTuner serial_tuner;
+  std::vector<TermId> serial_resident;
+  run(nullptr, &serial_meter, &serial_tuner, &serial_resident);
+  ASSERT_GT(serial_tuner.num_trained(), 0u);
+
+  for (const int threads : {2, 4}) {
+    ThreadPool pool(static_cast<size_t>(threads));
+    CostMeter meter;
+    DotilTuner tuner;
+    std::vector<TermId> resident;
+    run(&pool, &meter, &tuner, &resident);
+
+    EXPECT_EQ(resident, serial_resident) << threads << " threads";
+    EXPECT_EQ(tuner.num_trained(), serial_tuner.num_trained());
+    const std::array<double, 4> a = tuner.QMatrixSums();
+    const std::array<double, 4> b = serial_tuner.QMatrixSums();
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(a[i], b[i]) << "Q sum " << i << " at " << threads
+                            << " threads";
+    }
+    for (int op = 0; op < kNumOps; ++op) {
+      EXPECT_EQ(meter.count(static_cast<Op>(op)),
+                serial_meter.count(static_cast<Op>(op)))
+          << OpName(static_cast<Op>(op)) << " at " << threads << " threads";
+    }
+    EXPECT_EQ(meter.sim_picos(), serial_meter.sim_picos());
+    EXPECT_EQ(meter.io_picos(), serial_meter.io_picos());
+    EXPECT_EQ(meter.cpu_picos(), serial_meter.cpu_picos());
   }
 }
 
